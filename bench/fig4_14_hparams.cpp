@@ -1,0 +1,66 @@
+// Figure 4.14: AIBO hyper-parameters — GA population / CMA-ES sigma
+// (left), raw-candidate count k and restart count n (middle), and batch
+// size (right). Paper shape: different tasks prefer different
+// exploration settings; k/n have little effect; smaller batches converge
+// slightly faster per sample.
+
+#include <cstdio>
+
+#include "bench/aibo_runner.hpp"
+#include "bench/bench_common.hpp"
+
+using namespace citroen;
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  const int budget = args.budget ? args.budget : args.pick(60, 500);
+  const int seeds = args.seeds ? args.seeds : args.pick(2, 10);
+  bench::header("Figure 4.14", "AIBO hyper-parameter study",
+                "pop/sigma trade-offs are task-dependent; k/n mostly flat; "
+                "smaller batch slightly better per sample");
+  std::printf("budget=%d, %d seeds (lower is better)\n\n", budget, seeds);
+
+  const char* tasks[] = {"ackley30", "rover60"};
+  auto run = [&](const synth::Task& task,
+                 const std::function<void(aibo::AiboConfig&)>& tweak) {
+    std::vector<Vec> curves;
+    for (int s = 0; s < seeds; ++s) {
+      auto cfg = bench::ch4_config(budget);
+      tweak(cfg);
+      aibo::Aibo bo(task.box, cfg, static_cast<std::uint64_t>(s) + 1);
+      curves.push_back(bo.run(task.f, budget).best_curve);
+    }
+    return bench::aggregate(curves).mean_final;
+  };
+
+  for (const char* tname : tasks) {
+    const auto task = synth::make_task(tname);
+    std::printf("---- %s ----\n", tname);
+    std::printf("  pop/sigma:   pop50/0.2=%.4g  pop100/0.5=%.4g  "
+                "pop20/0.1=%.4g\n",
+                run(task, [](aibo::AiboConfig&) {}),
+                run(task,
+                    [](aibo::AiboConfig& c) {
+                      c.ga.population = 100;
+                      c.cmaes.sigma0 = 0.5;
+                    }),
+                run(task, [](aibo::AiboConfig& c) {
+                  c.ga.population = 20;
+                  c.cmaes.sigma0 = 0.1;
+                }));
+    std::printf("  k/n:         k100/n1=%.4g  k300/n3=%.4g  k30/n1=%.4g\n",
+                run(task, [](aibo::AiboConfig&) {}),
+                run(task,
+                    [](aibo::AiboConfig& c) {
+                      c.k = 300;
+                      c.n_top = 3;
+                    }),
+                run(task, [](aibo::AiboConfig& c) { c.k = 30; }));
+    std::printf("  batch:       q1=%.4g  q5=%.4g  q10=%.4g\n",
+                run(task, [](aibo::AiboConfig&) {}),
+                run(task, [](aibo::AiboConfig& c) { c.batch_size = 5; }),
+                run(task, [](aibo::AiboConfig& c) { c.batch_size = 10; }));
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 4.3: is the AF or the AF *maximiser* the bottleneck? On the
+// high-dimensional Ackley function, BO-grad's AF-based selection is
+// compared against picking randomly among the maximiser's candidates and
+// against an oracle that picks the candidate with the best true value —
+// with few and with many random restarts.
+// Paper shape: AF-based ~= oracle > random selection at both restart
+// counts, and more restarts do not help: the *candidate pool* (i.e. the
+// initialisation) is the limiting factor.
+
+#include <cstdio>
+
+#include "bench/aibo_runner.hpp"
+#include "bench/bench_common.hpp"
+
+using namespace citroen;
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  const int budget = args.budget ? args.budget : args.pick(150, 400);
+  const int seeds = args.seeds ? args.seeds : args.pick(3, 10);
+  const int dim = args.pick(30, 100);
+  bench::header("Figure 4.3", "AF-based vs random vs oracle selection",
+                "AF selection ~= oracle selection >> random selection; "
+                "extra restarts do not close the gap");
+  std::printf("task=ackley%d, budget=%d, %d seeds\n\n", dim, budget, seeds);
+
+  const auto task = synth::make_synthetic("ackley", dim);
+  // Each restart is modelled as its own randomly-initialised maximiser
+  // run, so the selection policy genuinely chooses among `restarts`
+  // independent candidates (the paper contrasts 10 vs 1000 restarts; the
+  // reduced scale contrasts 4 vs 12).
+  for (const int restarts : {args.pick(4, 10), args.pick(12, 100)}) {
+    std::printf("---- %d gradient restarts ----\n", restarts);
+    for (const auto sel : {aibo::AiboConfig::Selection::ByAf,
+                           aibo::AiboConfig::Selection::Random,
+                           aibo::AiboConfig::Selection::Oracle}) {
+      const char* name = sel == aibo::AiboConfig::Selection::ByAf
+                             ? "AF-based selection"
+                             : sel == aibo::AiboConfig::Selection::Random
+                                   ? "random selection"
+                                   : "oracle selection";
+      std::vector<Vec> curves;
+      for (int s = 0; s < seeds; ++s) {
+        auto cfg = bench::ch4_config(budget);
+        cfg.members.assign(static_cast<std::size_t>(restarts), "random");
+        cfg.k = 40;  // raw candidates per restart
+        cfg.candidate_selection = sel;
+        aibo::Aibo bo(task.box, cfg, static_cast<std::uint64_t>(s) + 1);
+        curves.push_back(bo.run(task.f, budget).best_curve);
+      }
+      const auto agg = bench::aggregate(curves);
+      bench::print_curve(name, agg.mean_curve, 6);
+    }
+  }
+  std::printf(
+      "\nnote: with one member, AF/random/oracle differ only through the "
+      "restart pool; the residual gap to 0 shows the pool itself limits "
+      "BO-grad (AIBO's thesis).\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 4.4: compiler flag selection — AIBO vs. BO-grad on the binary
+// flag task over telecom_gsm (continuous embedding of on/off flags).
+// Paper shape: AIBO's curve converges faster and lower (runtime relative
+// to -O3 on the y-axis; lower is better).
+
+#include <cstdio>
+
+#include "bench/aibo_runner.hpp"
+#include "bench/bench_common.hpp"
+#include "synth/flag_task.hpp"
+
+using namespace citroen;
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  const int budget = args.budget ? args.budget : args.pick(60, 400);
+  const int seeds = args.seeds ? args.seeds : args.pick(3, 10);
+  bench::header("Figure 4.4", "compiler flag selection (AIBO vs BO-grad)",
+                "AIBO reaches lower program runtime with fewer samples");
+  std::printf("flags=%zu, budget=%d, %d seeds; y = runtime / O3 (lower "
+              "is better)\n\n",
+              synth::flag_task_dim(), budget, seeds);
+
+  const auto task = synth::make_flag_task("telecom_gsm", "x86");
+  for (const char* method : {"aibo", "bo-grad", "random"}) {
+    std::vector<Vec> curves;
+    for (int s = 0; s < seeds; ++s)
+      curves.push_back(bench::run_ch4_method(
+          method, task, budget, static_cast<std::uint64_t>(s) + 1));
+    const auto agg = bench::aggregate(curves);
+    bench::print_curve(method, agg.mean_curve, 6);
+    std::printf("    final: %.4f±%.4f\n", agg.mean_final, agg.std_final);
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 4.6: real-world tasks (proxies; see DESIGN.md) — AIBO vs. the
+// baselines. Objectives are minimised (reward tasks are negated).
+
+#include <cstdio>
+
+#include "bench/aibo_runner.hpp"
+#include "bench/bench_common.hpp"
+
+using namespace citroen;
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  const int budget = args.budget ? args.budget : args.pick(60, 500);
+  const int seeds = args.seeds ? args.seeds : args.pick(2, 10);
+  bench::header("Figure 4.6", "real-world tasks (lower is better)",
+                "AIBO improves BO-grad everywhere and wins most tasks");
+  std::printf("budget=%d, %d seeds\n\n", budget, seeds);
+
+  const char* methods[] = {"aibo", "bo-grad", "turbo", "hesbo", "cmaes",
+                           "ga", "random"};
+  const char* tasks[] = {"push14", "rover60", "nas36", "cheetah102",
+                         "lasso180"};
+  for (const char* tname : tasks) {
+    const auto task = synth::make_task(tname);
+    std::printf("%-12s", tname);
+    for (const char* m : methods) {
+      std::vector<Vec> curves;
+      for (int s = 0; s < seeds; ++s)
+        curves.push_back(bench::run_ch4_method(
+            m, task, budget, static_cast<std::uint64_t>(s) + 1));
+      const auto agg = bench::aggregate(curves);
+      std::printf(" %s=%.4g", m, agg.mean_final);
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  return 0;
+}

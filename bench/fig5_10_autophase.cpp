@@ -1,0 +1,57 @@
+// Figure 5.10: CITROEN vs. an Autophase-style tuner on an *older*
+// compiler (the paper uses LLVM 10; here, the reduced "legacy" pass set
+// without slp-vectorizer / function-attrs / div-rem-pairs).
+// Paper shape: CITROEN still wins, though the gap narrows because the
+// older pass set has fewer statistics-revealing interactions.
+
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "bench/tuner_runner.hpp"
+#include "passes/pass.hpp"
+
+using namespace citroen;
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  const int budget = args.budget ? args.budget : args.pick(40, 100);
+  const int seeds = args.seeds ? args.seeds : args.pick(2, 5);
+  bench::header("Figure 5.10", "older compiler (legacy pass set)",
+                "CITROEN > Autophase-style tuner on LLVM 10 as well");
+  std::printf("budget=%d, %d seeds; legacy pass space: %zu passes\n\n",
+              budget, seeds, passes::legacy_pass_names().size());
+
+  const std::vector<std::string> programs =
+      args.full ? bench_suite::cbench_names()
+                : std::vector<std::string>{"telecom_gsm", "security_sha",
+                                           "office_stringsearch"};
+
+  std::printf("%-22s %20s %20s\n", "program", "citroen(legacy)",
+              "autophase(legacy)");
+  std::vector<double> f_citroen, f_auto;
+  for (const auto& prog : programs) {
+    std::vector<Vec> c1, c2;
+    for (int s = 0; s < seeds; ++s) {
+      c1.push_back(bench::run_citroen_once(
+          prog, "arm", budget, static_cast<std::uint64_t>(s) + 1,
+          [](core::CitroenConfig& c) {
+            c.pass_space = passes::legacy_pass_names();
+          }));
+      c2.push_back(bench::run_citroen_once(
+          prog, "arm", budget, static_cast<std::uint64_t>(s) + 1,
+          [](core::CitroenConfig& c) {
+            c.pass_space = passes::legacy_pass_names();
+            c.features = core::CitroenConfig::Features::Autophase;
+          }));
+    }
+    const auto a1 = bench::aggregate(c1);
+    const auto a2 = bench::aggregate(c2);
+    f_citroen.push_back(a1.mean_final);
+    f_auto.push_back(a2.mean_final);
+    std::printf("%-22s %14.3f±%.3f %14.3f±%.3f\n", prog.c_str(),
+                a1.mean_final, a1.std_final, a2.mean_final, a2.std_final);
+  }
+  std::printf("%-22s %20.3f %20.3f\n", "GEOMEAN", geomean(f_citroen),
+              geomean(f_auto));
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 5.11: hyper-parameter sensitivity of CITROEN — UCB beta,
+// coverage weight, candidates per iteration, and maximum sequence length.
+// Paper shape: performance is stable across a broad range; only extreme
+// settings (no exploration, tiny candidate pools) hurt.
+
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "bench/tuner_runner.hpp"
+
+using namespace citroen;
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  const int budget = args.budget ? args.budget : args.pick(35, 100);
+  const int seeds = args.seeds ? args.seeds : args.pick(2, 5);
+  bench::header("Figure 5.11", "hyper-parameter sensitivity",
+                "flat response over a broad range of each knob");
+  std::printf("budget=%d, %d seeds, program=telecom_gsm\n\n", budget, seeds);
+
+  auto sweep = [&](const char* knob,
+                   const std::vector<std::pair<std::string,
+                       std::function<void(core::CitroenConfig&)>>>& values) {
+    std::printf("%s:\n", knob);
+    for (const auto& [label, tweak] : values) {
+      std::vector<Vec> curves;
+      for (int s = 0; s < seeds; ++s)
+        curves.push_back(bench::run_citroen_once(
+            "telecom_gsm", "arm", budget,
+            static_cast<std::uint64_t>(s) + 1, tweak));
+      const auto agg = bench::aggregate(curves);
+      std::printf("  %-16s %.3f±%.3f\n", label.c_str(), agg.mean_final,
+                  agg.std_final);
+    }
+  };
+
+  sweep("UCB beta", {
+    {"beta=0.5", [](core::CitroenConfig& c) { c.af.beta = 0.5; }},
+    {"beta=1.96", [](core::CitroenConfig& c) { c.af.beta = 1.96; }},
+    {"beta=4", [](core::CitroenConfig& c) { c.af.beta = 4.0; }},
+    {"beta=9", [](core::CitroenConfig& c) { c.af.beta = 9.0; }},
+  });
+  sweep("coverage weight", {
+    {"w=0", [](core::CitroenConfig& c) { c.coverage_weight = 0.0; }},
+    {"w=0.1", [](core::CitroenConfig& c) { c.coverage_weight = 0.1; }},
+    {"w=0.25", [](core::CitroenConfig& c) { c.coverage_weight = 0.25; }},
+    {"w=1.0", [](core::CitroenConfig& c) { c.coverage_weight = 1.0; }},
+  });
+  sweep("candidates/iter", {
+    {"cands=4", [](core::CitroenConfig& c) { c.candidates_per_iter = 4; }},
+    {"cands=12", [](core::CitroenConfig& c) { c.candidates_per_iter = 12; }},
+    {"cands=24", [](core::CitroenConfig& c) { c.candidates_per_iter = 24; }},
+  });
+  sweep("max sequence length", {
+    {"len=20", [](core::CitroenConfig& c) { c.max_seq_len = 20; }},
+    {"len=60", [](core::CitroenConfig& c) { c.max_seq_len = 60; }},
+    {"len=100", [](core::CitroenConfig& c) { c.max_seq_len = 100; }},
+  });
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 5.12: average proportion of algorithmic runtime — how tuning
+// wall-clock splits between runtime measurements, candidate compilation,
+// and cost-model maintenance. Paper shape: measurements dominate;
+// modelling overhead is a small fraction, which is exactly why trading
+// compiles for measurements pays off.
+
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "bench_suite/suite.hpp"
+#include "citroen/tuner.hpp"
+#include "sim/evaluator.hpp"
+#include "sim/machine.hpp"
+
+using namespace citroen;
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  const int budget = args.budget ? args.budget : args.pick(40, 100);
+  bench::header("Figure 5.12", "algorithmic runtime breakdown",
+                "measurement >> compile > model; model overhead is minor");
+
+  std::printf("%-22s %9s %9s %9s %9s %9s\n", "program", "measure%",
+              "compile%", "model%", "cache", "invalid");
+  for (const auto& info : bench_suite::benchmark_list()) {
+    sim::ProgramEvaluator eval(bench_suite::make_program(info.name),
+                               sim::arm_a57_model());
+    core::CitroenConfig cfg;
+    cfg.budget = budget;
+    cfg.initial_random = budget / 5;
+    cfg.seed = 1;
+    cfg.gp.fit_steps = 6;
+    core::CitroenTuner tuner(eval, cfg);
+    const auto r = tuner.run();
+    const double total =
+        r.measure_seconds + r.compile_seconds + r.model_seconds + 1e-12;
+    std::printf("%-22s %8.1f%% %8.1f%% %8.1f%% %9d %9d\n",
+                info.name.c_str(), 100.0 * r.measure_seconds / total,
+                100.0 * r.compile_seconds / total,
+                100.0 * r.model_seconds / total, r.cache_hits, r.invalid);
+  }
+  std::printf(
+      "\nnote: the simulator compresses measurement time relative to real "
+      "hardware, so compile%% is inflated vs. the paper's chart; the "
+      "ordering of the components is the comparable shape.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 5.6: average speedup over -O3 of CITROEN vs. the competing
+// tuners on the cBench and SPEC suites (both machine models).
+// Paper shape: CITROEN wins on average; up to 17% over random and ~10%
+// over the strongest baseline at a budget of 100 measurements; ~6% over
+// -O3 on SPEC.
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_common.hpp"
+#include "bench/tuner_runner.hpp"
+
+using namespace citroen;
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  const int budget = args.budget ? args.budget : args.pick(60, 100);
+  const int seeds = args.seeds ? args.seeds : args.pick(3, 5);
+  bench::header("Figure 5.6", "main comparison: avg speedup over -O3",
+                "CITROEN > BOCA/OpenTuner/GA/DES > random; CITROEN up to "
+                "17% over random, ~10% over the strongest baseline");
+  std::printf("budget=%d measurements, %d seeds\n\n", budget, seeds);
+
+  for (const auto& [suite, names, machine] :
+       {std::tuple{std::string("cBench"), bench_suite::cbench_names(),
+                   std::string("arm")},
+        std::tuple{std::string("SPEC"), bench_suite::spec_names(),
+                   std::string("x86")}}) {
+    std::printf("---- %s (machine: %s) ----\n", suite.c_str(),
+                machine.c_str());
+    std::map<std::string, std::vector<double>> finals;  // tuner -> per prog
+    for (const auto& prog : names) {
+      const auto methods =
+          bench::run_all_tuners(prog, machine, budget, seeds);
+      std::printf("%-22s", prog.c_str());
+      for (const auto& m : methods) {
+        const auto agg = bench::aggregate(m.curves);
+        finals[m.name].push_back(agg.mean_final);
+        std::printf("  %s=%.3f", m.name.c_str(), agg.mean_final);
+      }
+      std::printf("\n");
+    }
+    std::printf("%-22s", "GEOMEAN");
+    for (const auto& [tuner, vals] : std::map<std::string,
+                                              std::vector<double>>(finals)) {
+      std::printf("  %s=%.3f", tuner.c_str(), geomean(vals));
+    }
+    std::printf("\n\n");
+  }
+  return 0;
+}

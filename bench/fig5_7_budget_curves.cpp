@@ -1,0 +1,65 @@
+// Figure 5.7: best-so-far speedup vs. search-iteration budget on cBench
+// and SPEC. Paper shape: CITROEN reaches the other tuners' final quality
+// with ~1/3 of their measurement budget.
+
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "bench/tuner_runner.hpp"
+
+using namespace citroen;
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  const int budget = args.budget ? args.budget : args.pick(60, 300);
+  const int seeds = args.seeds ? args.seeds : args.pick(3, 5);
+  bench::header("Figure 5.7", "speedup vs. iteration budget",
+                "CITROEN's curve dominates; it matches baselines' final "
+                "quality with ~1/3 of the budget");
+  std::printf("budget=%d, %d seeds; series are (measurements:speedup)\n\n",
+              budget, seeds);
+
+  const std::vector<std::string> programs =
+      args.full ? [] {
+        std::vector<std::string> all;
+        for (const auto& b : bench_suite::benchmark_list())
+          all.push_back(b.name);
+        return all;
+      }()
+                : std::vector<std::string>{"telecom_gsm", "spec_x264",
+                                           "automotive_susan"};
+
+  for (const auto& prog : programs) {
+    std::printf("---- %s ----\n", prog.c_str());
+    const auto methods = bench::run_all_tuners(prog, "arm", budget, seeds);
+    Vec citroen_curve;
+    for (const auto& m : methods) {
+      const auto agg = bench::aggregate(m.curves);
+      bench::print_curve(m.name, agg.mean_curve);
+      if (m.name == "citroen") citroen_curve = agg.mean_curve;
+    }
+    // Budget-efficiency readout (the paper's 1/3-budget claim): for each
+    // baseline, the share of the budget CITROEN needed to match that
+    // baseline's *final* quality.
+    std::printf("  => budget to match each baseline's final:");
+    for (const auto& m : methods) {
+      if (m.name == "citroen") continue;
+      const double target = bench::aggregate(m.curves).mean_final;
+      std::size_t needed = citroen_curve.size();
+      for (std::size_t i = 0; i < citroen_curve.size(); ++i) {
+        if (citroen_curve[i] >= target) {
+          needed = i + 1;
+          break;
+        }
+      }
+      const bool matched = !citroen_curve.empty() &&
+                           citroen_curve[needed - 1] >= target;
+      std::printf(" %s=%.0f%%%s", m.name.c_str(),
+                  100.0 * static_cast<double>(needed) /
+                      static_cast<double>(budget),
+                  matched ? "" : "(unmatched)");
+    }
+    std::printf("\n\n");
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 5.8: ablation of CITROEN's components — full system vs.
+//   (a) no statistics features (raw sequence encoding instead),
+//   (b) no coverage-aware acquisition,
+//   (c) no heuristic candidate generator (pure random proposals).
+// Paper shape: each removal degrades the tuned speedup, with the
+// statistics features mattering most.
+
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "bench/tuner_runner.hpp"
+
+using namespace citroen;
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  const int budget = args.budget ? args.budget : args.pick(40, 100);
+  const int seeds = args.seeds ? args.seeds : args.pick(2, 5);
+  bench::header("Figure 5.8", "CITROEN ablation study",
+                "full > no-coverage-AF, no-heuristic-gen > no-stats-features");
+  std::printf("budget=%d, %d seeds\n\n", budget, seeds);
+
+  struct Variant {
+    const char* name;
+    std::function<void(core::CitroenConfig&)> tweak;
+  };
+  const std::vector<Variant> variants = {
+      {"full", {}},
+      {"no-stats-features",
+       [](core::CitroenConfig& c) {
+         c.features = core::CitroenConfig::Features::RawSequence;
+       }},
+      {"no-coverage-af",
+       [](core::CitroenConfig& c) { c.coverage_af = false; }},
+      {"no-heuristic-gen",
+       [](core::CitroenConfig& c) { c.heuristic_generator = false; }},
+  };
+
+  const std::vector<std::string> programs =
+      args.full ? bench_suite::cbench_names()
+                : std::vector<std::string>{"telecom_gsm", "security_sha",
+                                           "spec_x264"};
+  std::printf("%-22s", "program");
+  for (const auto& v : variants) std::printf(" %18s", v.name);
+  std::printf("\n");
+  std::vector<std::vector<double>> finals(variants.size());
+  for (const auto& prog : programs) {
+    std::printf("%-22s", prog.c_str());
+    for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+      std::vector<Vec> curves;
+      for (int s = 0; s < seeds; ++s)
+        curves.push_back(bench::run_citroen_once(
+            prog, "arm", budget, static_cast<std::uint64_t>(s) + 1,
+            variants[vi].tweak));
+      const auto agg = bench::aggregate(curves);
+      finals[vi].push_back(agg.mean_final);
+      std::printf(" %12.3f±%.3f", agg.mean_final, agg.std_final);
+    }
+    std::printf("\n");
+  }
+  std::printf("%-22s", "GEOMEAN");
+  for (std::size_t vi = 0; vi < variants.size(); ++vi)
+    std::printf(" %18.3f", geomean(finals[vi]));
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 5.9: alternative feature-extraction methods for the cost model —
+// compilation statistics (CITROEN) vs. Autophase-style static IR counters
+// vs. the raw pass sequence. Paper shape: stats > Autophase > raw, because
+// IR counters miss pass effects like function-attrs (Sec. 3.4).
+
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "bench/tuner_runner.hpp"
+
+using namespace citroen;
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  const int budget = args.budget ? args.budget : args.pick(40, 100);
+  const int seeds = args.seeds ? args.seeds : args.pick(2, 5);
+  bench::header("Figure 5.9", "alternative cost-model features",
+                "stats features > Autophase IR counters > raw sequence");
+  std::printf("budget=%d, %d seeds\n\n", budget, seeds);
+
+  using F = core::CitroenConfig::Features;
+  const std::vector<std::pair<const char*, F>> feats = {
+      {"stats", F::Stats},
+      {"autophase", F::Autophase},
+      {"raw-sequence", F::RawSequence},
+  };
+  const std::vector<std::string> programs =
+      args.full ? bench_suite::cbench_names()
+                : std::vector<std::string>{"telecom_gsm", "spec_deepsjeng",
+                                           "bzip2"};
+
+  std::printf("%-22s %14s %14s %14s\n", "program", "stats", "autophase",
+              "raw-sequence");
+  std::vector<std::vector<double>> finals(feats.size());
+  for (const auto& prog : programs) {
+    std::printf("%-22s", prog.c_str());
+    for (std::size_t fi = 0; fi < feats.size(); ++fi) {
+      std::vector<Vec> curves;
+      for (int s = 0; s < seeds; ++s) {
+        const F f = feats[fi].second;
+        curves.push_back(bench::run_citroen_once(
+            prog, "arm", budget, static_cast<std::uint64_t>(s) + 1,
+            [f](core::CitroenConfig& c) { c.features = f; }));
+      }
+      const auto agg = bench::aggregate(curves);
+      finals[fi].push_back(agg.mean_final);
+      std::printf(" %9.3f±%.3f", agg.mean_final, agg.std_final);
+    }
+    std::printf("\n");
+  }
+  std::printf("%-22s", "GEOMEAN");
+  for (std::size_t fi = 0; fi < feats.size(); ++fi)
+    std::printf(" %14.3f", geomean(finals[fi]));
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Library micro-benchmarks (google-benchmark): interpreter throughput,
+// -O3 pipeline compile time, GP fitting, and one CITROEN iteration's
+// candidate-scoring path. These guard the substrate's performance, which
+// the experiment harnesses depend on.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_suite/suite.hpp"
+#include "citroen/features.hpp"
+#include "gp/gp.hpp"
+#include "ir/interpreter.hpp"
+#include "passes/pass.hpp"
+#include "sim/evaluator.hpp"
+#include "sim/machine.hpp"
+#include "support/rng.hpp"
+
+using namespace citroen;
+
+static void BM_Interpret(benchmark::State& state) {
+  auto p = bench_suite::make_program("telecom_gsm");
+  std::uint64_t instrs = 0;
+  for (auto _ : state) {
+    const auto r = ir::interpret(p);
+    instrs += r.instructions;
+    benchmark::DoNotOptimize(r.cycles);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(instrs));
+}
+BENCHMARK(BM_Interpret);
+
+static void BM_O3Pipeline(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto p = bench_suite::make_program("telecom_gsm");
+    state.ResumeTiming();
+    for (auto& m : p.modules)
+      passes::run_sequence(m, passes::o3_sequence());
+  }
+}
+BENCHMARK(BM_O3Pipeline);
+
+static void BM_EvaluatorRoundTrip(benchmark::State& state) {
+  sim::ProgramEvaluator ev(bench_suite::make_program("security_sha"),
+                           sim::arm_a57_model());
+  Rng rng(1);
+  const auto& space = passes::PassRegistry::instance().pass_names();
+  for (auto _ : state) {
+    std::vector<std::string> seq;
+    for (int i = 0; i < 20; ++i)
+      seq.push_back(space[rng.uniform_index(space.size())]);
+    const auto out = ev.evaluate({{"sha", seq}});
+    benchmark::DoNotOptimize(out.speedup);
+  }
+}
+BENCHMARK(BM_EvaluatorRoundTrip);
+
+static void BM_GpFit(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t d = 40;
+  Rng rng(2);
+  std::vector<Vec> xs;
+  Vec ys;
+  for (std::size_t i = 0; i < n; ++i) {
+    Vec x(d);
+    for (auto& v : x) v = rng.uniform();
+    ys.push_back(x[0] * x[1] + rng.normal(0.0, 0.01));
+    xs.push_back(std::move(x));
+  }
+  gp::GpConfig cfg;
+  cfg.fit_steps = 5;
+  for (auto _ : state) {
+    gp::GaussianProcess model(d, cfg);
+    model.fit(xs, ys);
+    benchmark::DoNotOptimize(model.log_marginal_likelihood());
+  }
+}
+BENCHMARK(BM_GpFit)->Arg(50)->Arg(150);
+
+static void BM_StatsFeatureExtraction(benchmark::State& state) {
+  sim::ProgramEvaluator ev(bench_suite::make_program("telecom_gsm"),
+                           sim::arm_a57_model());
+  const auto co = ev.compile(
+      {{"long_term", {"mem2reg", "slp-vectorizer", "dce"}}});
+  const core::StatsFeatures feat;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(feat.extract(co.stats));
+  }
+}
+BENCHMARK(BM_StatsFeatureExtraction);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+// Table 5.4: the benchmark programs, their modules, hot-module profile,
+// and baseline dynamic sizes — the suite standing in for cBench and SPEC
+// CPU 2017 (see DESIGN.md "Substitutions").
+
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "bench_suite/suite.hpp"
+#include "ir/interpreter.hpp"
+#include "sim/evaluator.hpp"
+#include "sim/machine.hpp"
+
+using namespace citroen;
+
+int main(int argc, char** argv) {
+  (void)bench::Args::parse(argc, argv);
+  bench::header("Table 5.4", "benchmarks used in evaluation",
+                "cBench + SPEC CPU 2017 programs; multi-module with "
+                "distinct optimisation affinities");
+
+  std::printf("%-22s %-7s %3s %12s %9s  hot modules (runtime share)\n",
+              "program", "suite", "#M", "dyn.instrs", "O3-gain");
+  for (const auto& info : bench_suite::benchmark_list()) {
+    auto p = bench_suite::make_program(info.name);
+    const auto base = ir::interpret(p);
+    sim::ProgramEvaluator eval(bench_suite::make_program(info.name),
+                               sim::arm_a57_model());
+    std::printf("%-22s %-7s %3zu %12llu %8.2fx  ", info.name.c_str(),
+                info.suite.c_str(), p.modules.size(),
+                static_cast<unsigned long long>(base.instructions),
+                eval.o0_cycles() / eval.o3_cycles());
+    for (const auto& [m, frac] : eval.hot_modules()) {
+      if (frac > 0.03) std::printf("%s:%.0f%% ", m.c_str(), 100.0 * frac);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+#pragma once
+// Helper used by the Ch. 5 comparison benches: run every phase-ordering
+// tuner on a program and return their best-so-far speedup curves.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "baselines/tuners.hpp"
+#include "bench_suite/suite.hpp"
+#include "citroen/tuner.hpp"
+#include "sim/machine.hpp"
+#include "support/matrix.hpp"
+
+namespace citroen::bench {
+
+struct MethodCurves {
+  std::string name;
+  std::vector<Vec> curves;  ///< one per seed
+};
+
+inline core::CitroenConfig default_citroen_config(int budget,
+                                                  std::uint64_t seed) {
+  core::CitroenConfig cfg;
+  cfg.budget = budget;
+  cfg.initial_random = std::max(4, budget / 6);
+  cfg.candidates_per_iter = 16;
+  cfg.gp.fit_steps = 6;
+  cfg.seed = seed;
+  return cfg;
+}
+
+inline Vec run_citroen_once(const std::string& program,
+                            const std::string& machine, int budget,
+                            std::uint64_t seed,
+                            const std::function<void(core::CitroenConfig&)>&
+                                tweak = {}) {
+  sim::ProgramEvaluator eval(bench_suite::make_program(program),
+                             sim::machine_by_name(machine));
+  auto cfg = default_citroen_config(budget, seed);
+  if (tweak) tweak(cfg);
+  core::CitroenTuner tuner(eval, cfg);
+  return tuner.run().speedup_curve;
+}
+
+/// Run {citroen, boca, opentuner, ga, des, random} over `seeds` repeats.
+inline std::vector<MethodCurves> run_all_tuners(const std::string& program,
+                                                const std::string& machine,
+                                                int budget, int seeds) {
+  std::vector<MethodCurves> out;
+  out.push_back({"citroen", {}});
+  for (int s = 0; s < seeds; ++s)
+    out.back().curves.push_back(run_citroen_once(
+        program, machine, budget, static_cast<std::uint64_t>(s) + 1));
+
+  using Runner = baselines::TuneTrace (*)(sim::ProgramEvaluator&,
+                                          const baselines::PhaseTunerConfig&);
+  const std::pair<const char*, Runner> tuners[] = {
+      {"boca", baselines::run_rf_bo_tuner},
+      {"opentuner", baselines::run_ensemble_tuner},
+      {"ga", baselines::run_ga_tuner},
+      {"des", baselines::run_des_tuner},
+      {"random", baselines::run_random_search},
+  };
+  for (const auto& [name, fn] : tuners) {
+    MethodCurves mc{name, {}};
+    for (int s = 0; s < seeds; ++s) {
+      sim::ProgramEvaluator eval(bench_suite::make_program(program),
+                                 sim::machine_by_name(machine));
+      baselines::PhaseTunerConfig cfg;
+      cfg.budget = budget;
+      cfg.seed = static_cast<std::uint64_t>(s) + 1;
+      mc.curves.push_back(fn(eval, cfg).speedup_curve);
+    }
+    out.push_back(std::move(mc));
+  }
+  return out;
+}
+
+}  // namespace citroen::bench

@@ -1,0 +1,60 @@
+// Compare every autotuner in the library on one benchmark — the
+// five-minute version of the paper's Fig. 5.6 for a single program.
+//
+//   $ ./compare_tuners [benchmark] [budget] [machine]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/tuners.hpp"
+#include "bench_suite/suite.hpp"
+#include "citroen/tuner.hpp"
+#include "sim/machine.hpp"
+
+using namespace citroen;
+
+int main(int argc, char** argv) {
+  const std::string benchmark = argc > 1 ? argv[1] : "spec_x264";
+  const int budget = argc > 2 ? std::atoi(argv[2]) : 60;
+  const std::string machine = argc > 3 ? argv[3] : "arm";
+
+  std::printf("%-12s best-so-far speedup over -O3 (budget %d)\n\n",
+              benchmark.c_str(), budget);
+
+  // CITROEN.
+  {
+    sim::ProgramEvaluator ev(bench_suite::make_program(benchmark),
+                             sim::machine_by_name(machine));
+    core::CitroenConfig cfg;
+    cfg.budget = budget;
+    cfg.seed = 1;
+    core::CitroenTuner tuner(ev, cfg);
+    const auto r = tuner.run();
+    std::printf("  %-12s %.3fx  (measurements split:", "citroen",
+                r.best_speedup);
+    for (const auto& [m, n] : r.measurements_per_module)
+      std::printf(" %s=%d", m.c_str(), n);
+    std::printf(")\n");
+  }
+
+  // The baselines.
+  using Runner = baselines::TuneTrace (*)(sim::ProgramEvaluator&,
+                                          const baselines::PhaseTunerConfig&);
+  const std::pair<const char*, Runner> tuners[] = {
+      {"boca", baselines::run_rf_bo_tuner},
+      {"opentuner", baselines::run_ensemble_tuner},
+      {"ga", baselines::run_ga_tuner},
+      {"des", baselines::run_des_tuner},
+      {"random", baselines::run_random_search},
+  };
+  for (const auto& [name, fn] : tuners) {
+    sim::ProgramEvaluator ev(bench_suite::make_program(benchmark),
+                             sim::machine_by_name(machine));
+    baselines::PhaseTunerConfig cfg;
+    cfg.budget = budget;
+    cfg.seed = 1;
+    const auto t = fn(ev, cfg);
+    std::printf("  %-12s %.3fx\n", name, t.best_speedup);
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Compiler-library usage: build a function with the IRBuilder, compile it
+// with custom pass sequences, and inspect the IR, the statistics, and the
+// modelled runtime — the paper's Fig. 5.1 walked end to end.
+
+#include <cstdio>
+
+#include "ir/builder.hpp"
+#include "ir/interpreter.hpp"
+#include "ir/printer.hpp"
+#include "passes/pass.hpp"
+
+using namespace citroen;
+using namespace citroen::ir;
+
+namespace {
+
+/// result = sum_{j<8} w[j] * d[j] over i16 data (Fig. 5.1a).
+Module make_dot_module() {
+  Module m;
+  m.name = "demo";
+  m.globals.push_back(GlobalVar{"w", std::vector<std::uint8_t>(16, 1)});
+  m.globals.push_back(GlobalVar{"d", std::vector<std::uint8_t>(16, 2)});
+  create_function(m, "main", kI64, {}, false);
+  IRBuilder b(m.functions[0]);
+  b.set_insert(0);
+  const ValueId acc = b.stack_alloc(kI64);
+  b.store(b.const_i64(0), acc);
+  const ValueId w = b.global_addr(0);
+  const ValueId d = b.global_addr(1);
+  for (int j = 0; j < 8; ++j) {
+    const ValueId wj = b.load(kI16, b.gep(w, b.const_i64(j), kI16));
+    const ValueId dj = b.load(kI16, b.gep(d, b.const_i64(j), kI16));
+    const ValueId mj = b.binop(Opcode::Mul, b.cast(Opcode::SExt, wj, kI32),
+                               b.cast(Opcode::SExt, dj, kI32));
+    const ValueId ej = b.cast(Opcode::SExt, mj, kI64);
+    b.store(b.binop(Opcode::Add, b.load(kI64, acc), ej), acc);
+  }
+  b.ret(b.load(kI64, acc));
+  return m;
+}
+
+void compile_and_report(const std::vector<std::string>& seq) {
+  Program p;
+  p.modules.push_back(make_dot_module());
+  const auto base = interpret(p);
+
+  auto stats = passes::run_sequence(p.modules[0], seq, /*verify_each=*/true);
+  const auto opt = interpret(p);
+
+  std::printf("sequence:");
+  for (const auto& s : seq) std::printf(" %s", s.c_str());
+  std::printf("\n  output %lld -> %lld (%s), cycles %.0f -> %.0f (%.2fx)\n",
+              static_cast<long long>(base.ret),
+              static_cast<long long>(opt.ret),
+              base.ret == opt.ret ? "match" : "MISMATCH", base.cycles,
+              opt.cycles, base.cycles / opt.cycles);
+  std::printf("  slp.NumVectorInstrs=%lld  instcombine.NumWidenedMul=%lld\n",
+              static_cast<long long>(stats.get("slp.NumVectorInstrs")),
+              static_cast<long long>(
+                  stats.get("instcombine.NumWidenedMul")));
+}
+
+}  // namespace
+
+int main() {
+  {
+    Program p;
+    p.modules.push_back(make_dot_module());
+    std::printf("---- unoptimised IR ----\n%s\n",
+                print_module(p.modules[0]).c_str());
+  }
+  compile_and_report({"mem2reg", "slp-vectorizer", "dce"});
+  compile_and_report({"mem2reg", "instcombine", "slp-vectorizer", "dce"});
+
+  // Show the vectorised IR.
+  Program p;
+  p.modules.push_back(make_dot_module());
+  passes::run_sequence(p.modules[0], {"mem2reg", "slp-vectorizer", "dce"});
+  std::printf("\n---- after mem2reg, slp-vectorizer, dce ----\n%s",
+              print_module(p.modules[0]).c_str());
+  return 0;
+}

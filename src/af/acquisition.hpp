@@ -1,0 +1,82 @@
+#pragma once
+// Acquisition functions over a GP posterior (minimisation convention:
+// lower objective is better; the AF itself is MAXIMISED).
+//
+//   UCB(x) = -mu(x) + sqrt(beta) * sigma(x)        (eq. 4.1)
+//   EI(x)  = (best - mu) Phi(z) + sigma phi(z),  z = (best - mu)/sigma
+//   PI(x)  = Phi(z)
+//
+// Analytic values and input gradients serve the multi-start gradient
+// maximiser; a Monte-Carlo estimator (reparameterised joint posterior
+// samples, Sec. 2.1.2) supports batch (q > 1) greedy-sequential
+// selection.
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "gp/gp.hpp"
+#include "support/rng.hpp"
+
+namespace citroen::af {
+
+enum class AfKind { UCB, EI, PI };
+
+struct AfConfig {
+  AfKind kind = AfKind::UCB;
+  double beta = 1.96;   ///< UCB exploration weight (beta_t)
+  int mc_samples = 64;  ///< Monte-Carlo sample count for batch AFs
+};
+
+/// Analytic acquisition over a fitted GP.
+class Acquisition {
+ public:
+  Acquisition(const gp::GaussianProcess* model, AfConfig config,
+              double best_y)
+      : model_(model), config_(config), best_y_(best_y) {}
+
+  double value(const Vec& x) const;
+
+  /// Value and gradient w.r.t. x.
+  std::pair<double, Vec> value_grad(const Vec& x) const;
+
+  const AfConfig& config() const { return config_; }
+  double best_y() const { return best_y_; }
+  const gp::GaussianProcess* model() const { return model_; }
+
+ private:
+  const gp::GaussianProcess* model_;
+  AfConfig config_;
+  double best_y_;
+};
+
+/// Monte-Carlo batch acquisition with greedy-sequential pending points
+/// (qEI / qUCB via the reparameterisation trick). The base normal draws
+/// are fixed per instance, so the estimator is deterministic and smooth
+/// across candidate evaluations.
+class McAcquisition {
+ public:
+  McAcquisition(const gp::GaussianProcess* model, AfConfig config,
+                double best_y, std::uint64_t seed = 7);
+
+  /// qAF value of pending + {x} (joint, reparameterised).
+  double value(const Vec& x) const;
+
+  /// Commit a selected point to the pending set.
+  void add_pending(const Vec& x);
+
+  std::size_t num_pending() const { return pending_.size(); }
+
+ private:
+  const gp::GaussianProcess* model_;
+  AfConfig config_;
+  double best_y_;
+  std::vector<Vec> pending_;
+  std::vector<Vec> base_normals_;  ///< mc_samples x (q_max) draws
+};
+
+/// Standard normal pdf/cdf helpers.
+double normal_pdf(double z);
+double normal_cdf(double z);
+
+}  // namespace citroen::af

@@ -1,0 +1,82 @@
+#include "af/maximizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "heuristics/cmaes.hpp"
+
+namespace citroen::af {
+
+std::pair<Vec, double> ascend(const Acquisition& af, Vec start,
+                              const heuristics::Box& box,
+                              const GradMaximizerConfig& config) {
+  const std::size_t d = start.size();
+  Vec x = box.clamp(std::move(start));
+  Vec best_x = x;
+  double best_v = af.value(x);
+
+  Vec m(d, 0.0), v(d, 0.0);
+  const double b1 = 0.9, b2 = 0.999, eps = 1e-8;
+  for (int step = 1; step <= config.steps; ++step) {
+    const auto [val, g] = af.value_grad(x);
+    if (val > best_v) {
+      best_v = val;
+      best_x = x;
+    }
+    for (std::size_t i = 0; i < d; ++i) {
+      m[i] = b1 * m[i] + (1 - b1) * g[i];
+      v[i] = b2 * v[i] + (1 - b2) * g[i] * g[i];
+      const double mh = m[i] / (1 - std::pow(b1, step));
+      const double vh = v[i] / (1 - std::pow(b2, step));
+      const double range = box.upper[i] - box.lower[i];
+      x[i] += config.learning_rate * range * mh / (std::sqrt(vh) + eps);
+      x[i] = std::clamp(x[i], box.lower[i], box.upper[i]);
+    }
+  }
+  const double final_v = af.value(x);
+  if (final_v > best_v) {
+    best_v = final_v;
+    best_x = x;
+  }
+  return {best_x, best_v};
+}
+
+std::pair<Vec, double> es_maximize(const Acquisition& af,
+                                   const heuristics::Box& box, int evals,
+                                   Rng& rng) {
+  heuristics::CmaEs es(box);
+  Vec best_x = box.sample(rng);
+  double best_v = af.value(best_x);
+  int used = 1;
+  while (used < evals) {
+    const auto batch = es.ask(std::min(8, evals - used), rng);
+    for (const auto& x : batch) {
+      const double v = af.value(x);
+      es.tell(x, -v);  // the ES minimises; AF is maximised
+      if (v > best_v) {
+        best_v = v;
+        best_x = x;
+      }
+      ++used;
+    }
+  }
+  return {best_x, best_v};
+}
+
+std::pair<Vec, double> random_maximize(const Acquisition& af,
+                                       const heuristics::Box& box, int evals,
+                                       Rng& rng) {
+  Vec best_x = box.sample(rng);
+  double best_v = af.value(best_x);
+  for (int i = 1; i < evals; ++i) {
+    const Vec x = box.sample(rng);
+    const double v = af.value(x);
+    if (v > best_v) {
+      best_v = v;
+      best_x = x;
+    }
+  }
+  return {best_x, best_v};
+}
+
+}  // namespace citroen::af

@@ -1,0 +1,34 @@
+#pragma once
+// Acquisition-function maximisers: projected-gradient ascent (Adam) from
+// given start points, plus an evolutionary maximiser (CMA-ES run directly
+// on the AF, used by the BO-es baseline and the BO-cmaes_grad variant of
+// Fig. 4.13).
+
+#include "af/acquisition.hpp"
+#include "heuristics/optimizer.hpp"
+
+namespace citroen::af {
+
+struct GradMaximizerConfig {
+  int steps = 40;
+  double learning_rate = 0.05;
+};
+
+/// Ascend the AF from `start` (projected into `box`); returns the best
+/// point seen along the trajectory and its AF value.
+std::pair<Vec, double> ascend(const Acquisition& af, Vec start,
+                              const heuristics::Box& box,
+                              const GradMaximizerConfig& config);
+
+/// Maximise the AF with CMA-ES directly (no black-box history), returning
+/// the best of `evals` AF evaluations.
+std::pair<Vec, double> es_maximize(const Acquisition& af,
+                                   const heuristics::Box& box, int evals,
+                                   Rng& rng);
+
+/// Maximise the AF by pure random search over `evals` samples.
+std::pair<Vec, double> random_maximize(const Acquisition& af,
+                                       const heuristics::Box& box, int evals,
+                                       Rng& rng);
+
+}  // namespace citroen::af

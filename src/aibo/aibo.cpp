@@ -1,0 +1,289 @@
+#include "aibo/aibo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "heuristics/des.hpp"
+#include "support/timer.hpp"
+
+namespace citroen::aibo {
+
+using heuristics::Box;
+
+namespace {
+
+/// Gaussian spray around the incumbent best (Spearmint-style init).
+class GaussianSpray final : public heuristics::ContinuousOptimizer {
+ public:
+  GaussianSpray(Box box, double sigma) : box_(std::move(box)), sigma_(sigma) {}
+  std::string name() const override { return "spray"; }
+  void init(const std::vector<Vec>& xs, const Vec& ys) override {
+    for (std::size_t i = 0; i < xs.size(); ++i) tell(xs[i], ys[i]);
+  }
+  std::vector<Vec> ask(int k, Rng& rng) override {
+    std::vector<Vec> out;
+    for (int i = 0; i < k; ++i) {
+      if (best_x_.empty()) {
+        out.push_back(box_.sample(rng));
+        continue;
+      }
+      Vec x = best_x_;
+      for (std::size_t d = 0; d < x.size(); ++d) {
+        x[d] += rng.normal(0.0, sigma_ * (box_.upper[d] - box_.lower[d]));
+      }
+      out.push_back(box_.clamp(std::move(x)));
+    }
+    return out;
+  }
+  void tell(const Vec& x, double y) override {
+    if (best_x_.empty() || y < best_y_) {
+      best_x_ = x;
+      best_y_ = y;
+    }
+  }
+
+ private:
+  Box box_;
+  double sigma_;
+  Vec best_x_;
+  double best_y_ = 1e300;
+};
+
+struct Member {
+  std::string kind;
+  std::unique_ptr<heuristics::ContinuousOptimizer> opt;
+  bool boltzmann_selection = false;
+};
+
+}  // namespace
+
+Aibo::Aibo(Box box, AiboConfig config, std::uint64_t seed)
+    : box_(std::move(box)), config_(config), rng_(seed) {}
+
+Result Aibo::run(const std::function<double(const Vec&)>& objective,
+                 int budget) {
+  Result result;
+  const std::size_t d = box_.dim();
+
+  // Work internally in the unit cube: the GP and AF see [0,1]^d inputs.
+  Box unit{Vec(d, 0.0), Vec(d, 1.0)};
+  InputScaler scaler(box_.lower, box_.upper);
+  auto eval_raw = [&](const Vec& u) {
+    const Vec x = scaler.from_unit(u);
+    result.xs.push_back(x);
+    const double y = objective(x);
+    result.ys.push_back(y);
+    const double prev =
+        result.best_curve.empty() ? 1e300 : result.best_curve.back();
+    result.best_curve.push_back(std::min(prev, y));
+    return y;
+  };
+
+  // ---- initial design -----------------------------------------------------
+  std::vector<Vec> ux;  ///< unit-cube inputs
+  Vec ys;
+  const int n_init = std::min(config_.init_samples, budget);
+  for (int i = 0; i < n_init; ++i) {
+    Vec u = unit.sample(rng_);
+    ys.push_back(eval_raw(u));
+    ux.push_back(std::move(u));
+  }
+
+  // ---- members --------------------------------------------------------------
+  std::vector<Member> members;
+  for (const auto& kind : config_.members) {
+    Member m;
+    m.kind = kind;
+    if (kind == "cmaes") {
+      m.opt = std::make_unique<heuristics::CmaEs>(unit, config_.cmaes);
+    } else if (kind == "ga") {
+      m.opt = std::make_unique<heuristics::GaContinuous>(unit, config_.ga);
+    } else if (kind == "random") {
+      m.opt = std::make_unique<heuristics::RandomContinuous>(unit);
+    } else if (kind == "boltzmann") {
+      m.opt = std::make_unique<heuristics::RandomContinuous>(unit);
+      m.boltzmann_selection = true;
+    } else if (kind == "spray") {
+      m.opt = std::make_unique<GaussianSpray>(unit, config_.spray_sigma);
+    } else {
+      continue;  // unknown member kinds are ignored
+    }
+    result.member_names.push_back(kind);
+    members.push_back(std::move(m));
+  }
+  for (auto& m : members) m.opt->init(ux, ys);
+  result.af_wins.assign(members.size(), 0);
+  result.mean_wins.assign(members.size(), 0);
+  result.var_wins.assign(members.size(), 0);
+
+  gp::GaussianProcess model(d, config_.gp);
+  Stopwatch model_clock;
+  double model_time = 0.0;
+
+  int evaluated = n_init;
+  while (evaluated < budget) {
+    // ---- fit the surrogate (transformed outputs) ------------------------
+    model_clock.reset();
+    YeoJohnson yj;
+    yj.fit(ys);
+    const Vec ty = yj.transform(ys);
+    model.fit(ux, ty);
+    double best_ty = ty[0];
+    for (double v : ty) best_ty = std::min(best_ty, v);
+    const af::Acquisition acq(&model, config_.af, best_ty);
+    model_time += model_clock.seconds();
+
+    const int q = std::min(config_.batch_size, budget - evaluated);
+    std::vector<Vec> batch;
+
+    // Kriging-believer fantasies extend these copies within the batch.
+    std::vector<Vec> fant_x = ux;
+    Vec fant_y = ty;
+    gp::GaussianProcess* cur_model = &model;
+    gp::GpConfig frozen = config_.gp;
+    frozen.fit_hypers = false;
+    gp::GaussianProcess fantasy_model(d, frozen);
+
+    for (int slot = 0; slot < q; ++slot) {
+      model_clock.reset();
+      const af::Acquisition slot_acq(cur_model, config_.af, best_ty);
+
+      IterationDiag diag;
+      std::vector<Vec> candidates;
+      for (auto& m : members) {
+        // 1. raw candidates from the heuristic.
+        std::vector<Vec> raw = m.opt->ask(config_.k, rng_);
+        // 2. select n_top starts by AF value (or Boltzmann sampling).
+        std::vector<std::pair<double, std::size_t>> scored;
+        for (std::size_t i = 0; i < raw.size(); ++i)
+          scored.emplace_back(slot_acq.value(raw[i]), i);
+        std::vector<std::size_t> starts;
+        if (m.boltzmann_selection) {
+          double max_v = -1e300;
+          for (auto& [v, i] : scored) max_v = std::max(max_v, v);
+          std::vector<double> w;
+          for (auto& [v, i] : scored)
+            w.push_back(std::exp((v - max_v) / config_.boltzmann_temp));
+          for (int t = 0; t < config_.n_top; ++t)
+            starts.push_back(rng_.categorical(w));
+        } else {
+          std::sort(scored.begin(), scored.end(),
+                    [](const auto& a, const auto& b) { return a.first > b.first; });
+          for (int t = 0; t < config_.n_top &&
+                          t < static_cast<int>(scored.size());
+               ++t)
+            starts.push_back(scored[static_cast<std::size_t>(t)].second);
+        }
+        // 3. maximise the AF from each start.
+        Vec best_x;
+        double best_v = -1e300;
+        for (const std::size_t si : starts) {
+          Vec x0 = raw[si];
+          std::pair<Vec, double> r;
+          switch (config_.maximizer) {
+            case AiboConfig::Maximizer::Grad:
+              r = af::ascend(slot_acq, std::move(x0), unit, config_.grad);
+              break;
+            case AiboConfig::Maximizer::None:
+              r = {x0, slot_acq.value(x0)};
+              break;
+            case AiboConfig::Maximizer::EsGrad: {
+              auto es = af::es_maximize(slot_acq, unit, config_.af_budget,
+                                        rng_);
+              r = af::ascend(slot_acq, std::move(es.first), unit,
+                             config_.grad);
+              break;
+            }
+            case AiboConfig::Maximizer::EsOnly:
+              r = af::es_maximize(slot_acq, unit, config_.af_budget, rng_);
+              break;
+            case AiboConfig::Maximizer::RandomOnly:
+              r = af::random_maximize(slot_acq, unit, config_.af_budget,
+                                      rng_);
+              break;
+          }
+          if (r.second > best_v) {
+            best_v = r.second;
+            best_x = std::move(r.first);
+          }
+        }
+        const auto post = cur_model->predict(best_x);
+        diag.af_values.push_back(best_v);
+        diag.post_means.push_back(post.mean);
+        diag.post_vars.push_back(post.var);
+        candidates.push_back(std::move(best_x));
+        if (auto* ga = dynamic_cast<heuristics::GaContinuous*>(m.opt.get()))
+          diag.ga_diversity = ga->population_diversity();
+      }
+      model_time += model_clock.seconds();
+
+      // 4. pick the winner.
+      std::size_t win = 0;
+      switch (config_.candidate_selection) {
+        case AiboConfig::Selection::ByAf:
+          for (std::size_t i = 1; i < candidates.size(); ++i) {
+            if (diag.af_values[i] > diag.af_values[win]) win = i;
+          }
+          break;
+        case AiboConfig::Selection::Random: {
+          for (const auto& c : candidates)
+            diag.candidate_objectives.push_back(
+                objective(scaler.from_unit(c)));
+          win = rng_.uniform_index(candidates.size());
+          break;
+        }
+        case AiboConfig::Selection::Oracle: {
+          for (const auto& c : candidates)
+            diag.candidate_objectives.push_back(
+                objective(scaler.from_unit(c)));
+          for (std::size_t i = 1; i < candidates.size(); ++i) {
+            if (diag.candidate_objectives[i] < diag.candidate_objectives[win])
+              win = i;
+          }
+          break;
+        }
+      }
+      diag.winner = static_cast<int>(win);
+      // Winner tallies for Figs. 4.8-4.10.
+      std::size_t mw = 0, vw = 0;
+      for (std::size_t i = 1; i < candidates.size(); ++i) {
+        if (diag.post_means[i] < diag.post_means[mw]) mw = i;
+        if (diag.post_vars[i] > diag.post_vars[vw]) vw = i;
+      }
+      if (!candidates.empty()) {
+        ++result.af_wins[win];
+        ++result.mean_wins[mw];
+        ++result.var_wins[vw];
+      }
+      result.diags.push_back(std::move(diag));
+      batch.push_back(candidates[win]);
+
+      // Kriging-believer fantasy for the remaining batch slots.
+      if (slot + 1 < q) {
+        model_clock.reset();
+        const auto post = cur_model->predict(batch.back());
+        fant_x.push_back(batch.back());
+        fant_y.push_back(post.mean);
+        fantasy_model.fit(fant_x, fant_y);
+        cur_model = &fantasy_model;
+        model_time += model_clock.seconds();
+      }
+    }
+
+    // 5. evaluate the batch and feed everyone back.
+    for (const auto& u : batch) {
+      if (evaluated >= budget) break;
+      const double y = eval_raw(u);
+      ++evaluated;
+      ux.push_back(u);
+      ys.push_back(y);
+      for (auto& m : members) m.opt->tell(u, y);
+    }
+  }
+
+  result.model_seconds = model_time;
+  return result;
+}
+
+}  // namespace citroen::aibo
+

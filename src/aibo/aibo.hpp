@@ -1,0 +1,98 @@
+#pragma once
+// AIBO (Ch. 4, Algorithm 1): Bayesian optimisation whose acquisition
+// maximiser is initialised from an ensemble of heuristic optimisers that
+// are updated with the black-box history. Each iteration:
+//
+//   for each member (CMA-ES / GA / random / ...):
+//     ask k raw candidates  ->  keep top-n by AF  ->  run the AF
+//     maximiser from each   ->  that member's candidate
+//   evaluate the candidate with the highest AF value; tell everyone.
+//
+// Degenerate configurations reproduce the chapter's baselines:
+//   members = {random}                        -> BO-grad
+//   maximizer = None                          -> AIBO-none
+//   members = {random}, maximizer = EsGrad    -> BO-cmaes_grad
+//   members = {boltzmann}                     -> BO-boltzmann_grad
+//   members = {spray}                         -> BO-Gaussian_grad
+//   members = {random}, maximizer = EsOnly    -> BO-es
+//   members = {random}, maximizer = RandomOnly-> BO-random
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "af/acquisition.hpp"
+#include "af/maximizer.hpp"
+#include "gp/gp.hpp"
+#include "heuristics/cmaes.hpp"
+#include "heuristics/ga.hpp"
+#include "support/transforms.hpp"
+
+namespace citroen::aibo {
+
+struct AiboConfig {
+  int init_samples = 20;  ///< N initial uniform samples (paper: 50)
+  int k = 100;            ///< raw candidates per member (paper: 500)
+  int n_top = 1;          ///< maximiser restarts per member
+  int batch_size = 1;     ///< q; batches use Kriging-believer fantasies
+
+  af::AfConfig af;
+  af::GradMaximizerConfig grad;
+  gp::GpConfig gp;
+
+  enum class Maximizer { Grad, None, EsGrad, EsOnly, RandomOnly };
+  Maximizer maximizer = Maximizer::Grad;
+  int af_budget = 300;  ///< AF evaluations for Es/Random-only maximisers
+
+  /// Member kinds: "cmaes", "ga", "random", "boltzmann", "spray".
+  std::vector<std::string> members = {"cmaes", "ga", "random"};
+  heuristics::GaConfig ga;
+  heuristics::CmaEsConfig cmaes;
+  double spray_sigma = 0.1;
+  double boltzmann_temp = 1.0;
+
+  enum class Selection { ByAf, Random, Oracle };
+  Selection candidate_selection = Selection::ByAf;
+};
+
+/// Per-iteration analysis record (feeds Figs. 4.3, 4.8-4.10, 4.15).
+struct IterationDiag {
+  std::vector<double> af_values;   ///< per member
+  std::vector<double> post_means;  ///< per member (transformed space)
+  std::vector<double> post_vars;   ///< per member
+  int winner = -1;                 ///< member whose candidate was chosen
+  double ga_diversity = 0.0;       ///< 0 when no GA member
+  /// True objective values of every member candidate; filled only under
+  /// Oracle/Random selection analysis modes (Fig. 4.3).
+  std::vector<double> candidate_objectives;
+};
+
+struct Result {
+  std::vector<Vec> xs;
+  Vec ys;
+  Vec best_curve;  ///< best-so-far after each evaluation
+  std::vector<std::string> member_names;
+  std::vector<int> af_wins, mean_wins, var_wins;  ///< per member
+  std::vector<IterationDiag> diags;
+  double model_seconds = 0.0;  ///< algorithmic (non-objective) time
+
+  double best() const {
+    return best_curve.empty() ? 1e300 : best_curve.back();
+  }
+};
+
+class Aibo {
+ public:
+  Aibo(heuristics::Box box, AiboConfig config, std::uint64_t seed);
+
+  /// Minimise `objective` with a total budget of `budget` evaluations
+  /// (including the initial design).
+  Result run(const std::function<double(const Vec&)>& objective, int budget);
+
+ private:
+  heuristics::Box box_;
+  AiboConfig config_;
+  Rng rng_;
+};
+
+}  // namespace citroen::aibo

@@ -1,0 +1,256 @@
+#include "baselines/continuous_bo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gp/gp.hpp"
+#include "heuristics/cmaes.hpp"
+#include "heuristics/ga.hpp"
+#include "support/transforms.hpp"
+
+namespace citroen::baselines {
+
+using heuristics::Box;
+
+namespace {
+
+struct Recorder {
+  Vec curve;
+  double best = 1e300;
+  void add(double y) {
+    best = std::min(best, y);
+    curve.push_back(best);
+  }
+};
+
+}  // namespace
+
+ContinuousTrace run_turbo(const Box& box, const Objective& f, int budget,
+                          std::uint64_t seed, const TurboConfig& config) {
+  const std::size_t d = box.dim();
+  Rng rng(seed);
+  Recorder rec;
+  InputScaler scaler(box.lower, box.upper);
+
+  std::vector<Vec> ux;  // unit-cube points
+  Vec ys;
+  auto eval_unit = [&](const Vec& u) {
+    const double y = f(scaler.from_unit(u));
+    rec.add(y);
+    ux.push_back(u);
+    ys.push_back(y);
+    return y;
+  };
+
+  Box unit{Vec(d, 0.0), Vec(d, 1.0)};
+  for (int i = 0; i < std::min(config.init_samples, budget); ++i)
+    eval_unit(unit.sample(rng));
+
+  double length = config.length_init;
+  int successes = 0, failures = 0;
+  gp::GpConfig gc;
+  gc.fit_steps = config.gp_fit_steps;
+  gp::GaussianProcess model(d, gc);
+
+  while (static_cast<int>(ys.size()) < budget) {
+    // Restart the trust region when it collapses.
+    if (length < config.length_min) {
+      length = config.length_init;
+      successes = failures = 0;
+    }
+    // Fit on the points inside the region around the incumbent.
+    std::size_t best_i = 0;
+    for (std::size_t i = 1; i < ys.size(); ++i) {
+      if (ys[i] < ys[best_i]) best_i = i;
+    }
+    const Vec& centre = ux[best_i];
+    std::vector<Vec> in_x;
+    Vec in_y;
+    for (std::size_t i = 0; i < ux.size(); ++i) {
+      bool inside = true;
+      for (std::size_t k = 0; k < d; ++k) {
+        if (std::abs(ux[i][k] - centre[k]) > length) inside = false;
+      }
+      if (inside) {
+        in_x.push_back(ux[i]);
+        in_y.push_back(ys[i]);
+      }
+    }
+    if (in_x.size() < 4) {
+      in_x = ux;
+      in_y = ys;
+    }
+    YeoJohnson yj;
+    yj.fit(in_y);
+    model.fit(in_x, yj.transform(in_y));
+
+    // Candidates: coordinate-sparse perturbations inside the region
+    // (TuRBO's raasp-style proposal), scored by UCB.
+    Vec best_cand;
+    double best_score = -1e300;
+    const double p_perturb =
+        std::min(1.0, 20.0 / static_cast<double>(d));
+    for (int c = 0; c < config.candidates; ++c) {
+      Vec cand = centre;
+      bool any = false;
+      for (std::size_t k = 0; k < d; ++k) {
+        if (rng.bernoulli(p_perturb)) {
+          cand[k] = std::clamp(
+              centre[k] + length * rng.uniform(-1.0, 1.0), 0.0, 1.0);
+          any = true;
+        }
+      }
+      if (!any) {
+        const std::size_t k = rng.uniform_index(d);
+        cand[k] =
+            std::clamp(centre[k] + length * rng.uniform(-1.0, 1.0), 0.0, 1.0);
+      }
+      const auto post = model.predict(cand);
+      const double score = -post.mean + 1.4 * std::sqrt(post.var);
+      if (score > best_score) {
+        best_score = score;
+        best_cand = std::move(cand);
+      }
+    }
+    const double y = eval_unit(best_cand);
+    if (y < ys[best_i]) {
+      if (++successes >= config.success_tol) {
+        length = std::min(0.8, 2.0 * length);
+        successes = 0;
+      }
+      failures = 0;
+    } else {
+      if (++failures >= config.failure_tol) {
+        length *= 0.5;
+        failures = 0;
+      }
+      successes = 0;
+    }
+  }
+  return {rec.curve};
+}
+
+ContinuousTrace run_hesbo(const Box& box, const Objective& f, int budget,
+                          std::uint64_t seed, const HesboConfig& config) {
+  const std::size_t d = box.dim();
+  const std::size_t de =
+      std::min<std::size_t>(static_cast<std::size_t>(config.target_dim), d);
+  Rng rng(seed);
+  Recorder rec;
+
+  // Hash embedding: each high dimension maps to one low dimension with a
+  // random sign (Nayebi et al.'s count-sketch projection).
+  std::vector<std::size_t> slot(d);
+  Vec sign(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    slot[i] = rng.uniform_index(de);
+    sign[i] = rng.bernoulli(0.5) ? 1.0 : -1.0;
+  }
+  auto lift = [&](const Vec& z) {
+    Vec x(d);
+    for (std::size_t i = 0; i < d; ++i) {
+      const double u = 0.5 * (1.0 + sign[i] * z[slot[i]]);  // [-1,1] -> [0,1]
+      x[i] = box.lower[i] + u * (box.upper[i] - box.lower[i]);
+    }
+    return x;
+  };
+
+  Box low{Vec(de, -1.0), Vec(de, 1.0)};
+  std::vector<Vec> zs;
+  Vec ys;
+  auto eval_low = [&](const Vec& z) {
+    const double y = f(lift(z));
+    rec.add(y);
+    zs.push_back(z);
+    ys.push_back(y);
+    return y;
+  };
+  for (int i = 0; i < std::min(config.init_samples, budget); ++i)
+    eval_low(low.sample(rng));
+
+  gp::GpConfig gc;
+  gc.fit_steps = config.gp_fit_steps;
+  gp::GaussianProcess model(de, gc);
+  while (static_cast<int>(ys.size()) < budget) {
+    // Map to [0,1] for the GP.
+    std::vector<Vec> uz;
+    for (const auto& z : zs) {
+      Vec u(de);
+      for (std::size_t k = 0; k < de; ++k) u[k] = 0.5 * (z[k] + 1.0);
+      uz.push_back(std::move(u));
+    }
+    YeoJohnson yj;
+    yj.fit(ys);
+    model.fit(uz, yj.transform(ys));
+    Vec best_z;
+    double best_score = -1e300;
+    for (int c = 0; c < config.candidates; ++c) {
+      Vec z = low.sample(rng);
+      Vec u(de);
+      for (std::size_t k = 0; k < de; ++k) u[k] = 0.5 * (z[k] + 1.0);
+      const auto post = model.predict(u);
+      const double score = -post.mean + 1.4 * std::sqrt(post.var);
+      if (score > best_score) {
+        best_score = score;
+        best_z = std::move(z);
+      }
+    }
+    eval_low(best_z);
+  }
+  return {rec.curve};
+}
+
+ContinuousTrace run_cmaes_blackbox(const Box& box, const Objective& f,
+                                   int budget, std::uint64_t seed) {
+  Rng rng(seed);
+  Recorder rec;
+  heuristics::CmaEs es(box);
+  while (static_cast<int>(rec.curve.size()) < budget) {
+    const auto batch =
+        es.ask(std::min(8, budget - static_cast<int>(rec.curve.size())), rng);
+    for (const auto& x : batch) {
+      const double y = f(x);
+      rec.add(y);
+      es.tell(x, y);
+    }
+  }
+  return {rec.curve};
+}
+
+ContinuousTrace run_ga_blackbox(const Box& box, const Objective& f,
+                                int budget, std::uint64_t seed) {
+  Rng rng(seed);
+  Recorder rec;
+  heuristics::GaContinuous ga(box);
+  // Seed population.
+  std::vector<Vec> xs;
+  Vec ys;
+  for (int i = 0; i < std::min(20, budget); ++i) {
+    Vec x = box.sample(rng);
+    const double y = f(x);
+    rec.add(y);
+    ys.push_back(y);
+    xs.push_back(std::move(x));
+  }
+  ga.init(xs, ys);
+  while (static_cast<int>(rec.curve.size()) < budget) {
+    const auto batch =
+        ga.ask(std::min(8, budget - static_cast<int>(rec.curve.size())), rng);
+    for (const auto& x : batch) {
+      const double y = f(x);
+      rec.add(y);
+      ga.tell(x, y);
+    }
+  }
+  return {rec.curve};
+}
+
+ContinuousTrace run_random_blackbox(const Box& box, const Objective& f,
+                                    int budget, std::uint64_t seed) {
+  Rng rng(seed);
+  Recorder rec;
+  for (int i = 0; i < budget; ++i) rec.add(f(box.sample(rng)));
+  return {rec.curve};
+}
+
+}  // namespace citroen::baselines

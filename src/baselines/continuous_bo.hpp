@@ -1,0 +1,62 @@
+#pragma once
+// Continuous high-dimensional BO baselines for the Ch. 4 experiments:
+//   - TuRBO-style trust-region local BO (success/failure-driven region
+//     resizing, candidates sampled inside the region, UCB selection),
+//   - HeSBO-style random-embedding BO (hash each input dimension to one
+//     of d_e embedding dimensions with a random sign; BO in the low-
+//     dimensional cube),
+//   - plain black-box GA / CMA-ES loops (model-free references).
+// All minimise and return the best-so-far curve, like aibo::Aibo.
+
+#include <functional>
+
+#include "heuristics/optimizer.hpp"
+#include "support/matrix.hpp"
+
+namespace citroen::baselines {
+
+using Objective = std::function<double(const Vec&)>;
+
+struct ContinuousTrace {
+  Vec best_curve;
+  double best() const { return best_curve.empty() ? 1e300 : best_curve.back(); }
+};
+
+struct TurboConfig {
+  int init_samples = 20;
+  int candidates = 100;     ///< per iteration, inside the trust region
+  double length_init = 0.8; ///< relative to the unit cube
+  double length_min = 1.0 / 128.0;
+  int success_tol = 3;
+  int failure_tol = 5;
+  int gp_fit_steps = 10;
+};
+
+ContinuousTrace run_turbo(const heuristics::Box& box, const Objective& f,
+                          int budget, std::uint64_t seed,
+                          const TurboConfig& config = {});
+
+struct HesboConfig {
+  int target_dim = 10;
+  int init_samples = 20;
+  int candidates = 100;
+  int gp_fit_steps = 10;
+};
+
+ContinuousTrace run_hesbo(const heuristics::Box& box, const Objective& f,
+                          int budget, std::uint64_t seed,
+                          const HesboConfig& config = {});
+
+ContinuousTrace run_cmaes_blackbox(const heuristics::Box& box,
+                                   const Objective& f, int budget,
+                                   std::uint64_t seed);
+
+ContinuousTrace run_ga_blackbox(const heuristics::Box& box,
+                                const Objective& f, int budget,
+                                std::uint64_t seed);
+
+ContinuousTrace run_random_blackbox(const heuristics::Box& box,
+                                    const Objective& f, int budget,
+                                    std::uint64_t seed);
+
+}  // namespace citroen::baselines

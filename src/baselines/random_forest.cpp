@@ -1,0 +1,136 @@
+#include "baselines/random_forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace citroen::baselines {
+
+double RandomForest::Tree::predict(const Vec& x) const {
+  int n = 0;
+  while (nodes[static_cast<std::size_t>(n)].feature >= 0) {
+    const Node& nd = nodes[static_cast<std::size_t>(n)];
+    n = x[static_cast<std::size_t>(nd.feature)] <= nd.threshold ? nd.left
+                                                                : nd.right;
+  }
+  return nodes[static_cast<std::size_t>(n)].value;
+}
+
+void RandomForest::grow(Tree& tree, int node, const std::vector<Vec>& x,
+                        const Vec& y, std::vector<int>& idx, int lo, int hi,
+                        int depth, Rng& rng) {
+  const int n = hi - lo;
+  double mean = 0.0;
+  for (int i = lo; i < hi; ++i) mean += y[static_cast<std::size_t>(idx[static_cast<std::size_t>(i)])];
+  mean /= n;
+  Node& nd = tree.nodes[static_cast<std::size_t>(node)];
+  nd.value = mean;
+
+  if (depth >= config_.max_depth || n < 2 * config_.min_leaf) return;
+
+  const std::size_t dim = x[0].size();
+  const int tries = std::max(
+      1, static_cast<int>(config_.feature_fraction * static_cast<double>(dim)));
+  double best_gain = 1e-12;
+  int best_f = -1;
+  double best_t = 0.0;
+  double total_sq = 0.0;
+  for (int i = lo; i < hi; ++i) {
+    const double v = y[static_cast<std::size_t>(idx[static_cast<std::size_t>(i)])] - mean;
+    total_sq += v * v;
+  }
+
+  for (int t = 0; t < tries; ++t) {
+    const int f = static_cast<int>(rng.uniform_index(dim));
+    // Candidate threshold: midpoint of two random samples.
+    const double a =
+        x[static_cast<std::size_t>(idx[static_cast<std::size_t>(
+            lo + static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(n))))])]
+         [static_cast<std::size_t>(f)];
+    const double b =
+        x[static_cast<std::size_t>(idx[static_cast<std::size_t>(
+            lo + static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(n))))])]
+         [static_cast<std::size_t>(f)];
+    const double thr = 0.5 * (a + b);
+    double ls = 0.0, rs = 0.0;
+    int ln = 0, rn = 0;
+    for (int i = lo; i < hi; ++i) {
+      const double yi = y[static_cast<std::size_t>(idx[static_cast<std::size_t>(i)])];
+      if (x[static_cast<std::size_t>(idx[static_cast<std::size_t>(i)])]
+           [static_cast<std::size_t>(f)] <= thr) {
+        ls += yi;
+        ++ln;
+      } else {
+        rs += yi;
+        ++rn;
+      }
+    }
+    if (ln < config_.min_leaf || rn < config_.min_leaf) continue;
+    // Variance-reduction gain.
+    const double lmean = ls / ln, rmean = rs / rn;
+    double split_sq = 0.0;
+    for (int i = lo; i < hi; ++i) {
+      const double yi = y[static_cast<std::size_t>(idx[static_cast<std::size_t>(i)])];
+      const bool left = x[static_cast<std::size_t>(idx[static_cast<std::size_t>(i)])]
+                         [static_cast<std::size_t>(f)] <= thr;
+      const double e = yi - (left ? lmean : rmean);
+      split_sq += e * e;
+    }
+    const double gain = total_sq - split_sq;
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_f = f;
+      best_t = thr;
+    }
+  }
+  if (best_f < 0) return;
+
+  const auto mid_it = std::partition(
+      idx.begin() + lo, idx.begin() + hi, [&](int i) {
+        return x[static_cast<std::size_t>(i)][static_cast<std::size_t>(
+                   best_f)] <= best_t;
+      });
+  const int mid = static_cast<int>(mid_it - idx.begin());
+  if (mid == lo || mid == hi) return;
+
+  const int left = static_cast<int>(tree.nodes.size());
+  tree.nodes.emplace_back();
+  const int right = static_cast<int>(tree.nodes.size());
+  tree.nodes.emplace_back();
+  {
+    Node& nd2 = tree.nodes[static_cast<std::size_t>(node)];
+    nd2.feature = best_f;
+    nd2.threshold = best_t;
+    nd2.left = left;
+    nd2.right = right;
+  }
+  grow(tree, left, x, y, idx, lo, mid, depth + 1, rng);
+  grow(tree, right, x, y, idx, mid, hi, depth + 1, rng);
+}
+
+void RandomForest::fit(const std::vector<Vec>& x, const Vec& y, Rng& rng) {
+  trees_.assign(static_cast<std::size_t>(config_.num_trees), {});
+  const std::size_t n = x.size();
+  for (auto& tree : trees_) {
+    std::vector<int> idx(n);
+    for (auto& i : idx)
+      i = static_cast<int>(rng.uniform_index(n));  // bootstrap
+    tree.nodes.emplace_back();
+    grow(tree, 0, x, y, idx, 0, static_cast<int>(n), 0, rng);
+  }
+}
+
+std::pair<double, double> RandomForest::predict(const Vec& x) const {
+  if (trees_.empty()) return {0.0, 1.0};
+  double mean = 0.0;
+  for (const auto& t : trees_) mean += t.predict(x);
+  mean /= static_cast<double>(trees_.size());
+  double var = 0.0;
+  for (const auto& t : trees_) {
+    const double d = t.predict(x) - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(trees_.size());
+  return {mean, var};
+}
+
+}  // namespace citroen::baselines

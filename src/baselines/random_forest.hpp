@@ -1,0 +1,49 @@
+#pragma once
+// Regression random forest (bootstrap + random feature subsets) — the
+// surrogate BOCA uses instead of a GP. Prediction variance across trees
+// provides the uncertainty for its acquisition function.
+
+#include <memory>
+#include <vector>
+
+#include "support/matrix.hpp"
+#include "support/rng.hpp"
+
+namespace citroen::baselines {
+
+struct ForestConfig {
+  int num_trees = 24;
+  int max_depth = 10;
+  int min_leaf = 3;
+  double feature_fraction = 0.5;  ///< features tried per split
+};
+
+class RandomForest {
+ public:
+  explicit RandomForest(ForestConfig config = {}) : config_(config) {}
+
+  void fit(const std::vector<Vec>& x, const Vec& y, Rng& rng);
+
+  /// Mean and across-tree variance.
+  std::pair<double, double> predict(const Vec& x) const;
+
+ private:
+  struct Node {
+    int feature = -1;       ///< -1: leaf
+    double threshold = 0.0;
+    double value = 0.0;     ///< leaf prediction
+    int left = -1, right = -1;
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+    double predict(const Vec& x) const;
+  };
+
+  void grow(Tree& tree, int node, const std::vector<Vec>& x, const Vec& y,
+            std::vector<int>& idx, int lo, int hi, int depth, Rng& rng);
+
+  ForestConfig config_;
+  std::vector<Tree> trees_;
+};
+
+}  // namespace citroen::baselines

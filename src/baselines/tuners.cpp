@@ -1,0 +1,240 @@
+#include "baselines/tuners.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/random_forest.hpp"
+#include "citroen/features.hpp"
+#include "heuristics/des.hpp"
+#include "heuristics/ga.hpp"
+#include "passes/pass.hpp"
+
+namespace citroen::baselines {
+
+using heuristics::Sequence;
+
+namespace {
+
+struct Session {
+  sim::ProgramEvaluator& eval;
+  PhaseTunerConfig config;
+  std::vector<std::string> modules;
+  std::vector<std::string> space;
+  TuneTrace trace;
+  int used = 0;
+
+  Session(sim::ProgramEvaluator& e, const PhaseTunerConfig& c)
+      : eval(e), config(c) {
+    space = c.pass_space.empty()
+                ? passes::PassRegistry::instance().pass_names()
+                : c.pass_space;
+    modules =
+        select_hot_modules(e, c.hot_threshold, c.max_hot_modules);
+  }
+
+  int num_passes() const { return static_cast<int>(space.size()); }
+
+  /// Measure one sequence applied to every tuned module. Returns the
+  /// normalised runtime y (cycles / o3; invalid builds = 4.0).
+  double measure(const Sequence& s) {
+    sim::SequenceAssignment a;
+    std::vector<std::string> names;
+    names.reserve(s.size());
+    for (int p : s) names.push_back(space[static_cast<std::size_t>(p)]);
+    for (const auto& m : modules) a[m] = names;
+    const auto out = eval.evaluate(a);
+    double y;
+    if (!out.valid) {
+      ++trace.invalid;
+      y = 4.0;
+    } else {
+      y = 1.0 / out.speedup;
+    }
+    if (!out.cache_hit) {
+      ++used;
+      trace.speedup_curve.push_back(std::max(
+          trace.speedup_curve.empty() ? 0.0 : trace.speedup_curve.back(),
+          1.0 / y));
+    }
+    return y;
+  }
+
+  bool done() const { return used >= config.budget; }
+
+  TuneTrace finish(std::string name) {
+    trace.tuner = std::move(name);
+    trace.best_speedup =
+        trace.speedup_curve.empty() ? 0.0 : trace.speedup_curve.back();
+    return trace;
+  }
+};
+
+}  // namespace
+
+std::vector<std::string> select_hot_modules(const sim::ProgramEvaluator& eval,
+                                            double threshold,
+                                            int max_modules) {
+  std::vector<std::string> out;
+  double covered = 0.0;
+  for (const auto& [name, frac] : eval.hot_modules()) {
+    if (covered >= threshold ||
+        static_cast<int>(out.size()) >= max_modules)
+      break;
+    if (name == "driver") continue;
+    out.push_back(name);
+    covered += frac;
+  }
+  if (out.empty()) out.push_back(eval.hot_modules()[0].first);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TuneTrace run_random_search(sim::ProgramEvaluator& eval,
+                            const PhaseTunerConfig& config) {
+  Session s(eval, config);
+  Rng rng(config.seed);
+  int attempts = 0;
+  while (!s.done() && attempts++ < config.budget * 20) {
+    s.measure(heuristics::random_sequence(s.num_passes(),
+                                          config.max_seq_len, rng));
+  }
+  return s.finish("random");
+}
+
+TuneTrace run_ga_tuner(sim::ProgramEvaluator& eval,
+                       const PhaseTunerConfig& config) {
+  Session s(eval, config);
+  Rng rng(config.seed);
+  heuristics::GaSequence ga(s.num_passes(), config.max_seq_len);
+  int attempts = 0;
+  while (!s.done() && attempts++ < config.budget * 20) {
+    const auto batch = ga.ask(4, rng);
+    for (const auto& c : batch) {
+      if (s.done()) break;
+      ga.tell(c, s.measure(c));
+    }
+  }
+  return s.finish("ga");
+}
+
+TuneTrace run_des_tuner(sim::ProgramEvaluator& eval,
+                        const PhaseTunerConfig& config) {
+  Session s(eval, config);
+  Rng rng(config.seed);
+  heuristics::DesSequence des(s.num_passes(), config.max_seq_len);
+  int attempts = 0;
+  while (!s.done() && attempts++ < config.budget * 20) {
+    const auto batch = des.ask(4, rng);
+    for (const auto& c : batch) {
+      if (s.done()) break;
+      des.tell(c, s.measure(c));
+    }
+  }
+  return s.finish("des");
+}
+
+TuneTrace run_ensemble_tuner(sim::ProgramEvaluator& eval,
+                             const PhaseTunerConfig& config) {
+  Session s(eval, config);
+  Rng rng(config.seed);
+  heuristics::GaSequence ga(s.num_passes(), config.max_seq_len);
+  heuristics::DesSequence des(s.num_passes(), config.max_seq_len);
+
+  // OpenTuner-style AUC credit: techniques earn score for improvements
+  // and are sampled proportionally (plus smoothing for exploration).
+  Vec credit(3, 1.0);  // ga, des, random
+  double best_y = 1e300;
+  int attempts = 0;
+  while (!s.done() && attempts++ < config.budget * 20) {
+    const std::size_t pick = rng.categorical(credit);
+    Sequence c;
+    if (pick == 0) {
+      c = ga.ask(1, rng)[0];
+    } else if (pick == 1) {
+      c = des.ask(1, rng)[0];
+    } else {
+      c = heuristics::random_sequence(s.num_passes(), config.max_seq_len,
+                                      rng);
+    }
+    const double y = s.measure(c);
+    ga.tell(c, y);
+    des.tell(c, y);
+    if (y < best_y) {
+      best_y = y;
+      credit[pick] += 1.0;
+    } else {
+      credit[pick] = std::max(0.2, credit[pick] * 0.98);
+    }
+  }
+  return s.finish("opentuner");
+}
+
+TuneTrace run_rf_bo_tuner(sim::ProgramEvaluator& eval,
+                          const PhaseTunerConfig& config) {
+  Session s(eval, config);
+  Rng rng(config.seed);
+  const core::SequenceFeatures feat(s.num_passes(), config.max_seq_len);
+
+  std::vector<Sequence> seqs;
+  std::vector<Vec> xs;
+  Vec ys;
+  auto observe = [&](const Sequence& c) {
+    const double y = s.measure(c);
+    seqs.push_back(c);
+    xs.push_back(feat.extract(c));
+    ys.push_back(y);
+    return y;
+  };
+
+  // Initial random design (BOCA uses a random start set).
+  const int init = std::min(8, config.budget / 4 + 1);
+  int attempts = 0;
+  while (static_cast<int>(ys.size()) < init && !s.done() &&
+         attempts++ < config.budget * 20) {
+    observe(heuristics::random_sequence(s.num_passes(), config.max_seq_len,
+                                        rng));
+  }
+
+  RandomForest forest;
+  while (!s.done() && attempts++ < config.budget * 20) {
+    forest.fit(xs, ys, rng);
+    double best_y = *std::min_element(ys.begin(), ys.end());
+
+    // Candidate pool: mutations of the best sequences + random (BOCA's
+    // neighbourhood expansion around promising decision settings).
+    std::vector<Sequence> pool;
+    std::vector<std::size_t> order(ys.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return ys[a] < ys[b]; });
+    for (int k = 0; k < 24; ++k) {
+      if (k < 16 && !order.empty()) {
+        const Sequence& base = seqs[order[static_cast<std::size_t>(k) % std::min<std::size_t>(4, order.size())]];
+        pool.push_back(heuristics::mutate_sequence(base, s.num_passes(),
+                                                   config.max_seq_len, rng));
+      } else {
+        pool.push_back(heuristics::random_sequence(
+            s.num_passes(), config.max_seq_len, rng));
+      }
+    }
+    // EI over the forest.
+    double best_ei = -1.0;
+    const Sequence* winner = &pool[0];
+    for (const auto& c : pool) {
+      const auto [mean, var] = forest.predict(feat.extract(c));
+      const double sigma = std::sqrt(std::max(var, 1e-12));
+      const double z = (best_y - mean) / sigma;
+      const double cdf = 0.5 * std::erfc(-z * 0.7071067811865476);
+      const double pdf = 0.3989422804014327 * std::exp(-0.5 * z * z);
+      const double ei = (best_y - mean) * cdf + sigma * pdf;
+      if (ei > best_ei) {
+        best_ei = ei;
+        winner = &c;
+      }
+    }
+    observe(*winner);
+  }
+  return s.finish("boca");
+}
+
+}  // namespace citroen::baselines

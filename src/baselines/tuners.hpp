@@ -1,0 +1,52 @@
+#pragma once
+// Competing phase-ordering autotuners (Sec. 5.4.4): random search, GA,
+// DES, an OpenTuner-style multi-algorithm ensemble with credit
+// assignment, and a BOCA-style random-forest BO over raw sequence
+// features. Each applies one sequence to the program's hot modules and
+// reports the same best-so-far speedup curve as CITROEN, so all the
+// Fig. 5.6/5.7 comparisons are apples-to-apples.
+
+#include <string>
+#include <vector>
+
+#include "sim/evaluator.hpp"
+#include "support/matrix.hpp"
+
+namespace citroen::baselines {
+
+struct PhaseTunerConfig {
+  int budget = 100;       ///< runtime measurements
+  int max_seq_len = 60;
+  double hot_threshold = 0.9;
+  int max_hot_modules = 3;
+  std::vector<std::string> pass_space;  ///< default: full registry
+  std::uint64_t seed = 1;
+};
+
+struct TuneTrace {
+  std::string tuner;
+  double best_speedup = 0.0;  ///< over -O3
+  Vec speedup_curve;          ///< best-so-far per measurement
+  int invalid = 0;
+};
+
+/// Hot modules to tune (shared with CITROEN's selection rule).
+std::vector<std::string> select_hot_modules(
+    const sim::ProgramEvaluator& eval, double threshold, int max_modules);
+
+TuneTrace run_random_search(sim::ProgramEvaluator& eval,
+                            const PhaseTunerConfig& config);
+TuneTrace run_ga_tuner(sim::ProgramEvaluator& eval,
+                       const PhaseTunerConfig& config);
+TuneTrace run_des_tuner(sim::ProgramEvaluator& eval,
+                        const PhaseTunerConfig& config);
+/// OpenTuner-style: GA + DES + random run side by side; techniques that
+/// produce improvements get a growing share of the measurement budget.
+TuneTrace run_ensemble_tuner(sim::ProgramEvaluator& eval,
+                             const PhaseTunerConfig& config);
+/// BOCA-style: random-forest surrogate on raw sequence features; EI
+/// scores a large pool of mutated candidates, best one is measured.
+TuneTrace run_rf_bo_tuner(sim::ProgramEvaluator& eval,
+                          const PhaseTunerConfig& config);
+
+}  // namespace citroen::baselines

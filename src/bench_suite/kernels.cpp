@@ -1,0 +1,462 @@
+#include "bench_suite/kernels.hpp"
+
+#include "ir/builder.hpp"
+
+namespace citroen::bench_suite {
+
+using namespace ir;
+
+namespace {
+
+/// Create the function and return a builder positioned in its entry.
+/// NOTE: each kernel must finish building a function before creating the
+/// next one — IRBuilder holds a pointer into Module::functions.
+IRBuilder begin(Module& m, const std::string& name, Type ret,
+                const std::vector<Type>& args = {}, bool internal = false) {
+  const std::size_t fi = create_function(m, name, ret, args, internal);
+  IRBuilder b(m.functions[fi]);
+  b.set_insert(0);
+  return b;
+}
+
+}  // namespace
+
+void build_dot_i16(Module& m, const std::string& fname, int g_w, int g_d,
+                   std::int64_t outer) {
+  IRBuilder b = begin(m, fname, kI64);
+  const ValueId acc_slot = b.stack_alloc(kI64);
+  b.store(b.const_i64(0), acc_slot);
+  const ValueId w_addr = b.global_addr(g_w);
+  const ValueId d_addr = b.global_addr(g_d);
+
+  auto loop = b.begin_loop(b.const_i64(0), b.const_i64(outer));
+  {
+    const ValueId idx = b.binop(Opcode::Mul, loop.iv, b.const_i64(8));
+    const ValueId wb = b.gep(w_addr, idx, kI16);
+    const ValueId db = b.gep(d_addr, idx, kI16);
+    // Source-level unrolled 8-term dot product (Fig. 5.1a).
+    for (int j = 0; j < 8; ++j) {
+      const ValueId wj = b.load(kI16, b.gep(wb, b.const_i64(j), kI16));
+      const ValueId dj = b.load(kI16, b.gep(db, b.const_i64(j), kI16));
+      const ValueId sw = b.cast(Opcode::SExt, wj, kI32);
+      const ValueId sd = b.cast(Opcode::SExt, dj, kI32);
+      const ValueId mj = b.binop(Opcode::Mul, sw, sd);
+      const ValueId ej = b.cast(Opcode::SExt, mj, kI64);
+      const ValueId acc = b.load(kI64, acc_slot);
+      b.store(b.binop(Opcode::Add, acc, ej), acc_slot);
+    }
+  }
+  b.end_loop(loop);
+  b.ret(b.load(kI64, acc_slot));
+}
+
+void build_fir_f64(Module& m, const std::string& fname, int g_a, int g_b,
+                   int g_out, std::int64_t n, double k1, double k2) {
+  IRBuilder b = begin(m, fname, kI64);
+  const ValueId a_addr = b.global_addr(g_a);
+  const ValueId b_addr = b.global_addr(g_b);
+  const ValueId o_addr = b.global_addr(g_out);
+  const ValueId c1 = b.const_f64(k1);
+  const ValueId c2 = b.const_f64(k2);
+
+  auto loop = b.begin_loop(b.const_i64(0), b.const_i64(n));
+  {
+    const ValueId av = b.load(kF64, b.gep(a_addr, loop.iv, kF64));
+    const ValueId bv = b.load(kF64, b.gep(b_addr, loop.iv, kF64));
+    const ValueId t1 = b.binop(Opcode::FMul, av, c1);
+    const ValueId t2 = b.binop(Opcode::FMul, bv, c2);
+    const ValueId s = b.binop(Opcode::FAdd, t1, t2);
+    b.store(s, b.gep(o_addr, loop.iv, kF64));
+  }
+  b.end_loop(loop);
+
+  // Read-back checksum (kept scalar: fp reduction order is observable).
+  const ValueId cs = b.stack_alloc(kF64);
+  b.store(b.const_f64(0.0), cs);
+  auto sum = b.begin_loop(b.const_i64(0), b.const_i64(n));
+  {
+    const ValueId ov = b.load(kF64, b.gep(o_addr, sum.iv, kF64));
+    b.store(b.binop(Opcode::FAdd, b.load(kF64, cs), ov), cs);
+  }
+  b.end_loop(sum);
+  b.ret(b.cast(Opcode::FPToSI, b.load(kF64, cs), kI64));
+}
+
+void build_sum_i32(Module& m, const std::string& fname, int g_x,
+                   std::int64_t n) {
+  IRBuilder b = begin(m, fname, kI64);
+  const ValueId x_addr = b.global_addr(g_x);
+  const ValueId acc = b.stack_alloc(kI32);
+  b.store(b.const_i32(0), acc);
+  auto loop = b.begin_loop(b.const_i64(0), b.const_i64(n));
+  {
+    const ValueId v = b.load(kI32, b.gep(x_addr, loop.iv, kI32));
+    b.store(b.binop(Opcode::Add, b.load(kI32, acc), v), acc);
+  }
+  b.end_loop(loop);
+  b.ret(b.cast(Opcode::SExt, b.load(kI32, acc), kI64));
+}
+
+void build_matmul_i32(Module& m, const std::string& fname, int g_a, int g_b,
+                      int g_c, std::int64_t n) {
+  IRBuilder b = begin(m, fname, kI64);
+  const ValueId a_addr = b.global_addr(g_a);
+  const ValueId b_addr = b.global_addr(g_b);
+  const ValueId c_addr = b.global_addr(g_c);
+  const ValueId nn = b.const_i64(n);
+
+  auto li = b.begin_loop(b.const_i64(0), nn, 1, "i");
+  {
+    auto lj = b.begin_loop(b.const_i64(0), nn, 1, "j");
+    {
+      const ValueId t = b.stack_alloc(kI32);
+      b.store(b.const_i32(0), t);
+      auto lk = b.begin_loop(b.const_i64(0), nn, 1, "k");
+      {
+        const ValueId ai =
+            b.binop(Opcode::Add, b.binop(Opcode::Mul, li.iv, nn), lk.iv);
+        const ValueId bi =
+            b.binop(Opcode::Add, b.binop(Opcode::Mul, lk.iv, nn), lj.iv);
+        const ValueId av = b.load(kI32, b.gep(a_addr, ai, kI32));
+        const ValueId bv = b.load(kI32, b.gep(b_addr, bi, kI32));
+        const ValueId p = b.binop(Opcode::Mul, av, bv);
+        b.store(b.binop(Opcode::Add, b.load(kI32, t), p), t);
+      }
+      b.end_loop(lk);
+      const ValueId ci =
+          b.binop(Opcode::Add, b.binop(Opcode::Mul, li.iv, nn), lj.iv);
+      b.store(b.load(kI32, t), b.gep(c_addr, ci, kI32));
+    }
+    b.end_loop(lj);
+  }
+  b.end_loop(li);
+
+  const ValueId acc = b.stack_alloc(kI64);
+  b.store(b.const_i64(0), acc);
+  auto cs = b.begin_loop(b.const_i64(0), b.const_i64(n * n));
+  {
+    const ValueId v = b.load(kI32, b.gep(c_addr, cs.iv, kI32));
+    const ValueId e = b.cast(Opcode::SExt, v, kI64);
+    b.store(b.binop(Opcode::Add, b.load(kI64, acc), e), acc);
+  }
+  b.end_loop(cs);
+  b.ret(b.load(kI64, acc));
+}
+
+void build_stencil_f64(Module& m, const std::string& fname, int g_in,
+                       int g_out, std::int64_t n) {
+  IRBuilder b = begin(m, fname, kI64);
+  const ValueId in_addr = b.global_addr(g_in);
+  const ValueId out_addr = b.global_addr(g_out);
+  const ValueId third = b.const_f64(1.0 / 3.0);
+  auto loop = b.begin_loop(b.const_i64(1), b.const_i64(n - 1));
+  {
+    const ValueId im1 = b.binop(Opcode::Sub, loop.iv, b.const_i64(1));
+    const ValueId ip1 = b.binop(Opcode::Add, loop.iv, b.const_i64(1));
+    const ValueId l = b.load(kF64, b.gep(in_addr, im1, kF64));
+    const ValueId c = b.load(kF64, b.gep(in_addr, loop.iv, kF64));
+    const ValueId r = b.load(kF64, b.gep(in_addr, ip1, kF64));
+    const ValueId s = b.binop(Opcode::FAdd, b.binop(Opcode::FAdd, l, c), r);
+    b.store(b.binop(Opcode::FMul, s, third),
+            b.gep(out_addr, loop.iv, kF64));
+  }
+  b.end_loop(loop);
+
+  const ValueId cs = b.stack_alloc(kF64);
+  b.store(b.const_f64(0.0), cs);
+  auto sum = b.begin_loop(b.const_i64(1), b.const_i64(n - 1));
+  {
+    const ValueId v = b.load(kF64, b.gep(out_addr, sum.iv, kF64));
+    b.store(b.binop(Opcode::FAdd, b.load(kF64, cs), v), cs);
+  }
+  b.end_loop(sum);
+  b.ret(b.cast(Opcode::FPToSI, b.load(kF64, cs), kI64));
+}
+
+void build_crc_i32(Module& m, const std::string& fname, int g_data,
+                   std::int64_t n) {
+  IRBuilder b = begin(m, fname, kI64);
+  const ValueId d_addr = b.global_addr(g_data);
+  const ValueId c_slot = b.stack_alloc(kI32);
+  b.store(b.const_i32(0x5a5a), c_slot);
+  auto loop = b.begin_loop(b.const_i64(0), b.const_i64(n));
+  {
+    const ValueId v = b.load(kI16, b.gep(d_addr, loop.iv, kI16));
+    const ValueId sv = b.cast(Opcode::SExt, v, kI32);
+    ValueId c = b.binop(Opcode::Xor, b.load(kI32, c_slot), sv);
+    for (int round = 0; round < 4; ++round) {
+      const ValueId lsb = b.binop(Opcode::And, c, b.const_i32(1));
+      const ValueId mask = b.binop(Opcode::Sub, b.const_i32(0), lsb);
+      const ValueId poly = b.binop(Opcode::And, mask, b.const_i32(0x6db88320));
+      const ValueId shifted = b.binop(Opcode::LShr, c, b.const_i32(1));
+      c = b.binop(Opcode::Xor, shifted, poly);
+    }
+    b.store(c, c_slot);
+  }
+  b.end_loop(loop);
+  b.ret(b.cast(Opcode::ZExt, b.load(kI32, c_slot), kI64));
+}
+
+void build_strsearch(Module& m, const std::string& fname, int g_text,
+                     int g_pat, std::int64_t n, std::int64_t plen) {
+  IRBuilder b = begin(m, fname, kI64);
+  const ValueId t_addr = b.global_addr(g_text);
+  const ValueId p_addr = b.global_addr(g_pat);
+  const ValueId count = b.stack_alloc(kI64);
+  b.store(b.const_i64(0), count);
+
+  auto outer = b.begin_loop(b.const_i64(0), b.const_i64(n - plen), 1, "o");
+  {
+    const ValueId matched = b.stack_alloc(kI64);
+    b.store(b.const_i64(1), matched);
+    auto inner = b.begin_loop(b.const_i64(0), b.const_i64(plen), 1, "in");
+    {
+      const ValueId ti = b.binop(Opcode::Add, outer.iv, inner.iv);
+      const ValueId tv = b.load(kI16, b.gep(t_addr, ti, kI16));
+      const ValueId pv = b.load(kI16, b.gep(p_addr, inner.iv, kI16));
+      const ValueId ne = b.icmp(CmpPred::NE, tv, pv);
+      const BlockId mism = b.new_block("mism");
+      const BlockId cont = b.new_block("cont");
+      b.cond_br(ne, mism, cont);
+      b.set_insert(mism);
+      b.store(b.const_i64(0), matched);
+      b.br(inner.exit);  // early exit on mismatch
+      b.set_insert(cont);
+    }
+    b.end_loop(inner);
+    const ValueId mv = b.load(kI64, matched);
+    b.store(b.binop(Opcode::Add, b.load(kI64, count), mv), count);
+  }
+  b.end_loop(outer);
+  b.ret(b.load(kI64, count));
+}
+
+void build_classify_i32(Module& m, const std::string& fname, int g_x,
+                        std::int64_t n, std::int64_t t1, std::int64_t t2) {
+  IRBuilder b = begin(m, fname, kI64);
+  const ValueId x_addr = b.global_addr(g_x);
+  const ValueId hi = b.stack_alloc(kI64);
+  const ValueId mid = b.stack_alloc(kI64);
+  const ValueId lo = b.stack_alloc(kI64);
+  b.store(b.const_i64(0), hi);
+  b.store(b.const_i64(0), mid);
+  b.store(b.const_i64(0), lo);
+
+  auto loop = b.begin_loop(b.const_i64(0), b.const_i64(n));
+  {
+    const ValueId v = b.load(kI32, b.gep(x_addr, loop.iv, kI32));
+    const ValueId ev = b.cast(Opcode::SExt, v, kI64);
+    const ValueId c1 = b.icmp(CmpPred::SGT, ev, b.const_i64(t1));
+    const BlockId bb_hi = b.new_block("hi");
+    const BlockId bb_else = b.new_block("else");
+    const BlockId bb_join = b.new_block("join");
+    b.cond_br(c1, bb_hi, bb_else);
+
+    b.set_insert(bb_hi);
+    const ValueId w = b.binop(Opcode::Mul, ev, b.const_i64(3));
+    b.store(b.binop(Opcode::Add, b.load(kI64, hi), w), hi);
+    b.br(bb_join);
+
+    b.set_insert(bb_else);
+    const ValueId c2 = b.icmp(CmpPred::SGT, ev, b.const_i64(t2));
+    const BlockId bb_mid = b.new_block("mid");
+    const BlockId bb_lo = b.new_block("lo");
+    b.cond_br(c2, bb_mid, bb_lo);
+    b.set_insert(bb_mid);
+    b.store(b.binop(Opcode::Add, b.load(kI64, mid), ev), mid);
+    b.br(bb_join);
+    b.set_insert(bb_lo);
+    b.store(b.binop(Opcode::Sub, b.load(kI64, lo), ev), lo);
+    b.br(bb_join);
+
+    b.set_insert(bb_join);
+  }
+  b.end_loop(loop);
+  const ValueId h = b.load(kI64, hi);
+  const ValueId mn = b.load(kI64, mid);
+  const ValueId l = b.load(kI64, lo);
+  const ValueId r1 = b.binop(Opcode::Mul, h, b.const_i64(31));
+  const ValueId r2 = b.binop(Opcode::Mul, mn, b.const_i64(7));
+  b.ret(b.binop(Opcode::Add, b.binop(Opcode::Add, r1, r2), l));
+}
+
+void build_zero_then_fill(Module& m, const std::string& fname, int g_buf,
+                          std::int64_t n) {
+  IRBuilder b = begin(m, fname, kI64);
+  const ValueId buf = b.global_addr(g_buf);
+
+  auto zero = b.begin_loop(b.const_i64(0), b.const_i64(n), 1, "zero");
+  b.store(b.const_i32(0), b.gep(buf, zero.iv, kI32));
+  b.end_loop(zero);
+
+  // Fill every other element so the zeroes stay observable.
+  auto fill = b.begin_loop(b.const_i64(0), b.const_i64(n), 2, "fill");
+  {
+    const ValueId t = b.binop(Opcode::Mul, fill.iv, b.const_i64(7));
+    const ValueId t2 = b.binop(Opcode::Add, t, b.const_i64(1));
+    b.store(b.cast(Opcode::Trunc, t2, kI32), b.gep(buf, fill.iv, kI32));
+  }
+  b.end_loop(fill);
+
+  const ValueId acc = b.stack_alloc(kI64);
+  b.store(b.const_i64(0), acc);
+  auto cs = b.begin_loop(b.const_i64(0), b.const_i64(n), 1, "cs");
+  {
+    const ValueId v = b.load(kI32, b.gep(buf, cs.iv, kI32));
+    const ValueId e = b.cast(Opcode::SExt, v, kI64);
+    const ValueId mixed = b.binop(Opcode::Xor, b.load(kI64, acc), e);
+    b.store(b.binop(Opcode::Add, mixed, b.const_i64(3)), acc);
+  }
+  b.end_loop(cs);
+  b.ret(b.load(kI64, acc));
+}
+
+void build_copy_i32(Module& m, const std::string& fname, int g_src,
+                    int g_dst, std::int64_t n) {
+  IRBuilder b = begin(m, fname, kI64);
+  const ValueId src = b.global_addr(g_src);
+  const ValueId dst = b.global_addr(g_dst);
+  auto cp = b.begin_loop(b.const_i64(0), b.const_i64(n), 1, "cp");
+  {
+    const ValueId v = b.load(kI32, b.gep(src, cp.iv, kI32));
+    b.store(v, b.gep(dst, cp.iv, kI32));
+  }
+  b.end_loop(cp);
+
+  const ValueId acc = b.stack_alloc(kI64);
+  b.store(b.const_i64(0), acc);
+  auto cs = b.begin_loop(b.const_i64(0), b.const_i64(n), 1, "cs");
+  {
+    const ValueId v = b.load(kI32, b.gep(dst, cs.iv, kI32));
+    const ValueId e = b.cast(Opcode::SExt, v, kI64);
+    b.store(b.binop(Opcode::Add, b.load(kI64, acc), e), acc);
+  }
+  b.end_loop(cs);
+  b.ret(b.load(kI64, acc));
+}
+
+void build_poly_f64(Module& m, const std::string& fname, int g_x, int g_out,
+                    std::int64_t n) {
+  IRBuilder b = begin(m, fname, kI64);
+  const ValueId x_addr = b.global_addr(g_x);
+  const ValueId o_addr = b.global_addr(g_out);
+  const ValueId c3 = b.const_f64(0.25);
+  const ValueId c2 = b.const_f64(-1.5);
+  const ValueId c1 = b.const_f64(3.0);
+  const ValueId c0 = b.const_f64(0.125);
+  auto loop = b.begin_loop(b.const_i64(0), b.const_i64(n));
+  {
+    const ValueId x = b.load(kF64, b.gep(x_addr, loop.iv, kF64));
+    ValueId y = b.binop(Opcode::FMul, x, c3);
+    y = b.binop(Opcode::FAdd, y, c2);
+    y = b.binop(Opcode::FMul, y, x);
+    y = b.binop(Opcode::FAdd, y, c1);
+    y = b.binop(Opcode::FMul, y, x);
+    y = b.binop(Opcode::FAdd, y, c0);
+    b.store(y, b.gep(o_addr, loop.iv, kF64));
+  }
+  b.end_loop(loop);
+
+  const ValueId cs = b.stack_alloc(kF64);
+  b.store(b.const_f64(0.0), cs);
+  auto sum = b.begin_loop(b.const_i64(0), b.const_i64(n), 1, "cs");
+  {
+    const ValueId v = b.load(kF64, b.gep(o_addr, sum.iv, kF64));
+    b.store(b.binop(Opcode::FAdd, b.load(kF64, cs), v), cs);
+  }
+  b.end_loop(sum);
+  b.ret(b.cast(Opcode::FPToSI, b.load(kF64, cs), kI64));
+}
+
+void build_rec_sum(Module& m, const std::string& fname, int g_x,
+                   std::int64_t n) {
+  // Create both functions first: IRBuilder pointers must not dangle when
+  // Module::functions reallocates.
+  const std::size_t rec_i =
+      create_function(m, fname + "_rec", kI64, {kI64, kI64}, true);
+  const std::size_t wrap_i =
+      create_function(m, fname, kI64, {}, /*internal=*/false);
+
+  {
+    IRBuilder b(m.functions[rec_i]);
+    b.set_insert(0);
+    const BlockId done = b.new_block("done");
+    const BlockId body = b.new_block("body");
+    const ValueId cond = b.icmp(CmpPred::SGE, b.arg(0), b.const_i64(n));
+    b.cond_br(cond, done, body);
+    b.set_insert(done);
+    b.ret(b.arg(1));
+    b.set_insert(body);
+    const ValueId x_addr = b.global_addr(g_x);
+    const ValueId v = b.load(kI32, b.gep(x_addr, b.arg(0), kI32));
+    const ValueId e = b.cast(Opcode::SExt, v, kI64);
+    const ValueId acc2 = b.binop(Opcode::Add, b.arg(1), e);
+    const ValueId i2 = b.binop(Opcode::Add, b.arg(0), b.const_i64(1));
+    const ValueId r = b.call(kI64, fname + "_rec", {i2, acc2});
+    b.ret(r);
+  }
+  {
+    IRBuilder b(m.functions[wrap_i]);
+    b.set_insert(0);
+    const ValueId r =
+        b.call(kI64, fname + "_rec", {b.const_i64(0), b.const_i64(0)});
+    b.ret(r);
+  }
+}
+
+void build_quantize_i64(Module& m, const std::string& fname, int g_x,
+                        std::int64_t n, std::int64_t q) {
+  IRBuilder b = begin(m, fname, kI64);
+  const ValueId x_addr = b.global_addr(g_x);
+  const ValueId acc = b.stack_alloc(kI64);
+  b.store(b.const_i64(0), acc);
+  const ValueId qc = b.const_i64(q);
+  auto loop = b.begin_loop(b.const_i64(0), b.const_i64(n));
+  {
+    const ValueId v = b.load(kI64, b.gep(x_addr, loop.iv, kI64));
+    const ValueId d = b.binop(Opcode::SDiv, v, qc);
+    const ValueId r = b.binop(Opcode::SRem, v, qc);
+    const ValueId s = b.binop(Opcode::Add, d, r);
+    b.store(b.binop(Opcode::Add, b.load(kI64, acc), s), acc);
+  }
+  b.end_loop(loop);
+  b.ret(b.load(kI64, acc));
+}
+
+void build_helper_mac_loop(Module& m, const std::string& fname, int g_x,
+                           std::int64_t n) {
+  const std::size_t mac_i =
+      create_function(m, fname + "_mac", kI64, {kI64, kI64, kI64}, true);
+  const std::size_t loop_i =
+      create_function(m, fname, kI64, {}, /*internal=*/false);
+
+  {
+    IRBuilder b(m.functions[mac_i]);
+    b.set_insert(0);
+    const ValueId p = b.binop(Opcode::Mul, b.arg(0), b.arg(1));
+    b.ret(b.binop(Opcode::Add, p, b.arg(2)));
+  }
+  {
+    IRBuilder b(m.functions[loop_i]);
+    b.set_insert(0);
+    const ValueId x_addr = b.global_addr(g_x);
+    const ValueId acc = b.stack_alloc(kI64);
+    b.store(b.const_i64(0), acc);
+    auto loop = b.begin_loop(b.const_i64(0), b.const_i64(n));
+    {
+      // Invariant readnone call: LICM can hoist it once function-attrs
+      // has proven `_mac` readnone.
+      const ValueId k = b.call(kI64, fname + "_mac",
+                               {b.const_i64(5), b.const_i64(7),
+                                b.const_i64(11)});
+      const ValueId v = b.load(kI64, b.gep(x_addr, loop.iv, kI64));
+      const ValueId t =
+          b.call(kI64, fname + "_mac", {v, b.const_i64(3), k});
+      b.store(b.binop(Opcode::Add, b.load(kI64, acc), t), acc);
+    }
+    b.end_loop(loop);
+    b.ret(b.load(kI64, acc));
+  }
+}
+
+}  // namespace citroen::bench_suite

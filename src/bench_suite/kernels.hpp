@@ -1,0 +1,83 @@
+#pragma once
+// Parameterised kernel generators. Each builds one MiniIR function in -O0
+// style (locals as stack slots, loops via load/store of the induction
+// slot), so the optimisation passes have realistic work to do. Programs
+// (programs.cpp) compose these kernels into multi-module benchmarks.
+//
+// Every kernel returns an i64 checksum derived from the data it touches,
+// so differential testing observes all of its behaviour, including data
+// written to output buffers.
+
+#include <cstdint>
+#include <string>
+
+#include "ir/module.hpp"
+
+namespace citroen::bench_suite {
+
+/// The paper's Fig. 5.1 motif: `outer` 8-term i16 dot products, unrolled
+/// in the source, accumulated into i64 through i32 multiplies.
+/// SLP-vectorisable after mem2reg; ruined by instcombine in between.
+void build_dot_i16(ir::Module& m, const std::string& fname, int g_w, int g_d,
+                   std::int64_t outer);
+
+/// FIR-style f64 map with read-back checksum: out[i] = a[i]*k1 + b[i]*k2.
+/// Loop-vectorisable (element-wise fp), trip count divisible by 4.
+void build_fir_f64(ir::Module& m, const std::string& fname, int g_a, int g_b,
+                   int g_out, std::int64_t n, double k1, double k2);
+
+/// Integer sum reduction in i32 (loop-vectorisable reduction).
+void build_sum_i32(ir::Module& m, const std::string& fname, int g_x,
+                   std::int64_t n);
+
+/// Dense i32 matrix multiply, row-major, N x N (inner stride-N access, so
+/// not vectorisable — exercises licm/unroll/gvn instead).
+void build_matmul_i32(ir::Module& m, const std::string& fname, int g_a,
+                      int g_b, int g_c, std::int64_t n);
+
+/// 3-point f64 stencil with non-unit gep offsets (licm/unroll fodder).
+void build_stencil_f64(ir::Module& m, const std::string& fname, int g_in,
+                       int g_out, std::int64_t n);
+
+/// Branch-free CRC-ish bit mixing over bytes (ALU chain, branchy loop).
+void build_crc_i32(ir::Module& m, const std::string& fname, int g_data,
+                   std::int64_t n);
+
+/// Naive substring counting (nested branchy loops, early exits).
+void build_strsearch(ir::Module& m, const std::string& fname, int g_text,
+                     int g_pat, std::int64_t n, std::int64_t plen);
+
+/// Threshold classification with a 3-way branch (sink/jump-threading).
+void build_classify_i32(ir::Module& m, const std::string& fname, int g_x,
+                        std::int64_t n, std::int64_t t1, std::int64_t t2);
+
+/// Store-zero loop over a buffer followed by a touch loop (loop-idiom
+/// memset target; checksum re-reads so deletion is observable).
+void build_zero_then_fill(ir::Module& m, const std::string& fname, int g_buf,
+                          std::int64_t n);
+
+/// Element copy loop (loop-idiom memcpy target) with read-back checksum.
+void build_copy_i32(ir::Module& m, const std::string& fname, int g_src,
+                    int g_dst, std::int64_t n);
+
+/// Horner polynomial over f64 input with output store + checksum
+/// (vectorisable fp map; constants exercise reassociate/instcombine).
+void build_poly_f64(ir::Module& m, const std::string& fname, int g_x,
+                    int g_out, std::int64_t n);
+
+/// Tail-recursive array sum (tailcallelim target). Creates two functions:
+/// `fname` (entry wrapper) and `fname`_rec (the recursive worker).
+void build_rec_sum(ir::Module& m, const std::string& fname, int g_x,
+                   std::int64_t n);
+
+/// Quantisation: acc += x[i]/q + x[i]%q (div-rem-pairs target).
+void build_quantize_i64(ir::Module& m, const std::string& fname, int g_x,
+                        std::int64_t n, std::int64_t q);
+
+/// Small pure helper `fname`: mac(a,b,c) = a*b+c over i64, `internal`,
+/// plus a loop caller `fname`_loop that calls it per element
+/// (inline + function-attrs + licm/gvn interactions).
+void build_helper_mac_loop(ir::Module& m, const std::string& fname, int g_x,
+                           std::int64_t n);
+
+}  // namespace citroen::bench_suite

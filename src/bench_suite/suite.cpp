@@ -1,0 +1,522 @@
+#include "bench_suite/suite.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "bench_suite/kernels.hpp"
+#include "ir/builder.hpp"
+#include "support/rng.hpp"
+
+namespace citroen::bench_suite {
+
+using namespace ir;
+
+namespace {
+
+// ---- global-data helpers --------------------------------------------------
+
+int add_global_raw(Module& m, const std::string& name,
+                   std::vector<std::uint8_t> bytes) {
+  m.globals.push_back(GlobalVar{name, std::move(bytes)});
+  return static_cast<int>(m.globals.size() - 1);
+}
+
+int add_i16_data(Module& m, const std::string& name, std::int64_t count,
+                 Rng& rng, std::int64_t lo, std::int64_t hi) {
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(count) * 2);
+  for (std::int64_t i = 0; i < count; ++i) {
+    const std::int16_t v = static_cast<std::int16_t>(rng.uniform_int(lo, hi));
+    std::memcpy(bytes.data() + i * 2, &v, 2);
+  }
+  return add_global_raw(m, name, std::move(bytes));
+}
+
+int add_i32_data(Module& m, const std::string& name, std::int64_t count,
+                 Rng& rng, std::int64_t lo, std::int64_t hi) {
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(count) * 4);
+  for (std::int64_t i = 0; i < count; ++i) {
+    const std::int32_t v = static_cast<std::int32_t>(rng.uniform_int(lo, hi));
+    std::memcpy(bytes.data() + i * 4, &v, 4);
+  }
+  return add_global_raw(m, name, std::move(bytes));
+}
+
+int add_i64_data(Module& m, const std::string& name, std::int64_t count,
+                 Rng& rng, std::int64_t lo, std::int64_t hi) {
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(count) * 8);
+  for (std::int64_t i = 0; i < count; ++i) {
+    const std::int64_t v = rng.uniform_int(lo, hi);
+    std::memcpy(bytes.data() + i * 8, &v, 8);
+  }
+  return add_global_raw(m, name, std::move(bytes));
+}
+
+int add_f64_data(Module& m, const std::string& name, std::int64_t count,
+                 Rng& rng, double lo, double hi) {
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(count) * 8);
+  for (std::int64_t i = 0; i < count; ++i) {
+    const double v = rng.uniform(lo, hi);
+    std::memcpy(bytes.data() + i * 8, &v, 8);
+  }
+  return add_global_raw(m, name, std::move(bytes));
+}
+
+int add_zeros(Module& m, const std::string& name, std::int64_t bytes) {
+  return add_global_raw(
+      m, name, std::vector<std::uint8_t>(static_cast<std::size_t>(bytes), 0));
+}
+
+/// Driver module: main() calls the listed kernels (cross-module) and
+/// mixes their checksums.
+Module make_driver(const std::vector<std::string>& kernels) {
+  Module d;
+  d.name = "driver";
+  const std::size_t fi = create_function(d, "main", kI64, {}, false);
+  IRBuilder b(d.functions[fi]);
+  b.set_insert(0);
+  ValueId h = b.const_i64(0x9e37);
+  for (const auto& k : kernels) {
+    const ValueId r = b.call(kI64, k, {});
+    const ValueId mixed = b.binop(Opcode::Mul, h, b.const_i64(1000003));
+    h = b.binop(Opcode::Xor, mixed, r);
+  }
+  b.ret(h);
+  return d;
+}
+
+// ---- the benchmarks ---------------------------------------------------------
+
+Program telecom_gsm(std::uint64_t seed) {
+  Rng rng(seed ^ 0x7311);
+  Program p;
+  p.name = "telecom_gsm";
+
+  Module long_term;
+  long_term.name = "long_term";
+  {
+    const int gw = add_i16_data(long_term, "w", 320 * 8, rng, -100, 100);
+    const int gd = add_i16_data(long_term, "d", 320 * 8, rng, -100, 100);
+    build_dot_i16(long_term, "long_term_filter", gw, gd, 320);
+  }
+
+  Module short_term;
+  short_term.name = "short_term";
+  {
+    const int ga = add_f64_data(short_term, "a", 512, rng, -1.0, 1.0);
+    const int gb = add_f64_data(short_term, "b", 512, rng, -1.0, 1.0);
+    const int go = add_zeros(short_term, "out", 512 * 8);
+    build_fir_f64(short_term, "short_term_filter", ga, gb, go, 512, 0.75,
+                  -0.25);
+  }
+
+  Module add_mod;
+  add_mod.name = "add";
+  {
+    const int gx = add_i64_data(add_mod, "x", 256, rng, 0, 1000);
+    build_helper_mac_loop(add_mod, "gsm_mac", gx, 256);
+    const int gq = add_i64_data(add_mod, "q", 256, rng, 1, 5000);
+    build_quantize_i64(add_mod, "gsm_quantize", gq, 256, 7);
+  }
+
+  p.modules = {std::move(long_term), std::move(short_term),
+               std::move(add_mod),
+               make_driver({"long_term_filter", "short_term_filter",
+                            "gsm_mac", "gsm_quantize"})};
+  return p;
+}
+
+Program security_sha(std::uint64_t seed) {
+  Rng rng(seed ^ 0x51a);
+  Program p;
+  p.name = "security_sha";
+  Module sha;
+  sha.name = "sha";
+  {
+    const int gd = add_i16_data(sha, "data", 2048, rng, -128, 127);
+    build_crc_i32(sha, "sha_mix", gd, 2048);
+  }
+  Module pad;
+  pad.name = "pad";
+  {
+    const int gb = add_zeros(pad, "buf", 512 * 4);
+    build_zero_then_fill(pad, "sha_pad", gb, 512);
+  }
+  p.modules = {std::move(sha), std::move(pad),
+               make_driver({"sha_mix", "sha_pad"})};
+  return p;
+}
+
+Program automotive_susan(std::uint64_t seed) {
+  Rng rng(seed ^ 0xa57);
+  Program p;
+  p.name = "automotive_susan";
+  Module edges;
+  edges.name = "edges";
+  {
+    const int gi = add_f64_data(edges, "img", 1024, rng, 0.0, 255.0);
+    const int go = add_zeros(edges, "out", 1024 * 8);
+    build_stencil_f64(edges, "susan_edges", gi, go, 1024);
+  }
+  Module corners;
+  corners.name = "corners";
+  {
+    const int gx = add_i32_data(corners, "resp", 1024, rng, -500, 500);
+    build_classify_i32(corners, "susan_corners", gx, 1024, 200, -100);
+  }
+  p.modules = {std::move(edges), std::move(corners),
+               make_driver({"susan_edges", "susan_corners"})};
+  return p;
+}
+
+Program consumer_jpeg(std::uint64_t seed) {
+  Rng rng(seed ^ 0x3e9);
+  Program p;
+  p.name = "consumer_jpeg";
+  Module dct;
+  dct.name = "dct";
+  {
+    const int ga = add_i32_data(dct, "a", 12 * 12, rng, -30, 30);
+    const int gb = add_i32_data(dct, "b", 12 * 12, rng, -30, 30);
+    const int gc = add_zeros(dct, "c", 12 * 12 * 4);
+    build_matmul_i32(dct, "jpeg_dct", ga, gb, gc, 12);
+  }
+  Module quant;
+  quant.name = "quant";
+  {
+    const int gq = add_i64_data(quant, "coef", 512, rng, -4096, 4096);
+    build_quantize_i64(quant, "jpeg_quant", gq, 512, 13);
+  }
+  Module huff;
+  huff.name = "huff";
+  {
+    const int gs = add_i32_data(huff, "sym", 512, rng, 0, 255);
+    build_sum_i32(huff, "jpeg_huff", gs, 512);
+  }
+  p.modules = {std::move(dct), std::move(quant), std::move(huff),
+               make_driver({"jpeg_dct", "jpeg_quant", "jpeg_huff"})};
+  return p;
+}
+
+Program bzip2(std::uint64_t seed) {
+  Rng rng(seed ^ 0xb21);
+  Program p;
+  p.name = "bzip2";
+  Module block;
+  block.name = "blocksort";
+  {
+    const int gt = add_i16_data(block, "text", 768, rng, 0, 3);
+    const int gp = add_i16_data(block, "pat", 6, rng, 0, 3);
+    build_strsearch(block, "bz_match", gt, gp, 768, 6);
+  }
+  Module huff;
+  huff.name = "huffman";
+  {
+    const int gs = add_i32_data(huff, "freq", 1024, rng, 0, 100);
+    build_sum_i32(huff, "bz_freq", gs, 1024);
+    const int gb = add_zeros(huff, "bits", 512 * 4);
+    build_zero_then_fill(huff, "bz_bits", gb, 512);
+  }
+  p.modules = {std::move(block), std::move(huff),
+               make_driver({"bz_match", "bz_freq", "bz_bits"})};
+  return p;
+}
+
+Program office_stringsearch(std::uint64_t seed) {
+  Rng rng(seed ^ 0x57e);
+  Program p;
+  p.name = "office_stringsearch";
+  Module search;
+  search.name = "search";
+  {
+    const int gt = add_i16_data(search, "text", 1024, rng, 0, 7);
+    const int gp = add_i16_data(search, "pat", 8, rng, 0, 7);
+    build_strsearch(search, "ss_search", gt, gp, 1024, 8);
+  }
+  Module prep;
+  prep.name = "prep";
+  {
+    const int gsrc = add_i32_data(prep, "src", 512, rng, -100, 100);
+    const int gdst = add_zeros(prep, "dst", 512 * 4);
+    build_copy_i32(prep, "ss_prep", gsrc, gdst, 512);
+  }
+  p.modules = {std::move(search), std::move(prep),
+               make_driver({"ss_prep", "ss_search"})};
+  return p;
+}
+
+Program spec_lbm(std::uint64_t seed) {
+  Rng rng(seed ^ 0x1b3);
+  Program p;
+  p.name = "spec_lbm";
+  Module stream;
+  stream.name = "stream";
+  {
+    const int gi = add_f64_data(stream, "cells", 2048, rng, 0.0, 1.0);
+    const int go = add_zeros(stream, "next", 2048 * 8);
+    build_stencil_f64(stream, "lbm_stream", gi, go, 2048);
+  }
+  Module collide;
+  collide.name = "collide";
+  {
+    const int gx = add_f64_data(collide, "rho", 1024, rng, 0.5, 1.5);
+    const int go = add_zeros(collide, "feq", 1024 * 8);
+    build_poly_f64(collide, "lbm_collide", gx, go, 1024);
+  }
+  p.modules = {std::move(stream), std::move(collide),
+               make_driver({"lbm_stream", "lbm_collide"})};
+  return p;
+}
+
+Program spec_deepsjeng(std::uint64_t seed) {
+  Rng rng(seed ^ 0xd5e);
+  Program p;
+  p.name = "spec_deepsjeng";
+  Module eval;
+  eval.name = "eval";
+  {
+    const int gx = add_i32_data(eval, "board", 1024, rng, -900, 900);
+    build_classify_i32(eval, "sj_eval", gx, 1024, 300, -300);
+    const int gy = add_i64_data(eval, "pst", 512, rng, -50, 50);
+    build_helper_mac_loop(eval, "sj_score", gy, 512);
+  }
+  Module hash;
+  hash.name = "tt";
+  {
+    const int gd = add_i16_data(hash, "keys", 1024, rng, -512, 511);
+    build_crc_i32(hash, "sj_hash", gd, 1024);
+  }
+  p.modules = {std::move(eval), std::move(hash),
+               make_driver({"sj_eval", "sj_score", "sj_hash"})};
+  return p;
+}
+
+Program spec_imagick(std::uint64_t seed) {
+  Rng rng(seed ^ 0x1ac);
+  Program p;
+  p.name = "spec_imagick";
+  Module filter;
+  filter.name = "filter";
+  {
+    const int ga = add_f64_data(filter, "r", 1024, rng, 0.0, 1.0);
+    const int gb = add_f64_data(filter, "g", 1024, rng, 0.0, 1.0);
+    const int go = add_zeros(filter, "out", 1024 * 8);
+    build_fir_f64(filter, "im_blend", ga, gb, go, 1024, 0.6, 0.4);
+  }
+  Module transform;
+  transform.name = "transform";
+  {
+    const int ga = add_i32_data(transform, "m1", 10 * 10, rng, -20, 20);
+    const int gb = add_i32_data(transform, "m2", 10 * 10, rng, -20, 20);
+    const int gc = add_zeros(transform, "m3", 10 * 10 * 4);
+    build_matmul_i32(transform, "im_affine", ga, gb, gc, 10);
+  }
+  p.modules = {std::move(filter), std::move(transform),
+               make_driver({"im_blend", "im_affine"})};
+  return p;
+}
+
+Program spec_x264(std::uint64_t seed) {
+  Rng rng(seed ^ 0x264);
+  Program p;
+  p.name = "spec_x264";
+  Module sad;
+  sad.name = "sad";
+  {
+    const int gw = add_i16_data(sad, "ref", 256 * 8, rng, -100, 100);
+    const int gd = add_i16_data(sad, "cur", 256 * 8, rng, -100, 100);
+    build_dot_i16(sad, "x264_sad", gw, gd, 256);
+  }
+  Module mc;
+  mc.name = "mc";
+  {
+    const int gsrc = add_i32_data(mc, "plane", 1024, rng, 0, 255);
+    const int gdst = add_zeros(mc, "pred", 1024 * 4);
+    build_copy_i32(mc, "x264_mc", gsrc, gdst, 1024);
+  }
+  p.modules = {std::move(sad), std::move(mc),
+               make_driver({"x264_sad", "x264_mc"})};
+  return p;
+}
+
+Program spec_nab(std::uint64_t seed) {
+  Rng rng(seed ^ 0xab);
+  Program p;
+  p.name = "spec_nab";
+  Module energy;
+  energy.name = "energy";
+  {
+    const int gx = add_f64_data(energy, "dist", 1024, rng, 0.8, 4.0);
+    const int go = add_zeros(energy, "pot", 1024 * 8);
+    build_poly_f64(energy, "nab_energy", gx, go, 1024);
+  }
+  Module bonds;
+  bonds.name = "bonds";
+  {
+    const int gx = add_i32_data(bonds, "pairs", 192, rng, -100, 100);
+    build_rec_sum(bonds, "nab_bonds", gx, 192);
+  }
+  p.modules = {std::move(energy), std::move(bonds),
+               make_driver({"nab_energy", "nab_bonds"})};
+  return p;
+}
+
+Program spec_xz(std::uint64_t seed) {
+  Rng rng(seed ^ 0x2f);
+  Program p;
+  p.name = "spec_xz";
+  Module crc;
+  crc.name = "check";
+  {
+    const int gd = add_i16_data(crc, "stream", 1024, rng, -256, 255);
+    build_crc_i32(crc, "xz_crc", gd, 1024);
+  }
+  Module lz;
+  lz.name = "lz";
+  {
+    const int gt = add_i16_data(lz, "window", 512, rng, 0, 4);
+    const int gp = add_i16_data(lz, "needle", 5, rng, 0, 4);
+    build_strsearch(lz, "xz_match", gt, gp, 512, 5);
+    const int gsrc = add_i32_data(lz, "in", 512, rng, -50, 50);
+    const int gdst = add_zeros(lz, "out", 512 * 4);
+    build_copy_i32(lz, "xz_copy", gsrc, gdst, 512);
+  }
+  p.modules = {std::move(crc), std::move(lz),
+               make_driver({"xz_crc", "xz_match", "xz_copy"})};
+  return p;
+}
+
+Program telecom_adpcm(std::uint64_t seed) {
+  Rng rng(seed ^ 0xadc);
+  Program p;
+  p.name = "telecom_adpcm";
+  Module codec;
+  codec.name = "codec";
+  {
+    const int gq = add_i64_data(codec, "samples", 640, rng, -8192, 8191);
+    build_quantize_i64(codec, "adpcm_quant", gq, 640, 16);
+  }
+  Module predict;
+  predict.name = "predict";
+  {
+    const int ga = add_f64_data(predict, "hist", 512, rng, -1.0, 1.0);
+    const int gb = add_f64_data(predict, "coef", 512, rng, -0.5, 0.5);
+    const int go = add_zeros(predict, "pred", 512 * 8);
+    build_fir_f64(predict, "adpcm_predict", ga, gb, go, 512, 0.875, 0.125);
+  }
+  p.modules = {std::move(codec), std::move(predict),
+               make_driver({"adpcm_quant", "adpcm_predict"})};
+  return p;
+}
+
+Program network_dijkstra(std::uint64_t seed) {
+  Rng rng(seed ^ 0xd1f);
+  Program p;
+  p.name = "network_dijkstra";
+  Module relax;
+  relax.name = "relax";
+  {
+    const int gw = add_i32_data(relax, "weights", 1024, rng, 1, 1000);
+    build_classify_i32(relax, "dj_relax", gw, 1024, 700, 300);
+  }
+  Module queue;
+  queue.name = "pqueue";
+  {
+    const int gk = add_i16_data(queue, "keys", 1024, rng, -999, 999);
+    build_crc_i32(queue, "dj_hash", gk, 1024);
+    const int gs = add_i32_data(queue, "dist", 768, rng, 0, 10000);
+    build_sum_i32(queue, "dj_sum", gs, 768);
+  }
+  p.modules = {std::move(relax), std::move(queue),
+               make_driver({"dj_relax", "dj_hash", "dj_sum"})};
+  return p;
+}
+
+Program consumer_mad(std::uint64_t seed) {
+  Rng rng(seed ^ 0x3ad);
+  Program p;
+  p.name = "consumer_mad";
+  Module synth_m;
+  synth_m.name = "synth";
+  {
+    const int gx = add_f64_data(synth_m, "subband", 1024, rng, -1.0, 1.0);
+    const int go = add_zeros(synth_m, "pcm", 1024 * 8);
+    build_poly_f64(synth_m, "mad_synth", gx, go, 1024);
+  }
+  Module layer3;
+  layer3.name = "layer3";
+  {
+    const int gw = add_i16_data(layer3, "xr", 192 * 8, rng, -90, 90);
+    const int gd = add_i16_data(layer3, "win", 192 * 8, rng, -90, 90);
+    build_dot_i16(layer3, "mad_imdct", gw, gd, 192);
+  }
+  Module stream;
+  stream.name = "bitstream";
+  {
+    const int gsrc = add_i32_data(stream, "frame", 640, rng, 0, 255);
+    const int gdst = add_zeros(stream, "out", 640 * 4);
+    build_copy_i32(stream, "mad_copy", gsrc, gdst, 640);
+  }
+  p.modules = {std::move(synth_m), std::move(layer3), std::move(stream),
+               make_driver({"mad_imdct", "mad_synth", "mad_copy"})};
+  return p;
+}
+
+}  // namespace
+
+const std::vector<BenchmarkInfo>& benchmark_list() {
+  static const std::vector<BenchmarkInfo> list = {
+      {"telecom_gsm", "cbench", "GSM codec: i16 dot products + FIR"},
+      {"security_sha", "cbench", "hash mixing + buffer padding"},
+      {"automotive_susan", "cbench", "image stencil + corner classify"},
+      {"consumer_jpeg", "cbench", "DCT matmul + quantisation + huffman"},
+      {"bzip2", "cbench", "block matching + frequency counting"},
+      {"office_stringsearch", "cbench", "substring search + copy"},
+      {"telecom_adpcm", "cbench", "ADPCM quantisation + prediction FIR"},
+      {"network_dijkstra", "cbench", "edge relaxation + queue hashing"},
+      {"consumer_mad", "cbench", "MP3 synthesis poly + IMDCT dots"},
+      {"spec_lbm", "spec", "lattice-Boltzmann streaming + collision"},
+      {"spec_deepsjeng", "spec", "branchy eval + transposition hash"},
+      {"spec_imagick", "spec", "pixel blend + affine transform"},
+      {"spec_x264", "spec", "SAD dot products + motion copy"},
+      {"spec_nab", "spec", "force-field polynomial + recursive bonds"},
+      {"spec_xz", "spec", "CRC + LZ matching + literal copy"},
+  };
+  return list;
+}
+
+ir::Program make_program(const std::string& name, std::uint64_t seed) {
+  if (name == "telecom_gsm") return telecom_gsm(seed);
+  if (name == "security_sha") return security_sha(seed);
+  if (name == "automotive_susan") return automotive_susan(seed);
+  if (name == "consumer_jpeg") return consumer_jpeg(seed);
+  if (name == "bzip2") return bzip2(seed);
+  if (name == "office_stringsearch") return office_stringsearch(seed);
+  if (name == "telecom_adpcm") return telecom_adpcm(seed);
+  if (name == "network_dijkstra") return network_dijkstra(seed);
+  if (name == "consumer_mad") return consumer_mad(seed);
+  if (name == "spec_lbm") return spec_lbm(seed);
+  if (name == "spec_deepsjeng") return spec_deepsjeng(seed);
+  if (name == "spec_imagick") return spec_imagick(seed);
+  if (name == "spec_x264") return spec_x264(seed);
+  if (name == "spec_nab") return spec_nab(seed);
+  if (name == "spec_xz") return spec_xz(seed);
+  throw std::runtime_error("unknown benchmark: " + name);
+}
+
+std::vector<std::string> cbench_names() {
+  std::vector<std::string> out;
+  for (const auto& b : benchmark_list()) {
+    if (b.suite == "cbench") out.push_back(b.name);
+  }
+  return out;
+}
+
+std::vector<std::string> spec_names() {
+  std::vector<std::string> out;
+  for (const auto& b : benchmark_list()) {
+    if (b.suite == "spec") out.push_back(b.name);
+  }
+  return out;
+}
+
+}  // namespace citroen::bench_suite

@@ -1,0 +1,31 @@
+#pragma once
+// The synthetic benchmark suite standing in for cBench and SPEC CPU 2017
+// (Table 5.4). Every program is multi-module with distinct optimisation
+// affinities per module; `workload_seed` varies the input data images.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace citroen::bench_suite {
+
+struct BenchmarkInfo {
+  std::string name;
+  std::string suite;        ///< "cbench" | "spec"
+  std::string description;  ///< archetype it models
+};
+
+/// All benchmarks, in a stable order (cBench first).
+const std::vector<BenchmarkInfo>& benchmark_list();
+
+/// Build a benchmark program by name. Throws on unknown names.
+ir::Program make_program(const std::string& name,
+                         std::uint64_t workload_seed = 42);
+
+/// Convenience subsets.
+std::vector<std::string> cbench_names();
+std::vector<std::string> spec_names();
+
+}  // namespace citroen::bench_suite

@@ -1,0 +1,73 @@
+#include "citroen/features.hpp"
+
+#include <cmath>
+
+namespace citroen::core {
+
+StatsFeatures::StatsFeatures()
+    : keys_(passes::PassRegistry::instance().all_stat_keys()) {}
+
+Vec StatsFeatures::extract(const passes::StatsRegistry& stats) const {
+  Vec out(keys_.size(), 0.0);
+  for (std::size_t i = 0; i < keys_.size(); ++i)
+    out[i] = std::log1p(static_cast<double>(stats.get(keys_[i])));
+  return out;
+}
+
+const std::vector<std::string>& AutophaseFeatures::names() {
+  static const std::vector<std::string> n = [] {
+    std::vector<std::string> out;
+    // One slot per opcode (including never-counted pseudo ops, harmless).
+    for (int op = 0; op <= static_cast<int>(ir::Opcode::Phi); ++op)
+      out.push_back(std::string("n_") +
+                    ir::opcode_name(static_cast<ir::Opcode>(op)));
+    out.push_back("n_blocks");
+    out.push_back("n_functions");
+    out.push_back("n_instructions");
+    out.push_back("n_vector_typed");
+    return out;
+  }();
+  return n;
+}
+
+Vec AutophaseFeatures::extract(const ir::Module& m) {
+  Vec out(dim(), 0.0);
+  const std::size_t op_slots = static_cast<std::size_t>(ir::Opcode::Phi) + 1;
+  double blocks = 0.0, instrs = 0.0, vectors = 0.0;
+  for (const auto& f : m.functions) {
+    for (const auto& bb : f.blocks) {
+      bool live = false;
+      for (ir::ValueId id : bb.insts) {
+        const ir::Instr& in = f.instr(id);
+        if (in.dead()) continue;
+        live = true;
+        out[static_cast<std::size_t>(in.op)] += 1.0;
+        instrs += 1.0;
+        if (in.type.is_vector()) vectors += 1.0;
+      }
+      if (live) blocks += 1.0;
+    }
+  }
+  out[op_slots + 0] = blocks;
+  out[op_slots + 1] = static_cast<double>(m.functions.size());
+  out[op_slots + 2] = instrs;
+  out[op_slots + 3] = vectors;
+  for (auto& v : out) v = std::log1p(v);
+  return out;
+}
+
+Vec SequenceFeatures::extract(const heuristics::Sequence& s) const {
+  const std::size_t np = static_cast<std::size_t>(num_passes_);
+  Vec out(2 * np, 0.0);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const std::size_t p = static_cast<std::size_t>(s[i]);
+    if (p >= np) continue;
+    out[p] += 1.0;
+    if (out[np + p] == 0.0)
+      out[np + p] =
+          static_cast<double>(i + 1) / static_cast<double>(max_len_);
+  }
+  return out;
+}
+
+}  // namespace citroen::core

@@ -1,0 +1,58 @@
+#pragma once
+// Feature extraction for the CITROEN cost model and its alternatives
+// (Fig. 5.9): compilation statistics (the paper's contribution),
+// Autophase-style static IR counters, and raw one-hot sequence encodings.
+
+#include <string>
+#include <vector>
+
+#include "heuristics/optimizer.hpp"
+#include "ir/module.hpp"
+#include "passes/pass.hpp"
+#include "support/matrix.hpp"
+
+namespace citroen::core {
+
+/// Stats featureiser over the registry's fixed "pass.Counter" vocabulary.
+/// Counts are log1p-compressed (they are heavy-tailed).
+class StatsFeatures {
+ public:
+  StatsFeatures();
+
+  std::size_t dim() const { return keys_.size(); }
+  const std::vector<std::string>& keys() const { return keys_; }
+
+  Vec extract(const passes::StatsRegistry& stats) const;
+
+ private:
+  std::vector<std::string> keys_;
+};
+
+/// Autophase-style static IR counters of one module: per-opcode counts,
+/// block/function/phi/load/store totals. Deliberately blind to what the
+/// paper's §3.4 highlights (e.g. function attributes set by
+/// function-attrs), which is why it underperforms stats features.
+class AutophaseFeatures {
+ public:
+  static const std::vector<std::string>& names();
+  static std::size_t dim() { return names().size(); }
+  static Vec extract(const ir::Module& m);
+};
+
+/// Raw pass-sequence encoding: per-pass count histogram plus the
+/// normalised position of each pass's first occurrence (what a standard
+/// BO on the tuning parameters themselves would see).
+class SequenceFeatures {
+ public:
+  explicit SequenceFeatures(int num_passes, int max_len)
+      : num_passes_(num_passes), max_len_(max_len) {}
+
+  std::size_t dim() const { return 2 * static_cast<std::size_t>(num_passes_); }
+  Vec extract(const heuristics::Sequence& s) const;
+
+ private:
+  int num_passes_;
+  int max_len_;
+};
+
+}  // namespace citroen::core

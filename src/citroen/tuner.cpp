@@ -1,0 +1,482 @@
+#include "citroen/tuner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "heuristics/des.hpp"
+#include "heuristics/ga.hpp"
+#include "support/timer.hpp"
+#include "support/transforms.hpp"
+
+namespace citroen::core {
+
+using heuristics::Sequence;
+
+namespace {
+
+/// Quantised hash of a feature vector (collision detection, Table 5.2).
+std::uint64_t feature_hash(const Vec& f) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (double v : f) {
+    const std::int64_t q = static_cast<std::int64_t>(std::llround(v * 1e6));
+    for (int b = 0; b < 8; ++b) {
+      h ^= static_cast<std::uint8_t>(q >> (8 * b));
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+std::vector<std::string> to_names(const Sequence& s,
+                                  const std::vector<std::string>& space) {
+  std::vector<std::string> out;
+  out.reserve(s.size());
+  for (int p : s) out.push_back(space[static_cast<std::size_t>(p)]);
+  return out;
+}
+
+struct ModuleState {
+  std::string name;
+  double hot_fraction = 0.0;
+  Sequence incumbent;             ///< best sequence found for this module
+  bool has_incumbent = false;     ///< false: the module stays at -O3
+  heuristics::DesSequence des;
+  heuristics::GaSequence ga;
+  int measurements = 0;
+  double gain = 0.0;              ///< smoothed recent improvement
+
+  ModuleState(std::string n, double frac, int num_passes, int max_len)
+      : name(std::move(n)),
+        hot_fraction(frac),
+        des(num_passes, max_len),
+        ga(num_passes, max_len) {}
+};
+
+}  // namespace
+
+CitroenTuner::CitroenTuner(sim::ProgramEvaluator& evaluator,
+                           CitroenConfig config)
+    : eval_(evaluator), config_(std::move(config)) {
+  if (config_.pass_space.empty())
+    config_.pass_space = passes::PassRegistry::instance().pass_names();
+
+  // Hot-module selection (Sec. 5.3.1): cover `hot_threshold` of runtime.
+  double covered = 0.0;
+  for (const auto& [name, frac] : eval_.hot_modules()) {
+    if (covered >= config_.hot_threshold ||
+        static_cast<int>(modules_.size()) >= config_.max_hot_modules)
+      break;
+    // The driver module is never tuned (it only dispatches).
+    if (name == "driver") continue;
+    modules_.push_back(name);
+    covered += frac;
+  }
+  if (modules_.empty()) modules_.push_back(eval_.hot_modules()[0].first);
+  std::sort(modules_.begin(), modules_.end());
+}
+
+TuneResult CitroenTuner::run() {
+  TuneResult result;
+  Rng rng(config_.seed);
+  const int num_passes = static_cast<int>(config_.pass_space.size());
+
+  // Per-module heuristic state.
+  // One arm per tuned module, plus a "joint" arm whose candidates apply
+  // the same sequence to every tuned module (the classic whole-program
+  // search the baselines perform). The joint arm captures correlated
+  // wins cheaply; the per-module arms refine beyond them.
+  std::vector<ModuleState> mods;
+  const std::string kJoint = "<joint>";
+  {
+    std::map<std::string, double> frac;
+    for (const auto& [n, f] : eval_.hot_modules()) frac[n] = f;
+    for (const auto& name : modules_)
+      mods.emplace_back(name, frac[name], num_passes, config_.max_seq_len);
+    if (modules_.size() > 1)
+      mods.emplace_back(kJoint, 1.0, num_passes, config_.max_seq_len);
+  }
+
+  // Feature extraction plumbing.
+  const StatsFeatures stats_feat;
+  const SequenceFeatures seq_feat(num_passes, config_.max_seq_len);
+  const bool need_program = config_.features == CitroenConfig::Features::Autophase;
+  std::vector<std::string> feature_names;
+  for (const auto& m : modules_) {
+    const std::vector<std::string>* base = nullptr;
+    std::vector<std::string> seq_names;
+    if (config_.features == CitroenConfig::Features::Stats) {
+      base = &stats_feat.keys();
+    } else if (config_.features == CitroenConfig::Features::Autophase) {
+      base = &AutophaseFeatures::names();
+    } else {
+      for (int p = 0; p < num_passes; ++p)
+        seq_names.push_back("count_" + config_.pass_space[static_cast<std::size_t>(p)]);
+      for (int p = 0; p < num_passes; ++p)
+        seq_names.push_back("pos_" + config_.pass_space[static_cast<std::size_t>(p)]);
+      base = &seq_names;
+    }
+    for (const auto& k : *base) feature_names.push_back(m + "/" + k);
+  }
+  const std::size_t feat_dim = feature_names.size();
+
+  // Modules without an adopted incumbent stay at the evaluator's -O3
+  // default (absent from the assignment map). The joint pseudo-target
+  // applies the candidate to every tuned module.
+  auto assignment_for = [&](const std::string& target,
+                            const Sequence& candidate) {
+    sim::SequenceAssignment a;
+    for (const auto& ms : mods) {
+      if (ms.name == kJoint) continue;
+      if (target == kJoint || ms.name == target) {
+        a[ms.name] = to_names(candidate, config_.pass_space);
+      } else if (ms.has_incumbent) {
+        a[ms.name] = to_names(ms.incumbent, config_.pass_space);
+      }
+    }
+    return a;
+  };
+
+  auto extract_features = [&](const sim::CompileOutcome& co,
+                              const sim::SequenceAssignment& assign) {
+    Vec f;
+    f.reserve(feat_dim);
+    for (const auto& mname : modules_) {
+      Vec part;
+      switch (config_.features) {
+        case CitroenConfig::Features::Stats: {
+          const auto it = co.module_stats.find(mname);
+          part = stats_feat.extract(it == co.module_stats.end()
+                                        ? passes::StatsRegistry{}
+                                        : it->second);
+          break;
+        }
+        case CitroenConfig::Features::Autophase: {
+          const ir::Module* m =
+              co.program ? co.program->find_module(mname) : nullptr;
+          part = m ? AutophaseFeatures::extract(*m)
+                   : Vec(AutophaseFeatures::dim(), 0.0);
+          break;
+        }
+        case CitroenConfig::Features::RawSequence: {
+          Sequence s;
+          const auto it = assign.find(mname);
+          if (it != assign.end()) {
+            for (const auto& pname : it->second) {
+              for (int p = 0; p < num_passes; ++p) {
+                if (config_.pass_space[static_cast<std::size_t>(p)] == pname)
+                  s.push_back(p);
+              }
+            }
+          }
+          part = seq_feat.extract(s);
+          break;
+        }
+      }
+      f.insert(f.end(), part.begin(), part.end());
+    }
+    return f;
+  };
+
+  // Model data: (features, normalised runtime y = cycles / o3_cycles).
+  std::vector<Vec> data_x;
+  Vec data_y;
+  std::unordered_map<std::uint64_t, double> measured_hash;  // binary -> y
+  std::unordered_set<std::uint64_t> observed_features;
+  // y is normalised runtime (cycles / o3_cycles); the -O3 default (1.0)
+  // is always available, so incumbents are only adopted below it.
+  double best_y = 1.0;
+
+  Stopwatch model_clock;
+  double model_seconds = 0.0;
+
+  auto record = [&](const std::string& target, const Sequence& cand,
+                    const Vec& features, double y, bool counts_budget) {
+    if (counts_budget) {
+      result.speedup_curve.push_back(
+          std::max(result.speedup_curve.empty()
+                       ? 0.0
+                       : result.speedup_curve.back(),
+                   1.0 / y));
+      ++result.measurements_per_module[target];
+    }
+    data_x.push_back(features);
+    data_y.push_back(y);
+    observed_features.insert(feature_hash(features));
+    for (auto& ms : mods) {
+      if (ms.name != target) continue;
+      ms.des.tell(cand, y);
+      ms.ga.tell(cand, y);
+      if (counts_budget) ++ms.measurements;
+      if (y < best_y) {
+        const double gain = (best_y - y) / best_y;
+        ms.gain = 0.5 * ms.gain + 0.5 * gain;
+        best_y = y;
+        result.best_assignment = assignment_for(target, cand);
+        if (target == kJoint) {
+          // A joint win re-seeds every per-module incumbent.
+          for (auto& other : mods) {
+            if (other.name == kJoint) continue;
+            other.incumbent = cand;
+            other.has_incumbent = true;
+          }
+        }
+        ms.incumbent = cand;
+        ms.has_incumbent = true;
+      } else {
+        ms.gain *= 0.8;
+      }
+    }
+  };
+
+  auto measure = [&](const std::string& target, const Sequence& cand,
+                     const Vec& features,
+                     std::uint64_t binary_hash) -> bool {
+    const auto out = eval_.evaluate(assignment_for(target, cand));
+    double y;
+    if (!out.valid) {
+      ++result.invalid;
+      y = 4.0;  // a rejected build is treated as a very slow binary
+    } else {
+      y = 1.0 / out.speedup;
+    }
+    measured_hash[binary_hash] = y;
+    record(target, cand, features, y, /*counts_budget=*/!out.cache_hit);
+    if (out.cache_hit) ++result.cache_hits;
+    return !out.cache_hit;
+  };
+
+  // Warm-start transfer: seed the model with observations from another
+  // program's run (dimensions must match; see CitroenConfig::warm_start).
+  for (const auto& [wf, wy] : config_.warm_start) {
+    if (wf.size() == feat_dim) {
+      data_x.push_back(wf);
+      data_y.push_back(wy);
+      observed_features.insert(feature_hash(wf));
+    }
+  }
+
+  // ---- phase 1: random initial design ------------------------------------
+  int budget_used = 0;
+  {
+    std::size_t mod_rr = 0;
+    int attempts = 0;
+    while (budget_used < std::min(config_.initial_random, config_.budget) &&
+           attempts++ < config_.budget * 20) {
+      auto& ms = mods[mod_rr % mods.size()];
+      ++mod_rr;
+      Sequence cand = heuristics::random_sequence(
+          num_passes, config_.max_seq_len, rng);
+      const auto assign = assignment_for(ms.name, cand);
+      const auto co = eval_.compile(assign, need_program);
+      ++result.compiles;
+      if (!co.valid) continue;
+      const Vec features = extract_features(co, assign);
+      if (measure(ms.name, cand, features, co.binary_hash)) ++budget_used;
+    }
+    // Also seed each module's incumbent with the (known-good) -O3-like
+    // empty-diff: the incumbent starts as the best random one seen.
+  }
+
+  // The raw feature space is wide (stats vocabulary x modules) but most
+  // counters never move for a given program; the model is fit only on
+  // the *active* dimensions (those with observed variance), which makes
+  // the ARD fit both sharper and cheaper.
+  std::vector<std::size_t> active;
+  auto recompute_active = [&] {
+    active.clear();
+    for (std::size_t d = 0; d < feat_dim; ++d) {
+      const double first = data_x[0][d];
+      for (const auto& f : data_x) {
+        if (f[d] != first) {
+          active.push_back(d);
+          break;
+        }
+      }
+    }
+    if (active.empty()) active.push_back(0);
+  };
+  auto project = [&](const Vec& f) {
+    Vec out(active.size());
+    for (std::size_t i = 0; i < active.size(); ++i) out[i] = f[active[i]];
+    return out;
+  };
+
+  std::unique_ptr<gp::GaussianProcess> model;
+  InputScaler scaler;
+  YeoJohnson yj;
+  std::vector<Vec> unit_x;  ///< projected+scaled copies of data_x
+  Vec ty;                   ///< transformed copies of data_y
+  int iter = 0;
+
+  // ---- phase 2: model-guided search ---------------------------------------
+  int stall = 0;  ///< consecutive iterations without a new measurement
+  std::size_t fitted_points = 0;
+  while (budget_used < config_.budget && iter < config_.budget * 10 &&
+         !data_x.empty()) {
+    ++iter;
+    // Fit the cost model (skip the refit when no new data arrived).
+    model_clock.reset();
+    if (data_x.size() != fitted_points || !model) {
+      const std::size_t prev_active = active.size();
+      recompute_active();
+      std::vector<Vec> px;
+      px.reserve(data_x.size());
+      for (const auto& f : data_x) px.push_back(project(f));
+      scaler.fit(px);
+      unit_x.clear();
+      unit_x.reserve(px.size());
+      for (const auto& f : px) unit_x.push_back(scaler.to_unit(f));
+      yj.fit(data_y);
+      ty = yj.transform(data_y);
+      if (!model || active.size() != prev_active)
+        model = std::make_unique<gp::GaussianProcess>(active.size(),
+                                                      config_.gp);
+      // Full hyper-parameter refit only every `refit_period` iterations;
+      // in between, the learned hypers are kept and only the Cholesky
+      // factorisation is refreshed with the new data.
+      model->set_fit_hypers(iter % config_.refit_period == 1 ||
+                            active.size() != prev_active);
+      model->fit(unit_x, ty);
+      fitted_points = data_x.size();
+    }
+    double best_ty = ty[0];
+    for (double v : ty) best_ty = std::min(best_ty, v);
+    const af::Acquisition acq(model.get(), config_.af, best_ty);
+    model_seconds += model_clock.seconds();
+
+    // Module selection: UCB bandit over expected payoff.
+    std::size_t chosen = 0;
+    if (config_.adaptive_allocation) {
+      double best_score = -1e300;
+      double total = 0.0;
+      for (const auto& ms : mods) total += ms.measurements + 1.0;
+      for (std::size_t i = 0; i < mods.size(); ++i) {
+        const auto& ms = mods[i];
+        const double explore =
+            config_.bandit_explore *
+            std::sqrt(std::log(total + 1.0) / (ms.measurements + 1.0));
+        const double score = ms.hot_fraction * (ms.gain + explore);
+        if (score > best_score) {
+          best_score = score;
+          chosen = i;
+        }
+      }
+    } else {
+      chosen = static_cast<std::size_t>(iter) % mods.size();
+    }
+    auto& ms = mods[chosen];
+
+    // Candidate generation (Sec. 5.3.5). When recent iterations kept
+    // hitting already-measured binaries, lean harder on fresh random
+    // sequences to escape the collapsed neighbourhood.
+    std::vector<Sequence> cands;
+    if (config_.heuristic_generator && stall < 3) {
+      const int per = std::max(1, config_.candidates_per_iter / 3);
+      for (auto& c : ms.des.ask(per, rng)) cands.push_back(std::move(c));
+      for (auto& c : ms.ga.ask(per, rng)) cands.push_back(std::move(c));
+      for (int i = 0; i < config_.candidates_per_iter - 2 * per; ++i)
+        cands.push_back(heuristics::random_sequence(
+            num_passes, config_.max_seq_len, rng));
+    } else {
+      for (int i = 0; i < config_.candidates_per_iter; ++i)
+        cands.push_back(heuristics::random_sequence(
+            num_passes, config_.max_seq_len, rng));
+    }
+
+    // Compile all candidates; score with AF + coverage.
+    struct Scored {
+      Sequence cand;
+      Vec features;
+      std::uint64_t hash;
+      double score;
+    };
+    std::vector<Scored> pool;
+    for (auto& cand : cands) {
+      const auto assign = assignment_for(ms.name, cand);
+      const auto co = eval_.compile(assign, need_program);
+      ++result.compiles;
+      if (!co.valid) continue;
+      Vec features = extract_features(co, assign);
+
+      // Identical binary already measured: learn for free, skip selection.
+      // The free data is capped so degenerate programs (where most random
+      // sequences collapse to few binaries) cannot blow up the GP fit.
+      const auto known = measured_hash.find(co.binary_hash);
+      if (known != measured_hash.end()) {
+        if (data_x.size() < static_cast<std::size_t>(4 * config_.budget)) {
+          record(ms.name, cand, features, known->second,
+                 /*counts_budget=*/false);
+        }
+        ++result.cache_hits;
+        continue;
+      }
+
+      model_clock.reset();
+      const Vec u = scaler.to_unit(project(features));
+      double score = acq.value(u);
+      const std::uint64_t fh = feature_hash(features);
+      if (observed_features.count(fh)) ++result.feature_collisions;
+      if (config_.coverage_af) {
+        // Coverage bonus: distance to the nearest observed feature point
+        // (unit scale), pushing sampling into unobserved statistics
+        // regions; zero for exact collisions.
+        double nearest = 1e300;
+        for (const auto& o : unit_x) {
+          double d2 = 0.0;
+          for (std::size_t k = 0; k < u.size(); ++k) {
+            const double t = u[k] - o[k];
+            d2 += t * t;
+          }
+          nearest = std::min(nearest, d2);
+        }
+        score += config_.coverage_weight *
+                 std::sqrt(nearest / static_cast<double>(active.size()));
+      }
+      model_seconds += model_clock.seconds();
+      pool.push_back(Scored{std::move(cand), std::move(features),
+                            co.binary_hash, score});
+    }
+
+    if (pool.empty()) {
+      ++stall;  // everything deduped this round; retry with more entropy
+      continue;
+    }
+
+    auto winner = std::max_element(
+        pool.begin(), pool.end(),
+        [](const Scored& a, const Scored& b) { return a.score < b.score; });
+    if (measure(ms.name, winner->cand, winner->features, winner->hash)) {
+      ++budget_used;
+      stall = 0;
+    } else {
+      ++stall;
+    }
+  }
+
+  result.measurements = budget_used;
+  for (std::size_t i = 0; i < data_x.size(); ++i)
+    result.observations.emplace_back(data_x[i], data_y[i]);
+  result.best_speedup =
+      result.speedup_curve.empty() ? 0.0 : result.speedup_curve.back();
+  result.model_seconds = model_seconds;
+  result.compile_seconds = eval_.total_compile_seconds();
+  result.measure_seconds = eval_.total_measure_seconds();
+
+  // Table 5.5: rank the active features by ARD relevance.
+  if (model) {
+    const Vec ls = model->lengthscales();
+    for (std::size_t i = 0; i < active.size() && i < ls.size(); ++i)
+      result.stat_relevance.emplace_back(feature_names[active[i]],
+                                         1.0 / ls[i]);
+    std::sort(result.stat_relevance.begin(), result.stat_relevance.end(),
+              [](const auto& a, const auto& b) {
+                return a.second > b.second;
+              });
+  }
+  return result;
+}
+
+}  // namespace citroen::core

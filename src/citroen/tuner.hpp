@@ -1,0 +1,105 @@
+#pragma once
+// CITROEN (Ch. 5): BO-based compiler phase ordering guided by
+// compilation statistics.
+//
+// Each iteration:
+//   1. pick the module with the best expected payoff (adaptive budget
+//      allocation across the program's hot modules),
+//   2. generate candidate pass sequences with the discrete heuristics
+//      (1+lambda ES seeded from the incumbent, a discrete GA, and random
+//      sequences — the AIBO recipe adapted to categorical space),
+//   3. *compile* every candidate (cheap) to collect its statistics
+//      feature vector; identical binaries are resolved from the cache for
+//      free,
+//   4. score candidates with the acquisition function over the GP cost
+//      model fit on (statistics, measured runtime) pairs, plus a coverage
+//      bonus that steers away from already-observed feature points
+//      (Sec. 5.3.4's fix for the sparse feature space of Table 5.2),
+//   5. measure only the winning candidate (one runtime measurement),
+//      update the model, the heuristics, and the allocation bandit.
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "af/acquisition.hpp"
+#include "citroen/features.hpp"
+#include "gp/gp.hpp"
+#include "sim/evaluator.hpp"
+
+namespace citroen::core {
+
+struct CitroenConfig {
+  int budget = 100;            ///< runtime measurements
+  int initial_random = 10;     ///< random sequences measured up-front
+  int candidates_per_iter = 16;///< compile-only candidates per iteration
+  int max_seq_len = 60;        ///< paper: 120 over 76 passes; scaled
+  double hot_threshold = 0.9;  ///< tune modules covering this runtime share
+  int max_hot_modules = 3;
+
+  af::AfConfig af;             ///< default UCB beta=1.96
+  gp::GpConfig gp;
+  int refit_period = 4;        ///< full hyper-refit every k iterations
+
+  enum class Features { Stats, Autophase, RawSequence };
+  Features features = Features::Stats;   ///< Fig. 5.9 alternatives
+
+  bool coverage_af = true;     ///< ablation: disable the coverage bonus
+  double coverage_weight = 0.25;
+  bool heuristic_generator = true;  ///< ablation: random-only candidates
+  bool adaptive_allocation = true;  ///< ablation: round-robin modules
+  double bandit_explore = 0.5;
+
+  /// Pass names forming the search space (default: the full registry;
+  /// `passes::legacy_pass_names()` models the older compiler of
+  /// Fig. 5.10).
+  std::vector<std::string> pass_space;
+
+  /// Warm-start observations from a previous run on another program
+  /// (the thesis's Sec. 6.3.3 future-work direction: exploiting
+  /// program-independent pass correlations). Feature dimensionality must
+  /// match this tuner's configuration (same feature kind and module
+  /// count); mismatching entries are ignored.
+  std::vector<std::pair<Vec, double>> warm_start;
+
+  std::uint64_t seed = 1;
+};
+
+struct TuneResult {
+  double best_speedup = 0.0;   ///< over -O3
+  sim::SequenceAssignment best_assignment;
+  Vec speedup_curve;           ///< best-so-far after each measurement
+  std::map<std::string, int> measurements_per_module;
+  int measurements = 0;
+  int compiles = 0;
+  int cache_hits = 0;          ///< identical-binary reuses
+  int invalid = 0;             ///< builds rejected by verify/difftest
+  int feature_collisions = 0;  ///< distinct binaries, identical features
+  double model_seconds = 0.0;
+  double compile_seconds = 0.0;
+  double measure_seconds = 0.0;
+  /// (feature name, ARD relevance = 1/lengthscale), descending — the
+  /// Table 5.5 ranking of impactful compilation statistics.
+  std::vector<std::pair<std::string, double>> stat_relevance;
+  /// Every (feature, normalised runtime) observation gathered during the
+  /// run; feed as `warm_start` to transfer knowledge to another program.
+  std::vector<std::pair<Vec, double>> observations;
+};
+
+class CitroenTuner {
+ public:
+  CitroenTuner(sim::ProgramEvaluator& evaluator, CitroenConfig config);
+
+  TuneResult run();
+
+  /// Modules selected for tuning (after hot-module profiling).
+  const std::vector<std::string>& tuned_modules() const { return modules_; }
+
+ private:
+  sim::ProgramEvaluator& eval_;
+  CitroenConfig config_;
+  std::vector<std::string> modules_;
+};
+
+}  // namespace citroen::core

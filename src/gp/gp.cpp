@@ -1,0 +1,181 @@
+#include "gp/gp.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace citroen::gp {
+
+namespace {
+constexpr double kLog2Pi = 1.8378770664093453;
+}
+
+GaussianProcess::GaussianProcess(std::size_t dim, GpConfig config)
+    : dim_(dim), config_(config), kernel_(config.kernel, dim) {}
+
+void GaussianProcess::factorize() {
+  const std::size_t n = x_.size();
+  Matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = kernel_.eval(x_[i], x_[j]);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+    k(i, i) += noise_var_;
+  }
+  chol_ = cholesky(k);
+  if (!chol_.ok) {
+    // Pathological hypers: fall back to a heavily-jittered identity-ish
+    // factorisation so predictions stay finite.
+    for (std::size_t i = 0; i < n; ++i) k(i, i) += 1.0;
+    chol_ = cholesky(k);
+  }
+  alpha_ = chol_.solve(y_);
+  const double quad = dot(y_, alpha_);
+  lml_ = -0.5 * quad - 0.5 * chol_.log_det() -
+         0.5 * static_cast<double>(n) * kLog2Pi;
+}
+
+double GaussianProcess::compute_lml_and_grad(Vec* grad) const {
+  const std::size_t n = x_.size();
+  const std::size_t nh = dim_ + 2;  // lengthscales, signal, noise
+  if (grad) grad->assign(nh, 0.0);
+
+  // K^{-1} columns via solves (exact; n is at most a few hundred here).
+  Matrix kinv(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    Vec e(n, 0.0);
+    e[j] = 1.0;
+    const Vec col = chol_.solve(e);
+    for (std::size_t i = 0; i < n; ++i) kinv(i, j) = col[i];
+  }
+
+  if (grad) {
+    // dL/dtheta = 0.5 * sum_{ij} (alpha_i alpha_j - Kinv_ij) dK_ij/dtheta
+    Vec dk;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const double w = 0.5 * (alpha_[i] * alpha_[j] - kinv(i, j));
+        dk.clear();
+        kernel_.grad_hypers(x_[i], x_[j], dk);
+        for (std::size_t h = 0; h < dim_ + 1; ++h) (*grad)[h] += w * dk[h];
+        if (i == j) (*grad)[dim_ + 1] += w * 2.0 * noise_var_;
+      }
+    }
+  }
+  return lml_;
+}
+
+void GaussianProcess::fit(const std::vector<Vec>& x, const Vec& y) {
+  assert(x.size() == y.size());
+  x_ = x;
+  y_ = y;
+  if (x_.empty()) return;
+
+  noise_var_ = std::exp(2.0 * log_noise_);
+  factorize();
+  if (!config_.fit_hypers || config_.fit_steps <= 0) return;
+
+  // Adam on [log lengthscales..., log signal, log noise].
+  const std::size_t nh = dim_ + 2;
+  Vec m(nh, 0.0), v(nh, 0.0);
+  const double b1 = 0.9, b2 = 0.999, eps = 1e-8;
+  double best_lml = lml_;
+  Vec best_ls = kernel_.hypers().log_lengthscale;
+  double best_sig = kernel_.hypers().log_signal;
+  double best_noise = log_noise_;
+
+  for (int step = 1; step <= config_.fit_steps; ++step) {
+    Vec g;
+    compute_lml_and_grad(&g);
+    for (std::size_t h = 0; h < nh; ++h) {
+      m[h] = b1 * m[h] + (1 - b1) * g[h];
+      v[h] = b2 * v[h] + (1 - b2) * g[h] * g[h];
+      const double mh = m[h] / (1 - std::pow(b1, step));
+      const double vh = v[h] / (1 - std::pow(b2, step));
+      const double delta =
+          config_.learning_rate * mh / (std::sqrt(vh) + eps);
+      // Ascent (maximising LML).
+      if (h < dim_) {
+        double& ll = kernel_.hypers().log_lengthscale[h];
+        ll = std::clamp(ll + delta, std::log(config_.min_lengthscale),
+                        std::log(config_.max_lengthscale));
+      } else if (h == dim_) {
+        double& ls = kernel_.hypers().log_signal;
+        ls = std::clamp(ls + delta, std::log(1e-3), std::log(1e3));
+      } else {
+        log_noise_ = std::clamp(
+            log_noise_ + delta, 0.5 * std::log(config_.min_noise_var),
+            0.5 * std::log(config_.max_noise_var));
+      }
+    }
+    noise_var_ = std::exp(2.0 * log_noise_);
+    factorize();
+    if (lml_ > best_lml) {
+      best_lml = lml_;
+      best_ls = kernel_.hypers().log_lengthscale;
+      best_sig = kernel_.hypers().log_signal;
+      best_noise = log_noise_;
+    }
+  }
+  kernel_.hypers().log_lengthscale = best_ls;
+  kernel_.hypers().log_signal = best_sig;
+  log_noise_ = best_noise;
+  noise_var_ = std::exp(2.0 * log_noise_);
+  factorize();
+}
+
+Posterior GaussianProcess::predict(const Vec& x) const {
+  Posterior p;
+  const std::size_t n = x_.size();
+  if (n == 0) {
+    p.var = kernel_.diag();
+    return p;
+  }
+  Vec ks(n);
+  for (std::size_t i = 0; i < n; ++i) ks[i] = kernel_.eval(x, x_[i]);
+  p.mean = dot(ks, alpha_);
+  const Vec v = chol_.solve(ks);
+  p.var = std::max(1e-12, kernel_.diag() - dot(ks, v) + noise_var_);
+  return p;
+}
+
+PosteriorGrad GaussianProcess::predict_with_grad(const Vec& x) const {
+  PosteriorGrad p;
+  p.dmean.assign(dim_, 0.0);
+  p.dvar.assign(dim_, 0.0);
+  const std::size_t n = x_.size();
+  if (n == 0) {
+    p.var = kernel_.diag();
+    return p;
+  }
+  Vec ks(n);
+  std::vector<Vec> dks(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ks[i] = kernel_.eval(x, x_[i]);
+    dks[i] = kernel_.grad_x(x, x_[i]);
+  }
+  p.mean = dot(ks, alpha_);
+  const Vec v = chol_.solve(ks);
+  p.var = std::max(1e-12, kernel_.diag() - dot(ks, v) + noise_var_);
+  for (std::size_t d = 0; d < dim_; ++d) {
+    double dm = 0.0, dv = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      dm += alpha_[i] * dks[i][d];
+      dv += -2.0 * v[i] * dks[i][d];
+    }
+    p.dmean[d] = dm;
+    p.dvar[d] = dv;
+  }
+  return p;
+}
+
+Vec GaussianProcess::lengthscales() const {
+  Vec out(dim_);
+  for (std::size_t i = 0; i < dim_; ++i)
+    out[i] = std::exp(kernel_.hypers().log_lengthscale[i]);
+  return out;
+}
+
+}  // namespace citroen::gp

@@ -1,0 +1,48 @@
+#pragma once
+// ARD covariance kernels for the GP surrogate: RBF and Matérn-5/2 (the
+// thesis default), with analytic derivatives w.r.t. both inputs (for
+// gradient-based acquisition maximisation) and log-hyper-parameters (for
+// marginal-likelihood fitting).
+
+#include <vector>
+
+#include "support/matrix.hpp"
+
+namespace citroen::gp {
+
+enum class KernelType { RBF, Matern52 };
+
+struct KernelHypers {
+  Vec log_lengthscale;     ///< one per input dimension (ARD)
+  double log_signal = 0.0; ///< log of the signal std-dev
+};
+
+class ArdKernel {
+ public:
+  ArdKernel(KernelType type, std::size_t dim);
+
+  KernelType type() const { return type_; }
+  std::size_t dim() const { return hypers_.log_lengthscale.size(); }
+
+  KernelHypers& hypers() { return hypers_; }
+  const KernelHypers& hypers() const { return hypers_; }
+
+  /// k(a, b).
+  double eval(const Vec& a, const Vec& b) const;
+
+  /// k(x, x) = signal variance.
+  double diag() const;
+
+  /// d k(x, b) / d x  (gradient w.r.t. the first argument).
+  Vec grad_x(const Vec& x, const Vec& b) const;
+
+  /// d k(a, b) / d log(lengthscale_i) for all i, plus d/d log(signal).
+  /// Appends dim+1 values to `out` (lengthscales first, signal last).
+  void grad_hypers(const Vec& a, const Vec& b, Vec& out) const;
+
+ private:
+  KernelType type_;
+  KernelHypers hypers_;
+};
+
+}  // namespace citroen::gp

@@ -1,0 +1,178 @@
+#include "heuristics/cmaes.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace citroen::heuristics {
+
+CmaEs::CmaEs(Box box, CmaEsConfig config)
+    : box_(std::move(box)), config_(config) {
+  n_ = box_.dim();
+  setup_constants();
+  mean_.assign(n_, 0.0);
+  for (std::size_t i = 0; i < n_; ++i)
+    mean_[i] = 0.5 * (box_.lower[i] + box_.upper[i]);
+  double extent = 0.0;
+  for (std::size_t i = 0; i < n_; ++i)
+    extent += box_.upper[i] - box_.lower[i];
+  extent /= static_cast<double>(n_);
+  sigma_ = config_.sigma0 * extent;
+  c_ = Matrix::identity(n_);
+  p_sigma_.assign(n_, 0.0);
+  p_c_.assign(n_, 0.0);
+  refresh_eigen();
+}
+
+void CmaEs::setup_constants() {
+  const double n = static_cast<double>(n_);
+  lambda_ = config_.lambda > 0
+                ? config_.lambda
+                : 4 + static_cast<int>(std::floor(3.0 * std::log(n)));
+  mu_ = lambda_ / 2;
+  weights_.resize(static_cast<std::size_t>(mu_));
+  double sum = 0.0;
+  for (int i = 0; i < mu_; ++i) {
+    weights_[static_cast<std::size_t>(i)] =
+        std::log((lambda_ + 1.0) / 2.0) - std::log(i + 1.0);
+    sum += weights_[static_cast<std::size_t>(i)];
+  }
+  double sum_sq = 0.0;
+  for (auto& w : weights_) {
+    w /= sum;
+    sum_sq += w * w;
+  }
+  mu_w_ = 1.0 / sum_sq;
+  c_sigma_ = (mu_w_ + 2.0) / (n + mu_w_ + 5.0);
+  d_sigma_ = 1.0 +
+             2.0 * std::max(0.0, std::sqrt((mu_w_ - 1.0) / (n + 1.0)) - 1.0) +
+             c_sigma_;
+  c_c_ = (4.0 + mu_w_ / n) / (n + 4.0 + 2.0 * mu_w_ / n);
+  c1_ = 2.0 / ((n + 1.3) * (n + 1.3) + mu_w_);
+  c_mu_ = std::min(1.0 - c1_, 2.0 * (mu_w_ - 2.0 + 1.0 / mu_w_) /
+                                  ((n + 2.0) * (n + 2.0) + mu_w_));
+  chi_n_ = std::sqrt(n) * (1.0 - 1.0 / (4.0 * n) + 1.0 / (21.0 * n * n));
+}
+
+void CmaEs::refresh_eigen() {
+  const EigenSym e = eigh_jacobi(c_);
+  eig_vectors_ = e.vectors;
+  eig_sqrt_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i)
+    eig_sqrt_[i] = std::sqrt(std::max(1e-20, e.values[i]));
+  evals_since_eigen_ = 0;
+}
+
+Vec CmaEs::sample(Rng& rng) const {
+  // x = mean + sigma * B * diag(D) * z
+  Vec z(n_);
+  for (auto& v : z) v = rng.normal();
+  Vec bd(n_, 0.0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const double s = eig_sqrt_[i] * z[i];
+    for (std::size_t r = 0; r < n_; ++r) bd[r] += eig_vectors_(r, i) * s;
+  }
+  Vec x = mean_;
+  axpy(x, sigma_, bd);
+  return box_.clamp(std::move(x));
+}
+
+Vec CmaEs::c_inv_sqrt_times(const Vec& v) const {
+  // B diag(1/D) B^T v
+  Vec t(n_, 0.0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    double acc = 0.0;
+    for (std::size_t r = 0; r < n_; ++r) acc += eig_vectors_(r, i) * v[r];
+    t[i] = acc / eig_sqrt_[i];
+  }
+  Vec out(n_, 0.0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t r = 0; r < n_; ++r) out[r] += eig_vectors_(r, i) * t[i];
+  }
+  return out;
+}
+
+void CmaEs::init(const std::vector<Vec>& xs, const Vec& ys) {
+  if (xs.empty()) return;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    if (ys[i] < ys[best]) best = i;
+  }
+  mean_ = xs[best];
+}
+
+std::vector<Vec> CmaEs::ask(int k, Rng& rng) {
+  std::vector<Vec> out;
+  out.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) out.push_back(sample(rng));
+  return out;
+}
+
+void CmaEs::tell(const Vec& x, double y) {
+  buffer_.emplace_back(x, y);
+  if (static_cast<int>(buffer_.size()) >= lambda_) update_distribution();
+}
+
+void CmaEs::update_distribution() {
+  std::sort(buffer_.begin(), buffer_.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+
+  const Vec old_mean = mean_;
+  Vec new_mean(n_, 0.0);
+  for (int i = 0; i < mu_; ++i)
+    axpy(new_mean, weights_[static_cast<std::size_t>(i)],
+         buffer_[static_cast<std::size_t>(i)].first);
+
+  Vec delta(n_);
+  for (std::size_t i = 0; i < n_; ++i)
+    delta[i] = (new_mean[i] - old_mean[i]) / sigma_;
+
+  // Step-size path (eq. 2.9) and update (eq. 2.10).
+  const Vec cz = c_inv_sqrt_times(delta);
+  const double cs_decay = 1.0 - c_sigma_;
+  const double cs_scale = std::sqrt(c_sigma_ * (2.0 - c_sigma_) * mu_w_);
+  for (std::size_t i = 0; i < n_; ++i)
+    p_sigma_[i] = cs_decay * p_sigma_[i] + cs_scale * cz[i];
+  const double ps_norm = norm2(p_sigma_);
+  sigma_ *= std::exp((c_sigma_ / d_sigma_) * (ps_norm / chi_n_ - 1.0));
+  sigma_ = std::clamp(sigma_, 1e-10, 1e6);
+
+  ++generation_;
+  const double hs_denom = std::sqrt(
+      1.0 - std::pow(1.0 - c_sigma_, 2.0 * (generation_ + 1)));
+  const bool h_sigma =
+      ps_norm / hs_denom < (1.4 + 2.0 / (static_cast<double>(n_) + 1.0)) *
+                               chi_n_;
+
+  // Covariance path (eq. 2.11).
+  const double cc_decay = 1.0 - c_c_;
+  const double cc_scale = std::sqrt(c_c_ * (2.0 - c_c_) * mu_w_);
+  for (std::size_t i = 0; i < n_; ++i)
+    p_c_[i] = cc_decay * p_c_[i] + (h_sigma ? cc_scale * delta[i] : 0.0);
+
+  // Covariance update (eq. 2.12): rank-one + rank-mu.
+  const double old_scale =
+      1.0 - c1_ - c_mu_ +
+      (h_sigma ? 0.0 : c1_ * c_c_ * (2.0 - c_c_));
+  for (std::size_t r = 0; r < n_; ++r) {
+    for (std::size_t cidx = 0; cidx < n_; ++cidx) {
+      double v = old_scale * c_(r, cidx) + c1_ * p_c_[r] * p_c_[cidx];
+      for (int i = 0; i < mu_; ++i) {
+        const auto& xi = buffer_[static_cast<std::size_t>(i)].first;
+        const double yr = (xi[r] - old_mean[r]) / sigma_;
+        const double yc = (xi[cidx] - old_mean[cidx]) / sigma_;
+        v += c_mu_ * weights_[static_cast<std::size_t>(i)] * yr * yc;
+      }
+      c_(r, cidx) = v;
+    }
+  }
+  mean_ = new_mean;
+  buffer_.clear();
+
+  // Lazy eigendecomposition refresh (standard CMA-ES bookkeeping).
+  if (++evals_since_eigen_ >=
+      std::max(1, static_cast<int>(n_) / 10)) {
+    refresh_eigen();
+  }
+}
+
+}  // namespace citroen::heuristics

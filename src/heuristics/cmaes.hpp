@@ -1,0 +1,60 @@
+#pragma once
+// Covariance-matrix-adaptation evolution strategy (full rank-mu update
+// with cumulative step-size adaptation, equations 2.7-2.12 of the thesis).
+// Works in ask/tell form: samples accumulate into a generation buffer and
+// the distribution updates once lambda samples have been told.
+
+#include "heuristics/optimizer.hpp"
+
+namespace citroen::heuristics {
+
+struct CmaEsConfig {
+  double sigma0 = 0.2;  ///< initial step size, relative to the box extent
+  int lambda = 0;       ///< population size; 0 = 4 + floor(3 ln n)
+};
+
+class CmaEs final : public ContinuousOptimizer {
+ public:
+  CmaEs(Box box, CmaEsConfig config = {});
+
+  std::string name() const override { return "cma-es"; }
+  void init(const std::vector<Vec>& xs, const Vec& ys) override;
+  std::vector<Vec> ask(int k, Rng& rng) override;
+  void tell(const Vec& x, double y) override;
+
+  double sigma() const { return sigma_; }
+
+ private:
+  void setup_constants();
+  void update_distribution();
+  void refresh_eigen();
+  Vec sample(Rng& rng) const;
+  Vec c_inv_sqrt_times(const Vec& v) const;
+
+  Box box_;
+  CmaEsConfig config_;
+  std::size_t n_ = 0;
+
+  // Distribution state.
+  Vec mean_;
+  double sigma_ = 0.2;
+  Matrix c_;
+  Matrix eig_vectors_;
+  Vec eig_sqrt_;        ///< sqrt of eigenvalues (D)
+  int evals_since_eigen_ = 0;
+
+  // Evolution paths.
+  Vec p_sigma_, p_c_;
+  int generation_ = 0;
+
+  // Strategy constants.
+  int lambda_ = 0, mu_ = 0;
+  Vec weights_;
+  double mu_w_ = 0.0, c_sigma_ = 0.0, d_sigma_ = 0.0, c_c_ = 0.0, c1_ = 0.0,
+         c_mu_ = 0.0, chi_n_ = 0.0;
+
+  // Generation buffer of told samples.
+  std::vector<std::pair<Vec, double>> buffer_;
+};
+
+}  // namespace citroen::heuristics

@@ -1,0 +1,40 @@
+#include "heuristics/des.hpp"
+
+namespace citroen::heuristics {
+
+DesSequence::DesSequence(int num_passes, int max_len, DesConfig config)
+    : num_passes_(num_passes), max_len_(max_len), config_(config) {}
+
+void DesSequence::init(const std::vector<Sequence>& xs, const Vec& ys) {
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (ys[i] < best_y_) {
+      best_y_ = ys[i];
+      best_ = xs[i];
+    }
+  }
+}
+
+std::vector<Sequence> DesSequence::ask(int k, Rng& rng) {
+  std::vector<Sequence> out;
+  out.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    if (best_.empty()) {
+      out.push_back(random_sequence(num_passes_, max_len_, rng));
+      continue;
+    }
+    Sequence child = best_;
+    for (int mu = 0; mu < config_.mutations_per_child; ++mu)
+      child = mutate_sequence(child, num_passes_, max_len_, rng);
+    out.push_back(std::move(child));
+  }
+  return out;
+}
+
+void DesSequence::tell(const Sequence& x, double y) {
+  if (y < best_y_ || best_.empty()) {
+    best_y_ = y;
+    best_ = x;
+  }
+}
+
+}  // namespace citroen::heuristics

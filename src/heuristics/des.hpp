@@ -1,0 +1,75 @@
+#pragma once
+// Discrete 1+lambda evolution strategy over pass sequences (Sec. 2.2.3 /
+// 5.3.5): keep the incumbent best sequence, propose lambda mutants, adopt
+// on improvement. Also provides the pure-random ask/tell optimisers used
+// as AIBO's exploration member.
+
+#include "heuristics/optimizer.hpp"
+
+namespace citroen::heuristics {
+
+struct DesConfig {
+  int lambda = 8;              ///< mutants per generation
+  int mutations_per_child = 1; ///< mutation strength
+};
+
+class DesSequence final : public SequenceOptimizer {
+ public:
+  DesSequence(int num_passes, int max_len, DesConfig config = {});
+
+  std::string name() const override { return "des"; }
+  void init(const std::vector<Sequence>& xs, const Vec& ys) override;
+  std::vector<Sequence> ask(int k, Rng& rng) override;
+  void tell(const Sequence& x, double y) override;
+
+  const Sequence& incumbent() const { return best_; }
+  double incumbent_value() const { return best_y_; }
+
+ private:
+  int num_passes_;
+  int max_len_;
+  DesConfig config_;
+  Sequence best_;
+  double best_y_ = 1e300;
+};
+
+/// Uniform-random continuous proposals (AIBO's "random" initialiser).
+class RandomContinuous final : public ContinuousOptimizer {
+ public:
+  explicit RandomContinuous(Box box) : box_(std::move(box)) {}
+  std::string name() const override { return "random"; }
+  void init(const std::vector<Vec>&, const Vec&) override {}
+  std::vector<Vec> ask(int k, Rng& rng) override {
+    std::vector<Vec> out;
+    out.reserve(static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i) out.push_back(box_.sample(rng));
+    return out;
+  }
+  void tell(const Vec&, double) override {}
+
+ private:
+  Box box_;
+};
+
+/// Uniform-random sequence proposals.
+class RandomSequence final : public SequenceOptimizer {
+ public:
+  RandomSequence(int num_passes, int max_len)
+      : num_passes_(num_passes), max_len_(max_len) {}
+  std::string name() const override { return "random-seq"; }
+  void init(const std::vector<Sequence>&, const Vec&) override {}
+  std::vector<Sequence> ask(int k, Rng& rng) override {
+    std::vector<Sequence> out;
+    out.reserve(static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i)
+      out.push_back(random_sequence(num_passes_, max_len_, rng));
+    return out;
+  }
+  void tell(const Sequence&, double) override {}
+
+ private:
+  int num_passes_;
+  int max_len_;
+};
+
+}  // namespace citroen::heuristics

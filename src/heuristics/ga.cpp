@@ -1,0 +1,154 @@
+#include "heuristics/ga.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace citroen::heuristics {
+
+namespace {
+
+/// Index of the tournament winner (lower objective wins).
+template <typename Pop>
+std::size_t tournament(const Pop& pop, Rng& rng) {
+  const std::size_t a = rng.uniform_index(pop.size());
+  const std::size_t b = rng.uniform_index(pop.size());
+  return pop[a].second <= pop[b].second ? a : b;
+}
+
+}  // namespace
+
+GaContinuous::GaContinuous(Box box, GaConfig config)
+    : box_(std::move(box)), config_(config) {}
+
+void GaContinuous::init(const std::vector<Vec>& xs, const Vec& ys) {
+  pop_.clear();
+  for (std::size_t i = 0; i < xs.size(); ++i) pop_.emplace_back(xs[i], ys[i]);
+  std::sort(pop_.begin(), pop_.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  if (pop_.size() > static_cast<std::size_t>(config_.population))
+    pop_.resize(static_cast<std::size_t>(config_.population));
+}
+
+Vec GaContinuous::make_child(Rng& rng) {
+  const std::size_t d = box_.dim();
+  const Vec& p1 = pop_[tournament(pop_, rng)].first;
+  const Vec& p2 = pop_[tournament(pop_, rng)].first;
+  Vec child = p1;
+
+  // Simulated binary crossover.
+  if (rng.bernoulli(config_.crossover_prob)) {
+    for (std::size_t i = 0; i < d; ++i) {
+      if (!rng.bernoulli(config_.var_swap_prob)) continue;
+      const double u = rng.uniform();
+      const double beta =
+          u <= 0.5 ? std::pow(2.0 * u, 1.0 / (config_.sbx_eta + 1.0))
+                   : std::pow(1.0 / (2.0 * (1.0 - u)),
+                              1.0 / (config_.sbx_eta + 1.0));
+      child[i] = 0.5 * ((1.0 + beta) * p1[i] + (1.0 - beta) * p2[i]);
+    }
+  }
+
+  // Polynomial mutation with probability 1/d per variable.
+  const double pm = 1.0 / static_cast<double>(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    if (!rng.bernoulli(pm)) continue;
+    const double range = box_.upper[i] - box_.lower[i];
+    const double u = rng.uniform();
+    const double delta =
+        u < 0.5 ? std::pow(2.0 * u, 1.0 / (config_.mutation_eta + 1.0)) - 1.0
+                : 1.0 - std::pow(2.0 * (1.0 - u),
+                                 1.0 / (config_.mutation_eta + 1.0));
+    child[i] += delta * range;
+  }
+  return box_.clamp(std::move(child));
+}
+
+std::vector<Vec> GaContinuous::ask(int k, Rng& rng) {
+  std::vector<Vec> out;
+  out.reserve(static_cast<std::size_t>(k));
+  if (pop_.empty()) {
+    for (int i = 0; i < k; ++i) out.push_back(box_.sample(rng));
+    return out;
+  }
+  for (int i = 0; i < k; ++i) out.push_back(make_child(rng));
+  return out;
+}
+
+void GaContinuous::tell(const Vec& x, double y) {
+  pop_.emplace_back(x, y);
+  std::sort(pop_.begin(), pop_.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  if (pop_.size() > static_cast<std::size_t>(config_.population))
+    pop_.resize(static_cast<std::size_t>(config_.population));
+}
+
+double GaContinuous::population_diversity() const {
+  if (pop_.size() < 2) return 0.0;
+  double total = 0.0;
+  int pairs = 0;
+  for (std::size_t i = 0; i < pop_.size(); ++i) {
+    for (std::size_t j = i + 1; j < pop_.size(); ++j) {
+      double d2 = 0.0;
+      for (std::size_t k = 0; k < pop_[i].first.size(); ++k) {
+        const double t = pop_[i].first[k] - pop_[j].first[k];
+        d2 += t * t;
+      }
+      total += std::sqrt(d2);
+      ++pairs;
+    }
+  }
+  return total / pairs;
+}
+
+GaSequence::GaSequence(int num_passes, int max_len, DiscreteGaConfig config)
+    : num_passes_(num_passes), max_len_(max_len), config_(config) {}
+
+void GaSequence::init(const std::vector<Sequence>& xs, const Vec& ys) {
+  pop_.clear();
+  for (std::size_t i = 0; i < xs.size(); ++i) pop_.emplace_back(xs[i], ys[i]);
+  std::sort(pop_.begin(), pop_.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  if (pop_.size() > static_cast<std::size_t>(config_.population))
+    pop_.resize(static_cast<std::size_t>(config_.population));
+}
+
+std::vector<Sequence> GaSequence::ask(int k, Rng& rng) {
+  std::vector<Sequence> out;
+  out.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    if (pop_.empty()) {
+      out.push_back(random_sequence(num_passes_, max_len_, rng));
+      continue;
+    }
+    const Sequence& p1 = pop_[tournament(pop_, rng)].first;
+    const Sequence& p2 = pop_[tournament(pop_, rng)].first;
+    Sequence child;
+    if (rng.bernoulli(config_.crossover_prob) && !p1.empty() && !p2.empty()) {
+      // One-point crossover on sequences of (possibly) different lengths.
+      const std::size_t c1 = rng.uniform_index(p1.size() + 1);
+      const std::size_t c2 = rng.uniform_index(p2.size() + 1);
+      child.assign(p1.begin(), p1.begin() + static_cast<std::ptrdiff_t>(c1));
+      child.insert(child.end(),
+                   p2.begin() + static_cast<std::ptrdiff_t>(c2), p2.end());
+      if (static_cast<int>(child.size()) > max_len_)
+        child.resize(static_cast<std::size_t>(max_len_));
+      if (child.empty()) child = p1;
+    } else {
+      child = p1;
+    }
+    for (int mu = 0; mu < config_.mutations_per_child; ++mu)
+      child = mutate_sequence(child, num_passes_, max_len_, rng);
+    out.push_back(std::move(child));
+  }
+  return out;
+}
+
+void GaSequence::tell(const Sequence& x, double y) {
+  pop_.emplace_back(x, y);
+  std::sort(pop_.begin(), pop_.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  if (pop_.size() > static_cast<std::size_t>(config_.population))
+    pop_.resize(static_cast<std::size_t>(config_.population));
+}
+
+}  // namespace citroen::heuristics

@@ -1,0 +1,63 @@
+#pragma once
+// Genetic algorithms: the continuous variant mirrors pymoo's defaults
+// (tournament T=2, simulated binary crossover, polynomial mutation); the
+// discrete variant operates on pass sequences with one-point crossover
+// and the shared mutation kit.
+
+#include <memory>
+
+#include "heuristics/optimizer.hpp"
+
+namespace citroen::heuristics {
+
+struct GaConfig {
+  int population = 50;
+  double crossover_prob = 0.9;   ///< per mating pair
+  double sbx_eta = 15.0;         ///< SBX distribution index
+  double mutation_eta = 20.0;    ///< polynomial mutation index
+  double var_swap_prob = 0.5;    ///< per-variable SBX exchange probability
+};
+
+class GaContinuous final : public ContinuousOptimizer {
+ public:
+  GaContinuous(Box box, GaConfig config = {});
+
+  std::string name() const override { return "ga"; }
+  void init(const std::vector<Vec>& xs, const Vec& ys) override;
+  std::vector<Vec> ask(int k, Rng& rng) override;
+  void tell(const Vec& x, double y) override;
+
+  /// Mean pairwise distance of the population (Fig. 4.15 diversity).
+  double population_diversity() const;
+
+ private:
+  Vec make_child(Rng& rng);
+
+  Box box_;
+  GaConfig config_;
+  std::vector<std::pair<Vec, double>> pop_;  ///< (x, objective)
+};
+
+struct DiscreteGaConfig {
+  int population = 50;
+  double crossover_prob = 0.9;
+  int mutations_per_child = 2;
+};
+
+class GaSequence final : public SequenceOptimizer {
+ public:
+  GaSequence(int num_passes, int max_len, DiscreteGaConfig config = {});
+
+  std::string name() const override { return "ga-seq"; }
+  void init(const std::vector<Sequence>& xs, const Vec& ys) override;
+  std::vector<Sequence> ask(int k, Rng& rng) override;
+  void tell(const Sequence& x, double y) override;
+
+ private:
+  int num_passes_;
+  int max_len_;
+  DiscreteGaConfig config_;
+  std::vector<std::pair<Sequence, double>> pop_;
+};
+
+}  // namespace citroen::heuristics

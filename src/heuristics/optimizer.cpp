@@ -1,0 +1,77 @@
+#include "heuristics/optimizer.hpp"
+
+#include <algorithm>
+
+namespace citroen::heuristics {
+
+Vec Box::clamp(Vec x) const {
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = std::clamp(x[i], lower[i], upper[i]);
+  return x;
+}
+
+Vec Box::sample(Rng& rng) const {
+  Vec x(dim());
+  for (std::size_t i = 0; i < dim(); ++i)
+    x[i] = rng.uniform(lower[i], upper[i]);
+  return x;
+}
+
+Sequence mutate_sequence(const Sequence& s, int num_passes, int max_len,
+                         Rng& rng) {
+  Sequence out = s;
+  const int kind = static_cast<int>(rng.uniform_index(5));
+  switch (kind) {
+    case 0: {  // point substitution
+      if (out.empty()) break;
+      out[rng.uniform_index(out.size())] =
+          static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(
+              num_passes)));
+      break;
+    }
+    case 1: {  // insertion
+      if (static_cast<int>(out.size()) >= max_len) break;
+      const std::size_t at = rng.uniform_index(out.size() + 1);
+      out.insert(out.begin() + static_cast<std::ptrdiff_t>(at),
+                 static_cast<int>(rng.uniform_index(
+                     static_cast<std::uint64_t>(num_passes))));
+      break;
+    }
+    case 2: {  // deletion
+      if (out.size() <= 1) break;
+      out.erase(out.begin() +
+                static_cast<std::ptrdiff_t>(rng.uniform_index(out.size())));
+      break;
+    }
+    case 3: {  // adjacent swap
+      if (out.size() < 2) break;
+      const std::size_t at = rng.uniform_index(out.size() - 1);
+      std::swap(out[at], out[at + 1]);
+      break;
+    }
+    case 4: {  // block reverse
+      if (out.size() < 3) break;
+      std::size_t a = rng.uniform_index(out.size());
+      std::size_t b = rng.uniform_index(out.size());
+      if (a > b) std::swap(a, b);
+      std::reverse(out.begin() + static_cast<std::ptrdiff_t>(a),
+                   out.begin() + static_cast<std::ptrdiff_t>(b) + 1);
+      break;
+    }
+    default:
+      break;
+  }
+  return out;
+}
+
+Sequence random_sequence(int num_passes, int max_len, Rng& rng) {
+  const std::size_t len = 1 + rng.uniform_index(static_cast<std::uint64_t>(
+                                  max_len));
+  Sequence s(len);
+  for (auto& p : s)
+    p = static_cast<int>(
+        rng.uniform_index(static_cast<std::uint64_t>(num_passes)));
+  return s;
+}
+
+}  // namespace citroen::heuristics

@@ -1,0 +1,66 @@
+#pragma once
+// Ask/tell interfaces for the heuristic optimisers used both as
+// standalone black-box baselines (Ch. 4) and as acquisition-maximiser
+// initialisers inside AIBO/CITROEN (Algorithm 1).
+//
+// Convention: objectives are MINIMISED. Callers with reward-style
+// objectives negate before telling.
+
+#include <string>
+#include <vector>
+
+#include "support/matrix.hpp"
+#include "support/rng.hpp"
+
+namespace citroen::heuristics {
+
+/// Rectangular search domain.
+struct Box {
+  Vec lower;
+  Vec upper;
+
+  std::size_t dim() const { return lower.size(); }
+  Vec clamp(Vec x) const;
+  Vec sample(Rng& rng) const;
+};
+
+/// Continuous ask/tell optimiser (GA, CMA-ES, random).
+class ContinuousOptimizer {
+ public:
+  virtual ~ContinuousOptimizer() = default;
+  virtual std::string name() const = 0;
+
+  /// Seed with an already-evaluated initial design.
+  virtual void init(const std::vector<Vec>& xs, const Vec& ys) = 0;
+
+  /// Propose k raw candidates (does not consume budget).
+  virtual std::vector<Vec> ask(int k, Rng& rng) = 0;
+
+  /// Report an evaluated sample (chosen by the caller, not necessarily
+  /// one of ask()'s proposals — AIBO feeds back the AF-selected point).
+  virtual void tell(const Vec& x, double y) = 0;
+};
+
+/// A compiler pass sequence encoded as pass-registry indices.
+using Sequence = std::vector<int>;
+
+/// Discrete ask/tell optimiser over pass sequences (DES, discrete GA,
+/// random).
+class SequenceOptimizer {
+ public:
+  virtual ~SequenceOptimizer() = default;
+  virtual std::string name() const = 0;
+  virtual void init(const std::vector<Sequence>& xs, const Vec& ys) = 0;
+  virtual std::vector<Sequence> ask(int k, Rng& rng) = 0;
+  virtual void tell(const Sequence& x, double y) = 0;
+};
+
+/// Mutation kit shared by the discrete optimisers (Sec. 5.3.5): point
+/// substitution, insertion, deletion, adjacent swap, block reverse.
+Sequence mutate_sequence(const Sequence& s, int num_passes, int max_len,
+                         Rng& rng);
+
+/// Uniform random sequence with length in [1, max_len].
+Sequence random_sequence(int num_passes, int max_len, Rng& rng);
+
+}  // namespace citroen::heuristics

@@ -1,0 +1,239 @@
+#include "ir/analysis.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace citroen::ir {
+
+namespace {
+
+void post_order(const Function& f, BlockId b, std::vector<bool>& seen,
+                std::vector<BlockId>& order) {
+  seen[static_cast<std::size_t>(b)] = true;
+  for (BlockId s : f.successors(b)) {
+    if (!seen[static_cast<std::size_t>(s)]) post_order(f, s, seen, order);
+  }
+  order.push_back(b);
+}
+
+}  // namespace
+
+bool DomTree::dominates(BlockId a, BlockId b) const {
+  if (!reachable[static_cast<std::size_t>(b)]) return false;
+  while (true) {
+    if (a == b) return true;
+    const BlockId next = idom[static_cast<std::size_t>(b)];
+    if (next == b) return false;  // reached entry
+    b = next;
+  }
+}
+
+DomTree compute_dominators(const Function& f) {
+  const std::size_t n = f.blocks.size();
+  DomTree dt;
+  dt.idom.assign(n, -1);
+  dt.children.assign(n, {});
+  dt.rpo_index.assign(n, -1);
+  dt.reachable.assign(n, false);
+
+  std::vector<BlockId> po;
+  post_order(f, 0, dt.reachable, po);
+  dt.rpo.assign(po.rbegin(), po.rend());
+  for (std::size_t i = 0; i < dt.rpo.size(); ++i)
+    dt.rpo_index[static_cast<std::size_t>(dt.rpo[i])] = static_cast<int>(i);
+
+  const auto preds = f.predecessors();
+  dt.idom[0] = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (BlockId b : dt.rpo) {
+      if (b == 0) continue;
+      BlockId new_idom = -1;
+      for (BlockId p : preds[static_cast<std::size_t>(b)]) {
+        if (dt.idom[static_cast<std::size_t>(p)] == -1) continue;
+        if (new_idom == -1) {
+          new_idom = p;
+          continue;
+        }
+        // intersect(p, new_idom)
+        BlockId x = p, y = new_idom;
+        while (x != y) {
+          while (dt.rpo_index[static_cast<std::size_t>(x)] >
+                 dt.rpo_index[static_cast<std::size_t>(y)])
+            x = dt.idom[static_cast<std::size_t>(x)];
+          while (dt.rpo_index[static_cast<std::size_t>(y)] >
+                 dt.rpo_index[static_cast<std::size_t>(x)])
+            y = dt.idom[static_cast<std::size_t>(y)];
+        }
+        new_idom = x;
+      }
+      if (new_idom != -1 && dt.idom[static_cast<std::size_t>(b)] != new_idom) {
+        dt.idom[static_cast<std::size_t>(b)] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  for (std::size_t b = 0; b < n; ++b) {
+    if (dt.reachable[b] && b != 0)
+      dt.children[static_cast<std::size_t>(dt.idom[b])].push_back(
+          static_cast<BlockId>(b));
+  }
+  return dt;
+}
+
+bool Loop::contains(BlockId b) const {
+  return std::find(blocks.begin(), blocks.end(), b) != blocks.end();
+}
+
+std::vector<Loop> find_loops(const Function& f, const DomTree& dt) {
+  std::vector<Loop> loops;
+  const auto preds = f.predecessors();
+
+  // Back edge: b -> h where h dominates b.
+  for (BlockId h = 0; h < static_cast<BlockId>(f.blocks.size()); ++h) {
+    if (!dt.reachable[static_cast<std::size_t>(h)]) continue;
+    std::vector<BlockId> latches;
+    for (BlockId p : preds[static_cast<std::size_t>(h)]) {
+      if (dt.reachable[static_cast<std::size_t>(p)] && dt.dominates(h, p))
+        latches.push_back(p);
+    }
+    if (latches.empty()) continue;
+
+    Loop loop;
+    loop.header = h;
+    loop.latches = latches;
+    // Loop body: backwards reachability from latches without crossing h.
+    std::vector<bool> in(f.blocks.size(), false);
+    in[static_cast<std::size_t>(h)] = true;
+    std::vector<BlockId> work(latches);
+    while (!work.empty()) {
+      const BlockId b = work.back();
+      work.pop_back();
+      if (in[static_cast<std::size_t>(b)]) continue;
+      in[static_cast<std::size_t>(b)] = true;
+      for (BlockId p : preds[static_cast<std::size_t>(b)]) work.push_back(p);
+    }
+    for (std::size_t b = 0; b < f.blocks.size(); ++b) {
+      if (in[b]) loop.blocks.push_back(static_cast<BlockId>(b));
+    }
+    // Exits.
+    for (BlockId b : loop.blocks) {
+      for (BlockId s : f.successors(b)) {
+        if (!in[static_cast<std::size_t>(s)] &&
+            std::find(loop.exits.begin(), loop.exits.end(), s) ==
+                loop.exits.end())
+          loop.exits.push_back(s);
+      }
+    }
+    // Preheader: the unique predecessor of the header outside the loop.
+    BlockId ph = -1;
+    int outside = 0;
+    for (BlockId p : preds[static_cast<std::size_t>(h)]) {
+      if (!in[static_cast<std::size_t>(p)]) {
+        ++outside;
+        ph = p;
+      }
+    }
+    if (outside == 1 && f.successors(ph).size() == 1) loop.preheader = ph;
+    loops.push_back(std::move(loop));
+  }
+
+  // Nesting depth: a loop is nested in another if its header is a member
+  // of the other loop (and they differ).
+  for (auto& a : loops) {
+    for (const auto& b : loops) {
+      if (&a != &b && b.contains(a.header) && a.header != b.header) ++a.depth;
+      if (&a != &b && a.header == b.header) {
+        // Distinct back edges to the same header: treat as one loop; the
+        // discovery above already merges latches per header, so this case
+        // does not occur.
+      }
+    }
+  }
+  std::sort(loops.begin(), loops.end(),
+            [](const Loop& a, const Loop& b) { return a.depth < b.depth; });
+  return loops;
+}
+
+std::vector<int> count_uses(const Function& f) {
+  std::vector<int> uses(f.instrs.size(), 0);
+  for (const auto& bb : f.blocks) {
+    for (ValueId id : bb.insts) {
+      const Instr& in = f.instr(id);
+      if (in.dead()) continue;
+      for (ValueId op : in.ops) ++uses[static_cast<std::size_t>(op)];
+    }
+  }
+  return uses;
+}
+
+std::vector<BlockId> def_blocks(const Function& f) {
+  std::vector<BlockId> defs(f.instrs.size(), -1);
+  for (BlockId b = 0; b < static_cast<BlockId>(f.blocks.size()); ++b) {
+    for (ValueId id : f.block(b).insts) {
+      if (!f.instr(id).dead()) defs[static_cast<std::size_t>(id)] = b;
+    }
+  }
+  return defs;
+}
+
+int estimate_register_pressure(const Function& f) {
+  // Backwards liveness over blocks (values live-out of each block), then
+  // peak simultaneous liveness is approximated by the largest live-out set
+  // plus the block's own definitions that are used later in the block.
+  const std::size_t nb = f.blocks.size();
+  const auto defs = def_blocks(f);
+
+  // use[b] = values used in b but defined elsewhere; def[b] = defined in b.
+  std::vector<std::vector<bool>> live_out(
+      nb, std::vector<bool>(f.instrs.size(), false));
+  std::vector<std::vector<bool>> use(nb,
+                                     std::vector<bool>(f.instrs.size(), false));
+  std::vector<std::vector<bool>> defd(
+      nb, std::vector<bool>(f.instrs.size(), false));
+  for (BlockId b = 0; b < static_cast<BlockId>(nb); ++b) {
+    for (ValueId id : f.block(b).insts) {
+      const Instr& in = f.instr(id);
+      if (in.dead()) continue;
+      defd[static_cast<std::size_t>(b)][static_cast<std::size_t>(id)] = true;
+      for (ValueId op : in.ops) {
+        if (defs[static_cast<std::size_t>(op)] != b &&
+            !defd[static_cast<std::size_t>(b)][static_cast<std::size_t>(op)])
+          use[static_cast<std::size_t>(b)][static_cast<std::size_t>(op)] = true;
+      }
+    }
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t b = nb; b-- > 0;) {
+      for (BlockId s : f.successors(static_cast<BlockId>(b))) {
+        const auto& su = use[static_cast<std::size_t>(s)];
+        const auto& sd = defd[static_cast<std::size_t>(s)];
+        const auto& so = live_out[static_cast<std::size_t>(s)];
+        auto& bo = live_out[b];
+        for (std::size_t v = 0; v < f.instrs.size(); ++v) {
+          const bool need = su[v] || (so[v] && !sd[v]);
+          if (need && !bo[v]) {
+            bo[v] = true;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  int peak = 0;
+  for (std::size_t b = 0; b < nb; ++b) {
+    int live = 0;
+    for (std::size_t v = 0; v < f.instrs.size(); ++v) {
+      if (live_out[b][v]) ++live;
+    }
+    peak = std::max(peak, live);
+  }
+  return peak;
+}
+
+}  // namespace citroen::ir

@@ -1,0 +1,52 @@
+#pragma once
+// CFG analyses shared by the optimisation passes: dominator tree, natural
+// loop detection, and def/use utilities.
+
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace citroen::ir {
+
+/// Immediate-dominator tree (Cooper-Harvey-Kennedy iterative algorithm).
+struct DomTree {
+  std::vector<BlockId> idom;           ///< idom[b]; entry's idom is itself
+  std::vector<std::vector<BlockId>> children;
+  std::vector<int> rpo_index;          ///< reverse-post-order number
+  std::vector<BlockId> rpo;            ///< blocks in reverse post order
+  std::vector<bool> reachable;
+
+  bool dominates(BlockId a, BlockId b) const;
+};
+
+DomTree compute_dominators(const Function& f);
+
+/// A natural loop: header + member blocks (includes header).
+struct Loop {
+  BlockId header = -1;
+  BlockId preheader = -1;  ///< unique out-of-loop predecessor, or -1
+  std::vector<BlockId> blocks;
+  std::vector<BlockId> latches;  ///< in-loop predecessors of the header
+  std::vector<BlockId> exits;    ///< blocks outside reached from inside
+  int depth = 1;                 ///< nesting depth (1 = outermost)
+
+  bool contains(BlockId b) const;
+};
+
+/// All natural loops of a function, discovered from back edges in the
+/// dominator tree. Inner loops appear after their enclosing loops.
+std::vector<Loop> find_loops(const Function& f, const DomTree& dt);
+
+/// Number of uses of each value id by live instructions.
+std::vector<int> count_uses(const Function& f);
+
+/// Map from value id to the block containing its definition (-1 for args
+/// and detached instructions).
+std::vector<BlockId> def_blocks(const Function& f);
+
+/// An approximation of peak register pressure: the maximum, over blocks,
+/// of values live across that block's end. Used by the machine model to
+/// charge spill costs.
+int estimate_register_pressure(const Function& f);
+
+}  // namespace citroen::ir

@@ -1,0 +1,262 @@
+#include "ir/builder.hpp"
+
+#include <cassert>
+
+namespace citroen::ir {
+
+BlockId IRBuilder::new_block(const std::string& name) {
+  f_->blocks.push_back(BasicBlock{name, {}});
+  return static_cast<BlockId>(f_->blocks.size() - 1);
+}
+
+ValueId IRBuilder::append(Instr in) {
+  assert(cur_ >= 0 && "no insertion block set");
+  const ValueId id = f_->add_instr(std::move(in));
+  f_->block(cur_).insts.push_back(id);
+  return id;
+}
+
+ValueId IRBuilder::const_int(Type t, std::int64_t v) {
+  Instr in;
+  in.op = Opcode::ConstInt;
+  in.type = t;
+  in.imm = v;
+  return append(std::move(in));
+}
+
+ValueId IRBuilder::const_f64(double v) {
+  Instr in;
+  in.op = Opcode::ConstFP;
+  in.type = kF64;
+  in.fimm = v;
+  return append(std::move(in));
+}
+
+ValueId IRBuilder::binop(Opcode op, ValueId a, ValueId b) {
+  assert(is_binop(op));
+  Instr in;
+  in.op = op;
+  in.type = f_->instr(a).type;
+  in.ops = {a, b};
+  return append(std::move(in));
+}
+
+ValueId IRBuilder::icmp(CmpPred p, ValueId a, ValueId b) {
+  Instr in;
+  in.op = Opcode::ICmp;
+  in.type = kI1;
+  in.pred = p;
+  in.ops = {a, b};
+  return append(std::move(in));
+}
+
+ValueId IRBuilder::fcmp(CmpPred p, ValueId a, ValueId b) {
+  Instr in;
+  in.op = Opcode::FCmp;
+  in.type = kI1;
+  in.pred = p;
+  in.ops = {a, b};
+  return append(std::move(in));
+}
+
+ValueId IRBuilder::select(ValueId cond, ValueId a, ValueId b) {
+  Instr in;
+  in.op = Opcode::Select;
+  in.type = f_->instr(a).type;
+  in.ops = {cond, a, b};
+  return append(std::move(in));
+}
+
+ValueId IRBuilder::cast(Opcode op, ValueId v, Type to) {
+  assert(is_cast(op));
+  Instr in;
+  in.op = op;
+  in.type = to;
+  in.ops = {v};
+  return append(std::move(in));
+}
+
+ValueId IRBuilder::vsplat(ValueId scalar) {
+  Instr in;
+  in.op = Opcode::VSplat;
+  in.type = f_->instr(scalar).type.vector4();
+  in.ops = {scalar};
+  return append(std::move(in));
+}
+
+ValueId IRBuilder::vextract(ValueId vec, int lane) {
+  Instr in;
+  in.op = Opcode::VExtract;
+  in.type = f_->instr(vec).type.element();
+  in.imm = lane;
+  in.ops = {vec};
+  return append(std::move(in));
+}
+
+ValueId IRBuilder::vreduce_add(ValueId vec) {
+  Instr in;
+  in.op = Opcode::VReduceAdd;
+  in.type = f_->instr(vec).type.element();
+  in.ops = {vec};
+  return append(std::move(in));
+}
+
+ValueId IRBuilder::stack_alloc(Type elem, std::int32_t count) {
+  Instr in;
+  in.op = Opcode::Alloca;
+  in.type = kPtr;
+  in.alloca_bytes = elem.total_bytes() * count;
+  // Allocas are conventionally placed in the entry block so that slots are
+  // allocated once per call; we honour that by inserting directly there.
+  const ValueId id = f_->add_instr(std::move(in));
+  auto& entry = f_->block(0).insts;
+  // Insert before the entry terminator if one already exists.
+  if (!entry.empty() && is_terminator(f_->instr(entry.back()).op)) {
+    entry.insert(entry.end() - 1, id);
+  } else {
+    entry.push_back(id);
+  }
+  return id;
+}
+
+ValueId IRBuilder::global_addr(std::int32_t global_index) {
+  Instr in;
+  in.op = Opcode::GlobalAddr;
+  in.type = kPtr;
+  in.global_index = global_index;
+  return append(std::move(in));
+}
+
+ValueId IRBuilder::load(Type t, ValueId ptr) {
+  Instr in;
+  in.op = Opcode::Load;
+  in.type = t;
+  in.ops = {ptr};
+  return append(std::move(in));
+}
+
+void IRBuilder::store(ValueId value, ValueId ptr) {
+  Instr in;
+  in.op = Opcode::Store;
+  in.ops = {value, ptr};
+  append(std::move(in));
+}
+
+ValueId IRBuilder::gep(ValueId base, ValueId index, Type elem) {
+  Instr in;
+  in.op = Opcode::Gep;
+  in.type = kPtr;
+  in.stride = elem.total_bytes();
+  in.ops = {base, index};
+  return append(std::move(in));
+}
+
+void IRBuilder::memset(ValueId ptr, ValueId byte, ValueId size) {
+  Instr in;
+  in.op = Opcode::Memset;
+  in.ops = {ptr, byte, size};
+  append(std::move(in));
+}
+
+void IRBuilder::memcpy(ValueId dst, ValueId src, ValueId size) {
+  Instr in;
+  in.op = Opcode::Memcpy;
+  in.ops = {dst, src, size};
+  append(std::move(in));
+}
+
+void IRBuilder::br(BlockId dest) {
+  Instr in;
+  in.op = Opcode::Br;
+  in.succs = {dest};
+  append(std::move(in));
+}
+
+void IRBuilder::cond_br(ValueId cond, BlockId t, BlockId f) {
+  Instr in;
+  in.op = Opcode::CondBr;
+  in.ops = {cond};
+  in.succs = {t, f};
+  append(std::move(in));
+}
+
+void IRBuilder::ret(ValueId v) {
+  Instr in;
+  in.op = Opcode::Ret;
+  if (v != kNoValue) in.ops = {v};
+  append(std::move(in));
+}
+
+ValueId IRBuilder::call(Type ret, const std::string& callee,
+                        std::vector<ValueId> args) {
+  Instr in;
+  in.op = Opcode::Call;
+  in.type = ret;
+  in.callee = callee;
+  in.ops = std::move(args);
+  return append(std::move(in));
+}
+
+ValueId IRBuilder::phi(Type t,
+                       std::vector<std::pair<ValueId, BlockId>> incoming) {
+  Instr in;
+  in.op = Opcode::Phi;
+  in.type = t;
+  for (auto& [v, b] : incoming) {
+    in.ops.push_back(v);
+    in.phi_blocks.push_back(b);
+  }
+  return append(std::move(in));
+}
+
+IRBuilder::LoopCtx IRBuilder::begin_loop(ValueId begin, ValueId end,
+                                         std::int64_t step,
+                                         const std::string& tag) {
+  LoopCtx ctx;
+  ctx.step = step;
+  ctx.slot = stack_alloc(kI64);
+  store(begin, ctx.slot);
+  ctx.header = new_block(tag + ".header");
+  ctx.body = new_block(tag + ".body");
+  ctx.exit = new_block(tag + ".exit");
+  br(ctx.header);
+
+  set_insert(ctx.header);
+  const ValueId iv = load(kI64, ctx.slot);
+  const ValueId cond = icmp(CmpPred::SLT, iv, end);
+  cond_br(cond, ctx.body, ctx.exit);
+
+  set_insert(ctx.body);
+  ctx.iv = load(kI64, ctx.slot);
+  return ctx;
+}
+
+void IRBuilder::end_loop(const LoopCtx& ctx) {
+  const ValueId iv = load(kI64, ctx.slot);
+  const ValueId stepv = const_i64(ctx.step);
+  const ValueId next = binop(Opcode::Add, iv, stepv);
+  store(next, ctx.slot);
+  br(ctx.header);
+  set_insert(ctx.exit);
+}
+
+std::size_t create_function(Module& m, const std::string& name, Type ret,
+                            const std::vector<Type>& args, bool internal) {
+  Function f;
+  f.name = name;
+  f.ret_type = ret;
+  f.arg_types = args;
+  f.internal = internal;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    Instr a;
+    a.op = Opcode::Arg;
+    a.type = args[i];
+    a.arg_index = static_cast<std::int32_t>(i);
+    f.instrs.push_back(std::move(a));
+  }
+  f.blocks.push_back(BasicBlock{"entry", {}});
+  m.functions.push_back(std::move(f));
+  return m.functions.size() - 1;
+}
+
+}  // namespace citroen::ir

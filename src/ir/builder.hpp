@@ -1,0 +1,96 @@
+#pragma once
+// Convenience builder for constructing MiniIR, mimicking a -O0 front end:
+// locals (including loop induction variables) are stack slots accessed
+// through load/store, so `mem2reg` has real promotion work to do — as in
+// the paper, where mem2reg is the gateway pass for SLP vectorisation.
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace citroen::ir {
+
+class IRBuilder {
+ public:
+  explicit IRBuilder(Function& f) : f_(&f) {}
+
+  Function& function() { return *f_; }
+
+  /// Create a new (empty) basic block; does not change the insertion point.
+  BlockId new_block(const std::string& name);
+
+  void set_insert(BlockId b) { cur_ = b; }
+  BlockId insert_block() const { return cur_; }
+
+  // ---- constants ---------------------------------------------------------
+  ValueId const_int(Type t, std::int64_t v);
+  ValueId const_i64(std::int64_t v) { return const_int(kI64, v); }
+  ValueId const_i32(std::int64_t v) { return const_int(kI32, v); }
+  ValueId const_i16(std::int64_t v) { return const_int(kI16, v); }
+  ValueId const_f64(double v);
+
+  // ---- scalar/vector ops (result type inherited from lhs) ---------------
+  ValueId binop(Opcode op, ValueId a, ValueId b);
+  ValueId icmp(CmpPred p, ValueId a, ValueId b);
+  ValueId fcmp(CmpPred p, ValueId a, ValueId b);
+  ValueId select(ValueId cond, ValueId a, ValueId b);
+  ValueId cast(Opcode op, ValueId v, Type to);
+  ValueId vsplat(ValueId scalar);
+  ValueId vextract(ValueId vec, int lane);
+  ValueId vreduce_add(ValueId vec);
+
+  // ---- memory ------------------------------------------------------------
+  /// Stack slot holding `count` elements of `elem`.
+  ValueId stack_alloc(Type elem, std::int32_t count = 1);
+  ValueId global_addr(std::int32_t global_index);
+  ValueId load(Type t, ValueId ptr);
+  void store(ValueId value, ValueId ptr);
+  /// addr = base + index * sizeof(elem)
+  ValueId gep(ValueId base, ValueId index, Type elem);
+  void memset(ValueId ptr, ValueId byte, ValueId size);
+  void memcpy(ValueId dst, ValueId src, ValueId size);
+
+  // ---- control flow ------------------------------------------------------
+  void br(BlockId dest);
+  void cond_br(ValueId cond, BlockId t, BlockId f);
+  void ret(ValueId v = kNoValue);
+  ValueId call(Type ret, const std::string& callee,
+               std::vector<ValueId> args);
+  ValueId phi(Type t, std::vector<std::pair<ValueId, BlockId>> incoming);
+
+  /// Argument value id (args occupy the first arena slots).
+  ValueId arg(int index) const { return static_cast<ValueId>(index); }
+
+  // ---- -O0 style counted loop: for (i64 i = begin; i < end; i += step) ---
+  //
+  // `begin_loop` emits the slot-based header and positions the builder in
+  // the body; `end_loop` emits the increment+backedge and positions the
+  // builder in the exit block. Loops nest naturally.
+  struct LoopCtx {
+    ValueId slot;     ///< alloca holding the induction variable
+    ValueId iv;       ///< loaded induction value, valid inside the body
+    BlockId header;
+    BlockId body;
+    BlockId exit;
+    std::int64_t step;
+  };
+  LoopCtx begin_loop(ValueId begin, ValueId end, std::int64_t step = 1,
+                     const std::string& tag = "loop");
+  void end_loop(const LoopCtx& ctx);
+
+ private:
+  ValueId append(Instr in);
+
+  Function* f_;
+  BlockId cur_ = -1;
+};
+
+/// Create a function shell (argument pseudo-instructions + entry block) and
+/// register it in the module. Returns its index.
+std::size_t create_function(Module& m, const std::string& name, Type ret,
+                            const std::vector<Type>& args,
+                            bool internal = true);
+
+}  // namespace citroen::ir

@@ -1,0 +1,141 @@
+#pragma once
+// MiniIR instructions.
+//
+// Instructions live in a per-function arena (`Function::instrs`) and are
+// referenced by index (`ValueId`). Function arguments are modelled as
+// `Opcode::Arg` pseudo-instructions occupying the first arena slots, so a
+// single id space names every SSA value. Basic blocks own an ordered list
+// of instruction ids; dead instructions are detached from blocks but stay
+// in the arena (marked `Opcode::Tombstone`).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/type.hpp"
+
+namespace citroen::ir {
+
+using ValueId = std::int32_t;
+using BlockId = std::int32_t;
+inline constexpr ValueId kNoValue = -1;
+
+enum class Opcode : std::uint8_t {
+  // Pseudo values.
+  Arg,        ///< function argument (arena slot only, never in a block)
+  Tombstone,  ///< erased instruction
+
+  // Constants.
+  ConstInt,   ///< `imm` holds the value (sign-extended)
+  ConstFP,    ///< `fimm` holds the value
+
+  // Integer arithmetic (operands and result share the instruction type).
+  Add, Sub, Mul, SDiv, SRem, Shl, LShr, AShr, And, Or, Xor,
+  // Floating-point arithmetic.
+  FAdd, FSub, FMul, FDiv,
+  // Comparisons produce i1; `pred` selects the predicate.
+  ICmp, FCmp,
+  Select,     ///< ops = {cond(i1), true_val, false_val}
+
+  // Casts between integer widths, and int<->fp.
+  SExt, ZExt, Trunc, SIToFP, FPToSI,
+
+  // Memory.
+  Alloca,     ///< stack slot; `alloca_bytes` size; result is Ptr
+  GlobalAddr, ///< address of module global `global_index`
+  Load,       ///< ops = {ptr}; result type = instruction type
+  Store,      ///< ops = {value, ptr}
+  Gep,        ///< ops = {base_ptr, index(i64)}; addr = base + index*`stride`
+  Memset,     ///< ops = {ptr, byte_value(i64), size_bytes(i64)}
+  Memcpy,     ///< ops = {dst, src, size_bytes(i64)}
+
+  // Vector operations (4 lanes).
+  VSplat,     ///< broadcast scalar to 4 lanes
+  VExtract,   ///< ops = {vec}; `imm` = lane index
+  VReduceAdd, ///< horizontal add of 4 lanes -> scalar
+
+  // Control flow (block terminators).
+  Br,         ///< `succs` = {dest}
+  CondBr,     ///< ops = {cond}; `succs` = {true_dest, false_dest}
+  Ret,        ///< ops = {value} or empty for void
+
+  // Calls: direct by symbol name, resolved at link time.
+  Call,       ///< ops = arguments; `callee` names the target
+
+  // SSA merge.
+  Phi,        ///< ops[i] flows from `phi_blocks[i]`
+};
+
+enum class CmpPred : std::uint8_t {
+  EQ, NE, SLT, SLE, SGT, SGE,   // integer
+  OEQ, ONE, OLT, OLE, OGT, OGE  // ordered float
+};
+
+const char* opcode_name(Opcode op);
+const char* pred_name(CmpPred p);
+
+/// True if `op` ends a basic block.
+constexpr bool is_terminator(Opcode op) {
+  return op == Opcode::Br || op == Opcode::CondBr || op == Opcode::Ret;
+}
+
+constexpr bool is_int_binop(Opcode op) {
+  return op >= Opcode::Add && op <= Opcode::Xor;
+}
+constexpr bool is_float_binop(Opcode op) {
+  return op >= Opcode::FAdd && op <= Opcode::FDiv;
+}
+constexpr bool is_binop(Opcode op) {
+  return is_int_binop(op) || is_float_binop(op);
+}
+constexpr bool is_commutative(Opcode op) {
+  return op == Opcode::Add || op == Opcode::Mul || op == Opcode::And ||
+         op == Opcode::Or || op == Opcode::Xor || op == Opcode::FAdd ||
+         op == Opcode::FMul;
+}
+constexpr bool is_cast(Opcode op) {
+  return op >= Opcode::SExt && op <= Opcode::FPToSI;
+}
+/// Instructions with no side effects and no memory reads (safe to CSE/DCE
+/// when unused). Loads are excluded: they read memory.
+constexpr bool is_pure(Opcode op) {
+  return op == Opcode::ConstInt || op == Opcode::ConstFP || is_binop(op) ||
+         op == Opcode::ICmp || op == Opcode::FCmp || op == Opcode::Select ||
+         is_cast(op) || op == Opcode::Gep || op == Opcode::GlobalAddr ||
+         op == Opcode::VSplat || op == Opcode::VExtract ||
+         op == Opcode::VReduceAdd;
+}
+constexpr bool writes_memory(Opcode op) {
+  return op == Opcode::Store || op == Opcode::Memset || op == Opcode::Memcpy;
+}
+constexpr bool reads_memory(Opcode op) {
+  return op == Opcode::Load || op == Opcode::Memcpy;
+}
+
+struct Instr {
+  Opcode op = Opcode::Tombstone;
+  Type type = kVoid;                ///< result type (kVoid if none)
+  std::vector<ValueId> ops;         ///< SSA operands
+
+  // Opcode-specific payload (kept flat; MiniIR favours simplicity over
+  // space, functions are small).
+  std::int64_t imm = 0;             ///< ConstInt value / VExtract lane
+  double fimm = 0.0;                ///< ConstFP value
+  CmpPred pred = CmpPred::EQ;       ///< ICmp/FCmp predicate
+  std::int32_t alloca_bytes = 0;    ///< Alloca size
+  std::int32_t global_index = -1;   ///< GlobalAddr target
+  std::int32_t stride = 0;          ///< Gep element stride in bytes
+  std::string callee;               ///< Call target symbol
+  std::vector<BlockId> phi_blocks;  ///< Phi incoming blocks (parallel to ops)
+  std::vector<BlockId> succs;       ///< Br/CondBr successors
+  std::int32_t arg_index = -1;      ///< Arg position
+
+  bool dead() const { return op == Opcode::Tombstone; }
+};
+
+struct BasicBlock {
+  std::string name;
+  std::vector<ValueId> insts;  ///< ordered; last one is the terminator
+};
+
+}  // namespace citroen::ir

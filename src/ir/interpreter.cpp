@@ -1,0 +1,556 @@
+#include "ir/interpreter.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "ir/analysis.hpp"
+
+namespace citroen::ir {
+
+double CostModel::instr_cost(const Instr& in) const {
+  double base;
+  switch (in.op) {
+    case Opcode::Mul: base = imul; break;
+    case Opcode::SDiv:
+    case Opcode::SRem: base = idiv; break;
+    case Opcode::FAdd:
+    case Opcode::FSub: base = falu; break;
+    case Opcode::FMul: base = fmul; break;
+    case Opcode::FDiv: base = fdiv; break;
+    case Opcode::Load: base = load; break;
+    case Opcode::Store: base = store; break;
+    case Opcode::Br: base = branch; break;
+    case Opcode::CondBr: base = branch; break;
+    case Opcode::Ret: base = 0.0; break;
+    case Opcode::Phi: base = 0.0; break;  // resolved by register allocation
+    case Opcode::ConstInt:
+    case Opcode::ConstFP: base = 0.0; break;  // folded into consumers
+    case Opcode::Alloca: base = 0.0; break;   // frame setup
+    case Opcode::Call: base = 0.0; break;     // charged via call_overhead
+    case Opcode::Memset:
+    case Opcode::Memcpy: base = 0.0; break;   // charged by size at exec
+    case Opcode::VReduceAdd: base = falu * 2.0; break;
+    case Opcode::VSplat:
+    case Opcode::VExtract: base = alu; break;
+    default: base = alu; break;
+  }
+  if (in.type.is_vector() && in.op != Opcode::VSplat &&
+      in.op != Opcode::VExtract && in.op != Opcode::VReduceAdd) {
+    base *= vector_factor;
+  }
+  return base;
+}
+
+namespace {
+
+struct RtVal {
+  std::array<std::int64_t, 4> i{};
+  std::array<double, 4> f{};
+};
+
+std::int64_t wrap_int(Type t, std::int64_t v) {
+  switch (t.scalar) {
+    case Scalar::I1: return v & 1;
+    case Scalar::I16: return static_cast<std::int16_t>(v);
+    case Scalar::I32: return static_cast<std::int32_t>(v);
+    default: return v;
+  }
+}
+
+struct FnInfo {
+  int module_index = 0;
+  double spill_overhead = 0.0;  ///< extra cycles per executed instruction
+  double icache_penalty = 0.0;  ///< extra cycles per call
+};
+
+class Machine {
+ public:
+  Machine(const Program& p, const CostModel& cm, const ExecLimits& lim)
+      : p_(p), cm_(cm), lim_(lim) {}
+
+  ExecResult run();
+
+ private:
+  struct Trap {
+    std::string reason;
+  };
+
+  const Function& fn(int mi, int fi) const {
+    return p_.modules[static_cast<std::size_t>(mi)]
+        .functions[static_cast<std::size_t>(fi)];
+  }
+
+  void check_mem(std::int64_t addr, std::int64_t bytes) {
+    if (addr < 4096 || bytes < 0 ||
+        addr + bytes > static_cast<std::int64_t>(mem_.size()))
+      throw Trap{"memory access out of bounds"};
+  }
+
+  std::int64_t read_int(std::int64_t addr, int bytes) {
+    check_mem(addr, bytes);
+    std::uint64_t raw = 0;
+    std::memcpy(&raw, mem_.data() + addr, static_cast<std::size_t>(bytes));
+    // Sign-extend from the loaded width.
+    const int shift = 64 - 8 * bytes;
+    return (static_cast<std::int64_t>(raw << shift)) >> shift;
+  }
+
+  void write_int(std::int64_t addr, int bytes, std::int64_t v) {
+    check_mem(addr, bytes);
+    std::uint64_t raw = static_cast<std::uint64_t>(v);
+    std::memcpy(mem_.data() + addr, &raw, static_cast<std::size_t>(bytes));
+  }
+
+  double read_f64(std::int64_t addr) {
+    check_mem(addr, 8);
+    double v;
+    std::memcpy(&v, mem_.data() + addr, 8);
+    return v;
+  }
+
+  void write_f64(std::int64_t addr, double v) {
+    check_mem(addr, 8);
+    std::memcpy(mem_.data() + addr, &v, 8);
+  }
+
+  RtVal load_value(Type t, std::int64_t addr) {
+    RtVal v;
+    const int eb = t.elem_bytes();
+    for (int l = 0; l < t.lanes; ++l) {
+      if (t.is_float()) {
+        v.f[static_cast<std::size_t>(l)] = read_f64(addr + l * eb);
+      } else {
+        v.i[static_cast<std::size_t>(l)] = read_int(addr + l * eb, eb);
+      }
+    }
+    return v;
+  }
+
+  void store_value(Type t, std::int64_t addr, const RtVal& v) {
+    const int eb = t.elem_bytes();
+    for (int l = 0; l < t.lanes; ++l) {
+      if (t.is_float()) {
+        write_f64(addr + l * eb, v.f[static_cast<std::size_t>(l)]);
+      } else {
+        write_int(addr + l * eb, eb, v.i[static_cast<std::size_t>(l)]);
+      }
+    }
+  }
+
+  void charge(double c, int module_index) {
+    cycles_ += c;
+    module_cycles_[static_cast<std::size_t>(module_index)] += c;
+  }
+
+  RtVal exec_call(int mi, int fi, const std::vector<RtVal>& args, int depth);
+
+  const Program& p_;
+  const CostModel& cm_;
+  const ExecLimits& lim_;
+
+  std::vector<std::uint8_t> mem_;
+  std::int64_t sp_ = 0;  ///< stack grows upward from the stack base
+  std::vector<std::vector<std::int64_t>> global_addr_;  ///< [module][global]
+  std::unordered_map<std::string, std::pair<int, int>> symbols_;
+  std::vector<std::vector<FnInfo>> fn_info_;
+
+  double cycles_ = 0.0;
+  std::vector<double> module_cycles_;
+  std::unordered_map<std::string, double> function_cycles_;
+  std::uint64_t executed_ = 0;
+  std::unordered_map<const Instr*, bool> predictor_;  ///< 1-bit per branch
+};
+
+RtVal Machine::exec_call(int mi, int fi, const std::vector<RtVal>& args,
+                         int depth) {
+  if (depth > lim_.max_call_depth) throw Trap{"call depth exceeded"};
+  const Function& f = fn(mi, fi);
+  const FnInfo& info = fn_info_[static_cast<std::size_t>(mi)]
+                               [static_cast<std::size_t>(fi)];
+  charge(cm_.call_overhead + info.icache_penalty, info.module_index);
+  const double fn_charge_start = cycles_;
+
+  std::vector<RtVal> vals(f.instrs.size());
+  for (std::size_t a = 0; a < args.size(); ++a) vals[a] = args[a];
+
+  const std::int64_t sp_save = sp_;
+  BlockId cur = 0;
+  BlockId prev = -1;
+  RtVal ret{};
+
+  while (true) {
+    const BasicBlock& bb = f.block(cur);
+
+    // Resolve phis as a parallel copy based on the incoming edge.
+    {
+      std::vector<std::pair<ValueId, RtVal>> phi_updates;
+      for (ValueId id : bb.insts) {
+        const Instr& in = f.instr(id);
+        if (in.dead()) continue;
+        if (in.op != Opcode::Phi) break;  // phis are grouped at the top
+        for (std::size_t k = 0; k < in.phi_blocks.size(); ++k) {
+          if (in.phi_blocks[k] == prev) {
+            phi_updates.emplace_back(
+                id, vals[static_cast<std::size_t>(in.ops[k])]);
+            break;
+          }
+        }
+      }
+      for (auto& [id, v] : phi_updates) vals[static_cast<std::size_t>(id)] = v;
+    }
+
+    bool moved = false;
+    for (ValueId id : bb.insts) {
+      const Instr& in = f.instr(id);
+      if (in.dead() || in.op == Opcode::Phi) continue;
+      if (++executed_ > lim_.max_instructions)
+        throw Trap{"instruction budget exhausted (non-terminating?)"};
+      charge(cm_.instr_cost(in) + info.spill_overhead, info.module_index);
+
+      auto op0 = [&]() -> const RtVal& {
+        return vals[static_cast<std::size_t>(in.ops[0])];
+      };
+      auto op1 = [&]() -> const RtVal& {
+        return vals[static_cast<std::size_t>(in.ops[1])];
+      };
+      RtVal& out = vals[static_cast<std::size_t>(id)];
+
+      switch (in.op) {
+        case Opcode::ConstInt:
+          out.i[0] = in.imm;
+          break;
+        case Opcode::ConstFP:
+          out.f[0] = in.fimm;
+          break;
+        case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+        case Opcode::SDiv: case Opcode::SRem: case Opcode::Shl:
+        case Opcode::LShr: case Opcode::AShr: case Opcode::And:
+        case Opcode::Or: case Opcode::Xor: {
+          const RtVal& a = op0();
+          const RtVal& b = op1();
+          for (int l = 0; l < in.type.lanes; ++l) {
+            const std::size_t li = static_cast<std::size_t>(l);
+            std::int64_t x = a.i[li], y = b.i[li], r = 0;
+            // Wrap-around semantics: compute in unsigned to avoid UB.
+            const std::uint64_t ux = static_cast<std::uint64_t>(x);
+            const std::uint64_t uy = static_cast<std::uint64_t>(y);
+            switch (in.op) {
+              case Opcode::Add:
+                r = static_cast<std::int64_t>(ux + uy);
+                break;
+              case Opcode::Sub:
+                r = static_cast<std::int64_t>(ux - uy);
+                break;
+              case Opcode::Mul:
+                r = static_cast<std::int64_t>(ux * uy);
+                break;
+              case Opcode::SDiv:
+                if (y == 0) throw Trap{"division by zero"};
+                if (x == INT64_MIN && y == -1) throw Trap{"sdiv overflow"};
+                r = x / y;
+                break;
+              case Opcode::SRem:
+                if (y == 0) throw Trap{"remainder by zero"};
+                if (x == INT64_MIN && y == -1) throw Trap{"srem overflow"};
+                r = x % y;
+                break;
+              case Opcode::Shl:
+                r = static_cast<std::int64_t>(ux << (uy & 63));
+                break;
+              case Opcode::LShr: {
+                const int w = in.type.bit_width();
+                const std::uint64_t masked =
+                    ux & (w == 64 ? ~0ULL : ((1ULL << w) - 1));
+                r = static_cast<std::int64_t>(masked >> (uy & 63));
+                break;
+              }
+              case Opcode::AShr: r = x >> (y & 63); break;
+              case Opcode::And: r = x & y; break;
+              case Opcode::Or: r = x | y; break;
+              case Opcode::Xor: r = x ^ y; break;
+              default: break;
+            }
+            out.i[li] = wrap_int(in.type, r);
+          }
+          break;
+        }
+        case Opcode::FAdd: case Opcode::FSub: case Opcode::FMul:
+        case Opcode::FDiv: {
+          const RtVal& a = op0();
+          const RtVal& b = op1();
+          for (int l = 0; l < in.type.lanes; ++l) {
+            const std::size_t li = static_cast<std::size_t>(l);
+            switch (in.op) {
+              case Opcode::FAdd: out.f[li] = a.f[li] + b.f[li]; break;
+              case Opcode::FSub: out.f[li] = a.f[li] - b.f[li]; break;
+              case Opcode::FMul: out.f[li] = a.f[li] * b.f[li]; break;
+              case Opcode::FDiv: out.f[li] = a.f[li] / b.f[li]; break;
+              default: break;
+            }
+          }
+          break;
+        }
+        case Opcode::ICmp: {
+          const std::int64_t x = op0().i[0], y = op1().i[0];
+          bool r = false;
+          switch (in.pred) {
+            case CmpPred::EQ: r = x == y; break;
+            case CmpPred::NE: r = x != y; break;
+            case CmpPred::SLT: r = x < y; break;
+            case CmpPred::SLE: r = x <= y; break;
+            case CmpPred::SGT: r = x > y; break;
+            case CmpPred::SGE: r = x >= y; break;
+            default: throw Trap{"bad icmp predicate"};
+          }
+          out.i[0] = r ? 1 : 0;
+          break;
+        }
+        case Opcode::FCmp: {
+          const double x = op0().f[0], y = op1().f[0];
+          bool r = false;
+          switch (in.pred) {
+            case CmpPred::OEQ: r = x == y; break;
+            case CmpPred::ONE: r = x != y; break;
+            case CmpPred::OLT: r = x < y; break;
+            case CmpPred::OLE: r = x <= y; break;
+            case CmpPred::OGT: r = x > y; break;
+            case CmpPred::OGE: r = x >= y; break;
+            default: throw Trap{"bad fcmp predicate"};
+          }
+          out.i[0] = r ? 1 : 0;
+          break;
+        }
+        case Opcode::Select:
+          out = op0().i[0] ? vals[static_cast<std::size_t>(in.ops[1])]
+                           : vals[static_cast<std::size_t>(in.ops[2])];
+          break;
+        case Opcode::SExt:
+        case Opcode::Trunc:
+          for (int l = 0; l < in.type.lanes; ++l)
+            out.i[static_cast<std::size_t>(l)] =
+                wrap_int(in.type, op0().i[static_cast<std::size_t>(l)]);
+          break;
+        case Opcode::ZExt: {
+          const Type from = f.instr(in.ops[0]).type;
+          const int w = from.bit_width();
+          for (int l = 0; l < in.type.lanes; ++l) {
+            const std::uint64_t raw =
+                static_cast<std::uint64_t>(
+                    op0().i[static_cast<std::size_t>(l)]) &
+                (w == 64 ? ~0ULL : ((1ULL << w) - 1));
+            out.i[static_cast<std::size_t>(l)] =
+                wrap_int(in.type, static_cast<std::int64_t>(raw));
+          }
+          break;
+        }
+        case Opcode::SIToFP:
+          for (int l = 0; l < in.type.lanes; ++l)
+            out.f[static_cast<std::size_t>(l)] =
+                static_cast<double>(op0().i[static_cast<std::size_t>(l)]);
+          break;
+        case Opcode::FPToSI:
+          for (int l = 0; l < in.type.lanes; ++l)
+            out.i[static_cast<std::size_t>(l)] = wrap_int(
+                in.type, static_cast<std::int64_t>(
+                             op0().f[static_cast<std::size_t>(l)]));
+          break;
+        case Opcode::Alloca: {
+          sp_ = (sp_ + 15) & ~15LL;
+          out.i[0] = sp_;
+          sp_ += in.alloca_bytes;
+          if (sp_ > static_cast<std::int64_t>(mem_.size()))
+            throw Trap{"stack overflow"};
+          break;
+        }
+        case Opcode::GlobalAddr:
+          out.i[0] = global_addr_[static_cast<std::size_t>(mi)]
+                                 [static_cast<std::size_t>(in.global_index)];
+          break;
+        case Opcode::Load:
+          out = load_value(in.type, op0().i[0]);
+          break;
+        case Opcode::Store:
+          store_value(f.instr(in.ops[0]).type, op1().i[0], op0());
+          break;
+        case Opcode::Gep:
+          out.i[0] = op0().i[0] + op1().i[0] * in.stride;
+          break;
+        case Opcode::Memset: {
+          const std::int64_t dst = op0().i[0];
+          const std::int64_t byte = op1().i[0];
+          const std::int64_t size = vals[static_cast<std::size_t>(in.ops[2])].i[0];
+          check_mem(dst, size);
+          std::memset(mem_.data() + dst, static_cast<int>(byte & 0xff),
+                      static_cast<std::size_t>(size));
+          charge(cm_.mem_intrinsic_base +
+                     cm_.mem_intrinsic_per_byte * static_cast<double>(size),
+                 info.module_index);
+          break;
+        }
+        case Opcode::Memcpy: {
+          const std::int64_t dst = op0().i[0];
+          const std::int64_t src = op1().i[0];
+          const std::int64_t size = vals[static_cast<std::size_t>(in.ops[2])].i[0];
+          check_mem(dst, size);
+          check_mem(src, size);
+          std::memmove(mem_.data() + dst, mem_.data() + src,
+                       static_cast<std::size_t>(size));
+          charge(cm_.mem_intrinsic_base +
+                     cm_.mem_intrinsic_per_byte * static_cast<double>(size),
+                 info.module_index);
+          break;
+        }
+        case Opcode::VSplat:
+          for (int l = 0; l < 4; ++l) {
+            out.i[static_cast<std::size_t>(l)] = op0().i[0];
+            out.f[static_cast<std::size_t>(l)] = op0().f[0];
+          }
+          break;
+        case Opcode::VExtract:
+          out.i[0] = op0().i[static_cast<std::size_t>(in.imm)];
+          out.f[0] = op0().f[static_cast<std::size_t>(in.imm)];
+          break;
+        case Opcode::VReduceAdd: {
+          const Type vt = f.instr(in.ops[0]).type;
+          if (vt.is_float()) {
+            out.f[0] = op0().f[0] + op0().f[1] + op0().f[2] + op0().f[3];
+          } else {
+            std::int64_t acc = 0;
+            for (int l = 0; l < 4; ++l)
+              acc += op0().i[static_cast<std::size_t>(l)];
+            out.i[0] = wrap_int(in.type, acc);
+          }
+          break;
+        }
+        case Opcode::Call: {
+          const auto it = symbols_.find(in.callee);
+          if (it == symbols_.end()) throw Trap{"unknown symbol " + in.callee};
+          std::vector<RtVal> call_args;
+          call_args.reserve(in.ops.size());
+          for (ValueId a : in.ops)
+            call_args.push_back(vals[static_cast<std::size_t>(a)]);
+          out = exec_call(it->second.first, it->second.second, call_args,
+                          depth + 1);
+          break;
+        }
+        case Opcode::Br:
+          prev = cur;
+          cur = in.succs[0];
+          moved = true;
+          break;
+        case Opcode::CondBr: {
+          const bool taken = op0().i[0] != 0;
+          auto [slot, inserted] = predictor_.try_emplace(&in, taken);
+          if (!inserted && slot->second != taken)
+            charge(cm_.mispredict, info.module_index);
+          slot->second = taken;
+          prev = cur;
+          cur = taken ? in.succs[0] : in.succs[1];
+          moved = true;
+          break;
+        }
+        case Opcode::Ret:
+          if (!in.ops.empty()) ret = vals[static_cast<std::size_t>(in.ops[0])];
+          sp_ = sp_save;
+          // Inclusive attribution (callee time counts for the caller too),
+          // matching how `perf` call stacks are usually folded.
+          function_cycles_[f.name] += cycles_ - fn_charge_start;
+          return ret;
+        case Opcode::Arg:
+        case Opcode::Tombstone:
+        case Opcode::Phi:
+          throw Trap{"unexpected opcode in block body"};
+      }
+      if (moved) break;
+    }
+    if (!moved) throw Trap{"block fell through without terminator"};
+  }
+}
+
+ExecResult Machine::run() {
+  ExecResult result;
+
+  // ---- link: lay out globals and build the symbol table -----------------
+  std::int64_t addr = 4096;
+  global_addr_.resize(p_.modules.size());
+  for (std::size_t mi = 0; mi < p_.modules.size(); ++mi) {
+    for (const auto& g : p_.modules[mi].globals) {
+      global_addr_[mi].push_back(addr);
+      addr += static_cast<std::int64_t>((g.init.size() + 15) & ~15ULL);
+    }
+  }
+  const std::int64_t stack_base = addr;
+  const std::int64_t total =
+      std::min<std::int64_t>(stack_base + (1 << 22),
+                             static_cast<std::int64_t>(lim_.max_memory_bytes));
+  mem_.assign(static_cast<std::size_t>(total), 0);
+  sp_ = stack_base;
+  for (std::size_t mi = 0; mi < p_.modules.size(); ++mi) {
+    for (std::size_t gi = 0; gi < p_.modules[mi].globals.size(); ++gi) {
+      const auto& g = p_.modules[mi].globals[gi];
+      std::memcpy(mem_.data() + global_addr_[mi][gi], g.init.data(),
+                  g.init.size());
+    }
+  }
+
+  module_cycles_.assign(p_.modules.size(), 0.0);
+  fn_info_.resize(p_.modules.size());
+  for (std::size_t mi = 0; mi < p_.modules.size(); ++mi) {
+    const auto& m = p_.modules[mi];
+    fn_info_[mi].resize(m.functions.size());
+    for (std::size_t fi = 0; fi < m.functions.size(); ++fi) {
+      const Function& f = m.functions[fi];
+      if (!symbols_.emplace(f.name, std::make_pair(static_cast<int>(mi),
+                                                   static_cast<int>(fi)))
+               .second) {
+        result.trap = "duplicate symbol " + f.name;
+        return result;
+      }
+      FnInfo& info = fn_info_[mi][fi];
+      info.module_index = static_cast<int>(mi);
+      const int pressure = estimate_register_pressure(f);
+      if (pressure > cm_.num_registers)
+        info.spill_overhead =
+            cm_.spill_per_instr * (pressure - cm_.num_registers);
+      const auto size = f.live_instr_count();
+      if (size > static_cast<std::size_t>(cm_.icache_instrs))
+        info.icache_penalty =
+            cm_.icache_per_call *
+            (static_cast<double>(size) / cm_.icache_instrs - 1.0);
+    }
+  }
+
+  const auto entry = symbols_.find(p_.entry);
+  if (entry == symbols_.end()) {
+    result.trap = "missing entry symbol " + p_.entry;
+    return result;
+  }
+
+  try {
+    const RtVal r = exec_call(entry->second.first, entry->second.second, {}, 0);
+    result.ok = true;
+    result.ret = r.i[0];
+  } catch (const Trap& t) {
+    result.ok = false;
+    result.trap = t.reason;
+  }
+  result.cycles = cycles_;
+  result.instructions = executed_;
+  for (std::size_t mi = 0; mi < p_.modules.size(); ++mi)
+    result.module_cycles[p_.modules[mi].name] = module_cycles_[mi];
+  result.function_cycles = std::move(function_cycles_);
+  return result;
+}
+
+}  // namespace
+
+ExecResult interpret(const Program& p, const CostModel& cm,
+                     const ExecLimits& limits) {
+  Machine m(p, cm, limits);
+  return m.run();
+}
+
+}  // namespace citroen::ir

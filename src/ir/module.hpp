@@ -1,0 +1,108 @@
+#pragma once
+// MiniIR functions, modules and programs.
+//
+// A `Module` corresponds to one translation unit (one ".c" file in the
+// paper's terminology): the unit to which a pass sequence is applied. A
+// `Program` is a set of modules linked by symbol name; cross-module calls
+// are resolved at execution time, which means intra-module passes (e.g.
+// inlining) cannot see across module boundaries — exactly as in separate
+// compilation.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/instruction.hpp"
+
+namespace citroen::ir {
+
+struct Function {
+  std::string name;
+  Type ret_type = kVoid;
+  std::vector<Type> arg_types;
+  std::vector<Instr> instrs;        ///< arena; args occupy slots [0, n_args)
+  std::vector<BasicBlock> blocks;   ///< block 0 is the entry
+  bool internal = true;             ///< internal linkage (inlinable/removable)
+  /// Pass-attached attribute: function provably never writes memory.
+  /// Set by the `function-attrs` pass; consumed by LICM/GVN.
+  bool attr_readnone = false;
+  /// Pass-attached attribute: function never reads or writes memory it did
+  /// not allocate (enables call-safe code motion).
+  bool attr_argmemonly = false;
+
+  std::size_t num_args() const { return arg_types.size(); }
+
+  Instr& instr(ValueId id) { return instrs[static_cast<std::size_t>(id)]; }
+  const Instr& instr(ValueId id) const {
+    return instrs[static_cast<std::size_t>(id)];
+  }
+
+  BasicBlock& block(BlockId id) { return blocks[static_cast<std::size_t>(id)]; }
+  const BasicBlock& block(BlockId id) const {
+    return blocks[static_cast<std::size_t>(id)];
+  }
+
+  /// Terminator instruction id of a block (kNoValue if absent/empty).
+  ValueId terminator(BlockId b) const;
+
+  /// CFG successors of a block.
+  std::vector<BlockId> successors(BlockId b) const;
+
+  /// CFG predecessors of every block (recomputed on demand).
+  std::vector<std::vector<BlockId>> predecessors() const;
+
+  /// Count of live (non-tombstone, non-arg) instructions.
+  std::size_t live_instr_count() const;
+
+  /// Append a fresh instruction to the arena (not to any block).
+  ValueId add_instr(Instr in);
+
+  /// Mark an instruction dead and detach it from its block lazily.
+  /// (Block lists are rebuilt by `purge_dead` or edited by passes.)
+  void kill(ValueId id);
+
+  /// Remove tombstoned ids from all block lists.
+  void purge_dead_from_blocks();
+
+  /// Replace all uses of `from` with `to` across the function.
+  void replace_all_uses(ValueId from, ValueId to);
+};
+
+/// A statically initialised data object (input/output buffers, tables).
+struct GlobalVar {
+  std::string name;
+  std::vector<std::uint8_t> init;  ///< initial bytes; size = buffer size
+};
+
+struct Module {
+  std::string name;
+  std::vector<Function> functions;
+  std::vector<GlobalVar> globals;
+
+  Function* find_function(const std::string& fname);
+  const Function* find_function(const std::string& fname) const;
+
+  /// Total live instructions across functions (code-size proxy).
+  std::size_t code_size() const;
+};
+
+/// A linked multi-module program plus its entry point.
+///
+/// The entry function takes no arguments and returns an i64 checksum; the
+/// differential tester (src/sim) compares checksums between the -O0
+/// program and its optimised variant.
+struct Program {
+  std::string name;
+  std::vector<Module> modules;
+  std::string entry = "main";
+
+  Module* find_module(const std::string& mname);
+  const Module* find_module(const std::string& mname) const;
+
+  /// Locate a function by symbol name across modules.
+  /// Returns {module_index, function_index} or {-1, -1}.
+  std::pair<int, int> find_symbol(const std::string& fname) const;
+};
+
+}  // namespace citroen::ir

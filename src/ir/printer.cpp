@@ -1,0 +1,66 @@
+#include "ir/printer.hpp"
+
+#include <sstream>
+
+namespace citroen::ir {
+
+namespace {
+
+void print_instr(const Function& f, ValueId id, std::ostringstream& os) {
+  const Instr& in = f.instr(id);
+  os << "  ";
+  if (!in.type.is_void()) os << "%" << id << " = ";
+  os << opcode_name(in.op);
+  if (in.op == Opcode::ICmp || in.op == Opcode::FCmp)
+    os << " " << pred_name(in.pred);
+  if (!in.type.is_void()) os << " " << in.type.str();
+  if (in.op == Opcode::ConstInt) os << " " << in.imm;
+  if (in.op == Opcode::ConstFP) os << " " << in.fimm;
+  if (in.op == Opcode::GlobalAddr) os << " @g" << in.global_index;
+  if (in.op == Opcode::Alloca) os << " bytes=" << in.alloca_bytes;
+  if (in.op == Opcode::Gep) os << " stride=" << in.stride;
+  if (in.op == Opcode::VExtract) os << " lane=" << in.imm;
+  if (in.op == Opcode::Call) os << " @" << in.callee;
+  if (in.op == Opcode::Phi) {
+    for (std::size_t k = 0; k < in.ops.size(); ++k)
+      os << " [%" << in.ops[k] << ", bb" << in.phi_blocks[k] << "]";
+  } else {
+    for (ValueId op : in.ops) os << " %" << op;
+  }
+  for (BlockId s : in.succs) os << " ->bb" << s;
+  os << "\n";
+}
+
+}  // namespace
+
+std::string print_function(const Function& f) {
+  std::ostringstream os;
+  os << "func @" << f.name << "(";
+  for (std::size_t i = 0; i < f.arg_types.size(); ++i) {
+    if (i) os << ", ";
+    os << "%" << i << ": " << f.arg_types[i].str();
+  }
+  os << ") -> " << f.ret_type.str();
+  if (f.attr_readnone) os << " readnone";
+  os << " {\n";
+  for (BlockId b = 0; b < static_cast<BlockId>(f.blocks.size()); ++b) {
+    os << "bb" << b << " (" << f.block(b).name << "):\n";
+    for (ValueId id : f.block(b).insts) {
+      if (!f.instr(id).dead()) print_instr(f, id, os);
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string print_module(const Module& m) {
+  std::ostringstream os;
+  os << "module " << m.name << "\n";
+  for (std::size_t g = 0; g < m.globals.size(); ++g)
+    os << "global @g" << g << " \"" << m.globals[g].name
+       << "\" bytes=" << m.globals[g].init.size() << "\n";
+  for (const auto& f : m.functions) os << print_function(f);
+  return os.str();
+}
+
+}  // namespace citroen::ir

@@ -1,0 +1,13 @@
+#pragma once
+// Textual dump of MiniIR, for debugging and golden tests.
+
+#include <string>
+
+#include "ir/module.hpp"
+
+namespace citroen::ir {
+
+std::string print_function(const Function& f);
+std::string print_module(const Module& m);
+
+}  // namespace citroen::ir

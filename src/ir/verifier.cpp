@@ -1,0 +1,139 @@
+#include "ir/verifier.hpp"
+
+#include <algorithm>
+
+#include "ir/analysis.hpp"
+
+namespace citroen::ir {
+
+std::vector<std::string> verify_function(const Function& f) {
+  std::vector<std::string> errs;
+  auto err = [&](const std::string& msg) {
+    errs.push_back(f.name + ": " + msg);
+  };
+
+  if (f.blocks.empty()) {
+    err("no blocks");
+    return errs;
+  }
+
+  // Each block has exactly one terminator, at the end. A block with no
+  // live instructions is a detached block (left behind by CFG passes,
+  // which never renumber BlockIds); it is legal only when nothing
+  // branches to it and it is not the entry.
+  std::vector<bool> empty(f.blocks.size(), false);
+  for (BlockId b = 0; b < static_cast<BlockId>(f.blocks.size()); ++b) {
+    const auto& bb = f.block(b);
+    bool live_found = false;
+    for (std::size_t i = 0; i < bb.insts.size(); ++i) {
+      const Instr& in = f.instr(bb.insts[i]);
+      if (in.dead()) continue;
+      live_found = true;
+      const bool last = (i + 1 == bb.insts.size());
+      if (is_terminator(in.op) && !last)
+        err("terminator not at end of block " + bb.name);
+      if (last && !is_terminator(in.op))
+        err("block " + bb.name + " missing terminator");
+      for (BlockId s : in.succs) {
+        if (s < 0 || s >= static_cast<BlockId>(f.blocks.size()))
+          err("successor out of range in " + bb.name);
+      }
+    }
+    if (!live_found) {
+      if (b == 0) err("entry block is empty");
+      empty[static_cast<std::size_t>(b)] = true;
+    }
+  }
+  for (BlockId b = 0; b < static_cast<BlockId>(f.blocks.size()); ++b) {
+    for (BlockId s : f.successors(b)) {
+      if (empty[static_cast<std::size_t>(s)])
+        err("branch to detached block " + f.block(s).name);
+    }
+  }
+  if (!errs.empty()) return errs;  // CFG checks below need valid structure
+
+  const auto preds = f.predecessors();
+  const DomTree dt = compute_dominators(f);
+  const auto defs = def_blocks(f);
+
+  // Operand sanity + SSA dominance + phi shape.
+  std::vector<int> pos_in_block(f.instrs.size(), -1);
+  for (const auto& bb : f.blocks) {
+    for (std::size_t i = 0; i < bb.insts.size(); ++i)
+      pos_in_block[static_cast<std::size_t>(bb.insts[i])] =
+          static_cast<int>(i);
+  }
+
+  for (BlockId b = 0; b < static_cast<BlockId>(f.blocks.size()); ++b) {
+    if (!dt.reachable[static_cast<std::size_t>(b)]) continue;
+    const auto& bb = f.block(b);
+    for (std::size_t i = 0; i < bb.insts.size(); ++i) {
+      const ValueId id = bb.insts[i];
+      const Instr& in = f.instr(id);
+      if (in.dead()) {
+        err("tombstone instruction left in block " + bb.name);
+        continue;
+      }
+      if (in.op == Opcode::Phi) {
+        // Phis must be grouped at the top and match predecessors.
+        if (in.ops.size() != preds[static_cast<std::size_t>(b)].size())
+          err("phi incoming count mismatch in " + bb.name);
+        for (BlockId ib : in.phi_blocks) {
+          if (std::find(preds[static_cast<std::size_t>(b)].begin(),
+                        preds[static_cast<std::size_t>(b)].end(),
+                        ib) == preds[static_cast<std::size_t>(b)].end())
+            err("phi incoming block not a predecessor in " + bb.name);
+        }
+        for (std::size_t k = 0; k < in.ops.size(); ++k) {
+          const ValueId v = in.ops[k];
+          const Instr& vin = f.instr(v);
+          if (vin.dead()) err("phi uses dead value in " + bb.name);
+          if (vin.op != Opcode::Arg && vin.op != Opcode::Phi) {
+            const BlockId db = defs[static_cast<std::size_t>(v)];
+            if (db >= 0 && !dt.dominates(db, in.phi_blocks[k]))
+              err("phi operand does not dominate incoming edge in " + bb.name);
+          }
+        }
+        continue;
+      }
+      for (ValueId v : in.ops) {
+        if (v < 0 || v >= static_cast<ValueId>(f.instrs.size())) {
+          err("operand id out of range in " + bb.name);
+          continue;
+        }
+        const Instr& vin = f.instr(v);
+        if (vin.dead()) {
+          err("use of dead value in " + bb.name);
+          continue;
+        }
+        if (vin.op == Opcode::Arg) continue;
+        const BlockId db = defs[static_cast<std::size_t>(v)];
+        if (db == -1) {
+          err("use of detached value in " + bb.name);
+          continue;
+        }
+        if (db == b) {
+          if (pos_in_block[static_cast<std::size_t>(v)] >=
+              static_cast<int>(i))
+            err("use before def within block " + bb.name);
+        } else if (!dt.dominates(db, b)) {
+          err("def does not dominate use (" + bb.name + ")");
+        }
+      }
+    }
+  }
+  return errs;
+}
+
+std::vector<std::string> verify_module(const Module& m) {
+  std::vector<std::string> errs;
+  for (const auto& f : m.functions) {
+    auto fe = verify_function(f);
+    errs.insert(errs.end(), fe.begin(), fe.end());
+  }
+  return errs;
+}
+
+bool is_valid(const Module& m) { return verify_module(m).empty(); }
+
+}  // namespace citroen::ir

@@ -1,0 +1,20 @@
+#pragma once
+// Structural/SSA verifier. Passes are run under the verifier in tests and
+// in differential-testing mode, so a transformation that corrupts the IR
+// is caught at the point of damage rather than at interpretation time.
+
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace citroen::ir {
+
+/// Returns a list of human-readable violations (empty = valid).
+std::vector<std::string> verify_function(const Function& f);
+std::vector<std::string> verify_module(const Module& m);
+
+/// Convenience: true if no violations.
+bool is_valid(const Module& m);
+
+}  // namespace citroen::ir

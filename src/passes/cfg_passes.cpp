@@ -1,0 +1,364 @@
+// simplifycfg: fold constant branches, merge straight-line block chains,
+//              thread trivial forwarding blocks, drop unreachable code.
+// jump-threading: redirect a predecessor straight to a branch target when
+//              a phi-fed conditional branch is decided on that edge.
+// sink: move pure single-use computations into the successor that uses
+//              them, so the other path does not pay for them.
+
+#include <algorithm>
+
+#include "passes/common.hpp"
+#include "passes/factories.hpp"
+
+namespace citroen::passes {
+
+using namespace ir;
+
+namespace {
+
+class SimplifyCfgPass final : public Pass {
+ public:
+  std::string name() const override { return "simplifycfg"; }
+  std::vector<std::string> stat_names() const override {
+    return {"NumSimpl", "NumFoldedBranch", "NumBlocksMerged",
+            "NumUnreachable"};
+  }
+  bool run(Module& m, StatsRegistry& stats) override {
+    bool changed = false;
+    for (auto& f : m.functions) changed |= run_fn(f, stats);
+    return changed;
+  }
+
+ private:
+  bool run_fn(Function& f, StatsRegistry& stats) {
+    bool changed = false;
+    bool local = true;
+    int rounds = 0;
+    while (local && rounds++ < 8) {
+      local = false;
+      local |= fold_constant_branches(f, stats);
+      local |= merge_chains(f, stats);
+      local |= thread_forwarders(f, stats);
+      const int dead = delete_unreachable_blocks(f);
+      if (dead > 0) {
+        stats.add(name(), "NumUnreachable", dead);
+        local = true;
+      }
+      changed |= local;
+    }
+    return changed;
+  }
+
+  bool fold_constant_branches(Function& f, StatsRegistry& stats) {
+    bool changed = false;
+    for (BlockId b = 0; b < static_cast<BlockId>(f.blocks.size()); ++b) {
+      const ValueId t = f.terminator(b);
+      if (t == kNoValue) continue;
+      Instr& term = f.instr(t);
+      if (term.op != Opcode::CondBr) continue;
+      const auto c = const_int_value(f, term.ops[0]);
+      BlockId keep = -1, drop = -1;
+      if (c) {
+        keep = *c ? term.succs[0] : term.succs[1];
+        drop = *c ? term.succs[1] : term.succs[0];
+      } else if (term.succs[0] == term.succs[1]) {
+        keep = term.succs[0];
+        drop = -1;
+      } else {
+        continue;
+      }
+      term.op = Opcode::Br;
+      term.ops.clear();
+      term.succs = {keep};
+      if (drop >= 0 && drop != keep) remove_phi_edge(f, b, drop);
+      stats.add(name(), "NumFoldedBranch", 1);
+      stats.add(name(), "NumSimpl", 1);
+      changed = true;
+    }
+    return changed;
+  }
+
+  bool merge_chains(Function& f, StatsRegistry& stats) {
+    bool changed = false;
+    const auto preds = f.predecessors();
+    for (BlockId b = 1; b < static_cast<BlockId>(f.blocks.size()); ++b) {
+      const auto& p = preds[static_cast<std::size_t>(b)];
+      if (p.size() != 1) continue;
+      const BlockId pred = p[0];
+      if (pred == b) continue;
+      if (f.successors(pred).size() != 1) continue;
+      const ValueId pterm = f.terminator(pred);
+      if (pterm == kNoValue) continue;
+
+      // Single-entry phis collapse to their value.
+      for (ValueId id : std::vector<ValueId>(f.block(b).insts)) {
+        Instr& in = f.instr(id);
+        if (in.dead()) continue;
+        if (in.op != Opcode::Phi) break;
+        if (in.ops.size() == 1) {
+          f.replace_all_uses(id, in.ops[0]);
+          f.kill(id);
+        } else {
+          // Multi-entry phi with a single CFG predecessor: malformed for
+          // merging; bail out on this block.
+          goto next_block;
+        }
+      }
+
+      {
+        // Splice b's instructions after removing pred's terminator.
+        auto& pi = f.block(pred).insts;
+        f.kill(pterm);
+        std::erase_if(pi, [&](ValueId v) { return f.instr(v).dead(); });
+        auto& bi = f.block(b).insts;
+        std::erase_if(bi, [&](ValueId v) { return f.instr(v).dead(); });
+        pi.insert(pi.end(), bi.begin(), bi.end());
+        bi.clear();
+        // Phi edges in b's successors now come from pred.
+        for (BlockId s : f.successors(pred))
+          retarget_phi_edges(f, s, b, pred);
+        stats.add(name(), "NumBlocksMerged", 1);
+        stats.add(name(), "NumSimpl", 1);
+        changed = true;
+        // preds snapshot is stale now; restart scanning next round.
+        return changed;
+      }
+    next_block:;
+    }
+    return changed;
+  }
+
+  /// A block containing only `br X` can be bypassed: predecessors jump to
+  /// X directly (when X's phis do not already see those predecessors).
+  bool thread_forwarders(Function& f, StatsRegistry& stats) {
+    bool changed = false;
+    const auto preds = f.predecessors();
+    for (BlockId b = 1; b < static_cast<BlockId>(f.blocks.size()); ++b) {
+      const auto& bi = f.block(b).insts;
+      ValueId only = kNoValue;
+      bool trivial = true;
+      for (ValueId id : bi) {
+        if (f.instr(id).dead()) continue;
+        if (only != kNoValue) {
+          trivial = false;
+          break;
+        }
+        only = id;
+      }
+      if (!trivial || only == kNoValue) continue;
+      const Instr& term = f.instr(only);
+      if (term.op != Opcode::Br) continue;
+      const BlockId target = term.succs[0];
+      if (target == b) continue;
+
+      // Phis in target keyed by b need per-predecessor values; only safe
+      // when target has no phis or all phi entries from b can be copied.
+      bool target_has_phi = false;
+      for (ValueId id : f.block(target).insts) {
+        const Instr& in = f.instr(id);
+        if (!in.dead() && in.op == Opcode::Phi) {
+          target_has_phi = true;
+          break;
+        }
+      }
+      const auto& bp = preds[static_cast<std::size_t>(b)];
+      if (bp.empty()) continue;
+      if (target_has_phi) {
+        // Copy the value incoming from b for each new predecessor edge;
+        // sound because the value is the same regardless of which pred we
+        // arrived from (it dominates b).
+        bool any_pred_already_in_target = false;
+        for (BlockId p : bp) {
+          for (BlockId s : f.successors(p)) {
+            if (s == target) any_pred_already_in_target = true;
+          }
+        }
+        if (any_pred_already_in_target) continue;  // would double an edge
+        for (ValueId id : f.block(target).insts) {
+          Instr& in = f.instr(id);
+          if (in.dead()) continue;
+          if (in.op != Opcode::Phi) break;
+          ValueId from_b = kNoValue;
+          for (std::size_t k = 0; k < in.phi_blocks.size(); ++k) {
+            if (in.phi_blocks[k] == b) from_b = in.ops[k];
+          }
+          if (from_b == kNoValue) return changed;  // malformed; abort
+          for (std::size_t k = 0; k < in.phi_blocks.size(); ++k) {
+            if (in.phi_blocks[k] == b) {
+              in.phi_blocks[k] = bp[0];
+            }
+          }
+          for (std::size_t pi = 1; pi < bp.size(); ++pi) {
+            in.ops.push_back(from_b);
+            in.phi_blocks.push_back(bp[pi]);
+          }
+        }
+      }
+      // Redirect all predecessors of b to the target.
+      for (BlockId p : bp) {
+        const ValueId pt = f.terminator(p);
+        if (pt == kNoValue) continue;
+        for (auto& s : f.instr(pt).succs) {
+          if (s == b) s = target;
+        }
+      }
+      // b is now unreachable; the cleanup pass will drop it.
+      stats.add(name(), "NumSimpl", 1);
+      changed = true;
+      return changed;  // CFG changed; re-scan next round
+    }
+    return changed;
+  }
+};
+
+class JumpThreadingPass final : public Pass {
+ public:
+  std::string name() const override { return "jump-threading"; }
+  std::vector<std::string> stat_names() const override {
+    return {"NumThreads"};
+  }
+  bool run(Module& m, StatsRegistry& stats) override {
+    bool changed = false;
+    for (auto& f : m.functions) changed |= run_fn(f, stats);
+    return changed;
+  }
+
+ private:
+  bool run_fn(Function& f, StatsRegistry& stats) {
+    bool changed = false;
+    for (BlockId b = 0; b < static_cast<BlockId>(f.blocks.size()); ++b) {
+      const ValueId t = f.terminator(b);
+      if (t == kNoValue) continue;
+      const Instr& term = f.instr(t);
+      if (term.op != Opcode::CondBr) continue;
+      const Instr& cond = f.instr(term.ops[0]);
+      if (cond.op != Opcode::Phi) continue;
+
+      // The block must contain only phis + the branch for the thread to be
+      // a pure control-flow shortcut.
+      int live = 0;
+      for (ValueId id : f.block(b).insts) {
+        const Instr& in = f.instr(id);
+        if (!in.dead() && in.op != Opcode::Phi) ++live;
+      }
+      if (live != 1) continue;
+
+      // Find a predecessor whose incoming condition value is constant.
+      for (std::size_t k = 0; k < cond.ops.size(); ++k) {
+        const auto c = const_int_value(f, cond.ops[k]);
+        if (!c) continue;
+        const BlockId pred = cond.phi_blocks[k];
+        const BlockId target = *c ? term.succs[0] : term.succs[1];
+        // Threading duplicates nothing only when the target has no phis
+        // and b has no other phis used beyond the branch.
+        bool other_phi_used = false;
+        for (ValueId id : f.block(b).insts) {
+          const Instr& in = f.instr(id);
+          if (in.dead() || in.op != Opcode::Phi) continue;
+          if (id == term.ops[0]) continue;
+          other_phi_used = true;
+        }
+        if (other_phi_used) continue;
+        bool target_has_phi = false;
+        for (ValueId id : f.block(target).insts) {
+          const Instr& in = f.instr(id);
+          if (in.dead()) continue;
+          target_has_phi = in.op == Opcode::Phi;
+          break;
+        }
+        if (target_has_phi) continue;
+
+        // Redirect pred's edge b -> target. Only when pred has exactly one
+        // edge into b (otherwise the phi bookkeeping would be ambiguous).
+        const ValueId pt = f.terminator(pred);
+        if (pt == kNoValue) continue;
+        int edges_to_b = 0;
+        for (BlockId s : f.instr(pt).succs) {
+          if (s == b) ++edges_to_b;
+        }
+        if (edges_to_b != 1) continue;
+        for (auto& s : f.instr(pt).succs) {
+          if (s == b) s = target;
+        }
+        remove_phi_edge(f, pred, b);
+        stats.add(name(), "NumThreads", 1);
+        changed = true;
+        break;  // phi structure changed; next block
+      }
+    }
+    return changed;
+  }
+};
+
+class SinkPass final : public Pass {
+ public:
+  std::string name() const override { return "sink"; }
+  std::vector<std::string> stat_names() const override { return {"NumSunk"}; }
+  bool run(Module& m, StatsRegistry& stats) override {
+    bool changed = false;
+    for (auto& f : m.functions) changed |= run_fn(f, stats);
+    return changed;
+  }
+
+ private:
+  bool run_fn(Function& f, StatsRegistry& stats) {
+    bool changed = false;
+    const auto preds = f.predecessors();
+    const auto defs = def_blocks(f);
+    for (BlockId b = 0; b < static_cast<BlockId>(f.blocks.size()); ++b) {
+      const auto succs = f.successors(b);
+      if (succs.size() < 2) continue;  // sinking pays on branchy blocks
+      for (ValueId id : std::vector<ValueId>(f.block(b).insts)) {
+        const Instr& in = f.instr(id);
+        if (in.dead() || !is_pure(in.op) || in.op == Opcode::Phi) continue;
+        if (in.op == Opcode::ConstInt || in.op == Opcode::ConstFP) continue;
+        // All uses must live in exactly one successor with b as only pred.
+        BlockId use_block = -1;
+        bool ok = true;
+        for (const auto& bb2 : f.blocks) {
+          for (ValueId uid : bb2.insts) {
+            const Instr& u = f.instr(uid);
+            if (u.dead()) continue;
+            for (ValueId op : u.ops) {
+              if (op != id) continue;
+              const BlockId ub = defs[static_cast<std::size_t>(uid)];
+              if (u.op == Opcode::Phi || ub == b) {
+                ok = false;
+              } else if (use_block == -1) {
+                use_block = ub;
+              } else if (use_block != ub) {
+                ok = false;
+              }
+            }
+          }
+        }
+        if (!ok || use_block == -1) continue;
+        if (std::find(succs.begin(), succs.end(), use_block) == succs.end())
+          continue;
+        if (preds[static_cast<std::size_t>(use_block)].size() != 1) continue;
+        // Move: detach from b, insert after phis in use_block.
+        auto& bi = f.block(b).insts;
+        std::erase(bi, id);
+        auto& ui = f.block(use_block).insts;
+        std::size_t pos = 0;
+        while (pos < ui.size() && f.instr(ui[pos]).op == Opcode::Phi) ++pos;
+        ui.insert(ui.begin() + static_cast<std::ptrdiff_t>(pos), id);
+        stats.add(name(), "NumSunk", 1);
+        changed = true;
+      }
+    }
+    return changed;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_simplifycfg() {
+  return std::make_unique<SimplifyCfgPass>();
+}
+std::unique_ptr<Pass> make_jump_threading() {
+  return std::make_unique<JumpThreadingPass>();
+}
+std::unique_ptr<Pass> make_sink() { return std::make_unique<SinkPass>(); }
+
+}  // namespace citroen::passes

@@ -1,0 +1,372 @@
+#include "passes/common.hpp"
+
+#include <algorithm>
+
+namespace citroen::passes {
+
+using namespace ir;
+
+std::int64_t wrap_to_width(Type t, std::int64_t v) {
+  switch (t.scalar) {
+    case Scalar::I1: return v & 1;
+    case Scalar::I16: return static_cast<std::int16_t>(v);
+    case Scalar::I32: return static_cast<std::int32_t>(v);
+    default: return v;
+  }
+}
+
+std::optional<std::int64_t> const_int_value(const Function& f, ValueId id) {
+  const Instr& in = f.instr(id);
+  if (in.op == Opcode::ConstInt && !in.type.is_vector()) return in.imm;
+  return std::nullopt;
+}
+
+std::optional<double> const_fp_value(const Function& f, ValueId id) {
+  const Instr& in = f.instr(id);
+  if (in.op == Opcode::ConstFP && !in.type.is_vector()) return in.fimm;
+  return std::nullopt;
+}
+
+std::optional<FoldedConst> try_const_fold(const Function& f,
+                                          const Instr& in) {
+  if (in.type.is_vector()) return std::nullopt;
+
+  auto ci = [&](std::size_t k) { return const_int_value(f, in.ops[k]); };
+  auto cf = [&](std::size_t k) { return const_fp_value(f, in.ops[k]); };
+  FoldedConst out;
+
+  if (is_int_binop(in.op)) {
+    const auto a = ci(0), b = ci(1);
+    if (!a || !b) return std::nullopt;
+    std::int64_t r = 0;
+    // Wrap-around semantics in unsigned arithmetic (matches the
+    // interpreter and avoids signed-overflow UB).
+    const std::uint64_t ua = static_cast<std::uint64_t>(*a);
+    const std::uint64_t ub = static_cast<std::uint64_t>(*b);
+    switch (in.op) {
+      case Opcode::Add: r = static_cast<std::int64_t>(ua + ub); break;
+      case Opcode::Sub: r = static_cast<std::int64_t>(ua - ub); break;
+      case Opcode::Mul: r = static_cast<std::int64_t>(ua * ub); break;
+      case Opcode::SDiv:
+        if (*b == 0 || (*a == INT64_MIN && *b == -1)) return std::nullopt;
+        r = *a / *b;
+        break;
+      case Opcode::SRem:
+        if (*b == 0 || (*a == INT64_MIN && *b == -1)) return std::nullopt;
+        r = *a % *b;
+        break;
+      case Opcode::Shl:
+        r = static_cast<std::int64_t>(ua << (ub & 63));
+        break;
+      case Opcode::LShr: {
+        const int w = in.type.bit_width();
+        const std::uint64_t masked =
+            ua & (w == 64 ? ~0ULL : ((1ULL << w) - 1));
+        r = static_cast<std::int64_t>(masked >> (ub & 63));
+        break;
+      }
+      case Opcode::AShr: r = *a >> (*b & 63); break;
+      case Opcode::And: r = *a & *b; break;
+      case Opcode::Or: r = *a | *b; break;
+      case Opcode::Xor: r = *a ^ *b; break;
+      default: return std::nullopt;
+    }
+    out.i = wrap_to_width(in.type, r);
+    return out;
+  }
+
+  if (is_float_binop(in.op)) {
+    const auto a = cf(0), b = cf(1);
+    if (!a || !b) return std::nullopt;
+    out.is_float = true;
+    switch (in.op) {
+      case Opcode::FAdd: out.f = *a + *b; break;
+      case Opcode::FSub: out.f = *a - *b; break;
+      case Opcode::FMul: out.f = *a * *b; break;
+      case Opcode::FDiv: out.f = *a / *b; break;
+      default: return std::nullopt;
+    }
+    return out;
+  }
+
+  switch (in.op) {
+    case Opcode::ICmp: {
+      const auto a = ci(0), b = ci(1);
+      if (!a || !b) return std::nullopt;
+      bool r = false;
+      switch (in.pred) {
+        case CmpPred::EQ: r = *a == *b; break;
+        case CmpPred::NE: r = *a != *b; break;
+        case CmpPred::SLT: r = *a < *b; break;
+        case CmpPred::SLE: r = *a <= *b; break;
+        case CmpPred::SGT: r = *a > *b; break;
+        case CmpPred::SGE: r = *a >= *b; break;
+        default: return std::nullopt;
+      }
+      out.i = r ? 1 : 0;
+      return out;
+    }
+    case Opcode::SExt:
+    case Opcode::Trunc: {
+      const auto a = ci(0);
+      if (!a) return std::nullopt;
+      out.i = wrap_to_width(in.type, *a);
+      return out;
+    }
+    case Opcode::ZExt: {
+      const auto a = ci(0);
+      if (!a) return std::nullopt;
+      const int w = f.instr(in.ops[0]).type.bit_width();
+      const std::uint64_t raw = static_cast<std::uint64_t>(*a) &
+                                (w == 64 ? ~0ULL : ((1ULL << w) - 1));
+      out.i = wrap_to_width(in.type, static_cast<std::int64_t>(raw));
+      return out;
+    }
+    case Opcode::SIToFP: {
+      const auto a = ci(0);
+      if (!a) return std::nullopt;
+      out.is_float = true;
+      out.f = static_cast<double>(*a);
+      return out;
+    }
+    case Opcode::FPToSI: {
+      const auto a = cf(0);
+      if (!a) return std::nullopt;
+      // Out-of-range conversions are traps in the interpreter's world view
+      // only if UB; we fold with C semantics (truncation), matching it.
+      out.i = wrap_to_width(in.type, static_cast<std::int64_t>(*a));
+      return out;
+    }
+    case Opcode::Select: {
+      const auto c = ci(0);
+      if (!c) return std::nullopt;
+      const ValueId chosen = *c ? in.ops[1] : in.ops[2];
+      if (auto v = const_int_value(f, chosen)) {
+        out.i = *v;
+        return out;
+      }
+      if (auto v = const_fp_value(f, chosen)) {
+        out.is_float = true;
+        out.f = *v;
+        return out;
+      }
+      return std::nullopt;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+ValueId insert_const(Function& f, BlockId block, std::size_t before_pos,
+                     Type t, const FoldedConst& c) {
+  Instr in;
+  in.op = c.is_float ? Opcode::ConstFP : Opcode::ConstInt;
+  in.type = t;
+  in.imm = c.i;
+  in.fimm = c.f;
+  const ValueId id = f.add_instr(std::move(in));
+  auto& insts = f.block(block).insts;
+  insts.insert(insts.begin() + static_cast<std::ptrdiff_t>(
+                                   std::min(before_pos, insts.size())),
+               id);
+  return id;
+}
+
+void remove_phi_edge(Function& f, BlockId from, BlockId to) {
+  for (ValueId id : f.block(to).insts) {
+    Instr& in = f.instr(id);
+    if (in.dead()) continue;
+    if (in.op != Opcode::Phi) break;
+    for (std::size_t k = 0; k < in.phi_blocks.size(); ++k) {
+      if (in.phi_blocks[k] == from) {
+        in.ops.erase(in.ops.begin() + static_cast<std::ptrdiff_t>(k));
+        in.phi_blocks.erase(in.phi_blocks.begin() +
+                            static_cast<std::ptrdiff_t>(k));
+        break;
+      }
+    }
+    // Single-entry phi degenerates to a copy.
+    if (in.ops.size() == 1) {
+      const ValueId repl = in.ops[0];
+      f.replace_all_uses(id, repl);
+      f.kill(id);
+    }
+  }
+  f.purge_dead_from_blocks();
+}
+
+void retarget_phi_edges(Function& f, BlockId block, BlockId old_pred,
+                        BlockId new_pred) {
+  for (ValueId id : f.block(block).insts) {
+    Instr& in = f.instr(id);
+    if (in.dead()) continue;
+    if (in.op != Opcode::Phi) break;
+    for (auto& pb : in.phi_blocks) {
+      if (pb == old_pred) pb = new_pred;
+    }
+  }
+}
+
+int delete_unreachable_blocks(Function& f) {
+  const DomTree dt = compute_dominators(f);
+  int removed = 0;
+  // First drop phi entries coming from unreachable predecessors.
+  for (BlockId b = 0; b < static_cast<BlockId>(f.blocks.size()); ++b) {
+    if (!dt.reachable[static_cast<std::size_t>(b)]) continue;
+    for (ValueId id : std::vector<ValueId>(f.block(b).insts)) {
+      Instr& in = f.instr(id);
+      if (in.dead()) continue;
+      if (in.op != Opcode::Phi) break;
+      for (std::size_t k = in.phi_blocks.size(); k-- > 0;) {
+        if (!dt.reachable[static_cast<std::size_t>(in.phi_blocks[k])]) {
+          in.ops.erase(in.ops.begin() + static_cast<std::ptrdiff_t>(k));
+          in.phi_blocks.erase(in.phi_blocks.begin() +
+                              static_cast<std::ptrdiff_t>(k));
+        }
+      }
+      if (in.ops.size() == 1) {
+        f.replace_all_uses(id, in.ops[0]);
+        f.kill(id);
+      }
+    }
+  }
+  for (BlockId b = 1; b < static_cast<BlockId>(f.blocks.size()); ++b) {
+    if (dt.reachable[static_cast<std::size_t>(b)]) continue;
+    auto& bb = f.block(b);
+    if (bb.insts.empty()) continue;
+    for (ValueId id : bb.insts) f.kill(id);
+    bb.insts.clear();
+    ++removed;
+  }
+  f.purge_dead_from_blocks();
+  return removed;
+}
+
+void clone_block_body(Function& f, BlockId src, BlockId dst,
+                      std::unordered_map<ValueId, ValueId>& value_map) {
+  clone_instr_list(f, f.block(src).insts, dst, value_map);
+}
+
+void clone_instr_list(Function& f, const std::vector<ValueId>& insts,
+                      BlockId dst,
+                      std::unordered_map<ValueId, ValueId>& value_map) {
+  const std::vector<ValueId> src_insts = insts;
+  for (ValueId id : src_insts) {
+    const Instr& orig = f.instr(id);
+    if (orig.dead() || orig.op == Opcode::Phi || is_terminator(orig.op))
+      continue;
+    Instr copy = orig;
+    for (auto& op : copy.ops) {
+      const auto it = value_map.find(op);
+      if (it != value_map.end()) op = it->second;
+    }
+    const ValueId nid = f.add_instr(std::move(copy));
+    if (f.instr(nid).op == Opcode::Alloca) {
+      auto& entry = f.block(0).insts;
+      entry.insert(entry.begin(), nid);
+    } else {
+      f.block(dst).insts.push_back(nid);
+    }
+    value_map[id] = nid;
+  }
+}
+
+bool defined_outside(const Function& f, ValueId v,
+                     const std::vector<bool>& in_loop,
+                     const std::vector<BlockId>& defs) {
+  const Instr& in = f.instr(v);
+  if (in.op == Opcode::Arg) return true;
+  const BlockId db = defs[static_cast<std::size_t>(v)];
+  if (db < 0) return true;
+  return !in_loop[static_cast<std::size_t>(db)];
+}
+
+std::optional<CountedLoop> match_counted_loop(const Function& f,
+                                              const Loop& loop) {
+  if (loop.preheader < 0 || loop.latches.size() != 1) return std::nullopt;
+  if (loop.blocks.size() != 2) return std::nullopt;  // header + single body
+  const BlockId header = loop.header;
+  const BlockId body = loop.latches[0];
+  if (body == header) return std::nullopt;
+
+  CountedLoop cl;
+  cl.preheader = loop.preheader;
+  cl.header = header;
+  cl.body = body;
+
+  // Header: phis, then icmp, then condbr(body, exit).
+  const ValueId term = f.terminator(header);
+  if (term == kNoValue) return std::nullopt;
+  const Instr& br = f.instr(term);
+  if (br.op != Opcode::CondBr) return std::nullopt;
+  if (br.succs[0] != body) return std::nullopt;
+  cl.exit = br.succs[1];
+  if (std::find(loop.blocks.begin(), loop.blocks.end(), cl.exit) !=
+      loop.blocks.end())
+    return std::nullopt;
+
+  const Instr& cmp = f.instr(br.ops[0]);
+  if (cmp.op != Opcode::ICmp || cmp.pred != CmpPred::SLT) return std::nullopt;
+  const auto limit = const_int_value(f, cmp.ops[1]);
+  if (!limit) return std::nullopt;
+
+  // Identify phis; the induction phi feeds the compare.
+  for (ValueId id : f.block(header).insts) {
+    const Instr& in = f.instr(id);
+    if (in.dead()) continue;
+    if (in.op != Opcode::Phi) {
+      // The only non-phi header instructions allowed are the compare and
+      // the terminator itself.
+      if (id != br.ops[0] && id != term) return std::nullopt;
+      continue;
+    }
+    if (in.ops.size() != 2) return std::nullopt;
+    if (id == cmp.ops[0]) {
+      cl.iv_phi = id;
+    } else {
+      cl.reduction_phis.push_back(id);
+    }
+  }
+  if (cl.iv_phi == kNoValue) return std::nullopt;
+
+  // iv incoming values: init from preheader (constant), next from latch.
+  const Instr& ivp = f.instr(cl.iv_phi);
+  for (std::size_t k = 0; k < 2; ++k) {
+    if (ivp.phi_blocks[k] == cl.preheader) {
+      const auto init = const_int_value(f, ivp.ops[k]);
+      if (!init) return std::nullopt;
+      cl.init = *init;
+    } else if (ivp.phi_blocks[k] == body) {
+      cl.iv_next = ivp.ops[k];
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (cl.iv_next == kNoValue) return std::nullopt;
+  const Instr& next = f.instr(cl.iv_next);
+  if (next.op != Opcode::Add || next.ops[0] != cl.iv_phi) return std::nullopt;
+  const auto step = const_int_value(f, next.ops[1]);
+  if (!step || *step <= 0) return std::nullopt;
+  cl.step = *step;
+  cl.limit = *limit;
+
+  if (cl.limit <= cl.init) return std::nullopt;  // zero-trip or degenerate
+  const std::int64_t span = cl.limit - cl.init;
+  cl.trip_count = (span + cl.step - 1) / cl.step;
+
+  // Body must end with an unconditional branch back to the header.
+  const ValueId bterm = f.terminator(body);
+  if (bterm == kNoValue || f.instr(bterm).op != Opcode::Br) return std::nullopt;
+
+  // Reduction phis must have their loop-carried value defined in the body.
+  for (ValueId rp : cl.reduction_phis) {
+    const Instr& p = f.instr(rp);
+    for (std::size_t k = 0; k < 2; ++k) {
+      if (p.phi_blocks[k] != cl.preheader && p.phi_blocks[k] != body)
+        return std::nullopt;
+    }
+  }
+  return cl;
+}
+
+}  // namespace citroen::passes

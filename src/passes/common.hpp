@@ -1,0 +1,96 @@
+#pragma once
+// Shared helpers for writing passes: constant folding, CFG edge surgery,
+// and block-content cloning (used by inline/unroll/vectorize).
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/analysis.hpp"
+#include "ir/module.hpp"
+#include "passes/pass.hpp"
+
+namespace citroen::passes {
+
+/// Wrap an integer to the width of `t` (sign-extended representation).
+std::int64_t wrap_to_width(ir::Type t, std::int64_t v);
+
+/// If `id` is a scalar ConstInt, return its value.
+std::optional<std::int64_t> const_int_value(const ir::Function& f,
+                                            ir::ValueId id);
+/// If `id` is a scalar ConstFP, return its value.
+std::optional<double> const_fp_value(const ir::Function& f, ir::ValueId id);
+
+/// Try to evaluate a pure scalar instruction whose operands are constants.
+/// Returns the folded value as {is_float, int, fp}. Division by zero and
+/// other trapping cases return nullopt (must not be folded away).
+struct FoldedConst {
+  bool is_float = false;
+  std::int64_t i = 0;
+  double f = 0.0;
+};
+std::optional<FoldedConst> try_const_fold(const ir::Function& f,
+                                          const ir::Instr& in);
+
+/// Materialise a constant instruction right before `before_pos` in `block`.
+ir::ValueId insert_const(ir::Function& f, ir::BlockId block,
+                         std::size_t before_pos, ir::Type t,
+                         const FoldedConst& c);
+
+/// Remove the CFG edge from -> to: drops `to`'s phi entries for `from`.
+/// The terminator of `from` must already have been updated by the caller.
+void remove_phi_edge(ir::Function& f, ir::BlockId from, ir::BlockId to);
+
+/// Retarget every phi in `block` that lists `old_pred` to list `new_pred`.
+void retarget_phi_edges(ir::Function& f, ir::BlockId block,
+                        ir::BlockId old_pred, ir::BlockId new_pred);
+
+/// Kill all instructions in blocks unreachable from entry and empty those
+/// blocks; fixes phi lists in reachable blocks. Returns #blocks removed.
+int delete_unreachable_blocks(ir::Function& f);
+
+/// Clone the live, non-phi instructions of `src` into `dst` (appending),
+/// remapping operands through `value_map` (ids absent from the map are
+/// kept as-is). Terminators are skipped. Each cloned id is recorded into
+/// `value_map` under its source id. Cloned allocas are hoisted to entry.
+void clone_block_body(ir::Function& f, ir::BlockId src, ir::BlockId dst,
+                      std::unordered_map<ir::ValueId, ir::ValueId>& value_map);
+
+/// As `clone_block_body` but clones an explicit instruction list (so the
+/// caller can snapshot a block once and clone it repeatedly even while
+/// appending into the same block, as partial unrolling does).
+void clone_instr_list(ir::Function& f, const std::vector<ir::ValueId>& insts,
+                      ir::BlockId dst,
+                      std::unordered_map<ir::ValueId, ir::ValueId>& value_map);
+
+/// A value is defined outside the loop (or is an argument/constant defined
+/// in a block not in `in_loop`).
+bool defined_outside(const ir::Function& f, ir::ValueId v,
+                     const std::vector<bool>& in_loop,
+                     const std::vector<ir::BlockId>& defs);
+
+/// Canonical counted-loop description recognised by unroll/vectorise/idiom:
+///   header: iv = phi [init, preheader], [iv_next, latch]
+///           (optional reduction phis)
+///           cond = icmp slt iv, limit ; condbr cond, body, exit   (while)
+/// or the rotated form with the test in the latch.
+struct CountedLoop {
+  ir::BlockId preheader = -1;
+  ir::BlockId header = -1;
+  ir::BlockId body = -1;    ///< single body block (== latch)
+  ir::BlockId exit = -1;
+  ir::ValueId iv_phi = ir::kNoValue;
+  ir::ValueId iv_next = ir::kNoValue;   ///< add iv, step (in body)
+  std::int64_t init = 0;
+  std::int64_t step = 0;
+  std::int64_t limit = 0;
+  std::int64_t trip_count = 0;          ///< exact iterations
+  std::vector<ir::ValueId> reduction_phis;  ///< other header phis
+};
+
+/// Recognise the while-form counted loop with a single body block and
+/// constant bounds. Returns nullopt when the shape does not match.
+std::optional<CountedLoop> match_counted_loop(const ir::Function& f,
+                                              const ir::Loop& loop);
+
+}  // namespace citroen::passes

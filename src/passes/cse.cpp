@@ -1,0 +1,198 @@
+// early-cse: dominator-scoped common-subexpression elimination with a
+//            memory generation counter, so redundant loads within a
+//            store-free region are also removed.
+// gvn:       global value numbering of pure expressions (and calls to
+//            functions proven readnone by `function-attrs` — the
+//            cross-pass interaction the paper calls out as invisible to
+//            IR-feature-based code characterisations).
+
+#include <map>
+#include <unordered_map>
+
+#include "passes/common.hpp"
+#include "passes/factories.hpp"
+
+namespace citroen::passes {
+
+using namespace ir;
+
+namespace {
+
+/// Structural key of a pure instruction.
+struct ExprKey {
+  Opcode op;
+  Type type;
+  CmpPred pred;
+  std::int64_t imm;
+  double fimm;
+  std::int32_t global_index;
+  std::int32_t stride;
+  std::string callee;
+  std::vector<ValueId> ops;
+
+  bool operator<(const ExprKey& o) const {
+    if (op != o.op) return op < o.op;
+    if (type.scalar != o.type.scalar) return type.scalar < o.type.scalar;
+    if (type.lanes != o.type.lanes) return type.lanes < o.type.lanes;
+    if (pred != o.pred) return pred < o.pred;
+    if (imm != o.imm) return imm < o.imm;
+    if (fimm != o.fimm) return fimm < o.fimm;
+    if (global_index != o.global_index) return global_index < o.global_index;
+    if (stride != o.stride) return stride < o.stride;
+    if (callee != o.callee) return callee < o.callee;
+    return ops < o.ops;
+  }
+};
+
+ExprKey make_key(const Instr& in) {
+  ExprKey k{in.op,  in.type,         in.pred,   in.imm, in.fimm,
+            in.global_index, in.stride, in.callee, in.ops};
+  if (is_commutative(in.op) && k.ops.size() == 2 && k.ops[0] > k.ops[1])
+    std::swap(k.ops[0], k.ops[1]);
+  return k;
+}
+
+class EarlyCsePass final : public Pass {
+ public:
+  std::string name() const override { return "early-cse"; }
+  std::vector<std::string> stat_names() const override {
+    return {"NumCSE", "NumCSELoad"};
+  }
+  bool run(Module& m, StatsRegistry& stats) override {
+    bool changed = false;
+    for (auto& f : m.functions) changed |= run_fn(f, m, stats);
+    return changed;
+  }
+
+ private:
+  bool changed_ = false;
+
+  struct Scope {
+    std::vector<ExprKey> exprs;        // keys added in this scope
+    std::vector<ExprKey> load_keys;    // load keys added in this scope
+  };
+
+  bool run_fn(Function& f, Module& m, StatsRegistry& stats) {
+    changed_ = false;
+    const DomTree dt = compute_dominators(f);
+    std::map<ExprKey, ValueId> table;
+    walk(f, m, dt, 0, table, stats);
+    if (changed_) f.purge_dead_from_blocks();
+    return changed_;
+  }
+
+  void walk(Function& f, Module& m, const DomTree& dt, BlockId b,
+            std::map<ExprKey, ValueId>& table, StatsRegistry& stats) {
+    std::vector<ExprKey> added;
+    // Load CSE is block-local: without memory SSA, a store in a sibling
+    // dominator subtree can lie on an execution path between two blocks on
+    // the same dominator chain, so cross-block reuse would be unsound.
+    std::map<ExprKey, ValueId> loads;
+    std::int64_t mem_gen = 0;
+
+    for (ValueId id : std::vector<ValueId>(f.block(b).insts)) {
+      Instr& in = f.instr(id);
+      if (in.dead()) continue;
+      if (writes_memory(in.op)) {
+        ++mem_gen;
+        continue;
+      }
+      if (in.op == Opcode::Call) {
+        const Function* callee = m.find_function(in.callee);
+        if (!callee || !callee->attr_readnone) ++mem_gen;
+        continue;  // call CSE is left to gvn
+      }
+      if (in.op == Opcode::Load) {
+        ExprKey k = make_key(in);
+        k.imm = mem_gen;  // fold the memory generation into the key
+        auto [it, inserted] = loads.try_emplace(k, id);
+        if (!inserted) {
+          f.replace_all_uses(id, it->second);
+          f.kill(id);
+          stats.add(name(), "NumCSELoad", 1);
+          changed_ = true;
+        }
+        continue;
+      }
+      if (!is_pure(in.op) || in.op == Opcode::Phi) continue;
+      const ExprKey k = make_key(in);
+      auto [it, inserted] = table.try_emplace(k, id);
+      if (!inserted) {
+        f.replace_all_uses(id, it->second);
+        f.kill(id);
+        stats.add(name(), "NumCSE", 1);
+        changed_ = true;
+      } else {
+        added.push_back(k);
+      }
+    }
+
+    for (BlockId c : dt.children[static_cast<std::size_t>(b)])
+      walk(f, m, dt, c, table, stats);
+
+    for (const auto& k : added) table.erase(k);
+  }
+};
+
+class GvnPass final : public Pass {
+ public:
+  std::string name() const override { return "gvn"; }
+  std::vector<std::string> stat_names() const override {
+    return {"NumGVNInstr", "NumGVNCall"};
+  }
+  bool run(Module& m, StatsRegistry& stats) override {
+    bool changed = false;
+    for (auto& f : m.functions) changed |= run_fn(f, m, stats);
+    return changed;
+  }
+
+ private:
+  bool run_fn(Function& f, Module& m, StatsRegistry& stats) {
+    bool changed = false;
+    const DomTree dt = compute_dominators(f);
+    const auto defs = def_blocks(f);
+    std::map<ExprKey, ValueId> leader;
+
+    // RPO walk: the first occurrence becomes the leader; later occurrences
+    // dominated by the leader are replaced.
+    for (BlockId b : dt.rpo) {
+      for (ValueId id : std::vector<ValueId>(f.block(b).insts)) {
+        Instr& in = f.instr(id);
+        if (in.dead()) continue;
+        const bool pure_expr = is_pure(in.op) && in.op != Opcode::Phi &&
+                               in.op != Opcode::ConstInt &&
+                               in.op != Opcode::ConstFP;
+        bool readnone_call = false;
+        if (in.op == Opcode::Call) {
+          const Function* callee = m.find_function(in.callee);
+          readnone_call = callee && callee->attr_readnone;
+        }
+        if (!pure_expr && !readnone_call) continue;
+        const ExprKey k = make_key(in);
+        const auto it = leader.find(k);
+        if (it == leader.end()) {
+          leader.emplace(k, id);
+          continue;
+        }
+        const BlockId lb = defs[static_cast<std::size_t>(it->second)];
+        if (lb >= 0 && dt.dominates(lb, b) && it->second != id) {
+          f.replace_all_uses(id, it->second);
+          f.kill(id);
+          stats.add(name(), readnone_call ? "NumGVNCall" : "NumGVNInstr", 1);
+          changed = true;
+        }
+      }
+    }
+    if (changed) f.purge_dead_from_blocks();
+    return changed;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_early_cse() {
+  return std::make_unique<EarlyCsePass>();
+}
+std::unique_ptr<Pass> make_gvn() { return std::make_unique<GvnPass>(); }
+
+}  // namespace citroen::passes

@@ -1,0 +1,115 @@
+// dce: delete trivially dead (unused, side-effect-free) instructions.
+// adce: aggressive DCE — everything is presumed dead until reached from a
+//       root (stores, calls, returns, terminators, memory intrinsics), so
+//       dead phi cycles and unused loads disappear too.
+
+#include "passes/common.hpp"
+#include "passes/factories.hpp"
+
+namespace citroen::passes {
+
+using namespace ir;
+
+namespace {
+
+bool removable(Opcode op) { return is_pure(op) || op == Opcode::Load; }
+
+class DcePass final : public Pass {
+ public:
+  std::string name() const override { return "dce"; }
+  std::vector<std::string> stat_names() const override {
+    return {"NumDeleted"};
+  }
+  bool run(Module& m, StatsRegistry& stats) override {
+    bool changed = false;
+    for (auto& f : m.functions) {
+      bool local = true;
+      while (local) {
+        local = false;
+        const auto uses = count_uses(f);
+        for (auto& bb : f.blocks) {
+          for (ValueId id : bb.insts) {
+            Instr& in = f.instr(id);
+            if (in.dead() || !removable(in.op)) continue;
+            if (uses[static_cast<std::size_t>(id)] == 0) {
+              f.kill(id);
+              stats.add(name(), "NumDeleted", 1);
+              local = true;
+              changed = true;
+            }
+          }
+        }
+        if (local) f.purge_dead_from_blocks();
+      }
+    }
+    return changed;
+  }
+};
+
+class AdcePass final : public Pass {
+ public:
+  std::string name() const override { return "adce"; }
+  std::vector<std::string> stat_names() const override {
+    return {"NumRemoved"};
+  }
+  bool run(Module& m, StatsRegistry& stats) override {
+    bool changed = false;
+    for (auto& f : m.functions) changed |= run_fn(f, stats);
+    return changed;
+  }
+
+ private:
+  bool run_fn(Function& f, StatsRegistry& stats) {
+    std::vector<bool> live(f.instrs.size(), false);
+    std::vector<ValueId> work;
+    for (const auto& bb : f.blocks) {
+      for (ValueId id : bb.insts) {
+        const Instr& in = f.instr(id);
+        if (in.dead()) continue;
+        const bool root = is_terminator(in.op) || writes_memory(in.op) ||
+                          in.op == Opcode::Call || in.op == Opcode::Alloca;
+        if (root) {
+          live[static_cast<std::size_t>(id)] = true;
+          work.push_back(id);
+        }
+      }
+    }
+    while (!work.empty()) {
+      const ValueId id = work.back();
+      work.pop_back();
+      for (ValueId op : f.instr(id).ops) {
+        if (!live[static_cast<std::size_t>(op)]) {
+          live[static_cast<std::size_t>(op)] = true;
+          work.push_back(op);
+        }
+      }
+    }
+    bool changed = false;
+    for (auto& bb : f.blocks) {
+      for (ValueId id : bb.insts) {
+        Instr& in = f.instr(id);
+        if (in.dead() || in.op == Opcode::Arg) continue;
+        if (!live[static_cast<std::size_t>(id)] && removable(in.op)) {
+          f.kill(id);
+          stats.add(name(), "NumRemoved", 1);
+          changed = true;
+        }
+        // Phis are also removable when dead (they are pure).
+        if (!live[static_cast<std::size_t>(id)] && in.op == Opcode::Phi) {
+          f.kill(id);
+          stats.add(name(), "NumRemoved", 1);
+          changed = true;
+        }
+      }
+    }
+    if (changed) f.purge_dead_from_blocks();
+    return changed;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_dce() { return std::make_unique<DcePass>(); }
+std::unique_ptr<Pass> make_adce() { return std::make_unique<AdcePass>(); }
+
+}  // namespace citroen::passes

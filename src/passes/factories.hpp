@@ -1,0 +1,46 @@
+#pragma once
+// Factory functions for every pass; the registry wires them to names.
+
+#include <memory>
+
+#include "passes/pass.hpp"
+
+namespace citroen::passes {
+
+std::unique_ptr<Pass> make_mem2reg();
+std::unique_ptr<Pass> make_sroa();
+std::unique_ptr<Pass> make_instcombine();
+std::unique_ptr<Pass> make_instsimplify();
+std::unique_ptr<Pass> make_aggressive_instcombine();
+std::unique_ptr<Pass> make_dce();
+std::unique_ptr<Pass> make_adce();
+std::unique_ptr<Pass> make_simplifycfg();
+std::unique_ptr<Pass> make_jump_threading();
+std::unique_ptr<Pass> make_sink();
+std::unique_ptr<Pass> make_early_cse();
+std::unique_ptr<Pass> make_gvn();
+std::unique_ptr<Pass> make_reassociate();
+std::unique_ptr<Pass> make_sccp();
+std::unique_ptr<Pass> make_constmerge();
+std::unique_ptr<Pass> make_div_rem_pairs();
+std::unique_ptr<Pass> make_vectorcombine();
+std::unique_ptr<Pass> make_loop_simplify();
+std::unique_ptr<Pass> make_loop_rotate();
+std::unique_ptr<Pass> make_licm();
+std::unique_ptr<Pass> make_indvars();
+std::unique_ptr<Pass> make_loop_unroll();
+std::unique_ptr<Pass> make_loop_vectorize();
+std::unique_ptr<Pass> make_loop_idiom();
+std::unique_ptr<Pass> make_loop_deletion();
+std::unique_ptr<Pass> make_slp_vectorizer();
+std::unique_ptr<Pass> make_inline();
+std::unique_ptr<Pass> make_function_attrs();
+std::unique_ptr<Pass> make_ipsccp();
+std::unique_ptr<Pass> make_tailcallelim();
+std::unique_ptr<Pass> make_globalopt();
+std::unique_ptr<Pass> make_deadargelim();
+std::unique_ptr<Pass> make_dse();
+std::unique_ptr<Pass> make_memcpyopt();
+std::unique_ptr<Pass> make_loop_unswitch();
+
+}  // namespace citroen::passes

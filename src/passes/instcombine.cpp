@@ -1,0 +1,357 @@
+// instcombine / instsimplify / aggressive-instcombine: peephole rewrites.
+//
+// instcombine includes the sign-extension widening rule that reproduces
+// the paper's Fig. 5.1 interaction: `sext64(mul32(sext32(a16), sext32(b16)))`
+// is rewritten to `mul64(sext64(a16), sext64(b16))` — locally profitable
+// (one instruction fewer) but it widens the multiply to i64, which the SLP
+// vectoriser's profitability model then rejects. Running instcombine
+// *between* mem2reg and slp-vectorizer therefore kills vectorisation,
+// while running it after does not.
+
+#include "passes/common.hpp"
+#include "passes/factories.hpp"
+
+namespace citroen::passes {
+
+using namespace ir;
+
+namespace {
+
+bool is_pow2(std::int64_t v) { return v > 0 && (v & (v - 1)) == 0; }
+int log2_i64(std::int64_t v) {
+  int k = 0;
+  while ((1LL << k) < v) ++k;
+  return k;
+}
+
+/// Shared per-function peephole engine; the three passes enable different
+/// rule sets (mirroring how LLVM's instsimplify is the "no new
+/// instructions" subset of instcombine).
+struct Peephole {
+  Function& f;
+  StatsRegistry& stats;
+  const std::string pass;
+  bool allow_new_instrs;      ///< instcombine: yes; instsimplify: no
+  bool aggressive;            ///< aggressive-instcombine extras
+  bool changed = false;
+
+  void count(const char* c) { stats.add(pass, c, 1); }
+
+  void replace_with_const(BlockId b, std::size_t pos, ValueId id,
+                          const FoldedConst& c) {
+    const ValueId cid = insert_const(f, b, pos, f.instr(id).type, c);
+    f.replace_all_uses(id, cid);
+    f.kill(id);
+    changed = true;
+  }
+
+  void replace_with_value(ValueId id, ValueId repl) {
+    f.replace_all_uses(id, repl);
+    f.kill(id);
+    changed = true;
+  }
+
+  void run() {
+    bool local = true;
+    int rounds = 0;
+    while (local && rounds++ < 8) {
+      local = false;
+      for (BlockId b = 0; b < static_cast<BlockId>(f.blocks.size()); ++b) {
+        // Index loop: rules may insert constants into this block.
+        for (std::size_t i = 0; i < f.block(b).insts.size(); ++i) {
+          const ValueId id = f.block(b).insts[i];
+          Instr& in = f.instr(id);
+          if (in.dead()) continue;
+          local |= visit(b, i, id, in);
+        }
+      }
+      if (local) {
+        f.purge_dead_from_blocks();
+        changed = true;
+      }
+    }
+  }
+
+  bool visit(BlockId b, std::size_t pos, ValueId id, Instr& in) {
+    // Constant folding (both passes).
+    if (is_pure(in.op) && !in.ops.empty() && !in.type.is_vector()) {
+      if (auto c = try_const_fold(f, in)) {
+        replace_with_const(b, pos, id, *c);
+        count("NumConstFold");
+        return true;
+      }
+    }
+
+    // Canonicalise: constant operand of a commutative op goes right.
+    if (is_commutative(in.op) && in.ops.size() == 2 &&
+        const_int_value(f, in.ops[0]) && !const_int_value(f, in.ops[1])) {
+      std::swap(in.ops[0], in.ops[1]);
+      count("NumCanonicalized");
+      return true;
+    }
+
+    // Algebraic identities (value-returning only: instsimplify-safe).
+    if (in.ops.size() == 2) {
+      const auto rc = const_int_value(f, in.ops[1]);
+      if (rc) {
+        switch (in.op) {
+          case Opcode::Add:
+          case Opcode::Sub:
+          case Opcode::Or:
+          case Opcode::Xor:
+          case Opcode::Shl:
+          case Opcode::LShr:
+          case Opcode::AShr:
+            if (*rc == 0) {
+              replace_with_value(id, in.ops[0]);
+              count("NumSimplified");
+              return true;
+            }
+            break;
+          case Opcode::Mul:
+          case Opcode::SDiv:
+            if (*rc == 1) {
+              replace_with_value(id, in.ops[0]);
+              count("NumSimplified");
+              return true;
+            }
+            if (in.op == Opcode::Mul && *rc == 0) {
+              replace_with_const(b, pos, id, FoldedConst{false, 0, 0.0});
+              count("NumSimplified");
+              return true;
+            }
+            break;
+          case Opcode::And:
+            if (*rc == 0) {
+              replace_with_const(b, pos, id, FoldedConst{false, 0, 0.0});
+              count("NumSimplified");
+              return true;
+            }
+            break;
+          default:
+            break;
+        }
+      }
+      // x - x => 0 ; x ^ x => 0.
+      if ((in.op == Opcode::Sub || in.op == Opcode::Xor) &&
+          in.ops[0] == in.ops[1]) {
+        replace_with_const(b, pos, id, FoldedConst{false, 0, 0.0});
+        count("NumSimplified");
+        return true;
+      }
+    }
+
+    // select c, x, x => x
+    if (in.op == Opcode::Select && in.ops[1] == in.ops[2]) {
+      replace_with_value(id, in.ops[1]);
+      count("NumSimplified");
+      return true;
+    }
+
+    // sext(sext(x)) => sext(x) to the outer type.
+    if (in.op == Opcode::SExt) {
+      const Instr& inner = f.instr(in.ops[0]);
+      if (inner.op == Opcode::SExt) {
+        in.ops[0] = inner.ops[0];
+        count("NumCombined");
+        return true;
+      }
+      // trunc-of-sext round trip: sext_T(trunc_S(x)) with T == type(x) and
+      // S wide enough would need range info; skipped (not provable here).
+    }
+    if (in.op == Opcode::ZExt) {
+      const Instr& inner = f.instr(in.ops[0]);
+      if (inner.op == Opcode::ZExt) {
+        in.ops[0] = inner.ops[0];
+        count("NumCombined");
+        return true;
+      }
+    }
+    // trunc(sext(x)) where trunc returns the original type => x.
+    if (in.op == Opcode::Trunc) {
+      const Instr& inner = f.instr(in.ops[0]);
+      if ((inner.op == Opcode::SExt || inner.op == Opcode::ZExt) &&
+          f.instr(inner.ops[0]).type == in.type) {
+        replace_with_value(id, inner.ops[0]);
+        count("NumCombined");
+        return true;
+      }
+    }
+
+    if (!allow_new_instrs) return false;
+
+    // ---- rules below may create instructions: instcombine only ----------
+
+    // mul x, 2^k => shl x, k (cheaper on the machine model).
+    if (in.op == Opcode::Mul && in.type.is_int() && !in.type.is_vector()) {
+      const auto rc = const_int_value(f, in.ops[1]);
+      if (rc && is_pow2(*rc) && *rc > 1) {
+        const ValueId k = insert_const(
+            f, b, pos, in.type, FoldedConst{false, log2_i64(*rc), 0.0});
+        Instr& self = f.instr(id);  // arena may have reallocated
+        self.op = Opcode::Shl;
+        self.ops[1] = k;
+        count("NumCombined");
+        return true;
+      }
+    }
+
+    // The Fig. 5.1 widening rule:
+    //   sext_W(mul_N(sext_N(a), sext_N(b))) => mul_W(sext_W(a), sext_W(b))
+    // valid because the product of two values sign-extended from width
+    // <= N/2 cannot wrap at width N.
+    if (in.op == Opcode::SExt) {
+      const Instr& mul = f.instr(in.ops[0]);
+      if (mul.op == Opcode::Mul && !mul.type.is_vector()) {
+        const Instr& sa = f.instr(mul.ops[0]);
+        const Instr& sb = f.instr(mul.ops[1]);
+        if (sa.op == Opcode::SExt && sb.op == Opcode::SExt) {
+          const int wa = f.instr(sa.ops[0]).type.bit_width();
+          const int wb = f.instr(sb.ops[0]).type.bit_width();
+          if (wa * 2 <= mul.type.bit_width() &&
+              wb * 2 <= mul.type.bit_width()) {
+            // Capture before add_instr: the arena may reallocate and
+            // invalidate every Instr reference held above.
+            const ValueId src_a = sa.ops[0];
+            const ValueId src_b = sb.ops[0];
+            const Type out_ty = in.type;
+            Instr na;
+            na.op = Opcode::SExt;
+            na.type = out_ty;
+            na.ops = {src_a};
+            const ValueId ida = f.add_instr(std::move(na));
+            Instr nb;
+            nb.op = Opcode::SExt;
+            nb.type = out_ty;
+            nb.ops = {src_b};
+            const ValueId idb = f.add_instr(std::move(nb));
+            auto& insts = f.block(b).insts;
+            insts.insert(insts.begin() + static_cast<std::ptrdiff_t>(pos),
+                         {ida, idb});
+            Instr& self = f.instr(id);  // insertion may not invalidate; re-ref
+            self.op = Opcode::Mul;
+            self.ops = {ida, idb};
+            count("NumCombined");
+            count("NumWidenedMul");
+            return true;
+          }
+        }
+      }
+    }
+
+    if (!aggressive) return false;
+
+    // ---- aggressive-instcombine extras -----------------------------------
+
+    // (x + c1) + c2 => x + (c1 + c2) ; same for mul.
+    if ((in.op == Opcode::Add || in.op == Opcode::Mul) &&
+        !in.type.is_vector()) {
+      const auto c2 = const_int_value(f, in.ops[1]);
+      const Instr& lhs = f.instr(in.ops[0]);
+      if (c2 && lhs.op == in.op && lhs.ops.size() == 2) {
+        const auto c1 = const_int_value(f, lhs.ops[1]);
+        if (c1) {
+          const std::int64_t merged =
+              in.op == Opcode::Add ? (*c1 + *c2) : (*c1 * *c2);
+          const ValueId lhs0 = lhs.ops[0];
+          const ValueId mc = insert_const(
+              f, b, pos, in.type,
+              FoldedConst{false, wrap_to_width(in.type, merged), 0.0});
+          Instr& self = f.instr(id);  // arena may have reallocated
+          self.ops = {lhs0, mc};
+          count("NumExpanded");
+          return true;
+        }
+      }
+    }
+
+    // shl(shl(x, c1), c2) => shl(x, c1+c2) when c1+c2 < width.
+    if (in.op == Opcode::Shl) {
+      const auto c2 = const_int_value(f, in.ops[1]);
+      const Instr& lhs = f.instr(in.ops[0]);
+      if (c2 && lhs.op == Opcode::Shl) {
+        const auto c1 = const_int_value(f, lhs.ops[1]);
+        if (c1 && *c1 + *c2 < in.type.bit_width()) {
+          const ValueId lhs0 = lhs.ops[0];
+          const ValueId mc = insert_const(f, b, pos, in.type,
+                                          FoldedConst{false, *c1 + *c2, 0.0});
+          Instr& self = f.instr(id);  // arena may have reallocated
+          self.ops = {lhs0, mc};
+          count("NumExpanded");
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+};
+
+class InstCombinePass final : public Pass {
+ public:
+  std::string name() const override { return "instcombine"; }
+  std::vector<std::string> stat_names() const override {
+    return {"NumCombined", "NumConstFold", "NumSimplified",
+            "NumCanonicalized", "NumWidenedMul"};
+  }
+  bool run(Module& m, StatsRegistry& stats) override {
+    bool changed = false;
+    for (auto& f : m.functions) {
+      Peephole p{f, stats, name(), /*allow_new_instrs=*/true,
+                 /*aggressive=*/false};
+      p.run();
+      changed |= p.changed;
+    }
+    return changed;
+  }
+};
+
+class InstSimplifyPass final : public Pass {
+ public:
+  std::string name() const override { return "instsimplify"; }
+  std::vector<std::string> stat_names() const override {
+    return {"NumConstFold", "NumSimplified", "NumCanonicalized"};
+  }
+  bool run(Module& m, StatsRegistry& stats) override {
+    bool changed = false;
+    for (auto& f : m.functions) {
+      Peephole p{f, stats, name(), /*allow_new_instrs=*/false,
+                 /*aggressive=*/false};
+      p.run();
+      changed |= p.changed;
+    }
+    return changed;
+  }
+};
+
+class AggressiveInstCombinePass final : public Pass {
+ public:
+  std::string name() const override { return "aggressive-instcombine"; }
+  std::vector<std::string> stat_names() const override {
+    return {"NumCombined", "NumConstFold", "NumSimplified",
+            "NumCanonicalized", "NumWidenedMul", "NumExpanded"};
+  }
+  bool run(Module& m, StatsRegistry& stats) override {
+    bool changed = false;
+    for (auto& f : m.functions) {
+      Peephole p{f, stats, name(), /*allow_new_instrs=*/true,
+                 /*aggressive=*/true};
+      p.run();
+      changed |= p.changed;
+    }
+    return changed;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_instcombine() {
+  return std::make_unique<InstCombinePass>();
+}
+std::unique_ptr<Pass> make_instsimplify() {
+  return std::make_unique<InstSimplifyPass>();
+}
+std::unique_ptr<Pass> make_aggressive_instcombine() {
+  return std::make_unique<AggressiveInstCombinePass>();
+}
+
+}  // namespace citroen::passes

@@ -1,0 +1,594 @@
+// Inter-procedural passes (scoped to one module, i.e. one translation
+// unit, as under separate compilation):
+//   inline         : bottom-up inlining of small internal callees.
+//   function-attrs : infer readnone/argmemonly — attributes invisible to
+//                    IR-statistics code features but observable through
+//                    this pass's counters (the paper's §3.4 example).
+//   ipsccp         : propagate call-site-constant arguments into callees.
+//   tailcallelim   : turn self-recursive tail calls into loops.
+//   globalopt      : drop uncalled internal functions.
+//   deadargelim    : neutralise arguments the callee never reads, so the
+//                    caller-side computation becomes dead.
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "passes/common.hpp"
+#include "passes/factories.hpp"
+
+namespace citroen::passes {
+
+using namespace ir;
+
+namespace {
+
+/// Call sites within a module, per callee name.
+std::map<std::string, std::vector<std::pair<Function*, ValueId>>> call_sites(
+    Module& m) {
+  std::map<std::string, std::vector<std::pair<Function*, ValueId>>> out;
+  for (auto& f : m.functions) {
+    for (const auto& bb : f.blocks) {
+      for (ValueId id : bb.insts) {
+        const Instr& in = f.instr(id);
+        if (!in.dead() && in.op == Opcode::Call)
+          out[in.callee].emplace_back(&f, id);
+      }
+    }
+  }
+  return out;
+}
+
+bool calls_symbol(const Function& f, const std::string& sym) {
+  for (const auto& bb : f.blocks) {
+    for (ValueId id : bb.insts) {
+      const Instr& in = f.instr(id);
+      if (!in.dead() && in.op == Opcode::Call && in.callee == sym) return true;
+    }
+  }
+  return false;
+}
+
+class InlinePass final : public Pass {
+ public:
+  explicit InlinePass(int threshold = 48) : threshold_(threshold) {}
+
+  std::string name() const override { return "inline"; }
+  std::vector<std::string> stat_names() const override {
+    return {"NumInlined"};
+  }
+
+  bool run(Module& m, StatsRegistry& stats) override {
+    bool changed = false;
+    // Iterate: inlining can expose further inlinable sites; bound rounds.
+    for (int round = 0; round < 4; ++round) {
+      bool local = false;
+      for (std::size_t fi = 0; fi < m.functions.size(); ++fi) {
+        Function& caller = m.functions[fi];
+        // Snapshot call sites in this caller.
+        std::vector<ValueId> sites;
+        for (const auto& bb : caller.blocks) {
+          for (ValueId id : bb.insts) {
+            const Instr& in = caller.instr(id);
+            if (!in.dead() && in.op == Opcode::Call) sites.push_back(id);
+          }
+        }
+        for (ValueId site : sites) {
+          const Instr& call = caller.instr(site);
+          if (call.dead() || call.op != Opcode::Call) continue;
+          Function* callee = m.find_function(call.callee);
+          if (!callee || !callee->internal) continue;
+          if (callee->name == caller.name) continue;          // recursion
+          if (calls_symbol(*callee, callee->name)) continue;  // self-rec
+          if (calls_symbol(*callee, caller.name)) continue;   // mutual
+          if (callee->live_instr_count() >
+              static_cast<std::size_t>(threshold_))
+            continue;
+          inline_site(caller, *callee, site);
+          stats.add(name(), "NumInlined", 1);
+          changed = true;
+          local = true;
+        }
+      }
+      if (!local) break;
+    }
+    return changed;
+  }
+
+ private:
+  void inline_site(Function& caller, const Function& callee, ValueId site) {
+    const Instr call = caller.instr(site);  // copy
+
+    // Locate the call within its block.
+    BlockId call_block = -1;
+    std::size_t call_pos = 0;
+    for (BlockId b = 0; b < static_cast<BlockId>(caller.blocks.size()); ++b) {
+      const auto& insts = caller.block(b).insts;
+      for (std::size_t i = 0; i < insts.size(); ++i) {
+        if (insts[i] == site) {
+          call_block = b;
+          call_pos = i;
+        }
+      }
+    }
+
+    // Split: continuation gets everything after the call.
+    caller.blocks.push_back(BasicBlock{"inl.cont", {}});
+    const BlockId cont = static_cast<BlockId>(caller.blocks.size() - 1);
+    {
+      auto& ci = caller.block(call_block).insts;
+      caller.block(cont).insts.assign(ci.begin() +
+                                          static_cast<std::ptrdiff_t>(call_pos) +
+                                          1,
+                                      ci.end());
+      ci.erase(ci.begin() + static_cast<std::ptrdiff_t>(call_pos), ci.end());
+    }
+    // Successor phis that referenced call_block now come from cont.
+    for (BlockId s : caller.successors(cont))
+      retarget_phi_edges(caller, s, call_block, cont);
+
+    // Clone callee blocks.
+    const BlockId block_base = static_cast<BlockId>(caller.blocks.size());
+    for (const auto& cb : callee.blocks)
+      caller.blocks.push_back(BasicBlock{"inl." + cb.name, {}});
+
+    // Value map: callee args -> call operands.
+    std::unordered_map<ValueId, ValueId> map;
+    for (std::size_t a = 0; a < callee.num_args(); ++a)
+      map[static_cast<ValueId>(a)] = call.ops[a];
+
+    // Clone instructions (including phis and terminators).
+    std::vector<std::pair<ValueId, ValueId>> rets;  // (cloned ret, block)
+    for (BlockId cb = 0; cb < static_cast<BlockId>(callee.blocks.size());
+         ++cb) {
+      for (ValueId id : callee.block(cb).insts) {
+        const Instr& orig = callee.instr(id);
+        if (orig.dead()) continue;
+        Instr copy = orig;
+        for (auto& op : copy.ops) {
+          const auto it = map.find(op);
+          if (it != map.end()) op = it->second;
+        }
+        for (auto& s : copy.succs) s += block_base;
+        for (auto& pb : copy.phi_blocks) pb += block_base;
+        const BlockId dst = block_base + cb;
+        if (copy.op == Opcode::Ret) {
+          // Replaced by a branch to the continuation. Record the *callee*
+          // return-value id: it may be defined by a block cloned later
+          // (e.g. a loop phi), so it is remapped only after the whole
+          // body has been cloned.
+          const ValueId rv = orig.ops.empty() ? kNoValue : orig.ops[0];
+          Instr br;
+          br.op = Opcode::Br;
+          br.succs = {cont};
+          const ValueId bid = caller.add_instr(std::move(br));
+          caller.block(dst).insts.push_back(bid);
+          rets.emplace_back(rv, dst);
+          map[id] = kNoValue;
+          continue;
+        }
+        const ValueId nid = caller.add_instr(std::move(copy));
+        if (caller.instr(nid).op == Opcode::Alloca) {
+          // Allocas hoist to the caller entry so a call inside a loop does
+          // not grow the frame every iteration (mirrors LLVM).
+          auto& entry = caller.block(0).insts;
+          entry.insert(entry.begin(), nid);
+        } else {
+          caller.block(dst).insts.push_back(nid);
+        }
+        map[id] = nid;
+      }
+    }
+    // Second remap: operands that referenced values cloned *after* their
+    // user (phi back edges) were left pointing at callee ids; rewrite each
+    // clone's operands from the source instruction through the final map.
+    for (BlockId cb = 0; cb < static_cast<BlockId>(callee.blocks.size());
+         ++cb) {
+      for (ValueId id : callee.block(cb).insts) {
+        const Instr& orig = callee.instr(id);
+        if (orig.dead() || !map.count(id) || map[id] == kNoValue) continue;
+        Instr& clone = caller.instr(map[id]);
+        for (std::size_t k = 0; k < clone.ops.size(); ++k) {
+          const ValueId orig_op = orig.ops[k];
+          const auto it = map.find(orig_op);
+          if (it != map.end() && it->second != kNoValue)
+            clone.ops[k] = it->second;
+        }
+      }
+    }
+
+    // Remap the recorded return values through the now-complete map.
+    for (auto& [v, blk] : rets) {
+      const auto it = map.find(v);
+      if (it != map.end() && it->second != kNoValue) v = it->second;
+    }
+
+    // Jump from the call block into the inlined entry.
+    {
+      Instr br;
+      br.op = Opcode::Br;
+      br.succs = {block_base};
+      const ValueId bid = caller.add_instr(std::move(br));
+      caller.block(call_block).insts.push_back(bid);
+    }
+
+    // Return value: single ret feeds directly; multiple rets need a phi.
+    if (!call.type.is_void()) {
+      ValueId rv = kNoValue;
+      if (rets.size() == 1) {
+        rv = rets[0].first;
+      } else {
+        Instr phi;
+        phi.op = Opcode::Phi;
+        phi.type = call.type;
+        for (auto& [v, b] : rets) {
+          phi.ops.push_back(v);
+          phi.phi_blocks.push_back(b);
+        }
+        rv = caller.add_instr(std::move(phi));
+        auto& ci = caller.block(cont).insts;
+        ci.insert(ci.begin(), rv);
+      }
+      caller.replace_all_uses(site, rv);
+    }
+    caller.kill(site);
+    caller.purge_dead_from_blocks();
+  }
+
+  int threshold_;
+};
+
+class FunctionAttrsPass final : public Pass {
+ public:
+  std::string name() const override { return "function-attrs"; }
+  std::vector<std::string> stat_names() const override {
+    return {"NumReadNone", "NumArgMemOnly"};
+  }
+  bool run(Module& m, StatsRegistry& stats) override {
+    bool changed = false;
+    // Fixpoint over the module-local call graph.
+    bool local = true;
+    while (local) {
+      local = false;
+      for (auto& f : m.functions) {
+        if (!f.attr_readnone && infer_readnone(f, m)) {
+          f.attr_readnone = true;
+          stats.add(name(), "NumReadNone", 1);
+          changed = true;
+          local = true;
+        }
+        if (!f.attr_argmemonly && infer_argmemonly(f, m)) {
+          f.attr_argmemonly = true;
+          stats.add(name(), "NumArgMemOnly", 1);
+          changed = true;
+          local = true;
+        }
+      }
+    }
+    return changed;
+  }
+
+ private:
+  bool infer_readnone(const Function& f, const Module& m) {
+    for (const auto& bb : f.blocks) {
+      for (ValueId id : bb.insts) {
+        const Instr& in = f.instr(id);
+        if (in.dead()) continue;
+        if (reads_memory(in.op) || writes_memory(in.op)) return false;
+        if (in.op == Opcode::Call) {
+          const Function* callee = m.find_function(in.callee);
+          if (!callee || !callee->attr_readnone) return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  bool infer_argmemonly(const Function& f, const Module& m) {
+    // Every accessed pointer must chain back to an argument or an alloca.
+    for (const auto& bb : f.blocks) {
+      for (ValueId id : bb.insts) {
+        const Instr& in = f.instr(id);
+        if (in.dead()) continue;
+        ValueId ptr = kNoValue;
+        if (in.op == Opcode::Load) ptr = in.ops[0];
+        if (in.op == Opcode::Store) ptr = in.ops[1];
+        if (in.op == Opcode::Memset || in.op == Opcode::Memcpy) return false;
+        if (in.op == Opcode::Call) {
+          const Function* callee = m.find_function(in.callee);
+          if (!callee ||
+              (!callee->attr_readnone && !callee->attr_argmemonly))
+            return false;
+        }
+        if (ptr == kNoValue) continue;
+        // Walk the gep chain to the root.
+        ValueId root = ptr;
+        for (int hops = 0; hops < 32; ++hops) {
+          const Instr& p = f.instr(root);
+          if (p.op == Opcode::Gep) {
+            root = p.ops[0];
+          } else {
+            break;
+          }
+        }
+        const Instr& r = f.instr(root);
+        if (!(r.op == Opcode::Arg || r.op == Opcode::Alloca)) return false;
+      }
+    }
+    return true;
+  }
+};
+
+class IpsccpPass final : public Pass {
+ public:
+  std::string name() const override { return "ipsccp"; }
+  std::vector<std::string> stat_names() const override {
+    return {"NumArgsConsted"};
+  }
+  bool run(Module& m, StatsRegistry& stats) override {
+    bool changed = false;
+    const auto sites = call_sites(m);
+    for (auto& f : m.functions) {
+      if (!f.internal) continue;
+      const auto it = sites.find(f.name);
+      if (it == sites.end() || it->second.empty()) continue;
+      for (std::size_t a = 0; a < f.num_args(); ++a) {
+        // All call sites must pass the same integer constant.
+        std::optional<std::int64_t> common;
+        bool ok = true;
+        for (const auto& [caller, site] : it->second) {
+          const Instr& call = caller->instr(site);
+          if (call.dead() || a >= call.ops.size()) {
+            ok = false;
+            break;
+          }
+          const auto c = const_int_value(*caller, call.ops[a]);
+          if (!c || (common && *common != *c)) {
+            ok = false;
+            break;
+          }
+          common = c;
+        }
+        if (!ok || !common) continue;
+        // The argument may already be unused.
+        bool used = false;
+        for (const auto& bb : f.blocks) {
+          for (ValueId id : bb.insts) {
+            for (ValueId op : f.instr(id).ops) {
+              if (op == static_cast<ValueId>(a)) used = true;
+            }
+          }
+        }
+        if (!used) continue;
+        const Type ty = f.arg_types[a];
+        if (!ty.is_int()) continue;
+        const ValueId cid = insert_const(
+            f, 0, 0, ty, FoldedConst{false, *common, 0.0});
+        f.replace_all_uses(static_cast<ValueId>(a), cid);
+        stats.add(name(), "NumArgsConsted", 1);
+        changed = true;
+      }
+    }
+    return changed;
+  }
+};
+
+class TailCallElimPass final : public Pass {
+ public:
+  std::string name() const override { return "tailcallelim"; }
+  std::vector<std::string> stat_names() const override {
+    return {"NumEliminated"};
+  }
+  bool run(Module& m, StatsRegistry& stats) override {
+    bool changed = false;
+    for (auto& f : m.functions) changed |= run_fn(f, stats);
+    return changed;
+  }
+
+ private:
+  bool run_fn(Function& f, StatsRegistry& stats) {
+    // Find self-recursive tail calls: `r = call f(...)` immediately
+    // followed by `ret r` (or `call f(...)` + `ret` for void).
+    struct TailSite {
+      BlockId block;
+      ValueId call, ret;
+    };
+    std::vector<TailSite> sites;
+    for (BlockId b = 0; b < static_cast<BlockId>(f.blocks.size()); ++b) {
+      const auto& insts = f.block(b).insts;
+      ValueId prev = kNoValue;
+      for (ValueId id : insts) {
+        const Instr& in = f.instr(id);
+        if (in.dead()) continue;
+        if (in.op == Opcode::Ret && prev != kNoValue) {
+          const Instr& c = f.instr(prev);
+          if (c.op == Opcode::Call && c.callee == f.name) {
+            const bool matches = in.ops.empty()
+                                     ? c.type.is_void()
+                                     : (!in.ops.empty() && in.ops[0] == prev);
+            if (matches) sites.push_back({b, prev, id});
+          }
+        }
+        prev = id;
+      }
+    }
+    if (sites.empty()) return false;
+
+    // Split the entry: allocas stay in the old entry; everything else
+    // moves to the new loop header so phis for arguments can live there.
+    f.blocks.push_back(BasicBlock{"tce.header", {}});
+    const BlockId header = static_cast<BlockId>(f.blocks.size() - 1);
+    {
+      auto& e = f.block(0).insts;
+      auto& h = f.block(header).insts;
+      std::vector<ValueId> keep;
+      for (ValueId id : e) {
+        if (f.instr(id).op == Opcode::Alloca) {
+          keep.push_back(id);
+        } else {
+          h.push_back(id);
+        }
+      }
+      e = std::move(keep);
+      Instr br;
+      br.op = Opcode::Br;
+      br.succs = {header};
+      const ValueId bid = f.add_instr(std::move(br));
+      f.block(0).insts.push_back(bid);
+    }
+    // Every branch to block 0 cannot exist (entry has no preds by
+    // construction); phi_blocks in former-entry successors must be
+    // retargeted to the header.
+    for (BlockId s : f.successors(header))
+      retarget_phi_edges(f, s, 0, header);
+
+    // Argument phis.
+    std::vector<ValueId> arg_phis;
+    for (std::size_t a = 0; a < f.num_args(); ++a) {
+      Instr phi;
+      phi.op = Opcode::Phi;
+      phi.type = f.arg_types[a];
+      phi.ops = {static_cast<ValueId>(a)};
+      phi.phi_blocks = {0};
+      const ValueId pid = f.add_instr(std::move(phi));
+      arg_phis.push_back(pid);
+      auto& h = f.block(header).insts;
+      h.insert(h.begin(), pid);
+    }
+    // Replace argument uses (except in the new phis' first entries).
+    for (auto& bb : f.blocks) {
+      for (ValueId id : bb.insts) {
+        Instr& in = f.instr(id);
+        if (in.dead()) continue;
+        if (std::find(arg_phis.begin(), arg_phis.end(), id) != arg_phis.end())
+          continue;
+        for (auto& op : in.ops) {
+          if (op >= 0 && op < static_cast<ValueId>(f.num_args()))
+            op = arg_phis[static_cast<std::size_t>(op)];
+        }
+      }
+    }
+
+    // Rewrite each tail site into a jump back to the header. A site that
+    // lived in the entry block has just been moved into the header.
+    for (const auto& site : sites) {
+      const BlockId sb = site.block == 0 ? header : site.block;
+      const Instr call = f.instr(site.call);  // copy (args)
+      for (std::size_t a = 0; a < f.num_args(); ++a) {
+        Instr& phi = f.instr(arg_phis[a]);
+        phi.ops.push_back(call.ops[a]);
+        phi.phi_blocks.push_back(sb);
+      }
+      Instr& ret = f.instr(site.ret);
+      ret.op = Opcode::Br;
+      ret.ops.clear();
+      ret.succs = {header};
+      f.kill(site.call);
+    }
+    f.purge_dead_from_blocks();
+    stats.add(name(), "NumEliminated",
+              static_cast<std::int64_t>(sites.size()));
+    return true;
+  }
+};
+
+class GlobalOptPass final : public Pass {
+ public:
+  std::string name() const override { return "globalopt"; }
+  std::vector<std::string> stat_names() const override {
+    return {"NumFnDeleted"};
+  }
+  bool run(Module& m, StatsRegistry& stats) override {
+    bool changed = false;
+    bool local = true;
+    while (local) {
+      local = false;
+      const auto sites = call_sites(m);
+      for (std::size_t fi = m.functions.size(); fi-- > 0;) {
+        Function& f = m.functions[fi];
+        if (!f.internal) continue;
+        const auto it = sites.find(f.name);
+        if (it != sites.end() && !it->second.empty()) continue;
+        m.functions.erase(m.functions.begin() +
+                          static_cast<std::ptrdiff_t>(fi));
+        stats.add(name(), "NumFnDeleted", 1);
+        changed = true;
+        local = true;
+        break;  // sites holds stale Function pointers now
+      }
+    }
+    return changed;
+  }
+};
+
+class DeadArgElimPass final : public Pass {
+ public:
+  std::string name() const override { return "deadargelim"; }
+  std::vector<std::string> stat_names() const override {
+    return {"NumArgumentsEliminated"};
+  }
+  bool run(Module& m, StatsRegistry& stats) override {
+    bool changed = false;
+    const auto sites = call_sites(m);
+    for (auto& f : m.functions) {
+      if (!f.internal) continue;
+      const auto it = sites.find(f.name);
+      if (it == sites.end()) continue;
+      for (std::size_t a = 0; a < f.num_args(); ++a) {
+        if (!f.arg_types[a].is_int()) continue;
+        bool used = false;
+        for (const auto& bb : f.blocks) {
+          for (ValueId id : bb.insts) {
+            for (ValueId op : f.instr(id).ops) {
+              if (op == static_cast<ValueId>(a)) used = true;
+            }
+          }
+        }
+        if (used) continue;
+        // Neutralise the operand at every call site: the expensive caller
+        // computation feeding it becomes dead (signature is kept so other
+        // call sites stay valid).
+        for (const auto& [caller, site] : it->second) {
+          Instr& call = caller->instr(site);
+          if (call.dead() || a >= call.ops.size()) continue;
+          if (const_int_value(*caller, call.ops[a])) continue;  // already
+          // Locate the call to insert the zero before it.
+          for (BlockId b = 0;
+               b < static_cast<BlockId>(caller->blocks.size()); ++b) {
+            auto& insts = caller->block(b).insts;
+            const auto pos = std::find(insts.begin(), insts.end(), site);
+            if (pos == insts.end()) continue;
+            const ValueId cid = insert_const(
+                *caller, b,
+                static_cast<std::size_t>(pos - insts.begin()),
+                f.arg_types[a], FoldedConst{false, 0, 0.0});
+            caller->instr(site).ops[a] = cid;
+            stats.add(name(), "NumArgumentsEliminated", 1);
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+    return changed;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_inline() { return std::make_unique<InlinePass>(); }
+std::unique_ptr<Pass> make_function_attrs() {
+  return std::make_unique<FunctionAttrsPass>();
+}
+std::unique_ptr<Pass> make_ipsccp() { return std::make_unique<IpsccpPass>(); }
+std::unique_ptr<Pass> make_tailcallelim() {
+  return std::make_unique<TailCallElimPass>();
+}
+std::unique_ptr<Pass> make_globalopt() {
+  return std::make_unique<GlobalOptPass>();
+}
+std::unique_ptr<Pass> make_deadargelim() {
+  return std::make_unique<DeadArgElimPass>();
+}
+
+}  // namespace citroen::passes

@@ -1,0 +1,958 @@
+// Loop transformation passes. Every pass here operates on natural loops
+// discovered from the dominator tree, and most require a preheader, which
+// only `loop-simplify` creates — so the autotuner has to *discover* the
+// loop-simplify-before-{licm,unroll,vectorize,idiom} ordering, just as a
+// real phase-ordering search over LLVM must place canonicalisation passes.
+//
+//   loop-simplify : insert preheaders (canonical form).
+//   loop-rotate   : move the exit test to the latch behind an entry guard
+//                   (enables LICM of loads; changes the loop away from the
+//                   while-shape that unroll/vectorise match — a genuine
+//                   ordering tension).
+//   licm          : hoist invariant computation; loads/readnone-calls only
+//                   out of guaranteed-to-execute loops.
+//   indvars       : canonicalise exit conditions (sle -> slt) and rewrite
+//                   exit values of the induction variable.
+//   loop-unroll   : full or partial (x4/x2) unrolling of counted loops.
+//   loop-idiom    : recognise memset/memcpy loops.
+//   loop-deletion : drop side-effect-free loops with no live results.
+
+#include <algorithm>
+#include <set>
+
+#include "passes/common.hpp"
+#include "passes/factories.hpp"
+
+namespace citroen::passes {
+
+using namespace ir;
+
+namespace {
+
+std::vector<bool> loop_mask(const Function& f, const Loop& loop) {
+  std::vector<bool> in(f.blocks.size(), false);
+  for (BlockId b : loop.blocks) in[static_cast<std::size_t>(b)] = true;
+  return in;
+}
+
+/// True if the loop is in rotated (do-while) form: some latch exits.
+bool is_rotated(const Function& f, const Loop& loop) {
+  for (BlockId l : loop.latches) {
+    const ValueId t = f.terminator(l);
+    if (t != kNoValue && f.instr(t).op == Opcode::CondBr) return true;
+  }
+  return false;
+}
+
+class LoopSimplifyPass final : public Pass {
+ public:
+  std::string name() const override { return "loop-simplify"; }
+  std::vector<std::string> stat_names() const override {
+    return {"NumPreheaders"};
+  }
+  bool run(Module& m, StatsRegistry& stats) override {
+    bool changed = false;
+    for (auto& f : m.functions) {
+      bool local = true;
+      while (local) {
+        local = false;
+        const DomTree dt = compute_dominators(f);
+        const auto loops = find_loops(f, dt);
+        const auto preds = f.predecessors();
+        for (const auto& loop : loops) {
+          if (loop.preheader >= 0) continue;
+          const auto in = loop_mask(f, loop);
+          std::vector<BlockId> outside;
+          for (BlockId p : preds[static_cast<std::size_t>(loop.header)]) {
+            if (!in[static_cast<std::size_t>(p)]) outside.push_back(p);
+          }
+          if (outside.empty()) continue;  // unreachable loop
+
+          // New preheader block.
+          f.blocks.push_back(BasicBlock{"preheader", {}});
+          const BlockId ph = static_cast<BlockId>(f.blocks.size() - 1);
+
+          // Header phis: merge the outside entries in the preheader.
+          for (ValueId id :
+               std::vector<ValueId>(f.block(loop.header).insts)) {
+            Instr& phi = f.instr(id);
+            if (phi.dead()) continue;
+            if (phi.op != Opcode::Phi) break;
+            std::vector<std::pair<ValueId, BlockId>> outside_in;
+            for (std::size_t k = phi.phi_blocks.size(); k-- > 0;) {
+              if (!in[static_cast<std::size_t>(phi.phi_blocks[k])]) {
+                outside_in.emplace_back(phi.ops[k], phi.phi_blocks[k]);
+                phi.ops.erase(phi.ops.begin() +
+                              static_cast<std::ptrdiff_t>(k));
+                phi.phi_blocks.erase(phi.phi_blocks.begin() +
+                                     static_cast<std::ptrdiff_t>(k));
+              }
+            }
+            ValueId merged;
+            if (outside_in.size() == 1) {
+              merged = outside_in[0].first;
+            } else {
+              Instr np;
+              np.op = Opcode::Phi;
+              np.type = f.instr(id).type;
+              for (auto& [v, b] : outside_in) {
+                np.ops.push_back(v);
+                np.phi_blocks.push_back(b);
+              }
+              merged = f.add_instr(std::move(np));
+              f.block(ph).insts.push_back(merged);
+            }
+            Instr& phi2 = f.instr(id);  // re-fetch (arena may realloc)
+            phi2.ops.push_back(merged);
+            phi2.phi_blocks.push_back(ph);
+          }
+
+          // Preheader terminator + redirect outside predecessors.
+          Instr br;
+          br.op = Opcode::Br;
+          br.succs = {loop.header};
+          const ValueId brid = f.add_instr(std::move(br));
+          f.block(ph).insts.push_back(brid);
+          for (BlockId p : outside) {
+            const ValueId pt = f.terminator(p);
+            if (pt == kNoValue) continue;
+            for (auto& s : f.instr(pt).succs) {
+              if (s == loop.header) s = ph;
+            }
+          }
+          stats.add(name(), "NumPreheaders", 1);
+          changed = true;
+          local = true;
+          break;  // CFG changed: recompute loops
+        }
+      }
+    }
+    return changed;
+  }
+};
+
+class LoopRotatePass final : public Pass {
+ public:
+  std::string name() const override { return "loop-rotate"; }
+  std::vector<std::string> stat_names() const override {
+    return {"NumRotated"};
+  }
+  bool run(Module& m, StatsRegistry& stats) override {
+    bool changed = false;
+    for (auto& f : m.functions) {
+      const DomTree dt = compute_dominators(f);
+      const auto loops = find_loops(f, dt);
+      const auto preds = f.predecessors();
+      for (const auto& loop : loops) {
+        if (rotate(f, loop, preds)) {
+          stats.add(name(), "NumRotated", 1);
+          changed = true;
+          break;  // CFG changed; one rotation per function per run
+        }
+      }
+    }
+    return changed;
+  }
+
+ private:
+  bool rotate(Function& f, const Loop& loop,
+              const std::vector<std::vector<BlockId>>& preds) {
+    // Shape: preheader -> header {phis, cmp, condbr(body, exit)};
+    //        single body block == latch ending `br header`.
+    if (loop.preheader < 0 || loop.latches.size() != 1) return false;
+    if (loop.blocks.size() != 2) return false;
+    const BlockId header = loop.header;
+    const BlockId body = loop.latches[0];
+    const BlockId ph = loop.preheader;
+    const ValueId hterm = f.terminator(header);
+    if (hterm == kNoValue) return false;
+    const Instr ht = f.instr(hterm);
+    if (ht.op != Opcode::CondBr || ht.succs[0] != body) return false;
+    const BlockId exit = ht.succs[1];
+    if (exit == body || exit == header) return false;
+    if (preds[static_cast<std::size_t>(exit)].size() != 1) return false;
+    const ValueId cmp_id = ht.ops[0];
+    // Copy by value: add_instr below may reallocate the arena.
+    const Instr cmp = f.instr(cmp_id);
+    if (cmp.op != Opcode::ICmp) return false;
+    // Header must contain only phis + cmp + condbr; cmp single-use.
+    const auto uses = count_uses(f);
+    if (uses[static_cast<std::size_t>(cmp_id)] != 1) return false;
+    std::vector<ValueId> phis;
+    for (ValueId id : f.block(header).insts) {
+      const Instr& in = f.instr(id);
+      if (in.dead()) continue;
+      if (in.op == Opcode::Phi) {
+        phis.push_back(id);
+      } else if (id != cmp_id && id != hterm) {
+        return false;
+      }
+    }
+    // Phi incoming maps.
+    std::unordered_map<ValueId, ValueId> init_of, next_of;
+    for (ValueId p : phis) {
+      const Instr& pi = f.instr(p);
+      if (pi.ops.size() != 2) return false;
+      for (std::size_t k = 0; k < 2; ++k) {
+        if (pi.phi_blocks[k] == ph) {
+          init_of[p] = pi.ops[k];
+        } else if (pi.phi_blocks[k] == body) {
+          next_of[p] = pi.ops[k];
+        } else {
+          return false;
+        }
+      }
+    }
+    if (init_of.size() != phis.size() || next_of.size() != phis.size())
+      return false;
+
+    // 1. Guard: clone the compare into the preheader with init values.
+    //    The guarded edge goes through a *new* preheader block so the
+    //    rotated loop keeps the canonical form LICM/unroll expect.
+    f.blocks.push_back(BasicBlock{"rot.ph", {}});
+    const BlockId newph = static_cast<BlockId>(f.blocks.size() - 1);
+    Instr guard_cmp = cmp;
+    for (auto& op : guard_cmp.ops) {
+      const auto it = init_of.find(op);
+      if (it != init_of.end()) op = it->second;
+    }
+    const ValueId gid = f.add_instr(std::move(guard_cmp));
+    {
+      const ValueId pterm = f.terminator(ph);
+      auto& pinsts = f.block(ph).insts;
+      pinsts.insert(pinsts.end() - 1, gid);
+      Instr& pt = f.instr(pterm);
+      pt.op = Opcode::CondBr;
+      pt.ops = {gid};
+      pt.succs = {newph, exit};
+    }
+    {
+      Instr br2;
+      br2.op = Opcode::Br;
+      br2.succs = {header};
+      const ValueId bid = f.add_instr(std::move(br2));
+      f.block(newph).insts.push_back(bid);
+      retarget_phi_edges(f, header, ph, newph);
+    }
+
+    // 2. Latch: clone the compare with next values; branch back or exit.
+    Instr latch_cmp = cmp;
+    for (auto& op : latch_cmp.ops) {
+      const auto it = next_of.find(op);
+      if (it != next_of.end()) op = it->second;
+    }
+    const ValueId lid = f.add_instr(std::move(latch_cmp));
+    {
+      const ValueId bterm = f.terminator(body);
+      auto& binsts = f.block(body).insts;
+      binsts.insert(binsts.end() - 1, lid);
+      Instr& bt = f.instr(bterm);
+      bt.op = Opcode::CondBr;
+      bt.ops = {lid};
+      bt.succs = {header, exit};
+    }
+
+    // 3. Header: drop cmp + condbr, fall through to body.
+    {
+      Instr& t = f.instr(hterm);
+      t.op = Opcode::Br;
+      t.ops.clear();
+      t.succs = {body};
+      f.kill(cmp_id);
+      f.purge_dead_from_blocks();
+    }
+
+    // 4. Exit phis for loop values used after the loop: the exit is now
+    //    reached from the guard (values = inits) or the latch (= nexts).
+    for (ValueId p : phis) {
+      bool used_outside = false;
+      for (BlockId b = 0; b < static_cast<BlockId>(f.blocks.size()); ++b) {
+        if (b == header || b == body) continue;
+        for (ValueId uid : f.block(b).insts) {
+          const Instr& u = f.instr(uid);
+          if (u.dead()) continue;
+          for (ValueId op : u.ops) {
+            if (op == p) used_outside = true;
+          }
+        }
+      }
+      if (!used_outside) continue;
+      Instr ep;
+      ep.op = Opcode::Phi;
+      ep.type = f.instr(p).type;
+      ep.ops = {init_of[p], next_of[p]};
+      ep.phi_blocks = {ph, body};
+      const ValueId eid = f.add_instr(std::move(ep));
+      // Replace outside uses (excluding the new exit phi itself).
+      for (BlockId b = 0; b < static_cast<BlockId>(f.blocks.size()); ++b) {
+        if (b == header || b == body) continue;
+        for (ValueId uid : f.block(b).insts) {
+          Instr& u = f.instr(uid);
+          if (u.dead() || uid == eid) continue;
+          for (auto& op : u.ops) {
+            if (op == p) op = eid;
+          }
+        }
+      }
+      f.block(exit).insts.insert(f.block(exit).insts.begin(), eid);
+    }
+    return true;
+  }
+};
+
+class LicmPass final : public Pass {
+ public:
+  std::string name() const override { return "licm"; }
+  std::vector<std::string> stat_names() const override {
+    return {"NumHoisted", "NumHoistedLoad", "NumHoistedCall"};
+  }
+  bool run(Module& m, StatsRegistry& stats) override {
+    bool changed = false;
+    for (auto& f : m.functions) changed |= run_fn(f, m, stats);
+    return changed;
+  }
+
+ private:
+  bool run_fn(Function& f, Module& m, StatsRegistry& stats) {
+    bool changed = false;
+    const DomTree dt = compute_dominators(f);
+    auto loops = find_loops(f, dt);
+    // Innermost first so invariants bubble outward across repeated runs.
+    std::sort(loops.begin(), loops.end(),
+              [](const Loop& a, const Loop& b) { return a.depth > b.depth; });
+    for (const auto& loop : loops) {
+      if (loop.preheader < 0) continue;
+      const auto in = loop_mask(f, loop);
+      const auto defs = def_blocks(f);
+
+      // Memory safety inside this loop.
+      bool has_store = false, has_side_call = false;
+      for (BlockId b : loop.blocks) {
+        for (ValueId id : f.block(b).insts) {
+          const Instr& i2 = f.instr(id);
+          if (i2.dead()) continue;
+          if (writes_memory(i2.op)) has_store = true;
+          if (i2.op == Opcode::Call) {
+            const Function* callee = m.find_function(i2.callee);
+            if (!callee || !callee->attr_readnone) has_side_call = true;
+          }
+        }
+      }
+      const bool guaranteed =
+          is_rotated(f, loop) || match_counted_loop(f, loop).has_value();
+
+      std::vector<bool> hoisted(f.instrs.size(), false);
+      bool local = true;
+      while (local) {
+        local = false;
+        for (BlockId b : loop.blocks) {
+          for (ValueId id : std::vector<ValueId>(f.block(b).insts)) {
+            const Instr& i2 = f.instr(id);
+            if (i2.dead() || i2.op == Opcode::Phi || is_terminator(i2.op))
+              continue;
+            bool invariant_ops = true;
+            for (ValueId op : i2.ops) {
+              if (!defined_outside(f, op, in, defs) &&
+                  !hoisted[static_cast<std::size_t>(op)])
+                invariant_ops = false;
+            }
+            if (!invariant_ops) continue;
+
+            const char* counter = nullptr;
+            if (i2.op == Opcode::ConstInt || i2.op == Opcode::ConstFP) {
+              // Constants are free, but moving them out unblocks hoisting
+              // of instructions that use them; not counted as a hoist.
+              auto& src = f.block(b).insts;
+              std::erase(src, id);
+              auto& dst = f.block(loop.preheader).insts;
+              dst.insert(dst.end() - 1, id);
+              hoisted[static_cast<std::size_t>(id)] = true;
+              local = true;
+              continue;
+            }
+            if (is_pure(i2.op)) {
+              // Division can trap: only hoist when execution guaranteed.
+              if ((i2.op == Opcode::SDiv || i2.op == Opcode::SRem ||
+                   i2.op == Opcode::FDiv) &&
+                  !guaranteed)
+                continue;
+              counter = "NumHoisted";
+            } else if (i2.op == Opcode::Load && !has_store &&
+                       !has_side_call && guaranteed) {
+              counter = "NumHoistedLoad";
+            } else if (i2.op == Opcode::Call && guaranteed && !has_store) {
+              const Function* callee = m.find_function(i2.callee);
+              if (callee && callee->attr_readnone) {
+                counter = "NumHoistedCall";
+              } else {
+                continue;
+              }
+            } else {
+              continue;
+            }
+
+            // Move to the preheader, before its terminator.
+            auto& src = f.block(b).insts;
+            std::erase(src, id);
+            auto& dst = f.block(loop.preheader).insts;
+            dst.insert(dst.end() - 1, id);
+            hoisted[static_cast<std::size_t>(id)] = true;
+            stats.add(name(), counter, 1);
+            changed = true;
+            local = true;
+          }
+        }
+      }
+    }
+    return changed;
+  }
+};
+
+class IndVarsPass final : public Pass {
+ public:
+  std::string name() const override { return "indvars"; }
+  std::vector<std::string> stat_names() const override {
+    return {"NumLFTR", "NumExitValues"};
+  }
+  bool run(Module& m, StatsRegistry& stats) override {
+    bool changed = false;
+    for (auto& f : m.functions) {
+      // (a) sle const -> slt const+1 on loop-exit compares, so that the
+      //     counted-loop matcher (and thus unroll/vectorise) can fire.
+      const DomTree dt = compute_dominators(f);
+      const auto loops = find_loops(f, dt);
+      for (const auto& loop : loops) {
+        const ValueId t = f.terminator(loop.header);
+        if (t == kNoValue) continue;
+        const Instr& term = f.instr(t);
+        if (term.op != Opcode::CondBr) continue;
+        Instr& cmp = f.instr(term.ops[0]);
+        if (cmp.op != Opcode::ICmp || cmp.pred != CmpPred::SLE) continue;
+        const auto c = const_int_value(f, cmp.ops[1]);
+        if (!c || *c == INT64_MAX) continue;
+        const ValueId nc = insert_const(
+            f, loop.header, 0, f.instr(cmp.ops[1]).type,
+            FoldedConst{false, *c + 1, 0.0});
+        Instr& cmp2 = f.instr(term.ops[0]);  // re-fetch after insert
+        cmp2.pred = CmpPred::SLT;
+        cmp2.ops[1] = nc;
+        stats.add(name(), "NumLFTR", 1);
+        changed = true;
+      }
+
+      // (b) exit-value rewriting: outside uses of the induction phi of a
+      //     counted loop become the (constant) final value.
+      const DomTree dt2 = compute_dominators(f);
+      const auto loops2 = find_loops(f, dt2);
+      for (const auto& loop : loops2) {
+        const auto cl = match_counted_loop(f, loop);
+        if (!cl) continue;
+        const std::int64_t final_iv = cl->init + cl->trip_count * cl->step;
+        bool used_outside = false;
+        for (BlockId b = 0; b < static_cast<BlockId>(f.blocks.size()); ++b) {
+          if (b == cl->header || b == cl->body) continue;
+          for (ValueId uid : f.block(b).insts) {
+            const Instr& u = f.instr(uid);
+            if (u.dead() || u.op == Opcode::Phi) continue;
+            for (ValueId op : u.ops) {
+              if (op == cl->iv_phi) used_outside = true;
+            }
+          }
+        }
+        if (!used_outside) continue;
+        const Type ty = f.instr(cl->iv_phi).type;
+        const ValueId cid =
+            insert_const(f, cl->exit, 0, ty, FoldedConst{false, final_iv, 0.0});
+        for (BlockId b = 0; b < static_cast<BlockId>(f.blocks.size()); ++b) {
+          if (b == cl->header || b == cl->body) continue;
+          for (ValueId uid : f.block(b).insts) {
+            Instr& u = f.instr(uid);
+            if (u.dead() || u.op == Opcode::Phi) continue;
+            for (auto& op : u.ops) {
+              if (op == cl->iv_phi) op = cid;
+            }
+          }
+        }
+        stats.add(name(), "NumExitValues", 1);
+        changed = true;
+      }
+    }
+    return changed;
+  }
+};
+
+class LoopUnrollPass final : public Pass {
+ public:
+  explicit LoopUnrollPass(int full_limit = 64, int partial_factor = 4)
+      : full_limit_(full_limit), partial_factor_(partial_factor) {}
+
+  std::string name() const override { return "loop-unroll"; }
+  std::vector<std::string> stat_names() const override {
+    return {"NumUnrolled", "NumFullyUnrolled"};
+  }
+  bool run(Module& m, StatsRegistry& stats) override {
+    bool changed = false;
+    for (auto& f : m.functions) {
+      bool local = true;
+      while (local) {
+        local = false;
+        const DomTree dt = compute_dominators(f);
+        const auto loops = find_loops(f, dt);
+        for (const auto& loop : loops) {
+          const auto cl = match_counted_loop(f, loop);
+          if (!cl) continue;
+          const std::size_t body_size = f.block(cl->body).insts.size();
+          if (cl->trip_count <= full_limit_ &&
+              cl->trip_count * static_cast<std::int64_t>(body_size) <= 512) {
+            full_unroll(f, *cl);
+            stats.add(name(), "NumFullyUnrolled", 1);
+            changed = true;
+            local = true;
+            break;
+          }
+          int factor = 0;
+          if (cl->trip_count % partial_factor_ == 0 &&
+              cl->trip_count / partial_factor_ >= 2 && body_size <= 64) {
+            factor = partial_factor_;
+          } else if (cl->trip_count % 2 == 0 && cl->trip_count / 2 >= 2 &&
+                     body_size <= 64) {
+            factor = 2;
+          }
+          if (factor > 1 && !already_unrolled_.count(cl->header)) {
+            partial_unroll(f, *cl, factor);
+            already_unrolled_.insert(cl->header);
+            stats.add(name(), "NumUnrolled", 1);
+            changed = true;
+            local = true;
+            break;
+          }
+        }
+      }
+      already_unrolled_.clear();
+    }
+    return changed;
+  }
+
+ private:
+  void full_unroll(Function& f, const CountedLoop& cl) {
+    // Clone the body trip_count times straight into the preheader.
+    auto& ph = f.block(cl.preheader).insts;
+    const ValueId pterm = f.terminator(cl.preheader);
+    std::erase(ph, pterm);
+
+    // prev_out: current value of each header phi.
+    std::unordered_map<ValueId, ValueId> prev_out;
+    std::vector<std::pair<ValueId, ValueId>> phi_latch;  // phi -> latch val
+    std::vector<ValueId> all_phis = cl.reduction_phis;
+    all_phis.push_back(cl.iv_phi);
+    for (ValueId p : all_phis) {
+      const Instr& pi = f.instr(p);
+      for (std::size_t k = 0; k < 2; ++k) {
+        if (pi.phi_blocks[k] == cl.preheader) prev_out[p] = pi.ops[k];
+        if (pi.phi_blocks[k] == cl.body) phi_latch.emplace_back(p, pi.ops[k]);
+      }
+    }
+
+    const std::vector<ValueId> body_snapshot = f.block(cl.body).insts;
+    for (std::int64_t it = 0; it < cl.trip_count; ++it) {
+      std::unordered_map<ValueId, ValueId> map;
+      for (auto& [p, v] : prev_out) map[p] = v;
+      clone_instr_list(f, body_snapshot, cl.preheader, map);
+      for (auto& [p, latch_v] : phi_latch) {
+        const auto mapped = map.find(latch_v);
+        prev_out[p] = mapped != map.end() ? mapped->second : latch_v;
+      }
+    }
+
+    // Re-attach the preheader terminator, now jumping to the exit.
+    {
+      Instr& t = f.instr(pterm);
+      t.succs = {cl.exit};
+      f.block(cl.preheader).insts.push_back(pterm);
+    }
+    retarget_phi_edges(f, cl.exit, cl.header, cl.preheader);
+
+    // Outside uses of the header phis get their final values.
+    for (auto& [p, v] : prev_out) f.replace_all_uses(p, v);
+
+    // Kill the loop blocks.
+    for (BlockId b : {cl.header, cl.body}) {
+      for (ValueId id : f.block(b).insts) f.kill(id);
+      f.block(b).insts.clear();
+    }
+    f.purge_dead_from_blocks();
+  }
+
+  void partial_unroll(Function& f, const CountedLoop& cl, int factor) {
+    auto& body = f.block(cl.body).insts;
+    const ValueId bterm = f.terminator(cl.body);
+    std::erase(body, bterm);
+
+    std::vector<ValueId> all_phis = cl.reduction_phis;
+    all_phis.push_back(cl.iv_phi);
+    std::unordered_map<ValueId, ValueId> latch_of;
+    std::unordered_map<ValueId, ValueId> prev_out;
+    for (ValueId p : all_phis) {
+      const Instr& pi = f.instr(p);
+      for (std::size_t k = 0; k < 2; ++k) {
+        if (pi.phi_blocks[k] == cl.body) {
+          latch_of[p] = pi.ops[k];
+          prev_out[p] = pi.ops[k];
+        }
+      }
+    }
+
+    const std::vector<ValueId> body_snapshot = f.block(cl.body).insts;
+    for (int it = 1; it < factor; ++it) {
+      std::unordered_map<ValueId, ValueId> map;
+      for (ValueId p : all_phis) map[p] = prev_out[p];
+      clone_instr_list(f, body_snapshot, cl.body, map);
+      for (ValueId p : all_phis) {
+        const auto mapped = map.find(latch_of[p]);
+        prev_out[p] = mapped != map.end() ? mapped->second : latch_of[p];
+      }
+    }
+
+    // Update the phis' latch incoming to the last clone's outputs.
+    for (ValueId p : all_phis) {
+      Instr& pi = f.instr(p);
+      for (std::size_t k = 0; k < 2; ++k) {
+        if (pi.phi_blocks[k] == cl.body) pi.ops[k] = prev_out[p];
+      }
+    }
+    f.block(cl.body).insts.push_back(bterm);
+  }
+
+  int full_limit_;
+  int partial_factor_;
+  std::set<BlockId> already_unrolled_;
+};
+
+class LoopIdiomPass final : public Pass {
+ public:
+  std::string name() const override { return "loop-idiom"; }
+  std::vector<std::string> stat_names() const override {
+    return {"NumMemSet", "NumMemCpy"};
+  }
+  bool run(Module& m, StatsRegistry& stats) override {
+    bool changed = false;
+    for (auto& f : m.functions) {
+      bool local = true;
+      while (local) {
+        local = false;
+        const DomTree dt = compute_dominators(f);
+        const auto loops = find_loops(f, dt);
+        for (const auto& loop : loops) {
+          const auto cl = match_counted_loop(f, loop);
+          if (!cl || cl->step != 1 || !cl->reduction_phis.empty()) continue;
+          if (try_memset(f, *cl, stats) || try_memcpy(f, *cl, stats)) {
+            changed = true;
+            local = true;
+            break;
+          }
+        }
+      }
+    }
+    return changed;
+  }
+
+ private:
+  /// Live body instructions excluding iv_next, the terminator, and
+  /// constants (which are operands, not work).
+  std::vector<ValueId> body_payload(const Function& f, const CountedLoop& cl) {
+    std::vector<ValueId> out;
+    for (ValueId id : f.block(cl.body).insts) {
+      const Instr& in = f.instr(id);
+      if (in.dead() || id == cl.iv_next || is_terminator(in.op) ||
+          in.op == Opcode::ConstInt || in.op == Opcode::ConstFP)
+        continue;
+      out.push_back(id);
+    }
+    return out;
+  }
+
+  void replace_loop_with(Function& f, const CountedLoop& cl,
+                         std::vector<Instr> new_instrs) {
+    auto& ph = f.block(cl.preheader).insts;
+    const ValueId pterm = f.terminator(cl.preheader);
+    std::erase(ph, pterm);
+    for (auto& in : new_instrs) {
+      const ValueId id = f.add_instr(std::move(in));
+      f.block(cl.preheader).insts.push_back(id);
+    }
+    Instr& t = f.instr(pterm);
+    t.succs = {cl.exit};
+    f.block(cl.preheader).insts.push_back(pterm);
+    retarget_phi_edges(f, cl.exit, cl.header, cl.preheader);
+    // Outside uses of the iv get the final value.
+    const std::int64_t final_iv = cl.init + cl.trip_count * cl.step;
+    Instr c;
+    c.op = Opcode::ConstInt;
+    c.type = f.instr(cl.iv_phi).type;
+    c.imm = final_iv;
+    const ValueId cid = f.add_instr(std::move(c));
+    f.block(cl.preheader).insts.insert(f.block(cl.preheader).insts.end() - 1,
+                                       cid);
+    f.replace_all_uses(cl.iv_phi, cid);
+    for (BlockId b : {cl.header, cl.body}) {
+      for (ValueId id : f.block(b).insts) f.kill(id);
+      f.block(b).insts.clear();
+    }
+    f.purge_dead_from_blocks();
+  }
+
+  bool try_memset(Function& f, const CountedLoop& cl, StatsRegistry& stats) {
+    const auto payload = body_payload(f, cl);
+    // Expect: gep(base, iv) ; store const0, gep  (plus optional const def)
+    ValueId gep = kNoValue, store = kNoValue;
+    for (ValueId id : payload) {
+      const Instr& in = f.instr(id);
+      if (in.op == Opcode::Gep && in.ops[1] == cl.iv_phi &&
+          gep == kNoValue) {
+        gep = id;
+      } else if (in.op == Opcode::Store && store == kNoValue) {
+        store = id;
+      } else if (in.op == Opcode::ConstInt) {
+        continue;
+      } else {
+        return false;
+      }
+    }
+    if (gep == kNoValue || store == kNoValue) return false;
+    const Instr& g = f.instr(gep);
+    const Instr& s = f.instr(store);
+    if (s.ops[1] != gep) return false;
+    const auto zero = const_int_value(f, s.ops[0]);
+    if (!zero || *zero != 0) return false;
+    const ValueId base = g.ops[0];
+    const std::vector<bool> in_loop = [&] {
+      std::vector<bool> v(f.blocks.size(), false);
+      v[static_cast<std::size_t>(cl.header)] = true;
+      v[static_cast<std::size_t>(cl.body)] = true;
+      return v;
+    }();
+    if (!defined_outside(f, base, in_loop, def_blocks(f))) return false;
+
+    // memset(base + init*stride, 0, trip*stride), placed in the preheader.
+    const std::int64_t stride = g.stride;
+    const ValueId pterm = f.terminator(cl.preheader);
+    Instr c0;
+    c0.op = Opcode::ConstInt;
+    c0.type = kI64;
+    c0.imm = cl.init;
+    const ValueId c0id = f.add_instr(std::move(c0));
+    Instr gp2;
+    gp2.op = Opcode::Gep;
+    gp2.type = kPtr;
+    gp2.stride = static_cast<std::int32_t>(stride);
+    gp2.ops = {base, c0id};
+    const ValueId gpid = f.add_instr(std::move(gp2));
+    Instr zb;
+    zb.op = Opcode::ConstInt;
+    zb.type = kI64;
+    zb.imm = 0;
+    const ValueId zbid = f.add_instr(std::move(zb));
+    Instr sz;
+    sz.op = Opcode::ConstInt;
+    sz.type = kI64;
+    sz.imm = cl.trip_count * stride;
+    const ValueId szid = f.add_instr(std::move(sz));
+    Instr ms;
+    ms.op = Opcode::Memset;
+    ms.ops = {gpid, zbid, szid};
+    const ValueId msid = f.add_instr(std::move(ms));
+    auto& phi2 = f.block(cl.preheader).insts;
+    const auto at = std::find(phi2.begin(), phi2.end(), pterm);
+    phi2.insert(at, {c0id, gpid, zbid, szid, msid});
+    replace_loop_with(f, cl, {});
+    stats.add(name(), "NumMemSet", 1);
+    return true;
+  }
+
+  bool try_memcpy(Function& f, const CountedLoop& cl, StatsRegistry& stats) {
+    const auto payload = body_payload(f, cl);
+    ValueId gsrc = kNoValue, gdst = kNoValue, ld = kNoValue, st = kNoValue;
+    for (ValueId id : payload) {
+      const Instr& in = f.instr(id);
+      if (in.op == Opcode::Gep && in.ops[1] == cl.iv_phi) {
+        if (gsrc == kNoValue) {
+          gsrc = id;
+        } else if (gdst == kNoValue) {
+          gdst = id;
+        } else {
+          return false;
+        }
+      } else if (in.op == Opcode::Load && ld == kNoValue) {
+        ld = id;
+      } else if (in.op == Opcode::Store && st == kNoValue) {
+        st = id;
+      } else {
+        return false;
+      }
+    }
+    if (gsrc == kNoValue || gdst == kNoValue || ld == kNoValue ||
+        st == kNoValue)
+      return false;
+    // Sort out which gep is the load's, which the store's.
+    if (f.instr(ld).ops[0] != gsrc) std::swap(gsrc, gdst);
+    const Instr& gl = f.instr(gsrc);
+    const Instr& gs = f.instr(gdst);
+    const Instr& l = f.instr(ld);
+    const Instr& s = f.instr(st);
+    if (l.ops[0] != gsrc || s.ops[1] != gdst || s.ops[0] != ld) return false;
+    if (gl.stride != gs.stride) return false;
+    if (l.type.total_bytes() != gl.stride) return false;
+    // Distinct underlying objects only (conservative alias check).
+    const Instr& bsrc = f.instr(gl.ops[0]);
+    const Instr& bdst = f.instr(gs.ops[0]);
+    const bool distinct =
+        (bsrc.op == Opcode::GlobalAddr && bdst.op == Opcode::GlobalAddr &&
+         bsrc.global_index != bdst.global_index) ||
+        (bsrc.op == Opcode::Alloca && bdst.op == Opcode::Alloca &&
+         gl.ops[0] != gs.ops[0]) ||
+        (bsrc.op == Opcode::Alloca) != (bdst.op == Opcode::Alloca);
+    if (!distinct) return false;
+    const std::vector<bool> in_loop = [&] {
+      std::vector<bool> v(f.blocks.size(), false);
+      v[static_cast<std::size_t>(cl.header)] = true;
+      v[static_cast<std::size_t>(cl.body)] = true;
+      return v;
+    }();
+    const auto defs = def_blocks(f);
+    if (!defined_outside(f, gl.ops[0], in_loop, defs) ||
+        !defined_outside(f, gs.ops[0], in_loop, defs))
+      return false;
+
+    const std::int64_t stride = gl.stride;
+    const ValueId src_base = gl.ops[0];
+    const ValueId dst_base = gs.ops[0];
+    const ValueId pterm = f.terminator(cl.preheader);
+    Instr c0;
+    c0.op = Opcode::ConstInt;
+    c0.type = kI64;
+    c0.imm = cl.init;
+    const ValueId c0id = f.add_instr(std::move(c0));
+    Instr g1;
+    g1.op = Opcode::Gep;
+    g1.type = kPtr;
+    g1.stride = static_cast<std::int32_t>(stride);
+    g1.ops = {src_base, c0id};
+    const ValueId g1id = f.add_instr(std::move(g1));
+    Instr g2;
+    g2.op = Opcode::Gep;
+    g2.type = kPtr;
+    g2.stride = static_cast<std::int32_t>(stride);
+    g2.ops = {dst_base, c0id};
+    const ValueId g2id = f.add_instr(std::move(g2));
+    Instr sz;
+    sz.op = Opcode::ConstInt;
+    sz.type = kI64;
+    sz.imm = cl.trip_count * stride;
+    const ValueId szid = f.add_instr(std::move(sz));
+    Instr mc;
+    mc.op = Opcode::Memcpy;
+    mc.ops = {g2id, g1id, szid};
+    const ValueId mcid = f.add_instr(std::move(mc));
+    auto& phx = f.block(cl.preheader).insts;
+    const auto at = std::find(phx.begin(), phx.end(), pterm);
+    phx.insert(at, {c0id, g1id, g2id, szid, mcid});
+    replace_loop_with(f, cl, {});
+    stats.add(name(), "NumMemCpy", 1);
+    return true;
+  }
+};
+
+class LoopDeletionPass final : public Pass {
+ public:
+  std::string name() const override { return "loop-deletion"; }
+  std::vector<std::string> stat_names() const override {
+    return {"NumDeleted"};
+  }
+  bool run(Module& m, StatsRegistry& stats) override {
+    bool changed = false;
+    for (auto& f : m.functions) {
+      bool local = true;
+      while (local) {
+        local = false;
+        const DomTree dt = compute_dominators(f);
+        const auto loops = find_loops(f, dt);
+        for (const auto& loop : loops) {
+          const auto cl = match_counted_loop(f, loop);
+          if (!cl) continue;
+          // Loop must be free of side effects...
+          bool side_effects = false;
+          for (BlockId b : loop.blocks) {
+            for (ValueId id : f.block(b).insts) {
+              const Instr& in = f.instr(id);
+              if (in.dead()) continue;
+              if (writes_memory(in.op) || in.op == Opcode::Call ||
+                  in.op == Opcode::Load)
+                side_effects = true;
+            }
+          }
+          if (side_effects) continue;
+          // ...and none of its values may be used outside.
+          bool used_outside = false;
+          const auto in_mask = loop_mask(f, loop);
+          for (BlockId b = 0; b < static_cast<BlockId>(f.blocks.size());
+               ++b) {
+            if (in_mask[static_cast<std::size_t>(b)]) continue;
+            for (ValueId uid : f.block(b).insts) {
+              const Instr& u = f.instr(uid);
+              if (u.dead()) continue;
+              for (ValueId op : u.ops) {
+                const Instr& d = f.instr(op);
+                if (d.op == Opcode::Arg) continue;
+                const auto defs = def_blocks(f);
+                const BlockId db = defs[static_cast<std::size_t>(op)];
+                if (db >= 0 && in_mask[static_cast<std::size_t>(db)])
+                  used_outside = true;
+              }
+            }
+          }
+          if (used_outside) continue;
+
+          // Bypass the loop entirely.
+          const ValueId pterm = f.terminator(cl->preheader);
+          Instr& t = f.instr(pterm);
+          t.succs = {cl->exit};
+          retarget_phi_edges(f, cl->exit, cl->header, cl->preheader);
+          for (BlockId b : loop.blocks) {
+            for (ValueId id : f.block(b).insts) f.kill(id);
+            f.block(b).insts.clear();
+          }
+          f.purge_dead_from_blocks();
+          stats.add(name(), "NumDeleted", 1);
+          changed = true;
+          local = true;
+          break;
+        }
+      }
+    }
+    return changed;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_loop_simplify() {
+  return std::make_unique<LoopSimplifyPass>();
+}
+std::unique_ptr<Pass> make_loop_rotate() {
+  return std::make_unique<LoopRotatePass>();
+}
+std::unique_ptr<Pass> make_licm() { return std::make_unique<LicmPass>(); }
+std::unique_ptr<Pass> make_indvars() {
+  return std::make_unique<IndVarsPass>();
+}
+std::unique_ptr<Pass> make_loop_unroll() {
+  return std::make_unique<LoopUnrollPass>();
+}
+std::unique_ptr<Pass> make_loop_idiom() {
+  return std::make_unique<LoopIdiomPass>();
+}
+std::unique_ptr<Pass> make_loop_deletion() {
+  return std::make_unique<LoopDeletionPass>();
+}
+
+}  // namespace citroen::passes

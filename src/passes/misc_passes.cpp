@@ -1,0 +1,402 @@
+// reassociate: flatten and re-rank chains of a commutative operator so
+//              constants meet (enabling folding) and identical subtrees
+//              meet (enabling CSE).
+// sccp:        reachability-aware constant propagation + branch folding.
+// constmerge:  hoist and deduplicate integer constants per function.
+// div-rem-pairs: rewrite srem as a-(a/b)*b when the matching sdiv exists.
+// vectorcombine: fold vector/scalar round trips left by vectorisers.
+
+#include <algorithm>
+
+#include "passes/common.hpp"
+#include "passes/factories.hpp"
+
+namespace citroen::passes {
+
+using namespace ir;
+
+namespace {
+
+class ReassociatePass final : public Pass {
+ public:
+  std::string name() const override { return "reassociate"; }
+  std::vector<std::string> stat_names() const override {
+    return {"NumReassoc", "NumFolded"};
+  }
+  bool run(Module& m, StatsRegistry& stats) override {
+    bool changed = false;
+    for (auto& f : m.functions) changed |= run_fn(f, stats);
+    return changed;
+  }
+
+ private:
+  bool run_fn(Function& f, StatsRegistry& stats) {
+    bool changed = false;
+    const auto uses = count_uses(f);
+    for (BlockId b = 0; b < static_cast<BlockId>(f.blocks.size()); ++b) {
+      for (std::size_t i = 0; i < f.block(b).insts.size(); ++i) {
+        const ValueId id = f.block(b).insts[i];
+        const Instr& in = f.instr(id);
+        if (in.dead()) continue;
+        if (in.op != Opcode::Add && in.op != Opcode::Mul) continue;
+        if (in.type.is_vector() || !in.type.is_int()) continue;
+
+        // Only rewrite the root of a chain (no same-op users).
+        bool is_root = true;
+        for (const auto& bb2 : f.blocks) {
+          for (ValueId uid : bb2.insts) {
+            const Instr& u = f.instr(uid);
+            if (!u.dead() && u.op == in.op) {
+              for (ValueId op : u.ops) {
+                if (op == id) is_root = false;
+              }
+            }
+          }
+        }
+        if (!is_root) continue;
+
+        // Collect leaves of the single-use, same-block chain.
+        std::vector<ValueId> leaves;
+        std::vector<ValueId> interior;
+        bool ok = collect(f, uses, b, id, in.op, leaves, interior);
+        if (!ok || interior.empty() || leaves.size() < 3) continue;
+
+        // Partition constants; fold them into one.
+        std::int64_t acc = in.op == Opcode::Add ? 0 : 1;
+        std::vector<ValueId> vars;
+        int consts = 0;
+        for (ValueId l : leaves) {
+          if (auto c = const_int_value(f, l)) {
+            const std::uint64_t uacc = static_cast<std::uint64_t>(acc);
+            const std::uint64_t uc = static_cast<std::uint64_t>(*c);
+            acc = static_cast<std::int64_t>(
+                in.op == Opcode::Add ? uacc + uc : uacc * uc);
+            ++consts;
+          } else {
+            vars.push_back(l);
+          }
+        }
+        if (consts < 2) continue;  // nothing to gain
+        acc = wrap_to_width(in.type, acc);
+        std::sort(vars.begin(), vars.end());
+
+        // Rebuild: left-assoc over vars, constant last (if not identity).
+        const Type ty = in.type;
+        const Opcode op = in.op;
+        std::vector<ValueId> chain_ops = vars;
+        const bool identity =
+            (op == Opcode::Add && acc == 0) || (op == Opcode::Mul && acc == 1);
+        if (!identity || chain_ops.empty()) {
+          const ValueId cid =
+              insert_const(f, b, i, ty, FoldedConst{false, acc, 0.0});
+          chain_ops.push_back(cid);
+        }
+        ValueId cur = chain_ops[0];
+        for (std::size_t k = 1; k < chain_ops.size(); ++k) {
+          Instr nb;
+          nb.op = op;
+          nb.type = ty;
+          nb.ops = {cur, chain_ops[k]};
+          const ValueId nid = f.add_instr(std::move(nb));
+          auto& insts = f.block(b).insts;
+          const auto at = std::find(insts.begin(), insts.end(), id);
+          insts.insert(at, nid);
+          cur = nid;
+        }
+        f.replace_all_uses(id, cur);
+        f.kill(id);
+        for (ValueId v : interior) {
+          if (v != id) f.kill(v);
+        }
+        f.purge_dead_from_blocks();
+        stats.add(name(), "NumReassoc", 1);
+        stats.add(name(), "NumFolded", consts - 1);
+        changed = true;
+        break;  // block list changed; rescan block
+      }
+    }
+    return changed;
+  }
+
+  bool collect(const Function& f, const std::vector<int>& uses, BlockId b,
+               ValueId id, Opcode op, std::vector<ValueId>& leaves,
+               std::vector<ValueId>& interior) {
+    const Instr& in = f.instr(id);
+    interior.push_back(id);
+    for (ValueId opnd : in.ops) {
+      const Instr& oi = f.instr(opnd);
+      const bool chainable = !oi.dead() && oi.op == op &&
+                             uses[static_cast<std::size_t>(opnd)] == 1;
+      if (chainable) {
+        if (!collect(f, uses, b, opnd, op, leaves, interior)) return false;
+      } else {
+        leaves.push_back(opnd);
+      }
+    }
+    return leaves.size() <= 16;
+  }
+};
+
+class SccpPass final : public Pass {
+ public:
+  std::string name() const override { return "sccp"; }
+  std::vector<std::string> stat_names() const override {
+    return {"NumInstRemoved", "NumDeadBlocks"};
+  }
+  bool run(Module& m, StatsRegistry& stats) override {
+    bool changed = false;
+    for (auto& f : m.functions) {
+      bool local = true;
+      int rounds = 0;
+      while (local && rounds++ < 8) {
+        local = false;
+        // Fold every pure instruction with constant operands.
+        for (BlockId b = 0; b < static_cast<BlockId>(f.blocks.size()); ++b) {
+          for (std::size_t i = 0; i < f.block(b).insts.size(); ++i) {
+            const ValueId id = f.block(b).insts[i];
+            const Instr& in = f.instr(id);
+            if (in.dead() || !is_pure(in.op) || in.ops.empty()) continue;
+            if (in.op == Opcode::Phi) continue;
+            if (auto c = try_const_fold(f, in)) {
+              const ValueId cid = insert_const(f, b, i, in.type, *c);
+              f.replace_all_uses(id, cid);
+              f.kill(id);
+              stats.add(name(), "NumInstRemoved", 1);
+              local = true;
+            }
+          }
+        }
+        // Phis whose incoming values are all the same constant.
+        for (auto& bb : f.blocks) {
+          for (ValueId id : std::vector<ValueId>(bb.insts)) {
+            Instr& in = f.instr(id);
+            if (in.dead() || in.op != Opcode::Phi || in.ops.empty()) continue;
+            const auto first = const_int_value(f, in.ops[0]);
+            if (!first) continue;
+            bool all_same = true;
+            for (ValueId op : in.ops) {
+              const auto c = const_int_value(f, op);
+              if (!c || *c != *first) all_same = false;
+            }
+            if (all_same) {
+              // The incoming constant lives in a predecessor and need not
+              // dominate the phi's users; materialise a copy in entry.
+              const Type ty = in.type;
+              const ValueId cid =
+                  insert_const(f, 0, 0, ty, FoldedConst{false, *first, 0.0});
+              f.replace_all_uses(id, cid);
+              f.kill(id);
+              stats.add(name(), "NumInstRemoved", 1);
+              local = true;
+            }
+          }
+        }
+        // Fold constant conditional branches and prune edges.
+        for (BlockId b = 0; b < static_cast<BlockId>(f.blocks.size()); ++b) {
+          const ValueId t = f.terminator(b);
+          if (t == kNoValue) continue;
+          Instr& term = f.instr(t);
+          if (term.op != Opcode::CondBr) continue;
+          const auto c = const_int_value(f, term.ops[0]);
+          if (!c) continue;
+          const BlockId keep = *c ? term.succs[0] : term.succs[1];
+          const BlockId drop = *c ? term.succs[1] : term.succs[0];
+          term.op = Opcode::Br;
+          term.ops.clear();
+          term.succs = {keep};
+          if (drop != keep) remove_phi_edge(f, b, drop);
+          local = true;
+        }
+        if (local) {
+          f.purge_dead_from_blocks();
+          const int dead = delete_unreachable_blocks(f);
+          stats.add(name(), "NumDeadBlocks", dead);
+          changed = true;
+        }
+      }
+    }
+    return changed;
+  }
+};
+
+class ConstMergePass final : public Pass {
+ public:
+  std::string name() const override { return "constmerge"; }
+  std::vector<std::string> stat_names() const override {
+    return {"NumMerged"};
+  }
+  bool run(Module& m, StatsRegistry& stats) override {
+    bool changed = false;
+    for (auto& f : m.functions) {
+      // Hoisting constants to the entry block is always sound (they are
+      // pure and operand-free), making function-wide dedup possible.
+      std::map<std::pair<int, std::int64_t>, ValueId> int_leaders;
+      std::map<std::pair<int, double>, ValueId> fp_leaders;
+      std::vector<ValueId> to_hoist;
+      for (auto& bb : f.blocks) {
+        for (ValueId id : std::vector<ValueId>(bb.insts)) {
+          Instr& in = f.instr(id);
+          if (in.dead() || in.type.is_vector()) continue;
+          if (in.op == Opcode::ConstInt) {
+            const auto key = std::make_pair(
+                static_cast<int>(in.type.scalar), in.imm);
+            auto [it, inserted] = int_leaders.try_emplace(key, id);
+            if (!inserted) {
+              f.replace_all_uses(id, it->second);
+              f.kill(id);
+              stats.add(name(), "NumMerged", 1);
+              changed = true;
+            } else {
+              to_hoist.push_back(id);
+            }
+          } else if (in.op == Opcode::ConstFP) {
+            const auto key = std::make_pair(
+                static_cast<int>(in.type.scalar), in.fimm);
+            auto [it, inserted] = fp_leaders.try_emplace(key, id);
+            if (!inserted) {
+              f.replace_all_uses(id, it->second);
+              f.kill(id);
+              stats.add(name(), "NumMerged", 1);
+              changed = true;
+            } else {
+              to_hoist.push_back(id);
+            }
+          }
+        }
+      }
+      // Move every leader to the top of the entry block so it dominates
+      // every merged use.
+      if (!to_hoist.empty()) {
+        for (auto& bb : f.blocks) {
+          std::erase_if(bb.insts, [&](ValueId v) {
+            return std::find(to_hoist.begin(), to_hoist.end(), v) !=
+                   to_hoist.end();
+          });
+        }
+        auto& entry = f.block(0).insts;
+        entry.insert(entry.begin(), to_hoist.begin(), to_hoist.end());
+      }
+      f.purge_dead_from_blocks();
+    }
+    return changed;
+  }
+};
+
+class DivRemPairsPass final : public Pass {
+ public:
+  std::string name() const override { return "div-rem-pairs"; }
+  std::vector<std::string> stat_names() const override {
+    return {"NumDecomposed"};
+  }
+  bool run(Module& m, StatsRegistry& stats) override {
+    bool changed = false;
+    for (auto& f : m.functions) {
+      const DomTree dt = compute_dominators(f);
+      const auto defs = def_blocks(f);
+      // Collect sdivs keyed by operand pair.
+      std::map<std::pair<ValueId, ValueId>, ValueId> divs;
+      for (const auto& bb : f.blocks) {
+        for (ValueId id : bb.insts) {
+          const Instr& in = f.instr(id);
+          if (!in.dead() && in.op == Opcode::SDiv && !in.type.is_vector())
+            divs[{in.ops[0], in.ops[1]}] = id;
+        }
+      }
+      if (divs.empty()) continue;
+      for (BlockId b = 0; b < static_cast<BlockId>(f.blocks.size()); ++b) {
+        for (std::size_t i = 0; i < f.block(b).insts.size(); ++i) {
+          const ValueId id = f.block(b).insts[i];
+          const Instr& in = f.instr(id);
+          if (in.dead() || in.op != Opcode::SRem || in.type.is_vector())
+            continue;
+          const auto it = divs.find({in.ops[0], in.ops[1]});
+          if (it == divs.end() || it->second == id) continue;
+          const BlockId db = defs[static_cast<std::size_t>(it->second)];
+          const bool same_block_before =
+              db == b && std::find(f.block(b).insts.begin(),
+                                   f.block(b).insts.begin() +
+                                       static_cast<std::ptrdiff_t>(i),
+                                   it->second) !=
+                             f.block(b).insts.begin() +
+                                 static_cast<std::ptrdiff_t>(i);
+          if (!(same_block_before || (db != b && db >= 0 &&
+                                      dt.dominates(db, b))))
+            continue;
+          // rem = a - (a/b)*b
+          const ValueId a = in.ops[0];
+          const ValueId bb2 = in.ops[1];
+          const Type ty = in.type;
+          Instr mul;
+          mul.op = Opcode::Mul;
+          mul.type = ty;
+          mul.ops = {it->second, bb2};
+          const ValueId mid = f.add_instr(std::move(mul));
+          Instr sub;
+          sub.op = Opcode::Sub;
+          sub.type = ty;
+          sub.ops = {a, mid};
+          const ValueId sid = f.add_instr(std::move(sub));
+          auto& insts = f.block(b).insts;
+          insts.insert(insts.begin() + static_cast<std::ptrdiff_t>(i),
+                       {mid, sid});
+          f.replace_all_uses(id, sid);
+          f.kill(id);
+          stats.add(name(), "NumDecomposed", 1);
+          changed = true;
+        }
+      }
+      f.purge_dead_from_blocks();
+    }
+    return changed;
+  }
+};
+
+class VectorCombinePass final : public Pass {
+ public:
+  std::string name() const override { return "vectorcombine"; }
+  std::vector<std::string> stat_names() const override {
+    return {"NumCombined"};
+  }
+  bool run(Module& m, StatsRegistry& stats) override {
+    bool changed = false;
+    for (auto& f : m.functions) {
+      for (auto& bb : f.blocks) {
+        for (ValueId id : std::vector<ValueId>(bb.insts)) {
+          Instr& in = f.instr(id);
+          if (in.dead()) continue;
+          // vextract(vsplat x, lane) => x
+          if (in.op == Opcode::VExtract) {
+            const Instr& src = f.instr(in.ops[0]);
+            if (src.op == Opcode::VSplat) {
+              f.replace_all_uses(id, src.ops[0]);
+              f.kill(id);
+              stats.add(name(), "NumCombined", 1);
+              changed = true;
+            }
+          }
+          // vsplat(vextract(v, 0)) and similar left as future work.
+        }
+      }
+      f.purge_dead_from_blocks();
+    }
+    return changed;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_reassociate() {
+  return std::make_unique<ReassociatePass>();
+}
+std::unique_ptr<Pass> make_sccp() { return std::make_unique<SccpPass>(); }
+std::unique_ptr<Pass> make_constmerge() {
+  return std::make_unique<ConstMergePass>();
+}
+std::unique_ptr<Pass> make_div_rem_pairs() {
+  return std::make_unique<DivRemPairsPass>();
+}
+std::unique_ptr<Pass> make_vectorcombine() {
+  return std::make_unique<VectorCombinePass>();
+}
+
+}  // namespace citroen::passes

@@ -1,0 +1,98 @@
+#pragma once
+// Pass framework: the MiniIR analogue of LLVM's legacy pass manager plus
+// the `-stats` machinery that CITROEN's cost model consumes.
+//
+// Every transformation pass increments named counters while it runs; the
+// aggregated counters (keyed "pass.Counter", e.g. "slp.NumVectorInstrs")
+// form the *compilation statistics* feature vector of the paper.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace citroen::passes {
+
+/// Aggregated `-stats` counters for one compilation.
+class StatsRegistry {
+ public:
+  void add(const std::string& pass, const std::string& counter,
+           std::int64_t delta) {
+    if (delta != 0) counters_[pass + "." + counter] += delta;
+  }
+
+  std::int64_t get(const std::string& key) const {
+    const auto it = counters_.find(key);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  const std::map<std::string, std::int64_t>& counters() const {
+    return counters_;
+  }
+
+  void merge(const StatsRegistry& other) {
+    for (const auto& [k, v] : other.counters_) counters_[k] += v;
+  }
+
+  void clear() { counters_.clear(); }
+
+ private:
+  std::map<std::string, std::int64_t> counters_;
+};
+
+/// A transformation pass over one module (= one translation unit).
+class Pass {
+ public:
+  virtual ~Pass() = default;
+
+  /// Stable pass name, as used in pass sequences ("mem2reg", ...).
+  virtual std::string name() const = 0;
+
+  /// Counter names this pass may emit (used to build the fixed feature
+  /// vocabulary of the CITROEN cost model).
+  virtual std::vector<std::string> stat_names() const = 0;
+
+  /// Apply the pass; returns true if the module changed.
+  virtual bool run(ir::Module& m, StatsRegistry& stats) = 0;
+};
+
+/// Global pass registry. Names mirror their LLVM inspirations.
+class PassRegistry {
+ public:
+  static const PassRegistry& instance();
+
+  /// All registered pass names, in a stable order.
+  const std::vector<std::string>& pass_names() const { return names_; }
+
+  /// Create a fresh pass by name (nullptr if unknown).
+  std::unique_ptr<Pass> create(const std::string& name) const;
+
+  /// Fixed vocabulary of "pass.Counter" feature keys, in a stable order.
+  const std::vector<std::string>& all_stat_keys() const { return stat_keys_; }
+
+ private:
+  PassRegistry();
+
+  std::vector<std::string> names_;
+  std::vector<std::string> stat_keys_;
+};
+
+/// Run `sequence` (pass names) over the module; unknown names are an error.
+/// Returns the aggregated statistics of the compilation. If `verify_each`
+/// is set, the IR verifier runs after every pass and a violation throws
+/// `std::runtime_error` (used by tests and differential-testing mode).
+StatsRegistry run_sequence(ir::Module& m,
+                           const std::vector<std::string>& sequence,
+                           bool verify_each = false);
+
+/// The reference -O3 pipeline (fixed order, mirrors LLVM's structure).
+const std::vector<std::string>& o3_sequence();
+
+/// A reduced pass set standing in for an older compiler ("LLVM 10" in
+/// Fig. 5.10): no SLP vectoriser, no function-attrs, no div-rem-pairs.
+const std::vector<std::string>& legacy_pass_names();
+
+}  // namespace citroen::passes

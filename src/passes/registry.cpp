@@ -1,0 +1,138 @@
+#include <functional>
+#include <stdexcept>
+
+#include "ir/verifier.hpp"
+#include "passes/factories.hpp"
+#include "passes/pass.hpp"
+
+namespace citroen::passes {
+
+namespace {
+
+struct Entry {
+  const char* name;
+  std::unique_ptr<Pass> (*factory)();
+};
+
+// Order here is the stable pass-id order used by the tuner's categorical
+// encoding; names mirror the LLVM passes they model (Table 5.3).
+constexpr Entry kEntries[] = {
+    {"mem2reg", make_mem2reg},
+    {"sroa", make_sroa},
+    {"instcombine", make_instcombine},
+    {"instsimplify", make_instsimplify},
+    {"aggressive-instcombine", make_aggressive_instcombine},
+    {"dce", make_dce},
+    {"adce", make_adce},
+    {"simplifycfg", make_simplifycfg},
+    {"jump-threading", make_jump_threading},
+    {"sink", make_sink},
+    {"early-cse", make_early_cse},
+    {"gvn", make_gvn},
+    {"reassociate", make_reassociate},
+    {"sccp", make_sccp},
+    {"constmerge", make_constmerge},
+    {"div-rem-pairs", make_div_rem_pairs},
+    {"vectorcombine", make_vectorcombine},
+    {"loop-simplify", make_loop_simplify},
+    {"loop-rotate", make_loop_rotate},
+    {"licm", make_licm},
+    {"indvars", make_indvars},
+    {"loop-unroll", make_loop_unroll},
+    {"loop-vectorize", make_loop_vectorize},
+    {"loop-idiom", make_loop_idiom},
+    {"loop-deletion", make_loop_deletion},
+    {"slp-vectorizer", make_slp_vectorizer},
+    {"inline", make_inline},
+    {"function-attrs", make_function_attrs},
+    {"ipsccp", make_ipsccp},
+    {"tailcallelim", make_tailcallelim},
+    {"globalopt", make_globalopt},
+    {"deadargelim", make_deadargelim},
+    {"dse", make_dse},
+    {"memcpyopt", make_memcpyopt},
+    {"loop-unswitch", make_loop_unswitch},
+};
+
+}  // namespace
+
+PassRegistry::PassRegistry() {
+  for (const auto& e : kEntries) {
+    names_.emplace_back(e.name);
+    const auto p = e.factory();
+    for (const auto& s : p->stat_names())
+      stat_keys_.push_back(p->name() + "." + s);
+  }
+}
+
+const PassRegistry& PassRegistry::instance() {
+  static const PassRegistry reg;
+  return reg;
+}
+
+std::unique_ptr<Pass> PassRegistry::create(const std::string& name) const {
+  for (const auto& e : kEntries) {
+    if (name == e.name) return e.factory();
+  }
+  return nullptr;
+}
+
+StatsRegistry run_sequence(ir::Module& m,
+                           const std::vector<std::string>& sequence,
+                           bool verify_each) {
+  StatsRegistry stats;
+  const auto& reg = PassRegistry::instance();
+  for (const auto& name : sequence) {
+    auto pass = reg.create(name);
+    if (!pass) throw std::runtime_error("unknown pass: " + name);
+    pass->run(m, stats);
+    if (verify_each) {
+      const auto errs = ir::verify_module(m);
+      if (!errs.empty())
+        throw std::runtime_error("verifier failed after '" + name +
+                                 "': " + errs.front());
+    }
+  }
+  return stats;
+}
+
+const std::vector<std::string>& o3_sequence() {
+  // Mirrors the structure of LLVM's -O3: canonicalise, inline, scalar
+  // clean-up, the loop pipeline, vectorisers, then late clean-up.
+  static const std::vector<std::string> seq = {
+      "simplifycfg",  "sroa",          "early-cse",
+      "function-attrs", "inline",      "mem2reg",
+      "instcombine",  "simplifycfg",   "tailcallelim",
+      "sccp",         "ipsccp",        "deadargelim",
+      "reassociate",  "loop-simplify", "licm",
+      "indvars",      "loop-idiom",    "loop-deletion",
+      "loop-unroll",  "gvn",           "early-cse",
+      "jump-threading", "dce",         "loop-simplify",
+      "loop-vectorize", "slp-vectorizer", "vectorcombine",
+      "instcombine",  "simplifycfg",   "div-rem-pairs",
+      "memcpyopt",    "dse",           "loop-unswitch",
+      "loop-rotate",  "licm",          "adce",
+      "constmerge",   "globalopt",     "sink",
+      "simplifycfg",
+  };
+  return seq;
+}
+
+const std::vector<std::string>& legacy_pass_names() {
+  // "Older compiler" pass set for the Fig. 5.10 analogue: no SLP, no
+  // function-attrs, no div-rem-pairs, no vectorcombine.
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const auto& n : PassRegistry::instance().pass_names()) {
+      if (n == "slp-vectorizer" || n == "function-attrs" ||
+          n == "div-rem-pairs" || n == "vectorcombine" || n == "dse" ||
+          n == "memcpyopt" || n == "loop-unswitch")
+        continue;
+      out.push_back(n);
+    }
+    return out;
+  }();
+  return names;
+}
+
+}  // namespace citroen::passes

@@ -1,0 +1,255 @@
+#include "passes/ssa_util.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace citroen::passes {
+
+using namespace ir;
+
+std::vector<std::vector<BlockId>> dominance_frontiers(const Function& f,
+                                                      const DomTree& dt) {
+  std::vector<std::vector<BlockId>> df(f.blocks.size());
+  const auto preds = f.predecessors();
+  for (BlockId b = 0; b < static_cast<BlockId>(f.blocks.size()); ++b) {
+    if (!dt.reachable[static_cast<std::size_t>(b)]) continue;
+    if (preds[static_cast<std::size_t>(b)].size() < 2) continue;
+    for (BlockId p : preds[static_cast<std::size_t>(b)]) {
+      if (!dt.reachable[static_cast<std::size_t>(p)]) continue;
+      BlockId runner = p;
+      while (runner != dt.idom[static_cast<std::size_t>(b)]) {
+        auto& dfr = df[static_cast<std::size_t>(runner)];
+        if (std::find(dfr.begin(), dfr.end(), b) == dfr.end())
+          dfr.push_back(b);
+        runner = dt.idom[static_cast<std::size_t>(runner)];
+      }
+    }
+  }
+  return df;
+}
+
+bool is_promotable_alloca(const Function& f, ValueId a) {
+  const Instr& al = f.instr(a);
+  if (al.op != Opcode::Alloca) return false;
+  Type slot_type = kVoid;
+  for (const auto& bb : f.blocks) {
+    for (ValueId id : bb.insts) {
+      const Instr& in = f.instr(id);
+      if (in.dead()) continue;
+      for (std::size_t k = 0; k < in.ops.size(); ++k) {
+        if (in.ops[k] != a) continue;
+        if (in.op == Opcode::Load && k == 0) {
+          if (in.type.is_vector()) return false;
+          if (slot_type.is_void()) slot_type = in.type;
+          if (!(slot_type == in.type)) return false;
+        } else if (in.op == Opcode::Store && k == 1) {
+          const Type st = f.instr(in.ops[0]).type;
+          if (st.is_vector()) return false;
+          if (slot_type.is_void()) slot_type = st;
+          if (!(slot_type == st)) return false;
+        } else {
+          return false;  // escapes (gep, call, stored-as-value, ...)
+        }
+      }
+    }
+  }
+  if (slot_type.is_void()) return true;  // unused alloca: trivially removable
+  return al.alloca_bytes == slot_type.total_bytes();
+}
+
+namespace {
+
+struct Renamer {
+  Function& f;
+  const DomTree& dt;
+  const std::vector<std::vector<BlockId>>& preds;
+  // alloca id -> dense index
+  std::unordered_map<ValueId, int> slot_index;
+  // phi value id -> slot index (phis inserted by promotion)
+  std::unordered_map<ValueId, int> phi_slot;
+  // per-slot stack of reaching definitions
+  std::vector<std::vector<ValueId>> stacks;
+  // lazily created "undef" (zero) constant per slot
+  std::vector<ValueId> zero_const;
+  std::vector<Type> slot_types;
+  int dead_stores = 0;
+
+  ValueId current(int s) {
+    if (!stacks[static_cast<std::size_t>(s)].empty())
+      return stacks[static_cast<std::size_t>(s)].back();
+    // Value loaded before any store: materialise a zero constant in entry.
+    if (zero_const[static_cast<std::size_t>(s)] == kNoValue) {
+      Instr c;
+      c.op = slot_types[static_cast<std::size_t>(s)].is_float()
+                 ? Opcode::ConstFP
+                 : Opcode::ConstInt;
+      c.type = slot_types[static_cast<std::size_t>(s)];
+      const ValueId id = f.add_instr(std::move(c));
+      auto& entry = f.block(0).insts;
+      entry.insert(entry.begin(), id);
+      zero_const[static_cast<std::size_t>(s)] = id;
+    }
+    return zero_const[static_cast<std::size_t>(s)];
+  }
+
+  void rename(BlockId b) {
+    std::vector<int> pushed;  // slots pushed in this block, for unwinding
+
+    // Iterate over a snapshot: materialising a zero constant appends to the
+    // entry block's instruction list, which may be the list being walked.
+    const std::vector<ValueId> insts_snapshot = f.block(b).insts;
+    for (ValueId id : insts_snapshot) {
+      Instr& in = f.instr(id);
+      if (in.dead()) continue;
+      if (in.op == Opcode::Phi) {
+        const auto it = phi_slot.find(id);
+        if (it != phi_slot.end()) {
+          stacks[static_cast<std::size_t>(it->second)].push_back(id);
+          pushed.push_back(it->second);
+        }
+        continue;
+      }
+      if (in.op == Opcode::Load) {
+        const auto it = slot_index.find(in.ops[0]);
+        if (it != slot_index.end()) {
+          const ValueId repl = current(it->second);
+          f.replace_all_uses(id, repl);
+          f.kill(id);
+          continue;
+        }
+      }
+      if (in.op == Opcode::Store) {
+        const auto it = slot_index.find(in.ops[1]);
+        if (it != slot_index.end()) {
+          stacks[static_cast<std::size_t>(it->second)].push_back(in.ops[0]);
+          pushed.push_back(it->second);
+          f.kill(id);
+          ++dead_stores;
+          continue;
+        }
+      }
+    }
+
+    // Fill phi operands of successors for edges leaving this block.
+    for (BlockId s : f.successors(b)) {
+      const std::vector<ValueId> succ_snapshot = f.block(s).insts;
+      for (ValueId id : succ_snapshot) {
+        Instr& in = f.instr(id);
+        if (in.dead()) continue;
+        if (in.op != Opcode::Phi) break;
+        const auto it = phi_slot.find(id);
+        if (it == phi_slot.end()) continue;
+        for (std::size_t k = 0; k < in.phi_blocks.size(); ++k) {
+          if (in.phi_blocks[k] == b) in.ops[k] = current(it->second);
+        }
+      }
+    }
+
+    for (BlockId c : dt.children[static_cast<std::size_t>(b)]) rename(c);
+
+    for (const int s : pushed) stacks[static_cast<std::size_t>(s)].pop_back();
+  }
+};
+
+}  // namespace
+
+PromoteResult promote_allocas(Function& f) {
+  PromoteResult result;
+  if (f.blocks.empty()) return result;
+
+  // Gather promotable allocas.
+  std::vector<ValueId> allocas;
+  for (const auto& bb : f.blocks) {
+    for (ValueId id : bb.insts) {
+      if (f.instr(id).op == Opcode::Alloca && is_promotable_alloca(f, id))
+        allocas.push_back(id);
+    }
+  }
+  if (allocas.empty()) return result;
+
+  const DomTree dt = compute_dominators(f);
+  const auto df = dominance_frontiers(f, dt);
+  const auto preds = f.predecessors();
+
+  Renamer rn{f, dt, preds, {}, {}, {}, {}, {}, 0};
+  rn.stacks.resize(allocas.size());
+  rn.zero_const.assign(allocas.size(), kNoValue);
+  rn.slot_types.resize(allocas.size());
+
+  for (std::size_t s = 0; s < allocas.size(); ++s) {
+    rn.slot_index[allocas[s]] = static_cast<int>(s);
+    // Determine the slot's value type from its first access.
+    Type ty = kI64;
+    for (const auto& bb : f.blocks) {
+      bool found = false;
+      for (ValueId id : bb.insts) {
+        const Instr& in = f.instr(id);
+        if (in.dead()) continue;
+        if (in.op == Opcode::Load && in.ops[0] == allocas[s]) {
+          ty = in.type;
+          found = true;
+          break;
+        }
+        if (in.op == Opcode::Store && in.ops.size() == 2 &&
+            in.ops[1] == allocas[s]) {
+          ty = f.instr(in.ops[0]).type;
+          found = true;
+          break;
+        }
+      }
+      if (found) break;
+    }
+    rn.slot_types[s] = ty;
+
+    // Iterated dominance frontier of the store blocks -> phi placement.
+    std::vector<BlockId> work;
+    for (BlockId b = 0; b < static_cast<BlockId>(f.blocks.size()); ++b) {
+      for (ValueId id : f.block(b).insts) {
+        const Instr& in = f.instr(id);
+        if (!in.dead() && in.op == Opcode::Store && in.ops.size() == 2 &&
+            in.ops[1] == allocas[s])
+          work.push_back(b);
+      }
+    }
+    std::vector<bool> has_phi(f.blocks.size(), false);
+    while (!work.empty()) {
+      const BlockId b = work.back();
+      work.pop_back();
+      for (BlockId d : df[static_cast<std::size_t>(b)]) {
+        if (has_phi[static_cast<std::size_t>(d)]) continue;
+        has_phi[static_cast<std::size_t>(d)] = true;
+        Instr phi;
+        phi.op = Opcode::Phi;
+        phi.type = ty;
+        for (BlockId p : preds[static_cast<std::size_t>(d)]) {
+          phi.ops.push_back(kNoValue);  // filled during renaming
+          phi.phi_blocks.push_back(p);
+        }
+        const ValueId pid = f.add_instr(std::move(phi));
+        auto& insts = f.block(d).insts;
+        insts.insert(insts.begin(), pid);
+        rn.phi_slot[pid] = static_cast<int>(s);
+        ++result.phis;
+        work.push_back(d);
+      }
+    }
+  }
+
+  rn.rename(0);
+  result.dead_stores = rn.dead_stores;
+
+  // Drop the allocas themselves and fix any phi operand that stayed
+  // unfilled (unreachable incoming edge): use the slot's zero constant.
+  for (auto& [pid, s] : rn.phi_slot) {
+    Instr& phi = f.instr(pid);
+    for (auto& op : phi.ops) {
+      if (op == kNoValue) op = rn.current(s);
+    }
+  }
+  for (ValueId a : allocas) f.kill(a);
+  f.purge_dead_from_blocks();
+  result.promoted = static_cast<int>(allocas.size());
+  return result;
+}
+
+}  // namespace citroen::passes

@@ -1,0 +1,31 @@
+#pragma once
+// Shared SSA-construction machinery: dominance frontiers and the alloca
+// promotion engine used by both `mem2reg` and `sroa`.
+
+#include <string>
+#include <vector>
+
+#include "ir/analysis.hpp"
+#include "ir/module.hpp"
+#include "passes/pass.hpp"
+
+namespace citroen::passes {
+
+/// Dominance frontier per block.
+std::vector<std::vector<ir::BlockId>> dominance_frontiers(
+    const ir::Function& f, const ir::DomTree& dt);
+
+struct PromoteResult {
+  int promoted = 0;    ///< allocas rewritten into SSA values
+  int phis = 0;        ///< phi nodes inserted
+  int dead_stores = 0; ///< stores removed along the way
+};
+
+/// Promote every scalar alloca whose only uses are same-typed loads and
+/// stores (standard iterated-dominance-frontier phi placement + renaming).
+PromoteResult promote_allocas(ir::Function& f);
+
+/// True if the alloca with value id `a` is promotable in `f`.
+bool is_promotable_alloca(const ir::Function& f, ir::ValueId a);
+
+}  // namespace citroen::passes

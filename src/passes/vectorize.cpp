@@ -1,0 +1,897 @@
+// slp-vectorizer: packs 4 isomorphic scalar chains rooted at consecutive
+//                 loads into 4-lane vector operations.
+// loop-vectorize: widens counted loops with stride-1 accesses by a factor
+//                 of 4, with integer reduction support.
+//
+// Both implement the paper's Fig. 5.1 profitability rule: integer vector
+// lanes of 64 bits are "not profitable" and the tree/loop is rejected.
+// Since instcombine's widening rule turns i16->i32->i64 sext chains into
+// i64 multiplies, running instcombine *before* a vectoriser can destroy
+// vectorisation — observable through slp.NumVectorInstrs, exactly the
+// signal CITROEN's cost model learns from (Table 5.1).
+//
+// Floating-point *reductions* are never vectorised (reassociation would
+// change results and fail differential testing); element-wise fp maps are.
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <set>
+
+#include "passes/common.hpp"
+#include "passes/factories.hpp"
+
+namespace citroen::passes {
+
+using namespace ir;
+
+namespace {
+
+constexpr int kLanes = 4;
+
+bool profitable_elem(Type t) {
+  if (t.is_float()) return true;
+  return t.is_int() && t.bit_width() <= 32;
+}
+
+// ---------------------------------------------------------------------------
+// SLP
+// ---------------------------------------------------------------------------
+
+struct PackedGroup {
+  std::array<ValueId, kLanes> lanes{};
+  ValueId vec = kNoValue;  ///< assigned at codegen
+};
+
+class SlpPass final : public Pass {
+ public:
+  std::string name() const override { return "slp"; }
+  std::vector<std::string> stat_names() const override {
+    return {"NumVectorInstrs", "NumVectorized", "NumNotBeneficial"};
+  }
+  bool run(Module& m, StatsRegistry& stats) override {
+    bool changed = false;
+    for (auto& f : m.functions) {
+      for (BlockId b = 0; b < static_cast<BlockId>(f.blocks.size()); ++b) {
+        // Repeat until no more trees form in this block.
+        while (vectorize_block(f, b, stats)) changed = true;
+      }
+    }
+    return changed;
+  }
+
+ private:
+  using Quad = std::array<ValueId, kLanes>;
+
+  struct Ctx {
+    Function& f;
+    std::map<ValueId, int> pos;   ///< instruction position within block
+    std::vector<int> uses;
+    BlockId block;
+  };
+
+  static bool in_block(const Ctx& c, ValueId v) { return c.pos.count(v) > 0; }
+
+  /// Decompose a load's address into (base, constant offset); loads from
+  /// gep(base, C) qualify. Returns false for non-conforming loads.
+  static bool load_addr(const Function& f, ValueId load, ValueId& base,
+                        std::int64_t& offset) {
+    const Instr& in = f.instr(load);
+    if (in.op != Opcode::Load || in.type.is_vector()) return false;
+    const Instr& g = f.instr(in.ops[0]);
+    if (g.op != Opcode::Gep) return false;
+    if (g.stride != in.type.total_bytes()) return false;
+    const auto c = const_int_value(f, g.ops[1]);
+    if (!c) return false;
+    base = g.ops[0];
+    offset = *c;
+    return true;
+  }
+
+  static const PackedGroup* find_group(const std::vector<PackedGroup>& tree,
+                                       const Quad& lanes) {
+    for (const auto& g : tree) {
+      if (g.lanes == lanes) return &g;
+    }
+    return nullptr;
+  }
+
+  /// The unique user of `v` (kNoValue if it has != 1 uses or the user is
+  /// outside the current block).
+  static ValueId unique_user(const Ctx& c, ValueId v) {
+    if (c.uses[static_cast<std::size_t>(v)] != 1) return kNoValue;
+    for (const auto& [id, p] : c.pos) {
+      const Instr& u = c.f.instr(id);
+      if (u.dead()) continue;
+      for (ValueId op : u.ops) {
+        if (op == v) return id;
+      }
+    }
+    return kNoValue;  // single use lives outside this block
+  }
+
+  /// Recursively pack `vals` down to consecutive-load leaves, appending
+  /// the discovered groups (operands before users) to `tree`.
+  bool pack_down(const Ctx& c, const Quad& vals,
+                 std::vector<PackedGroup>& tree, int depth) {
+    if (depth > 6) return false;
+    if (find_group(tree, vals)) return true;
+    // Lanes must be 4 distinct single-use instructions in this block with
+    // identical opcode/type.
+    for (int k = 0; k < kLanes; ++k) {
+      const ValueId v = vals[static_cast<std::size_t>(k)];
+      if (!in_block(c, v) || c.uses[static_cast<std::size_t>(v)] != 1)
+        return false;
+      for (int j = k + 1; j < kLanes; ++j) {
+        if (v == vals[static_cast<std::size_t>(j)]) return false;
+      }
+    }
+    const Instr& i0 = c.f.instr(vals[0]);
+    for (int k = 1; k < kLanes; ++k) {
+      const Instr& ik = c.f.instr(vals[static_cast<std::size_t>(k)]);
+      if (ik.op != i0.op || !(ik.type == i0.type)) return false;
+    }
+    if (!profitable_elem(i0.type)) return false;
+
+    if (i0.op == Opcode::Load) {
+      ValueId base0;
+      std::int64_t off0;
+      if (!load_addr(c.f, vals[0], base0, off0)) return false;
+      for (int k = 1; k < kLanes; ++k) {
+        ValueId bk;
+        std::int64_t ok2;
+        if (!load_addr(c.f, vals[static_cast<std::size_t>(k)], bk, ok2))
+          return false;
+        if (bk != base0 || ok2 != off0 + k) return false;
+      }
+      tree.push_back(PackedGroup{vals, kNoValue});
+      return true;
+    }
+    if (is_cast(i0.op)) {
+      Quad inner;
+      for (int k = 0; k < kLanes; ++k)
+        inner[static_cast<std::size_t>(k)] =
+            c.f.instr(vals[static_cast<std::size_t>(k)]).ops[0];
+      if (!pack_down(c, inner, tree, depth + 1)) return false;
+      tree.push_back(PackedGroup{vals, kNoValue});
+      return true;
+    }
+    if (is_binop(i0.op)) {
+      for (int oi = 0; oi < 2; ++oi) {
+        Quad opq;
+        bool uniform = true;
+        for (int k = 0; k < kLanes; ++k) {
+          opq[static_cast<std::size_t>(k)] =
+              c.f.instr(vals[static_cast<std::size_t>(k)])
+                  .ops[static_cast<std::size_t>(oi)];
+          if (opq[static_cast<std::size_t>(k)] != opq[0]) uniform = false;
+        }
+        if (uniform) continue;  // splat at codegen
+        if (!pack_down(c, opq, tree, depth + 1)) return false;
+      }
+      tree.push_back(PackedGroup{vals, kNoValue});
+      return true;
+    }
+    return false;
+  }
+
+  bool vectorize_block(Function& f, BlockId b, StatsRegistry& stats) {
+    Ctx c{f, {}, count_uses(f), b};
+    const auto& insts = f.block(b).insts;
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+      if (!f.instr(insts[i]).dead()) c.pos[insts[i]] = static_cast<int>(i);
+    }
+
+    // Seed groups: 4 loads from consecutive constant offsets off a common
+    // base pointer (the base may itself be a gep computed in a loop).
+    struct LoadInfo {
+      ValueId load, base;
+      std::int64_t offset;
+      Type type;
+    };
+    std::vector<LoadInfo> loads;
+    for (ValueId id : insts) {
+      const Instr& in = f.instr(id);
+      if (in.dead()) continue;
+      ValueId base;
+      std::int64_t off;
+      if (load_addr(f, id, base, off) && profitable_elem(in.type))
+        loads.push_back({id, base, off, in.type});
+    }
+    std::sort(loads.begin(), loads.end(), [](const auto& a, const auto& b2) {
+      if (a.base != b2.base) return a.base < b2.base;
+      return a.offset < b2.offset;
+    });
+    for (std::size_t i = 0; i + kLanes <= loads.size(); ++i) {
+      bool consecutive = true;
+      for (int k = 1; k < kLanes; ++k) {
+        const auto& p = loads[i + static_cast<std::size_t>(k) - 1];
+        const auto& n = loads[i + static_cast<std::size_t>(k)];
+        if (n.base != p.base || n.offset != p.offset + 1 ||
+            !(n.type == p.type))
+          consecutive = false;
+      }
+      if (!consecutive) continue;
+      Quad seed;
+      for (int k = 0; k < kLanes; ++k)
+        seed[static_cast<std::size_t>(k)] =
+            loads[i + static_cast<std::size_t>(k)].load;
+      if (try_tree(c, seed, stats)) return true;
+    }
+    return false;
+  }
+
+  bool try_tree(Ctx& c, const Quad& seed, StatsRegistry& stats) {
+    Function& f = c.f;
+    std::vector<PackedGroup> tree;
+    if (!pack_down(c, seed, tree, 0)) return false;
+    Quad frontier = seed;
+
+    // Grow towards users while they stay isomorphic and profitable.
+    while (true) {
+      Quad users;
+      bool ok = true;
+      for (int k = 0; k < kLanes && ok; ++k) {
+        const ValueId u =
+            unique_user(c, frontier[static_cast<std::size_t>(k)]);
+        if (u == kNoValue) ok = false;
+        users[static_cast<std::size_t>(k)] = u;
+      }
+      if (!ok) break;
+      for (int k = 0; k < kLanes && ok; ++k) {
+        for (int j = k + 1; j < kLanes; ++j) {
+          if (users[static_cast<std::size_t>(k)] ==
+              users[static_cast<std::size_t>(j)])
+            ok = false;
+        }
+      }
+      if (!ok) break;
+      const Instr& u0 = f.instr(users[0]);
+      if (!(is_binop(u0.op) || is_cast(u0.op))) break;
+      bool iso = true;
+      for (int k = 1; k < kLanes; ++k) {
+        const Instr& uk = f.instr(users[static_cast<std::size_t>(k)]);
+        if (uk.op != u0.op || !(uk.type == u0.type)) iso = false;
+      }
+      if (!iso || !profitable_elem(u0.type)) break;
+
+      if (is_binop(u0.op)) {
+        // One operand column must be exactly the frontier; the other must
+        // be uniform or packable (e.g. the second load chain of a dot
+        // product).
+        int fcol = -1;
+        for (int oi = 0; oi < 2; ++oi) {
+          bool all = true;
+          for (int k = 0; k < kLanes; ++k) {
+            if (f.instr(users[static_cast<std::size_t>(k)])
+                    .ops[static_cast<std::size_t>(oi)] !=
+                frontier[static_cast<std::size_t>(k)])
+              all = false;
+          }
+          if (all) fcol = oi;
+        }
+        if (fcol < 0) break;
+        const int other = 1 - fcol;
+        Quad opq;
+        bool uniform = true;
+        for (int k = 0; k < kLanes; ++k) {
+          opq[static_cast<std::size_t>(k)] =
+              f.instr(users[static_cast<std::size_t>(k)])
+                  .ops[static_cast<std::size_t>(other)];
+          if (opq[static_cast<std::size_t>(k)] != opq[0]) uniform = false;
+        }
+        if (!uniform && !find_group(tree, opq) &&
+            !pack_down(c, opq, tree, 0))
+          break;
+      }
+      tree.push_back(PackedGroup{users, kNoValue});
+      frontier = users;
+    }
+
+    if (tree.size() < 2) {
+      // A lone vector load is not worth the shuffle overhead; if growth
+      // stopped because the next group's element type was 64-bit integer,
+      // record the profitability rejection (the paper's Fig. 5.1 signal).
+      bool wide_user = false;
+      for (ValueId v : frontier) {
+        const ValueId u = unique_user(c, v);
+        if (u != kNoValue) {
+          const Type t = f.instr(u).type;
+          if (t.is_int() && t.bit_width() >= 64) wide_user = true;
+        }
+      }
+      if (wide_user) stats.add(name(), "NumNotBeneficial", 1);
+      return false;
+    }
+
+    // Reduction root: the frontier lanes feed a linear integer add chain,
+    // either directly or through one scalar sign-extension per lane (the
+    // Fig. 5.1b shape: reduce in i32, widen once, accumulate in i64).
+    Quad chain_in = frontier;
+    std::array<ValueId, kLanes> sexts{};
+    bool via_sext = false;
+    {
+      int sext_count = 0;
+      Quad maybe;
+      for (int k = 0; k < kLanes; ++k) {
+        const ValueId u =
+            unique_user(c, frontier[static_cast<std::size_t>(k)]);
+        if (u != kNoValue && f.instr(u).op == Opcode::SExt) {
+          maybe[static_cast<std::size_t>(k)] = u;
+          ++sext_count;
+        }
+      }
+      if (sext_count == kLanes) {
+        bool same = true;
+        for (int k = 1; k < kLanes; ++k) {
+          if (!(f.instr(maybe[static_cast<std::size_t>(k)]).type ==
+                f.instr(maybe[0]).type))
+            same = false;
+        }
+        if (same) {
+          via_sext = true;
+          sexts = maybe;
+          chain_in = maybe;
+        }
+      }
+    }
+    const auto chain = match_reduction_chain(f, chain_in, c.uses);
+    if (!chain) return false;
+    const Type red_ty = f.instr(chain->result).type;
+    if (!red_ty.is_int()) return false;
+
+    // Region safety: no stores/calls between the tree and the chain, and
+    // the chain's result must not be consumed before its replacement.
+    int lo = INT32_MAX, hi = -1;
+    auto widen = [&](ValueId id) {
+      const auto it = c.pos.find(id);
+      if (it != c.pos.end()) {
+        lo = std::min(lo, it->second);
+        hi = std::max(hi, it->second);
+      }
+    };
+    for (const auto& g : tree) {
+      for (ValueId v : g.lanes) widen(v);
+    }
+    if (via_sext) {
+      for (ValueId s : sexts) widen(s);
+    }
+    for (ValueId a : chain->adds) widen(a);
+    const auto& insts = f.block(c.block).insts;
+    for (int p = lo; p <= hi; ++p) {
+      const Instr& in = f.instr(insts[static_cast<std::size_t>(p)]);
+      if (in.dead()) continue;
+      if (writes_memory(in.op) || in.op == Opcode::Call) return false;
+      const bool in_chain =
+          std::find(chain->adds.begin(), chain->adds.end(),
+                    insts[static_cast<std::size_t>(p)]) != chain->adds.end();
+      if (!in_chain) {
+        for (ValueId op : in.ops) {
+          if (op == chain->result) return false;
+        }
+      }
+    }
+
+    // ---- codegen ----------------------------------------------------------
+    std::vector<ValueId> emitted;
+    int vec_instrs = 0;
+    auto emit = [&](Instr in) {
+      const ValueId id = f.add_instr(std::move(in));
+      emitted.push_back(id);
+      ++vec_instrs;
+      return id;
+    };
+
+    for (auto& g : tree) {
+      const Instr& l0 = f.instr(g.lanes[0]);
+      if (l0.op == Opcode::Load) {
+        Instr vl;
+        vl.op = Opcode::Load;
+        vl.type = l0.type.vector4();
+        vl.ops = {l0.ops[0]};
+        g.vec = emit(std::move(vl));
+        continue;
+      }
+      if (is_cast(l0.op)) {
+        Quad inner;
+        for (int k = 0; k < kLanes; ++k)
+          inner[static_cast<std::size_t>(k)] =
+              f.instr(g.lanes[static_cast<std::size_t>(k)]).ops[0];
+        const PackedGroup* og = find_group(tree, inner);
+        Instr vc;
+        vc.op = l0.op;
+        vc.type = l0.type.vector4();
+        vc.ops = {og->vec};
+        g.vec = emit(std::move(vc));
+        continue;
+      }
+      // Binop.
+      Instr vb;
+      vb.op = l0.op;
+      vb.type = l0.type.vector4();
+      vb.ops.resize(2);
+      for (int oi = 0; oi < 2; ++oi) {
+        Quad opq;
+        bool uniform = true;
+        for (int k = 0; k < kLanes; ++k) {
+          opq[static_cast<std::size_t>(k)] =
+              f.instr(g.lanes[static_cast<std::size_t>(k)])
+                  .ops[static_cast<std::size_t>(oi)];
+          if (opq[static_cast<std::size_t>(k)] != opq[0]) uniform = false;
+        }
+        const PackedGroup* og = find_group(tree, opq);
+        if (og && og->vec != kNoValue) {
+          vb.ops[static_cast<std::size_t>(oi)] = og->vec;
+        } else if (uniform) {
+          Instr sp;
+          sp.op = Opcode::VSplat;
+          sp.type = f.instr(opq[0]).type.vector4();
+          sp.ops = {opq[0]};
+          vb.ops[static_cast<std::size_t>(oi)] = emit(std::move(sp));
+        } else {
+          return false;  // unreachable: growth/pack_down verified shapes
+        }
+      }
+      g.vec = emit(std::move(vb));
+    }
+
+    // reduce -> (optional widen) -> external accumulate.
+    const ValueId top_vec = tree.back().vec;
+    const Type top_sty = f.instr(tree.back().lanes[0]).type;
+    Instr rd;
+    rd.op = Opcode::VReduceAdd;
+    rd.type = top_sty;
+    rd.ops = {top_vec};
+    ValueId red = emit(std::move(rd));
+    if (via_sext) {
+      Instr sx;
+      sx.op = Opcode::SExt;
+      sx.type = red_ty;
+      sx.ops = {red};
+      red = emit(std::move(sx));
+    }
+    ValueId final_val = red;
+    if (chain->external != kNoValue) {
+      Instr ad;
+      ad.op = Opcode::Add;
+      ad.type = red_ty;
+      ad.ops = {chain->external, red};
+      final_val = emit(std::move(ad));
+      --vec_instrs;  // the scalar accumulate is not a vector instruction
+    }
+
+    {
+      auto& bi = f.block(c.block).insts;
+      bi.insert(bi.begin() + static_cast<std::ptrdiff_t>(hi) + 1,
+                emitted.begin(), emitted.end());
+    }
+    f.replace_all_uses(chain->result, final_val);
+    for (ValueId a : chain->adds) f.kill(a);
+    if (via_sext) {
+      for (ValueId s : sexts) f.kill(s);
+    }
+    for (auto it = tree.rbegin(); it != tree.rend(); ++it) {
+      for (ValueId v : it->lanes) f.kill(v);
+    }
+    f.purge_dead_from_blocks();
+
+    stats.add(name(), "NumVectorized", 1);
+    stats.add(name(), "NumVectorInstrs", vec_instrs);
+    return true;
+  }
+
+  struct ChainInfo {
+    std::array<ValueId, kLanes> adds{};
+    ValueId external = kNoValue;
+    ValueId result = kNoValue;
+  };
+
+  /// Match a linear integer add chain  a1 = x + m_i ; a2 = a1 + m_j ; ...
+  /// consuming each of the four lane values exactly once.
+  std::optional<ChainInfo> match_reduction_chain(const Function& f,
+                                                 const Quad& top,
+                                                 const std::vector<int>& uses) {
+    for (ValueId v : top) {
+      if (uses[static_cast<std::size_t>(v)] != 1) return std::nullopt;
+    }
+    std::map<ValueId, ValueId> lane_user;  // lane -> add
+    for (const auto& bb : f.blocks) {
+      for (ValueId id : bb.insts) {
+        const Instr& in = f.instr(id);
+        if (in.dead()) continue;
+        for (ValueId op : in.ops) {
+          for (ValueId v : top) {
+            if (op == v) {
+              if (in.op != Opcode::Add || !in.type.is_int() ||
+                  in.type.is_vector())
+                return std::nullopt;
+              lane_user[v] = id;
+            }
+          }
+        }
+      }
+    }
+    if (lane_user.size() != kLanes) return std::nullopt;
+    std::set<ValueId> add_set;
+    for (auto& [v, a] : lane_user) add_set.insert(a);
+    if (add_set.size() != kLanes) return std::nullopt;  // linear chain only
+
+    ChainInfo ci;
+    std::set<ValueId> lanes(top.begin(), top.end());
+    ValueId head = kNoValue;
+    for (ValueId a : add_set) {
+      const Instr& in = f.instr(a);
+      ValueId non_lane = kNoValue;
+      int lane_ops = 0;
+      for (ValueId op : in.ops) {
+        if (lanes.count(op)) {
+          ++lane_ops;
+        } else {
+          non_lane = op;
+        }
+      }
+      if (lane_ops != 1) return std::nullopt;
+      if (!add_set.count(non_lane)) {
+        if (head != kNoValue) return std::nullopt;
+        head = a;
+        ci.external = non_lane;
+      }
+    }
+    if (head == kNoValue) return std::nullopt;
+    std::size_t n = 0;
+    ValueId cur = head;
+    while (true) {
+      ci.adds[n++] = cur;
+      if (n == kLanes) break;
+      ValueId nxt = kNoValue;
+      for (ValueId a : add_set) {
+        const Instr& in = f.instr(a);
+        for (ValueId op : in.ops) {
+          if (op == cur) nxt = a;
+        }
+      }
+      if (nxt == kNoValue) return std::nullopt;
+      cur = nxt;
+    }
+    ci.result = cur;
+    for (std::size_t k = 0; k + 1 < kLanes; ++k) {
+      if (uses[static_cast<std::size_t>(ci.adds[k])] != 1) return std::nullopt;
+    }
+    return ci;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Loop vectorizer
+// ---------------------------------------------------------------------------
+
+class LoopVectorizePass final : public Pass {
+ public:
+  std::string name() const override { return "loop-vectorize"; }
+  std::vector<std::string> stat_names() const override {
+    return {"LoopsVectorized", "NumNotProfitable", "NumNotLegal"};
+  }
+  bool run(Module& m, StatsRegistry& stats) override {
+    bool changed = false;
+    for (auto& f : m.functions) {
+      bool local = true;
+      while (local) {
+        local = false;
+        const DomTree dt = compute_dominators(f);
+        const auto loops = find_loops(f, dt);
+        for (const auto& loop : loops) {
+          const auto cl = match_counted_loop(f, loop);
+          if (!cl || cl->step != 1 || cl->trip_count % kLanes != 0 ||
+              cl->trip_count < 2 * kLanes)
+            continue;
+          if (vectorize(f, *cl, stats)) {
+            changed = true;
+            local = true;
+            break;
+          }
+        }
+      }
+    }
+    return changed;
+  }
+
+ private:
+  bool vectorize(Function& f, const CountedLoop& cl, StatsRegistry& stats) {
+    // Constants materialised inside the body are operands, not work: move
+    // them to the preheader so classification and splatting stay simple.
+    {
+      auto& body = f.block(cl.body).insts;
+      std::vector<ValueId> consts;
+      for (ValueId id : body) {
+        const Instr& in = f.instr(id);
+        if (!in.dead() &&
+            (in.op == Opcode::ConstInt || in.op == Opcode::ConstFP))
+          consts.push_back(id);
+      }
+      for (ValueId id : consts) {
+        std::erase(body, id);
+        auto& ph = f.block(cl.preheader).insts;
+        ph.insert(ph.end() - 1, id);
+      }
+    }
+    std::vector<bool> in_loop(f.blocks.size(), false);
+    in_loop[static_cast<std::size_t>(cl.header)] = true;
+    in_loop[static_cast<std::size_t>(cl.body)] = true;
+    const auto defs = def_blocks(f);
+    const auto uses = count_uses(f);
+
+    // Classify body instructions.
+    struct StoreRec {
+      ValueId store, base;
+    };
+    std::vector<ValueId> payload;  // in order, excluding iv_next/terminator
+    std::vector<ValueId> load_bases, store_bases;
+    std::map<ValueId, ValueId> red_add;  // reduction phi -> its add
+    for (ValueId id : f.block(cl.body).insts) {
+      const Instr& in = f.instr(id);
+      if (in.dead() || id == cl.iv_next || is_terminator(in.op)) continue;
+      payload.push_back(id);
+      if (in.op == Opcode::Load) {
+        const Instr& g = f.instr(in.ops[0]);
+        if (g.op != Opcode::Gep || g.ops[1] != cl.iv_phi ||
+            g.stride != in.type.total_bytes() || in.type.is_vector() ||
+            !defined_outside(f, g.ops[0], in_loop, defs)) {
+          stats.add(name(), "NumNotLegal", 1);
+          return false;
+        }
+        load_bases.push_back(g.ops[0]);
+      } else if (in.op == Opcode::Store) {
+        const Instr& g = f.instr(in.ops[1]);
+        const Type vt = f.instr(in.ops[0]).type;
+        if (g.op != Opcode::Gep || g.ops[1] != cl.iv_phi ||
+            g.stride != vt.total_bytes() || vt.is_vector() ||
+            !defined_outside(f, g.ops[0], in_loop, defs)) {
+          stats.add(name(), "NumNotLegal", 1);
+          return false;
+        }
+        store_bases.push_back(g.ops[0]);
+      } else if (in.op == Opcode::Gep) {
+        if (in.ops[1] != cl.iv_phi) {
+          stats.add(name(), "NumNotLegal", 1);
+          return false;
+        }
+      } else if (is_binop(in.op) || is_cast(in.op)) {
+        if (in.type.is_vector()) return false;
+        // The raw induction value must not flow into arithmetic (we have
+        // no step-vector constant to widen it with).
+        for (ValueId op : in.ops) {
+          if (op == cl.iv_phi) {
+            stats.add(name(), "NumNotLegal", 1);
+            return false;
+          }
+        }
+      } else {
+        stats.add(name(), "NumNotLegal", 1);
+        return false;
+      }
+    }
+    if (payload.empty()) return false;
+
+    // Alias legality: every (load base, store base) pair must be provably
+    // distinct objects.
+    auto distinct_objects = [&](ValueId a, ValueId b) {
+      const Instr& x = f.instr(a);
+      const Instr& y = f.instr(b);
+      if (x.op == Opcode::GlobalAddr && y.op == Opcode::GlobalAddr)
+        return x.global_index != y.global_index;
+      if (x.op == Opcode::Alloca && y.op == Opcode::Alloca) return a != b;
+      if ((x.op == Opcode::Alloca) != (y.op == Opcode::Alloca)) return true;
+      return false;
+    };
+    for (ValueId lb : load_bases) {
+      for (ValueId sb : store_bases) {
+        if (!distinct_objects(lb, sb)) {
+          stats.add(name(), "NumNotLegal", 1);
+          return false;
+        }
+      }
+    }
+
+    // Reductions: integer adds only (fp reassociation would change the
+    // program's observable output).
+    for (ValueId rp : cl.reduction_phis) {
+      const Instr& p = f.instr(rp);
+      ValueId latch_v = kNoValue;
+      for (std::size_t k = 0; k < 2; ++k) {
+        if (p.phi_blocks[k] == cl.body) latch_v = p.ops[k];
+      }
+      const Instr& a = f.instr(latch_v);
+      if (a.op != Opcode::Add || !a.type.is_int() || a.type.is_vector() ||
+          (a.ops[0] != rp && a.ops[1] != rp)) {
+        stats.add(name(), "NumNotLegal", 1);
+        return false;
+      }
+      // The phi may only be used by its own add inside the loop.
+      for (ValueId id : f.block(cl.body).insts) {
+        const Instr& u = f.instr(id);
+        if (u.dead() || id == latch_v) continue;
+        for (ValueId op : u.ops) {
+          if (op == rp) {
+            stats.add(name(), "NumNotLegal", 1);
+            return false;
+          }
+        }
+      }
+      red_add[rp] = latch_v;
+    }
+
+    // Profitability (the paper's rule): no 64-bit integer vector lanes.
+    for (ValueId id : payload) {
+      const Instr& in = f.instr(id);
+      if (in.op == Opcode::Gep) continue;
+      const Type t =
+          in.op == Opcode::Store ? f.instr(in.ops[0]).type : in.type;
+      if (!profitable_elem(t)) {
+        stats.add(name(), "NumNotProfitable", 1);
+        return false;
+      }
+    }
+    (void)uses;
+
+    // ---- transform --------------------------------------------------------
+    // 1. Reduction phis become vector phis with a zero-splat init; the
+    //    scalar init is re-added after the final reduce in the exit block.
+    std::map<ValueId, std::pair<ValueId, ValueId>> red_fixups;  // phi->(init, reduce placeholder)
+    for (auto& [rp, addv] : red_add) {
+      Instr& p = f.instr(rp);
+      const Type sty = p.type;
+      ValueId init_v = kNoValue;
+      for (std::size_t k = 0; k < 2; ++k) {
+        if (p.phi_blocks[k] == cl.preheader) init_v = p.ops[k];
+      }
+      // zero + splat in the preheader.
+      Instr zc;
+      zc.op = Opcode::ConstInt;
+      zc.type = sty;
+      zc.imm = 0;
+      const ValueId zid = f.add_instr(std::move(zc));
+      Instr sp;
+      sp.op = Opcode::VSplat;
+      sp.type = sty.vector4();
+      sp.ops = {zid};
+      const ValueId spid = f.add_instr(std::move(sp));
+      auto& ph = f.block(cl.preheader).insts;
+      ph.insert(ph.end() - 1, {zid, spid});
+      Instr& p2 = f.instr(rp);
+      p2.type = sty.vector4();
+      for (std::size_t k = 0; k < 2; ++k) {
+        if (p2.phi_blocks[k] == cl.preheader) p2.ops[k] = spid;
+      }
+      red_fixups[rp] = {init_v, kNoValue};
+    }
+
+    // 2. Rewrite payload to vector form in place.
+    std::map<ValueId, ValueId> vec_of;  // scalar body value -> vector value
+    for (auto& [rp, addv] : red_add) vec_of[rp] = rp;  // phi is vector now
+    std::vector<ValueId> new_body;
+    auto splat_in_preheader = [&](ValueId scalar) {
+      Instr sp;
+      sp.op = Opcode::VSplat;
+      sp.type = f.instr(scalar).type.vector4();
+      sp.ops = {scalar};
+      const ValueId spid = f.add_instr(std::move(sp));
+      auto& ph = f.block(cl.preheader).insts;
+      ph.insert(ph.end() - 1, spid);
+      return spid;
+    };
+    auto map_operand = [&](ValueId op) {
+      const auto it = vec_of.find(op);
+      if (it != vec_of.end()) return it->second;
+      // Loop-invariant scalar: splat once.
+      const ValueId spid = splat_in_preheader(op);
+      vec_of[op] = spid;
+      return spid;
+    };
+
+    for (ValueId id : payload) {
+      const Instr in = f.instr(id);  // copy: we will kill originals
+      if (in.op == Opcode::Gep) {
+        new_body.push_back(id);  // geps stay scalar (address computation)
+        continue;
+      }
+      if (in.op == Opcode::Load) {
+        Instr vl;
+        vl.op = Opcode::Load;
+        vl.type = in.type.vector4();
+        vl.ops = {in.ops[0]};
+        const ValueId vid = f.add_instr(std::move(vl));
+        vec_of[id] = vid;
+        new_body.push_back(vid);
+        continue;
+      }
+      if (in.op == Opcode::Store) {
+        Instr vs;
+        vs.op = Opcode::Store;
+        vs.ops = {map_operand(in.ops[0]), in.ops[1]};
+        const ValueId vid = f.add_instr(std::move(vs));
+        new_body.push_back(vid);
+        continue;
+      }
+      // binop / cast
+      Instr vb;
+      vb.op = in.op;
+      vb.type = in.type.vector4();
+      for (ValueId op : in.ops) vb.ops.push_back(map_operand(op));
+      const ValueId vid = f.add_instr(std::move(vb));
+      vec_of[id] = vid;
+      new_body.push_back(vid);
+    }
+
+    // 3. iv_next steps by 4; rebuild the body instruction list.
+    {
+      Instr sc;
+      sc.op = Opcode::ConstInt;
+      sc.type = f.instr(cl.iv_phi).type;
+      sc.imm = kLanes * cl.step;
+      const ValueId scid = f.add_instr(std::move(sc));
+      new_body.push_back(scid);
+      Instr& nx = f.instr(cl.iv_next);
+      nx.ops[1] = scid;
+      new_body.push_back(cl.iv_next);
+      const ValueId bterm = f.terminator(cl.body);
+      new_body.push_back(bterm);
+      // Kill replaced scalars (not geps / iv_next / terminator).
+      for (ValueId id : payload) {
+        const Instr& in = f.instr(id);
+        if (in.op == Opcode::Gep) continue;
+        f.kill(id);
+      }
+      f.block(cl.body).insts = std::move(new_body);
+    }
+
+    // 4. Reduction phi latch values + exit fixup.
+    for (auto& [rp, addv] : red_add) {
+      Instr& p = f.instr(rp);
+      for (std::size_t k = 0; k < 2; ++k) {
+        if (p.phi_blocks[k] == cl.body) p.ops[k] = vec_of[addv];
+      }
+      // exit: total = init + vreduce.add(phi)
+      const Type sty = f.instr(rp).type.element();
+      Instr rd;
+      rd.op = Opcode::VReduceAdd;
+      rd.type = sty;
+      rd.ops = {rp};
+      const ValueId rid = f.add_instr(std::move(rd));
+      Instr ad;
+      ad.op = Opcode::Add;
+      ad.type = sty;
+      ad.ops = {red_fixups[rp].first, rid};
+      const ValueId tid = f.add_instr(std::move(ad));
+      // Replace outside uses of the scalar phi value with the total.
+      for (BlockId b = 0; b < static_cast<BlockId>(f.blocks.size()); ++b) {
+        if (b == cl.header || b == cl.body) continue;
+        for (ValueId uid : f.block(b).insts) {
+          Instr& u = f.instr(uid);
+          if (u.dead()) continue;
+          for (auto& op : u.ops) {
+            if (op == rp) op = tid;
+          }
+        }
+      }
+      auto& ex = f.block(cl.exit).insts;
+      std::size_t at = 0;
+      while (at < ex.size() && f.instr(ex[at]).op == Opcode::Phi) ++at;
+      ex.insert(ex.begin() + static_cast<std::ptrdiff_t>(at), {rid, tid});
+    }
+
+    f.purge_dead_from_blocks();
+    stats.add(name(), "LoopsVectorized", 1);
+    return true;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_slp_vectorizer() {
+  return std::make_unique<SlpPass>();
+}
+std::unique_ptr<Pass> make_loop_vectorize() {
+  return std::make_unique<LoopVectorizePass>();
+}
+
+}  // namespace citroen::passes

@@ -1,0 +1,231 @@
+#include "sim/evaluator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "support/timer.hpp"
+
+namespace citroen::sim {
+
+std::uint64_t program_hash(const ir::Program& p) {
+  // The printer output is a deterministic structural encoding; hashing it
+  // detects identical binaries across different pass sequences.
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  auto mix = [&h](const std::string& s) {
+    for (const char c : s) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const auto& m : p.modules) mix(ir::print_module(m));
+  return h;
+}
+
+ProgramEvaluator::ProgramEvaluator(ir::Program base, ir::CostModel machine)
+    : base_(std::move(base)), machine_(machine) {
+  const auto errs = [&] {
+    std::vector<std::string> all;
+    for (const auto& m : base_.modules) {
+      auto e = ir::verify_module(m);
+      all.insert(all.end(), e.begin(), e.end());
+    }
+    return all;
+  }();
+  if (!errs.empty())
+    throw std::runtime_error("base program invalid: " + errs.front());
+
+  const auto o0 = ir::interpret(base_, machine_);
+  if (!o0.ok)
+    throw std::runtime_error("base program traps: " + o0.trap);
+  o0_cycles_ = o0.cycles;
+  reference_output_ = o0.ret;
+
+  std::string err;
+  o3_built_ = build({}, nullptr, &err);
+  if (!err.empty()) throw std::runtime_error("-O3 build failed: " + err);
+  const auto o3 = ir::interpret(o3_built_, machine_);
+  if (!o3.ok || o3.ret != reference_output_)
+    throw std::runtime_error("-O3 build miscompiled " + base_.name + ": " +
+                             (o3.ok ? "output mismatch" : o3.trap));
+  o3_cycles_ = o3.cycles;
+  o3_module_cycles_ = o3.module_cycles;
+}
+
+void ProgramEvaluator::apply_workload(ir::Program& built, const Workload& w) {
+  for (std::size_t mi = 0; mi < built.modules.size(); ++mi) {
+    auto& globals = built.modules[mi].globals;
+    for (std::size_t gi = 0; gi < globals.size(); ++gi)
+      globals[gi].init = w.images[mi][gi];
+  }
+}
+
+void ProgramEvaluator::add_workload(const ir::Program& variant) {
+  if (variant.modules.size() != base_.modules.size())
+    throw std::runtime_error("workload structure mismatch");
+  Workload w;
+  for (std::size_t mi = 0; mi < variant.modules.size(); ++mi) {
+    const auto& m = variant.modules[mi];
+    if (m.globals.size() != base_.modules[mi].globals.size())
+      throw std::runtime_error("workload global-count mismatch in " + m.name);
+    std::vector<std::vector<std::uint8_t>> images;
+    for (const auto& g : m.globals) images.push_back(g.init);
+    w.images.push_back(std::move(images));
+  }
+  const auto ref = ir::interpret(variant, machine_);
+  if (!ref.ok)
+    throw std::runtime_error("workload variant traps: " + ref.trap);
+  w.reference = ref.ret;
+  workloads_.push_back(std::move(w));
+
+  // Timings and validity now mean something different: flush the cache
+  // and recompute the multi-workload -O3 baseline.
+  cache_.clear();
+  ir::Program o3 = o3_built_;
+  double total = ir::interpret(o3, machine_).cycles;
+  for (const auto& wk : workloads_) {
+    apply_workload(o3, wk);
+    const auto r = ir::interpret(o3, machine_);
+    if (!r.ok || r.ret != wk.reference)
+      throw std::runtime_error("-O3 fails on added workload");
+    total += r.cycles;
+  }
+  o3_cycles_ = total / static_cast<double>(num_workloads());
+}
+
+std::vector<std::pair<std::string, double>> ProgramEvaluator::hot_modules()
+    const {
+  double total = 0.0;
+  for (const auto& [name, c] : o3_module_cycles_) total += c;
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& [name, c] : o3_module_cycles_)
+    out.emplace_back(name, total > 0.0 ? c / total : 0.0);
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+ir::Program ProgramEvaluator::build(
+    const SequenceAssignment& seqs, passes::StatsRegistry* stats_out,
+    std::string* err,
+    std::map<std::string, passes::StatsRegistry>* module_stats_out) const {
+  const Stopwatch sw;
+  ir::Program built = base_;
+  for (auto& m : built.modules) {
+    const auto it = seqs.find(m.name);
+    // Reuse the prebuilt -O3 module when this module is not being tuned
+    // (constructor pass: o3_built_ is empty, so compile everything).
+    if (it == seqs.end() && !o3_built_.modules.empty()) {
+      const ir::Module* pre = o3_built_.find_module(m.name);
+      if (pre) {
+        m = *pre;
+        continue;
+      }
+    }
+    const auto& seq =
+        it == seqs.end() ? passes::o3_sequence() : it->second;
+    try {
+      passes::StatsRegistry s = passes::run_sequence(m, seq);
+      if (stats_out && it != seqs.end()) stats_out->merge(s);
+      if (module_stats_out && it != seqs.end())
+        (*module_stats_out)[m.name] = std::move(s);
+    } catch (const std::exception& e) {
+      if (err) *err = std::string("pass pipeline failed: ") + e.what();
+      return built;
+    }
+    const auto verrs = ir::verify_module(m);
+    if (!verrs.empty()) {
+      if (err) *err = "verifier: " + verrs.front();
+      return built;
+    }
+  }
+  ++num_compiles_;
+  compile_seconds_ += sw.seconds();
+  return built;
+}
+
+CompileOutcome ProgramEvaluator::compile(const SequenceAssignment& seqs,
+                                         bool keep_program) const {
+  CompileOutcome out;
+  std::string err;
+  ir::Program built = build(seqs, &out.stats, &err, &out.module_stats);
+  if (!err.empty()) {
+    out.why_invalid = err;
+    return out;
+  }
+  out.valid = true;
+  out.binary_hash = program_hash(built);
+  for (const auto& m : built.modules) out.code_size += m.code_size();
+  if (keep_program)
+    out.program = std::make_shared<const ir::Program>(std::move(built));
+  return out;
+}
+
+EvalOutcome ProgramEvaluator::evaluate(const SequenceAssignment& seqs) {
+  EvalOutcome out;
+  std::string err;
+  const ir::Program built = build(seqs, &out.stats, &err);
+  if (!err.empty()) {
+    out.why_invalid = err;
+    return out;
+  }
+  for (const auto& m : built.modules) out.code_size += m.code_size();
+
+  const std::uint64_t h = program_hash(built);
+  const auto hit = cache_.find(h);
+  if (hit != cache_.end()) {
+    const auto stats = out.stats;          // stats depend on the sequence,
+    const auto size = out.code_size;       // not on the cached binary
+    out = hit->second;
+    out.stats = stats;
+    out.code_size = size;
+    out.cache_hit = true;
+    ++num_cache_hits_;
+    return out;
+  }
+
+  const Stopwatch sw;
+  const auto run = ir::interpret(built, machine_);
+  ++num_measurements_;
+  if (!run.ok) {
+    out.why_invalid = "runtime trap: " + run.trap;
+  } else if (run.ret != reference_output_) {
+    // Differential testing: the optimised program must produce the same
+    // output as the -O0 reference on the same workload.
+    out.why_invalid = "differential test failed (output mismatch)";
+  } else {
+    out.valid = true;
+    out.cycles = run.cycles;
+    // Additional workloads: the build must match every reference; the
+    // reported runtime is the mean over inputs.
+    for (const auto& w : workloads_) {
+      ir::Program variant = built;
+      apply_workload(variant, w);
+      const auto r = ir::interpret(variant, machine_);
+      if (!r.ok) {
+        out.valid = false;
+        out.why_invalid = "runtime trap on extra workload: " + r.trap;
+        break;
+      }
+      if (r.ret != w.reference) {
+        out.valid = false;
+        out.why_invalid =
+            "differential test failed on extra workload";
+        break;
+      }
+      out.cycles += r.cycles;
+    }
+    if (out.valid) {
+      out.cycles /= static_cast<double>(num_workloads());
+      out.speedup = o3_cycles_ / out.cycles;
+    } else {
+      out.cycles = 0.0;
+    }
+  }
+  measure_seconds_ += sw.seconds();
+  cache_[h] = out;
+  return out;
+}
+
+}  // namespace citroen::sim

@@ -1,0 +1,136 @@
+#pragma once
+// The compile-and-measure service every autotuner in this repo talks to.
+//
+// It mirrors the paper's experimental setup:
+//   - per-module pass sequences (untuned modules get the reference -O3),
+//   - differential testing of every optimised build against the -O0
+//     reference output (Sec. 1.1 / 5.4),
+//   - an identical-binary cache so sequences that produce the same
+//     optimised program are not re-measured (Kulkarni et al.),
+//   - separate accounting of compile time vs. measurement time for the
+//     Fig. 5.12 runtime-breakdown experiment.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/interpreter.hpp"
+#include "ir/module.hpp"
+#include "passes/pass.hpp"
+
+namespace citroen::sim {
+
+/// Map module name -> pass sequence. Modules absent from the map are
+/// compiled with the reference -O3 pipeline.
+using SequenceAssignment = std::map<std::string, std::vector<std::string>>;
+
+struct EvalOutcome {
+  bool valid = false;       ///< compiled, verified, and output-matched
+  std::string why_invalid;  ///< verifier/difftest/trap reason when !valid
+  double cycles = 0.0;      ///< modelled runtime of the optimised build
+  double speedup = 0.0;     ///< o3_cycles / cycles (0 when invalid)
+  bool cache_hit = false;   ///< identical binary already measured
+  passes::StatsRegistry stats;  ///< compilation statistics of tuned modules
+  std::size_t code_size = 0;    ///< total live instructions after opt
+};
+
+/// Compile-only result: the statistics CITROEN's cost model consumes
+/// without paying for a runtime measurement.
+struct CompileOutcome {
+  bool valid = false;
+  std::string why_invalid;
+  passes::StatsRegistry stats;  ///< merged over tuned modules
+  /// Per-tuned-module statistics (the paper concatenates these when a
+  /// program has several tuned modules).
+  std::map<std::string, passes::StatsRegistry> module_stats;
+  std::size_t code_size = 0;
+  std::uint64_t binary_hash = 0;  ///< structural hash of the built program
+  /// The optimised program, when requested (feature-extraction baselines
+  /// need the IR itself).
+  std::shared_ptr<const ir::Program> program;
+};
+
+class ProgramEvaluator {
+ public:
+  /// `base` must be the unoptimised (-O0 style) program.
+  ProgramEvaluator(ir::Program base, ir::CostModel machine);
+
+  const ir::Program& base_program() const { return base_; }
+  const std::string& program_name() const { return base_.name; }
+
+  /// Modelled cycles of the -O3 build (the paper's baseline).
+  double o3_cycles() const { return o3_cycles_; }
+  /// Modelled cycles of the unoptimised build.
+  double o0_cycles() const { return o0_cycles_; }
+  /// Reference output for differential testing.
+  std::int64_t reference_output() const { return reference_output_; }
+
+  /// Fraction of -O3 runtime attributed to each module, descending.
+  /// This is the `perf`-based hot-module profile of Sec. 5.3.1.
+  std::vector<std::pair<std::string, double>> hot_modules() const;
+
+  /// Register an additional workload: a program built by the same
+  /// generator with a different data seed (identical module/function
+  /// structure, different global images). Differential testing and
+  /// timing then run over ALL workloads: a build is valid only if it
+  /// matches the reference output on every input, and `cycles` becomes
+  /// the mean — the multi-input methodology the thesis's Sec. 6.2.2
+  /// critique calls for. Invalidates the measurement cache.
+  void add_workload(const ir::Program& variant);
+
+  std::size_t num_workloads() const { return workloads_.size() + 1; }
+
+  /// Compile with per-module sequences; no execution. With `keep_program`
+  /// the optimised IR is returned for feature extraction.
+  CompileOutcome compile(const SequenceAssignment& seqs,
+                         bool keep_program = false) const;
+
+  /// Full evaluation: compile, verify, differential-test, measure.
+  EvalOutcome evaluate(const SequenceAssignment& seqs);
+
+  // ---- accounting (Fig. 5.12 / Table 4.2) -------------------------------
+  double total_compile_seconds() const { return compile_seconds_; }
+  double total_measure_seconds() const { return measure_seconds_; }
+  int num_compiles() const { return num_compiles_; }
+  int num_measurements() const { return num_measurements_; }
+  int num_cache_hits() const { return num_cache_hits_; }
+
+ private:
+  ir::Program build(const SequenceAssignment& seqs,
+                    passes::StatsRegistry* stats_out, std::string* err,
+                    std::map<std::string, passes::StatsRegistry>*
+                        module_stats_out = nullptr) const;
+
+  struct Workload {
+    /// Global data images per module: [module][global] -> bytes.
+    std::vector<std::vector<std::vector<std::uint8_t>>> images;
+    std::int64_t reference = 0;  ///< -O0 output on this input
+  };
+
+  /// Swap the workload's global images into a built program.
+  static void apply_workload(ir::Program& built, const Workload& w);
+
+  ir::Program base_;
+  ir::Program o3_built_;
+  ir::CostModel machine_;
+  std::vector<Workload> workloads_;  ///< extra inputs beyond the base
+  double o3_cycles_ = 0.0;
+  double o0_cycles_ = 0.0;
+  std::int64_t reference_output_ = 0;
+  std::unordered_map<std::string, double> o3_module_cycles_;
+
+  std::unordered_map<std::uint64_t, EvalOutcome> cache_;
+  mutable double compile_seconds_ = 0.0;
+  double measure_seconds_ = 0.0;
+  mutable int num_compiles_ = 0;
+  int num_measurements_ = 0;
+  int num_cache_hits_ = 0;
+};
+
+/// Structural hash of a program (identical-binary detection).
+std::uint64_t program_hash(const ir::Program& p);
+
+}  // namespace citroen::sim

@@ -1,0 +1,55 @@
+#include "sim/machine.hpp"
+
+#include <stdexcept>
+
+namespace citroen::sim {
+
+ir::CostModel arm_a57_model() {
+  ir::CostModel cm;
+  cm.alu = 1.0;
+  cm.imul = 4.0;
+  cm.idiv = 20.0;
+  cm.falu = 3.0;
+  cm.fmul = 4.0;
+  cm.fdiv = 18.0;
+  cm.load = 5.0;
+  cm.store = 2.0;
+  cm.vector_factor = 1.4;   // NEON amortises well
+  cm.branch = 1.0;
+  cm.mispredict = 9.0;
+  cm.call_overhead = 12.0;
+  cm.num_registers = 14;
+  cm.spill_per_instr = 0.25;
+  cm.icache_instrs = 256;
+  cm.icache_per_call = 30.0;
+  return cm;
+}
+
+ir::CostModel amd_zen_model() {
+  ir::CostModel cm;
+  cm.alu = 1.0;
+  cm.imul = 3.0;
+  cm.idiv = 15.0;
+  cm.falu = 2.0;
+  cm.fmul = 3.0;
+  cm.fdiv = 13.0;
+  cm.load = 3.5;
+  cm.store = 1.5;
+  cm.vector_factor = 1.8;   // wider scalar core narrows the vector win
+  cm.branch = 1.0;
+  cm.mispredict = 16.0;
+  cm.call_overhead = 9.0;
+  cm.num_registers = 16;
+  cm.spill_per_instr = 0.2;
+  cm.icache_instrs = 384;
+  cm.icache_per_call = 20.0;
+  return cm;
+}
+
+ir::CostModel machine_by_name(const std::string& name) {
+  if (name == "arm") return arm_a57_model();
+  if (name == "x86") return amd_zen_model();
+  throw std::runtime_error("unknown machine preset: " + name);
+}
+
+}  // namespace citroen::sim

@@ -1,0 +1,22 @@
+#pragma once
+// Named machine-model presets standing in for the paper's two evaluation
+// platforms (an ARM Cortex-A57 Jetson TX2 and an AMD x86 server).
+
+#include <string>
+
+#include "ir/interpreter.hpp"
+
+namespace citroen::sim {
+
+/// In-order-ish embedded core: branch misses cheap-ish, loads slow,
+/// narrow register file — favours unrolling less, vectorisation more.
+ir::CostModel arm_a57_model();
+
+/// Wide out-of-order server core: expensive mispredicts, cheap loads,
+/// bigger register file — favours branch removal and inlining.
+ir::CostModel amd_zen_model();
+
+/// Resolve a preset by name ("arm" | "x86"); throws on unknown names.
+ir::CostModel machine_by_name(const std::string& name);
+
+}  // namespace citroen::sim

@@ -1,0 +1,185 @@
+#include "support/matrix.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace citroen {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  // i-k-j loop order keeps the inner loop contiguous for row-major storage.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double* ci = c.row_ptr(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const double* bk = b.row_ptr(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) ci[j] += aik * bk[j];
+    }
+  }
+  return c;
+}
+
+Vec matvec(const Matrix& a, const Vec& x) {
+  assert(a.cols() == x.size());
+  Vec y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* ai = a.row_ptr(i);
+    double acc = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) acc += ai[j] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+Vec matvec_transposed(const Matrix& a, const Vec& x) {
+  assert(a.rows() == x.size());
+  Vec y(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* ai = a.row_ptr(i);
+    const double xi = x[i];
+    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += ai[j] * xi;
+  }
+  return y;
+}
+
+Vec Cholesky::solve_lower(const Vec& b) const {
+  const std::size_t n = L.rows();
+  Vec x(b);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* li = L.row_ptr(i);
+    double acc = x[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= li[j] * x[j];
+    x[i] = acc / li[i];
+  }
+  return x;
+}
+
+Vec Cholesky::solve_upper(const Vec& b) const {
+  const std::size_t n = L.rows();
+  Vec x(b);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= L(j, ii) * x[j];
+    x[ii] = acc / L(ii, ii);
+  }
+  return x;
+}
+
+Vec Cholesky::solve(const Vec& b) const { return solve_upper(solve_lower(b)); }
+
+double Cholesky::log_det() const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < L.rows(); ++i) acc += std::log(L(i, i));
+  return 2.0 * acc;
+}
+
+namespace {
+
+bool try_cholesky(const Matrix& a, double jitter, Matrix& out) {
+  const std::size_t n = a.rows();
+  out = Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j) + (i == j ? jitter : 0.0);
+      const double* li = out.row_ptr(i);
+      const double* lj = out.row_ptr(j);
+      for (std::size_t k = 0; k < j; ++k) sum -= li[k] * lj[k];
+      if (i == j) {
+        if (sum <= 0.0 || !std::isfinite(sum)) return false;
+        out(i, j) = std::sqrt(sum);
+      } else {
+        out(i, j) = sum / out(j, j);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Cholesky cholesky(const Matrix& a, double initial_jitter, double max_jitter) {
+  assert(a.rows() == a.cols());
+  Cholesky result;
+  // First try without jitter, then escalate: GP kernel matrices are often
+  // numerically rank-deficient when inputs nearly coincide.
+  if (try_cholesky(a, 0.0, result.L)) {
+    result.ok = true;
+    return result;
+  }
+  for (double j = initial_jitter; j <= max_jitter; j *= 10.0) {
+    if (try_cholesky(a, j, result.L)) {
+      result.jitter = j;
+      result.ok = true;
+      return result;
+    }
+  }
+  result.ok = false;
+  return result;
+}
+
+EigenSym eigh_jacobi(const Matrix& a, int max_sweeps) {
+  const std::size_t n = a.rows();
+  EigenSym e;
+  Matrix m = a;
+  e.vectors = Matrix::identity(n);
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) off += m(p, q) * m(p, q);
+    }
+    if (off < 1e-20) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = m(p, q);
+        if (std::abs(apq) < 1e-15) continue;
+        const double theta = (m(q, q) - m(p, p)) / (2.0 * apq);
+        const double t = std::copysign(
+            1.0 / (std::abs(theta) + std::sqrt(theta * theta + 1.0)), theta);
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double mip = m(i, p), miq = m(i, q);
+          m(i, p) = c * mip - s * miq;
+          m(i, q) = s * mip + c * miq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double mpi = m(p, i), mqi = m(q, i);
+          m(p, i) = c * mpi - s * mqi;
+          m(q, i) = s * mpi + c * mqi;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vip = e.vectors(i, p), viq = e.vectors(i, q);
+          e.vectors(i, p) = c * vip - s * viq;
+          e.vectors(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+  e.values.resize(n);
+  for (std::size_t i = 0; i < n; ++i) e.values[i] = m(i, i);
+  return e;
+}
+
+double dot(const Vec& a, const Vec& b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double norm2(const Vec& a) { return std::sqrt(dot(a, a)); }
+
+void axpy(Vec& a, double s, const Vec& b) {
+  assert(a.size() == b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += s * b[i];
+}
+
+}  // namespace citroen

@@ -1,0 +1,92 @@
+#pragma once
+// Minimal dense linear algebra used by the Gaussian-process surrogate:
+// row-major matrices, Cholesky factorisation with adaptive jitter, and
+// triangular solves. Sized for exact GP inference with up to a few
+// thousand observations, which is the regime of BO-based autotuning.
+
+#include <cstddef>
+#include <vector>
+
+namespace citroen {
+
+using Vec = std::vector<double>;
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  double* row_ptr(std::size_t r) { return data_.data() + r * cols_; }
+  const double* row_ptr(std::size_t r) const { return data_.data() + r * cols_; }
+
+  Vec& data() { return data_; }
+  const Vec& data() const { return data_; }
+
+  static Matrix identity(std::size_t n);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  Vec data_;
+};
+
+/// C = A * B.
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// y = A * x.
+Vec matvec(const Matrix& a, const Vec& x);
+
+/// y = A^T * x.
+Vec matvec_transposed(const Matrix& a, const Vec& x);
+
+/// Result of a Cholesky factorisation A = L L^T (L lower-triangular).
+struct Cholesky {
+  Matrix L;            ///< lower-triangular factor
+  double jitter = 0.0; ///< diagonal jitter that was required for SPD-ness
+  bool ok = false;     ///< false if factorisation failed even with max jitter
+
+  /// Solve A x = b via forward/back substitution.
+  Vec solve(const Vec& b) const;
+
+  /// Solve L x = b (forward substitution).
+  Vec solve_lower(const Vec& b) const;
+
+  /// Solve L^T x = b (back substitution).
+  Vec solve_upper(const Vec& b) const;
+
+  /// log(det A) = 2 * sum(log diag L).
+  double log_det() const;
+};
+
+/// Factor a symmetric matrix, adding growing diagonal jitter (starting at
+/// `initial_jitter`, multiplied by 10 up to `max_jitter`) until the
+/// factorisation succeeds. The input is not modified.
+Cholesky cholesky(const Matrix& a, double initial_jitter = 1e-10,
+                  double max_jitter = 1e-2);
+
+/// Eigendecomposition of a symmetric matrix via cyclic Jacobi rotations:
+/// A = V diag(w) V^T. Used by CMA-ES for C^{1/2} and C^{-1/2}.
+struct EigenSym {
+  Vec values;   ///< ascending is not guaranteed; paired with columns of V
+  Matrix vectors;  ///< eigenvectors as columns
+};
+EigenSym eigh_jacobi(const Matrix& a, int max_sweeps = 32);
+
+/// Dot product.
+double dot(const Vec& a, const Vec& b);
+
+/// Euclidean norm.
+double norm2(const Vec& a);
+
+/// a += s * b.
+void axpy(Vec& a, double s, const Vec& b);
+
+}  // namespace citroen

@@ -1,0 +1,62 @@
+#include "support/statistics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace citroen {
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc / static_cast<double>(v.size());
+}
+
+double variance(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  const double m = mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(v.size());
+}
+
+double stddev(const std::vector<double>& v) { return std::sqrt(variance(v)); }
+
+double median(std::vector<double> v) { return quantile(std::move(v), 0.5); }
+
+double quantile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double geomean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : v) {
+    assert(x > 0.0);
+    acc += std::log(x);
+  }
+  return std::exp(acc / static_cast<double>(v.size()));
+}
+
+double pearson(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  if (a.size() < 2) return 0.0;
+  const double ma = mean(a), mb = mean(b);
+  double sab = 0.0, saa = 0.0, sbb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sab += (a[i] - ma) * (b[i] - mb);
+    saa += (a[i] - ma) * (a[i] - ma);
+    sbb += (b[i] - mb) * (b[i] - mb);
+  }
+  if (saa <= 0.0 || sbb <= 0.0) return 0.0;
+  return sab / std::sqrt(saa * sbb);
+}
+
+}  // namespace citroen

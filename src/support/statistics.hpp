@@ -1,0 +1,16 @@
+#pragma once
+// Descriptive statistics used when aggregating experiment runs.
+
+#include <vector>
+
+namespace citroen {
+
+double mean(const std::vector<double>& v);
+double variance(const std::vector<double>& v);  ///< population variance
+double stddev(const std::vector<double>& v);
+double median(std::vector<double> v);           ///< by value; sorts a copy
+double quantile(std::vector<double> v, double q);
+double geomean(const std::vector<double>& v);   ///< requires positive entries
+double pearson(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace citroen

@@ -1,0 +1,24 @@
+#pragma once
+// Wall-clock stopwatch for the algorithmic-runtime experiments
+// (Table 4.2, Figure 5.12).
+
+#include <chrono>
+
+namespace citroen {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace citroen

@@ -1,0 +1,140 @@
+#include "support/transforms.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace citroen {
+
+double YeoJohnson::raw(double y, double lambda) {
+  if (y >= 0.0) {
+    if (std::abs(lambda) < 1e-12) return std::log1p(y);
+    return (std::pow(y + 1.0, lambda) - 1.0) / lambda;
+  }
+  const double l2 = 2.0 - lambda;
+  if (std::abs(l2) < 1e-12) return -std::log1p(-y);
+  return -(std::pow(1.0 - y, l2) - 1.0) / l2;
+}
+
+double YeoJohnson::raw_inverse(double z, double lambda) {
+  if (z >= 0.0) {
+    if (std::abs(lambda) < 1e-12) return std::expm1(z);
+    return std::pow(lambda * z + 1.0, 1.0 / lambda) - 1.0;
+  }
+  const double l2 = 2.0 - lambda;
+  if (std::abs(l2) < 1e-12) return -std::expm1(-z);
+  return 1.0 - std::pow(1.0 - l2 * z, 1.0 / l2);
+}
+
+namespace {
+
+/// Profile log-likelihood of the Yeo-Johnson transform under a Gaussian model.
+double yj_log_likelihood(const Vec& y, double lambda) {
+  const std::size_t n = y.size();
+  Vec z(n);
+  for (std::size_t i = 0; i < n; ++i) z[i] = YeoJohnson::raw(y[i], lambda);
+  double mean = 0.0;
+  for (double v : z) mean += v;
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (double v : z) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(n);
+  if (var <= 0.0 || !std::isfinite(var)) return -1e300;
+  double ll = -0.5 * static_cast<double>(n) * std::log(var);
+  // Jacobian term: sum (lambda-1) * sign-aware log(1+|y|).
+  for (double v : y) {
+    ll += (lambda - 1.0) * std::copysign(std::log1p(std::abs(v)), v) *
+          (v >= 0.0 ? 1.0 : 1.0);
+  }
+  return ll;
+}
+
+}  // namespace
+
+void YeoJohnson::fit(const Vec& y) {
+  assert(!y.empty());
+  // Golden-section search for lambda in [-2, 4].
+  double a = -2.0, b = 4.0;
+  const double gr = 0.5 * (std::sqrt(5.0) - 1.0);
+  double c = b - gr * (b - a);
+  double d = a + gr * (b - a);
+  double fc = yj_log_likelihood(y, c);
+  double fd = yj_log_likelihood(y, d);
+  for (int it = 0; it < 60; ++it) {
+    if (fc > fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - gr * (b - a);
+      fc = yj_log_likelihood(y, c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + gr * (b - a);
+      fd = yj_log_likelihood(y, d);
+    }
+  }
+  lambda_ = 0.5 * (a + b);
+
+  Vec z(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) z[i] = raw(y[i], lambda_);
+  mean_ = 0.0;
+  for (double v : z) mean_ += v;
+  mean_ /= static_cast<double>(z.size());
+  double var = 0.0;
+  for (double v : z) var += (v - mean_) * (v - mean_);
+  var /= static_cast<double>(z.size());
+  std_ = var > 1e-300 ? std::sqrt(var) : 1.0;
+}
+
+double YeoJohnson::transform(double y) const {
+  return (raw(y, lambda_) - mean_) / std_;
+}
+
+double YeoJohnson::inverse(double z) const {
+  return raw_inverse(z * std_ + mean_, lambda_);
+}
+
+Vec YeoJohnson::transform(const Vec& y) const {
+  Vec z(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) z[i] = transform(y[i]);
+  return z;
+}
+
+InputScaler::InputScaler(Vec lower, Vec upper)
+    : lower_(std::move(lower)), upper_(std::move(upper)) {
+  assert(lower_.size() == upper_.size());
+}
+
+void InputScaler::fit(const std::vector<Vec>& xs) {
+  assert(!xs.empty());
+  const std::size_t d = xs[0].size();
+  lower_.assign(d, 1e300);
+  upper_.assign(d, -1e300);
+  for (const Vec& x : xs) {
+    for (std::size_t i = 0; i < d; ++i) {
+      lower_[i] = std::min(lower_[i], x[i]);
+      upper_[i] = std::max(upper_[i], x[i]);
+    }
+  }
+  for (std::size_t i = 0; i < d; ++i) {
+    if (upper_[i] - lower_[i] < 1e-12) upper_[i] = lower_[i] + 1.0;
+  }
+}
+
+Vec InputScaler::to_unit(const Vec& x) const {
+  Vec u(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    u[i] = (x[i] - lower_[i]) / (upper_[i] - lower_[i]);
+  return u;
+}
+
+Vec InputScaler::from_unit(const Vec& u) const {
+  Vec x(u.size());
+  for (std::size_t i = 0; i < u.size(); ++i)
+    x[i] = lower_[i] + u[i] * (upper_[i] - lower_[i]);
+  return x;
+}
+
+}  // namespace citroen

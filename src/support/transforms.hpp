@@ -1,0 +1,71 @@
+#pragma once
+// Output/input transforms used when fitting the GP surrogate.
+//
+// The thesis applies a Yeo-Johnson power transform to observed objective
+// values to reduce skew (Sec. 4.3.2), and rescales inputs to [0,1]^d.
+
+#include <cstddef>
+#include <vector>
+
+#include "support/matrix.hpp"
+
+namespace citroen {
+
+/// Yeo-Johnson power transform with maximum-likelihood lambda.
+///
+/// Unlike Box-Cox, Yeo-Johnson is defined for negative inputs, which occur
+/// for reward-style objectives. `fit` selects lambda by golden-section
+/// search on the profile log-likelihood, then standardises the transformed
+/// values to zero mean / unit variance.
+class YeoJohnson {
+ public:
+  /// Fit lambda (and post-transform mean/std) to the data.
+  void fit(const Vec& y);
+
+  /// Transform a single value with the fitted parameters.
+  double transform(double y) const;
+
+  /// Inverse of `transform`.
+  double inverse(double z) const;
+
+  /// Transform a vector.
+  Vec transform(const Vec& y) const;
+
+  double lambda() const { return lambda_; }
+  double mean() const { return mean_; }
+  double stddev() const { return std_; }
+
+  /// Raw (unstandardised) Yeo-Johnson transform with parameter lambda.
+  static double raw(double y, double lambda);
+  /// Inverse of `raw`.
+  static double raw_inverse(double z, double lambda);
+
+ private:
+  double lambda_ = 1.0;
+  double mean_ = 0.0;
+  double std_ = 1.0;
+};
+
+/// Per-dimension affine rescaling of inputs into [0, 1]^d.
+class InputScaler {
+ public:
+  InputScaler() = default;
+  InputScaler(Vec lower, Vec upper);
+
+  /// Learn bounds from data (with a small margin so test points inside the
+  /// convex hull stay within [0,1]).
+  void fit(const std::vector<Vec>& xs);
+
+  Vec to_unit(const Vec& x) const;
+  Vec from_unit(const Vec& u) const;
+
+  std::size_t dim() const { return lower_.size(); }
+  const Vec& lower() const { return lower_; }
+  const Vec& upper() const { return upper_; }
+
+ private:
+  Vec lower_;
+  Vec upper_;
+};
+
+}  // namespace citroen

@@ -1,0 +1,59 @@
+#include "synth/flag_task.hpp"
+
+#include "bench_suite/suite.hpp"
+#include "passes/pass.hpp"
+#include "sim/evaluator.hpp"
+#include "sim/machine.hpp"
+
+namespace citroen::synth {
+
+const std::vector<std::string>& flag_task_sequence() {
+  // -O3 followed by a second clean-up round: 60 gateable positions, the
+  // same order of magnitude as the paper's 82 -O3 flags.
+  static const std::vector<std::string> seq = [] {
+    std::vector<std::string> s = passes::o3_sequence();
+    const std::vector<std::string> extra = {
+        "early-cse",     "instcombine",  "simplifycfg", "gvn",
+        "licm",          "loop-unroll",  "slp-vectorizer", "dce",
+        "reassociate",   "sccp",         "jump-threading", "sink",
+        "adce",          "constmerge",   "div-rem-pairs",  "vectorcombine",
+        "loop-simplify", "loop-vectorize", "loop-idiom",  "instsimplify",
+        "aggressive-instcombine", "simplifycfg", "dce",
+    };
+    s.insert(s.end(), extra.begin(), extra.end());
+    return s;
+  }();
+  return seq;
+}
+
+std::size_t flag_task_dim() { return flag_task_sequence().size(); }
+
+Task make_flag_task(const std::string& benchmark,
+                    const std::string& machine) {
+  Task t;
+  t.name = "flags_" + benchmark;
+  const std::size_t d = flag_task_dim();
+  t.box = heuristics::Box{Vec(d, 0.0), Vec(d, 1.0)};
+
+  auto evaluator = std::make_shared<sim::ProgramEvaluator>(
+      bench_suite::make_program(benchmark), sim::machine_by_name(machine));
+
+  t.f = [evaluator, d](const Vec& x) {
+    std::vector<std::string> seq;
+    const auto& canonical = flag_task_sequence();
+    for (std::size_t i = 0; i < d; ++i) {
+      if (x[i] >= 0.5) seq.push_back(canonical[i]);
+    }
+    sim::SequenceAssignment assign;
+    for (const auto& m : evaluator->base_program().modules)
+      assign[m.name] = seq;
+    const auto out = evaluator->evaluate(assign);
+    // Invalid builds (none expected on this task) count as very slow.
+    if (!out.valid) return 4.0;
+    return out.cycles / evaluator->o3_cycles();
+  };
+  t.optimum = 0.0;
+  return t;
+}
+
+}  // namespace citroen::synth

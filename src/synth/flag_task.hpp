@@ -1,0 +1,25 @@
+#pragma once
+// Compiler flag-selection task (Sec. 4.2.2 / Fig. 4.4): a fixed canonical
+// pass sequence where each position can be enabled (x_i >= 0.5) or
+// disabled, embedded in [0,1]^d for continuous BO. The objective is the
+// modelled runtime of the chosen benchmark relative to -O3 (lower is
+// better; 1.0 == -O3).
+
+#include <memory>
+
+#include "synth/functions.hpp"
+
+namespace citroen::synth {
+
+/// Number of binary flags in the canonical sequence.
+std::size_t flag_task_dim();
+
+/// The canonical pass sequence the flags gate.
+const std::vector<std::string>& flag_task_sequence();
+
+/// Build the task over `benchmark` (default: the paper's telecom_gsm) on
+/// the given machine preset ("x86" mirrors the paper's Threadripper).
+Task make_flag_task(const std::string& benchmark = "telecom_gsm",
+                    const std::string& machine = "x86");
+
+}  // namespace citroen::synth

@@ -1,0 +1,48 @@
+#pragma once
+// Synthetic test functions (Table 4.1) with their standard domains, plus
+// the real-world task proxies used by the Ch. 4 experiments (see
+// DESIGN.md "Substitutions" for what each proxy stands in for).
+//
+// All objectives are MINIMISED. Reward-style tasks are returned negated.
+
+#include <functional>
+#include <string>
+
+#include "heuristics/optimizer.hpp"
+
+namespace citroen::synth {
+
+using Objective = std::function<double(const Vec&)>;
+
+struct Task {
+  std::string name;
+  heuristics::Box box;
+  Objective f;
+  double optimum = 0.0;  ///< known best value (for reference only)
+};
+
+// ---- synthetic functions ---------------------------------------------------
+double ackley(const Vec& x);
+double rosenbrock(const Vec& x);
+double rastrigin(const Vec& x);
+double griewank(const Vec& x);
+
+Task make_synthetic(const std::string& name, std::size_t dim);
+
+// ---- real-world proxies ----------------------------------------------------
+/// 14-D push-dynamics toy (sparse reward near the two targets).
+Task make_push14();
+/// 60-D rover trajectory: 30 B-spline control points over a 2-D cost field.
+Task make_rover60();
+/// 102-D linear-policy locomotion proxy on a toy hopper dynamical system.
+Task make_cheetah102();
+/// 36-D NAS surrogate: plateaued quadratic with categorical-ish cells.
+Task make_nas36();
+/// 180-D weighted-Lasso on synthetic genotype data (coordinate descent).
+Task make_lasso180();
+
+/// Resolve by name: "ackley100", "rosenbrock20", ..., "push14",
+/// "rover60", "cheetah102", "nas36", "lasso180".
+Task make_task(const std::string& spec);
+
+}  // namespace citroen::synth

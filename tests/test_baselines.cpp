@@ -1,0 +1,158 @@
+// Tests for the baseline optimisers: the random forest, the continuous
+// BO baselines (TuRBO-/HeSBO-style), and the phase-tuner traces.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/continuous_bo.hpp"
+#include "baselines/random_forest.hpp"
+#include "baselines/tuners.hpp"
+#include "bench_suite/suite.hpp"
+#include "sim/machine.hpp"
+
+using namespace citroen;
+
+namespace {
+
+double sphere(const Vec& x) {
+  double acc = 0.0;
+  for (double v : x) acc += v * v;
+  return acc;
+}
+
+}  // namespace
+
+TEST(RandomForest, LearnsASimpleFunction) {
+  Rng rng(1);
+  std::vector<Vec> xs;
+  Vec ys;
+  for (int i = 0; i < 200; ++i) {
+    Vec x = {rng.uniform(), rng.uniform()};
+    ys.push_back(x[0] > 0.5 ? 2.0 : -2.0);
+    xs.push_back(std::move(x));
+  }
+  baselines::RandomForest rf;
+  rf.fit(xs, ys, rng);
+  const auto [lo_mean, lo_var] = rf.predict({0.2, 0.5});
+  const auto [hi_mean, hi_var] = rf.predict({0.8, 0.5});
+  EXPECT_LT(lo_mean, 0.0);
+  EXPECT_GT(hi_mean, 0.0);
+  EXPECT_GE(lo_var, 0.0);
+  EXPECT_GE(hi_var, 0.0);
+}
+
+TEST(RandomForest, VarianceHigherOffDistribution) {
+  Rng rng(2);
+  std::vector<Vec> xs;
+  Vec ys;
+  for (int i = 0; i < 150; ++i) {
+    Vec x = {rng.uniform(0.0, 0.5)};
+    ys.push_back(std::sin(6.0 * x[0]));
+    xs.push_back(std::move(x));
+  }
+  baselines::RandomForest rf;
+  rf.fit(xs, ys, rng);
+  // Averages over trees still defined away from the data.
+  const auto [m, v] = rf.predict({0.9});
+  EXPECT_TRUE(std::isfinite(m));
+  EXPECT_GE(v, 0.0);
+}
+
+TEST(ContinuousBaselines, AllImproveOnSphere) {
+  const heuristics::Box box{Vec(8, -3.0), Vec(8, 3.0)};
+  const int budget = 120;
+  Rng probe(3);
+  const double random_ref =
+      baselines::run_random_blackbox(box, sphere, budget, 3).best();
+  for (const auto& [name, trace] :
+       {std::pair{"turbo", baselines::run_turbo(box, sphere, budget, 3)},
+        std::pair{"hesbo", baselines::run_hesbo(box, sphere, budget, 3)},
+        std::pair{"cmaes",
+                  baselines::run_cmaes_blackbox(box, sphere, budget, 3)},
+        std::pair{"ga", baselines::run_ga_blackbox(box, sphere, budget, 3)}}) {
+    EXPECT_EQ(trace.best_curve.size(), static_cast<std::size_t>(budget))
+        << name;
+    // Best-so-far curves are monotone non-increasing.
+    for (std::size_t i = 1; i < trace.best_curve.size(); ++i)
+      EXPECT_LE(trace.best_curve[i], trace.best_curve[i - 1]) << name;
+    EXPECT_LT(trace.best(), random_ref * 1.5) << name;  // sane quality
+  }
+}
+
+TEST(ContinuousBaselines, HesboOptimisesThroughEmbedding) {
+  // 40-D sphere with only 5 effective dims: HeSBO's sweet spot.
+  const heuristics::Box box{Vec(40, -2.0), Vec(40, 2.0)};
+  auto f = [](const Vec& x) {
+    double acc = 0.0;
+    for (int i = 0; i < 5; ++i) acc += x[static_cast<std::size_t>(i)] *
+                                       x[static_cast<std::size_t>(i)];
+    return acc;
+  };
+  const auto t = baselines::run_hesbo(box, f, 100, 7);
+  EXPECT_LT(t.best(), f(Vec(40, 1.0)));
+}
+
+TEST(PhaseTuners, TracesAreMonotoneAndSized) {
+  baselines::PhaseTunerConfig cfg;
+  cfg.budget = 15;
+  cfg.seed = 11;
+  sim::ProgramEvaluator ev(bench_suite::make_program("telecom_adpcm"),
+                           sim::amd_zen_model());
+  const auto t = baselines::run_ensemble_tuner(ev, cfg);
+  EXPECT_EQ(t.speedup_curve.size(), 15u);
+  for (std::size_t i = 1; i < t.speedup_curve.size(); ++i)
+    EXPECT_GE(t.speedup_curve[i], t.speedup_curve[i - 1]);
+}
+
+TEST(PhaseTuners, DeterministicGivenSeed) {
+  baselines::PhaseTunerConfig cfg;
+  cfg.budget = 10;
+  cfg.seed = 21;
+  auto run = [&] {
+    sim::ProgramEvaluator ev(bench_suite::make_program("network_dijkstra"),
+                             sim::arm_a57_model());
+    return baselines::run_des_tuner(ev, cfg).speedup_curve;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(MachinePresets, DifferentModelsDifferentCycles) {
+  auto p = bench_suite::make_program("consumer_mad");
+  const auto arm = ir::interpret(p, sim::arm_a57_model());
+  const auto x86 = ir::interpret(p, sim::amd_zen_model());
+  ASSERT_TRUE(arm.ok && x86.ok);
+  EXPECT_EQ(arm.ret, x86.ret);        // semantics machine-independent
+  EXPECT_NE(arm.cycles, x86.cycles);  // timing machine-dependent
+  EXPECT_THROW(sim::machine_by_name("riscv"), std::runtime_error);
+}
+
+TEST(BenchSuitePrograms, WorkloadSeedChangesDataNotStructure) {
+  const auto a = bench_suite::make_program("spec_xz", 1);
+  const auto b = bench_suite::make_program("spec_xz", 2);
+  ASSERT_EQ(a.modules.size(), b.modules.size());
+  for (std::size_t m = 0; m < a.modules.size(); ++m) {
+    EXPECT_EQ(a.modules[m].functions.size(), b.modules[m].functions.size());
+    EXPECT_EQ(a.modules[m].globals.size(), b.modules[m].globals.size());
+  }
+  const auto ra = ir::interpret(a);
+  const auto rb = ir::interpret(b);
+  ASSERT_TRUE(ra.ok && rb.ok);
+  EXPECT_NE(ra.ret, rb.ret);  // different inputs, different outputs
+}
+
+TEST(BenchSuitePrograms, MultiModuleHeatIsSpread) {
+  // The multi-module allocation experiments need programs where at least
+  // two modules carry non-trivial runtime.
+  int spread = 0;
+  for (const auto& info : bench_suite::benchmark_list()) {
+    sim::ProgramEvaluator ev(bench_suite::make_program(info.name),
+                             sim::arm_a57_model());
+    int heavy = 0;
+    for (const auto& [m, frac] : ev.hot_modules()) {
+      if (m != "driver" && frac > 0.15) ++heavy;
+    }
+    if (heavy >= 2) ++spread;
+  }
+  EXPECT_GE(spread, 8) << "suite lost its multi-module character";
+}

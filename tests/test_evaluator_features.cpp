@@ -1,0 +1,241 @@
+// Tests for the evaluator service (caching, differential testing,
+// accounting) and the CITROEN feature extractors.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bench_suite/suite.hpp"
+#include "citroen/features.hpp"
+#include "citroen/tuner.hpp"
+#include "ir/builder.hpp"
+#include "sim/evaluator.hpp"
+#include "sim/machine.hpp"
+#include "synth/flag_task.hpp"
+#include "synth/functions.hpp"
+
+using namespace citroen;
+
+TEST(Evaluator, IdenticalBinariesHitTheCache) {
+  sim::ProgramEvaluator ev(bench_suite::make_program("security_sha"),
+                           sim::arm_a57_model());
+  // Two sequences that normalise to the same module: dce twice vs thrice
+  // on an already-clean module produce identical binaries.
+  const auto a = ev.evaluate({{"sha", {"dce", "dce"}}});
+  const auto b = ev.evaluate({{"sha", {"dce", "dce", "dce"}}});
+  ASSERT_TRUE(a.valid && b.valid);
+  EXPECT_FALSE(a.cache_hit);
+  EXPECT_TRUE(b.cache_hit);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(ev.num_cache_hits(), 1);
+}
+
+TEST(Evaluator, MeasurementCountsExcludeCacheHits) {
+  sim::ProgramEvaluator ev(bench_suite::make_program("bzip2"),
+                           sim::arm_a57_model());
+  ev.evaluate({{"huffman", {"mem2reg"}}});
+  ev.evaluate({{"huffman", {"mem2reg"}}});
+  ev.evaluate({{"huffman", {"mem2reg", "gvn"}}});
+  EXPECT_EQ(ev.num_measurements() + ev.num_cache_hits(), 3);
+  EXPECT_GE(ev.num_cache_hits(), 1);
+}
+
+TEST(Evaluator, UntunedModulesDefaultToO3) {
+  sim::ProgramEvaluator ev(bench_suite::make_program("telecom_gsm"),
+                           sim::arm_a57_model());
+  // Empty assignment = everything at -O3 = the baseline itself.
+  const auto out = ev.evaluate({});
+  ASSERT_TRUE(out.valid);
+  EXPECT_NEAR(out.speedup, 1.0, 1e-12);
+}
+
+TEST(Evaluator, EmptySequenceMeansNoOptimisation) {
+  sim::ProgramEvaluator ev(bench_suite::make_program("spec_lbm"),
+                           sim::arm_a57_model());
+  const auto out = ev.evaluate({{"stream", {}}, {"collide", {}}});
+  ASSERT_TRUE(out.valid);
+  EXPECT_LT(out.speedup, 1.0);  // -O0 modules are slower than -O3
+}
+
+TEST(Evaluator, ProgramHashDetectsAnyChange) {
+  auto p1 = bench_suite::make_program("spec_xz");
+  auto p2 = bench_suite::make_program("spec_xz");
+  EXPECT_EQ(sim::program_hash(p1), sim::program_hash(p2));
+  passes::run_sequence(p2.modules[0], {"mem2reg"});
+  EXPECT_NE(sim::program_hash(p1), sim::program_hash(p2));
+}
+
+TEST(Evaluator, DifferentialTestingCatchesInjectedMiscompile) {
+  sim::ProgramEvaluator ev(bench_suite::make_program("security_sha"),
+                           sim::arm_a57_model());
+  // Simulate a broken optimisation by corrupting a constant of the CRC
+  // mixer; the reference output must expose the difference (this is the
+  // oracle the differential tester compares against).
+  auto broken = bench_suite::make_program("security_sha");
+  for (auto& f : broken.modules[0].functions) {
+    for (auto& in : f.instrs) {
+      if (in.op == ir::Opcode::ConstInt && in.imm == 0x5a5a) {
+        in.imm = 0x5a5b;  // flip one bit of the CRC seed
+      }
+    }
+  }
+  const auto out = ir::interpret(broken);
+  EXPECT_TRUE(!out.ok || out.ret != ev.reference_output())
+      << "corruption was not observable: weak differential oracle";
+}
+
+TEST(Evaluator, StatsOnlyCoverTunedModules) {
+  sim::ProgramEvaluator ev(bench_suite::make_program("telecom_gsm"),
+                           sim::arm_a57_model());
+  const auto co = ev.compile({{"long_term", {"mem2reg"}}});
+  ASSERT_TRUE(co.valid);
+  EXPECT_EQ(co.module_stats.size(), 1u);
+  EXPECT_TRUE(co.module_stats.count("long_term"));
+  EXPECT_GT(co.stats.get("mem2reg.NumPromoted"), 0);
+}
+
+TEST(Evaluator, KeepProgramReturnsOptimisedIr) {
+  sim::ProgramEvaluator ev(bench_suite::make_program("telecom_gsm"),
+                           sim::arm_a57_model());
+  const auto co =
+      ev.compile({{"long_term", {"mem2reg", "slp-vectorizer"}}}, true);
+  ASSERT_TRUE(co.valid);
+  ASSERT_NE(co.program, nullptr);
+  const auto* m = co.program->find_module("long_term");
+  ASSERT_NE(m, nullptr);
+  bool has_vector = false;
+  for (const auto& f : m->functions) {
+    for (const auto& in : f.instrs) {
+      if (!in.dead() && in.type.is_vector()) has_vector = true;
+    }
+  }
+  EXPECT_TRUE(has_vector);
+}
+
+TEST(Features, StatsVocabularyIsStable) {
+  const core::StatsFeatures a, b;
+  EXPECT_EQ(a.keys(), b.keys());
+  EXPECT_EQ(a.dim(), passes::PassRegistry::instance().all_stat_keys().size());
+}
+
+TEST(Features, StatsExtractionIsLogCompressed) {
+  core::StatsFeatures feat;
+  passes::StatsRegistry stats;
+  stats.add("mem2reg", "NumPromoted", 7);
+  const Vec f = feat.extract(stats);
+  double nonzero = 0.0;
+  for (std::size_t i = 0; i < feat.dim(); ++i) {
+    if (f[i] != 0.0) {
+      ++nonzero;
+      EXPECT_NEAR(f[i], std::log1p(7.0), 1e-12);
+      EXPECT_EQ(feat.keys()[i], "mem2reg.NumPromoted");
+    }
+  }
+  EXPECT_EQ(nonzero, 1.0);
+}
+
+TEST(Features, AutophaseCountsOpcodes) {
+  ir::Module m;
+  m.name = "t";
+  ir::create_function(m, "f", ir::kI64, {}, false);
+  ir::IRBuilder b(m.functions[0]);
+  b.set_insert(0);
+  const auto x = b.const_i64(1);
+  b.ret(b.binop(ir::Opcode::Add, x, x));
+  const Vec f = core::AutophaseFeatures::extract(m);
+  const auto& names = core::AutophaseFeatures::names();
+  auto at = [&](const std::string& n) {
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == n) return f[i];
+    }
+    return -1.0;
+  };
+  EXPECT_NEAR(at("n_add"), std::log1p(1.0), 1e-12);
+  EXPECT_NEAR(at("n_ret"), std::log1p(1.0), 1e-12);
+  EXPECT_NEAR(at("n_functions"), std::log1p(1.0), 1e-12);
+}
+
+TEST(Features, SequenceEncodingCountsAndPositions) {
+  core::SequenceFeatures feat(4, 10);
+  const Vec f = feat.extract({2, 0, 2});
+  EXPECT_DOUBLE_EQ(f[0], 1.0);      // pass 0 once
+  EXPECT_DOUBLE_EQ(f[2], 2.0);      // pass 2 twice
+  EXPECT_DOUBLE_EQ(f[4 + 2], 0.1);  // pass 2 first at position 1/10
+  EXPECT_DOUBLE_EQ(f[4 + 0], 0.2);  // pass 0 first at position 2/10
+  EXPECT_DOUBLE_EQ(f[1], 0.0);
+}
+
+TEST(FlagTask, RespectsAllOnEqualsCanonical) {
+  const auto task = synth::make_flag_task("security_sha", "arm");
+  // All flags on = the canonical sequence; must be a valid build with a
+  // finite objective close to (or better than) 1.0.
+  Vec all_on(synth::flag_task_dim(), 1.0);
+  const double y = task.f(all_on);
+  EXPECT_GT(y, 0.0);
+  EXPECT_LT(y, 2.0);
+  // All off = -O0 modules: strictly slower.
+  Vec all_off(synth::flag_task_dim(), 0.0);
+  EXPECT_GT(task.f(all_off), y);
+}
+
+TEST(SynthTasks, KnownOptimaAndDeterminism) {
+  for (const char* name : {"ackley20", "rastrigin20", "griewank20"}) {
+    const auto task = synth::make_task(name);
+    EXPECT_NEAR(task.f(Vec(20, 0.0)), 0.0, 1e-9) << name;
+  }
+  const auto rosen = synth::make_task("rosenbrock20");
+  EXPECT_NEAR(rosen.f(Vec(20, 1.0)), 0.0, 1e-9);
+  // Determinism of the proxies.
+  for (const char* name : {"push14", "rover60", "nas36", "cheetah102",
+                           "lasso180"}) {
+    const auto task = synth::make_task(name);
+    Rng rng(4);
+    const Vec x = task.box.sample(rng);
+    EXPECT_EQ(task.f(x), task.f(x)) << name;
+  }
+}
+
+TEST(Evaluator, MultiWorkloadDifferentialTesting) {
+  sim::ProgramEvaluator ev(bench_suite::make_program("security_sha", 42),
+                           sim::arm_a57_model());
+  const double single_o3 = ev.o3_cycles();
+  ev.add_workload(bench_suite::make_program("security_sha", 77));
+  EXPECT_EQ(ev.num_workloads(), 2u);
+  // Baseline recomputed as a mean over workloads; stays positive.
+  EXPECT_GT(ev.o3_cycles(), 0.0);
+  // Valid sequences stay valid across workloads.
+  const auto out = ev.evaluate({{"sha", {"mem2reg", "gvn", "dce"}}});
+  ASSERT_TRUE(out.valid) << out.why_invalid;
+  EXPECT_GT(out.speedup, 0.0);
+  (void)single_o3;
+}
+
+TEST(Evaluator, WorkloadStructureMismatchThrows) {
+  sim::ProgramEvaluator ev(bench_suite::make_program("security_sha"),
+                           sim::arm_a57_model());
+  EXPECT_THROW(ev.add_workload(bench_suite::make_program("bzip2")),
+               std::runtime_error);
+}
+
+TEST(Citroen, WarmStartObservationsRoundTrip) {
+  sim::ProgramEvaluator ev1(bench_suite::make_program("spec_x264"),
+                            sim::arm_a57_model());
+  core::CitroenConfig cfg;
+  cfg.budget = 10;
+  cfg.initial_random = 4;
+  cfg.max_hot_modules = 1;
+  cfg.gp.fit_steps = 4;
+  core::CitroenTuner t1(ev1, cfg);
+  const auto r1 = t1.run();
+  ASSERT_FALSE(r1.observations.empty());
+
+  sim::ProgramEvaluator ev2(bench_suite::make_program("consumer_mad"),
+                            sim::arm_a57_model());
+  cfg.warm_start = r1.observations;
+  core::CitroenTuner t2(ev2, cfg);
+  const auto r2 = t2.run();
+  EXPECT_EQ(r2.measurements, 10);
+  // The warm observations are part of the target's data set.
+  EXPECT_GE(r2.observations.size(),
+            r1.observations.size() + 10);
+}

@@ -1,0 +1,132 @@
+// Unit and integration tests for the GP surrogate and the AIBO loop.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aibo/aibo.hpp"
+#include "gp/gp.hpp"
+#include "support/rng.hpp"
+#include "synth/functions.hpp"
+
+using namespace citroen;
+
+TEST(GaussianProcess, InterpolatesSmoothFunction) {
+  Rng rng(1);
+  std::vector<Vec> xs;
+  Vec ys;
+  for (int i = 0; i < 40; ++i) {
+    Vec x = {rng.uniform(), rng.uniform()};
+    ys.push_back(std::sin(3.0 * x[0]) + x[1] * x[1]);
+    xs.push_back(std::move(x));
+  }
+  gp::GaussianProcess model(2);
+  model.fit(xs, ys);
+  double max_err = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    Vec x = {rng.uniform(0.1, 0.9), rng.uniform(0.1, 0.9)};
+    const double truth = std::sin(3.0 * x[0]) + x[1] * x[1];
+    max_err = std::max(max_err, std::abs(model.predict(x).mean - truth));
+  }
+  EXPECT_LT(max_err, 0.25);
+}
+
+TEST(GaussianProcess, VarianceShrinksAtData) {
+  Rng rng(2);
+  std::vector<Vec> xs;
+  Vec ys;
+  for (int i = 0; i < 20; ++i) {
+    Vec x = {rng.uniform()};
+    ys.push_back(x[0]);
+    xs.push_back(std::move(x));
+  }
+  gp::GaussianProcess model(1);
+  model.fit(xs, ys);
+  const double var_at_data = model.predict(xs[0]).var;
+  const double var_far = model.predict({-5.0}).var;
+  EXPECT_LT(var_at_data, var_far);
+}
+
+TEST(GaussianProcess, GradientMatchesFiniteDifference) {
+  Rng rng(3);
+  std::vector<Vec> xs;
+  Vec ys;
+  for (int i = 0; i < 25; ++i) {
+    Vec x = {rng.uniform(), rng.uniform(), rng.uniform()};
+    ys.push_back(x[0] * x[1] - x[2]);
+    xs.push_back(std::move(x));
+  }
+  gp::GaussianProcess model(3);
+  model.fit(xs, ys);
+  const Vec x0 = {0.3, 0.6, 0.4};
+  const auto g = model.predict_with_grad(x0);
+  const double h = 1e-6;
+  for (std::size_t d = 0; d < 3; ++d) {
+    Vec xp = x0, xm = x0;
+    xp[d] += h;
+    xm[d] -= h;
+    const double fd_mean =
+        (model.predict(xp).mean - model.predict(xm).mean) / (2 * h);
+    const double fd_var =
+        (model.predict(xp).var - model.predict(xm).var) / (2 * h);
+    EXPECT_NEAR(g.dmean[d], fd_mean, 1e-4 + 1e-3 * std::abs(fd_mean));
+    EXPECT_NEAR(g.dvar[d], fd_var, 1e-4 + 1e-3 * std::abs(fd_var));
+  }
+}
+
+TEST(Aibo, ImprovesOverInitialDesignOnAckley) {
+  auto task = synth::make_task("ackley20");
+  aibo::AiboConfig cfg;
+  cfg.init_samples = 15;
+  cfg.k = 40;
+  cfg.gp.fit_steps = 10;
+  aibo::Aibo bo(task.box, cfg, 11);
+  const auto r = bo.run(task.f, 60);
+  ASSERT_EQ(r.ys.size(), 60u);
+  const double init_best = r.best_curve[14];
+  EXPECT_LT(r.best(), init_best);
+}
+
+TEST(Aibo, BeatsPureRandomSearchOnAckley) {
+  auto task = synth::make_task("ackley20");
+  aibo::AiboConfig cfg;
+  cfg.init_samples = 15;
+  cfg.k = 40;
+  cfg.gp.fit_steps = 10;
+  aibo::Aibo bo(task.box, cfg, 5);
+  const auto r = bo.run(task.f, 70);
+
+  Rng rng(5);
+  double random_best = 1e300;
+  for (int i = 0; i < 70; ++i)
+    random_best = std::min(random_best, task.f(task.box.sample(rng)));
+  EXPECT_LT(r.best(), random_best);
+}
+
+TEST(Aibo, DiagnosticsArePopulated) {
+  auto task = synth::make_task("rastrigin20");
+  aibo::AiboConfig cfg;
+  cfg.init_samples = 10;
+  cfg.k = 30;
+  cfg.gp.fit_steps = 5;
+  aibo::Aibo bo(task.box, cfg, 3);
+  const auto r = bo.run(task.f, 30);
+  ASSERT_EQ(r.member_names.size(), 3u);
+  int total_wins = 0;
+  for (int w : r.af_wins) total_wins += w;
+  EXPECT_EQ(total_wins, 20);  // one winner per post-init iteration
+  EXPECT_FALSE(r.diags.empty());
+  EXPECT_GT(r.model_seconds, 0.0);
+}
+
+TEST(Aibo, BatchModeProducesRequestedEvaluations) {
+  auto task = synth::make_task("griewank20");
+  aibo::AiboConfig cfg;
+  cfg.init_samples = 10;
+  cfg.k = 20;
+  cfg.batch_size = 5;
+  cfg.gp.fit_steps = 5;
+  aibo::Aibo bo(task.box, cfg, 9);
+  const auto r = bo.run(task.f, 40);
+  EXPECT_EQ(r.ys.size(), 40u);
+}

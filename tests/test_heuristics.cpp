@@ -1,0 +1,209 @@
+// Tests for the heuristic optimisers (GA, CMA-ES, DES) and the sequence
+// mutation kit.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "heuristics/cmaes.hpp"
+#include "heuristics/des.hpp"
+#include "heuristics/ga.hpp"
+
+using namespace citroen;
+using namespace citroen::heuristics;
+
+namespace {
+
+double sphere(const Vec& x) {
+  double acc = 0.0;
+  for (double v : x) acc += v * v;
+  return acc;
+}
+
+Box unit_box(std::size_t d, double lo = -2.0, double hi = 2.0) {
+  return Box{Vec(d, lo), Vec(d, hi)};
+}
+
+/// Drive an ask/tell optimiser on a function; return best value found.
+double drive(ContinuousOptimizer& opt, const Box& box, int evals,
+             std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec> xs;
+  Vec ys;
+  for (int i = 0; i < 10; ++i) {
+    Vec x = box.sample(rng);
+    ys.push_back(sphere(x));
+    xs.push_back(std::move(x));
+  }
+  opt.init(xs, ys);
+  double best = *std::min_element(ys.begin(), ys.end());
+  for (int i = 10; i < evals; ++i) {
+    const Vec x = opt.ask(1, rng)[0];
+    const double y = sphere(x);
+    best = std::min(best, y);
+    opt.tell(x, y);
+  }
+  return best;
+}
+
+}  // namespace
+
+TEST(Box, ClampAndSample) {
+  Box b = unit_box(3, -1.0, 1.0);
+  const Vec clamped = b.clamp({-5.0, 0.5, 9.0});
+  EXPECT_DOUBLE_EQ(clamped[0], -1.0);
+  EXPECT_DOUBLE_EQ(clamped[1], 0.5);
+  EXPECT_DOUBLE_EQ(clamped[2], 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const Vec x = b.sample(rng);
+    for (double v : x) {
+      EXPECT_GE(v, -1.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(GaContinuous, ConvergesOnSphere) {
+  GaContinuous ga(unit_box(6));
+  const double best = drive(ga, unit_box(6), 300, 3);
+  EXPECT_LT(best, 0.5);
+}
+
+TEST(GaContinuous, ChildrenRespectBounds) {
+  GaContinuous ga(unit_box(4, 0.0, 1.0));
+  Rng rng(5);
+  std::vector<Vec> xs;
+  Vec ys;
+  for (int i = 0; i < 10; ++i) {
+    xs.push_back(Box{Vec(4, 0.0), Vec(4, 1.0)}.sample(rng));
+    ys.push_back(sphere(xs.back()));
+  }
+  ga.init(xs, ys);
+  for (const auto& c : ga.ask(200, rng)) {
+    for (double v : c) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(GaContinuous, DiversityDropsAsPopulationConverges) {
+  GaContinuous ga(unit_box(4));
+  Rng rng(7);
+  std::vector<Vec> xs;
+  Vec ys;
+  for (int i = 0; i < 30; ++i) {
+    xs.push_back(unit_box(4).sample(rng));
+    ys.push_back(sphere(xs.back()));
+  }
+  ga.init(xs, ys);
+  const double d0 = ga.population_diversity();
+  // Feed a cluster of near-identical elite points.
+  for (int i = 0; i < 60; ++i) {
+    Vec x(4, 0.01 * i * 1e-3);
+    ga.tell(x, sphere(x));
+  }
+  EXPECT_LT(ga.population_diversity(), d0);
+}
+
+TEST(CmaEs, ConvergesOnSphere) {
+  CmaEs es(unit_box(6));
+  const double best = drive(es, unit_box(6), 400, 11);
+  EXPECT_LT(best, 0.1);
+}
+
+TEST(CmaEs, StepSizeAdapts) {
+  CmaEs es(unit_box(4));
+  const double sigma0 = es.sigma();
+  Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    const Vec x = es.ask(1, rng)[0];
+    es.tell(x, sphere(x));
+  }
+  EXPECT_NE(es.sigma(), sigma0);  // CSA must have moved the step size
+  EXPECT_GT(es.sigma(), 0.0);
+}
+
+TEST(DesSequence, AdoptsImprovements) {
+  DesSequence des(10, 20);
+  Rng rng(17);
+  des.tell({1, 2, 3}, 5.0);
+  EXPECT_EQ(des.incumbent_value(), 5.0);
+  des.tell({4, 5}, 7.0);  // worse: rejected
+  EXPECT_EQ(des.incumbent_value(), 5.0);
+  EXPECT_EQ(des.incumbent(), (Sequence{1, 2, 3}));
+  des.tell({9}, 1.0);  // better: adopted
+  EXPECT_EQ(des.incumbent(), (Sequence{9}));
+}
+
+TEST(DesSequence, MutantsDeriveFromIncumbent) {
+  DesSequence des(10, 20);
+  Rng rng(19);
+  const Sequence inc = {1, 2, 3, 4, 5, 6, 7, 8};
+  des.tell(inc, 1.0);
+  // Single-mutation children differ from the incumbent by a small edit.
+  for (const auto& c : des.ask(50, rng)) {
+    EXPECT_LE(static_cast<int>(c.size()),
+              static_cast<int>(inc.size()) + 1);
+    EXPECT_GE(static_cast<int>(c.size()),
+              static_cast<int>(inc.size()) - 1);
+  }
+}
+
+// ---- mutation kit property sweep -------------------------------------------
+
+class MutationProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(MutationProperties, OutputsStayWithinBounds) {
+  const int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const int num_passes = 32;
+  const int max_len = 60;
+  Sequence s = random_sequence(num_passes, max_len, rng);
+  for (int i = 0; i < 300; ++i) {
+    s = mutate_sequence(s, num_passes, max_len, rng);
+    EXPECT_GE(s.size(), 1u);
+    EXPECT_LE(static_cast<int>(s.size()), max_len);
+    for (int p : s) {
+      EXPECT_GE(p, 0);
+      EXPECT_LT(p, num_passes);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationProperties,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(MutationKit, RandomSequenceRespectsBounds) {
+  Rng rng(23);
+  for (int i = 0; i < 200; ++i) {
+    const Sequence s = random_sequence(12, 25, rng);
+    EXPECT_GE(s.size(), 1u);
+    EXPECT_LE(s.size(), 25u);
+    for (int p : s) {
+      EXPECT_GE(p, 0);
+      EXPECT_LT(p, 12);
+    }
+  }
+}
+
+TEST(GaSequence, ProducesValidOffspring) {
+  GaSequence ga(16, 30);
+  Rng rng(29);
+  std::vector<Sequence> xs;
+  Vec ys;
+  for (int i = 0; i < 12; ++i) {
+    xs.push_back(random_sequence(16, 30, rng));
+    ys.push_back(static_cast<double>(i));
+  }
+  ga.init(xs, ys);
+  for (const auto& c : ga.ask(100, rng)) {
+    EXPECT_GE(c.size(), 1u);
+    EXPECT_LE(c.size(), 30u);
+    for (int p : c) {
+      EXPECT_GE(p, 0);
+      EXPECT_LT(p, 16);
+    }
+  }
+}

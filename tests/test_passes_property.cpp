@@ -1,0 +1,152 @@
+// Property-based testing of the pass infrastructure: random pass
+// sequences over every benchmark program must keep the IR verifier-clean
+// and preserve the program's output (differential testing), never slow
+// compile into an infinite loop, and behave deterministically.
+
+#include <gtest/gtest.h>
+
+#include "bench_suite/suite.hpp"
+#include "heuristics/optimizer.hpp"
+#include "ir/interpreter.hpp"
+#include "passes/pass.hpp"
+#include "sim/evaluator.hpp"
+#include "sim/machine.hpp"
+#include "support/rng.hpp"
+
+using namespace citroen;
+
+namespace {
+
+std::vector<std::string> random_names(int len, Rng& rng) {
+  const auto& space = passes::PassRegistry::instance().pass_names();
+  std::vector<std::string> seq;
+  for (int i = 0; i < len; ++i)
+    seq.push_back(space[rng.uniform_index(space.size())]);
+  return seq;
+}
+
+}  // namespace
+
+// One fuzz instance per (program, seed) pair: 12 programs x 4 seeds.
+class RandomSequenceFuzz
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(RandomSequenceFuzz, PreservesSemanticsUnderRandomSequences) {
+  const auto& [prog, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 7919 + 13);
+
+  auto base = bench_suite::make_program(prog);
+  const auto ref = ir::interpret(base);
+  ASSERT_TRUE(ref.ok) << ref.trap;
+
+  for (int trial = 0; trial < 3; ++trial) {
+    auto p = bench_suite::make_program(prog);
+    const int len = 5 + static_cast<int>(rng.uniform_index(55));
+    for (auto& m : p.modules) {
+      const auto seq = random_names(len, rng);
+      ASSERT_NO_THROW(passes::run_sequence(m, seq, /*verify_each=*/true))
+          << prog << " module " << m.name << " trial " << trial;
+    }
+    const auto out = ir::interpret(p);
+    ASSERT_TRUE(out.ok) << prog << ": " << out.trap;
+    EXPECT_EQ(out.ret, ref.ret)
+        << prog << " trial " << trial << ": differential test FAILED";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fuzz, RandomSequenceFuzz,
+    ::testing::Combine(::testing::ValuesIn([] {
+                         std::vector<std::string> names;
+                         for (const auto& b : bench_suite::benchmark_list())
+                           names.push_back(b.name);
+                         return names;
+                       }()),
+                       ::testing::Values(1, 2, 3, 4)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(PassDeterminism, SameSequenceSameBinary) {
+  Rng rng(99);
+  const auto seq = random_names(30, rng);
+  auto p1 = bench_suite::make_program("consumer_jpeg");
+  auto p2 = bench_suite::make_program("consumer_jpeg");
+  for (auto& m : p1.modules) passes::run_sequence(m, seq);
+  for (auto& m : p2.modules) passes::run_sequence(m, seq);
+  EXPECT_EQ(sim::program_hash(p1), sim::program_hash(p2));
+}
+
+TEST(PassDeterminism, StatsAreDeterministic) {
+  Rng rng(100);
+  const auto seq = random_names(25, rng);
+  auto p1 = bench_suite::make_program("spec_nab");
+  auto p2 = bench_suite::make_program("spec_nab");
+  const auto s1 = passes::run_sequence(p1.modules[0], seq);
+  const auto s2 = passes::run_sequence(p2.modules[0], seq);
+  EXPECT_EQ(s1.counters(), s2.counters());
+}
+
+TEST(PassIdempotence, RepeatedO3StaysValidAndStable) {
+  auto p = bench_suite::make_program("security_sha");
+  const auto ref = ir::interpret(p);
+  for (int round = 0; round < 3; ++round) {
+    for (auto& m : p.modules)
+      ASSERT_NO_THROW(passes::run_sequence(m, passes::o3_sequence(), true));
+  }
+  const auto out = ir::interpret(p);
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.ret, ref.ret);
+}
+
+TEST(PassRobustness, RepeatedSinglePassTerminates) {
+  // 10 consecutive applications of the same pass must terminate and stay
+  // correct (guards against ping-pong rewrites).
+  const auto& reg = passes::PassRegistry::instance();
+  auto base = bench_suite::make_program("office_stringsearch");
+  const auto ref = ir::interpret(base);
+  for (const auto& pass : reg.pass_names()) {
+    auto p = bench_suite::make_program("office_stringsearch");
+    std::vector<std::string> seq(10, pass);
+    for (auto& m : p.modules)
+      ASSERT_NO_THROW(passes::run_sequence(m, seq, true)) << pass;
+    const auto out = ir::interpret(p);
+    ASSERT_TRUE(out.ok) << pass << ": " << out.trap;
+    EXPECT_EQ(out.ret, ref.ret) << pass;
+  }
+}
+
+TEST(StatsRegistry, MergeAndClear) {
+  passes::StatsRegistry a, b;
+  a.add("p", "X", 2);
+  b.add("p", "X", 3);
+  b.add("q", "Y", 1);
+  a.merge(b);
+  EXPECT_EQ(a.get("p.X"), 5);
+  EXPECT_EQ(a.get("q.Y"), 1);
+  EXPECT_EQ(a.get("missing.Z"), 0);
+  a.clear();
+  EXPECT_EQ(a.get("p.X"), 0);
+}
+
+TEST(StatsRegistry, ZeroDeltasAreNotStored) {
+  passes::StatsRegistry s;
+  s.add("p", "X", 0);
+  EXPECT_TRUE(s.counters().empty());
+}
+
+TEST(PassRegistry, StatKeysMatchDeclaredNames) {
+  const auto& reg = passes::PassRegistry::instance();
+  EXPECT_GE(reg.pass_names().size(), 30u);
+  EXPECT_GE(reg.all_stat_keys().size(), 50u);
+  // Every key must be "<registered pass name>.<Counter>".
+  for (const auto& key : reg.all_stat_keys()) {
+    const auto dot = key.find('.');
+    ASSERT_NE(dot, std::string::npos) << key;
+  }
+  // Unknown pass names are rejected.
+  auto p = bench_suite::make_program("bzip2");
+  EXPECT_THROW(passes::run_sequence(p.modules[0], {"not-a-pass"}),
+               std::runtime_error);
+}

@@ -1,0 +1,990 @@
+// Per-pass unit tests: each pass is exercised on IR crafted to contain
+// its target pattern; the test checks (a) semantics are preserved (same
+// output on interpretation), (b) the expected statistics counter fired,
+// and usually (c) a structural effect (fewer instructions, cheaper run).
+
+#include <gtest/gtest.h>
+
+#include "bench_suite/suite.hpp"
+#include "ir/builder.hpp"
+#include "ir/interpreter.hpp"
+#include "ir/verifier.hpp"
+#include "passes/pass.hpp"
+
+using namespace citroen;
+using namespace citroen::ir;
+
+namespace {
+
+struct Tp {
+  Program p;
+  Module& module() { return p.modules[0]; }
+  Function& fn(std::size_t i = 0) { return p.modules[0].functions[i]; }
+};
+
+Tp single(const std::string& name = "main") {
+  Tp tp;
+  Module m;
+  m.name = "m";
+  create_function(m, name, kI64, {}, false);
+  tp.p.modules.push_back(std::move(m));
+  tp.p.entry = name;
+  return tp;
+}
+
+/// Run `seq`, assert verifier-clean and output-preserving; return stats.
+passes::StatsRegistry check(Tp& tp, const std::vector<std::string>& seq,
+                            double* cycles_before = nullptr,
+                            double* cycles_after = nullptr) {
+  const auto before = interpret(tp.p);
+  EXPECT_TRUE(before.ok) << before.trap;
+  passes::StatsRegistry stats;
+  EXPECT_NO_THROW(stats = passes::run_sequence(tp.module(), seq, true));
+  const auto after = interpret(tp.p);
+  EXPECT_TRUE(after.ok) << after.trap;
+  EXPECT_EQ(before.ret, after.ret) << "pass sequence changed the output";
+  if (cycles_before) *cycles_before = before.cycles;
+  if (cycles_after) *cycles_after = after.cycles;
+  return stats;
+}
+
+}  // namespace
+
+TEST(PassMem2Reg, PromotesScalarSlots) {
+  auto tp = single();
+  IRBuilder b(tp.fn());
+  b.set_insert(0);
+  const ValueId slot = b.stack_alloc(kI64);
+  b.store(b.const_i64(5), slot);
+  const ValueId v = b.load(kI64, slot);
+  b.store(b.binop(Opcode::Add, v, v), slot);
+  b.ret(b.load(kI64, slot));
+  const auto stats = check(tp, {"mem2reg"});
+  EXPECT_EQ(stats.get("mem2reg.NumPromoted"), 1);
+  // No loads/stores should remain.
+  for (const auto& bb : tp.fn().blocks) {
+    for (ValueId id : bb.insts) {
+      const auto op = tp.fn().instr(id).op;
+      EXPECT_NE(op, Opcode::Load);
+      EXPECT_NE(op, Opcode::Store);
+      EXPECT_NE(op, Opcode::Alloca);
+    }
+  }
+}
+
+TEST(PassMem2Reg, InsertsPhiAtMerge) {
+  auto tp = single();
+  Function& f = tp.fn();
+  IRBuilder b(f);
+  b.set_insert(0);
+  const ValueId slot = b.stack_alloc(kI64);
+  const ValueId cond = b.icmp(CmpPred::SGT, b.const_i64(3), b.const_i64(2));
+  const BlockId t = b.new_block("t");
+  const BlockId e = b.new_block("e");
+  const BlockId j = b.new_block("j");
+  b.cond_br(cond, t, e);
+  b.set_insert(t);
+  b.store(b.const_i64(10), slot);
+  b.br(j);
+  b.set_insert(e);
+  b.store(b.const_i64(20), slot);
+  b.br(j);
+  b.set_insert(j);
+  b.ret(b.load(kI64, slot));
+  const auto stats = check(tp, {"mem2reg"});
+  EXPECT_EQ(stats.get("mem2reg.NumPHIInsert"), 1);
+}
+
+TEST(PassMem2Reg, SkipsEscapingAlloca) {
+  auto tp = single();
+  IRBuilder b(tp.fn());
+  b.set_insert(0);
+  const ValueId slot = b.stack_alloc(kI64, 4);
+  const ValueId p1 = b.gep(slot, b.const_i64(1), kI64);  // escapes via gep
+  b.store(b.const_i64(7), p1);
+  b.ret(b.load(kI64, p1));
+  const auto stats = check(tp, {"mem2reg"});
+  EXPECT_EQ(stats.get("mem2reg.NumPromoted"), 0);
+}
+
+TEST(PassSroa, SplitsAndPromotesAggregates) {
+  auto tp = single();
+  IRBuilder b(tp.fn());
+  b.set_insert(0);
+  const ValueId agg = b.stack_alloc(kI64, 3);
+  for (int i = 0; i < 3; ++i)
+    b.store(b.const_i64(i * 10), b.gep(agg, b.const_i64(i), kI64));
+  ValueId acc = b.load(kI64, b.gep(agg, b.const_i64(0), kI64));
+  for (int i = 1; i < 3; ++i)
+    acc = b.binop(Opcode::Add, acc,
+                  b.load(kI64, b.gep(agg, b.const_i64(i), kI64)));
+  b.ret(acc);
+  const auto stats = check(tp, {"sroa"});
+  EXPECT_EQ(stats.get("sroa.NumReplaced"), 1);
+  EXPECT_GE(stats.get("sroa.NumPromoted"), 3);
+}
+
+TEST(PassInstCombine, FoldsConstantsAndIdentities) {
+  auto tp = single();
+  IRBuilder b(tp.fn());
+  b.set_insert(0);
+  const ValueId x = b.binop(Opcode::Add, b.const_i64(20), b.const_i64(22));
+  const ValueId y = b.binop(Opcode::Add, x, b.const_i64(0));   // x + 0
+  const ValueId z = b.binop(Opcode::Mul, y, b.const_i64(1));   // y * 1
+  b.ret(z);
+  const auto stats = check(tp, {"instcombine", "dce"});
+  EXPECT_GT(stats.get("instcombine.NumConstFold") +
+                stats.get("instcombine.NumSimplified"),
+            0);
+}
+
+TEST(PassInstCombine, MulPowerOfTwoBecomesShift) {
+  auto tp = single();
+  Function& f = tp.fn();
+  IRBuilder b(f);
+  b.set_insert(0);
+  // Operand is an argument-like opaque value: load from a global.
+  tp.module().globals.push_back(
+      GlobalVar{"g", std::vector<std::uint8_t>(8, 3)});
+  const ValueId v = b.load(kI64, b.global_addr(0));
+  b.ret(b.binop(Opcode::Mul, v, b.const_i64(8)));
+  check(tp, {"instcombine"});
+  bool has_shl = false;
+  for (const auto& bb : f.blocks) {
+    for (ValueId id : bb.insts) {
+      if (f.instr(id).op == Opcode::Shl) has_shl = true;
+    }
+  }
+  EXPECT_TRUE(has_shl);
+}
+
+TEST(PassDce, RemovesUnusedPureChain) {
+  auto tp = single();
+  IRBuilder b(tp.fn());
+  b.set_insert(0);
+  const ValueId used = b.const_i64(7);
+  const ValueId dead1 = b.binop(Opcode::Mul, used, used);
+  b.binop(Opcode::Add, dead1, used);  // dead chain
+  b.ret(used);
+  const auto stats = check(tp, {"dce"});
+  EXPECT_GE(stats.get("dce.NumDeleted"), 2);
+}
+
+TEST(PassAdce, RemovesDeadPhiCycle) {
+  auto tp = single();
+  IRBuilder b(tp.fn());
+  b.set_insert(0);
+  // A loop whose accumulated value is never used after the loop.
+  const ValueId dead_acc = b.stack_alloc(kI64);
+  b.store(b.const_i64(0), dead_acc);
+  auto loop = b.begin_loop(b.const_i64(0), b.const_i64(4));
+  b.store(b.binop(Opcode::Add, b.load(kI64, dead_acc), loop.iv), dead_acc);
+  b.end_loop(loop);
+  b.ret(b.const_i64(9));
+  const auto stats = check(tp, {"mem2reg", "adce"});
+  EXPECT_GT(stats.get("adce.NumRemoved"), 0);
+}
+
+TEST(PassSimplifyCfg, FoldsConstantBranch) {
+  auto tp = single();
+  IRBuilder b(tp.fn());
+  b.set_insert(0);
+  const ValueId cond = b.icmp(CmpPred::SGT, b.const_i64(5), b.const_i64(3));
+  const BlockId t = b.new_block("t");
+  const BlockId e = b.new_block("e");
+  b.cond_br(cond, t, e);
+  b.set_insert(t);
+  b.ret(b.const_i64(1));
+  b.set_insert(e);
+  b.ret(b.const_i64(2));
+  const auto stats = check(tp, {"instcombine", "simplifycfg"});
+  EXPECT_GE(stats.get("simplifycfg.NumFoldedBranch"), 1);
+}
+
+TEST(PassSimplifyCfg, MergesBlockChains) {
+  auto tp = single();
+  IRBuilder b(tp.fn());
+  b.set_insert(0);
+  const BlockId b1 = b.new_block("b1");
+  const BlockId b2 = b.new_block("b2");
+  b.br(b1);
+  b.set_insert(b1);
+  const ValueId v = b.const_i64(4);
+  b.br(b2);
+  b.set_insert(b2);
+  b.ret(v);
+  const auto stats = check(tp, {"simplifycfg"});
+  EXPECT_GE(stats.get("simplifycfg.NumBlocksMerged"), 1);
+}
+
+TEST(PassGvn, EliminatesRedundantExpressions) {
+  auto tp = single();
+  tp.module().globals.push_back(
+      GlobalVar{"g", std::vector<std::uint8_t>(8, 5)});
+  IRBuilder b(tp.fn());
+  b.set_insert(0);
+  const ValueId v = b.load(kI64, b.global_addr(0));
+  const ValueId a = b.binop(Opcode::Mul, v, v);
+  const ValueId bb = b.binop(Opcode::Mul, v, v);  // redundant
+  b.ret(b.binop(Opcode::Add, a, bb));
+  const auto stats = check(tp, {"gvn"});
+  EXPECT_GE(stats.get("gvn.NumGVNInstr"), 1);
+}
+
+TEST(PassEarlyCse, EliminatesRedundantLoadsInBlock) {
+  auto tp = single();
+  tp.module().globals.push_back(
+      GlobalVar{"g", std::vector<std::uint8_t>(8, 5)});
+  IRBuilder b(tp.fn());
+  b.set_insert(0);
+  const ValueId addr = b.global_addr(0);
+  const ValueId l1 = b.load(kI64, addr);
+  const ValueId l2 = b.load(kI64, addr);  // no store in between
+  b.ret(b.binop(Opcode::Add, l1, l2));
+  const auto stats = check(tp, {"early-cse"});
+  EXPECT_GE(stats.get("early-cse.NumCSELoad"), 1);
+}
+
+TEST(PassEarlyCse, StoreInvalidatesLoadReuse) {
+  auto tp = single();
+  tp.module().globals.push_back(
+      GlobalVar{"g", std::vector<std::uint8_t>(8, 5)});
+  IRBuilder b(tp.fn());
+  b.set_insert(0);
+  const ValueId addr = b.global_addr(0);
+  const ValueId l1 = b.load(kI64, addr);
+  b.store(b.binop(Opcode::Add, l1, b.const_i64(1)), addr);
+  const ValueId l2 = b.load(kI64, addr);  // must NOT be CSE'd with l1
+  b.ret(b.binop(Opcode::Add, l1, l2));
+  const auto stats = check(tp, {"early-cse"});
+  EXPECT_EQ(stats.get("early-cse.NumCSELoad"), 0);
+}
+
+TEST(PassReassociate, FoldsScatteredConstants) {
+  auto tp = single();
+  tp.module().globals.push_back(
+      GlobalVar{"g", std::vector<std::uint8_t>(8, 5)});
+  IRBuilder b(tp.fn());
+  b.set_insert(0);
+  const ValueId v = b.load(kI64, b.global_addr(0));
+  // ((v + 1) + v) + 2 : constants meet after reassociation.
+  ValueId e = b.binop(Opcode::Add, v, b.const_i64(1));
+  e = b.binop(Opcode::Add, e, v);
+  e = b.binop(Opcode::Add, e, b.const_i64(2));
+  b.ret(e);
+  const auto stats = check(tp, {"reassociate"});
+  EXPECT_GE(stats.get("reassociate.NumReassoc"), 1);
+}
+
+TEST(PassSccp, PropagatesThroughBranches) {
+  auto tp = single();
+  IRBuilder b(tp.fn());
+  b.set_insert(0);
+  const ValueId c = b.binop(Opcode::Add, b.const_i64(1), b.const_i64(1));
+  const ValueId cond = b.icmp(CmpPred::EQ, c, b.const_i64(2));
+  const BlockId t = b.new_block("t");
+  const BlockId e = b.new_block("e");
+  b.cond_br(cond, t, e);
+  b.set_insert(t);
+  b.ret(b.const_i64(11));
+  b.set_insert(e);
+  b.ret(b.const_i64(22));
+  const auto stats = check(tp, {"sccp"});
+  EXPECT_GT(stats.get("sccp.NumInstRemoved"), 0);
+  EXPECT_GE(stats.get("sccp.NumDeadBlocks"), 1);
+}
+
+TEST(PassConstMerge, DeduplicatesConstants) {
+  auto tp = single();
+  tp.module().globals.push_back(
+      GlobalVar{"g", std::vector<std::uint8_t>(8, 5)});
+  IRBuilder b(tp.fn());
+  b.set_insert(0);
+  const ValueId v = b.load(kI64, b.global_addr(0));
+  const ValueId a = b.binop(Opcode::Add, v, b.const_i64(7));
+  const ValueId c = b.binop(Opcode::Mul, a, b.const_i64(7));  // 7 again
+  b.ret(c);
+  const auto stats = check(tp, {"constmerge"});
+  EXPECT_GE(stats.get("constmerge.NumMerged"), 1);
+}
+
+TEST(PassDivRemPairs, RewritesRemainder) {
+  auto tp = single();
+  tp.module().globals.push_back(
+      GlobalVar{"g", std::vector<std::uint8_t>(8, 57)});
+  IRBuilder b(tp.fn());
+  b.set_insert(0);
+  const ValueId v = b.load(kI64, b.global_addr(0));
+  const ValueId q = b.const_i64(7);
+  const ValueId d = b.binop(Opcode::SDiv, v, q);
+  const ValueId r = b.binop(Opcode::SRem, v, q);
+  b.ret(b.binop(Opcode::Add, d, r));
+  double before = 0.0, after = 0.0;
+  const auto stats = check(tp, {"div-rem-pairs"}, &before, &after);
+  EXPECT_EQ(stats.get("div-rem-pairs.NumDecomposed"), 1);
+  EXPECT_LT(after, before);  // srem (expensive) replaced by mul+sub
+}
+
+TEST(PassLoopSimplify, CreatesPreheader) {
+  auto tp = single();
+  Function& f = tp.fn();
+  IRBuilder b(f);
+  b.set_insert(0);
+  // Hand-built loop whose header has two outside predecessors.
+  const ValueId cond0 =
+      b.icmp(CmpPred::SGT, b.const_i64(2), b.const_i64(1));
+  const BlockId pre1 = b.new_block("pre1");
+  const BlockId pre2 = b.new_block("pre2");
+  const BlockId header = b.new_block("header");
+  const BlockId exitb = b.new_block("exit");
+  b.cond_br(cond0, pre1, pre2);
+  b.set_insert(pre1);
+  const ValueId c0 = b.const_i64(0);
+  b.br(header);
+  b.set_insert(pre2);
+  const ValueId c5 = b.const_i64(5);
+  b.br(header);
+  b.set_insert(header);
+  const ValueId iv = b.phi(kI64, {{c0, pre1}, {c5, pre2}});
+  const ValueId c1 = b.const_i64(1);
+  const ValueId next = b.binop(Opcode::Add, iv, c1);
+  const ValueId cont = b.icmp(CmpPred::SLT, next, b.const_i64(10));
+  b.cond_br(cont, header, exitb);
+  f.instr(iv).ops.push_back(next);
+  f.instr(iv).phi_blocks.push_back(header);
+  b.set_insert(exitb);
+  b.ret(next);
+  ASSERT_TRUE(verify_module(tp.module()).empty())
+      << verify_module(tp.module()).front();
+  const auto stats = check(tp, {"loop-simplify"});
+  EXPECT_GE(stats.get("loop-simplify.NumPreheaders"), 1);
+}
+
+TEST(PassLicm, HoistsInvariantComputation) {
+  auto tp = single();
+  tp.module().globals.push_back(
+      GlobalVar{"g", std::vector<std::uint8_t>(8, 3)});
+  IRBuilder b(tp.fn());
+  b.set_insert(0);
+  const ValueId acc = b.stack_alloc(kI64);
+  b.store(b.const_i64(0), acc);
+  const ValueId k = b.load(kI64, b.global_addr(0));
+  auto loop = b.begin_loop(b.const_i64(0), b.const_i64(16));
+  {
+    const ValueId inv = b.binop(Opcode::Mul, k, k);  // invariant
+    b.store(b.binop(Opcode::Add, b.load(kI64, acc), inv), acc);
+  }
+  b.end_loop(loop);
+  b.ret(b.load(kI64, acc));
+  double before = 0.0, after = 0.0;
+  const auto stats =
+      check(tp, {"mem2reg", "licm"}, &before, &after);
+  EXPECT_GE(stats.get("licm.NumHoisted"), 1);
+  EXPECT_LT(after, before);
+}
+
+TEST(PassLicm, DoesNotHoistLoadPastStores) {
+  auto tp = single();
+  tp.module().globals.push_back(
+      GlobalVar{"g", std::vector<std::uint8_t>(16, 1)});
+  IRBuilder b(tp.fn());
+  b.set_insert(0);
+  const ValueId acc = b.stack_alloc(kI64);
+  b.store(b.const_i64(0), acc);
+  const ValueId addr = b.global_addr(0);
+  auto loop = b.begin_loop(b.const_i64(0), b.const_i64(8));
+  {
+    const ValueId v = b.load(kI64, addr);  // address invariant...
+    b.store(b.binop(Opcode::Add, v, b.const_i64(1)), addr);  // ...but stored
+    b.store(b.binop(Opcode::Add, b.load(kI64, acc), v), acc);
+  }
+  b.end_loop(loop);
+  b.ret(b.load(kI64, acc));
+  const auto stats = check(tp, {"mem2reg", "licm"});
+  EXPECT_EQ(stats.get("licm.NumHoistedLoad"), 0);
+}
+
+TEST(PassLoopUnroll, FullyUnrollsSmallConstantLoop) {
+  auto tp = single();
+  IRBuilder b(tp.fn());
+  b.set_insert(0);
+  const ValueId acc = b.stack_alloc(kI64);
+  b.store(b.const_i64(0), acc);
+  auto loop = b.begin_loop(b.const_i64(0), b.const_i64(6));
+  b.store(b.binop(Opcode::Add, b.load(kI64, acc), loop.iv), acc);
+  b.end_loop(loop);
+  b.ret(b.load(kI64, acc));
+  const auto stats =
+      check(tp, {"mem2reg", "loop-simplify", "loop-unroll", "sccp", "dce"});
+  EXPECT_EQ(stats.get("loop-unroll.NumFullyUnrolled"), 1);
+}
+
+TEST(PassLoopUnroll, PartiallyUnrollsLargeLoop) {
+  auto tp = single();
+  tp.module().globals.push_back(
+      GlobalVar{"x", std::vector<std::uint8_t>(256 * 4, 2)});
+  IRBuilder b(tp.fn());
+  b.set_insert(0);
+  const ValueId acc = b.stack_alloc(kI64);
+  b.store(b.const_i64(0), acc);
+  const ValueId base = b.global_addr(0);
+  auto loop = b.begin_loop(b.const_i64(0), b.const_i64(256));
+  {
+    const ValueId v = b.load(kI32, b.gep(base, loop.iv, kI32));
+    const ValueId e = b.cast(Opcode::SExt, v, kI64);
+    b.store(b.binop(Opcode::Add, b.load(kI64, acc), e), acc);
+  }
+  b.end_loop(loop);
+  b.ret(b.load(kI64, acc));
+  double before = 0.0, after = 0.0;
+  const auto stats = check(tp, {"mem2reg", "loop-simplify", "loop-unroll"},
+                           &before, &after);
+  EXPECT_GE(stats.get("loop-unroll.NumUnrolled"), 1);
+  EXPECT_LT(after, before);  // fewer branches
+}
+
+TEST(PassLoopIdiom, RecognisesMemset) {
+  auto tp = single();
+  tp.module().globals.push_back(
+      GlobalVar{"buf", std::vector<std::uint8_t>(128 * 4, 9)});
+  IRBuilder b(tp.fn());
+  b.set_insert(0);
+  const ValueId base = b.global_addr(0);
+  auto loop = b.begin_loop(b.const_i64(0), b.const_i64(128), 1, "z");
+  b.store(b.const_i32(0), b.gep(base, loop.iv, kI32));
+  b.end_loop(loop);
+  // Read something back so the zeroing is observable.
+  const ValueId v = b.load(kI32, b.gep(base, b.const_i64(100), kI32));
+  b.ret(b.cast(Opcode::SExt, v, kI64));
+  double before = 0.0, after = 0.0;
+  const auto stats = check(tp, {"mem2reg", "loop-simplify", "loop-idiom"},
+                           &before, &after);
+  EXPECT_EQ(stats.get("loop-idiom.NumMemSet"), 1);
+  EXPECT_LT(after, before);
+}
+
+TEST(PassLoopIdiom, RecognisesMemcpy) {
+  auto tp = single();
+  tp.module().globals.push_back(
+      GlobalVar{"src", std::vector<std::uint8_t>(64 * 4, 3)});
+  tp.module().globals.push_back(
+      GlobalVar{"dst", std::vector<std::uint8_t>(64 * 4, 0)});
+  IRBuilder b(tp.fn());
+  b.set_insert(0);
+  const ValueId src = b.global_addr(0);
+  const ValueId dst = b.global_addr(1);
+  auto loop = b.begin_loop(b.const_i64(0), b.const_i64(64), 1, "cp");
+  {
+    const ValueId v = b.load(kI32, b.gep(src, loop.iv, kI32));
+    b.store(v, b.gep(dst, loop.iv, kI32));
+  }
+  b.end_loop(loop);
+  const ValueId v = b.load(kI32, b.gep(dst, b.const_i64(63), kI32));
+  b.ret(b.cast(Opcode::SExt, v, kI64));
+  const auto stats =
+      check(tp, {"mem2reg", "loop-simplify", "loop-idiom"});
+  EXPECT_EQ(stats.get("loop-idiom.NumMemCpy"), 1);
+}
+
+TEST(PassLoopDeletion, DropsDeadLoop) {
+  auto tp = single();
+  IRBuilder b(tp.fn());
+  b.set_insert(0);
+  const ValueId junk = b.stack_alloc(kI64);
+  b.store(b.const_i64(0), junk);
+  auto loop = b.begin_loop(b.const_i64(0), b.const_i64(50));
+  b.store(b.binop(Opcode::Mul, loop.iv, loop.iv), junk);
+  b.end_loop(loop);
+  b.ret(b.const_i64(77));  // loop result unused
+  double before = 0.0, after = 0.0;
+  const auto stats = check(
+      tp, {"mem2reg", "adce", "loop-simplify", "loop-deletion"}, &before,
+      &after);
+  EXPECT_GE(stats.get("loop-deletion.NumDeleted"), 1);
+  EXPECT_LT(after, before);
+}
+
+TEST(PassLoopRotate, RotatesAndEnablesLoadHoist) {
+  auto tp = single();
+  tp.module().globals.push_back(
+      GlobalVar{"g", std::vector<std::uint8_t>(8, 3)});
+  IRBuilder b(tp.fn());
+  b.set_insert(0);
+  const ValueId acc = b.stack_alloc(kI64);
+  b.store(b.const_i64(0), acc);
+  const ValueId addr = b.global_addr(0);
+  auto loop = b.begin_loop(b.const_i64(0), b.const_i64(16));
+  {
+    const ValueId v = b.load(kI64, addr);  // invariant load, no stores
+    b.store(b.binop(Opcode::Add, b.load(kI64, acc), v), acc);
+  }
+  b.end_loop(loop);
+  b.ret(b.load(kI64, acc));
+  const auto stats = check(
+      tp, {"mem2reg", "loop-simplify", "loop-rotate", "licm"});
+  EXPECT_GE(stats.get("loop-rotate.NumRotated"), 1);
+  EXPECT_GE(stats.get("licm.NumHoistedLoad"), 1);
+}
+
+TEST(PassIndvars, CanonicalisesSleCompare) {
+  auto tp = single();
+  Function& f = tp.fn();
+  IRBuilder b(f);
+  b.set_insert(0);
+  // while (i <= 9) — builder emits SLT loops, so build SLE by hand.
+  const ValueId slot = b.stack_alloc(kI64);
+  b.store(b.const_i64(0), slot);
+  const BlockId header = b.new_block("h");
+  const BlockId body = b.new_block("b");
+  const BlockId exitb = b.new_block("e");
+  b.br(header);
+  b.set_insert(header);
+  const ValueId iv = b.load(kI64, slot);
+  const ValueId cond = b.icmp(CmpPred::SLE, iv, b.const_i64(9));
+  b.cond_br(cond, body, exitb);
+  b.set_insert(body);
+  const ValueId iv2 = b.load(kI64, slot);
+  b.store(b.binop(Opcode::Add, iv2, b.const_i64(1)), slot);
+  b.br(header);
+  b.set_insert(exitb);
+  b.ret(b.load(kI64, slot));
+  const auto stats = check(tp, {"indvars"});
+  EXPECT_EQ(stats.get("indvars.NumLFTR"), 1);
+}
+
+TEST(PassInline, InlinesSmallInternalCallee) {
+  auto tp = single();
+  create_function(tp.module(), "helper", kI64, {kI64}, true);
+  {
+    IRBuilder b(tp.fn(1));
+    b.set_insert(0);
+    b.ret(b.binop(Opcode::Mul, b.arg(0), b.const_i64(3)));
+  }
+  {
+    IRBuilder b(tp.fn(0));
+    b.set_insert(0);
+    const ValueId r1 = b.call(kI64, "helper", {b.const_i64(5)});
+    const ValueId r2 = b.call(kI64, "helper", {b.const_i64(7)});
+    b.ret(b.binop(Opcode::Add, r1, r2));
+  }
+  double before = 0.0, after = 0.0;
+  const auto stats = check(tp, {"inline", "globalopt"}, &before, &after);
+  EXPECT_EQ(stats.get("inline.NumInlined"), 2);
+  EXPECT_EQ(stats.get("globalopt.NumFnDeleted"), 1);
+  EXPECT_LT(after, before);  // call overhead removed
+}
+
+TEST(PassInline, CallInsideLoopKeepsAllocasInEntry) {
+  auto tp = single();
+  create_function(tp.module(), "scratch", kI64, {kI64}, true);
+  {
+    IRBuilder b(tp.fn(1));
+    b.set_insert(0);
+    const ValueId tmp = b.stack_alloc(kI64);
+    b.store(b.binop(Opcode::Add, b.arg(0), b.const_i64(1)), tmp);
+    b.ret(b.load(kI64, tmp));
+  }
+  {
+    IRBuilder b(tp.fn(0));
+    b.set_insert(0);
+    const ValueId acc = b.stack_alloc(kI64);
+    b.store(b.const_i64(0), acc);
+    auto loop = b.begin_loop(b.const_i64(0), b.const_i64(200));
+    {
+      const ValueId r = b.call(kI64, "scratch", {loop.iv});
+      b.store(b.binop(Opcode::Add, b.load(kI64, acc), r), acc);
+    }
+    b.end_loop(loop);
+    b.ret(b.load(kI64, acc));
+  }
+  // 200 iterations x a callee alloca: if inlined allocas were not hoisted
+  // to the entry block, the frame would grow each iteration.
+  check(tp, {"inline"});
+}
+
+TEST(PassFunctionAttrs, MarksReadNoneAndEnablesLicm) {
+  auto tp = single();
+  create_function(tp.module(), "pure3", kI64, {kI64}, true);
+  {
+    IRBuilder b(tp.fn(1));
+    b.set_insert(0);
+    b.ret(b.binop(Opcode::Mul, b.arg(0), b.arg(0)));
+  }
+  {
+    IRBuilder b(tp.fn(0));
+    b.set_insert(0);
+    const ValueId acc = b.stack_alloc(kI64);
+    b.store(b.const_i64(0), acc);
+    auto loop = b.begin_loop(b.const_i64(0), b.const_i64(12));
+    {
+      const ValueId k = b.call(kI64, "pure3", {b.const_i64(6)});  // invariant
+      b.store(b.binop(Opcode::Add, b.load(kI64, acc), k), acc);
+    }
+    b.end_loop(loop);
+    b.ret(b.load(kI64, acc));
+  }
+  const auto stats = check(
+      tp, {"function-attrs", "mem2reg", "loop-simplify", "licm"});
+  EXPECT_GE(stats.get("function-attrs.NumReadNone"), 1);
+  EXPECT_GE(stats.get("licm.NumHoistedCall"), 1);
+}
+
+TEST(PassFunctionAttrs, LicmWithoutAttrsCannotHoistCall) {
+  auto tp = single();
+  create_function(tp.module(), "pure3", kI64, {kI64}, true);
+  {
+    IRBuilder b(tp.fn(1));
+    b.set_insert(0);
+    b.ret(b.binop(Opcode::Mul, b.arg(0), b.arg(0)));
+  }
+  {
+    IRBuilder b(tp.fn(0));
+    b.set_insert(0);
+    const ValueId acc = b.stack_alloc(kI64);
+    b.store(b.const_i64(0), acc);
+    auto loop = b.begin_loop(b.const_i64(0), b.const_i64(12));
+    {
+      const ValueId k = b.call(kI64, "pure3", {b.const_i64(6)});
+      b.store(b.binop(Opcode::Add, b.load(kI64, acc), k), acc);
+    }
+    b.end_loop(loop);
+    b.ret(b.load(kI64, acc));
+  }
+  // Ordering matters: without function-attrs first, licm must not touch
+  // the call — the pass-interaction the paper's Sec. 3.4 highlights.
+  const auto stats = check(tp, {"mem2reg", "loop-simplify", "licm"});
+  EXPECT_EQ(stats.get("licm.NumHoistedCall"), 0);
+}
+
+TEST(PassTailCallElim, ConvertsRecursionToLoop) {
+  auto tp = single();
+  create_function(tp.module(), "count", kI64, {kI64, kI64}, true);
+  {
+    IRBuilder b(tp.fn(1));
+    b.set_insert(0);
+    const BlockId done = b.new_block("done");
+    const BlockId rec = b.new_block("rec");
+    const ValueId c = b.icmp(CmpPred::SGE, b.arg(0), b.const_i64(500));
+    b.cond_br(c, done, rec);
+    b.set_insert(done);
+    b.ret(b.arg(1));
+    b.set_insert(rec);
+    const ValueId i2 = b.binop(Opcode::Add, b.arg(0), b.const_i64(1));
+    const ValueId a2 = b.binop(Opcode::Add, b.arg(1), b.arg(0));
+    const ValueId r = b.call(kI64, "count", {i2, a2});
+    b.ret(r);
+  }
+  {
+    IRBuilder b(tp.fn(0));
+    b.set_insert(0);
+    b.ret(b.call(kI64, "count", {b.const_i64(0), b.const_i64(0)}));
+  }
+  // Depth 500 exceeds the default call-depth limit, so the *unoptimised*
+  // program must use a raised limit; after tailcallelim it runs fine
+  // under the default limits.
+  ExecLimits deep;
+  deep.max_call_depth = 1000;
+  const auto before = interpret(tp.p, {}, deep);
+  ASSERT_TRUE(before.ok) << before.trap;
+  auto stats = passes::run_sequence(tp.module(), {"tailcallelim"}, true);
+  EXPECT_GE(stats.get("tailcallelim.NumEliminated"), 1);
+  const auto after = interpret(tp.p);  // default depth limit: no recursion
+  ASSERT_TRUE(after.ok) << after.trap;
+  EXPECT_EQ(after.ret, before.ret);
+}
+
+TEST(PassIpsccp, PropagatesUniformConstantArgs) {
+  auto tp = single();
+  create_function(tp.module(), "scaled", kI64, {kI64, kI64}, true);
+  {
+    IRBuilder b(tp.fn(1));
+    b.set_insert(0);
+    b.ret(b.binop(Opcode::Mul, b.arg(0), b.arg(1)));
+  }
+  {
+    IRBuilder b(tp.fn(0));
+    b.set_insert(0);
+    const ValueId r1 = b.call(kI64, "scaled", {b.const_i64(4), b.const_i64(3)});
+    const ValueId r2 = b.call(kI64, "scaled", {b.const_i64(9), b.const_i64(3)});
+    b.ret(b.binop(Opcode::Add, r1, r2));
+  }
+  const auto stats = check(tp, {"ipsccp"});
+  // Arg 1 is always 3; arg 0 differs across call sites.
+  EXPECT_EQ(stats.get("ipsccp.NumArgsConsted"), 1);
+}
+
+TEST(PassDeadArgElim, NeutralisesUnusedArgs) {
+  auto tp = single();
+  create_function(tp.module(), "ignores", kI64, {kI64, kI64}, true);
+  {
+    IRBuilder b(tp.fn(1));
+    b.set_insert(0);
+    b.ret(b.arg(0));  // arg 1 unused
+  }
+  {
+    IRBuilder b(tp.fn(0));
+    b.set_insert(0);
+    tp.module().globals.push_back(
+        GlobalVar{"g", std::vector<std::uint8_t>(8, 2)});
+    const ValueId v = b.load(kI64, b.global_addr(0));
+    const ValueId expensive = b.binop(Opcode::SDiv, v, b.const_i64(3));
+    const ValueId r = b.call(kI64, "ignores", {b.const_i64(5), expensive});
+    b.ret(r);
+  }
+  const auto stats = check(tp, {"deadargelim", "dce"});
+  EXPECT_EQ(stats.get("deadargelim.NumArgumentsEliminated"), 1);
+  EXPECT_GE(stats.get("dce.NumDeleted"), 1);  // the sdiv chain died
+}
+
+TEST(PassJumpThreading, ThreadsPhiOfConstants) {
+  auto tp = single();
+  Function& f = tp.fn();
+  IRBuilder b(f);
+  b.set_insert(0);
+  tp.module().globals.push_back(
+      GlobalVar{"g", std::vector<std::uint8_t>(8, 1)});
+  const ValueId v = b.load(kI64, b.global_addr(0));
+  const ValueId c = b.icmp(CmpPred::SGT, v, b.const_i64(0));
+  const BlockId a = b.new_block("a");
+  const BlockId bb2 = b.new_block("b");
+  const BlockId merge = b.new_block("merge");
+  const BlockId yes = b.new_block("yes");
+  const BlockId no = b.new_block("no");
+  b.cond_br(c, a, bb2);
+  b.set_insert(a);
+  const ValueId t = b.const_i64(1);
+  b.br(merge);
+  b.set_insert(bb2);
+  const ValueId fzero = b.const_i64(0);
+  b.br(merge);
+  b.set_insert(merge);
+  const ValueId phi = b.phi(kI1, {{t, a}, {fzero, bb2}});
+  b.cond_br(phi, yes, no);
+  b.set_insert(yes);
+  b.ret(b.const_i64(100));
+  b.set_insert(no);
+  b.ret(b.const_i64(200));
+  const auto stats = check(tp, {"jump-threading", "simplifycfg"});
+  EXPECT_GE(stats.get("jump-threading.NumThreads"), 1);
+}
+
+TEST(PassSlp, VectorisesUnrolledDotProduct) {
+  // Covered extensively by test_motif.cpp; here: the fp element-wise map
+  // must NOT be SLP'd into a reduction (fp chains are rejected).
+  auto tp = single();
+  tp.module().globals.push_back(
+      GlobalVar{"a", std::vector<std::uint8_t>(8 * 8, 1)});
+  IRBuilder b(tp.fn());
+  b.set_insert(0);
+  const ValueId base = b.global_addr(0);
+  ValueId acc = b.const_f64(0.0);
+  for (int j = 0; j < 4; ++j) {
+    const ValueId v = b.load(kF64, b.gep(base, b.const_i64(j), kF64));
+    acc = b.binop(Opcode::FAdd, acc, v);
+  }
+  b.ret(b.cast(Opcode::FPToSI, acc, kI64));
+  const auto stats = check(tp, {"slp-vectorizer"});
+  EXPECT_EQ(stats.get("slp.NumVectorized"), 0)
+      << "fp reduction must not be reassociated";
+}
+
+TEST(PassLoopVectorize, VectorisesIntReduction) {
+  auto tp = single();
+  tp.module().globals.push_back(
+      GlobalVar{"x", std::vector<std::uint8_t>(64 * 4, 1)});
+  IRBuilder b(tp.fn());
+  b.set_insert(0);
+  const ValueId acc = b.stack_alloc(kI32);
+  b.store(b.const_i32(0), acc);
+  const ValueId base = b.global_addr(0);
+  auto loop = b.begin_loop(b.const_i64(0), b.const_i64(64));
+  {
+    const ValueId v = b.load(kI32, b.gep(base, loop.iv, kI32));
+    b.store(b.binop(Opcode::Add, b.load(kI32, acc), v), acc);
+  }
+  b.end_loop(loop);
+  b.ret(b.cast(Opcode::SExt, b.load(kI32, acc), kI64));
+  double before = 0.0, after = 0.0;
+  const auto stats = check(
+      tp, {"mem2reg", "loop-simplify", "loop-vectorize"}, &before, &after);
+  EXPECT_EQ(stats.get("loop-vectorize.LoopsVectorized"), 1);
+  EXPECT_LT(after, before);
+}
+
+TEST(PassLoopVectorize, RejectsAliasedStores) {
+  auto tp = single();
+  tp.module().globals.push_back(
+      GlobalVar{"x", std::vector<std::uint8_t>(64 * 4, 1)});
+  IRBuilder b(tp.fn());
+  b.set_insert(0);
+  const ValueId base = b.global_addr(0);
+  auto loop = b.begin_loop(b.const_i64(0), b.const_i64(64));
+  {
+    // x[i] = x[i] * 2 is fine, but load+store through the SAME base must
+    // be rejected by the conservative alias check.
+    const ValueId v = b.load(kI32, b.gep(base, loop.iv, kI32));
+    b.store(b.binop(Opcode::Mul, v, b.const_i32(2)),
+            b.gep(base, loop.iv, kI32));
+  }
+  b.end_loop(loop);
+  const ValueId r = b.load(kI32, b.gep(base, b.const_i64(5), kI32));
+  b.ret(b.cast(Opcode::SExt, r, kI64));
+  const auto stats = check(
+      tp, {"mem2reg", "loop-simplify", "loop-vectorize"});
+  EXPECT_EQ(stats.get("loop-vectorize.LoopsVectorized"), 0);
+}
+
+TEST(PassSink, MovesComputationIntoUsingBranch) {
+  auto tp = single();
+  tp.module().globals.push_back(
+      GlobalVar{"g", std::vector<std::uint8_t>(8, 200)});
+  IRBuilder b(tp.fn());
+  b.set_insert(0);
+  const ValueId v = b.load(kI64, b.global_addr(0));
+  const ValueId expensive = b.binop(Opcode::Mul, v, v);  // used in one arm
+  const ValueId c = b.icmp(CmpPred::SGT, v, b.const_i64(100));
+  const BlockId hot = b.new_block("hot");
+  const BlockId cold = b.new_block("cold");
+  b.cond_br(c, hot, cold);
+  b.set_insert(hot);
+  b.ret(expensive);
+  b.set_insert(cold);
+  b.ret(v);
+  const auto stats = check(tp, {"sink"});
+  EXPECT_GE(stats.get("sink.NumSunk"), 1);
+}
+
+TEST(PassRegistry, EveryPassRunsOnEveryBenchmarkModule) {
+  // Single-pass robustness: each registered pass alone must keep every
+  // benchmark program verifier-clean and semantics-preserving.
+  const auto& reg = passes::PassRegistry::instance();
+  for (const auto& pass : reg.pass_names()) {
+    auto p = bench_suite::make_program("telecom_gsm");
+    const auto before = interpret(p);
+    for (auto& m : p.modules)
+      ASSERT_NO_THROW(passes::run_sequence(m, {pass}, true))
+          << pass << " on " << m.name;
+    const auto after = interpret(p);
+    ASSERT_TRUE(after.ok) << pass << ": " << after.trap;
+    EXPECT_EQ(after.ret, before.ret) << pass << " miscompiled";
+  }
+}
+
+TEST(PassDse, RemovesOverwrittenStore) {
+  auto tp = single();
+  tp.module().globals.push_back(
+      GlobalVar{"g", std::vector<std::uint8_t>(8, 0)});
+  IRBuilder b(tp.fn());
+  b.set_insert(0);
+  const ValueId addr = b.global_addr(0);
+  b.store(b.const_i64(111), addr);  // dead: overwritten below, never read
+  b.store(b.const_i64(222), addr);
+  b.ret(b.load(kI64, addr));
+  const auto stats = check(tp, {"dse"});
+  EXPECT_EQ(stats.get("dse.NumStoresDeleted"), 1);
+}
+
+TEST(PassDse, KeepsStoreReadInBetween) {
+  auto tp = single();
+  tp.module().globals.push_back(
+      GlobalVar{"g", std::vector<std::uint8_t>(8, 0)});
+  IRBuilder b(tp.fn());
+  b.set_insert(0);
+  const ValueId addr = b.global_addr(0);
+  b.store(b.const_i64(111), addr);
+  const ValueId v = b.load(kI64, addr);  // reads the first store
+  b.store(b.const_i64(222), addr);
+  b.ret(b.binop(Opcode::Add, v, b.load(kI64, addr)));
+  const auto stats = check(tp, {"dse"});
+  EXPECT_EQ(stats.get("dse.NumStoresDeleted"), 0);
+}
+
+TEST(PassDse, NarrowLaterStoreDoesNotKillWideStore) {
+  auto tp = single();
+  tp.module().globals.push_back(
+      GlobalVar{"g", std::vector<std::uint8_t>(8, 0)});
+  IRBuilder b(tp.fn());
+  b.set_insert(0);
+  const ValueId addr = b.global_addr(0);
+  b.store(b.const_i64(0x1111222233334444LL), addr);  // 8 bytes
+  b.store(b.const_i16(9), addr);                     // 2 bytes only
+  b.ret(b.load(kI64, addr));  // upper bytes come from the wide store
+  const auto stats = check(tp, {"dse"});
+  EXPECT_EQ(stats.get("dse.NumStoresDeleted"), 0);
+}
+
+TEST(PassMemCpyOpt, ForwardsStoreToLoad) {
+  auto tp = single();
+  tp.module().globals.push_back(
+      GlobalVar{"g", std::vector<std::uint8_t>(8, 0)});
+  IRBuilder b(tp.fn());
+  b.set_insert(0);
+  const ValueId addr = b.global_addr(0);
+  const ValueId v = b.const_i64(37);
+  b.store(v, addr);
+  const ValueId l = b.load(kI64, addr);  // forwarded to v
+  b.ret(b.binop(Opcode::Add, l, b.const_i64(5)));
+  double before = 0.0, after = 0.0;
+  const auto stats = check(tp, {"memcpyopt", "dce"}, &before, &after);
+  EXPECT_EQ(stats.get("memcpyopt.NumLoadsForwarded"), 1);
+  EXPECT_LT(after, before);  // the load disappeared
+}
+
+TEST(PassMemCpyOpt, InterveningStoreBlocksForwarding) {
+  auto tp = single();
+  tp.module().globals.push_back(
+      GlobalVar{"g", std::vector<std::uint8_t>(16, 0)});
+  IRBuilder b(tp.fn());
+  b.set_insert(0);
+  const ValueId a1 = b.global_addr(0);
+  const ValueId a2 = b.gep(a1, b.const_i64(0), kI64);  // equal address,
+  b.store(b.const_i64(1), a1);                         // different SSA id
+  b.store(b.const_i64(2), a2);  // clobbers a1's bytes through another name
+  const ValueId l = b.load(kI64, a1);  // must NOT forward the first store
+  b.ret(l);
+  const auto r0 = interpret(tp.p);
+  ASSERT_TRUE(r0.ok);
+  EXPECT_EQ(r0.ret, 2);
+  const auto stats = check(tp, {"memcpyopt"});
+  EXPECT_EQ(stats.get("memcpyopt.NumLoadsForwarded"), 0);
+}
+
+TEST(PassLoopUnswitch, IfConvertsInvariantBranchInLoop) {
+  auto tp = single();
+  tp.module().globals.push_back(
+      GlobalVar{"g", std::vector<std::uint8_t>(8, 1)});
+  tp.module().globals.push_back(
+      GlobalVar{"x", std::vector<std::uint8_t>(32 * 4, 2)});
+  IRBuilder b(tp.fn());
+  b.set_insert(0);
+  const ValueId flag = b.load(kI64, b.global_addr(0));
+  const ValueId inv = b.icmp(CmpPred::SGT, flag, b.const_i64(0));
+  const ValueId base = b.global_addr(1);
+  const ValueId acc = b.stack_alloc(kI64);
+  b.store(b.const_i64(0), acc);
+  auto loop = b.begin_loop(b.const_i64(0), b.const_i64(32));
+  {
+    const ValueId v = b.load(kI32, b.gep(base, loop.iv, kI32));
+    const ValueId e = b.cast(Opcode::SExt, v, kI64);
+    const BlockId armA = b.new_block("armA");
+    const BlockId armB = b.new_block("armB");
+    const BlockId join = b.new_block("join");
+    b.cond_br(inv, armA, armB);
+    b.set_insert(armA);
+    const ValueId wa = b.binop(Opcode::Mul, e, b.const_i64(3));
+    b.br(join);
+    b.set_insert(armB);
+    const ValueId wb = b.binop(Opcode::Add, e, b.const_i64(100));
+    b.br(join);
+    b.set_insert(join);
+    const ValueId merged = b.phi(kI64, {{wa, armA}, {wb, armB}});
+    b.store(b.binop(Opcode::Add, b.load(kI64, acc), merged), acc);
+  }
+  b.end_loop(loop);
+  b.ret(b.load(kI64, acc));
+  double before = 0.0, after = 0.0;
+  const auto stats = check(tp, {"mem2reg", "loop-unswitch", "dce"},
+                           &before, &after);
+  EXPECT_EQ(stats.get("loop-unswitch.NumUnswitched"), 1);
+  EXPECT_LT(after, before);  // the per-iteration branch is gone
+}

@@ -1,0 +1,63 @@
+// End-to-end smoke tests: every benchmark program must verify, run, and
+// survive the full -O3 pipeline with identical output and a speedup.
+
+#include <gtest/gtest.h>
+
+#include "bench_suite/suite.hpp"
+#include "ir/interpreter.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "passes/pass.hpp"
+#include "sim/evaluator.hpp"
+#include "sim/machine.hpp"
+
+using namespace citroen;
+
+class SmokePerProgram : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SmokePerProgram, BaseProgramVerifiesAndRuns) {
+  const auto p = bench_suite::make_program(GetParam());
+  for (const auto& m : p.modules) {
+    const auto errs = ir::verify_module(m);
+    EXPECT_TRUE(errs.empty()) << m.name << ": " << errs.front();
+  }
+  const auto r = ir::interpret(p);
+  ASSERT_TRUE(r.ok) << r.trap;
+  EXPECT_GT(r.instructions, 1000u);
+}
+
+TEST_P(SmokePerProgram, O3PreservesOutputAndSpeedsUp) {
+  auto p = bench_suite::make_program(GetParam());
+  const auto base = ir::interpret(p);
+  ASSERT_TRUE(base.ok) << base.trap;
+
+  for (auto& m : p.modules) {
+    ASSERT_NO_THROW(passes::run_sequence(m, passes::o3_sequence(), true))
+        << "in module " << m.name;
+  }
+  const auto opt = ir::interpret(p);
+  ASSERT_TRUE(opt.ok) << opt.trap;
+  EXPECT_EQ(opt.ret, base.ret) << "O3 miscompiled " << GetParam();
+  EXPECT_LT(opt.cycles, base.cycles) << "O3 did not speed up " << GetParam();
+}
+
+TEST_P(SmokePerProgram, EvaluatorConstructs) {
+  sim::ProgramEvaluator ev(bench_suite::make_program(GetParam()),
+                           sim::arm_a57_model());
+  EXPECT_GT(ev.o0_cycles(), ev.o3_cycles());
+  const auto hot = ev.hot_modules();
+  ASSERT_FALSE(hot.empty());
+  double total = 0.0;
+  for (const auto& [name, frac] : hot) total += frac;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, SmokePerProgram,
+                         ::testing::ValuesIn([] {
+                           std::vector<std::string> names;
+                           for (const auto& b :
+                                bench_suite::benchmark_list())
+                             names.push_back(b.name);
+                           return names;
+                         }()),
+                         [](const auto& info) { return info.param; });
