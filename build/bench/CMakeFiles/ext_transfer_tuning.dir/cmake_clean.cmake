@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_transfer_tuning.dir/ext_transfer_tuning.cpp.o"
+  "CMakeFiles/ext_transfer_tuning.dir/ext_transfer_tuning.cpp.o.d"
+  "ext_transfer_tuning"
+  "ext_transfer_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_transfer_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

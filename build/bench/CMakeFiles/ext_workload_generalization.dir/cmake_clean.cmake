@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_workload_generalization.dir/ext_workload_generalization.cpp.o"
+  "CMakeFiles/ext_workload_generalization.dir/ext_workload_generalization.cpp.o.d"
+  "ext_workload_generalization"
+  "ext_workload_generalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_workload_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_13_other_inits.dir/fig4_13_other_inits.cpp.o"
+  "CMakeFiles/fig4_13_other_inits.dir/fig4_13_other_inits.cpp.o.d"
+  "fig4_13_other_inits"
+  "fig4_13_other_inits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_13_other_inits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_13_other_inits.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_14_hparams.dir/fig4_14_hparams.cpp.o"
+  "CMakeFiles/fig4_14_hparams.dir/fig4_14_hparams.cpp.o.d"
+  "fig4_14_hparams"
+  "fig4_14_hparams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_14_hparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

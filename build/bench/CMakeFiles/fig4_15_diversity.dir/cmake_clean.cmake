@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_15_diversity.dir/fig4_15_diversity.cpp.o"
+  "CMakeFiles/fig4_15_diversity.dir/fig4_15_diversity.cpp.o.d"
+  "fig4_15_diversity"
+  "fig4_15_diversity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_15_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

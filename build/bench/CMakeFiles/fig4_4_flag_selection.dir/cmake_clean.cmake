@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_4_flag_selection.dir/fig4_4_flag_selection.cpp.o"
+  "CMakeFiles/fig4_4_flag_selection.dir/fig4_4_flag_selection.cpp.o.d"
+  "fig4_4_flag_selection"
+  "fig4_4_flag_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_4_flag_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_4_flag_selection.
+# This may be replaced when dependencies are built.

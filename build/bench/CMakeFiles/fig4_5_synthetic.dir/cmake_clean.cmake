@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_5_synthetic.dir/fig4_5_synthetic.cpp.o"
+  "CMakeFiles/fig4_5_synthetic.dir/fig4_5_synthetic.cpp.o.d"
+  "fig4_5_synthetic"
+  "fig4_5_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_5_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

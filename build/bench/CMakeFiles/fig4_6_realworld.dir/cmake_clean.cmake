@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_6_realworld.dir/fig4_6_realworld.cpp.o"
+  "CMakeFiles/fig4_6_realworld.dir/fig4_6_realworld.cpp.o.d"
+  "fig4_6_realworld"
+  "fig4_6_realworld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_6_realworld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_7_afs.dir/fig4_7_afs.cpp.o"
+  "CMakeFiles/fig4_7_afs.dir/fig4_7_afs.cpp.o.d"
+  "fig4_7_afs"
+  "fig4_7_afs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_7_afs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_8_init_analysis.dir/fig4_8_init_analysis.cpp.o"
+  "CMakeFiles/fig4_8_init_analysis.dir/fig4_8_init_analysis.cpp.o.d"
+  "fig4_8_init_analysis"
+  "fig4_8_init_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_8_init_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_10_autophase.dir/fig5_10_autophase.cpp.o"
+  "CMakeFiles/fig5_10_autophase.dir/fig5_10_autophase.cpp.o.d"
+  "fig5_10_autophase"
+  "fig5_10_autophase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_10_autophase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_11_hparams.dir/fig5_11_hparams.cpp.o"
+  "CMakeFiles/fig5_11_hparams.dir/fig5_11_hparams.cpp.o.d"
+  "fig5_11_hparams"
+  "fig5_11_hparams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_11_hparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_13_multimodule.dir/fig5_13_multimodule.cpp.o"
+  "CMakeFiles/fig5_13_multimodule.dir/fig5_13_multimodule.cpp.o.d"
+  "fig5_13_multimodule"
+  "fig5_13_multimodule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_13_multimodule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

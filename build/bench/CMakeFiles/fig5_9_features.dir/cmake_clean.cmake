@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_9_features.dir/fig5_9_features.cpp.o"
+  "CMakeFiles/fig5_9_features.dir/fig5_9_features.cpp.o.d"
+  "fig5_9_features"
+  "fig5_9_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_9_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab4_2_runtime.dir/tab4_2_runtime.cpp.o"
+  "CMakeFiles/tab4_2_runtime.dir/tab4_2_runtime.cpp.o.d"
+  "tab4_2_runtime"
+  "tab4_2_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab4_2_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

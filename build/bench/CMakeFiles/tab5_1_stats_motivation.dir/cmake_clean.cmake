@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab5_1_stats_motivation.dir/tab5_1_stats_motivation.cpp.o"
+  "CMakeFiles/tab5_1_stats_motivation.dir/tab5_1_stats_motivation.cpp.o.d"
+  "tab5_1_stats_motivation"
+  "tab5_1_stats_motivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab5_1_stats_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

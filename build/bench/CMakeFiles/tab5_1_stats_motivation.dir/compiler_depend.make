@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab5_1_stats_motivation.
+# This may be replaced when dependencies are built.

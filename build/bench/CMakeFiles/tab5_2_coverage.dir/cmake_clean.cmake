@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab5_2_coverage.dir/tab5_2_coverage.cpp.o"
+  "CMakeFiles/tab5_2_coverage.dir/tab5_2_coverage.cpp.o.d"
+  "tab5_2_coverage"
+  "tab5_2_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab5_2_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab5_3_passlist.dir/tab5_3_passlist.cpp.o"
+  "CMakeFiles/tab5_3_passlist.dir/tab5_3_passlist.cpp.o.d"
+  "tab5_3_passlist"
+  "tab5_3_passlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab5_3_passlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/tab5_4_benchmarks.cpp" "bench/CMakeFiles/tab5_4_benchmarks.dir/tab5_4_benchmarks.cpp.o" "gcc" "bench/CMakeFiles/tab5_4_benchmarks.dir/tab5_4_benchmarks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/citroen/CMakeFiles/citroen_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/citroen_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench_suite/CMakeFiles/citroen_bench_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/citroen_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/aibo/CMakeFiles/citroen_aibo.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/citroen_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/af/CMakeFiles/citroen_af.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/citroen_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/passes/CMakeFiles/citroen_passes.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/citroen_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/heuristics/CMakeFiles/citroen_heuristics.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/citroen_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

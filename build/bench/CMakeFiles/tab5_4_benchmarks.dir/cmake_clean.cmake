@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab5_4_benchmarks.dir/tab5_4_benchmarks.cpp.o"
+  "CMakeFiles/tab5_4_benchmarks.dir/tab5_4_benchmarks.cpp.o.d"
+  "tab5_4_benchmarks"
+  "tab5_4_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab5_4_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

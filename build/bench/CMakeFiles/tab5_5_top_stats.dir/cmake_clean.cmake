@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab5_5_top_stats.dir/tab5_5_top_stats.cpp.o"
+  "CMakeFiles/tab5_5_top_stats.dir/tab5_5_top_stats.cpp.o.d"
+  "tab5_5_top_stats"
+  "tab5_5_top_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab5_5_top_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab5_5_top_stats.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flag_tuning.dir/flag_tuning.cpp.o"
+  "CMakeFiles/flag_tuning.dir/flag_tuning.cpp.o.d"
+  "flag_tuning"
+  "flag_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flag_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

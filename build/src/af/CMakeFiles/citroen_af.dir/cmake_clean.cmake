@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citroen_af.dir/acquisition.cpp.o"
+  "CMakeFiles/citroen_af.dir/acquisition.cpp.o.d"
+  "CMakeFiles/citroen_af.dir/maximizer.cpp.o"
+  "CMakeFiles/citroen_af.dir/maximizer.cpp.o.d"
+  "libcitroen_af.a"
+  "libcitroen_af.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citroen_af.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

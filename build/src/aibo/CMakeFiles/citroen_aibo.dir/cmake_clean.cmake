@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citroen_aibo.dir/aibo.cpp.o"
+  "CMakeFiles/citroen_aibo.dir/aibo.cpp.o.d"
+  "libcitroen_aibo.a"
+  "libcitroen_aibo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citroen_aibo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citroen_baselines.dir/continuous_bo.cpp.o"
+  "CMakeFiles/citroen_baselines.dir/continuous_bo.cpp.o.d"
+  "CMakeFiles/citroen_baselines.dir/random_forest.cpp.o"
+  "CMakeFiles/citroen_baselines.dir/random_forest.cpp.o.d"
+  "CMakeFiles/citroen_baselines.dir/tuners.cpp.o"
+  "CMakeFiles/citroen_baselines.dir/tuners.cpp.o.d"
+  "libcitroen_baselines.a"
+  "libcitroen_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citroen_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

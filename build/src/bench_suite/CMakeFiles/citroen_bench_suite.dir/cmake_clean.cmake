@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citroen_bench_suite.dir/kernels.cpp.o"
+  "CMakeFiles/citroen_bench_suite.dir/kernels.cpp.o.d"
+  "CMakeFiles/citroen_bench_suite.dir/suite.cpp.o"
+  "CMakeFiles/citroen_bench_suite.dir/suite.cpp.o.d"
+  "libcitroen_bench_suite.a"
+  "libcitroen_bench_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citroen_bench_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

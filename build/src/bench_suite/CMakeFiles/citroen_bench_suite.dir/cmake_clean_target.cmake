@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcitroen_bench_suite.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/citroen/features.cpp" "src/citroen/CMakeFiles/citroen_core.dir/features.cpp.o" "gcc" "src/citroen/CMakeFiles/citroen_core.dir/features.cpp.o.d"
+  "/root/repo/src/citroen/tuner.cpp" "src/citroen/CMakeFiles/citroen_core.dir/tuner.cpp.o" "gcc" "src/citroen/CMakeFiles/citroen_core.dir/tuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/af/CMakeFiles/citroen_af.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/citroen_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/citroen_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/heuristics/CMakeFiles/citroen_heuristics.dir/DependInfo.cmake"
+  "/root/repo/build/src/passes/CMakeFiles/citroen_passes.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/citroen_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/citroen_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

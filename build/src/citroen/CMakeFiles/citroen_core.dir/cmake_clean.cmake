@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citroen_core.dir/features.cpp.o"
+  "CMakeFiles/citroen_core.dir/features.cpp.o.d"
+  "CMakeFiles/citroen_core.dir/tuner.cpp.o"
+  "CMakeFiles/citroen_core.dir/tuner.cpp.o.d"
+  "libcitroen_core.a"
+  "libcitroen_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citroen_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citroen_gp.dir/gp.cpp.o"
+  "CMakeFiles/citroen_gp.dir/gp.cpp.o.d"
+  "CMakeFiles/citroen_gp.dir/kernel.cpp.o"
+  "CMakeFiles/citroen_gp.dir/kernel.cpp.o.d"
+  "libcitroen_gp.a"
+  "libcitroen_gp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citroen_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

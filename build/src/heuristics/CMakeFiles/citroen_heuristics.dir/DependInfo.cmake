@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/heuristics/cmaes.cpp" "src/heuristics/CMakeFiles/citroen_heuristics.dir/cmaes.cpp.o" "gcc" "src/heuristics/CMakeFiles/citroen_heuristics.dir/cmaes.cpp.o.d"
+  "/root/repo/src/heuristics/des.cpp" "src/heuristics/CMakeFiles/citroen_heuristics.dir/des.cpp.o" "gcc" "src/heuristics/CMakeFiles/citroen_heuristics.dir/des.cpp.o.d"
+  "/root/repo/src/heuristics/ga.cpp" "src/heuristics/CMakeFiles/citroen_heuristics.dir/ga.cpp.o" "gcc" "src/heuristics/CMakeFiles/citroen_heuristics.dir/ga.cpp.o.d"
+  "/root/repo/src/heuristics/optimizer.cpp" "src/heuristics/CMakeFiles/citroen_heuristics.dir/optimizer.cpp.o" "gcc" "src/heuristics/CMakeFiles/citroen_heuristics.dir/optimizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/citroen_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citroen_heuristics.dir/cmaes.cpp.o"
+  "CMakeFiles/citroen_heuristics.dir/cmaes.cpp.o.d"
+  "CMakeFiles/citroen_heuristics.dir/des.cpp.o"
+  "CMakeFiles/citroen_heuristics.dir/des.cpp.o.d"
+  "CMakeFiles/citroen_heuristics.dir/ga.cpp.o"
+  "CMakeFiles/citroen_heuristics.dir/ga.cpp.o.d"
+  "CMakeFiles/citroen_heuristics.dir/optimizer.cpp.o"
+  "CMakeFiles/citroen_heuristics.dir/optimizer.cpp.o.d"
+  "libcitroen_heuristics.a"
+  "libcitroen_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citroen_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citroen_ir.dir/analysis.cpp.o"
+  "CMakeFiles/citroen_ir.dir/analysis.cpp.o.d"
+  "CMakeFiles/citroen_ir.dir/builder.cpp.o"
+  "CMakeFiles/citroen_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/citroen_ir.dir/interpreter.cpp.o"
+  "CMakeFiles/citroen_ir.dir/interpreter.cpp.o.d"
+  "CMakeFiles/citroen_ir.dir/module.cpp.o"
+  "CMakeFiles/citroen_ir.dir/module.cpp.o.d"
+  "CMakeFiles/citroen_ir.dir/printer.cpp.o"
+  "CMakeFiles/citroen_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/citroen_ir.dir/verifier.cpp.o"
+  "CMakeFiles/citroen_ir.dir/verifier.cpp.o.d"
+  "libcitroen_ir.a"
+  "libcitroen_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citroen_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/passes/cfg_passes.cpp" "src/passes/CMakeFiles/citroen_passes.dir/cfg_passes.cpp.o" "gcc" "src/passes/CMakeFiles/citroen_passes.dir/cfg_passes.cpp.o.d"
+  "/root/repo/src/passes/common.cpp" "src/passes/CMakeFiles/citroen_passes.dir/common.cpp.o" "gcc" "src/passes/CMakeFiles/citroen_passes.dir/common.cpp.o.d"
+  "/root/repo/src/passes/cse.cpp" "src/passes/CMakeFiles/citroen_passes.dir/cse.cpp.o" "gcc" "src/passes/CMakeFiles/citroen_passes.dir/cse.cpp.o.d"
+  "/root/repo/src/passes/dce.cpp" "src/passes/CMakeFiles/citroen_passes.dir/dce.cpp.o" "gcc" "src/passes/CMakeFiles/citroen_passes.dir/dce.cpp.o.d"
+  "/root/repo/src/passes/instcombine.cpp" "src/passes/CMakeFiles/citroen_passes.dir/instcombine.cpp.o" "gcc" "src/passes/CMakeFiles/citroen_passes.dir/instcombine.cpp.o.d"
+  "/root/repo/src/passes/ipo.cpp" "src/passes/CMakeFiles/citroen_passes.dir/ipo.cpp.o" "gcc" "src/passes/CMakeFiles/citroen_passes.dir/ipo.cpp.o.d"
+  "/root/repo/src/passes/loop_passes.cpp" "src/passes/CMakeFiles/citroen_passes.dir/loop_passes.cpp.o" "gcc" "src/passes/CMakeFiles/citroen_passes.dir/loop_passes.cpp.o.d"
+  "/root/repo/src/passes/mem2reg.cpp" "src/passes/CMakeFiles/citroen_passes.dir/mem2reg.cpp.o" "gcc" "src/passes/CMakeFiles/citroen_passes.dir/mem2reg.cpp.o.d"
+  "/root/repo/src/passes/memory_passes.cpp" "src/passes/CMakeFiles/citroen_passes.dir/memory_passes.cpp.o" "gcc" "src/passes/CMakeFiles/citroen_passes.dir/memory_passes.cpp.o.d"
+  "/root/repo/src/passes/misc_passes.cpp" "src/passes/CMakeFiles/citroen_passes.dir/misc_passes.cpp.o" "gcc" "src/passes/CMakeFiles/citroen_passes.dir/misc_passes.cpp.o.d"
+  "/root/repo/src/passes/registry.cpp" "src/passes/CMakeFiles/citroen_passes.dir/registry.cpp.o" "gcc" "src/passes/CMakeFiles/citroen_passes.dir/registry.cpp.o.d"
+  "/root/repo/src/passes/ssa_util.cpp" "src/passes/CMakeFiles/citroen_passes.dir/ssa_util.cpp.o" "gcc" "src/passes/CMakeFiles/citroen_passes.dir/ssa_util.cpp.o.d"
+  "/root/repo/src/passes/vectorize.cpp" "src/passes/CMakeFiles/citroen_passes.dir/vectorize.cpp.o" "gcc" "src/passes/CMakeFiles/citroen_passes.dir/vectorize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/citroen_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/citroen_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citroen_passes.dir/cfg_passes.cpp.o"
+  "CMakeFiles/citroen_passes.dir/cfg_passes.cpp.o.d"
+  "CMakeFiles/citroen_passes.dir/common.cpp.o"
+  "CMakeFiles/citroen_passes.dir/common.cpp.o.d"
+  "CMakeFiles/citroen_passes.dir/cse.cpp.o"
+  "CMakeFiles/citroen_passes.dir/cse.cpp.o.d"
+  "CMakeFiles/citroen_passes.dir/dce.cpp.o"
+  "CMakeFiles/citroen_passes.dir/dce.cpp.o.d"
+  "CMakeFiles/citroen_passes.dir/instcombine.cpp.o"
+  "CMakeFiles/citroen_passes.dir/instcombine.cpp.o.d"
+  "CMakeFiles/citroen_passes.dir/ipo.cpp.o"
+  "CMakeFiles/citroen_passes.dir/ipo.cpp.o.d"
+  "CMakeFiles/citroen_passes.dir/loop_passes.cpp.o"
+  "CMakeFiles/citroen_passes.dir/loop_passes.cpp.o.d"
+  "CMakeFiles/citroen_passes.dir/mem2reg.cpp.o"
+  "CMakeFiles/citroen_passes.dir/mem2reg.cpp.o.d"
+  "CMakeFiles/citroen_passes.dir/memory_passes.cpp.o"
+  "CMakeFiles/citroen_passes.dir/memory_passes.cpp.o.d"
+  "CMakeFiles/citroen_passes.dir/misc_passes.cpp.o"
+  "CMakeFiles/citroen_passes.dir/misc_passes.cpp.o.d"
+  "CMakeFiles/citroen_passes.dir/registry.cpp.o"
+  "CMakeFiles/citroen_passes.dir/registry.cpp.o.d"
+  "CMakeFiles/citroen_passes.dir/ssa_util.cpp.o"
+  "CMakeFiles/citroen_passes.dir/ssa_util.cpp.o.d"
+  "CMakeFiles/citroen_passes.dir/vectorize.cpp.o"
+  "CMakeFiles/citroen_passes.dir/vectorize.cpp.o.d"
+  "libcitroen_passes.a"
+  "libcitroen_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citroen_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citroen_sim.dir/evaluator.cpp.o"
+  "CMakeFiles/citroen_sim.dir/evaluator.cpp.o.d"
+  "CMakeFiles/citroen_sim.dir/machine.cpp.o"
+  "CMakeFiles/citroen_sim.dir/machine.cpp.o.d"
+  "libcitroen_sim.a"
+  "libcitroen_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citroen_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

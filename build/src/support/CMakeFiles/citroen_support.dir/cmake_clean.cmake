@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citroen_support.dir/matrix.cpp.o"
+  "CMakeFiles/citroen_support.dir/matrix.cpp.o.d"
+  "CMakeFiles/citroen_support.dir/rng.cpp.o"
+  "CMakeFiles/citroen_support.dir/rng.cpp.o.d"
+  "CMakeFiles/citroen_support.dir/statistics.cpp.o"
+  "CMakeFiles/citroen_support.dir/statistics.cpp.o.d"
+  "CMakeFiles/citroen_support.dir/transforms.cpp.o"
+  "CMakeFiles/citroen_support.dir/transforms.cpp.o.d"
+  "libcitroen_support.a"
+  "libcitroen_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citroen_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citroen_synth.dir/flag_task.cpp.o"
+  "CMakeFiles/citroen_synth.dir/flag_task.cpp.o.d"
+  "CMakeFiles/citroen_synth.dir/functions.cpp.o"
+  "CMakeFiles/citroen_synth.dir/functions.cpp.o.d"
+  "libcitroen_synth.a"
+  "libcitroen_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citroen_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_af.cpp" "tests/CMakeFiles/citroen_tests.dir/test_af.cpp.o" "gcc" "tests/CMakeFiles/citroen_tests.dir/test_af.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/citroen_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/citroen_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_citroen.cpp" "tests/CMakeFiles/citroen_tests.dir/test_citroen.cpp.o" "gcc" "tests/CMakeFiles/citroen_tests.dir/test_citroen.cpp.o.d"
+  "/root/repo/tests/test_evaluator_features.cpp" "tests/CMakeFiles/citroen_tests.dir/test_evaluator_features.cpp.o" "gcc" "tests/CMakeFiles/citroen_tests.dir/test_evaluator_features.cpp.o.d"
+  "/root/repo/tests/test_gp_aibo.cpp" "tests/CMakeFiles/citroen_tests.dir/test_gp_aibo.cpp.o" "gcc" "tests/CMakeFiles/citroen_tests.dir/test_gp_aibo.cpp.o.d"
+  "/root/repo/tests/test_heuristics.cpp" "tests/CMakeFiles/citroen_tests.dir/test_heuristics.cpp.o" "gcc" "tests/CMakeFiles/citroen_tests.dir/test_heuristics.cpp.o.d"
+  "/root/repo/tests/test_ir.cpp" "tests/CMakeFiles/citroen_tests.dir/test_ir.cpp.o" "gcc" "tests/CMakeFiles/citroen_tests.dir/test_ir.cpp.o.d"
+  "/root/repo/tests/test_motif.cpp" "tests/CMakeFiles/citroen_tests.dir/test_motif.cpp.o" "gcc" "tests/CMakeFiles/citroen_tests.dir/test_motif.cpp.o.d"
+  "/root/repo/tests/test_passes_property.cpp" "tests/CMakeFiles/citroen_tests.dir/test_passes_property.cpp.o" "gcc" "tests/CMakeFiles/citroen_tests.dir/test_passes_property.cpp.o.d"
+  "/root/repo/tests/test_passes_unit.cpp" "tests/CMakeFiles/citroen_tests.dir/test_passes_unit.cpp.o" "gcc" "tests/CMakeFiles/citroen_tests.dir/test_passes_unit.cpp.o.d"
+  "/root/repo/tests/test_smoke.cpp" "tests/CMakeFiles/citroen_tests.dir/test_smoke.cpp.o" "gcc" "tests/CMakeFiles/citroen_tests.dir/test_smoke.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/citroen_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/citroen_tests.dir/test_support.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/citroen_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench_suite/CMakeFiles/citroen_bench_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/aibo/CMakeFiles/citroen_aibo.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/citroen_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/citroen/CMakeFiles/citroen_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/citroen_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/passes/CMakeFiles/citroen_passes.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/citroen_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/af/CMakeFiles/citroen_af.dir/DependInfo.cmake"
+  "/root/repo/build/src/heuristics/CMakeFiles/citroen_heuristics.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/citroen_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/citroen_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

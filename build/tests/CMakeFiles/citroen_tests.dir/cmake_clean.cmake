@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citroen_tests.dir/test_af.cpp.o"
+  "CMakeFiles/citroen_tests.dir/test_af.cpp.o.d"
+  "CMakeFiles/citroen_tests.dir/test_baselines.cpp.o"
+  "CMakeFiles/citroen_tests.dir/test_baselines.cpp.o.d"
+  "CMakeFiles/citroen_tests.dir/test_citroen.cpp.o"
+  "CMakeFiles/citroen_tests.dir/test_citroen.cpp.o.d"
+  "CMakeFiles/citroen_tests.dir/test_evaluator_features.cpp.o"
+  "CMakeFiles/citroen_tests.dir/test_evaluator_features.cpp.o.d"
+  "CMakeFiles/citroen_tests.dir/test_gp_aibo.cpp.o"
+  "CMakeFiles/citroen_tests.dir/test_gp_aibo.cpp.o.d"
+  "CMakeFiles/citroen_tests.dir/test_heuristics.cpp.o"
+  "CMakeFiles/citroen_tests.dir/test_heuristics.cpp.o.d"
+  "CMakeFiles/citroen_tests.dir/test_ir.cpp.o"
+  "CMakeFiles/citroen_tests.dir/test_ir.cpp.o.d"
+  "CMakeFiles/citroen_tests.dir/test_motif.cpp.o"
+  "CMakeFiles/citroen_tests.dir/test_motif.cpp.o.d"
+  "CMakeFiles/citroen_tests.dir/test_passes_property.cpp.o"
+  "CMakeFiles/citroen_tests.dir/test_passes_property.cpp.o.d"
+  "CMakeFiles/citroen_tests.dir/test_passes_unit.cpp.o"
+  "CMakeFiles/citroen_tests.dir/test_passes_unit.cpp.o.d"
+  "CMakeFiles/citroen_tests.dir/test_smoke.cpp.o"
+  "CMakeFiles/citroen_tests.dir/test_smoke.cpp.o.d"
+  "CMakeFiles/citroen_tests.dir/test_support.cpp.o"
+  "CMakeFiles/citroen_tests.dir/test_support.cpp.o.d"
+  "citroen_tests"
+  "citroen_tests.pdb"
+  "citroen_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citroen_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
