@@ -53,7 +53,7 @@ inline std::vector<MethodCurves> run_all_tuners(const std::string& program,
     out.back().curves.push_back(run_citroen_once(
         program, machine, budget, static_cast<std::uint64_t>(s) + 1));
 
-  using Runner = baselines::TuneTrace (*)(sim::ProgramEvaluator&,
+  using Runner = baselines::TuneTrace (*)(sim::Evaluator&,
                                           const baselines::PhaseTunerConfig&);
   const std::pair<const char*, Runner> tuners[] = {
       {"boca", baselines::run_rf_bo_tuner},

@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
   }
 
   // The baselines.
-  using Runner = baselines::TuneTrace (*)(sim::ProgramEvaluator&,
+  using Runner = baselines::TuneTrace (*)(sim::Evaluator&,
                                           const baselines::PhaseTunerConfig&);
   const std::pair<const char*, Runner> tuners[] = {
       {"boca", baselines::run_rf_bo_tuner},

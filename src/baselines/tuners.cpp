@@ -16,14 +16,14 @@ using heuristics::Sequence;
 namespace {
 
 struct Session {
-  sim::ProgramEvaluator& eval;
+  sim::Evaluator& eval;
   PhaseTunerConfig config;
   std::vector<std::string> modules;
   std::vector<std::string> space;
   TuneTrace trace;
   int used = 0;
 
-  Session(sim::ProgramEvaluator& e, const PhaseTunerConfig& c)
+  Session(sim::Evaluator& e, const PhaseTunerConfig& c)
       : eval(e), config(c) {
     space = c.pass_space.empty()
                 ? passes::PassRegistry::instance().pass_names()
@@ -42,10 +42,17 @@ struct Session {
     names.reserve(s.size());
     for (int p : s) names.push_back(space[static_cast<std::size_t>(p)]);
     for (const auto& m : modules) a[m] = names;
+    // A quarantined signature is a known deterministic failure: learn
+    // "bad" for free instead of burning an evaluation on it.
+    if (eval.is_quarantined(a)) {
+      ++trace.quarantined_skipped;
+      return 4.0;
+    }
     const auto out = eval.evaluate(a);
     double y;
     if (!out.valid) {
       ++trace.invalid;
+      ++trace.failure_counts[sim::failure_kind_name(out.failure)];
       y = 4.0;
     } else {
       y = 1.0 / out.speedup;
@@ -56,8 +63,14 @@ struct Session {
           trace.speedup_curve.empty() ? 0.0 : trace.speedup_curve.back(),
           1.0 / y));
     }
+    if (out.valid && y < best_y) {
+      best_y = y;
+      trace.best_assignment = a;
+    }
     return y;
   }
+
+  double best_y = 1e300;  ///< best observed normalised runtime
 
   bool done() const { return used >= config.budget; }
 
@@ -71,7 +84,7 @@ struct Session {
 
 }  // namespace
 
-std::vector<std::string> select_hot_modules(const sim::ProgramEvaluator& eval,
+std::vector<std::string> select_hot_modules(const sim::Evaluator& eval,
                                             double threshold,
                                             int max_modules) {
   std::vector<std::string> out;
@@ -89,7 +102,7 @@ std::vector<std::string> select_hot_modules(const sim::ProgramEvaluator& eval,
   return out;
 }
 
-TuneTrace run_random_search(sim::ProgramEvaluator& eval,
+TuneTrace run_random_search(sim::Evaluator& eval,
                             const PhaseTunerConfig& config) {
   Session s(eval, config);
   Rng rng(config.seed);
@@ -101,7 +114,7 @@ TuneTrace run_random_search(sim::ProgramEvaluator& eval,
   return s.finish("random");
 }
 
-TuneTrace run_ga_tuner(sim::ProgramEvaluator& eval,
+TuneTrace run_ga_tuner(sim::Evaluator& eval,
                        const PhaseTunerConfig& config) {
   Session s(eval, config);
   Rng rng(config.seed);
@@ -117,7 +130,7 @@ TuneTrace run_ga_tuner(sim::ProgramEvaluator& eval,
   return s.finish("ga");
 }
 
-TuneTrace run_des_tuner(sim::ProgramEvaluator& eval,
+TuneTrace run_des_tuner(sim::Evaluator& eval,
                         const PhaseTunerConfig& config) {
   Session s(eval, config);
   Rng rng(config.seed);
@@ -133,7 +146,7 @@ TuneTrace run_des_tuner(sim::ProgramEvaluator& eval,
   return s.finish("des");
 }
 
-TuneTrace run_ensemble_tuner(sim::ProgramEvaluator& eval,
+TuneTrace run_ensemble_tuner(sim::Evaluator& eval,
                              const PhaseTunerConfig& config) {
   Session s(eval, config);
   Rng rng(config.seed);
@@ -169,7 +182,7 @@ TuneTrace run_ensemble_tuner(sim::ProgramEvaluator& eval,
   return s.finish("opentuner");
 }
 
-TuneTrace run_rf_bo_tuner(sim::ProgramEvaluator& eval,
+TuneTrace run_rf_bo_tuner(sim::Evaluator& eval,
                           const PhaseTunerConfig& config) {
   Session s(eval, config);
   Rng rng(config.seed);

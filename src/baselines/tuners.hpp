@@ -6,6 +6,7 @@
 // reports the same best-so-far speedup curve as CITROEN, so all the
 // Fig. 5.6/5.7 comparisons are apples-to-apples.
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -26,27 +27,33 @@ struct PhaseTunerConfig {
 struct TuneTrace {
   std::string tuner;
   double best_speedup = 0.0;  ///< over -O3
+  /// Assignment behind `best_speedup` (re-validate it on a clean
+  /// evaluator when tuning ran under measurement noise).
+  sim::SequenceAssignment best_assignment;
   Vec speedup_curve;          ///< best-so-far per measurement
   int invalid = 0;
+  /// Invalid evaluations per failure class ("crash", "hang", ...).
+  std::map<std::string, int> failure_counts;
+  int quarantined_skipped = 0;  ///< proposals dropped via the quarantine set
 };
 
 /// Hot modules to tune (shared with CITROEN's selection rule).
 std::vector<std::string> select_hot_modules(
-    const sim::ProgramEvaluator& eval, double threshold, int max_modules);
+    const sim::Evaluator& eval, double threshold, int max_modules);
 
-TuneTrace run_random_search(sim::ProgramEvaluator& eval,
+TuneTrace run_random_search(sim::Evaluator& eval,
                             const PhaseTunerConfig& config);
-TuneTrace run_ga_tuner(sim::ProgramEvaluator& eval,
+TuneTrace run_ga_tuner(sim::Evaluator& eval,
                        const PhaseTunerConfig& config);
-TuneTrace run_des_tuner(sim::ProgramEvaluator& eval,
+TuneTrace run_des_tuner(sim::Evaluator& eval,
                         const PhaseTunerConfig& config);
 /// OpenTuner-style: GA + DES + random run side by side; techniques that
 /// produce improvements get a growing share of the measurement budget.
-TuneTrace run_ensemble_tuner(sim::ProgramEvaluator& eval,
+TuneTrace run_ensemble_tuner(sim::Evaluator& eval,
                              const PhaseTunerConfig& config);
 /// BOCA-style: random-forest surrogate on raw sequence features; EI
 /// scores a large pool of mutated candidates, best one is measured.
-TuneTrace run_rf_bo_tuner(sim::ProgramEvaluator& eval,
+TuneTrace run_rf_bo_tuner(sim::Evaluator& eval,
                           const PhaseTunerConfig& config);
 
 }  // namespace citroen::baselines

@@ -57,8 +57,7 @@ struct ModuleState {
 
 }  // namespace
 
-CitroenTuner::CitroenTuner(sim::ProgramEvaluator& evaluator,
-                           CitroenConfig config)
+CitroenTuner::CitroenTuner(sim::Evaluator& evaluator, CitroenConfig config)
     : eval_(evaluator), config_(std::move(config)) {
   if (config_.pass_space.empty())
     config_.pass_space = passes::PassRegistry::instance().pass_names();
@@ -238,6 +237,7 @@ TuneResult CitroenTuner::run() {
     double y;
     if (!out.valid) {
       ++result.invalid;
+      ++result.failure_counts[sim::failure_kind_name(out.failure)];
       y = 4.0;  // a rejected build is treated as a very slow binary
     } else {
       y = 1.0 / out.speedup;
@@ -270,6 +270,10 @@ TuneResult CitroenTuner::run() {
       Sequence cand = heuristics::random_sequence(
           num_passes, config_.max_seq_len, rng);
       const auto assign = assignment_for(ms.name, cand);
+      if (eval_.is_quarantined(assign)) {
+        ++result.quarantined_skipped;
+        continue;
+      }
       const auto co = eval_.compile(assign, need_program);
       ++result.compiles;
       if (!co.valid) continue;
@@ -317,7 +321,10 @@ TuneResult CitroenTuner::run() {
   while (budget_used < config_.budget && iter < config_.budget * 10 &&
          !data_x.empty()) {
     ++iter;
-    // Fit the cost model (skip the refit when no new data arrived).
+    // Fit the cost model (skip the refit when no new data arrived). A
+    // refit can fail numerically (degenerate kernel matrix, non-finite
+    // likelihood); the tuner then discards the model and degrades to
+    // random proposals for the round instead of dying mid-run.
     model_clock.reset();
     if (data_x.size() != fitted_points || !model) {
       const std::size_t prev_active = active.size();
@@ -339,12 +346,25 @@ TuneResult CitroenTuner::run() {
       // factorisation is refreshed with the new data.
       model->set_fit_hypers(iter % config_.refit_period == 1 ||
                             active.size() != prev_active);
-      model->fit(unit_x, ty);
-      fitted_points = data_x.size();
+      try {
+        model->fit(unit_x, ty);
+        if (!std::isfinite(model->log_marginal_likelihood()))
+          throw std::runtime_error("non-finite log marginal likelihood");
+        fitted_points = data_x.size();
+      } catch (const std::exception&) {
+        ++result.gp_fit_failures;
+        model.reset();
+      }
     }
-    double best_ty = ty[0];
-    for (double v : ty) best_ty = std::min(best_ty, v);
-    const af::Acquisition acq(model.get(), config_.af, best_ty);
+    std::unique_ptr<af::Acquisition> acq;
+    if (model) {
+      double best_ty = ty[0];
+      for (double v : ty) best_ty = std::min(best_ty, v);
+      acq = std::make_unique<af::Acquisition>(model.get(), config_.af,
+                                              best_ty);
+    } else {
+      ++result.random_fallback_rounds;
+    }
     model_seconds += model_clock.seconds();
 
     // Module selection: UCB bandit over expected payoff.
@@ -396,6 +416,12 @@ TuneResult CitroenTuner::run() {
     std::vector<Scored> pool;
     for (auto& cand : cands) {
       const auto assign = assignment_for(ms.name, cand);
+      // Known deterministic failures (from the hardened evaluator's
+      // quarantine set) are not worth a compile, let alone a measurement.
+      if (eval_.is_quarantined(assign)) {
+        ++result.quarantined_skipped;
+        continue;
+      }
       const auto co = eval_.compile(assign, need_program);
       ++result.compiles;
       if (!co.valid) continue;
@@ -415,25 +441,32 @@ TuneResult CitroenTuner::run() {
       }
 
       model_clock.reset();
-      const Vec u = scaler.to_unit(project(features));
-      double score = acq.value(u);
+      double score;
       const std::uint64_t fh = feature_hash(features);
       if (observed_features.count(fh)) ++result.feature_collisions;
-      if (config_.coverage_af) {
-        // Coverage bonus: distance to the nearest observed feature point
-        // (unit scale), pushing sampling into unobserved statistics
-        // regions; zero for exact collisions.
-        double nearest = 1e300;
-        for (const auto& o : unit_x) {
-          double d2 = 0.0;
-          for (std::size_t k = 0; k < u.size(); ++k) {
-            const double t = u[k] - o[k];
-            d2 += t * t;
+      if (acq) {
+        const Vec u = scaler.to_unit(project(features));
+        score = acq->value(u);
+        if (config_.coverage_af) {
+          // Coverage bonus: distance to the nearest observed feature point
+          // (unit scale), pushing sampling into unobserved statistics
+          // regions; zero for exact collisions.
+          double nearest = 1e300;
+          for (const auto& o : unit_x) {
+            double d2 = 0.0;
+            for (std::size_t k = 0; k < u.size(); ++k) {
+              const double t = u[k] - o[k];
+              d2 += t * t;
+            }
+            nearest = std::min(nearest, d2);
           }
-          nearest = std::min(nearest, d2);
+          score += config_.coverage_weight *
+                   std::sqrt(nearest / static_cast<double>(active.size()));
         }
-        score += config_.coverage_weight *
-                 std::sqrt(nearest / static_cast<double>(active.size()));
+      } else {
+        // No trustworthy model this round: degrade to a random pick
+        // among the compilable candidates.
+        score = rng.uniform();
       }
       model_seconds += model_clock.seconds();
       pool.push_back(Scored{std::move(cand), std::move(features),

@@ -75,6 +75,13 @@ struct TuneResult {
   int compiles = 0;
   int cache_hits = 0;          ///< identical-binary reuses
   int invalid = 0;             ///< builds rejected by verify/difftest
+  /// Invalid evaluations per failure class ("crash", "hang",
+  /// "miscompile", "noisy-rejected", "verifier") — the final report's
+  /// failure breakdown.
+  std::map<std::string, int> failure_counts;
+  int quarantined_skipped = 0; ///< candidates dropped via the quarantine set
+  int gp_fit_failures = 0;     ///< cost-model refits that had to be discarded
+  int random_fallback_rounds = 0;  ///< iterations run without a model
   int feature_collisions = 0;  ///< distinct binaries, identical features
   double model_seconds = 0.0;
   double compile_seconds = 0.0;
@@ -89,7 +96,10 @@ struct TuneResult {
 
 class CitroenTuner {
  public:
-  CitroenTuner(sim::ProgramEvaluator& evaluator, CitroenConfig config);
+  /// Works against any `sim::Evaluator` — the plain `ProgramEvaluator`
+  /// or the hardened `RobustEvaluator` (whose quarantine set the
+  /// candidate generators consult via `is_quarantined`).
+  CitroenTuner(sim::Evaluator& evaluator, CitroenConfig config);
 
   TuneResult run();
 
@@ -97,7 +107,7 @@ class CitroenTuner {
   const std::vector<std::string>& tuned_modules() const { return modules_; }
 
  private:
-  sim::ProgramEvaluator& eval_;
+  sim::Evaluator& eval_;
   CitroenConfig config_;
   std::vector<std::string> modules_;
 };

@@ -76,6 +76,7 @@ class Machine {
  private:
   struct Trap {
     std::string reason;
+    bool hung = false;  ///< instruction budget ran out (timeout analogue)
   };
 
   const Function& fn(int mi, int fi) const {
@@ -207,7 +208,7 @@ RtVal Machine::exec_call(int mi, int fi, const std::vector<RtVal>& args,
       const Instr& in = f.instr(id);
       if (in.dead() || in.op == Opcode::Phi) continue;
       if (++executed_ > lim_.max_instructions)
-        throw Trap{"instruction budget exhausted (non-terminating?)"};
+        throw Trap{"instruction budget exhausted (non-terminating?)", true};
       charge(cm_.instr_cost(in) + info.spill_overhead, info.module_index);
 
       auto op0 = [&]() -> const RtVal& {
@@ -536,6 +537,7 @@ ExecResult Machine::run() {
   } catch (const Trap& t) {
     result.ok = false;
     result.trap = t.reason;
+    result.hung = t.hung;
   }
   result.cycles = cycles_;
   result.instructions = executed_;

@@ -59,6 +59,10 @@ struct ExecLimits {
 struct ExecResult {
   bool ok = false;             ///< completed without trapping
   std::string trap;            ///< reason when !ok
+  /// The run was cut off by `ExecLimits::max_instructions` rather than a
+  /// semantic trap — the deterministic analogue of a wall-clock timeout.
+  /// Callers classify this as a *hang*, not a crash.
+  bool hung = false;
   std::int64_t ret = 0;        ///< entry function return value (checksum)
   double cycles = 0.0;         ///< modelled total runtime
   std::uint64_t instructions = 0;

@@ -5,9 +5,22 @@
 
 #include "ir/printer.hpp"
 #include "ir/verifier.hpp"
+#include "sim/faults.hpp"
 #include "support/timer.hpp"
 
 namespace citroen::sim {
+
+const char* failure_kind_name(FailureKind k) {
+  switch (k) {
+    case FailureKind::None: return "none";
+    case FailureKind::Crash: return "crash";
+    case FailureKind::Hang: return "hang";
+    case FailureKind::Miscompile: return "miscompile";
+    case FailureKind::NoisyRejected: return "noisy-rejected";
+    case FailureKind::Verifier: return "verifier";
+  }
+  return "unknown";
+}
 
 std::uint64_t program_hash(const ir::Program& p) {
   // The printer output is a deterministic structural encoding; hashing it
@@ -23,8 +36,26 @@ std::uint64_t program_hash(const ir::Program& p) {
   return h;
 }
 
-ProgramEvaluator::ProgramEvaluator(ir::Program base, ir::CostModel machine)
-    : base_(std::move(base)), machine_(machine) {
+std::uint64_t assignment_signature(const SequenceAssignment& seqs) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](const std::string& s) {
+    for (const char c : s) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 1099511628211ULL;
+    }
+    h ^= 0xff;
+    h *= 1099511628211ULL;
+  };
+  for (const auto& [module, seq] : seqs) {
+    mix(module);
+    for (const auto& p : seq) mix(p);
+  }
+  return h;
+}
+
+ProgramEvaluator::ProgramEvaluator(ir::Program base, ir::CostModel machine,
+                                   ir::ExecLimits limits)
+    : base_(std::move(base)), machine_(machine), limits_(limits) {
   const auto errs = [&] {
     std::vector<std::string> all;
     for (const auto& m : base_.modules) {
@@ -36,7 +67,7 @@ ProgramEvaluator::ProgramEvaluator(ir::Program base, ir::CostModel machine)
   if (!errs.empty())
     throw std::runtime_error("base program invalid: " + errs.front());
 
-  const auto o0 = ir::interpret(base_, machine_);
+  const auto o0 = ir::interpret(base_, machine_, limits_);
   if (!o0.ok)
     throw std::runtime_error("base program traps: " + o0.trap);
   o0_cycles_ = o0.cycles;
@@ -45,12 +76,24 @@ ProgramEvaluator::ProgramEvaluator(ir::Program base, ir::CostModel machine)
   std::string err;
   o3_built_ = build({}, nullptr, &err);
   if (!err.empty()) throw std::runtime_error("-O3 build failed: " + err);
-  const auto o3 = ir::interpret(o3_built_, machine_);
+  const auto o3 = ir::interpret(o3_built_, machine_, limits_);
   if (!o3.ok || o3.ret != reference_output_)
     throw std::runtime_error("-O3 build miscompiled " + base_.name + ": " +
                              (o3.ok ? "output mismatch" : o3.trap));
   o3_cycles_ = o3.cycles;
   o3_module_cycles_ = o3.module_cycles;
+}
+
+void ProgramEvaluator::set_exec_limits(const ir::ExecLimits& limits) {
+  limits_ = limits;
+  // Validity can change under the new limits; drop stale outcomes.
+  cache_.clear();
+}
+
+void ProgramEvaluator::set_fault_injector(const FaultInjector* injector) {
+  injector_ = (injector && injector->plan().enabled()) ? injector : nullptr;
+  // Outcomes cached under a different fault model are no longer valid.
+  cache_.clear();
 }
 
 void ProgramEvaluator::apply_workload(ir::Program& built, const Workload& w) {
@@ -73,7 +116,7 @@ void ProgramEvaluator::add_workload(const ir::Program& variant) {
     for (const auto& g : m.globals) images.push_back(g.init);
     w.images.push_back(std::move(images));
   }
-  const auto ref = ir::interpret(variant, machine_);
+  const auto ref = ir::interpret(variant, machine_, limits_);
   if (!ref.ok)
     throw std::runtime_error("workload variant traps: " + ref.trap);
   w.reference = ref.ret;
@@ -83,10 +126,10 @@ void ProgramEvaluator::add_workload(const ir::Program& variant) {
   // and recompute the multi-workload -O3 baseline.
   cache_.clear();
   ir::Program o3 = o3_built_;
-  double total = ir::interpret(o3, machine_).cycles;
+  double total = ir::interpret(o3, machine_, limits_).cycles;
   for (const auto& wk : workloads_) {
     apply_workload(o3, wk);
-    const auto r = ir::interpret(o3, machine_);
+    const auto r = ir::interpret(o3, machine_, limits_);
     if (!r.ok || r.ret != wk.reference)
       throw std::runtime_error("-O3 fails on added workload");
     total += r.cycles;
@@ -109,7 +152,8 @@ std::vector<std::pair<std::string, double>> ProgramEvaluator::hot_modules()
 ir::Program ProgramEvaluator::build(
     const SequenceAssignment& seqs, passes::StatsRegistry* stats_out,
     std::string* err,
-    std::map<std::string, passes::StatsRegistry>* module_stats_out) const {
+    std::map<std::string, passes::StatsRegistry>* module_stats_out,
+    FailureKind* failure_out, bool* transient_out) const {
   const Stopwatch sw;
   ir::Program built = base_;
   for (auto& m : built.modules) {
@@ -125,6 +169,17 @@ ir::Program ProgramEvaluator::build(
     }
     const auto& seq =
         it == seqs.end() ? passes::o3_sequence() : it->second;
+    // Injected compiler faults hit tuned (adversarially ordered)
+    // pipelines only; the fixed reference pipeline is assumed sound.
+    if (injector_ && it != seqs.end()) {
+      const auto fault = injector_->compile_fault(m.name, seq);
+      if (fault.kind == FaultKind::Crash) {
+        if (err) *err = "pass pipeline crashed (injected): " + fault.detail;
+        if (failure_out) *failure_out = FailureKind::Crash;
+        if (transient_out) *transient_out = fault.transient;
+        return built;
+      }
+    }
     try {
       passes::StatsRegistry s = passes::run_sequence(m, seq);
       if (stats_out && it != seqs.end()) stats_out->merge(s);
@@ -132,11 +187,13 @@ ir::Program ProgramEvaluator::build(
         (*module_stats_out)[m.name] = std::move(s);
     } catch (const std::exception& e) {
       if (err) *err = std::string("pass pipeline failed: ") + e.what();
+      if (failure_out) *failure_out = FailureKind::Crash;
       return built;
     }
     const auto verrs = ir::verify_module(m);
     if (!verrs.empty()) {
       if (err) *err = "verifier: " + verrs.front();
+      if (failure_out) *failure_out = FailureKind::Verifier;
       return built;
     }
   }
@@ -149,7 +206,8 @@ CompileOutcome ProgramEvaluator::compile(const SequenceAssignment& seqs,
                                          bool keep_program) const {
   CompileOutcome out;
   std::string err;
-  ir::Program built = build(seqs, &out.stats, &err, &out.module_stats);
+  ir::Program built = build(seqs, &out.stats, &err, &out.module_stats,
+                            &out.failure, &out.transient);
   if (!err.empty()) {
     out.why_invalid = err;
     return out;
@@ -165,7 +223,8 @@ CompileOutcome ProgramEvaluator::compile(const SequenceAssignment& seqs,
 EvalOutcome ProgramEvaluator::evaluate(const SequenceAssignment& seqs) {
   EvalOutcome out;
   std::string err;
-  const ir::Program built = build(seqs, &out.stats, &err);
+  const ir::Program built =
+      build(seqs, &out.stats, &err, nullptr, &out.failure, &out.transient);
   if (!err.empty()) {
     out.why_invalid = err;
     return out;
@@ -173,6 +232,7 @@ EvalOutcome ProgramEvaluator::evaluate(const SequenceAssignment& seqs) {
   for (const auto& m : built.modules) out.code_size += m.code_size();
 
   const std::uint64_t h = program_hash(built);
+  out.binary_hash = h;
   const auto hit = cache_.find(h);
   if (hit != cache_.end()) {
     const auto stats = out.stats;          // stats depend on the sequence,
@@ -186,32 +246,71 @@ EvalOutcome ProgramEvaluator::evaluate(const SequenceAssignment& seqs) {
   }
 
   const Stopwatch sw;
-  const auto run = ir::interpret(built, machine_);
+
+  // Injected runtime hang: the binary would blow the instruction budget.
+  // No cycles come back from a timed-out run.
+  if (injector_) {
+    const auto fault = injector_->runtime_fault(h);
+    if (fault.kind == FaultKind::Hang) {
+      ++num_measurements_;
+      out.why_invalid =
+          "hang: instruction budget exhausted (injected: " + fault.detail +
+          ")";
+      out.failure = FailureKind::Hang;
+      out.transient = fault.transient;
+      measure_seconds_ += sw.seconds();
+      // Transient hangs must not poison the identical-binary cache: a
+      // retry of the same binary may well succeed.
+      if (!out.transient) cache_[h] = out;
+      return out;
+    }
+  }
+
+  const auto run = ir::interpret(built, machine_, limits_);
   ++num_measurements_;
+  std::int64_t ret = run.ret;
+  if (injector_ && run.ok && injector_->miscompiles(h, 0)) ret ^= 1;
   if (!run.ok) {
-    out.why_invalid = "runtime trap: " + run.trap;
-  } else if (run.ret != reference_output_) {
+    if (run.hung) {
+      out.why_invalid = "hang: " + run.trap;
+      out.failure = FailureKind::Hang;
+    } else {
+      out.why_invalid = "runtime trap: " + run.trap;
+      out.failure = FailureKind::Crash;
+    }
+  } else if (ret != reference_output_) {
     // Differential testing: the optimised program must produce the same
     // output as the -O0 reference on the same workload.
     out.why_invalid = "differential test failed (output mismatch)";
+    out.failure = FailureKind::Miscompile;
   } else {
     out.valid = true;
     out.cycles = run.cycles;
     // Additional workloads: the build must match every reference; the
     // reported runtime is the mean over inputs.
-    for (const auto& w : workloads_) {
+    for (std::size_t wi = 0; wi < workloads_.size(); ++wi) {
+      const auto& w = workloads_[wi];
       ir::Program variant = built;
       apply_workload(variant, w);
-      const auto r = ir::interpret(variant, machine_);
+      const auto r = ir::interpret(variant, machine_, limits_);
+      std::int64_t wret = r.ret;
+      if (injector_ && r.ok && injector_->miscompiles(h, wi + 1)) wret ^= 1;
       if (!r.ok) {
         out.valid = false;
-        out.why_invalid = "runtime trap on extra workload: " + r.trap;
+        if (r.hung) {
+          out.why_invalid = "hang on extra workload: " + r.trap;
+          out.failure = FailureKind::Hang;
+        } else {
+          out.why_invalid = "runtime trap on extra workload: " + r.trap;
+          out.failure = FailureKind::Crash;
+        }
         break;
       }
-      if (r.ret != w.reference) {
+      if (wret != w.reference) {
         out.valid = false;
         out.why_invalid =
             "differential test failed on extra workload";
+        out.failure = FailureKind::Miscompile;
         break;
       }
       out.cycles += r.cycles;

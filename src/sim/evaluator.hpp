@@ -9,6 +9,12 @@
 //     optimised program are not re-measured (Kulkarni et al.),
 //   - separate accounting of compile time vs. measurement time for the
 //     Fig. 5.12 runtime-breakdown experiment.
+//
+// Tuners program against the abstract `Evaluator` interface so the same
+// search code runs against the raw `ProgramEvaluator` or the hardened
+// `RobustEvaluator` (sim/robust_evaluator.hpp) that adds retries,
+// replicated measurement and quarantine on top of an injected fault model
+// (sim/faults.hpp).
 
 #include <cstdint>
 #include <map>
@@ -23,16 +29,37 @@
 
 namespace citroen::sim {
 
+class FaultInjector;  // sim/faults.hpp
+
 /// Map module name -> pass sequence. Modules absent from the map are
 /// compiled with the reference -O3 pipeline.
 using SequenceAssignment = std::map<std::string, std::vector<std::string>>;
 
+/// Structured failure taxonomy for evaluation outcomes, alongside the
+/// human-readable `why_invalid`. Mirrors the hazard classes the
+/// autotuning literature reports for phase-order search.
+enum class FailureKind {
+  None,           ///< valid outcome
+  Crash,          ///< pass pipeline aborted or the build trapped at runtime
+  Hang,           ///< instruction budget exhausted (timeout analogue)
+  Miscompile,     ///< differential test failed (any workload)
+  NoisyRejected,  ///< measurement spread too large to trust (robust layer)
+  Verifier,       ///< IR verifier rejected the optimised module
+};
+
+/// Stable display name ("crash", "hang", ...), for reports and logs.
+const char* failure_kind_name(FailureKind k);
+
 struct EvalOutcome {
   bool valid = false;       ///< compiled, verified, and output-matched
   std::string why_invalid;  ///< verifier/difftest/trap reason when !valid
+  FailureKind failure = FailureKind::None;
+  bool transient = false;   ///< failure was injected-transient (retryable)
   double cycles = 0.0;      ///< modelled runtime of the optimised build
   double speedup = 0.0;     ///< o3_cycles / cycles (0 when invalid)
   bool cache_hit = false;   ///< identical binary already measured
+  int attempts = 1;         ///< compile+measure attempts consumed (>=1)
+  std::uint64_t binary_hash = 0;  ///< structural hash (0 if build failed)
   passes::StatsRegistry stats;  ///< compilation statistics of tuned modules
   std::size_t code_size = 0;    ///< total live instructions after opt
 };
@@ -42,6 +69,8 @@ struct EvalOutcome {
 struct CompileOutcome {
   bool valid = false;
   std::string why_invalid;
+  FailureKind failure = FailureKind::None;
+  bool transient = false;   ///< failure was injected-transient (retryable)
   passes::StatsRegistry stats;  ///< merged over tuned modules
   /// Per-tuned-module statistics (the paper concatenates these when a
   /// program has several tuned modules).
@@ -53,24 +82,77 @@ struct CompileOutcome {
   std::shared_ptr<const ir::Program> program;
 };
 
-class ProgramEvaluator {
+/// Abstract compile-and-measure service. `ProgramEvaluator` is the plain
+/// implementation; `RobustEvaluator` hardens one against faults.
+class Evaluator {
  public:
-  /// `base` must be the unoptimised (-O0 style) program.
-  ProgramEvaluator(ir::Program base, ir::CostModel machine);
+  virtual ~Evaluator() = default;
 
-  const ir::Program& base_program() const { return base_; }
-  const std::string& program_name() const { return base_.name; }
+  virtual const ir::Program& base_program() const = 0;
+  virtual const std::string& program_name() const = 0;
 
   /// Modelled cycles of the -O3 build (the paper's baseline).
-  double o3_cycles() const { return o3_cycles_; }
+  virtual double o3_cycles() const = 0;
   /// Modelled cycles of the unoptimised build.
-  double o0_cycles() const { return o0_cycles_; }
+  virtual double o0_cycles() const = 0;
   /// Reference output for differential testing.
-  std::int64_t reference_output() const { return reference_output_; }
+  virtual std::int64_t reference_output() const = 0;
+
+  /// Fraction of -O3 runtime attributed to each module, descending.
+  virtual std::vector<std::pair<std::string, double>> hot_modules() const = 0;
+
+  /// Compile with per-module sequences; no execution.
+  virtual CompileOutcome compile(const SequenceAssignment& seqs,
+                                 bool keep_program = false) const = 0;
+
+  /// Full evaluation: compile, verify, differential-test, measure.
+  virtual EvalOutcome evaluate(const SequenceAssignment& seqs) = 0;
+
+  /// True when this assignment's signature is known to fail
+  /// deterministically; candidate generators skip such proposals. The
+  /// plain evaluator quarantines nothing.
+  virtual bool is_quarantined(const SequenceAssignment&) const {
+    return false;
+  }
+
+  // ---- accounting (Fig. 5.12 / Table 4.2) -------------------------------
+  virtual double total_compile_seconds() const = 0;
+  virtual double total_measure_seconds() const = 0;
+  virtual int num_compiles() const = 0;
+  virtual int num_measurements() const = 0;
+  virtual int num_cache_hits() const = 0;
+};
+
+class ProgramEvaluator : public Evaluator {
+ public:
+  /// `base` must be the unoptimised (-O0 style) program. `limits` bounds
+  /// every interpreter run this evaluator performs (instruction budget,
+  /// memory, call depth); budget exhaustion surfaces as a `Hang` failure.
+  ProgramEvaluator(ir::Program base, ir::CostModel machine,
+                   ir::ExecLimits limits = {});
+
+  const ir::Program& base_program() const override { return base_; }
+  const std::string& program_name() const override { return base_.name; }
+
+  double o3_cycles() const override { return o3_cycles_; }
+  double o0_cycles() const override { return o0_cycles_; }
+  std::int64_t reference_output() const override { return reference_output_; }
+
+  /// Adjust interpreter limits after construction (e.g. derive a hang
+  /// budget from the -O0 instruction count). Flushes the measurement
+  /// cache; the -O3/-O0 baselines are not re-derived.
+  void set_exec_limits(const ir::ExecLimits& limits);
+  const ir::ExecLimits& exec_limits() const { return limits_; }
+
+  /// Attach a fault injector (nullptr detaches). Injected faults apply to
+  /// subsequent compiles/evaluations; deterministic injected outcomes are
+  /// cached like real ones, transient ones are never cached.
+  void set_fault_injector(const FaultInjector* injector);
+  const FaultInjector* fault_injector() const { return injector_; }
 
   /// Fraction of -O3 runtime attributed to each module, descending.
   /// This is the `perf`-based hot-module profile of Sec. 5.3.1.
-  std::vector<std::pair<std::string, double>> hot_modules() const;
+  std::vector<std::pair<std::string, double>> hot_modules() const override;
 
   /// Register an additional workload: a program built by the same
   /// generator with a different data seed (identical module/function
@@ -86,23 +168,25 @@ class ProgramEvaluator {
   /// Compile with per-module sequences; no execution. With `keep_program`
   /// the optimised IR is returned for feature extraction.
   CompileOutcome compile(const SequenceAssignment& seqs,
-                         bool keep_program = false) const;
+                         bool keep_program = false) const override;
 
   /// Full evaluation: compile, verify, differential-test, measure.
-  EvalOutcome evaluate(const SequenceAssignment& seqs);
+  EvalOutcome evaluate(const SequenceAssignment& seqs) override;
 
   // ---- accounting (Fig. 5.12 / Table 4.2) -------------------------------
-  double total_compile_seconds() const { return compile_seconds_; }
-  double total_measure_seconds() const { return measure_seconds_; }
-  int num_compiles() const { return num_compiles_; }
-  int num_measurements() const { return num_measurements_; }
-  int num_cache_hits() const { return num_cache_hits_; }
+  double total_compile_seconds() const override { return compile_seconds_; }
+  double total_measure_seconds() const override { return measure_seconds_; }
+  int num_compiles() const override { return num_compiles_; }
+  int num_measurements() const override { return num_measurements_; }
+  int num_cache_hits() const override { return num_cache_hits_; }
 
  private:
   ir::Program build(const SequenceAssignment& seqs,
                     passes::StatsRegistry* stats_out, std::string* err,
                     std::map<std::string, passes::StatsRegistry>*
-                        module_stats_out = nullptr) const;
+                        module_stats_out = nullptr,
+                    FailureKind* failure_out = nullptr,
+                    bool* transient_out = nullptr) const;
 
   struct Workload {
     /// Global data images per module: [module][global] -> bytes.
@@ -116,6 +200,8 @@ class ProgramEvaluator {
   ir::Program base_;
   ir::Program o3_built_;
   ir::CostModel machine_;
+  ir::ExecLimits limits_;
+  const FaultInjector* injector_ = nullptr;
   std::vector<Workload> workloads_;  ///< extra inputs beyond the base
   double o3_cycles_ = 0.0;
   double o0_cycles_ = 0.0;
@@ -132,5 +218,8 @@ class ProgramEvaluator {
 
 /// Structural hash of a program (identical-binary detection).
 std::uint64_t program_hash(const ir::Program& p);
+
+/// Stable signature of a sequence assignment (quarantine keying).
+std::uint64_t assignment_signature(const SequenceAssignment& seqs);
 
 }  // namespace citroen::sim

@@ -1,0 +1,133 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace citroen::sim {
+
+namespace {
+
+// SplitMix64 finaliser: decorrelates structured keys into uniform bits.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_str(std::uint64_t h, const std::string& s) {
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;  // FNV-1a
+  }
+  h ^= 0xff;  // separator so ("ab","c") != ("a","bc")
+  h *= 1099511628211ULL;
+  return h;
+}
+
+// Fault-site salts: independent decision streams from one seed.
+constexpr std::uint64_t kSaltDetCrash = 0x11;
+constexpr std::uint64_t kSaltTransCrash = 0x22;
+constexpr std::uint64_t kSaltHang = 0x33;
+constexpr std::uint64_t kSaltTransHang = 0x44;
+constexpr std::uint64_t kSaltMiscompile = 0x55;
+constexpr std::uint64_t kSaltWorkloadMis = 0x66;
+constexpr std::uint64_t kSaltNoise = 0x77;
+constexpr std::uint64_t kSaltOutlier = 0x88;
+
+}  // namespace
+
+std::uint64_t fault_key(const std::string& module,
+                        const std::vector<std::string>& seq,
+                        std::size_t prefix_len) {
+  std::uint64_t h = 1469598103934665603ULL;
+  h = hash_str(h, module);
+  prefix_len = std::min(prefix_len, seq.size());
+  for (std::size_t i = 0; i < prefix_len; ++i) h = hash_str(h, seq[i]);
+  return h;
+}
+
+double FaultInjector::unit(std::uint64_t key, std::uint64_t salt) const {
+  const std::uint64_t h = mix64(key ^ mix64(plan_.seed ^ salt));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+FaultDecision FaultInjector::compile_fault(
+    const std::string& module, const std::vector<std::string>& seq) const {
+  if (plan_.deterministic_crash_rate <= 0.0 &&
+      plan_.transient_crash_rate <= 0.0)
+    return {};
+  const std::size_t len = std::max<std::size_t>(1, seq.size());
+  // Spread the per-sequence rate over the prefixes so that a length-60
+  // sequence is not 60x as crashy as a length-1 one; for small rates the
+  // whole-sequence crash probability stays ~= the configured rate.
+  const double det_step = plan_.deterministic_crash_rate /
+                          static_cast<double>(len);
+  const double trans_step = plan_.transient_crash_rate /
+                            static_cast<double>(len);
+  const std::uint64_t full_key = fault_key(module, seq, seq.size());
+  const std::uint32_t attempt = attempts_[full_key]++;
+  for (std::size_t i = 1; i <= seq.size(); ++i) {
+    const std::uint64_t key = fault_key(module, seq, i);
+    if (unit(key, kSaltDetCrash) < det_step) {
+      return {FaultKind::Crash, /*transient=*/false,
+              "pass '" + seq[i - 1] + "' on '" + module + "'"};
+    }
+    if (unit(mix64(key ^ (static_cast<std::uint64_t>(attempt) << 32)),
+             kSaltTransCrash) < trans_step) {
+      return {FaultKind::Crash, /*transient=*/true,
+              "pass '" + seq[i - 1] + "' on '" + module + "' (transient)"};
+    }
+  }
+  return {};
+}
+
+FaultDecision FaultInjector::runtime_fault(std::uint64_t binary_hash) const {
+  if (plan_.hang_rate > 0.0 && unit(binary_hash, kSaltHang) < plan_.hang_rate)
+    return {FaultKind::Hang, /*transient=*/false, "deterministic hang"};
+  if (plan_.transient_hang_rate > 0.0) {
+    const std::uint32_t attempt = attempts_[mix64(binary_hash)]++;
+    if (unit(mix64(binary_hash ^ (static_cast<std::uint64_t>(attempt) << 32)),
+             kSaltTransHang) < plan_.transient_hang_rate)
+      return {FaultKind::Hang, /*transient=*/true, "transient hang"};
+  }
+  return {};
+}
+
+bool FaultInjector::miscompiles(std::uint64_t binary_hash,
+                                std::size_t workload) const {
+  if (plan_.miscompile_rate > 0.0 &&
+      unit(binary_hash, kSaltMiscompile) < plan_.miscompile_rate)
+    return true;
+  // Input-dependent corruption never manifests on the training input.
+  if (workload >= 1 && plan_.workload_miscompile_rate > 0.0 &&
+      unit(mix64(binary_hash ^ workload), kSaltWorkloadMis) <
+          plan_.workload_miscompile_rate)
+    return true;
+  return false;
+}
+
+double FaultInjector::perturb(double cycles, std::uint64_t binary_hash,
+                              std::uint64_t replicate) const {
+  if (plan_.noise_sigma <= 0.0 && plan_.outlier_rate <= 0.0) return cycles;
+  const std::uint64_t key = mix64(binary_hash ^ mix64(replicate + 1));
+  double factor = 1.0;
+  if (plan_.noise_sigma > 0.0) {
+    // Box-Muller from two deterministic uniforms -> log-normal multiplier.
+    const double u1 = std::max(1e-12, unit(key, kSaltNoise));
+    const double u2 = unit(mix64(key), kSaltNoise);
+    const double z =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    factor *= std::exp(plan_.noise_sigma * z);
+  }
+  if (plan_.outlier_rate > 0.0 &&
+      unit(key, kSaltOutlier) < plan_.outlier_rate) {
+    // Spike somewhere in [2, outlier_scale]: a measurement taken while
+    // the machine was busy. Always slower, never faster.
+    const double span = std::max(0.0, plan_.outlier_scale - 2.0);
+    factor *= 2.0 + span * unit(mix64(key ^ 0xabcdULL), kSaltOutlier);
+  }
+  return cycles * factor;
+}
+
+}  // namespace citroen::sim

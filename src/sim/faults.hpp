@@ -1,0 +1,116 @@
+#pragma once
+// Seeded, deterministic fault injection for the evaluation pipeline.
+//
+// The paper tunes on real hardware (a noisy Jetson TX2) where compiler
+// pipelines crash or hang on adversarial pass orders and runtime
+// measurements carry heavy-tailed noise; the autotuning literature
+// (Ashouri et al. CSUR'18, AutoPhase MLSys'20) treats invalid sequences
+// as a first-class hazard of phase-order search. Our MiniIR stack is
+// deterministic, so this layer *models* those hazards so the hardened
+// evaluation path (sim/robust_evaluator) can be exercised and measured.
+//
+// Every decision is a pure function of (plan seed, fault key), where the
+// key hashes the (pass, module, sequence-prefix) being compiled, the
+// binary being run, or the measurement replicate being taken. Transient
+// faults additionally mix in a per-key attempt counter, so a retry of the
+// same compilation can succeed while the overall experiment stays
+// reproducible from the plan seed. With an all-zero plan the injector is
+// inert and every downstream output is bit-for-bit what it was without it.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace citroen::sim {
+
+/// What a single injected fault looks like to the evaluator.
+enum class FaultKind {
+  None,
+  Crash,       ///< pass pipeline aborts (compile-time)
+  Hang,        ///< run exceeds the instruction budget (timeout analogue)
+  Miscompile,  ///< build runs but produces corrupted output
+};
+
+struct FaultDecision {
+  FaultKind kind = FaultKind::None;
+  bool transient = false;   ///< retrying the same operation may succeed
+  std::string detail;       ///< human-readable site, e.g. the crashing pass
+};
+
+/// Configurable fault model. Rates are per-operation probabilities in
+/// [0, 1]; crash rates are per *sequence compilation* (internally spread
+/// over the sequence's prefixes so that related sequences share fate).
+struct FaultPlan {
+  std::uint64_t seed = 0;
+
+  // Compile-time pass crashes, keyed by hash(module, sequence prefix).
+  double transient_crash_rate = 0.0;      ///< flaky; retry may pass
+  double deterministic_crash_rate = 0.0;  ///< adversarial order; permanent
+
+  // Runtime faults, keyed by the binary hash.
+  double hang_rate = 0.0;            ///< deterministic infinite loop
+  double transient_hang_rate = 0.0;  ///< flaky timeout; retry may pass
+  double miscompile_rate = 0.0;      ///< output corrupted on every input
+  /// Input-dependent miscompile: corruption that only manifests on extra
+  /// workloads (indices >= 1), i.e. escapes train-input differential
+  /// testing — the Sec. 6.2.2 critique made injectable.
+  double workload_miscompile_rate = 0.0;
+
+  // Measurement noise: multiplicative log-normal with occasional
+  // heavy-tailed outlier spikes (interference, thermal throttling).
+  double noise_sigma = 0.0;    ///< sigma of ln(multiplier)
+  double outlier_rate = 0.0;   ///< probability of an outlier spike
+  double outlier_scale = 6.0;  ///< outlier multiplies runtime by up to this
+
+  bool enabled() const {
+    return transient_crash_rate > 0.0 || deterministic_crash_rate > 0.0 ||
+           hang_rate > 0.0 || transient_hang_rate > 0.0 ||
+           miscompile_rate > 0.0 || workload_miscompile_rate > 0.0 ||
+           noise_sigma > 0.0 || outlier_rate > 0.0;
+  }
+};
+
+/// Stable hash of (module, sequence prefix) — the fault key for compile
+/// crashes. Exposed so tests can verify keying.
+std::uint64_t fault_key(const std::string& module,
+                        const std::vector<std::string>& seq,
+                        std::size_t prefix_len);
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Fault (if any) for compiling `seq` on `module`. Walks the sequence's
+  /// prefixes: a deterministic hit at any prefix crashes this and every
+  /// sequence sharing that prefix, forever. Transient hits also depend on
+  /// how many times this exact compilation was attempted before.
+  FaultDecision compile_fault(const std::string& module,
+                              const std::vector<std::string>& seq) const;
+
+  /// Runtime fault (hang) for executing the binary with this hash.
+  FaultDecision runtime_fault(std::uint64_t binary_hash) const;
+
+  /// Deterministic output corruption for this binary on this workload
+  /// index (0 = the training input).
+  bool miscompiles(std::uint64_t binary_hash, std::size_t workload) const;
+
+  /// Noisy measurement: perturb modelled cycles for replicate `replicate`
+  /// of the binary. Identity when the plan has no noise.
+  double perturb(double cycles, std::uint64_t binary_hash,
+                 std::uint64_t replicate) const;
+
+  /// Forget attempt counters (transient faults replay identically after).
+  void reset_attempts() { attempts_.clear(); }
+
+ private:
+  double unit(std::uint64_t key, std::uint64_t salt) const;
+
+  FaultPlan plan_;
+  /// Attempt counter per compile key: makes transient faults transient.
+  mutable std::unordered_map<std::uint64_t, std::uint32_t> attempts_;
+};
+
+}  // namespace citroen::sim

@@ -1,0 +1,152 @@
+#include "sim/robust_evaluator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/statistics.hpp"
+
+namespace citroen::sim {
+
+RobustEvaluator::RobustEvaluator(ProgramEvaluator& base, RobustConfig config,
+                                 const FaultInjector* injector)
+    : base_(base), config_(config), injector_(injector) {
+  base_.set_fault_injector(injector_);
+}
+
+RobustEvaluator::~RobustEvaluator() { base_.set_fault_injector(nullptr); }
+
+CompileOutcome RobustEvaluator::compile(const SequenceAssignment& seqs,
+                                        bool keep_program) const {
+  CompileOutcome co = base_.compile(seqs, keep_program);
+  for (int r = 0; r < config_.max_retries && !co.valid && co.transient; ++r) {
+    ++stats_.retries;
+    co = base_.compile(seqs, keep_program);
+  }
+  return co;
+}
+
+bool RobustEvaluator::is_quarantined(const SequenceAssignment& seqs) const {
+  return config_.quarantine &&
+         quarantine_.count(assignment_signature(seqs)) > 0;
+}
+
+double RobustEvaluator::aggregate(std::vector<double>& samples) const {
+  if (samples.size() == 1) return samples[0];
+  if (config_.trim_fraction <= 0.0) return median(samples);
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+  const std::size_t k = static_cast<std::size_t>(
+      std::floor(config_.trim_fraction * static_cast<double>(n)));
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = k; i + k < n; ++i) {
+    sum += samples[i];
+    ++count;
+  }
+  return count > 0 ? sum / static_cast<double>(count) : median(samples);
+}
+
+double RobustEvaluator::dispersion(std::vector<double> samples) const {
+  if (samples.size() < 2) return 0.0;
+  const double med = median(samples);
+  if (med <= 0.0) return 0.0;
+  for (auto& v : samples) v = std::abs(v - med);
+  return median(samples) / med;  // relative MAD
+}
+
+EvalOutcome RobustEvaluator::evaluate(const SequenceAssignment& seqs) {
+  const std::uint64_t sig = assignment_signature(seqs);
+  if (config_.quarantine) {
+    const auto q = quarantine_.find(sig);
+    if (q != quarantine_.end()) {
+      // Known deterministic failure: answer from the quarantine set for
+      // free. `cache_hit` tells callers no budget was spent.
+      ++stats_.quarantine_hits;
+      EvalOutcome out;
+      out.failure = q->second;
+      out.why_invalid = std::string("quarantined: known deterministic ") +
+                        failure_kind_name(q->second);
+      out.cache_hit = true;
+      out.attempts = 0;
+      return out;
+    }
+  }
+
+  ++stats_.evaluations;
+  EvalOutcome out;
+  int attempt = 0;
+  // Bounded retry for transient failures. On real hardware each retry
+  // would back off before re-submitting; in the deterministic sim the
+  // backoff has no one to yield to, but every attempt is still charged.
+  for (;;) {
+    out = base_.evaluate(seqs);
+    ++stats_.attempts;
+    if (out.valid || !out.transient || attempt >= config_.max_retries) break;
+    ++attempt;
+    ++stats_.retries;
+  }
+  out.attempts = attempt + 1;
+
+  if (!out.valid) {
+    ++stats_.failures[failure_kind_name(out.failure)];
+    if (config_.quarantine && !out.transient &&
+        out.failure != FailureKind::None) {
+      quarantine_.emplace(sig, out.failure);
+    }
+    return out;
+  }
+
+  // Replicated measurement under injected noise. The base evaluator's
+  // cycles are the noise-free ground truth; each replicate is a fresh
+  // deterministic noise draw keyed by a per-binary counter.
+  const bool noisy = injector_ && (injector_->plan().noise_sigma > 0.0 ||
+                                   injector_->plan().outlier_rate > 0.0);
+  if (noisy) {
+    auto& ctr = replicate_counter_[out.binary_hash];
+    const double truth = out.cycles;
+    std::vector<double> samples;
+    const int reps = std::max(1, config_.replicates);
+    samples.reserve(static_cast<std::size_t>(reps));
+    for (int r = 0; r < reps; ++r)
+      samples.push_back(injector_->perturb(truth, out.binary_hash, ctr++));
+    double agg = aggregate(samples);
+    double speedup = agg > 0.0 ? o3_cycles() / agg : 0.0;
+
+    // Adaptive re-measurement: when the aggregate lands near the
+    // incumbent, rankings are decided inside the noise band — buy extra
+    // replicates exactly there.
+    int extra = 0;
+    while (extra < config_.max_extra_replicates &&
+           best_speedup_seen_ > 0.0 &&
+           std::abs(speedup - best_speedup_seen_) <=
+               config_.near_incumbent_margin * best_speedup_seen_) {
+      samples.push_back(injector_->perturb(truth, out.binary_hash, ctr++));
+      ++extra;
+      ++stats_.remeasurements;
+      agg = aggregate(samples);
+      speedup = agg > 0.0 ? o3_cycles() / agg : 0.0;
+    }
+
+    if (dispersion(samples) > config_.noisy_reject_mad) {
+      // Even the robust aggregate is untrustworthy; reject rather than
+      // feed a garbage observation to the cost model. Noise is transient
+      // by nature, so the signature is NOT quarantined.
+      out.valid = false;
+      out.cycles = 0.0;
+      out.speedup = 0.0;
+      out.transient = true;
+      out.failure = FailureKind::NoisyRejected;
+      out.why_invalid = "measurement rejected: replicate spread too large";
+      ++stats_.failures[failure_kind_name(out.failure)];
+      return out;
+    }
+    out.cycles = agg;
+    out.speedup = speedup;
+  }
+
+  ++stats_.valid;
+  best_speedup_seen_ = std::max(best_speedup_seen_, out.speedup);
+  return out;
+}
+
+}  // namespace citroen::sim

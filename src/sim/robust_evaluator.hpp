@@ -1,0 +1,119 @@
+#pragma once
+// Hardened evaluation layer: makes the tuning loop survive the fault
+// model of sim/faults.hpp the way a production tuning service must
+// survive a noisy embedded board (the paper's Jetson TX2 target).
+//
+// On top of a plain ProgramEvaluator it adds:
+//   - bounded retry with (simulated) backoff for transient failures,
+//   - a quarantine set of assignment signatures that failed
+//     deterministically, so the search never re-pays for a known-bad
+//     sequence and candidate generators can skip proposing them,
+//   - replicated measurement under injected noise with median /
+//     trimmed-mean aggregation, plus adaptive re-measurement when a
+//     candidate lands near the incumbent (where a wrong ranking is most
+//     costly),
+//   - a noisy-rejection guard: measurements whose replicate spread stays
+//     too large to trust are rejected rather than recorded,
+//   - per-failure-class counters and budget accounting that charges
+//     every failed attempt, so experiments can report the true cost.
+//
+// With no injector attached (or an all-zero plan) every call forwards to
+// the base evaluator and outputs are bit-for-bit identical to it.
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "sim/evaluator.hpp"
+#include "sim/faults.hpp"
+
+namespace citroen::sim {
+
+struct RobustConfig {
+  int max_retries = 2;           ///< extra attempts after a transient failure
+  int replicates = 3;            ///< noisy measurements aggregated per eval
+  int max_extra_replicates = 4;  ///< adaptive re-measurement cap
+  /// 0 = median aggregation; in (0, 0.5) = trimmed mean discarding this
+  /// fraction from each tail.
+  double trim_fraction = 0.0;
+  /// Re-measure adaptively when a candidate's aggregated speedup lands
+  /// within this relative margin of the best speedup seen so far.
+  double near_incumbent_margin = 0.03;
+  /// Reject the measurement entirely (failure class `noisy-rejected`)
+  /// when the replicates' median absolute deviation exceeds this fraction
+  /// of the median even after adaptive re-measurement.
+  double noisy_reject_mad = 0.35;
+  bool quarantine = true;        ///< remember deterministic failures
+};
+
+/// Observable robustness counters (reported by the fault benches).
+struct RobustStats {
+  int evaluations = 0;       ///< evaluate() calls that reached the base
+  int attempts = 0;          ///< base evaluations incl. retries
+  int retries = 0;           ///< attempts beyond the first
+  int quarantine_hits = 0;   ///< evaluations skipped via the quarantine set
+  int remeasurements = 0;    ///< adaptive extra replicates taken
+  int valid = 0;             ///< evaluations that produced a trusted result
+  /// Failed evaluations per failure class name ("crash", "hang", ...).
+  std::map<std::string, int> failures;
+};
+
+class RobustEvaluator : public Evaluator {
+ public:
+  /// `injector` may be nullptr (no faults); it must outlive this object.
+  /// The injector is attached to `base` for the lifetime of this wrapper.
+  RobustEvaluator(ProgramEvaluator& base, RobustConfig config = {},
+                  const FaultInjector* injector = nullptr);
+  ~RobustEvaluator() override;
+
+  const ir::Program& base_program() const override {
+    return base_.base_program();
+  }
+  const std::string& program_name() const override {
+    return base_.program_name();
+  }
+  double o3_cycles() const override { return base_.o3_cycles(); }
+  double o0_cycles() const override { return base_.o0_cycles(); }
+  std::int64_t reference_output() const override {
+    return base_.reference_output();
+  }
+  std::vector<std::pair<std::string, double>> hot_modules() const override {
+    return base_.hot_modules();
+  }
+
+  CompileOutcome compile(const SequenceAssignment& seqs,
+                         bool keep_program = false) const override;
+  EvalOutcome evaluate(const SequenceAssignment& seqs) override;
+
+  bool is_quarantined(const SequenceAssignment& seqs) const override;
+
+  const RobustStats& robust_stats() const { return stats_; }
+  std::size_t quarantine_size() const { return quarantine_.size(); }
+
+  double total_compile_seconds() const override {
+    return base_.total_compile_seconds();
+  }
+  double total_measure_seconds() const override {
+    return base_.total_measure_seconds();
+  }
+  int num_compiles() const override { return base_.num_compiles(); }
+  int num_measurements() const override { return base_.num_measurements(); }
+  int num_cache_hits() const override { return base_.num_cache_hits(); }
+
+ private:
+  double aggregate(std::vector<double>& samples) const;
+  double dispersion(std::vector<double> samples) const;
+
+  ProgramEvaluator& base_;
+  RobustConfig config_;
+  const FaultInjector* injector_;
+  /// Signature -> failure class of deterministically-failing assignments.
+  std::unordered_map<std::uint64_t, FailureKind> quarantine_;
+  /// Replicate counter per binary: keeps repeated noisy measurements of
+  /// the same binary on fresh deterministic noise draws.
+  std::unordered_map<std::uint64_t, std::uint64_t> replicate_counter_;
+  mutable RobustStats stats_;  ///< compile() retries update it too
+  double best_speedup_seen_ = 0.0;
+};
+
+}  // namespace citroen::sim

@@ -90,7 +90,7 @@ TEST(Baselines, AllTunersProduceFullCurves) {
   baselines::PhaseTunerConfig cfg;
   cfg.budget = 12;
   cfg.seed = 3;
-  using Runner = baselines::TuneTrace (*)(sim::ProgramEvaluator&,
+  using Runner = baselines::TuneTrace (*)(sim::Evaluator&,
                                           const baselines::PhaseTunerConfig&);
   const std::pair<const char*, Runner> tuners[] = {
       {"random", baselines::run_random_search},

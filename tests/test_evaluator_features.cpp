@@ -10,6 +10,7 @@
 #include "citroen/tuner.hpp"
 #include "ir/builder.hpp"
 #include "sim/evaluator.hpp"
+#include "sim/faults.hpp"
 #include "sim/machine.hpp"
 #include "synth/flag_task.hpp"
 #include "synth/functions.hpp"
@@ -82,6 +83,120 @@ TEST(Evaluator, DifferentialTestingCatchesInjectedMiscompile) {
   const auto out = ir::interpret(broken);
   EXPECT_TRUE(!out.ok || out.ret != ev.reference_output())
       << "corruption was not observable: weak differential oracle";
+}
+
+TEST(Evaluator, InstructionBudgetExhaustionIsAHang) {
+  sim::ProgramEvaluator ev(bench_suite::make_program("security_sha"),
+                           sim::arm_a57_model());
+  ir::ExecLimits tight;
+  tight.max_instructions = 50;  // far below any real run
+  ev.set_exec_limits(tight);
+  EXPECT_EQ(ev.exec_limits().max_instructions, 50u);
+  const auto out = ev.evaluate({{"sha", {"dce"}}});
+  EXPECT_FALSE(out.valid);
+  EXPECT_EQ(out.failure, sim::FailureKind::Hang);
+  EXPECT_STREQ(sim::failure_kind_name(out.failure), "hang");
+  EXPECT_NE(out.why_invalid.find("hang"), std::string::npos)
+      << out.why_invalid;
+}
+
+TEST(Evaluator, RuntimeTrapIsACrashNotAHang) {
+  sim::ProgramEvaluator ev(bench_suite::make_program("security_sha"),
+                           sim::arm_a57_model());
+  ir::ExecLimits limits;
+  limits.max_call_depth = 0;  // the entry call itself traps
+  ev.set_exec_limits(limits);
+  const auto out = ev.evaluate({{"sha", {"dce"}}});
+  EXPECT_FALSE(out.valid);
+  EXPECT_EQ(out.failure, sim::FailureKind::Crash);
+  EXPECT_NE(out.why_invalid.find("runtime trap"), std::string::npos)
+      << out.why_invalid;
+}
+
+TEST(Evaluator, ExecLimitsConfigurableAtConstruction) {
+  ir::ExecLimits limits;
+  limits.max_instructions = 123'456;
+  sim::ProgramEvaluator ev(bench_suite::make_program("security_sha"),
+                           sim::arm_a57_model(), limits);
+  EXPECT_EQ(ev.exec_limits().max_instructions, 123'456u);
+}
+
+TEST(Evaluator, InjectedMiscompileFailsTheDifferentialTest) {
+  sim::ProgramEvaluator ev(bench_suite::make_program("security_sha"),
+                           sim::arm_a57_model());
+  sim::FaultPlan plan;
+  plan.miscompile_rate = 1.0;
+  const sim::FaultInjector inj(plan);
+  ev.set_fault_injector(&inj);
+  const auto out = ev.evaluate({{"sha", {"mem2reg", "gvn"}}});
+  EXPECT_FALSE(out.valid);
+  EXPECT_EQ(out.failure, sim::FailureKind::Miscompile);
+  EXPECT_NE(out.why_invalid.find("differential test failed"),
+            std::string::npos)
+      << out.why_invalid;
+}
+
+TEST(Evaluator, WorkloadOnlyMiscompileEscapesTrainInput) {
+  sim::ProgramEvaluator ev(bench_suite::make_program("security_sha", 42),
+                           sim::arm_a57_model());
+  ev.add_workload(bench_suite::make_program("security_sha", 77));
+  sim::FaultPlan plan;
+  plan.workload_miscompile_rate = 1.0;  // manifests on extra inputs only
+  const sim::FaultInjector inj(plan);
+  ev.set_fault_injector(&inj);
+  const auto out = ev.evaluate({{"sha", {"mem2reg", "gvn"}}});
+  EXPECT_FALSE(out.valid);
+  EXPECT_EQ(out.failure, sim::FailureKind::Miscompile);
+  EXPECT_NE(out.why_invalid.find("extra workload"), std::string::npos)
+      << out.why_invalid;
+}
+
+TEST(Evaluator, CacheHitRestoresPerSequenceStatsAndSize) {
+  sim::ProgramEvaluator ev(bench_suite::make_program("security_sha"),
+                           sim::arm_a57_model());
+  const sim::SequenceAssignment a{{"sha", {"dce", "dce"}}};
+  const sim::SequenceAssignment b{{"sha", {"dce", "dce", "dce"}}};
+  const auto ra = ev.evaluate(a);
+  const auto rb = ev.evaluate(b);
+  ASSERT_TRUE(ra.valid && rb.valid);
+  ASSERT_TRUE(rb.cache_hit);
+  // Timing comes from the cached identical binary...
+  EXPECT_EQ(ra.cycles, rb.cycles);
+  EXPECT_EQ(ra.binary_hash, rb.binary_hash);
+  // ...but stats/code_size describe THIS sequence's compilation, exactly
+  // as a fresh compile of it reports them.
+  const auto cb = ev.compile(b);
+  ASSERT_TRUE(cb.valid);
+  EXPECT_EQ(rb.code_size, cb.code_size);
+  EXPECT_EQ(rb.stats.counters(), cb.stats.counters());
+}
+
+TEST(Evaluator, OnlyDeterministicOutcomesAreCached) {
+  sim::ProgramEvaluator ev(bench_suite::make_program("security_sha"),
+                           sim::arm_a57_model());
+  const sim::SequenceAssignment a{{"sha", {"mem2reg"}}};
+
+  sim::FaultPlan transient;
+  transient.transient_hang_rate = 1.0;
+  const sim::FaultInjector tinj(transient);
+  ev.set_fault_injector(&tinj);
+  const auto t1 = ev.evaluate(a);
+  const auto t2 = ev.evaluate(a);
+  EXPECT_FALSE(t1.valid);
+  EXPECT_EQ(t1.failure, sim::FailureKind::Hang);
+  EXPECT_TRUE(t1.transient);
+  EXPECT_FALSE(t2.cache_hit);  // transient outcome never poisons the cache
+
+  sim::FaultPlan det;
+  det.hang_rate = 1.0;
+  const sim::FaultInjector dinj(det);
+  ev.set_fault_injector(&dinj);  // flushes the cache
+  const auto d1 = ev.evaluate(a);
+  const auto d2 = ev.evaluate(a);
+  EXPECT_FALSE(d1.valid);
+  EXPECT_FALSE(d1.transient);
+  EXPECT_TRUE(d2.cache_hit);  // deterministic failures replay for free
+  EXPECT_EQ(d2.failure, sim::FailureKind::Hang);
 }
 
 TEST(Evaluator, StatsOnlyCoverTunedModules) {

@@ -1,0 +1,293 @@
+// Tests for the fault-injection layer (sim/faults.hpp) and the hardened
+// evaluation path (sim/robust_evaluator.hpp): seeded determinism,
+// transient-vs-deterministic behaviour, retry, quarantine, replicated
+// measurement and the noisy-rejection guard.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_suite/suite.hpp"
+#include "sim/evaluator.hpp"
+#include "sim/faults.hpp"
+#include "sim/machine.hpp"
+#include "sim/robust_evaluator.hpp"
+
+using namespace citroen;
+
+namespace {
+
+const std::vector<std::vector<std::string>>& probe_sequences() {
+  static const std::vector<std::vector<std::string>> seqs = {
+      {"dce"},          {"gvn"},
+      {"mem2reg"},      {"instcombine"},
+      {"mem2reg", "gvn"}, {"gvn", "dce"},
+      {"mem2reg", "gvn", "dce"}, {"dce", "mem2reg"},
+  };
+  return seqs;
+}
+
+}  // namespace
+
+TEST(Faults, KeysFollowSequencePrefixes) {
+  const std::vector<std::string> a = {"gvn", "dce", "licm"};
+  const std::vector<std::string> b = {"gvn", "dce", "unroll"};
+  // Shared prefixes share keys; diverging suffixes do not.
+  EXPECT_EQ(sim::fault_key("m", a, 1), sim::fault_key("m", b, 1));
+  EXPECT_EQ(sim::fault_key("m", a, 2), sim::fault_key("m", b, 2));
+  EXPECT_NE(sim::fault_key("m", a, 3), sim::fault_key("m", b, 3));
+  // The module is part of the key.
+  EXPECT_NE(sim::fault_key("m", a, 2), sim::fault_key("n", a, 2));
+}
+
+TEST(Faults, DecisionsAreSeedDeterministic) {
+  sim::FaultPlan plan;
+  plan.seed = 17;
+  plan.transient_crash_rate = 0.3;
+  plan.deterministic_crash_rate = 0.3;
+  plan.hang_rate = 0.3;
+  plan.noise_sigma = 0.2;
+  const sim::FaultInjector a(plan), b(plan);
+  bool any_fault = false;
+  for (const auto& seq : probe_sequences()) {
+    const auto da = a.compile_fault("sha", seq);
+    const auto db = b.compile_fault("sha", seq);
+    EXPECT_EQ(da.kind, db.kind);
+    EXPECT_EQ(da.transient, db.transient);
+    EXPECT_EQ(da.detail, db.detail);
+    any_fault = any_fault || da.kind != sim::FaultKind::None;
+  }
+  EXPECT_TRUE(any_fault) << "rates this high must hit some probe";
+  for (std::uint64_t h : {1ull, 99ull, 12345ull}) {
+    EXPECT_EQ(a.runtime_fault(h).kind, b.runtime_fault(h).kind);
+    EXPECT_EQ(a.perturb(1000.0, h, 0), b.perturb(1000.0, h, 0));
+  }
+
+  // A different seed reshuffles which operations fault.
+  sim::FaultPlan other = plan;
+  other.seed = 18;
+  const sim::FaultInjector c(other);
+  bool any_diff = false;
+  for (const auto& seq : probe_sequences()) {
+    sim::FaultInjector fresh(plan);  // counter-free comparison
+    if (fresh.compile_fault("sha", seq).kind !=
+        c.compile_fault("sha", seq).kind)
+      any_diff = true;
+  }
+  for (std::uint64_t h = 0; h < 64 && !any_diff; ++h) {
+    sim::FaultInjector fresh(plan);
+    if (fresh.perturb(1000.0, h, 0) != c.perturb(1000.0, h, 0))
+      any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Faults, DeterministicCrashesArePermanent) {
+  sim::FaultPlan plan;
+  plan.deterministic_crash_rate = 1.0;
+  const sim::FaultInjector inj(plan);
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const auto d = inj.compile_fault("sha", {"gvn"});
+    EXPECT_EQ(d.kind, sim::FaultKind::Crash);
+    EXPECT_FALSE(d.transient);
+  }
+}
+
+TEST(Faults, TransientCrashesClearOnRetryAndReplayAfterReset) {
+  sim::FaultPlan plan;
+  plan.seed = 7;
+  plan.transient_crash_rate = 0.6;
+  // Find a probe whose first attempt crashes but that recovers on retry.
+  for (const auto& seq : probe_sequences()) {
+    sim::FaultInjector inj(plan);
+    const auto first = inj.compile_fault("sha", seq);
+    if (first.kind != sim::FaultKind::Crash) continue;
+    EXPECT_TRUE(first.transient);
+    int recovered_at = -1;
+    for (int attempt = 1; attempt <= 16; ++attempt) {
+      if (inj.compile_fault("sha", seq).kind == sim::FaultKind::None) {
+        recovered_at = attempt;
+        break;
+      }
+    }
+    ASSERT_GT(recovered_at, 0) << "transient fault never cleared";
+    // Forgetting the attempt counters replays the exact same history.
+    inj.reset_attempts();
+    EXPECT_EQ(inj.compile_fault("sha", seq).kind, sim::FaultKind::Crash);
+    for (int attempt = 1; attempt < recovered_at; ++attempt)
+      EXPECT_EQ(inj.compile_fault("sha", seq).kind, sim::FaultKind::Crash);
+    EXPECT_EQ(inj.compile_fault("sha", seq).kind, sim::FaultKind::None);
+    return;
+  }
+  FAIL() << "no probe sequence crashed at 60% transient rate";
+}
+
+TEST(Faults, PerturbIsDeterministicPerReplicate) {
+  sim::FaultPlan plan;
+  plan.seed = 5;
+  plan.noise_sigma = 0.1;
+  const sim::FaultInjector inj(plan);
+  const double a0 = inj.perturb(1e6, 42, 0);
+  EXPECT_EQ(a0, inj.perturb(1e6, 42, 0));  // same replicate, same draw
+  EXPECT_NE(a0, inj.perturb(1e6, 42, 1));  // fresh replicate, fresh draw
+  EXPECT_NE(a0, inj.perturb(1e6, 43, 0));  // different binary, fresh draw
+  EXPECT_GT(a0, 0.0);
+}
+
+TEST(Faults, DisabledPlanIsInert) {
+  const sim::FaultPlan plan;  // all-zero
+  EXPECT_FALSE(plan.enabled());
+  const sim::FaultInjector inj(plan);
+  EXPECT_EQ(inj.compile_fault("sha", {"gvn"}).kind, sim::FaultKind::None);
+  EXPECT_EQ(inj.runtime_fault(42).kind, sim::FaultKind::None);
+  EXPECT_FALSE(inj.miscompiles(42, 0));
+  EXPECT_EQ(inj.perturb(123.5, 42, 0), 123.5);
+
+  // The evaluator refuses to attach an inert injector at all.
+  sim::ProgramEvaluator ev(bench_suite::make_program("security_sha"),
+                           sim::arm_a57_model());
+  ev.set_fault_injector(&inj);
+  EXPECT_EQ(ev.fault_injector(), nullptr);
+}
+
+TEST(Robust, NoInjectorMatchesPlainEvaluatorBitForBit) {
+  const sim::SequenceAssignment a{{"sha", {"mem2reg", "gvn", "dce"}}};
+  sim::ProgramEvaluator plain(bench_suite::make_program("security_sha"),
+                              sim::arm_a57_model());
+  const auto expect = plain.evaluate(a);
+
+  sim::ProgramEvaluator base(bench_suite::make_program("security_sha"),
+                             sim::arm_a57_model());
+  sim::RobustEvaluator robust(base);
+  const auto got = robust.evaluate(a);
+  ASSERT_TRUE(expect.valid && got.valid);
+  EXPECT_EQ(expect.cycles, got.cycles);
+  EXPECT_EQ(expect.speedup, got.speedup);
+  EXPECT_EQ(expect.binary_hash, got.binary_hash);
+  EXPECT_EQ(expect.code_size, got.code_size);
+  EXPECT_EQ(robust.robust_stats().valid, 1);
+}
+
+TEST(Robust, RetriesRecoverTransientCrashes) {
+  sim::FaultPlan plan;
+  plan.seed = 7;
+  plan.transient_crash_rate = 0.6;
+  // Mirror the injector to find a probe that crashes first but recovers
+  // within the retry budget (deterministic given the plan seed).
+  sim::SequenceAssignment victim;
+  for (const auto& seq : probe_sequences()) {
+    const sim::FaultInjector probe(plan);
+    if (probe.compile_fault("sha", seq).kind != sim::FaultKind::Crash)
+      continue;
+    for (int attempt = 1; attempt <= 4; ++attempt) {
+      if (probe.compile_fault("sha", seq).kind == sim::FaultKind::None) {
+        victim = {{"sha", seq}};
+        break;
+      }
+    }
+    if (!victim.empty()) break;
+  }
+  ASSERT_FALSE(victim.empty());
+
+  sim::ProgramEvaluator base(bench_suite::make_program("security_sha"),
+                             sim::arm_a57_model());
+  const sim::FaultInjector inj(plan);
+  sim::RobustConfig cfg;
+  cfg.max_retries = 4;
+  sim::RobustEvaluator robust(base, cfg, &inj);
+  const auto out = robust.evaluate(victim);
+  EXPECT_TRUE(out.valid) << out.why_invalid;
+  EXPECT_GE(out.attempts, 2);
+  EXPECT_GE(robust.robust_stats().retries, 1);
+  EXPECT_EQ(robust.robust_stats().valid, 1);
+}
+
+TEST(Robust, QuarantineRemembersDeterministicFailures) {
+  sim::FaultPlan plan;
+  plan.deterministic_crash_rate = 1.0;
+  const sim::FaultInjector inj(plan);
+  sim::ProgramEvaluator base(bench_suite::make_program("security_sha"),
+                             sim::arm_a57_model());
+  sim::RobustEvaluator robust(base, {}, &inj);
+  // One pass = one prefix carrying the full crash rate: guaranteed hit.
+  const sim::SequenceAssignment a{{"sha", {"gvn"}}};
+
+  const auto first = robust.evaluate(a);
+  EXPECT_FALSE(first.valid);
+  EXPECT_EQ(first.failure, sim::FailureKind::Crash);
+  EXPECT_TRUE(robust.is_quarantined(a));
+  EXPECT_EQ(robust.quarantine_size(), 1u);
+
+  // The second proposal is refused without paying for an attempt.
+  const auto again = robust.evaluate(a);
+  EXPECT_FALSE(again.valid);
+  EXPECT_TRUE(again.cache_hit);
+  EXPECT_EQ(again.attempts, 0);
+  EXPECT_NE(again.why_invalid.find("quarantined"), std::string::npos);
+  EXPECT_EQ(robust.robust_stats().quarantine_hits, 1);
+
+  // A different assignment is still admissible.
+  EXPECT_FALSE(robust.is_quarantined({{"sha", {"mem2reg"}}}));
+}
+
+TEST(Robust, InjectedHangsAreClassifiedAndQuarantined) {
+  sim::FaultPlan plan;
+  plan.hang_rate = 1.0;  // every binary blows the instruction budget
+  const sim::FaultInjector inj(plan);
+  sim::ProgramEvaluator base(bench_suite::make_program("security_sha"),
+                             sim::arm_a57_model());
+  sim::RobustEvaluator robust(base, {}, &inj);
+  const sim::SequenceAssignment a{{"sha", {"mem2reg"}}};
+  const auto out = robust.evaluate(a);
+  EXPECT_FALSE(out.valid);
+  EXPECT_EQ(out.failure, sim::FailureKind::Hang);
+  EXPECT_NE(out.why_invalid.find("instruction budget"), std::string::npos);
+  EXPECT_TRUE(robust.is_quarantined(a));
+  EXPECT_EQ(robust.robust_stats().failures.at("hang"), 1);
+}
+
+TEST(Robust, ReplicatedMeasurementTracksTheTruth) {
+  const sim::SequenceAssignment a{{"sha", {"mem2reg", "gvn", "dce"}}};
+  sim::ProgramEvaluator clean(bench_suite::make_program("security_sha"),
+                              sim::arm_a57_model());
+  const double truth = clean.evaluate(a).cycles;
+
+  sim::FaultPlan plan;
+  plan.seed = 11;
+  plan.noise_sigma = 0.05;
+  const sim::FaultInjector inj(plan);
+  sim::ProgramEvaluator base(bench_suite::make_program("security_sha"),
+                             sim::arm_a57_model());
+  sim::RobustConfig cfg;
+  cfg.replicates = 5;
+  sim::RobustEvaluator robust(base, cfg, &inj);
+  const auto out = robust.evaluate(a);
+  ASSERT_TRUE(out.valid) << out.why_invalid;
+  // The median of 5 replicates at sigma=0.05 lands close to the truth.
+  EXPECT_NEAR(out.cycles / truth, 1.0, 0.1);
+  EXPECT_NE(out.cycles, truth);  // but it IS a noisy estimate
+}
+
+TEST(Robust, HopelesslyNoisyMeasurementsAreRejectedNotQuarantined) {
+  sim::FaultPlan plan;
+  plan.seed = 3;
+  plan.noise_sigma = 1.5;  // spread far beyond any acceptance threshold
+  const sim::FaultInjector inj(plan);
+  sim::ProgramEvaluator base(bench_suite::make_program("security_sha"),
+                             sim::arm_a57_model());
+  sim::RobustConfig cfg;
+  cfg.replicates = 3;
+  cfg.max_extra_replicates = 0;
+  cfg.noisy_reject_mad = 0.02;
+  sim::RobustEvaluator robust(base, cfg, &inj);
+  const sim::SequenceAssignment a{{"sha", {"mem2reg"}}};
+  const auto out = robust.evaluate(a);
+  EXPECT_FALSE(out.valid);
+  EXPECT_EQ(out.failure, sim::FailureKind::NoisyRejected);
+  EXPECT_TRUE(out.transient);
+  // Noise is a property of the measurement, not the sequence: the
+  // assignment stays admissible for a later, luckier attempt.
+  EXPECT_FALSE(robust.is_quarantined(a));
+  EXPECT_EQ(robust.robust_stats().failures.at("noisy-rejected"), 1);
+}
