@@ -5,9 +5,11 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "aibo/aibo.hpp"
 #include "baselines/continuous_bo.hpp"
+#include "support/thread_pool.hpp"
 #include "synth/functions.hpp"
 
 namespace citroen::bench {
@@ -74,6 +76,21 @@ inline Vec run_ch4_method(const std::string& method, const synth::Task& task,
   }
   aibo::Aibo bo(task.box, cfg, seed);
   return bo.run(task.f, budget).best_curve;
+}
+
+/// Run one Ch. 4 method over seeds 1..n concurrently (each run is a
+/// self-contained optimisation; slots are preallocated so results are
+/// identical to the serial loop).
+inline std::vector<Vec> run_ch4_method_seeds(
+    const std::string& method, const synth::Task& task, int budget,
+    int seeds, std::optional<aibo::AiboConfig> base = {}) {
+  std::vector<Vec> curves(static_cast<std::size_t>(seeds));
+  ThreadPool::global().parallel_for(
+      curves.size(), [&](std::size_t s) {
+        curves[s] = run_ch4_method(method, task, budget,
+                                   static_cast<std::uint64_t>(s) + 1, base);
+      });
+  return curves;
 }
 
 }  // namespace citroen::bench

@@ -30,10 +30,9 @@ int main(int argc, char** argv) {
       const auto task = synth::make_synthetic(fn, d);
       std::printf("%-14s", task.name.c_str());
       for (const char* m : methods) {
-        std::vector<Vec> curves;
-        for (int s = 0; s < seeds; ++s)
-          curves.push_back(bench::run_ch4_method(
-              m, task, budget, static_cast<std::uint64_t>(s) + 1));
+        // Seeds run concurrently; per-seed results match the serial loop.
+        const auto curves =
+            bench::run_ch4_method_seeds(m, task, budget, seeds);
         const auto agg = bench::aggregate(curves);
         std::printf(" %s=%.3g", m, agg.mean_final);
       }

@@ -12,7 +12,9 @@
 #include "passes/pass.hpp"
 #include "sim/evaluator.hpp"
 #include "sim/machine.hpp"
+#include "sim/prefix_cache.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 using namespace citroen;
 
@@ -75,6 +77,102 @@ static void BM_GpFit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GpFit)->Arg(50)->Arg(150);
+
+/// Batch evaluation scaling: threads x prefix-cache mode. Reports the
+/// cache hit rate and fraction of pass runs saved as counters, so the
+/// threads/cache contributions to the speedup can be read side by side.
+static void BM_EvaluateBatchThreadsCache(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const bool prefix_on = state.range(1) != 0;
+
+  // ES-style batch: suffix mutations of a common base sequence.
+  const std::vector<std::string> base = {
+      "mem2reg", "instcombine", "simplifycfg", "gvn",  "licm",
+      "indvars", "loop-unroll", "dce",         "sroa", "early-cse"};
+  const auto& space = passes::PassRegistry::instance().pass_names();
+  std::vector<sim::SequenceAssignment> batch;
+  for (int i = 0; i < 32; ++i) {
+    auto seq = base;
+    if (i % 4 != 0)
+      seq[seq.size() - 1 - static_cast<std::size_t>(i) % 4] =
+          space[(static_cast<std::size_t>(i) * 7) % space.size()];
+    batch.push_back({{"sha", seq}});
+  }
+
+  ThreadPool pool(threads);
+  sim::PrefixCacheStats last{};
+  for (auto _ : state) {
+    state.PauseTiming();
+    // Fresh evaluator per iteration: cold caches, so each iteration
+    // measures the full batch (not a warm replay of the previous one).
+    sim::ProgramEvaluator ev(bench_suite::make_program("security_sha"),
+                             sim::arm_a57_model());
+    ev.set_thread_pool(&pool);
+    if (!prefix_on) {
+      sim::PrefixCacheConfig off;
+      off.byte_budget = 0;
+      ev.set_prefix_cache_config(off);
+    }
+    state.ResumeTiming();
+    const auto outcomes = ev.evaluate_batch(batch);
+    benchmark::DoNotOptimize(outcomes.data());
+    state.PauseTiming();
+    last = ev.prefix_cache_stats();
+    state.ResumeTiming();
+  }
+  const double hits =
+      static_cast<double>(last.full_hits + last.prefix_hits);
+  state.counters["prefix_hit_rate"] =
+      last.builds ? hits / static_cast<double>(last.builds) : 0.0;
+  state.counters["passes_saved_pct"] =
+      last.passes_run + last.passes_saved
+          ? 100.0 * static_cast<double>(last.passes_saved) /
+                static_cast<double>(last.passes_run + last.passes_saved)
+          : 0.0;
+  state.counters["cache_mb"] =
+      static_cast<double>(last.bytes) / (1024.0 * 1024.0);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_EvaluateBatchThreadsCache)
+    ->ArgNames({"threads", "prefix"})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({8, 1});
+
+/// Append-one-point refits: the rank-one incremental path vs. the full
+/// O(n^3) refactorisation the tuner used to pay every round.
+static void BM_GpAppendFit(benchmark::State& state) {
+  const bool incremental = state.range(0) != 0;
+  const std::size_t n = 150, d = 40;
+  Rng rng(3);
+  std::vector<Vec> xs;
+  Vec ys;
+  for (std::size_t i = 0; i <= n; ++i) {
+    Vec x(d);
+    for (auto& v : x) v = rng.uniform();
+    ys.push_back(x[0] * x[1] + rng.normal(0.0, 0.01));
+    xs.push_back(std::move(x));
+  }
+  const std::vector<Vec> head(xs.begin(), xs.end() - 1);
+  const Vec head_y(ys.begin(), ys.end() - 1);
+
+  gp::GpConfig cfg;
+  cfg.fit_steps = 5;
+  cfg.incremental = incremental;
+  for (auto _ : state) {
+    state.PauseTiming();
+    gp::GaussianProcess model(d, cfg);
+    model.fit(head, head_y);
+    model.set_fit_hypers(false);
+    state.ResumeTiming();
+    model.fit(xs, ys);  // append one point
+    benchmark::DoNotOptimize(model.log_marginal_likelihood());
+  }
+}
+BENCHMARK(BM_GpAppendFit)->ArgName("incremental")->Arg(0)->Arg(1);
 
 static void BM_StatsFeatureExtraction(benchmark::State& state) {
   sim::ProgramEvaluator ev(bench_suite::make_program("telecom_gsm"),

@@ -11,6 +11,7 @@
 #include "citroen/tuner.hpp"
 #include "sim/machine.hpp"
 #include "support/matrix.hpp"
+#include "support/thread_pool.hpp"
 
 namespace citroen::bench {
 
@@ -44,15 +45,12 @@ inline Vec run_citroen_once(const std::string& program,
 }
 
 /// Run {citroen, boca, opentuner, ga, des, random} over `seeds` repeats.
+/// Each (method, seed) run owns a private evaluator, so the runs are
+/// independent and execute concurrently on the global pool; results land
+/// in preallocated slots and are identical to running the loop serially.
 inline std::vector<MethodCurves> run_all_tuners(const std::string& program,
                                                 const std::string& machine,
                                                 int budget, int seeds) {
-  std::vector<MethodCurves> out;
-  out.push_back({"citroen", {}});
-  for (int s = 0; s < seeds; ++s)
-    out.back().curves.push_back(run_citroen_once(
-        program, machine, budget, static_cast<std::uint64_t>(s) + 1));
-
   using Runner = baselines::TuneTrace (*)(sim::Evaluator&,
                                           const baselines::PhaseTunerConfig&);
   const std::pair<const char*, Runner> tuners[] = {
@@ -62,18 +60,39 @@ inline std::vector<MethodCurves> run_all_tuners(const std::string& program,
       {"des", baselines::run_des_tuner},
       {"random", baselines::run_random_search},
   };
+
+  std::vector<MethodCurves> out;
+  out.push_back({"citroen", std::vector<Vec>(
+                                static_cast<std::size_t>(seeds))});
   for (const auto& [name, fn] : tuners) {
-    MethodCurves mc{name, {}};
-    for (int s = 0; s < seeds; ++s) {
-      sim::ProgramEvaluator eval(bench_suite::make_program(program),
-                                 sim::machine_by_name(machine));
-      baselines::PhaseTunerConfig cfg;
-      cfg.budget = budget;
-      cfg.seed = static_cast<std::uint64_t>(s) + 1;
-      mc.curves.push_back(fn(eval, cfg).speedup_curve);
-    }
-    out.push_back(std::move(mc));
+    (void)fn;
+    out.push_back({name, std::vector<Vec>(static_cast<std::size_t>(seeds))});
   }
+
+  struct Job {
+    std::size_t method;  ///< index into `out`
+    int seed;
+  };
+  std::vector<Job> jobs;
+  for (std::size_t m = 0; m < out.size(); ++m)
+    for (int s = 0; s < seeds; ++s) jobs.push_back(Job{m, s});
+
+  ThreadPool::global().parallel_for(jobs.size(), [&](std::size_t j) {
+    const Job& job = jobs[j];
+    const auto seed = static_cast<std::uint64_t>(job.seed) + 1;
+    if (job.method == 0) {
+      out[0].curves[static_cast<std::size_t>(job.seed)] =
+          run_citroen_once(program, machine, budget, seed);
+      return;
+    }
+    sim::ProgramEvaluator eval(bench_suite::make_program(program),
+                               sim::machine_by_name(machine));
+    baselines::PhaseTunerConfig cfg;
+    cfg.budget = budget;
+    cfg.seed = seed;
+    out[job.method].curves[static_cast<std::size_t>(job.seed)] =
+        tuners[job.method - 1].second(eval, cfg).speedup_curve;
+  });
   return out;
 }
 

@@ -34,14 +34,31 @@ struct Session {
 
   int num_passes() const { return static_cast<int>(space.size()); }
 
-  /// Measure one sequence applied to every tuned module. Returns the
-  /// normalised runtime y (cycles / o3; invalid builds = 4.0).
-  double measure(const Sequence& s) {
+  /// The whole-program assignment a sequence denotes: the same pass
+  /// order applied to every tuned module.
+  sim::SequenceAssignment assignment(const Sequence& s) const {
     sim::SequenceAssignment a;
     std::vector<std::string> names;
     names.reserve(s.size());
     for (int p : s) names.push_back(space[static_cast<std::size_t>(p)]);
     for (const auto& m : modules) a[m] = names;
+    return a;
+  }
+
+  /// Warm the evaluator's memo caches for an upcoming chunk of
+  /// candidates. Purely a performance hint: replaying `measure` over the
+  /// chunk afterwards yields bit-identical traces at any thread count.
+  void prefetch(const std::vector<Sequence>& chunk) {
+    std::vector<sim::SequenceAssignment> assigns;
+    assigns.reserve(chunk.size());
+    for (const auto& c : chunk) assigns.push_back(assignment(c));
+    eval.prefetch(assigns, /*with_measure=*/true);
+  }
+
+  /// Measure one sequence applied to every tuned module. Returns the
+  /// normalised runtime y (cycles / o3; invalid builds = 4.0).
+  double measure(const Sequence& s) {
+    const sim::SequenceAssignment a = assignment(s);
     // A quarantined signature is a known deterministic failure: learn
     // "bad" for free instead of burning an evaluation on it.
     if (eval.is_quarantined(a)) {
@@ -106,10 +123,24 @@ TuneTrace run_random_search(sim::Evaluator& eval,
                             const PhaseTunerConfig& config) {
   Session s(eval, config);
   Rng rng(config.seed);
+  // Candidates are generated in chunks so the evaluator can compile and
+  // measure a whole chunk concurrently before the serial replay. The
+  // replay order (and the RNG stream: `measure` consumes no randomness)
+  // is identical to generating one candidate at a time.
   int attempts = 0;
-  while (!s.done() && attempts++ < config.budget * 20) {
-    s.measure(heuristics::random_sequence(s.num_passes(),
-                                          config.max_seq_len, rng));
+  while (!s.done() && attempts < config.budget * 20) {
+    std::vector<Sequence> chunk;
+    const int n = std::min(16, config.budget * 20 - attempts);
+    chunk.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      chunk.push_back(heuristics::random_sequence(s.num_passes(),
+                                                  config.max_seq_len, rng));
+    attempts += n;
+    s.prefetch(chunk);
+    for (const auto& c : chunk) {
+      if (s.done()) break;
+      s.measure(c);
+    }
   }
   return s.finish("random");
 }
@@ -122,6 +153,7 @@ TuneTrace run_ga_tuner(sim::Evaluator& eval,
   int attempts = 0;
   while (!s.done() && attempts++ < config.budget * 20) {
     const auto batch = ga.ask(4, rng);
+    s.prefetch(batch);  // hint only; tell/measure order stays serial
     for (const auto& c : batch) {
       if (s.done()) break;
       ga.tell(c, s.measure(c));
@@ -138,6 +170,7 @@ TuneTrace run_des_tuner(sim::Evaluator& eval,
   int attempts = 0;
   while (!s.done() && attempts++ < config.budget * 20) {
     const auto batch = des.ask(4, rng);
+    s.prefetch(batch);  // hint only; tell/measure order stays serial
     for (const auto& c : batch) {
       if (s.done()) break;
       des.tell(c, s.measure(c));
@@ -155,6 +188,8 @@ TuneTrace run_ensemble_tuner(sim::Evaluator& eval,
 
   // OpenTuner-style AUC credit: techniques earn score for improvements
   // and are sampled proportionally (plus smoothing for exploration).
+  // Candidates are picked one at a time because each pick depends on the
+  // credit updated by the previous measurement — no batch to prefetch.
   Vec credit(3, 1.0);  // ga, des, random
   double best_y = 1e300;
   int attempts = 0;
@@ -199,13 +234,23 @@ TuneTrace run_rf_bo_tuner(sim::Evaluator& eval,
     return y;
   };
 
-  // Initial random design (BOCA uses a random start set).
+  // Initial random design (BOCA uses a random start set), prefetched as
+  // one chunk; the serial observe order is unchanged.
   const int init = std::min(8, config.budget / 4 + 1);
   int attempts = 0;
-  while (static_cast<int>(ys.size()) < init && !s.done() &&
-         attempts++ < config.budget * 20) {
-    observe(heuristics::random_sequence(s.num_passes(), config.max_seq_len,
-                                        rng));
+  {
+    std::vector<Sequence> chunk;
+    chunk.reserve(static_cast<std::size_t>(init));
+    for (int i = 0; i < init; ++i)
+      chunk.push_back(heuristics::random_sequence(s.num_passes(),
+                                                  config.max_seq_len, rng));
+    s.prefetch(chunk);
+    for (const auto& c : chunk) {
+      if (static_cast<int>(ys.size()) >= init || s.done() ||
+          attempts++ >= config.budget * 20)
+        break;
+      observe(c);
+    }
   }
 
   RandomForest forest;

@@ -327,33 +327,60 @@ TuneResult CitroenTuner::run() {
     // random proposals for the round instead of dying mid-run.
     model_clock.reset();
     if (data_x.size() != fitted_points || !model) {
-      const std::size_t prev_active = active.size();
+      const std::vector<std::size_t> prev_active = active;
       recompute_active();
-      std::vector<Vec> px;
-      px.reserve(data_x.size());
-      for (const auto& f : data_x) px.push_back(project(f));
-      scaler.fit(px);
-      unit_x.clear();
-      unit_x.reserve(px.size());
-      for (const auto& f : px) unit_x.push_back(scaler.to_unit(f));
-      yj.fit(data_y);
-      ty = yj.transform(data_y);
-      if (!model || active.size() != prev_active)
-        model = std::make_unique<gp::GaussianProcess>(active.size(),
-                                                      config_.gp);
-      // Full hyper-parameter refit only every `refit_period` iterations;
-      // in between, the learned hypers are kept and only the Cholesky
-      // factorisation is refreshed with the new data.
-      model->set_fit_hypers(iter % config_.refit_period == 1 ||
-                            active.size() != prev_active);
-      try {
-        model->fit(unit_x, ty);
-        if (!std::isfinite(model->log_marginal_likelihood()))
-          throw std::runtime_error("non-finite log marginal likelihood");
-        fitted_points = data_x.size();
-      } catch (const std::exception&) {
-        ++result.gp_fit_failures;
-        model.reset();
+      const bool hyper_round = iter % config_.refit_period == 1 ||
+                               active.size() != prev_active.size();
+      bool fitted = false;
+      // Incremental refresh (refactor-only rounds with an unchanged
+      // active set): freeze the input/output transforms, transform only
+      // the observations appended since the last fit, and let the GP
+      // extend its Cholesky factor rank-one instead of refitting.
+      if (config_.incremental_gp && model && !hyper_round &&
+          fitted_points > 0 && data_x.size() > fitted_points &&
+          active == prev_active && unit_x.size() == fitted_points) {
+        for (std::size_t i = unit_x.size(); i < data_x.size(); ++i)
+          unit_x.push_back(scaler.to_unit(project(data_x[i])));
+        while (ty.size() < data_y.size())
+          ty.push_back(yj.transform(data_y[ty.size()]));
+        model->set_fit_hypers(false);
+        try {
+          model->fit(unit_x, ty);
+          if (!std::isfinite(model->log_marginal_likelihood()))
+            throw std::runtime_error("non-finite log marginal likelihood");
+          fitted_points = data_x.size();
+          fitted = true;
+        } catch (const std::exception&) {
+          ++result.gp_fit_failures;
+          model.reset();
+        }
+      }
+      if (!fitted) {
+        std::vector<Vec> px;
+        px.reserve(data_x.size());
+        for (const auto& f : data_x) px.push_back(project(f));
+        scaler.fit(px);
+        unit_x.clear();
+        unit_x.reserve(px.size());
+        for (const auto& f : px) unit_x.push_back(scaler.to_unit(f));
+        yj.fit(data_y);
+        ty = yj.transform(data_y);
+        if (!model || active.size() != prev_active.size())
+          model = std::make_unique<gp::GaussianProcess>(active.size(),
+                                                        config_.gp);
+        // Full hyper-parameter refit only every `refit_period` iterations;
+        // in between, the learned hypers are kept and only the Cholesky
+        // factorisation is refreshed with the new data.
+        model->set_fit_hypers(hyper_round);
+        try {
+          model->fit(unit_x, ty);
+          if (!std::isfinite(model->log_marginal_likelihood()))
+            throw std::runtime_error("non-finite log marginal likelihood");
+          fitted_points = data_x.size();
+        } catch (const std::exception&) {
+          ++result.gp_fit_failures;
+          model.reset();
+        }
       }
     }
     std::unique_ptr<af::Acquisition> acq;
@@ -406,7 +433,17 @@ TuneResult CitroenTuner::run() {
             num_passes, config_.max_seq_len, rng));
     }
 
-    // Compile all candidates; score with AF + coverage.
+    // Compile all candidates; score with AF + coverage. The batch of
+    // assignments is prefetched first (compile-only), so the prefix
+    // cache compiles shared-prefix pipelines concurrently; the serial
+    // loop below then resolves each compile from the warm cache with
+    // results identical to compiling serially.
+    std::vector<sim::SequenceAssignment> assigns;
+    assigns.reserve(cands.size());
+    for (const auto& cand : cands)
+      assigns.push_back(assignment_for(ms.name, cand));
+    eval_.prefetch(assigns, /*with_measure=*/false);
+
     struct Scored {
       Sequence cand;
       Vec features;
@@ -414,8 +451,9 @@ TuneResult CitroenTuner::run() {
       double score;
     };
     std::vector<Scored> pool;
-    for (auto& cand : cands) {
-      const auto assign = assignment_for(ms.name, cand);
+    for (std::size_t ci = 0; ci < cands.size(); ++ci) {
+      auto& cand = cands[ci];
+      const auto& assign = assigns[ci];
       // Known deterministic failures (from the hardened evaluator's
       // quarantine set) are not worth a compile, let alone a measurement.
       if (eval_.is_quarantined(assign)) {

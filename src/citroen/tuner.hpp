@@ -41,6 +41,11 @@ struct CitroenConfig {
   af::AfConfig af;             ///< default UCB beta=1.96
   gp::GpConfig gp;
   int refit_period = 4;        ///< full hyper-refit every k iterations
+  /// On refactor-only rounds with an unchanged active feature set, freeze
+  /// the input/output transforms, append-transform only the new
+  /// observations and let the GP extend its Cholesky factor rank-one
+  /// (O(n^2)) instead of refitting from scratch (O(n^3)).
+  bool incremental_gp = true;
 
   enum class Features { Stats, Autophase, RawSequence };
   Features features = Features::Stats;   ///< Fig. 5.9 alternatives

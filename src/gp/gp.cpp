@@ -25,6 +25,7 @@ void GaussianProcess::factorize() {
     k(i, i) += noise_var_;
   }
   chol_ = cholesky(k);
+  fallback_factor_ = !chol_.ok;
   if (!chol_.ok) {
     // Pathological hypers: fall back to a heavily-jittered identity-ish
     // factorisation so predictions stay finite.
@@ -67,13 +68,47 @@ double GaussianProcess::compute_lml_and_grad(Vec* grad) const {
   return lml_;
 }
 
+bool GaussianProcess::try_incremental_fit(const std::vector<Vec>& x,
+                                          const Vec& y) {
+  const std::size_t n = x_.size();
+  if (n == 0 || x.size() <= n || fallback_factor_ || !chol_.ok) return false;
+  // The previous fit must be an exact prefix: the factor we extend was
+  // built from precisely these points under the current hypers.
+  for (std::size_t i = 0; i < n; ++i)
+    if (x[i] != x_[i] || y[i] != y_[i]) return false;
+
+  for (std::size_t i = n; i < x.size(); ++i) {
+    Vec k_new(i);
+    for (std::size_t j = 0; j < i; ++j) k_new[j] = kernel_.eval(x[i], x[j]);
+    if (!chol_.extend(k_new, kernel_.diag() + noise_var_)) return false;
+    x_.push_back(x[i]);
+    y_.push_back(y[i]);
+  }
+  alpha_ = chol_.solve(y_);
+  lml_ = -0.5 * dot(y_, alpha_) - 0.5 * chol_.log_det() -
+         0.5 * static_cast<double>(x_.size()) * kLog2Pi;
+  return true;
+}
+
 void GaussianProcess::fit(const std::vector<Vec>& x, const Vec& y) {
   assert(x.size() == y.size());
-  x_ = x;
-  y_ = y;
-  if (x_.empty()) return;
+  if (x.empty()) {
+    x_ = x;
+    y_ = y;
+    return;
+  }
 
   noise_var_ = std::exp(2.0 * log_noise_);
+  if (!config_.fit_hypers && config_.incremental &&
+      try_incremental_fit(x, y)) {
+    ++num_incremental_;
+    return;
+  }
+  // A failed incremental attempt may have appended some points; the full
+  // assignment below overwrites any partial state.
+  x_ = x;
+  y_ = y;
+  ++num_full_;
   factorize();
   if (!config_.fit_hypers || config_.fit_steps <= 0) return;
 

@@ -23,6 +23,10 @@ struct GpConfig {
   double min_noise_var = 1e-6;
   double max_noise_var = 1e-2;
   bool fit_hypers = true;      ///< false: keep current hypers, refactor only
+  /// Use O(n^2) rank-one Cholesky updates for refactor-only fits whose
+  /// data extend the previous fit (hyper-parameter rounds always pay the
+  /// full O(n^3) refit). Disable to force full refactorisation.
+  bool incremental = true;
 };
 
 struct Posterior {
@@ -68,9 +72,16 @@ class GaussianProcess {
 
   double noise_variance() const { return noise_var_; }
 
+  /// Fit-path counters (observability for benches/tests).
+  int num_incremental_fits() const { return num_incremental_; }
+  int num_full_fits() const { return num_full_; }
+
  private:
   double compute_lml_and_grad(Vec* grad) const;
   void factorize();
+  /// Rank-one path: succeeds only when (x, y) extend the previous fit
+  /// exactly and every appended point keeps the factor positive definite.
+  bool try_incremental_fit(const std::vector<Vec>& x, const Vec& y);
 
   std::size_t dim_;
   GpConfig config_;
@@ -83,6 +94,11 @@ class GaussianProcess {
   Cholesky chol_;
   Vec alpha_;  ///< K^{-1} y
   double lml_ = 0.0;
+  /// Set when factorize() fell back to the jittered-identity factor;
+  /// such a factor must never be extended incrementally.
+  bool fallback_factor_ = false;
+  int num_incremental_ = 0;
+  int num_full_ = 0;
 };
 
 }  // namespace citroen::gp

@@ -10,11 +10,17 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "ir/module.hpp"
 
 namespace citroen::passes {
+
+/// Dense pass identifier: index into the registry's stable pass order.
+/// Hot paths (prefix-cache keys, sequence hashing, pipeline execution)
+/// work on interned ids; the string API stays at the edges.
+using PassId = std::uint16_t;
 
 /// Aggregated `-stats` counters for one compilation.
 class StatsRegistry {
@@ -70,6 +76,18 @@ class PassRegistry {
   /// Create a fresh pass by name (nullptr if unknown).
   std::unique_ptr<Pass> create(const std::string& name) const;
 
+  /// Number of registered passes; valid PassIds are [0, num_passes()).
+  std::size_t num_passes() const { return names_.size(); }
+
+  /// Dense id of a pass name, or -1 if unknown.
+  int id_of(const std::string& name) const;
+
+  /// Name of a pass id (must be a valid id from `id_of`).
+  const std::string& name_of(PassId id) const { return names_[id]; }
+
+  /// Create a fresh pass by dense id.
+  std::unique_ptr<Pass> create(PassId id) const;
+
   /// Fixed vocabulary of "pass.Counter" feature keys, in a stable order.
   const std::vector<std::string>& all_stat_keys() const { return stat_keys_; }
 
@@ -78,6 +96,7 @@ class PassRegistry {
 
   std::vector<std::string> names_;
   std::vector<std::string> stat_keys_;
+  std::unordered_map<std::string, PassId> index_;
 };
 
 /// Run `sequence` (pass names) over the module; unknown names are an error.
@@ -88,8 +107,20 @@ StatsRegistry run_sequence(ir::Module& m,
                            const std::vector<std::string>& sequence,
                            bool verify_each = false);
 
+/// Intern pass names to dense ids. Unknown names throw the same
+/// "unknown pass: <name>" error as `run_sequence`.
+std::vector<PassId> intern_sequence(const std::vector<std::string>& sequence);
+
+/// Run an interned sequence over the module (the hot-path variant; the
+/// string overload above interns and delegates here).
+StatsRegistry run_sequence(ir::Module& m, const PassId* ids, std::size_t n,
+                           bool verify_each = false);
+
 /// The reference -O3 pipeline (fixed order, mirrors LLVM's structure).
 const std::vector<std::string>& o3_sequence();
+
+/// The reference -O3 pipeline, pre-interned.
+const std::vector<PassId>& o3_sequence_ids();
 
 /// A reduced pass set standing in for an older compiler ("LLVM 10" in
 /// Fig. 5.10): no SLP vectoriser, no function-attrs, no div-rem-pairs.

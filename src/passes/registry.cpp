@@ -58,6 +58,7 @@ constexpr Entry kEntries[] = {
 
 PassRegistry::PassRegistry() {
   for (const auto& e : kEntries) {
+    index_.emplace(e.name, static_cast<PassId>(names_.size()));
     names_.emplace_back(e.name);
     const auto p = e.factory();
     for (const auto& s : p->stat_names())
@@ -71,29 +72,53 @@ const PassRegistry& PassRegistry::instance() {
 }
 
 std::unique_ptr<Pass> PassRegistry::create(const std::string& name) const {
-  for (const auto& e : kEntries) {
-    if (name == e.name) return e.factory();
+  const int id = id_of(name);
+  return id < 0 ? nullptr : create(static_cast<PassId>(id));
+}
+
+int PassRegistry::id_of(const std::string& name) const {
+  const auto it = index_.find(name);
+  return it == index_.end() ? -1 : static_cast<int>(it->second);
+}
+
+std::unique_ptr<Pass> PassRegistry::create(PassId id) const {
+  return kEntries[id].factory();
+}
+
+std::vector<PassId> intern_sequence(const std::vector<std::string>& sequence) {
+  const auto& reg = PassRegistry::instance();
+  std::vector<PassId> ids;
+  ids.reserve(sequence.size());
+  for (const auto& name : sequence) {
+    const int id = reg.id_of(name);
+    if (id < 0) throw std::runtime_error("unknown pass: " + name);
+    ids.push_back(static_cast<PassId>(id));
   }
-  return nullptr;
+  return ids;
+}
+
+StatsRegistry run_sequence(ir::Module& m, const PassId* ids, std::size_t n,
+                           bool verify_each) {
+  StatsRegistry stats;
+  const auto& reg = PassRegistry::instance();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto pass = reg.create(ids[i]);
+    pass->run(m, stats);
+    if (verify_each) {
+      const auto errs = ir::verify_module(m);
+      if (!errs.empty())
+        throw std::runtime_error("verifier failed after '" +
+                                 reg.name_of(ids[i]) + "': " + errs.front());
+    }
+  }
+  return stats;
 }
 
 StatsRegistry run_sequence(ir::Module& m,
                            const std::vector<std::string>& sequence,
                            bool verify_each) {
-  StatsRegistry stats;
-  const auto& reg = PassRegistry::instance();
-  for (const auto& name : sequence) {
-    auto pass = reg.create(name);
-    if (!pass) throw std::runtime_error("unknown pass: " + name);
-    pass->run(m, stats);
-    if (verify_each) {
-      const auto errs = ir::verify_module(m);
-      if (!errs.empty())
-        throw std::runtime_error("verifier failed after '" + name +
-                                 "': " + errs.front());
-    }
-  }
-  return stats;
+  const auto ids = intern_sequence(sequence);
+  return run_sequence(m, ids.data(), ids.size(), verify_each);
 }
 
 const std::vector<std::string>& o3_sequence() {
@@ -116,6 +141,11 @@ const std::vector<std::string>& o3_sequence() {
       "simplifycfg",
   };
   return seq;
+}
+
+const std::vector<PassId>& o3_sequence_ids() {
+  static const std::vector<PassId> ids = intern_sequence(o3_sequence());
+  return ids;
 }
 
 const std::vector<std::string>& legacy_pass_names() {

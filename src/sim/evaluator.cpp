@@ -1,14 +1,57 @@
 #include "sim/evaluator.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "ir/printer.hpp"
 #include "ir/verifier.hpp"
 #include "sim/faults.hpp"
+#include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 
 namespace citroen::sim {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv_string(const std::string& s) {
+  std::uint64_t h = kFnvOffset;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Fold one module's print hash into a composed program hash. Modules
+/// are mixed in program order, so equal programs hash equal and the
+/// composed value can be assembled from per-module cached hashes.
+void mix_module_hash(std::uint64_t& h, std::uint64_t module_hash) {
+  h ^= module_hash;
+  h *= kFnvPrime;
+}
+
+/// Cache key of one (module, interned sequence) build job, used to
+/// deduplicate prefetch work. Mirrors the prefix cache's keying.
+std::uint64_t build_job_key(const std::string& module,
+                            const std::vector<passes::PassId>& ids) {
+  std::uint64_t h = fnv_string(module);
+  h ^= 0xff;
+  h *= kFnvPrime;
+  for (const passes::PassId id : ids) {
+    h ^= static_cast<std::uint8_t>(id & 0xff);
+    h *= kFnvPrime;
+    h ^= static_cast<std::uint8_t>(id >> 8);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
 
 const char* failure_kind_name(FailureKind k) {
   switch (k) {
@@ -23,16 +66,12 @@ const char* failure_kind_name(FailureKind k) {
 }
 
 std::uint64_t program_hash(const ir::Program& p) {
-  // The printer output is a deterministic structural encoding; hashing it
-  // detects identical binaries across different pass sequences.
-  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a
-  auto mix = [&h](const std::string& s) {
-    for (const char c : s) {
-      h ^= static_cast<std::uint8_t>(c);
-      h *= 1099511628211ULL;
-    }
-  };
-  for (const auto& m : p.modules) mix(ir::print_module(m));
+  // The printer output is a deterministic structural encoding; hashing
+  // it per module and folding the per-module hashes detects identical
+  // binaries across different pass sequences, and lets the evaluator
+  // compose the program hash from cached per-module values.
+  std::uint64_t h = kFnvOffset;
+  for (const auto& m : p.modules) mix_module_hash(h, fnv_string(ir::print_module(m)));
   return h;
 }
 
@@ -82,18 +121,29 @@ ProgramEvaluator::ProgramEvaluator(ir::Program base, ir::CostModel machine,
                              (o3.ok ? "output mismatch" : o3.trap));
   o3_cycles_ = o3.cycles;
   o3_module_cycles_ = o3.module_cycles;
+  for (const auto& m : o3_built_.modules)
+    o3_module_print_hash_[m.name] = fnv_string(ir::print_module(m));
 }
 
 void ProgramEvaluator::set_exec_limits(const ir::ExecLimits& limits) {
   limits_ = limits;
-  // Validity can change under the new limits; drop stale outcomes.
+  // Validity can change under the new limits; drop stale outcomes and
+  // memoized interpreter runs.
   cache_.clear();
+  measure_memo_.clear();
 }
 
 void ProgramEvaluator::set_fault_injector(const FaultInjector* injector) {
   injector_ = (injector && injector->plan().enabled()) ? injector : nullptr;
   // Outcomes cached under a different fault model are no longer valid.
   cache_.clear();
+  measure_memo_.clear();
+}
+
+void ProgramEvaluator::set_prefix_cache_config(
+    const PrefixCacheConfig& config) {
+  build_cache_.configure(config);
+  measure_memo_.clear();
 }
 
 void ProgramEvaluator::apply_workload(ir::Program& built, const Workload& w) {
@@ -125,6 +175,7 @@ void ProgramEvaluator::add_workload(const ir::Program& variant) {
   // Timings and validity now mean something different: flush the cache
   // and recompute the multi-workload -O3 baseline.
   cache_.clear();
+  measure_memo_.clear();
   ir::Program o3 = o3_built_;
   double total = ir::interpret(o3, machine_, limits_).cycles;
   for (const auto& wk : workloads_) {
@@ -153,9 +204,11 @@ ir::Program ProgramEvaluator::build(
     const SequenceAssignment& seqs, passes::StatsRegistry* stats_out,
     std::string* err,
     std::map<std::string, passes::StatsRegistry>* module_stats_out,
-    FailureKind* failure_out, bool* transient_out) const {
+    FailureKind* failure_out, bool* transient_out,
+    std::uint64_t* hash_out) const {
   const Stopwatch sw;
   ir::Program built = base_;
+  std::uint64_t h = kFnvOffset;
   for (auto& m : built.modules) {
     const auto it = seqs.find(m.name);
     // Reuse the prebuilt -O3 module when this module is not being tuned
@@ -163,6 +216,7 @@ ir::Program ProgramEvaluator::build(
     if (it == seqs.end() && !o3_built_.modules.empty()) {
       const ir::Module* pre = o3_built_.find_module(m.name);
       if (pre) {
+        mix_module_hash(h, o3_module_print_hash_.at(m.name));
         m = *pre;
         continue;
       }
@@ -180,25 +234,34 @@ ir::Program ProgramEvaluator::build(
         return built;
       }
     }
+    std::vector<passes::PassId> ids;
     try {
-      passes::StatsRegistry s = passes::run_sequence(m, seq);
-      if (stats_out && it != seqs.end()) stats_out->merge(s);
-      if (module_stats_out && it != seqs.end())
-        (*module_stats_out)[m.name] = std::move(s);
+      ids = passes::intern_sequence(seq);
     } catch (const std::exception& e) {
       if (err) *err = std::string("pass pipeline failed: ") + e.what();
       if (failure_out) *failure_out = FailureKind::Crash;
       return built;
     }
-    const auto verrs = ir::verify_module(m);
-    if (!verrs.empty()) {
-      if (err) *err = "verifier: " + verrs.front();
-      if (failure_out) *failure_out = FailureKind::Verifier;
+    const auto mb = build_cache_.build(m, ids);
+    if (!mb->ok) {
+      if (mb->crashed) {
+        if (err) *err = "pass pipeline failed: " + mb->error;
+        if (failure_out) *failure_out = FailureKind::Crash;
+      } else {
+        if (err) *err = "verifier: " + mb->error;
+        if (failure_out) *failure_out = FailureKind::Verifier;
+      }
       return built;
     }
+    if (stats_out && it != seqs.end()) stats_out->merge(mb->stats);
+    if (module_stats_out && it != seqs.end())
+      (*module_stats_out)[m.name] = mb->stats;
+    mix_module_hash(h, mb->print_hash);
+    m = mb->module;
   }
   ++num_compiles_;
   compile_seconds_ += sw.seconds();
+  if (hash_out) *hash_out = h;
   return built;
 }
 
@@ -206,14 +269,15 @@ CompileOutcome ProgramEvaluator::compile(const SequenceAssignment& seqs,
                                          bool keep_program) const {
   CompileOutcome out;
   std::string err;
+  std::uint64_t h = 0;
   ir::Program built = build(seqs, &out.stats, &err, &out.module_stats,
-                            &out.failure, &out.transient);
+                            &out.failure, &out.transient, &h);
   if (!err.empty()) {
     out.why_invalid = err;
     return out;
   }
   out.valid = true;
-  out.binary_hash = program_hash(built);
+  out.binary_hash = h;
   for (const auto& m : built.modules) out.code_size += m.code_size();
   if (keep_program)
     out.program = std::make_shared<const ir::Program>(std::move(built));
@@ -223,15 +287,15 @@ CompileOutcome ProgramEvaluator::compile(const SequenceAssignment& seqs,
 EvalOutcome ProgramEvaluator::evaluate(const SequenceAssignment& seqs) {
   EvalOutcome out;
   std::string err;
+  std::uint64_t h = 0;
   const ir::Program built =
-      build(seqs, &out.stats, &err, nullptr, &out.failure, &out.transient);
+      build(seqs, &out.stats, &err, nullptr, &out.failure, &out.transient, &h);
   if (!err.empty()) {
     out.why_invalid = err;
     return out;
   }
   for (const auto& m : built.modules) out.code_size += m.code_size();
 
-  const std::uint64_t h = program_hash(built);
   out.binary_hash = h;
   const auto hit = cache_.find(h);
   if (hit != cache_.end()) {
@@ -266,7 +330,18 @@ EvalOutcome ProgramEvaluator::evaluate(const SequenceAssignment& seqs) {
     }
   }
 
-  const auto run = ir::interpret(built, machine_, limits_);
+  // Interpreter runs are pure in the binary; consume prefetched memos
+  // where available (missing/short memos fall back to interpreting).
+  const MeasureMemo* memo = nullptr;
+  if (const auto mit = measure_memo_.find(h); mit != measure_memo_.end())
+    memo = &mit->second;
+  const auto run_at = [&](std::size_t idx,
+                          const ir::Program& prog) -> ir::ExecResult {
+    if (memo && idx < memo->runs.size()) return memo->runs[idx];
+    return ir::interpret(prog, machine_, limits_);
+  };
+
+  const auto run = run_at(0, built);
   ++num_measurements_;
   std::int64_t ret = run.ret;
   if (injector_ && run.ok && injector_->miscompiles(h, 0)) ret ^= 1;
@@ -290,9 +365,12 @@ EvalOutcome ProgramEvaluator::evaluate(const SequenceAssignment& seqs) {
     // reported runtime is the mean over inputs.
     for (std::size_t wi = 0; wi < workloads_.size(); ++wi) {
       const auto& w = workloads_[wi];
-      ir::Program variant = built;
-      apply_workload(variant, w);
-      const auto r = ir::interpret(variant, machine_, limits_);
+      ir::Program variant;
+      if (!(memo && wi + 1 < memo->runs.size())) {
+        variant = built;
+        apply_workload(variant, w);
+      }
+      const auto r = run_at(wi + 1, variant);
       std::int64_t wret = r.ret;
       if (injector_ && r.ok && injector_->miscompiles(h, wi + 1)) wret ^= 1;
       if (!r.ok) {
@@ -324,6 +402,138 @@ EvalOutcome ProgramEvaluator::evaluate(const SequenceAssignment& seqs) {
   }
   measure_seconds_ += sw.seconds();
   cache_[h] = out;
+  return out;
+}
+
+void ProgramEvaluator::prefetch(std::span<const SequenceAssignment> batch,
+                                bool with_measure) {
+  if (batch.empty() || !build_cache_.enabled()) return;
+  ThreadPool& pool = pool_ ? *pool_ : ThreadPool::global();
+
+  // Stage 1: compile every unique (module, sequence) job concurrently
+  // into the prefix cache. Pass pipelines are pure in (module, ids), so
+  // concurrent population cannot change any later result. The fault
+  // injector is deliberately NOT consulted here: its attempt counters
+  // are order-sensitive and belong to the serial replay.
+  struct BuildJob {
+    const ir::Module* module;
+    std::vector<passes::PassId> ids;
+  };
+  std::vector<BuildJob> jobs;
+  std::unordered_set<std::uint64_t> seen_jobs;
+  for (const auto& seqs : batch) {
+    for (const auto& [name, seq] : seqs) {
+      const ir::Module* m = base_.find_module(name);
+      if (!m) continue;
+      std::vector<passes::PassId> ids;
+      try {
+        ids = passes::intern_sequence(seq);
+      } catch (const std::exception&) {
+        continue;  // serial path reports the identical error itself
+      }
+      if (!seen_jobs.insert(build_job_key(name, ids)).second) continue;
+      jobs.push_back(BuildJob{m, std::move(ids)});
+    }
+  }
+  std::mutex acct_mu;
+  double build_secs = 0.0;
+  pool.parallel_for(jobs.size(), [&](std::size_t i) {
+    const Stopwatch sw;
+    build_cache_.build(*jobs[i].module, jobs[i].ids);
+    const double s = sw.seconds();
+    const std::lock_guard<std::mutex> lock(acct_mu);
+    build_secs += s;
+  });
+  compile_seconds_ += build_secs;
+  if (!with_measure) return;
+
+  // Stage 2: assemble each candidate's binary from the (now warm) cache
+  // and interpret every not-yet-measured distinct binary concurrently.
+  // Runs use raw interpreter results only; injected miscompiles/hangs
+  // are applied by the serial replay, which falls back to interpreting
+  // directly if its early-stop point differs from ours.
+  struct MeasureJob {
+    std::uint64_t hash = 0;
+    ir::Program built;
+  };
+  std::vector<MeasureJob> mjobs;
+  std::unordered_set<std::uint64_t> seen_binaries;
+  for (const auto& seqs : batch) {
+    ir::Program built = base_;
+    std::uint64_t h = kFnvOffset;
+    bool ok = true;
+    for (auto& m : built.modules) {
+      const auto it = seqs.find(m.name);
+      if (it == seqs.end()) {
+        const ir::Module* pre = o3_built_.find_module(m.name);
+        if (pre) {
+          mix_module_hash(h, o3_module_print_hash_.at(m.name));
+          m = *pre;
+          continue;
+        }
+      }
+      const auto& seq =
+          it == seqs.end() ? passes::o3_sequence() : it->second;
+      std::vector<passes::PassId> ids;
+      try {
+        ids = passes::intern_sequence(seq);
+      } catch (const std::exception&) {
+        ok = false;
+        break;
+      }
+      const auto mb = build_cache_.build(m, ids);
+      if (!mb->ok) {
+        ok = false;
+        break;
+      }
+      mix_module_hash(h, mb->print_hash);
+      m = mb->module;
+    }
+    if (!ok) continue;
+    if (cache_.count(h) || measure_memo_.count(h)) continue;
+    if (!seen_binaries.insert(h).second) continue;
+    mjobs.push_back(MeasureJob{h, std::move(built)});
+  }
+
+  std::vector<MeasureMemo> memos(mjobs.size());
+  std::vector<double> secs(mjobs.size(), 0.0);
+  pool.parallel_for(mjobs.size(), [&](std::size_t i) {
+    const Stopwatch sw;
+    MeasureMemo& memo = memos[i];
+    const auto run = ir::interpret(mjobs[i].built, machine_, limits_);
+    memo.runs.push_back(run);
+    if (run.ok && run.ret == reference_output_) {
+      for (const auto& w : workloads_) {
+        ir::Program variant = mjobs[i].built;
+        apply_workload(variant, w);
+        const auto r = ir::interpret(variant, machine_, limits_);
+        memo.runs.push_back(r);
+        if (!r.ok || r.ret != w.reference) break;
+      }
+    }
+    secs[i] = sw.seconds();
+  });
+  for (std::size_t i = 0; i < mjobs.size(); ++i) {
+    measure_memo_.emplace(mjobs[i].hash, std::move(memos[i]));
+    measure_seconds_ += secs[i];
+  }
+}
+
+std::vector<EvalOutcome> Evaluator::evaluate_batch(
+    std::span<const SequenceAssignment> batch) {
+  prefetch(batch, /*with_measure=*/true);
+  std::vector<EvalOutcome> out;
+  out.reserve(batch.size());
+  for (const auto& seqs : batch) out.push_back(evaluate(seqs));
+  return out;
+}
+
+std::vector<CompileOutcome> Evaluator::compile_batch(
+    std::span<const SequenceAssignment> batch, bool keep_program) {
+  prefetch(batch, /*with_measure=*/false);
+  std::vector<CompileOutcome> out;
+  out.reserve(batch.size());
+  for (const auto& seqs : batch) out.push_back(compile(seqs, keep_program));
   return out;
 }
 

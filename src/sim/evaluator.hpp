@@ -15,10 +15,21 @@
 // `RobustEvaluator` (sim/robust_evaluator.hpp) that adds retries,
 // replicated measurement and quarantine on top of an injected fault model
 // (sim/faults.hpp).
+//
+// Batch evaluation: `evaluate_batch`/`compile_batch` are prefetch + serial
+// replay. `prefetch` performs only pure, memoizable work — pass pipelines
+// through the pipeline-prefix cache and interpreter runs into a
+// measurement memo — on a work-stealing thread pool; the serial loop then
+// runs the *unchanged* single-candidate code path, which consumes the
+// memos. Every order-sensitive step (fault-injector counters, the
+// identical-binary cache, quarantine state) executes in exact serial
+// order, so batch results are bit-identical to the serial path at every
+// thread count, by construction.
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -26,14 +37,22 @@
 #include "ir/interpreter.hpp"
 #include "ir/module.hpp"
 #include "passes/pass.hpp"
+#include "sim/prefix_cache.hpp"
+#include "support/flat_map.hpp"
+
+namespace citroen {
+class ThreadPool;  // support/thread_pool.hpp
+}
 
 namespace citroen::sim {
 
 class FaultInjector;  // sim/faults.hpp
 
 /// Map module name -> pass sequence. Modules absent from the map are
-/// compiled with the reference -O3 pipeline.
-using SequenceAssignment = std::map<std::string, std::vector<std::string>>;
+/// compiled with the reference -O3 pipeline. Keys iterate in sorted
+/// order (as with the std::map this replaces), so signatures and hashes
+/// derived from iteration order are stable.
+using SequenceAssignment = FlatMap<std::string, std::vector<std::string>>;
 
 /// Structured failure taxonomy for evaluation outcomes, alongside the
 /// human-readable `why_invalid`. Mirrors the hazard classes the
@@ -108,6 +127,28 @@ class Evaluator {
   /// Full evaluation: compile, verify, differential-test, measure.
   virtual EvalOutcome evaluate(const SequenceAssignment& seqs) = 0;
 
+  /// Warm internal memo caches for an upcoming batch of candidates by
+  /// doing the pure work (pass pipelines, interpreter runs) concurrently.
+  /// Purely a performance hint: subsequent `evaluate`/`compile` calls
+  /// return bit-identical results whether or not prefetch ran, at any
+  /// thread count. With `with_measure` false only compilation is warmed.
+  /// The base implementation is a no-op.
+  virtual void prefetch(std::span<const SequenceAssignment> batch,
+                        bool with_measure = true) {
+    (void)batch;
+    (void)with_measure;
+  }
+
+  /// Evaluate a whole batch (an ES population, a replay chunk): prefetch,
+  /// then the exact serial evaluation loop. Results are bit-identical to
+  /// calling `evaluate` on each element in order.
+  std::vector<EvalOutcome> evaluate_batch(
+      std::span<const SequenceAssignment> batch);
+
+  /// Compile-only batch counterpart of `evaluate_batch`.
+  std::vector<CompileOutcome> compile_batch(
+      std::span<const SequenceAssignment> batch, bool keep_program = false);
+
   /// True when this assignment's signature is known to fail
   /// deterministically; candidate generators skip such proposals. The
   /// plain evaluator quarantines nothing.
@@ -150,6 +191,16 @@ class ProgramEvaluator : public Evaluator {
   void set_fault_injector(const FaultInjector* injector);
   const FaultInjector* fault_injector() const { return injector_; }
 
+  /// Pool used by `prefetch` (nullptr -> ThreadPool::global()). The pool
+  /// choice affects wall-clock only, never results.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
+  /// Reconfigure the pipeline-prefix cache (byte budget 0 disables it).
+  /// Drops cached intermediate builds and measurement memos; evaluation
+  /// results are unaffected.
+  void set_prefix_cache_config(const PrefixCacheConfig& config);
+  PrefixCacheStats prefix_cache_stats() const { return build_cache_.stats(); }
+
   /// Fraction of -O3 runtime attributed to each module, descending.
   /// This is the `perf`-based hot-module profile of Sec. 5.3.1.
   std::vector<std::pair<std::string, double>> hot_modules() const override;
@@ -173,6 +224,12 @@ class ProgramEvaluator : public Evaluator {
   /// Full evaluation: compile, verify, differential-test, measure.
   EvalOutcome evaluate(const SequenceAssignment& seqs) override;
 
+  /// Concurrently warm the prefix cache (and, with `with_measure`, the
+  /// interpreter-run memo) for the batch. See the determinism contract in
+  /// the file header. No-op when the prefix cache is disabled.
+  void prefetch(std::span<const SequenceAssignment> batch,
+                bool with_measure = true) override;
+
   // ---- accounting (Fig. 5.12 / Table 4.2) -------------------------------
   double total_compile_seconds() const override { return compile_seconds_; }
   double total_measure_seconds() const override { return measure_seconds_; }
@@ -186,12 +243,21 @@ class ProgramEvaluator : public Evaluator {
                     std::map<std::string, passes::StatsRegistry>*
                         module_stats_out = nullptr,
                     FailureKind* failure_out = nullptr,
-                    bool* transient_out = nullptr) const;
+                    bool* transient_out = nullptr,
+                    std::uint64_t* hash_out = nullptr) const;
 
   struct Workload {
     /// Global data images per module: [module][global] -> bytes.
     std::vector<std::vector<std::vector<std::uint8_t>>> images;
     std::int64_t reference = 0;  ///< -O0 output on this input
+  };
+
+  /// Pure interpreter runs for one binary, precomputed by `prefetch`:
+  /// runs[0] is the base workload, runs[1+i] workload i. May be shorter
+  /// than the workload count (prefetch stops where the serial path
+  /// would); the serial consumer falls back to interpreting directly.
+  struct MeasureMemo {
+    std::vector<ir::ExecResult> runs;
   };
 
   /// Swap the workload's global images into a built program.
@@ -207,6 +273,13 @@ class ProgramEvaluator : public Evaluator {
   double o0_cycles_ = 0.0;
   std::int64_t reference_output_ = 0;
   std::unordered_map<std::string, double> o3_module_cycles_;
+  /// Print-hash of each prebuilt -O3 module, mixed into the composed
+  /// binary hash when an untuned module is reused.
+  std::unordered_map<std::string, std::uint64_t> o3_module_print_hash_;
+
+  mutable PrefixCache build_cache_;
+  std::unordered_map<std::uint64_t, MeasureMemo> measure_memo_;
+  ThreadPool* pool_ = nullptr;
 
   std::unordered_map<std::uint64_t, EvalOutcome> cache_;
   mutable double compile_seconds_ = 0.0;

@@ -1,0 +1,245 @@
+#include "sim/prefix_cache.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+
+namespace citroen::sim {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv_bytes(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Rolling prefix keys: keys[i] covers (module name, first i pass ids).
+std::vector<std::uint64_t> prefix_keys(const std::string& name,
+                                       const std::vector<passes::PassId>& ids) {
+  std::vector<std::uint64_t> keys(ids.size() + 1);
+  std::uint64_t h = fnv_bytes(kFnvOffset, name.data(), name.size());
+  h ^= 0xff;
+  h *= kFnvPrime;
+  keys[0] = h;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const std::uint16_t id = ids[i];
+    h = fnv_bytes(h, &id, sizeof(id));
+    keys[i + 1] = h;
+  }
+  return keys;
+}
+
+/// Rough resident-size estimate for the LRU byte budget. Counts the large
+/// dynamic parts (instruction arenas, block lists, globals, stats keys);
+/// container bookkeeping is approximated per node.
+std::size_t estimate_bytes(const ModuleBuild& b) {
+  std::size_t total = sizeof(ModuleBuild) + b.error.size();
+  for (const auto& f : b.module.functions) {
+    total += sizeof(ir::Function) + f.name.size();
+    total += f.arg_types.size() * sizeof(ir::Type);
+    for (const auto& in : f.instrs) {
+      total += sizeof(ir::Instr) + in.callee.size();
+      total += in.ops.size() * sizeof(ir::ValueId);
+      total += (in.phi_blocks.size() + in.succs.size()) * sizeof(ir::BlockId);
+    }
+    for (const auto& bb : f.blocks) {
+      total += sizeof(ir::BasicBlock) + bb.name.size();
+      total += bb.insts.size() * sizeof(ir::ValueId);
+    }
+  }
+  for (const auto& g : b.module.globals)
+    total += sizeof(ir::GlobalVar) + g.name.size() + g.init.size();
+  for (const auto& [k, v] : b.stats.counters())
+    total += k.size() + sizeof(v) + 48;  // map node overhead
+  return total;
+}
+
+}  // namespace
+
+PrefixCache::PrefixCache(PrefixCacheConfig config) : config_(config) {
+  const int n = std::max(1, config_.shards);
+  shards_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+void PrefixCache::configure(const PrefixCacheConfig& config) {
+  PrefixCache fresh(config);
+  config_ = fresh.config_;
+  shards_ = std::move(fresh.shards_);
+  const std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_ = PrefixCacheStats{};
+}
+
+void PrefixCache::clear() const {
+  for (const auto& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s->mu);
+    s->map.clear();
+    s->lru.clear();
+    s->bytes = 0;
+  }
+  const std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_ = PrefixCacheStats{};
+}
+
+PrefixCacheStats PrefixCache::stats() const {
+  PrefixCacheStats out;
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    out = stats_;
+  }
+  out.bytes = 0;
+  for (const auto& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s->mu);
+    out.bytes += s->bytes;
+  }
+  return out;
+}
+
+PrefixCache::Shard& PrefixCache::shard_for(std::uint64_t key) const {
+  return *shards_[key % shards_.size()];
+}
+
+void PrefixCache::bump(std::uint64_t n,
+                       std::uint64_t PrefixCacheStats::* field) const {
+  const std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.*field += n;
+}
+
+std::shared_ptr<const ModuleBuild> PrefixCache::lookup(
+    std::uint64_t key, bool need_finalized) const {
+  Shard& s = shard_for(key);
+  const std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.map.find(key);
+  if (it == s.map.end()) return nullptr;
+  if (need_finalized && !it->second.finalized) return nullptr;
+  s.lru.splice(s.lru.begin(), s.lru, it->second.lru_it);
+  return it->second.value;
+}
+
+void PrefixCache::insert(std::uint64_t key,
+                         std::shared_ptr<const ModuleBuild> value,
+                         bool finalized) const {
+  if (!enabled()) return;
+  const std::size_t bytes = estimate_bytes(*value);
+  const std::size_t budget = config_.byte_budget / shards_.size();
+  if (bytes > budget) return;  // would evict the whole shard for one entry
+
+  std::uint64_t evicted = 0;
+  Shard& s = shard_for(key);
+  {
+    const std::lock_guard<std::mutex> lock(s.mu);
+    const auto it = s.map.find(key);
+    if (it != s.map.end()) {
+      // Never downgrade a finalized result to a snapshot.
+      if (it->second.finalized && !finalized) return;
+      s.bytes -= it->second.bytes;
+      s.lru.erase(it->second.lru_it);
+      s.map.erase(it);
+    }
+    s.lru.push_front(key);
+    s.map.emplace(key, Entry{std::move(value), s.lru.begin(), bytes,
+                             finalized});
+    s.bytes += bytes;
+    while (s.bytes > budget && s.lru.size() > 1) {
+      const std::uint64_t victim = s.lru.back();
+      s.lru.pop_back();
+      const auto vit = s.map.find(victim);
+      s.bytes -= vit->second.bytes;
+      s.map.erase(vit);
+      ++evicted;
+    }
+  }
+  const std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.insertions;
+  stats_.evictions += evicted;
+}
+
+std::shared_ptr<const ModuleBuild> PrefixCache::build(
+    const ir::Module& base, const std::vector<passes::PassId>& ids) const {
+  const std::size_t n = ids.size();
+  bump(1, &PrefixCacheStats::builds);
+  const auto keys = enabled() ? prefix_keys(base.name, ids)
+                              : std::vector<std::uint64_t>{};
+
+  if (enabled()) {
+    if (auto hit = lookup(keys[n], /*need_finalized=*/true)) {
+      bump(n, &PrefixCacheStats::passes_saved);
+      bump(1, &PrefixCacheStats::full_hits);
+      return hit;
+    }
+  }
+
+  // Resume from the deepest usable snapshot (stride-multiple prefixes).
+  auto out = std::make_shared<ModuleBuild>();
+  std::size_t start = 0;
+  if (enabled() && config_.snapshot_stride > 0) {
+    const auto stride = static_cast<std::size_t>(config_.snapshot_stride);
+    for (std::size_t p = n > 0 ? ((n - 1) / stride) * stride : 0;
+         p >= stride; p -= stride) {
+      const auto snap = lookup(keys[p], /*need_finalized=*/false);
+      if (snap && snap->ok) {
+        out->module = snap->module;
+        out->stats = snap->stats;
+        start = p;
+        bump(p, &PrefixCacheStats::passes_saved);
+        bump(1, &PrefixCacheStats::prefix_hits);
+        break;
+      }
+    }
+  }
+  if (start == 0) out->module = base;
+
+  const auto& reg = passes::PassRegistry::instance();
+  const auto stride = static_cast<std::size_t>(
+      std::max(1, config_.snapshot_stride));
+  for (std::size_t i = start; i < n; ++i) {
+    try {
+      passes::StatsRegistry pass_stats;
+      reg.create(ids[i])->run(out->module, pass_stats);
+      out->stats.merge(pass_stats);
+    } catch (const std::exception& e) {
+      bump(i - start + 1, &PrefixCacheStats::passes_run);
+      auto failed = std::make_shared<ModuleBuild>();
+      failed->crashed = true;
+      failed->error = e.what();
+      if (enabled()) insert(keys[n], failed, /*finalized=*/true);
+      return failed;
+    }
+    // Snapshot completed stride-multiple prefixes for future builds.
+    const std::size_t done = i + 1;
+    if (enabled() && done % stride == 0 && done < n) {
+      auto snap = std::make_shared<ModuleBuild>();
+      snap->ok = true;
+      snap->module = out->module;
+      snap->stats = out->stats;
+      insert(keys[done], snap, /*finalized=*/false);
+    }
+  }
+  bump(n - start, &PrefixCacheStats::passes_run);
+
+  const auto verrs = ir::verify_module(out->module);
+  if (!verrs.empty()) {
+    auto failed = std::make_shared<ModuleBuild>();
+    failed->error = verrs.front();
+    if (enabled()) insert(keys[n], failed, /*finalized=*/true);
+    return failed;
+  }
+
+  out->ok = true;
+  const std::string text = ir::print_module(out->module);
+  out->print_hash = fnv_bytes(kFnvOffset, text.data(), text.size());
+  out->code_size = out->module.code_size();
+  if (enabled()) insert(keys[n], out, /*finalized=*/true);
+  return out;
+}
+
+}  // namespace citroen::sim

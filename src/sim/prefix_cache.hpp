@@ -1,0 +1,113 @@
+#pragma once
+// Pipeline-prefix memoization for module builds.
+//
+// Candidate pass sequences produced by evolutionary generators share long
+// prefixes (a 1+lambda mutation of a 40-pass incumbent keeps most of it),
+// yet the seed evaluator re-ran every pipeline from pass 0. This cache
+// interns sequences to dense pass ids, hashes (module, pass-id prefix)
+// and stores cloned intermediate module states at a fixed stride, so a
+// candidate sharing a k-pass prefix with any earlier candidate resumes
+// compilation at the snapshot below k — plus a finalized entry per full
+// sequence so exact re-builds (retries, duplicate candidates, replayed
+// batches) are O(1).
+//
+// Determinism: passes are pure functions of the module, so a build that
+// resumes from a snapshot is bit-identical to one that starts from
+// scratch. All mutation is guarded by mutex-striped shards with an LRU
+// byte budget; results are returned as shared_ptr so eviction never
+// invalidates a consumer.
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/module.hpp"
+#include "passes/pass.hpp"
+
+namespace citroen::sim {
+
+struct PrefixCacheConfig {
+  /// Total byte budget across all shards. 0 disables storage entirely
+  /// (every build then runs from scratch, still correctly).
+  std::size_t byte_budget = std::size_t{64} << 20;
+  /// Snapshot the intermediate module every this many passes.
+  int snapshot_stride = 4;
+  /// Mutex striping width.
+  int shards = 8;
+};
+
+struct PrefixCacheStats {
+  std::uint64_t builds = 0;        ///< build() calls
+  std::uint64_t full_hits = 0;     ///< whole sequence already finalized
+  std::uint64_t prefix_hits = 0;   ///< resumed from an intermediate state
+  std::uint64_t passes_run = 0;    ///< pass executions actually paid for
+  std::uint64_t passes_saved = 0;  ///< pass executions avoided
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::size_t bytes = 0;           ///< currently resident
+};
+
+/// Result of building one module under one pass-id sequence. Failures
+/// carry the raw detail; the evaluator formats user-facing messages so
+/// cached and uncached failures read identically.
+struct ModuleBuild {
+  bool ok = false;
+  bool crashed = false;          ///< a pass threw (vs verifier rejection)
+  std::string error;             ///< exception text or first verifier error
+  ir::Module module;             ///< post-sequence state (when ok)
+  passes::StatsRegistry stats;   ///< accumulated -stats counters
+  std::uint64_t print_hash = 0;  ///< FNV-1a of ir::print_module(module)
+  std::size_t code_size = 0;     ///< live instructions after the sequence
+};
+
+class PrefixCache {
+ public:
+  explicit PrefixCache(PrefixCacheConfig config = {});
+
+  /// Build `base` under `ids`, resuming from the longest cached prefix.
+  /// Thread-safe; never throws (pass exceptions become failed results).
+  std::shared_ptr<const ModuleBuild> build(
+      const ir::Module& base, const std::vector<passes::PassId>& ids) const;
+
+  bool enabled() const { return config_.byte_budget > 0; }
+
+  /// Replace the configuration; drops all cached state.
+  void configure(const PrefixCacheConfig& config);
+
+  void clear() const;
+
+  /// Aggregated counters (approximate while builders are in flight).
+  PrefixCacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const ModuleBuild> value;
+    std::list<std::uint64_t>::iterator lru_it;
+    std::size_t bytes = 0;
+    bool finalized = false;  ///< verified + hashed full-sequence result
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, Entry> map;
+    std::list<std::uint64_t> lru;  ///< front = most recently used
+    std::size_t bytes = 0;
+  };
+
+  Shard& shard_for(std::uint64_t key) const;
+  std::shared_ptr<const ModuleBuild> lookup(std::uint64_t key,
+                                            bool need_finalized) const;
+  void insert(std::uint64_t key, std::shared_ptr<const ModuleBuild> value,
+              bool finalized) const;
+  void bump(std::uint64_t n, std::uint64_t PrefixCacheStats::* field) const;
+
+  PrefixCacheConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::mutex stats_mu_;
+  mutable PrefixCacheStats stats_;
+};
+
+}  // namespace citroen::sim

@@ -30,6 +30,19 @@ bool RobustEvaluator::is_quarantined(const SequenceAssignment& seqs) const {
          quarantine_.count(assignment_signature(seqs)) > 0;
 }
 
+void RobustEvaluator::prefetch(std::span<const SequenceAssignment> batch,
+                               bool with_measure) {
+  // Skip candidates the serial replay will answer from quarantine without
+  // touching the base evaluator. A candidate that *becomes* quarantined
+  // mid-batch merely wastes its prefetched work — the serial replay still
+  // short-circuits it, so results are unaffected.
+  std::vector<SequenceAssignment> live;
+  live.reserve(batch.size());
+  for (const auto& seqs : batch)
+    if (!is_quarantined(seqs)) live.push_back(seqs);
+  base_.prefetch(live, with_measure);
+}
+
 double RobustEvaluator::aggregate(std::vector<double>& samples) const {
   if (samples.size() == 1) return samples[0];
   if (config_.trim_fraction <= 0.0) return median(samples);

@@ -85,6 +85,13 @@ class RobustEvaluator : public Evaluator {
                          bool keep_program = false) const override;
   EvalOutcome evaluate(const SequenceAssignment& seqs) override;
 
+  /// Forward the pure prefetch work to the base evaluator, minus
+  /// candidates already quarantined (their serial evaluation short-
+  /// circuits before touching the base). Quarantine decisions themselves
+  /// stay in the serial replay, so batch results match serial exactly.
+  void prefetch(std::span<const SequenceAssignment> batch,
+                bool with_measure = true) override;
+
   bool is_quarantined(const SequenceAssignment& seqs) const override;
 
   const RobustStats& robust_stats() const { return stats_; }

@@ -1,0 +1,120 @@
+#pragma once
+// Sorted-vector map used for hot-path lookup tables, most importantly
+// `sim::SequenceAssignment`: a tuner builds one assignment per candidate
+// per iteration, and a node-per-entry std::map spends more time in the
+// allocator than in the comparisons. Keys are kept sorted, so iteration
+// order — and therefore every signature or hash derived from it —
+// matches std::map exactly; lookups are binary searches over contiguous
+// memory and construction is a single allocation.
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace citroen {
+
+template <class K, class V>
+class FlatMap {
+ public:
+  using value_type = std::pair<K, V>;
+  using iterator = typename std::vector<value_type>::iterator;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  FlatMap() = default;
+  FlatMap(std::initializer_list<value_type> init) : data_(init) {
+    std::stable_sort(
+        data_.begin(), data_.end(),
+        [](const value_type& a, const value_type& b) {
+          return a.first < b.first;
+        });
+    // As with std::map's initializer-list constructor, the first
+    // occurrence of a duplicated key wins.
+    data_.erase(std::unique(data_.begin(), data_.end(),
+                            [](const value_type& a, const value_type& b) {
+                              return a.first == b.first;
+                            }),
+                data_.end());
+  }
+
+  bool empty() const { return data_.empty(); }
+  std::size_t size() const { return data_.size(); }
+  void clear() { data_.clear(); }
+  void reserve(std::size_t n) { data_.reserve(n); }
+
+  iterator begin() { return data_.begin(); }
+  iterator end() { return data_.end(); }
+  const_iterator begin() const { return data_.begin(); }
+  const_iterator end() const { return data_.end(); }
+
+  iterator find(const K& k) {
+    const auto it = lower(k);
+    return (it != data_.end() && it->first == k) ? it : data_.end();
+  }
+  const_iterator find(const K& k) const {
+    const auto it = lower(k);
+    return (it != data_.end() && it->first == k) ? it : data_.end();
+  }
+
+  std::size_t count(const K& k) const { return find(k) != end() ? 1u : 0u; }
+  bool contains(const K& k) const { return find(k) != end(); }
+
+  V& operator[](const K& k) {
+    auto it = lower(k);
+    if (it == data_.end() || it->first != k)
+      it = data_.insert(it, value_type(k, V{}));
+    return it->second;
+  }
+
+  V& at(const K& k) {
+    const auto it = find(k);
+    if (it == data_.end()) throw std::out_of_range("FlatMap::at");
+    return it->second;
+  }
+  const V& at(const K& k) const {
+    const auto it = find(k);
+    if (it == data_.end()) throw std::out_of_range("FlatMap::at");
+    return it->second;
+  }
+
+  template <class... Args>
+  std::pair<iterator, bool> emplace(const K& k, Args&&... args) {
+    auto it = lower(k);
+    if (it != data_.end() && it->first == k) return {it, false};
+    it = data_.insert(it, value_type(k, V(std::forward<Args>(args)...)));
+    return {it, true};
+  }
+
+  iterator erase(iterator it) { return data_.erase(it); }
+  std::size_t erase(const K& k) {
+    const auto it = find(k);
+    if (it == data_.end()) return 0;
+    data_.erase(it);
+    return 1;
+  }
+
+  friend bool operator==(const FlatMap& a, const FlatMap& b) {
+    return a.data_ == b.data_;
+  }
+  friend bool operator!=(const FlatMap& a, const FlatMap& b) {
+    return !(a == b);
+  }
+
+ private:
+  iterator lower(const K& k) {
+    return std::lower_bound(
+        data_.begin(), data_.end(), k,
+        [](const value_type& e, const K& key) { return e.first < key; });
+  }
+  const_iterator lower(const K& k) const {
+    return std::lower_bound(
+        data_.begin(), data_.end(), k,
+        [](const value_type& e, const K& key) { return e.first < key; });
+  }
+
+  std::vector<value_type> data_;
+};
+
+}  // namespace citroen

@@ -81,6 +81,23 @@ double Cholesky::log_det() const {
   return 2.0 * acc;
 }
 
+bool Cholesky::extend(const Vec& k_new, double diag) {
+  if (!ok) return false;
+  const std::size_t n = L.rows();
+  if (k_new.size() != n) return false;
+  // New row c solves L c = k_new; new pivot d = sqrt(diag - c.c).
+  const Vec c = solve_lower(k_new);
+  const double d2 = diag + jitter - dot(c, c);
+  if (!(d2 > 1e-12) || !std::isfinite(d2)) return false;
+  Matrix grown(n + 1, n + 1);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j <= i; ++j) grown(i, j) = L(i, j);
+  for (std::size_t j = 0; j < n; ++j) grown(n, j) = c[j];
+  grown(n, n) = std::sqrt(d2);
+  L = std::move(grown);
+  return true;
+}
+
 namespace {
 
 bool try_cholesky(const Matrix& a, double jitter, Matrix& out) {

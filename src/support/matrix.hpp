@@ -64,6 +64,14 @@ struct Cholesky {
 
   /// log(det A) = 2 * sum(log diag L).
   double log_det() const;
+
+  /// Rank-one extension: grow the factor of A to that of the bordered
+  /// matrix [[A, k_new], [k_new^T, diag]] in O(n^2) instead of
+  /// refactorising in O(n^3). The stored jitter is applied to the new
+  /// diagonal element, matching what a fresh factorisation of the
+  /// jittered matrix would produce. Returns false — leaving the factor
+  /// unchanged — when the extension is not safely positive definite.
+  bool extend(const Vec& k_new, double diag);
 };
 
 /// Factor a symmetric matrix, adding growing diagonal jitter (starting at

@@ -1,0 +1,168 @@
+#include "support/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+
+namespace citroen {
+
+namespace {
+// Set while a thread is executing loop tasks; reentrant parallel_for
+// calls then run inline instead of re-entering the pool.
+thread_local bool tls_in_parallel_for = false;
+}  // namespace
+
+struct ThreadPool::Shard {
+  std::mutex mu;
+  std::deque<std::size_t> q;
+};
+
+struct ThreadPool::Loop {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::atomic<std::size_t> pending{0};  ///< tasks not yet finished
+  int active = 0;                       ///< workers inside run_loop (mu_)
+  std::mutex err_mu;
+  std::exception_ptr error;
+};
+
+int ThreadPool::default_threads() {
+  if (const char* env = std::getenv("CITROEN_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+ThreadPool::ThreadPool(int threads)
+    : num_threads_(threads > 0 ? threads : default_threads()) {
+  workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
+  for (int id = 1; id < num_threads_; ++id)
+    workers_.emplace_back([this, id] { worker_main(id); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_loop(Loop& loop, std::size_t self) {
+  const std::size_t width = loop.shards.size();
+  for (;;) {
+    std::size_t idx = 0;
+    bool got = false;
+    {
+      Shard& s = *loop.shards[self];
+      const std::lock_guard<std::mutex> lock(s.mu);
+      if (!s.q.empty()) {
+        idx = s.q.front();
+        s.q.pop_front();
+        got = true;
+      }
+    }
+    // Own deque empty: steal from the back of the first non-empty victim.
+    for (std::size_t off = 1; off < width && !got; ++off) {
+      Shard& s = *loop.shards[(self + off) % width];
+      const std::lock_guard<std::mutex> lock(s.mu);
+      if (!s.q.empty()) {
+        idx = s.q.back();
+        s.q.pop_back();
+        got = true;
+      }
+    }
+    if (!got) return;
+    try {
+      (*loop.fn)(idx);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(loop.err_mu);
+      if (!loop.error) loop.error = std::current_exception();
+    }
+    loop.pending.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::worker_main(int id) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Loop> loop;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return stop_ || (current_ && epoch_ != seen); });
+      if (stop_) return;
+      seen = epoch_;
+      loop = current_;
+      ++loop->active;
+    }
+    tls_in_parallel_for = true;
+    run_loop(*loop, static_cast<std::size_t>(id) % loop->shards.size());
+    tls_in_parallel_for = false;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      --loop->active;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || num_threads_ == 1 || tls_in_parallel_for) {
+    const bool nested = tls_in_parallel_for;
+    tls_in_parallel_for = true;
+    try {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+    } catch (...) {
+      tls_in_parallel_for = nested;
+      throw;
+    }
+    tls_in_parallel_for = nested;
+    return;
+  }
+
+  auto loop = std::make_shared<Loop>();
+  loop->fn = &fn;
+  const std::size_t width =
+      std::min(static_cast<std::size_t>(num_threads_), n);
+  loop->shards.reserve(width);
+  for (std::size_t s = 0; s < width; ++s)
+    loop->shards.push_back(std::make_unique<Shard>());
+  for (std::size_t i = 0; i < n; ++i)
+    loop->shards[i % width]->q.push_back(i);
+  loop->pending.store(n, std::memory_order_release);
+
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    current_ = loop;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+
+  tls_in_parallel_for = true;
+  run_loop(*loop, 0);
+  tls_in_parallel_for = false;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (current_ == loop) current_.reset();  // no further pickups
+  done_cv_.wait(lock, [&] {
+    return loop->pending.load(std::memory_order_acquire) == 0 &&
+           loop->active == 0;
+  });
+  lock.unlock();
+
+  if (loop->error) std::rethrow_exception(loop->error);
+}
+
+}  // namespace citroen

@@ -1,0 +1,70 @@
+#pragma once
+// Work-stealing fork-join pool used by the batch evaluation engine
+// (sim::ProgramEvaluator::prefetch) and the bench harnesses.
+//
+// The only primitive is `parallel_for`: indices are dealt round-robin
+// into per-participant deques, the calling thread participates, and idle
+// participants steal from the back of a victim's deque. A call made from
+// inside a pool task runs inline on the calling thread, so nested
+// parallelism (a parallel bench harness driving a parallel evaluator)
+// degrades to serial execution instead of deadlocking.
+//
+// The pool imposes no ordering of its own: callers that need
+// deterministic results must hand it pure tasks and merge serially,
+// which is exactly what the evaluator's prefetch/replay split does.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace citroen {
+
+class ThreadPool {
+ public:
+  /// `threads` <= 0 selects the default (`CITROEN_THREADS` env var, else
+  /// the hardware concurrency). A pool of size 1 runs everything inline.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total participants: workers plus the calling thread.
+  int size() const { return num_threads_; }
+
+  /// Run fn(i) for every i in [0, n), blocking until all complete. The
+  /// first exception thrown by a task is rethrown here after the loop
+  /// drains. Reentrant calls execute inline.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide pool, sized once from `CITROEN_THREADS`/hardware.
+  static ThreadPool& global();
+
+  /// Default thread count (env override or hardware concurrency).
+  static int default_threads();
+
+ private:
+  struct Shard;
+  struct Loop;
+
+  void worker_main(int id);
+  static void run_loop(Loop& loop, std::size_t self);
+
+  int num_threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers wait for a new loop
+  std::condition_variable done_cv_;  ///< caller waits for loop completion
+  std::shared_ptr<Loop> current_;
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace citroen

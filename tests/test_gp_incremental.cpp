@@ -1,0 +1,201 @@
+// Rank-one incremental GP updates: the O(n^2) Cholesky extension used by
+// refactor-only fits must reproduce the full O(n^3) refit posterior to
+// tight tolerance, and the fallback paths must engage exactly when the
+// fast path is unsafe.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "gp/gp.hpp"
+#include "support/matrix.hpp"
+#include "support/rng.hpp"
+
+using namespace citroen;
+
+namespace {
+
+std::vector<Vec> random_points(std::size_t n, std::size_t dim, Rng& rng) {
+  std::vector<Vec> x;
+  for (std::size_t i = 0; i < n; ++i) {
+    Vec p(dim);
+    for (auto& v : p) v = rng.uniform();
+    x.push_back(std::move(p));
+  }
+  return x;
+}
+
+Vec smooth_targets(const std::vector<Vec>& x, Rng& rng) {
+  Vec y;
+  for (const auto& p : x) {
+    double s = 0.0;
+    for (std::size_t d = 0; d < p.size(); ++d)
+      s += std::sin(3.0 * p[d] + static_cast<double>(d));
+    y.push_back(s + 0.01 * rng.normal());
+  }
+  return y;
+}
+
+}  // namespace
+
+// ---- Cholesky::extend -----------------------------------------------------
+
+TEST(CholeskyExtend, MatchesFullFactorisation) {
+  Rng rng(11);
+  for (const std::size_t n : {1u, 3u, 8u, 20u}) {
+    // Random SPD matrix A = B B^T + n I of size (n+1).
+    Matrix b(n + 1, n + 1);
+    for (std::size_t i = 0; i <= n; ++i)
+      for (std::size_t j = 0; j <= n; ++j) b(i, j) = rng.normal();
+    Matrix a(n + 1, n + 1);
+    for (std::size_t i = 0; i <= n; ++i)
+      for (std::size_t j = 0; j <= n; ++j) {
+        double s = 0.0;
+        for (std::size_t k = 0; k <= n; ++k) s += b(i, k) * b(j, k);
+        a(i, j) = s + (i == j ? static_cast<double>(n) + 1.0 : 0.0);
+      }
+
+    // Factor the leading n x n block, then extend by the last row/col.
+    Matrix lead(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) lead(i, j) = a(i, j);
+    Cholesky inc = cholesky(lead);
+    ASSERT_TRUE(inc.ok);
+    Vec k_new(n);
+    for (std::size_t i = 0; i < n; ++i) k_new[i] = a(i, n);
+    ASSERT_TRUE(inc.extend(k_new, a(n, n)));
+
+    const Cholesky full = cholesky(a, inc.jitter, inc.jitter);
+    ASSERT_TRUE(full.ok);
+    ASSERT_EQ(inc.L.rows(), n + 1);
+    for (std::size_t i = 0; i <= n; ++i)
+      for (std::size_t j = 0; j <= i; ++j)
+        EXPECT_NEAR(inc.L(i, j), full.L(i, j), 1e-10)
+            << "n=" << n << " (" << i << "," << j << ")";
+    EXPECT_NEAR(inc.log_det(), full.log_det(), 1e-10);
+  }
+}
+
+TEST(CholeskyExtend, RefusesNonPositiveDefiniteExtension) {
+  Matrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(1, 1) = 2.0;
+  a(0, 1) = a(1, 0) = 0.5;
+  Cholesky c = cholesky(a);
+  ASSERT_TRUE(c.ok);
+  const Matrix before = c.L;
+  // A new point identical to an existing one with a too-small diagonal
+  // makes the bordered matrix singular.
+  EXPECT_FALSE(c.extend({2.0, 0.5}, 2.0 - 1e-13));
+  // The factor must be untouched after a refused extension.
+  ASSERT_EQ(c.L.rows(), before.rows());
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 2; ++j) EXPECT_EQ(c.L(i, j), before(i, j));
+  EXPECT_FALSE(c.extend({1.0}, 5.0));  // wrong size
+}
+
+// ---- incremental GP fits --------------------------------------------------
+
+TEST(GpIncremental, PosteriorMatchesFullRefit) {
+  Rng rng(29);
+  for (const std::size_t dim : {2u, 5u}) {
+    auto x = random_points(24, dim, rng);
+    const Vec y = smooth_targets(x, rng);
+
+    gp::GpConfig cfg;
+    cfg.fit_steps = 10;
+    gp::GaussianProcess fast(dim, cfg);
+    gp::GpConfig slow_cfg = cfg;
+    slow_cfg.incremental = false;
+    gp::GaussianProcess slow(dim, slow_cfg);
+
+    // Hyper fit on the first chunk, then refactor-only growth: the fast
+    // GP extends its factor point by point, the slow GP refactorises.
+    const std::size_t base = 12;
+    fast.fit({x.begin(), x.begin() + base}, {y.begin(), y.begin() + base});
+    slow.fit({x.begin(), x.begin() + base}, {y.begin(), y.begin() + base});
+    fast.set_fit_hypers(false);
+    slow.set_fit_hypers(false);
+    for (std::size_t n = base + 1; n <= x.size(); ++n) {
+      fast.fit({x.begin(), x.begin() + static_cast<std::ptrdiff_t>(n)},
+               {y.begin(), y.begin() + static_cast<std::ptrdiff_t>(n)});
+      slow.fit({x.begin(), x.begin() + static_cast<std::ptrdiff_t>(n)},
+               {y.begin(), y.begin() + static_cast<std::ptrdiff_t>(n)});
+    }
+    EXPECT_GT(fast.num_incremental_fits(), 0);
+    EXPECT_EQ(fast.num_full_fits(), 1);
+    EXPECT_EQ(slow.num_incremental_fits(), 0);
+
+    const auto probes = random_points(32, dim, rng);
+    for (const auto& p : probes) {
+      const auto pf = fast.predict(p);
+      const auto ps = slow.predict(p);
+      EXPECT_NEAR(pf.mean, ps.mean, 1e-10);
+      EXPECT_NEAR(pf.var, ps.var, 1e-10);
+    }
+    EXPECT_NEAR(fast.log_marginal_likelihood(),
+                slow.log_marginal_likelihood(), 1e-8);
+  }
+}
+
+TEST(GpIncremental, MultiPointAppendTakesOneIncrementalFit) {
+  Rng rng(5);
+  auto x = random_points(20, 3, rng);
+  const Vec y = smooth_targets(x, rng);
+  gp::GaussianProcess gp(3, {.fit_steps = 5});
+  gp.fit({x.begin(), x.begin() + 10}, {y.begin(), y.begin() + 10});
+  gp.set_fit_hypers(false);
+  gp.fit(x, y);  // append 10 points at once
+  EXPECT_EQ(gp.num_incremental_fits(), 1);
+  EXPECT_EQ(gp.num_full_fits(), 1);
+  EXPECT_EQ(gp.num_points(), 20u);
+}
+
+TEST(GpIncremental, HyperRoundsAlwaysRefitFully) {
+  Rng rng(7);
+  auto x = random_points(12, 2, rng);
+  const Vec y = smooth_targets(x, rng);
+  gp::GaussianProcess gp(2, {.fit_steps = 5});
+  gp.fit({x.begin(), x.begin() + 8}, {y.begin(), y.begin() + 8});
+  gp.fit(x, y);  // fit_hypers still true -> full path
+  EXPECT_EQ(gp.num_incremental_fits(), 0);
+  EXPECT_EQ(gp.num_full_fits(), 2);
+}
+
+TEST(GpIncremental, NonPrefixDataFallsBackToFullRefit) {
+  Rng rng(13);
+  auto x = random_points(10, 2, rng);
+  const Vec y = smooth_targets(x, rng);
+  gp::GaussianProcess gp(2, {.fit_steps = 5});
+  gp.fit({x.begin(), x.begin() + 6}, {y.begin(), y.begin() + 6});
+  gp.set_fit_hypers(false);
+
+  // Perturb an already-fitted point: the new data no longer extends the
+  // old, so the incremental path must refuse and the full refit run.
+  auto x2 = x;
+  x2[2][0] += 0.25;
+  gp.fit(x2, y);
+  EXPECT_EQ(gp.num_incremental_fits(), 0);
+  EXPECT_EQ(gp.num_full_fits(), 2);
+
+  // Same data again (no growth) is also a full refactorisation.
+  gp.fit(x2, y);
+  EXPECT_EQ(gp.num_incremental_fits(), 0);
+  EXPECT_EQ(gp.num_full_fits(), 3);
+}
+
+TEST(GpIncremental, DisabledConfigNeverTakesFastPath) {
+  Rng rng(17);
+  auto x = random_points(12, 2, rng);
+  const Vec y = smooth_targets(x, rng);
+  gp::GpConfig cfg;
+  cfg.fit_steps = 5;
+  cfg.incremental = false;
+  gp::GaussianProcess gp(2, cfg);
+  gp.fit({x.begin(), x.begin() + 6}, {y.begin(), y.begin() + 6});
+  gp.set_fit_hypers(false);
+  gp.fit(x, y);
+  EXPECT_EQ(gp.num_incremental_fits(), 0);
+  EXPECT_EQ(gp.num_full_fits(), 2);
+}
