@@ -29,9 +29,16 @@ int main(int argc, char** argv) {
     std::printf("---- %s (machine: %s) ----\n", suite.c_str(),
                 machine.c_str());
     std::map<std::string, std::vector<double>> finals;  // tuner -> per prog
+    sim::PrefixCacheStats cache{};  // aggregate over every program's runs
     for (const auto& prog : names) {
-      const auto methods =
-          bench::run_all_tuners(prog, machine, budget, seeds);
+      const auto report = bench::run_all_tuners_ex(prog, machine, budget,
+                                                   seeds);
+      const auto& methods = report.curves;
+      cache.builds += report.cache_stats.builds;
+      cache.full_hits += report.cache_stats.full_hits;
+      cache.prefix_hits += report.cache_stats.prefix_hits;
+      cache.passes_run += report.cache_stats.passes_run;
+      cache.passes_saved += report.cache_stats.passes_saved;
       std::printf("%-22s", prog.c_str());
       for (const auto& m : methods) {
         const auto agg = bench::aggregate(m.curves);
@@ -45,7 +52,22 @@ int main(int argc, char** argv) {
                                               std::vector<double>>(finals)) {
       std::printf("  %s=%.3f", tuner.c_str(), geomean(vals));
     }
-    std::printf("\n\n");
+    std::printf("\n");
+    // The prefix cache is shared across every (method, seed) run of each
+    // program, so this is the whole suite's hit rate, not one tuner's.
+    const double hit_rate =
+        cache.builds ? 100.0 *
+                           static_cast<double>(cache.full_hits +
+                                               cache.prefix_hits) /
+                           static_cast<double>(cache.builds)
+                     : 0.0;
+    const std::uint64_t total_passes = cache.passes_run + cache.passes_saved;
+    std::printf("shared prefix cache: %.1f%% of %llu builds hit, "
+                "%.1f%% of pass runs saved\n\n",
+                hit_rate, static_cast<unsigned long long>(cache.builds),
+                total_passes ? 100.0 * static_cast<double>(cache.passes_saved) /
+                                   static_cast<double>(total_passes)
+                             : 0.0);
   }
   return 0;
 }

@@ -5,11 +5,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "bench_suite/suite.hpp"
 #include "citroen/features.hpp"
 #include "gp/gp.hpp"
 #include "ir/interpreter.hpp"
 #include "passes/pass.hpp"
+#include "persist/journal.hpp"
+#include "persist/journaled_evaluator.hpp"
+#include "persist/run_session.hpp"
 #include "sim/evaluator.hpp"
 #include "sim/machine.hpp"
 #include "sim/prefix_cache.hpp"
@@ -173,6 +178,51 @@ static void BM_GpAppendFit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GpAppendFit)->ArgName("incremental")->Arg(0)->Arg(1);
+
+/// Write-ahead journal overhead per evaluation: the same random-sequence
+/// evaluation stream as BM_EvaluatorRoundTrip, run bare (journal=0) and
+/// through a JournaledEvaluator at the default fsync cadence (journal=1).
+/// The delta between the two configurations is the per-evaluation cost of
+/// crash safety; it must stay a small fraction (<2%) of evaluation cost.
+static void BM_JournalAppendOverhead(benchmark::State& state) {
+  const bool journal = state.range(0) != 0;
+  sim::ProgramEvaluator ev(bench_suite::make_program("security_sha"),
+                           sim::arm_a57_model());
+  persist::SessionConfig scfg;
+  scfg.dir = "/tmp/citroen_microbench_journal";
+  persist::RunSession session(scfg, "bm");
+  persist::JournaledEvaluator jev(ev, session);
+  sim::Evaluator& target =
+      journal ? static_cast<sim::Evaluator&>(jev)
+              : static_cast<sim::Evaluator&>(ev);
+
+  Rng rng(1);
+  const auto& space = passes::PassRegistry::instance().pass_names();
+  for (auto _ : state) {
+    std::vector<std::string> seq;
+    for (int i = 0; i < 20; ++i)
+      seq.push_back(space[rng.uniform_index(space.size())]);
+    const auto out = target.evaluate({{"sha", seq}});
+    benchmark::DoNotOptimize(out.speedup);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JournalAppendOverhead)->ArgName("journal")->Arg(0)->Arg(1);
+
+/// The raw append path alone (frame + CRC + buffered write, fsync on the
+/// default cadence), isolated from evaluation cost.
+static void BM_JournalRawAppend(benchmark::State& state) {
+  const std::string path = "/tmp/citroen_microbench_raw.journal";
+  std::remove(path.c_str());
+  persist::JournalWriter w(path, persist::JournalConfig{}, 0);
+  const std::string payload(160, '\x42');  // typical eval-record size
+  for (auto _ : state) {
+    w.append(payload);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * payload.size()));
+}
+BENCHMARK(BM_JournalRawAppend);
 
 static void BM_StatsFeatureExtraction(benchmark::State& state) {
   sim::ProgramEvaluator ev(bench_suite::make_program("telecom_gsm"),

@@ -1,15 +1,31 @@
 #pragma once
 // Helper used by the Ch. 5 comparison benches: run every phase-ordering
 // tuner on a program and return their best-so-far speedup curves.
+//
+// Two entry points:
+//   run_all_tuners     — the classic API; all (method, seed) runs share
+//                        one prefix cache but nothing is persisted.
+//   run_all_tuners_ex  — persistence-enabled: each run journals its
+//                        evaluations through a RunSession, checkpoints on
+//                        a cadence, honours the watchdog (SIGINT/SIGTERM
+//                        and --deadline) and can resume byte-identically.
+//                        Optionally runs under a fault plan (the injector
+//                        and quarantine state are checkpointed too).
 
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "baselines/tuners.hpp"
+#include "bench/bench_persist.hpp"
 #include "bench_suite/suite.hpp"
 #include "citroen/tuner.hpp"
+#include "persist/journaled_evaluator.hpp"
+#include "sim/faults.hpp"
 #include "sim/machine.hpp"
+#include "sim/robust_evaluator.hpp"
 #include "support/matrix.hpp"
 #include "support/thread_pool.hpp"
 
@@ -18,6 +34,13 @@ namespace citroen::bench {
 struct MethodCurves {
   std::string name;
   std::vector<Vec> curves;  ///< one per seed
+};
+
+/// Result of a persistence-enabled comparison run.
+struct TunerRunReport {
+  std::vector<MethodCurves> curves;
+  int status = persist::kExitComplete;  ///< kExitInterrupted if stopped early
+  sim::PrefixCacheStats cache_stats;    ///< aggregate over the shared cache
 };
 
 inline core::CitroenConfig default_citroen_config(int budget,
@@ -44,56 +67,182 @@ inline Vec run_citroen_once(const std::string& program,
   return tuner.run().speedup_curve;
 }
 
+namespace detail {
+
+/// Run one (method, seed) comparison job. With `popt` the run journals,
+/// checkpoints and resumes through a RunSession; without it this is the
+/// plain in-memory run. `cache` is the session-wide shared prefix cache,
+/// `faults` an optional fault plan applied through a RobustEvaluator.
+inline Vec run_tuner_job(const std::string& method, const std::string& program,
+                         const std::string& machine, int budget,
+                         std::uint64_t seed, const PersistOptions* popt,
+                         const sim::FaultPlan* faults,
+                         const std::shared_ptr<sim::PrefixCache>& cache,
+                         bool* interrupted) {
+  sim::ProgramEvaluator base(bench_suite::make_program(program),
+                             sim::machine_by_name(machine));
+  if (cache) base.set_shared_prefix_cache(cache);
+  std::unique_ptr<sim::FaultInjector> injector;
+  std::unique_ptr<sim::RobustEvaluator> robust;
+  if (faults) {
+    injector = std::make_unique<sim::FaultInjector>(*faults);
+    robust = std::make_unique<sim::RobustEvaluator>(base, sim::RobustConfig{},
+                                                    injector.get());
+  }
+  sim::Evaluator& eval =
+      robust ? static_cast<sim::Evaluator&>(*robust)
+             : static_cast<sim::Evaluator&>(base);
+
+  const bool is_citroen = method == "citroen";
+  if (!popt) {
+    if (is_citroen) {
+      core::CitroenTuner tuner(eval, default_citroen_config(budget, seed));
+      return tuner.run().speedup_curve;
+    }
+    baselines::PhaseTunerConfig cfg;
+    cfg.budget = budget;
+    cfg.seed = seed;
+    auto tuner = baselines::make_phase_tuner(method, eval, cfg);
+    while (tuner->step()) {
+    }
+    return tuner->finish().speedup_curve;
+  }
+
+  persist::RunSession session(to_session_config(*popt),
+                              method + "_s" + std::to_string(seed));
+  print_session_notes(session);
+  if (session.complete()) {
+    persist::Reader r(session.state());
+    Vec curve;
+    persist::get(r, curve);
+    return curve;
+  }
+  persist::JournaledEvaluator jeval(eval, session);
+  auto& wd = persist::Watchdog::instance();
+
+  // The two tuner families expose the same stepwise surface; erase the
+  // difference behind std::function so the drive loop is written once.
+  std::unique_ptr<core::CitroenTuner> citroen;
+  std::unique_ptr<baselines::ResumablePhaseTuner> baseline;
+  if (is_citroen) {
+    citroen = std::make_unique<core::CitroenTuner>(
+        jeval, default_citroen_config(budget, seed));
+    citroen->set_skip_hyper_refits(
+        [&wd] { return wd.deadline_imminent(5.0); });
+  } else {
+    baselines::PhaseTunerConfig cfg;
+    cfg.budget = budget;
+    cfg.seed = seed;
+    baseline = baselines::make_phase_tuner(method, jeval, cfg);
+  }
+  const auto step = [&] { return citroen ? citroen->step() : baseline->step(); };
+  const auto curve_so_far = [&] {
+    return citroen ? citroen->finish().speedup_curve
+                   : baseline->finish().speedup_curve;
+  };
+  const auto save_tuner = [&](persist::Writer& w) {
+    citroen ? citroen->save_state(w) : baseline->save_state(w);
+  };
+
+  if (session.has_state()) {
+    persist::Reader r(session.state());
+    citroen ? citroen->load_state(r) : baseline->load_state(r);
+    base.load_runtime_state(r);
+    if (robust) robust->load_state(r);
+    if (injector) injector->load_attempts(r);
+  } else if (citroen) {
+    citroen->start();
+  }
+
+  const auto checkpoint = [&] {
+    persist::Writer w;
+    save_tuner(w);
+    base.save_runtime_state(w);
+    if (robust) robust->save_state(w);
+    if (injector) injector->save_attempts(w);
+    session.save_checkpoint(w.take(), /*complete=*/false);
+  };
+
+  bool stopped = false;
+  while (true) {
+    if (wd.stop_requested()) {
+      stopped = true;
+      break;
+    }
+    if (!step()) break;
+    if (session.checkpoint_due()) checkpoint();
+  }
+  if (stopped) {
+    checkpoint();  // save_checkpoint flushes the journal first
+    *interrupted = true;
+    return curve_so_far();
+  }
+  const Vec curve = curve_so_far();
+  persist::Writer w;
+  persist::put(w, curve);
+  session.save_checkpoint(w.take(), /*complete=*/true);
+  return curve;
+}
+
+}  // namespace detail
+
+/// Persistence-enabled variant of run_all_tuners. Runs
+/// {citroen, boca, opentuner, ga, des, random} x seeds; every run owns a
+/// private evaluator stack but shares one prefix cache. With `popt` each
+/// run is a RunSession named "<method>_s<seed>" inside popt->dir; already-
+/// complete runs are served from their final checkpoint, partial runs
+/// resume from checkpoint + journal-tail replay, and a watchdog stop makes
+/// the report carry kExitInterrupted. With `faults`, every evaluator runs
+/// under its own FaultInjector built from the same plan.
+inline TunerRunReport run_all_tuners_ex(const std::string& program,
+                                        const std::string& machine, int budget,
+                                        int seeds,
+                                        const PersistOptions* popt = nullptr,
+                                        const sim::FaultPlan* faults = nullptr) {
+  static constexpr const char* kMethods[] = {"citroen", "boca", "opentuner",
+                                             "ga",      "des",  "random"};
+  if (popt) arm_watchdog(*popt);
+  auto cache = std::make_shared<sim::PrefixCache>();
+
+  TunerRunReport rep;
+  for (const char* m : kMethods)
+    rep.curves.push_back(
+        {m, std::vector<Vec>(static_cast<std::size_t>(seeds))});
+
+  struct Job {
+    std::size_t method;  ///< index into rep.curves
+    int seed;
+  };
+  std::vector<Job> jobs;
+  for (std::size_t m = 0; m < rep.curves.size(); ++m)
+    for (int s = 0; s < seeds; ++s) jobs.push_back(Job{m, s});
+
+  std::vector<char> interrupted(jobs.size(), 0);
+  ThreadPool::global().parallel_for(jobs.size(), [&](std::size_t j) {
+    const Job& job = jobs[j];
+    bool intr = false;
+    rep.curves[job.method].curves[static_cast<std::size_t>(job.seed)] =
+        detail::run_tuner_job(rep.curves[job.method].name, program, machine,
+                              budget, static_cast<std::uint64_t>(job.seed) + 1,
+                              popt, faults, cache, &intr);
+    if (intr) interrupted[j] = 1;
+  });
+  for (char c : interrupted)
+    if (c) rep.status = persist::kExitInterrupted;
+  rep.cache_stats = cache->stats();
+  return rep;
+}
+
 /// Run {citroen, boca, opentuner, ga, des, random} over `seeds` repeats.
 /// Each (method, seed) run owns a private evaluator, so the runs are
 /// independent and execute concurrently on the global pool; results land
 /// in preallocated slots and are identical to running the loop serially.
+/// All evaluators share one prefix cache — pure memoization keyed by
+/// salted module hashes, so sharing changes wall-clock only, not results.
 inline std::vector<MethodCurves> run_all_tuners(const std::string& program,
                                                 const std::string& machine,
                                                 int budget, int seeds) {
-  using Runner = baselines::TuneTrace (*)(sim::Evaluator&,
-                                          const baselines::PhaseTunerConfig&);
-  const std::pair<const char*, Runner> tuners[] = {
-      {"boca", baselines::run_rf_bo_tuner},
-      {"opentuner", baselines::run_ensemble_tuner},
-      {"ga", baselines::run_ga_tuner},
-      {"des", baselines::run_des_tuner},
-      {"random", baselines::run_random_search},
-  };
-
-  std::vector<MethodCurves> out;
-  out.push_back({"citroen", std::vector<Vec>(
-                                static_cast<std::size_t>(seeds))});
-  for (const auto& [name, fn] : tuners) {
-    (void)fn;
-    out.push_back({name, std::vector<Vec>(static_cast<std::size_t>(seeds))});
-  }
-
-  struct Job {
-    std::size_t method;  ///< index into `out`
-    int seed;
-  };
-  std::vector<Job> jobs;
-  for (std::size_t m = 0; m < out.size(); ++m)
-    for (int s = 0; s < seeds; ++s) jobs.push_back(Job{m, s});
-
-  ThreadPool::global().parallel_for(jobs.size(), [&](std::size_t j) {
-    const Job& job = jobs[j];
-    const auto seed = static_cast<std::uint64_t>(job.seed) + 1;
-    if (job.method == 0) {
-      out[0].curves[static_cast<std::size_t>(job.seed)] =
-          run_citroen_once(program, machine, budget, seed);
-      return;
-    }
-    sim::ProgramEvaluator eval(bench_suite::make_program(program),
-                               sim::machine_by_name(machine));
-    baselines::PhaseTunerConfig cfg;
-    cfg.budget = budget;
-    cfg.seed = seed;
-    out[job.method].curves[static_cast<std::size_t>(job.seed)] =
-        tuners[job.method - 1].second(eval, cfg).speedup_curve;
-  });
-  return out;
+  return run_all_tuners_ex(program, machine, budget, seeds).curves;
 }
 
 }  // namespace citroen::bench

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "heuristics/des.hpp"
+#include "persist/codec.hpp"
 #include "support/timer.hpp"
 
 namespace citroen::aibo {
@@ -42,6 +44,13 @@ class GaussianSpray final : public heuristics::ContinuousOptimizer {
     }
   }
 
+  const Vec& best_x() const { return best_x_; }
+  double best_y() const { return best_y_; }
+  void set_best(Vec x, double y) {
+    best_x_ = std::move(x);
+    best_y_ = y;
+  }
+
  private:
   Box box_;
   double sigma_;
@@ -57,18 +66,111 @@ struct Member {
 
 }  // namespace
 
-Aibo::Aibo(Box box, AiboConfig config, std::uint64_t seed)
-    : box_(std::move(box)), config_(config), rng_(seed) {}
+// ---- Result serialization ---------------------------------------------------
 
-Result Aibo::run(const std::function<double(const Vec&)>& objective,
-                 int budget) {
+void put(persist::Writer& w, const IterationDiag& d) {
+  persist::put(w, d.af_values);
+  persist::put(w, d.post_means);
+  persist::put(w, d.post_vars);
+  w.i32(d.winner);
+  w.f64(d.ga_diversity);
+  persist::put(w, d.candidate_objectives);
+}
+
+void get(persist::Reader& r, IterationDiag& out) {
+  out = IterationDiag{};
+  persist::get(r, out.af_values);
+  persist::get(r, out.post_means);
+  persist::get(r, out.post_vars);
+  out.winner = r.i32();
+  out.ga_diversity = r.f64();
+  persist::get(r, out.candidate_objectives);
+}
+
+void put(persist::Writer& w, const Result& res) {
+  persist::put(w, res.xs);
+  persist::put(w, res.ys);
+  persist::put(w, res.best_curve);
+  persist::put(w, res.member_names);
+  persist::put(w, res.af_wins);
+  persist::put(w, res.mean_wins);
+  persist::put(w, res.var_wins);
+  w.u64(res.diags.size());
+  for (const auto& d : res.diags) put(w, d);
+  w.f64(res.model_seconds);
+}
+
+void get(persist::Reader& r, Result& out) {
+  out = Result{};
+  persist::get(r, out.xs);
+  persist::get(r, out.ys);
+  persist::get(r, out.best_curve);
+  persist::get(r, out.member_names);
+  persist::get(r, out.af_wins);
+  persist::get(r, out.mean_wins);
+  persist::get(r, out.var_wins);
+  const std::uint64_t n = r.u64();
+  out.diags.resize(n);
+  for (auto& d : out.diags) get(r, d);
+  out.model_seconds = r.f64();
+}
+
+// ---- the optimiser state, one outer iteration at a time ---------------------
+
+struct Aibo::Impl {
+  const Box& box;
+  const AiboConfig& config;
+  Rng& rng;
+
+  std::size_t d;
+  Box unit;  ///< the GP and AF work in [0,1]^d
+  InputScaler scaler;
   Result result;
-  const std::size_t d = box_.dim();
+  std::vector<Vec> ux;  ///< unit-cube inputs
+  Vec ys;
+  std::vector<Member> members;
+  gp::GaussianProcess model;
+  double model_time = 0.0;
+  int evaluated = 0;
+  int budget = 0;
 
-  // Work internally in the unit cube: the GP and AF see [0,1]^d inputs.
-  Box unit{Vec(d, 0.0), Vec(d, 1.0)};
-  InputScaler scaler(box_.lower, box_.upper);
-  auto eval_raw = [&](const Vec& u) {
+  Stopwatch model_clock;  ///< scratch timer, not state
+
+  Impl(const Box& b, const AiboConfig& c, Rng& r)
+      : box(b),
+        config(c),
+        rng(r),
+        d(b.dim()),
+        unit{Vec(d, 0.0), Vec(d, 1.0)},
+        scaler(b.lower, b.upper),
+        model(d, c.gp) {
+    for (const auto& kind : config.members) {
+      Member m;
+      m.kind = kind;
+      if (kind == "cmaes") {
+        m.opt = std::make_unique<heuristics::CmaEs>(unit, config.cmaes);
+      } else if (kind == "ga") {
+        m.opt = std::make_unique<heuristics::GaContinuous>(unit, config.ga);
+      } else if (kind == "random") {
+        m.opt = std::make_unique<heuristics::RandomContinuous>(unit);
+      } else if (kind == "boltzmann") {
+        m.opt = std::make_unique<heuristics::RandomContinuous>(unit);
+        m.boltzmann_selection = true;
+      } else if (kind == "spray") {
+        m.opt = std::make_unique<GaussianSpray>(unit, config.spray_sigma);
+      } else {
+        continue;  // unknown member kinds are ignored
+      }
+      result.member_names.push_back(kind);
+      members.push_back(std::move(m));
+    }
+    result.af_wins.assign(members.size(), 0);
+    result.mean_wins.assign(members.size(), 0);
+    result.var_wins.assign(members.size(), 0);
+  }
+
+  double eval_raw(const std::function<double(const Vec&)>& objective,
+                  const Vec& u) {
     const Vec x = scaler.from_unit(u);
     result.xs.push_back(x);
     const double y = objective(x);
@@ -77,51 +179,23 @@ Result Aibo::run(const std::function<double(const Vec&)>& objective,
         result.best_curve.empty() ? 1e300 : result.best_curve.back();
     result.best_curve.push_back(std::min(prev, y));
     return y;
-  };
-
-  // ---- initial design -----------------------------------------------------
-  std::vector<Vec> ux;  ///< unit-cube inputs
-  Vec ys;
-  const int n_init = std::min(config_.init_samples, budget);
-  for (int i = 0; i < n_init; ++i) {
-    Vec u = unit.sample(rng_);
-    ys.push_back(eval_raw(u));
-    ux.push_back(std::move(u));
   }
 
-  // ---- members --------------------------------------------------------------
-  std::vector<Member> members;
-  for (const auto& kind : config_.members) {
-    Member m;
-    m.kind = kind;
-    if (kind == "cmaes") {
-      m.opt = std::make_unique<heuristics::CmaEs>(unit, config_.cmaes);
-    } else if (kind == "ga") {
-      m.opt = std::make_unique<heuristics::GaContinuous>(unit, config_.ga);
-    } else if (kind == "random") {
-      m.opt = std::make_unique<heuristics::RandomContinuous>(unit);
-    } else if (kind == "boltzmann") {
-      m.opt = std::make_unique<heuristics::RandomContinuous>(unit);
-      m.boltzmann_selection = true;
-    } else if (kind == "spray") {
-      m.opt = std::make_unique<GaussianSpray>(unit, config_.spray_sigma);
-    } else {
-      continue;  // unknown member kinds are ignored
+  void start(const std::function<double(const Vec&)>& objective,
+             int total_budget) {
+    budget = total_budget;
+    const int n_init = std::min(config.init_samples, budget);
+    for (int i = 0; i < n_init; ++i) {
+      Vec u = unit.sample(rng);
+      ys.push_back(eval_raw(objective, u));
+      ux.push_back(std::move(u));
     }
-    result.member_names.push_back(kind);
-    members.push_back(std::move(m));
+    for (auto& m : members) m.opt->init(ux, ys);
+    evaluated = n_init;
   }
-  for (auto& m : members) m.opt->init(ux, ys);
-  result.af_wins.assign(members.size(), 0);
-  result.mean_wins.assign(members.size(), 0);
-  result.var_wins.assign(members.size(), 0);
 
-  gp::GaussianProcess model(d, config_.gp);
-  Stopwatch model_clock;
-  double model_time = 0.0;
-
-  int evaluated = n_init;
-  while (evaluated < budget) {
+  bool step(const std::function<double(const Vec&)>& objective) {
+    if (evaluated >= budget) return false;
     // ---- fit the surrogate (transformed outputs) ------------------------
     model_clock.reset();
     YeoJohnson yj;
@@ -130,29 +204,29 @@ Result Aibo::run(const std::function<double(const Vec&)>& objective,
     model.fit(ux, ty);
     double best_ty = ty[0];
     for (double v : ty) best_ty = std::min(best_ty, v);
-    const af::Acquisition acq(&model, config_.af, best_ty);
+    const af::Acquisition acq(&model, config.af, best_ty);
     model_time += model_clock.seconds();
 
-    const int q = std::min(config_.batch_size, budget - evaluated);
+    const int q = std::min(config.batch_size, budget - evaluated);
     std::vector<Vec> batch;
 
     // Kriging-believer fantasies extend these copies within the batch.
     std::vector<Vec> fant_x = ux;
     Vec fant_y = ty;
     gp::GaussianProcess* cur_model = &model;
-    gp::GpConfig frozen = config_.gp;
+    gp::GpConfig frozen = config.gp;
     frozen.fit_hypers = false;
     gp::GaussianProcess fantasy_model(d, frozen);
 
     for (int slot = 0; slot < q; ++slot) {
       model_clock.reset();
-      const af::Acquisition slot_acq(cur_model, config_.af, best_ty);
+      const af::Acquisition slot_acq(cur_model, config.af, best_ty);
 
       IterationDiag diag;
       std::vector<Vec> candidates;
       for (auto& m : members) {
         // 1. raw candidates from the heuristic.
-        std::vector<Vec> raw = m.opt->ask(config_.k, rng_);
+        std::vector<Vec> raw = m.opt->ask(config.k, rng);
         // 2. select n_top starts by AF value (or Boltzmann sampling).
         std::vector<std::pair<double, std::size_t>> scored;
         for (std::size_t i = 0; i < raw.size(); ++i)
@@ -163,13 +237,13 @@ Result Aibo::run(const std::function<double(const Vec&)>& objective,
           for (auto& [v, i] : scored) max_v = std::max(max_v, v);
           std::vector<double> w;
           for (auto& [v, i] : scored)
-            w.push_back(std::exp((v - max_v) / config_.boltzmann_temp));
-          for (int t = 0; t < config_.n_top; ++t)
-            starts.push_back(rng_.categorical(w));
+            w.push_back(std::exp((v - max_v) / config.boltzmann_temp));
+          for (int t = 0; t < config.n_top; ++t)
+            starts.push_back(rng.categorical(w));
         } else {
           std::sort(scored.begin(), scored.end(),
                     [](const auto& a, const auto& b) { return a.first > b.first; });
-          for (int t = 0; t < config_.n_top &&
+          for (int t = 0; t < config.n_top &&
                           t < static_cast<int>(scored.size());
                ++t)
             starts.push_back(scored[static_cast<std::size_t>(t)].second);
@@ -180,26 +254,26 @@ Result Aibo::run(const std::function<double(const Vec&)>& objective,
         for (const std::size_t si : starts) {
           Vec x0 = raw[si];
           std::pair<Vec, double> r;
-          switch (config_.maximizer) {
+          switch (config.maximizer) {
             case AiboConfig::Maximizer::Grad:
-              r = af::ascend(slot_acq, std::move(x0), unit, config_.grad);
+              r = af::ascend(slot_acq, std::move(x0), unit, config.grad);
               break;
             case AiboConfig::Maximizer::None:
               r = {x0, slot_acq.value(x0)};
               break;
             case AiboConfig::Maximizer::EsGrad: {
-              auto es = af::es_maximize(slot_acq, unit, config_.af_budget,
-                                        rng_);
+              auto es = af::es_maximize(slot_acq, unit, config.af_budget,
+                                        rng);
               r = af::ascend(slot_acq, std::move(es.first), unit,
-                             config_.grad);
+                             config.grad);
               break;
             }
             case AiboConfig::Maximizer::EsOnly:
-              r = af::es_maximize(slot_acq, unit, config_.af_budget, rng_);
+              r = af::es_maximize(slot_acq, unit, config.af_budget, rng);
               break;
             case AiboConfig::Maximizer::RandomOnly:
-              r = af::random_maximize(slot_acq, unit, config_.af_budget,
-                                      rng_);
+              r = af::random_maximize(slot_acq, unit, config.af_budget,
+                                      rng);
               break;
           }
           if (r.second > best_v) {
@@ -219,7 +293,7 @@ Result Aibo::run(const std::function<double(const Vec&)>& objective,
 
       // 4. pick the winner.
       std::size_t win = 0;
-      switch (config_.candidate_selection) {
+      switch (config.candidate_selection) {
         case AiboConfig::Selection::ByAf:
           for (std::size_t i = 1; i < candidates.size(); ++i) {
             if (diag.af_values[i] > diag.af_values[win]) win = i;
@@ -229,7 +303,7 @@ Result Aibo::run(const std::function<double(const Vec&)>& objective,
           for (const auto& c : candidates)
             diag.candidate_objectives.push_back(
                 objective(scaler.from_unit(c)));
-          win = rng_.uniform_index(candidates.size());
+          win = rng.uniform_index(candidates.size());
           break;
         }
         case AiboConfig::Selection::Oracle: {
@@ -273,17 +347,132 @@ Result Aibo::run(const std::function<double(const Vec&)>& objective,
     // 5. evaluate the batch and feed everyone back.
     for (const auto& u : batch) {
       if (evaluated >= budget) break;
-      const double y = eval_raw(u);
+      const double y = eval_raw(objective, u);
       ++evaluated;
       ux.push_back(u);
       ys.push_back(y);
       for (auto& m : members) m.opt->tell(u, y);
     }
+    return true;
   }
 
-  result.model_seconds = model_time;
-  return result;
+  Result finish() const {
+    Result out = result;
+    out.model_seconds = model_time;
+    return out;
+  }
+
+  // ---- checkpointing ------------------------------------------------------
+
+  void save_state(persist::Writer& w) const {
+    w.i32(budget);
+    w.i32(evaluated);
+    w.f64(model_time);
+    persist::put(w, rng);
+    persist::put(w, ux);
+    persist::put(w, ys);
+    put(w, result);
+    model.save_state(w);
+    w.u64(members.size());
+    for (const auto& m : members) {
+      w.str(m.kind);
+      if (m.kind == "cmaes") {
+        static_cast<const heuristics::CmaEs&>(*m.opt).save_state(w);
+      } else if (m.kind == "ga") {
+        const auto& ga = static_cast<const heuristics::GaContinuous&>(*m.opt);
+        w.u64(ga.population().size());
+        for (const auto& [x, y] : ga.population()) {
+          persist::put(w, x);
+          w.f64(y);
+        }
+      } else if (m.kind == "spray") {
+        const auto& sp = static_cast<const GaussianSpray&>(*m.opt);
+        persist::put(w, sp.best_x());
+        w.f64(sp.best_y());
+      }
+      // "random"/"boltzmann" members are stateless.
+    }
+  }
+
+  void load_state(persist::Reader& r) {
+    budget = r.i32();
+    evaluated = r.i32();
+    model_time = r.f64();
+    persist::get(r, rng);
+    persist::get(r, ux);
+    persist::get(r, ys);
+    get(r, result);
+    model.load_state(r);
+    const std::uint64_t n = r.u64();
+    if (n != members.size())
+      throw std::runtime_error("aibo: checkpoint member-count mismatch");
+    for (auto& m : members) {
+      const std::string kind = r.str();
+      if (kind != m.kind)
+        throw std::runtime_error("aibo: checkpoint member-kind mismatch");
+      if (m.kind == "cmaes") {
+        static_cast<heuristics::CmaEs&>(*m.opt).load_state(r);
+      } else if (m.kind == "ga") {
+        const std::uint64_t npop = r.u64();
+        std::vector<std::pair<Vec, double>> pop;
+        pop.reserve(npop);
+        for (std::uint64_t i = 0; i < npop; ++i) {
+          Vec x;
+          persist::get(r, x);
+          const double y = r.f64();
+          pop.emplace_back(std::move(x), y);
+        }
+        static_cast<heuristics::GaContinuous&>(*m.opt).set_population(
+            std::move(pop));
+      } else if (m.kind == "spray") {
+        Vec x;
+        persist::get(r, x);
+        const double y = r.f64();
+        static_cast<GaussianSpray&>(*m.opt).set_best(std::move(x), y);
+      }
+    }
+  }
+};
+
+// ---- public API -------------------------------------------------------------
+
+Aibo::Aibo(Box box, AiboConfig config, std::uint64_t seed)
+    : box_(std::move(box)), config_(config), rng_(seed) {}
+
+Aibo::~Aibo() = default;
+
+void Aibo::start(const std::function<double(const Vec&)>& objective,
+                 int budget) {
+  impl_ = std::make_unique<Impl>(box_, config_, rng_);
+  impl_->start(objective, budget);
+}
+
+bool Aibo::step(const std::function<double(const Vec&)>& objective) {
+  if (!impl_) throw std::runtime_error("aibo: step() before start()");
+  return impl_->step(objective);
+}
+
+Result Aibo::finish() const {
+  if (!impl_) return Result{};
+  return impl_->finish();
+}
+
+void Aibo::save_state(persist::Writer& w) const {
+  if (!impl_) throw std::runtime_error("aibo: save_state before start()");
+  impl_->save_state(w);
+}
+
+void Aibo::load_state(persist::Reader& r) {
+  impl_ = std::make_unique<Impl>(box_, config_, rng_);
+  impl_->load_state(r);
+}
+
+Result Aibo::run(const std::function<double(const Vec&)>& objective,
+                 int budget) {
+  start(objective, budget);
+  while (step(objective)) {
+  }
+  return finish();
 }
 
 }  // namespace citroen::aibo
-

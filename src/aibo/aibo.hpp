@@ -28,6 +28,11 @@
 #include "heuristics/ga.hpp"
 #include "support/transforms.hpp"
 
+namespace citroen::persist {
+class Writer;  // persist/codec.hpp
+class Reader;
+}
+
 namespace citroen::aibo {
 
 struct AiboConfig {
@@ -84,15 +89,45 @@ struct Result {
 class Aibo {
  public:
   Aibo(heuristics::Box box, AiboConfig config, std::uint64_t seed);
+  ~Aibo();
 
   /// Minimise `objective` with a total budget of `budget` evaluations
-  /// (including the initial design).
+  /// (including the initial design). One-shot convenience over the
+  /// stepwise API below; byte-identical to driving it by hand.
   Result run(const std::function<double(const Vec&)>& objective, int budget);
 
+  // ---- stepwise API (crash-safe runners) --------------------------------
+
+  /// Run the initial design and set up the members and the surrogate.
+  void start(const std::function<double(const Vec&)>& objective, int budget);
+  /// One outer BO iteration (fit, propose a batch, evaluate, tell).
+  /// Returns false once the budget is exhausted.
+  bool step(const std::function<double(const Vec&)>& objective);
+  /// Result-so-far. Valid mid-run (interrupted runs report best-so-far).
+  Result finish() const;
+  bool started() const { return impl_ != nullptr; }
+
+  /// Serialize/restore the complete optimiser state — RNG stream, history,
+  /// GP hypers, member distributions (CMA-ES covariance and paths, GA
+  /// population, spray incumbent) — such that a restored optimiser
+  /// continues byte-identically. The objective itself is not serialized;
+  /// pass the same one to step() after load_state().
+  void save_state(persist::Writer& w) const;
+  void load_state(persist::Reader& r);
+
  private:
+  struct Impl;
+
   heuristics::Box box_;
   AiboConfig config_;
   Rng rng_;
+  std::unique_ptr<Impl> impl_;
 };
+
+/// Checkpoint/restore of (partial) results.
+void put(persist::Writer& w, const IterationDiag& d);
+void get(persist::Reader& r, IterationDiag& out);
+void put(persist::Writer& w, const Result& res);
+void get(persist::Reader& r, Result& out);
 
 }  // namespace citroen::aibo

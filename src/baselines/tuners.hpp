@@ -7,11 +7,17 @@
 // Fig. 5.6/5.7 comparisons are apples-to-apples.
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "sim/evaluator.hpp"
 #include "support/matrix.hpp"
+
+namespace citroen::persist {
+class Writer;  // persist/codec.hpp
+class Reader;
+}
 
 namespace citroen::baselines {
 
@@ -40,6 +46,39 @@ struct TuneTrace {
 /// Hot modules to tune (shared with CITROEN's selection rule).
 std::vector<std::string> select_hot_modules(
     const sim::Evaluator& eval, double threshold, int max_modules);
+
+/// Checkpoint/restore a (possibly partial) trace.
+void put(persist::Writer& w, const TuneTrace& t);
+void get(persist::Reader& r, TuneTrace& out);
+
+/// A baseline tuner advanced one unit at a time, so a crash-safe runner
+/// can checkpoint, honour a deadline, or stop between steps. The step
+/// granularity matches each algorithm's natural batch (random: one
+/// 16-candidate chunk; ga/des: one ask(4) batch; opentuner: one
+/// candidate; boca: the initial design, then one forest iteration), so
+/// driving step() to exhaustion is byte-identical to the corresponding
+/// one-shot run_* function.
+class ResumablePhaseTuner {
+ public:
+  virtual ~ResumablePhaseTuner() = default;
+  virtual const std::string& name() const = 0;
+  /// Advance one unit; false once the budget/attempt limits are spent.
+  virtual bool step() = 0;
+  /// Assemble the trace-so-far. Valid mid-run (interrupted runs still
+  /// report their best-so-far curve).
+  virtual TuneTrace finish() = 0;
+  /// Serialize/restore the complete tuner state (trace, RNG stream,
+  /// heuristic populations, surrogate training set) such that a restored
+  /// tuner continues byte-identically to one that never stopped.
+  virtual void save_state(persist::Writer& w) const = 0;
+  virtual void load_state(persist::Reader& r) = 0;
+};
+
+/// Factory over the five baselines: "random", "ga", "des", "opentuner"
+/// (ensemble) and "boca" (random-forest BO). Throws on unknown names.
+std::unique_ptr<ResumablePhaseTuner> make_phase_tuner(
+    const std::string& name, sim::Evaluator& eval,
+    const PhaseTunerConfig& config);
 
 TuneTrace run_random_search(sim::Evaluator& eval,
                             const PhaseTunerConfig& config);

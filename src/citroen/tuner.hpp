@@ -18,6 +18,7 @@
 //   5. measure only the winning candidate (one runtime measurement),
 //      update the model, the heuristics, and the allocation bandit.
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -105,16 +106,59 @@ class CitroenTuner {
   /// or the hardened `RobustEvaluator` (whose quarantine set the
   /// candidate generators consult via `is_quarantined`).
   CitroenTuner(sim::Evaluator& evaluator, CitroenConfig config);
+  ~CitroenTuner();
 
+  /// One-shot convenience: start() + step() to exhaustion + finish().
   TuneResult run();
+
+  // ---- stepwise API (crash-safe runners) --------------------------------
+  // The same search, advanced one unit at a time so a runner can
+  // checkpoint, honour a deadline, or stop between steps. run() is
+  // byte-identical to driving these by hand.
+
+  /// Reset to a fresh run (applies warm-start observations).
+  void start();
+  /// Advance one unit — one phase-1 random attempt or one phase-2
+  /// model-guided iteration. Returns false once the budget/iteration
+  /// limits are exhausted (the run is complete).
+  bool step();
+  /// Assemble the result from the current state. Idempotent and valid
+  /// mid-run, so an interrupted run still reports its best-so-far.
+  TuneResult finish() const;
+  bool started() const { return impl_ != nullptr; }
+
+  /// Serialize/restore the complete search state — RNG stream, per-module
+  /// heuristics, model training set, GP factorisation, transforms,
+  /// result-so-far — such that a restored tuner continues byte-identically
+  /// to one that never stopped. load_state() implies start().
+  void save_state(persist::Writer& w) const;
+  void load_state(persist::Reader& r);
+
+  /// Deadline-aware degradation hook: while the callback returns true,
+  /// full hyper-parameter refits are skipped (cheap refactor-only fits
+  /// keep running) so a run close to its wall-clock deadline still
+  /// finishes in-flight work. Never changes results when the callback
+  /// returns false throughout.
+  void set_skip_hyper_refits(std::function<bool()> skip) {
+    skip_hyper_refits_ = std::move(skip);
+  }
 
   /// Modules selected for tuning (after hot-module profiling).
   const std::vector<std::string>& tuned_modules() const { return modules_; }
 
  private:
+  struct Impl;
+
   sim::Evaluator& eval_;
   CitroenConfig config_;
   std::vector<std::string> modules_;
+  std::function<bool()> skip_hyper_refits_;
+  std::unique_ptr<Impl> impl_;
 };
+
+/// Serialization of a finished result (the `complete` checkpoint stores
+/// it so a resumed-but-finished run returns without recomputation).
+void put(persist::Writer& w, const TuneResult& r);
+void get(persist::Reader& r, TuneResult& out);
 
 }  // namespace citroen::core

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
+
+#include "persist/codec.hpp"
 
 namespace citroen::gp {
 
@@ -211,6 +214,42 @@ Vec GaussianProcess::lengthscales() const {
   for (std::size_t i = 0; i < dim_; ++i)
     out[i] = std::exp(kernel_.hypers().log_lengthscale[i]);
   return out;
+}
+
+void GaussianProcess::save_state(persist::Writer& w) const {
+  w.u64(dim_);
+  persist::put(w, kernel_.hypers().log_lengthscale);
+  w.f64(kernel_.hypers().log_signal);
+  w.f64(log_noise_);
+  w.f64(noise_var_);
+  persist::put(w, x_);
+  persist::put(w, y_);
+  persist::put(w, chol_);
+  persist::put(w, alpha_);
+  w.f64(lml_);
+  w.b(fallback_factor_);
+  w.i32(num_incremental_);
+  w.i32(num_full_);
+  w.b(config_.fit_hypers);
+}
+
+void GaussianProcess::load_state(persist::Reader& r) {
+  const std::uint64_t dim = r.u64();
+  if (dim != dim_)
+    throw std::runtime_error("gp: checkpoint dimensionality mismatch");
+  persist::get(r, kernel_.hypers().log_lengthscale);
+  kernel_.hypers().log_signal = r.f64();
+  log_noise_ = r.f64();
+  noise_var_ = r.f64();
+  persist::get(r, x_);
+  persist::get(r, y_);
+  persist::get(r, chol_);
+  persist::get(r, alpha_);
+  lml_ = r.f64();
+  fallback_factor_ = r.b();
+  num_incremental_ = r.i32();
+  num_full_ = r.i32();
+  config_.fit_hypers = r.b();
 }
 
 }  // namespace citroen::gp

@@ -10,6 +10,11 @@
 #include "gp/kernel.hpp"
 #include "support/matrix.hpp"
 
+namespace citroen::persist {
+class Writer;  // persist/codec.hpp
+class Reader;
+}
+
 namespace citroen::gp {
 
 struct GpConfig {
@@ -75,6 +80,15 @@ class GaussianProcess {
   /// Fit-path counters (observability for benches/tests).
   int num_incremental_fits() const { return num_incremental_; }
   int num_full_fits() const { return num_full_; }
+
+  /// Checkpoint/restore the exact fitted state: training set, hypers,
+  /// Cholesky factor and fit-path counters. The factor is stored
+  /// bit-for-bit — an incrementally-extended factor differs from a
+  /// from-scratch refit in the last ulps, so refitting on resume would
+  /// break byte-identical replay. Restoring into a GP of a different
+  /// dimensionality throws.
+  void save_state(persist::Writer& w) const;
+  void load_state(persist::Reader& r);
 
  private:
   double compute_lml_and_grad(Vec* grad) const;

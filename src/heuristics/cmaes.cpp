@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "persist/codec.hpp"
+
 namespace citroen::heuristics {
 
 CmaEs::CmaEs(Box box, CmaEsConfig config)
@@ -172,6 +174,66 @@ void CmaEs::update_distribution() {
   if (++evals_since_eigen_ >=
       std::max(1, static_cast<int>(n_) / 10)) {
     refresh_eigen();
+  }
+}
+
+void CmaEs::save_state(persist::Writer& w) const {
+  w.u64(n_);
+  persist::put(w, mean_);
+  w.f64(sigma_);
+  persist::put(w, c_);
+  persist::put(w, eig_vectors_);
+  persist::put(w, eig_sqrt_);
+  w.i32(evals_since_eigen_);
+  persist::put(w, p_sigma_);
+  persist::put(w, p_c_);
+  w.i32(generation_);
+  w.i32(lambda_);
+  w.i32(mu_);
+  persist::put(w, weights_);
+  w.f64(mu_w_);
+  w.f64(c_sigma_);
+  w.f64(d_sigma_);
+  w.f64(c_c_);
+  w.f64(c1_);
+  w.f64(c_mu_);
+  w.f64(chi_n_);
+  w.u64(buffer_.size());
+  for (const auto& [x, y] : buffer_) {
+    persist::put(w, x);
+    w.f64(y);
+  }
+}
+
+void CmaEs::load_state(persist::Reader& r) {
+  n_ = static_cast<std::size_t>(r.u64());
+  persist::get(r, mean_);
+  sigma_ = r.f64();
+  persist::get(r, c_);
+  persist::get(r, eig_vectors_);
+  persist::get(r, eig_sqrt_);
+  evals_since_eigen_ = r.i32();
+  persist::get(r, p_sigma_);
+  persist::get(r, p_c_);
+  generation_ = r.i32();
+  lambda_ = r.i32();
+  mu_ = r.i32();
+  persist::get(r, weights_);
+  mu_w_ = r.f64();
+  c_sigma_ = r.f64();
+  d_sigma_ = r.f64();
+  c_c_ = r.f64();
+  c1_ = r.f64();
+  c_mu_ = r.f64();
+  chi_n_ = r.f64();
+  const std::uint64_t nbuf = r.u64();
+  buffer_.clear();
+  buffer_.reserve(nbuf);
+  for (std::uint64_t i = 0; i < nbuf; ++i) {
+    Vec x;
+    persist::get(r, x);
+    const double y = r.f64();
+    buffer_.emplace_back(std::move(x), y);
   }
 }
 

@@ -6,6 +6,11 @@
 
 #include "heuristics/optimizer.hpp"
 
+namespace citroen::persist {
+class Writer;  // persist/codec.hpp
+class Reader;
+}
+
 namespace citroen::heuristics {
 
 struct CmaEsConfig {
@@ -23,6 +28,13 @@ class CmaEs final : public ContinuousOptimizer {
   void tell(const Vec& x, double y) override;
 
   double sigma() const { return sigma_; }
+
+  /// Checkpoint/restore the full distribution state (mean, covariance,
+  /// eigendecomposition, evolution paths, strategy constants and the
+  /// partial generation buffer) bit-for-bit, so a restored optimiser
+  /// continues byte-identically. The box and config come from the ctor.
+  void save_state(persist::Writer& w) const;
+  void load_state(persist::Reader& r);
 
  private:
   void setup_constants();

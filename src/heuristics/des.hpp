@@ -25,6 +25,12 @@ class DesSequence final : public SequenceOptimizer {
   const Sequence& incumbent() const { return best_; }
   double incumbent_value() const { return best_y_; }
 
+  /// Restore checkpointed state (crash-safe resume).
+  void set_incumbent(Sequence best, double y) {
+    best_ = std::move(best);
+    best_y_ = y;
+  }
+
  private:
   int num_passes_;
   int max_len_;

@@ -30,6 +30,14 @@ class GaContinuous final : public ContinuousOptimizer {
   /// Mean pairwise distance of the population (Fig. 4.15 diversity).
   double population_diversity() const;
 
+  /// Checkpoint access (crash-safe resume).
+  const std::vector<std::pair<Vec, double>>& population() const {
+    return pop_;
+  }
+  void set_population(std::vector<std::pair<Vec, double>> pop) {
+    pop_ = std::move(pop);
+  }
+
  private:
   Vec make_child(Rng& rng);
 
@@ -52,6 +60,14 @@ class GaSequence final : public SequenceOptimizer {
   void init(const std::vector<Sequence>& xs, const Vec& ys) override;
   std::vector<Sequence> ask(int k, Rng& rng) override;
   void tell(const Sequence& x, double y) override;
+
+  /// Checkpoint access (crash-safe resume).
+  const std::vector<std::pair<Sequence, double>>& population() const {
+    return pop_;
+  }
+  void set_population(std::vector<std::pair<Sequence, double>> pop) {
+    pop_ = std::move(pop);
+  }
 
  private:
   int num_passes_;

@@ -35,6 +35,14 @@ class StatsRegistry {
     return it == counters_.end() ? 0 : it->second;
   }
 
+  /// Store a counter unconditionally, zero included. Deserialisation uses
+  /// this so a restored registry reproduces the original byte-for-byte —
+  /// `merge` can legitimately leave zero-valued entries that `add`'s
+  /// nonzero filter would drop.
+  void set(const std::string& key, std::int64_t value) {
+    counters_[key] = value;
+  }
+
   const std::map<std::string, std::int64_t>& counters() const {
     return counters_;
   }

@@ -1,0 +1,98 @@
+#include "persist/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "persist/codec.hpp"
+
+namespace citroen::persist {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'T', 'R', 'N', 'C', 'K', 'P', '1'};
+constexpr std::size_t kHeaderBytes = sizeof(kMagic) + 8 + 4;
+
+std::uint32_t read_le32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= std::uint32_t{static_cast<unsigned char>(p[i])} << (8 * i);
+  return v;
+}
+
+std::uint64_t read_le64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= std::uint64_t{static_cast<unsigned char>(p[i])} << (8 * i);
+  return v;
+}
+
+[[noreturn]] void io_fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error("checkpoint " + path + ": " + what + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+void write_checkpoint(const std::string& path, const std::string& payload) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) io_fail("open failed", tmp);
+
+  Writer header;
+  header.bytes(kMagic, sizeof(kMagic));
+  header.u64(payload.size());
+  header.u32(crc32(payload));
+  std::string bytes = header.take();
+  bytes += payload;
+
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      io_fail("write failed", tmp);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    io_fail("fsync failed", tmp);
+  }
+  ::close(fd);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    io_fail("rename failed", path);
+}
+
+std::optional<std::string> read_checkpoint(const std::string& path,
+                                           std::string* note) {
+  auto report = [&](const std::string& why) {
+    if (note) *note = "checkpoint " + path + ": " + why;
+    return std::nullopt;
+  };
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return report("no file");
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (bytes.size() < kHeaderBytes) return report("truncated header, ignoring");
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
+    return report("bad magic, ignoring");
+  const std::uint64_t len = read_le64(bytes.data() + sizeof(kMagic));
+  const std::uint32_t want_crc = read_le32(bytes.data() + sizeof(kMagic) + 8);
+  if (bytes.size() < kHeaderBytes + len)
+    return report("truncated payload, ignoring");
+  std::string payload = bytes.substr(kHeaderBytes, len);
+  if (crc32(payload) != want_crc)
+    return report("payload checksum mismatch, ignoring");
+  if (note) *note = "checkpoint " + path + ": loaded " +
+                    std::to_string(len) + " bytes";
+  return payload;
+}
+
+}  // namespace citroen::persist

@@ -1,0 +1,27 @@
+#pragma once
+// Atomic checkpoint files: the full serialized run state written as
+// tmp + fsync + rename, so a crash mid-checkpoint leaves the previous
+// checkpoint intact. A checkpoint that fails its CRC or magic check is
+// reported as absent (with a note), never fatal — resume then falls back
+// to replaying the journal from the start.
+//
+// File layout: [8-byte magic "CTRNCKP1"][u64 payload_len]
+//              [u32 crc32(payload)][payload]
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace citroen::persist {
+
+/// Atomically replace `path` with a checkpoint holding `payload`.
+/// Throws std::runtime_error on I/O failure.
+void write_checkpoint(const std::string& path, const std::string& payload);
+
+/// Read and validate a checkpoint. Returns nullopt when the file is
+/// missing, truncated, or corrupt; `note` (optional) receives a log line
+/// explaining why.
+std::optional<std::string> read_checkpoint(const std::string& path,
+                                           std::string* note = nullptr);
+
+}  // namespace citroen::persist

@@ -1,0 +1,264 @@
+#pragma once
+// Binary serialization primitives for the crash-safety layer: a little-
+// endian append-only Writer, a bounds-checked Reader, and CRC32.
+//
+// Everything the journal and checkpoints store goes through this codec.
+// Doubles are encoded as their IEEE-754 bit pattern, so a value survives
+// a save/load round trip bit-for-bit — the property the byte-identical
+// resume guarantee rests on. Unordered containers are written sorted by
+// key so the same state always produces the same bytes.
+//
+// Header-only on purpose: any subsystem (sim, gp, heuristics, tuners) can
+// implement `save_state`/`load_state` against it without linking the
+// persist library.
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "support/matrix.hpp"
+#include "support/rng.hpp"
+
+namespace citroen::persist {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), the checksum guarding
+/// every journal record and checkpoint payload.
+inline std::uint32_t crc32(const void* data, std::size_t n,
+                           std::uint32_t seed = 0) {
+  static const auto table = [] {
+    std::vector<std::uint32_t> t(256);
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = ~seed;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i)
+    crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  return ~crc;
+}
+
+inline std::uint32_t crc32(const std::string& s, std::uint32_t seed = 0) {
+  return crc32(s.data(), s.size(), seed);
+}
+
+/// Append-only little-endian encoder.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void b(bool v) { u8(v ? 1 : 0); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  void bytes(const void* data, std::size_t n) {
+    buf_.append(static_cast<const char*>(data), n);
+  }
+  void str(const std::string& s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+
+  const std::string& data() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked decoder over a borrowed byte range. Throws
+/// `std::runtime_error` on any overrun — a corrupt or version-skewed
+/// payload surfaces as a recoverable error, never undefined behaviour.
+class Reader {
+ public:
+  Reader(const char* data, std::size_t size) : data_(data), size_(size) {}
+  explicit Reader(const std::string& s) : Reader(s.data(), s.size()) {}
+  /// The reader borrows the buffer; a temporary would dangle immediately.
+  explicit Reader(std::string&&) = delete;
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  bool b() { return u8() != 0; }
+
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{u8()} << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{u8()} << (8 * i);
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  std::string str() {
+    const std::uint64_t n = u64();
+    need(n);
+    std::string s(data_ + pos_, static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+  }
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool at_end() const { return pos_ == size_; }
+
+ private:
+  void need(std::uint64_t n) const {
+    if (n > size_ - pos_)
+      throw std::runtime_error("persist: truncated payload");
+  }
+
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+// ---- container helpers ----------------------------------------------------
+
+inline void put(Writer& w, const Vec& v) {
+  w.u64(v.size());
+  for (double x : v) w.f64(x);
+}
+
+inline void get(Reader& r, Vec& v) {
+  v.resize(static_cast<std::size_t>(r.u64()));
+  for (double& x : v) x = r.f64();
+}
+
+inline void put(Writer& w, const std::vector<Vec>& vs) {
+  w.u64(vs.size());
+  for (const auto& v : vs) put(w, v);
+}
+
+inline void get(Reader& r, std::vector<Vec>& vs) {
+  vs.resize(static_cast<std::size_t>(r.u64()));
+  for (auto& v : vs) get(r, v);
+}
+
+inline void put(Writer& w, const std::vector<int>& v) {
+  w.u64(v.size());
+  for (int x : v) w.i32(x);
+}
+
+inline void get(Reader& r, std::vector<int>& v) {
+  v.resize(static_cast<std::size_t>(r.u64()));
+  for (int& x : v) x = r.i32();
+}
+
+inline void put(Writer& w, const std::vector<std::string>& v) {
+  w.u64(v.size());
+  for (const auto& s : v) w.str(s);
+}
+
+inline void get(Reader& r, std::vector<std::string>& v) {
+  v.resize(static_cast<std::size_t>(r.u64()));
+  for (auto& s : v) s = r.str();
+}
+
+inline void put(Writer& w, const std::vector<std::uint64_t>& v) {
+  w.u64(v.size());
+  for (std::uint64_t x : v) w.u64(x);
+}
+
+inline void get(Reader& r, std::vector<std::uint64_t>& v) {
+  v.resize(static_cast<std::size_t>(r.u64()));
+  for (std::uint64_t& x : v) x = r.u64();
+}
+
+template <class V, class PutV>
+void put_map(Writer& w, const std::map<std::string, V>& m, PutV putv) {
+  w.u64(m.size());
+  for (const auto& [k, v] : m) {
+    w.str(k);
+    putv(w, v);
+  }
+}
+
+template <class V, class GetV>
+void get_map(Reader& r, std::map<std::string, V>& m, GetV getv) {
+  m.clear();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string k = r.str();
+    m.emplace(std::move(k), getv(r));
+  }
+}
+
+inline void put(Writer& w, const std::map<std::string, int>& m) {
+  put_map(w, m, [](Writer& ww, int v) { ww.i32(v); });
+}
+
+inline void get(Reader& r, std::map<std::string, int>& m) {
+  get_map(r, m, [](Reader& rr) { return rr.i32(); });
+}
+
+inline void put(Writer& w, const std::map<std::string, std::int64_t>& m) {
+  put_map(w, m, [](Writer& ww, std::int64_t v) { ww.i64(v); });
+}
+
+inline void get(Reader& r, std::map<std::string, std::int64_t>& m) {
+  get_map(r, m, [](Reader& rr) { return rr.i64(); });
+}
+
+inline void put(Writer& w, const Matrix& m) {
+  w.u64(m.rows());
+  w.u64(m.cols());
+  for (double x : m.data()) w.f64(x);
+}
+
+inline void get(Reader& r, Matrix& m) {
+  const auto rows = static_cast<std::size_t>(r.u64());
+  const auto cols = static_cast<std::size_t>(r.u64());
+  m = Matrix(rows, cols);
+  for (double& x : m.data()) x = r.f64();
+}
+
+inline void put(Writer& w, const Cholesky& c) {
+  put(w, c.L);
+  w.f64(c.jitter);
+  w.b(c.ok);
+}
+
+inline void get(Reader& r, Cholesky& c) {
+  get(r, c.L);
+  c.jitter = r.f64();
+  c.ok = r.b();
+}
+
+inline void put(Writer& w, const Rng& rng) {
+  const Rng::State st = rng.state();
+  for (std::uint64_t s : st.s) w.u64(s);
+  w.f64(st.spare);
+  w.b(st.has_spare);
+}
+
+inline void get(Reader& r, Rng& rng) {
+  Rng::State st{};
+  for (std::uint64_t& s : st.s) s = r.u64();
+  st.spare = r.f64();
+  st.has_spare = r.b();
+  rng.set_state(st);
+}
+
+}  // namespace citroen::persist

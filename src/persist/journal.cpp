@@ -1,0 +1,158 @@
+#include "persist/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "persist/codec.hpp"
+
+namespace citroen::persist {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'T', 'R', 'N', 'J', 'R', 'N', '1'};
+constexpr std::size_t kHeaderBytes = kJournalHeaderBytes;
+static_assert(sizeof(kMagic) == kJournalHeaderBytes);
+/// Upper bound on a single record's payload; anything larger in the
+/// length field is framing corruption, not a real record.
+constexpr std::uint64_t kMaxRecordBytes = std::uint64_t{1} << 30;
+
+std::uint32_t read_le32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= std::uint32_t{static_cast<unsigned char>(p[i])} << (8 * i);
+  return v;
+}
+
+void write_le32(char* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<char>(v >> (8 * i));
+}
+
+[[noreturn]] void io_fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error("journal " + path + ": " + what + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+JournalRecovery recover_journal(const std::string& path) {
+  JournalRecovery out;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    out.note = "journal " + path + ": no existing file, starting fresh";
+    return out;
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  out.file_bytes = bytes.size();
+  if (bytes.empty()) {
+    out.note = "journal " + path + ": zero-length file, starting fresh";
+    return out;
+  }
+  if (bytes.size() < kHeaderBytes ||
+      std::memcmp(bytes.data(), kMagic, kHeaderBytes) != 0) {
+    out.truncated = true;
+    out.note = "journal " + path +
+               ": unrecognized header, discarding all " +
+               std::to_string(bytes.size()) + " bytes (truncating at offset 0)";
+    return out;
+  }
+
+  std::size_t pos = kHeaderBytes;
+  out.valid_bytes = pos;
+  while (pos + 8 <= bytes.size()) {
+    const std::uint64_t len = read_le32(bytes.data() + pos);
+    const std::uint32_t want_crc = read_le32(bytes.data() + pos + 4);
+    if (len > kMaxRecordBytes || pos + 8 + len > bytes.size()) break;
+    const char* payload = bytes.data() + pos + 8;
+    if (crc32(payload, static_cast<std::size_t>(len)) != want_crc) break;
+    out.records.emplace_back(payload, static_cast<std::size_t>(len));
+    pos += 8 + static_cast<std::size_t>(len);
+    out.valid_bytes = pos;
+  }
+  if (out.valid_bytes < out.file_bytes) {
+    out.truncated = true;
+    out.note = "journal " + path + ": torn/corrupt record after " +
+               std::to_string(out.records.size()) +
+               " valid records, truncating " +
+               std::to_string(out.file_bytes - out.valid_bytes) +
+               " bytes at offset " + std::to_string(out.valid_bytes);
+  }
+  return out;
+}
+
+JournalWriter::JournalWriter(const std::string& path, JournalConfig config,
+                             std::uint64_t start_bytes)
+    : config_(config) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd_ < 0) io_fail("open failed", path);
+  // Drop any corrupt tail found by recovery; a fresh or reset file gets
+  // the header (re)written.
+  if (start_bytes < kHeaderBytes) start_bytes = 0;
+  if (::ftruncate(fd_, static_cast<off_t>(start_bytes)) != 0)
+    io_fail("ftruncate failed", path);
+  if (::lseek(fd_, 0, SEEK_END) < 0) io_fail("lseek failed", path);
+  if (start_bytes == 0) {
+    if (::write(fd_, kMagic, kHeaderBytes) !=
+        static_cast<ssize_t>(kHeaderBytes))
+      io_fail("header write failed", path);
+  }
+}
+
+JournalWriter::~JournalWriter() {
+  if (fd_ >= 0) {
+    try {
+      write_out();
+    } catch (...) {
+      // destructor must not throw; an undrained tail is a torn journal,
+      // which recovery handles
+    }
+    ::fsync(fd_);
+    ::close(fd_);
+  }
+}
+
+void JournalWriter::append(const std::string& payload) {
+  char frame[8];
+  write_le32(frame, static_cast<std::uint32_t>(payload.size()));
+  write_le32(frame + 4, crc32(payload));
+  buf_.append(frame, sizeof(frame));
+  buf_ += payload;
+  ++appended_;
+  if (++unsynced_ >= std::max(1, config_.fsync_every)) {
+    write_out();
+    // fdatasync suffices mid-run: it flushes the data and the file size,
+    // which is all recovery needs. flush() pays for the full fsync at
+    // graceful-shutdown and checkpoint barriers.
+    ::fdatasync(fd_);
+    unsynced_ = 0;
+  }
+}
+
+void JournalWriter::write_out() {
+  std::size_t off = 0;
+  while (off < buf_.size()) {
+    const ssize_t n = ::write(fd_, buf_.data() + off, buf_.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      io_fail("append failed", "<open journal>");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  buf_.clear();
+}
+
+void JournalWriter::flush() {
+  if (fd_ >= 0) {
+    write_out();
+    ::fsync(fd_);
+    unsynced_ = 0;
+  }
+}
+
+}  // namespace citroen::persist

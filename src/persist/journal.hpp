@@ -1,0 +1,83 @@
+#pragma once
+// Write-ahead evaluation journal: an append-only file of length-prefixed,
+// CRC-checksummed records, fsync'd on a configurable cadence.
+//
+// File layout:
+//   [8-byte magic "CTRNJRN1"]
+//   repeated records: [u32 payload_len][u32 crc32(payload)][payload]
+//
+// A process killed mid-append leaves a torn record at the tail. Recovery
+// (`recover_journal`) walks the file record by record, stops at the first
+// record whose framing or checksum does not hold, and reports the byte
+// offset of the last good record's end; opening the journal for append
+// truncates the file there instead of aborting the run. Anything before
+// that offset is trusted, anything after is discarded — the write-ahead
+// discipline (records are appended before the in-memory state advances)
+// makes the truncated journal a consistent prefix of the run.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace citroen::persist {
+
+/// Size of the magic header; record frames start at this offset.
+inline constexpr std::size_t kJournalHeaderBytes = 8;
+
+struct JournalConfig {
+  /// fsync the journal file every this many appended records (and on
+  /// every explicit flush). 1 = maximum durability, higher amortises the
+  /// syscall over a batch of evaluations.
+  int fsync_every = 256;
+};
+
+/// Result of scanning a journal file for valid records.
+struct JournalRecovery {
+  std::vector<std::string> records;  ///< valid payloads, in append order
+  std::uint64_t valid_bytes = 0;     ///< file offset of the first bad byte
+  std::uint64_t file_bytes = 0;      ///< size of the file as scanned
+  bool truncated = false;            ///< a torn/corrupt tail was dropped
+  std::string note;  ///< human-readable recovery log line (empty if clean)
+};
+
+/// Scan `path` and return every record up to the first torn or corrupt
+/// one. Never throws on corruption: a missing file, a zero-length file, a
+/// garbage header and a torn tail all come back as a (possibly empty)
+/// record list plus a note naming the byte offset where trust ended.
+JournalRecovery recover_journal(const std::string& path);
+
+/// Appender. Creating one truncates the file to `start_bytes` (the
+/// recovery's `valid_bytes`, dropping any corrupt tail) — or writes a
+/// fresh header when the file is new or empty — and appends after that.
+class JournalWriter {
+ public:
+  JournalWriter(const std::string& path, JournalConfig config,
+                std::uint64_t start_bytes);
+  ~JournalWriter();
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Append one record (framing + checksum added here). Honors the fsync
+  /// cadence; call `flush()` to force durability at a boundary.
+  void append(const std::string& payload);
+
+  /// Flush buffered appends and fsync the file.
+  void flush();
+
+  std::uint64_t records_appended() const { return appended_; }
+
+ private:
+  void write_out();  ///< drain buf_ to the fd (EINTR-safe)
+
+  int fd_ = -1;
+  JournalConfig config_;
+  std::uint64_t appended_ = 0;
+  int unsynced_ = 0;
+  /// Framed records accumulated in userspace between sync points. Data is
+  /// only guaranteed durable at sync points anyway, so records lost from
+  /// this buffer on a hard kill are exactly the ones resume re-executes.
+  std::string buf_;
+};
+
+}  // namespace citroen::persist

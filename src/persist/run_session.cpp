@@ -1,0 +1,129 @@
+#include "persist/run_session.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "persist/checkpoint.hpp"
+#include "persist/codec.hpp"
+
+namespace citroen::persist {
+
+RunSession::RunSession(const SessionConfig& config,
+                       const std::string& run_name)
+    : config_(config), run_name_(run_name) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(config_.dir, ec);
+  journal_path_ = config_.dir + "/" + run_name_ + ".journal";
+  checkpoint_path_ = config_.dir + "/" + run_name_ + ".ckpt";
+
+  if (!config_.resume) {
+    fs::remove(journal_path_, ec);
+    fs::remove(checkpoint_path_, ec);
+    return;
+  }
+
+  JournalRecovery rec = recover_journal(journal_path_);
+  records_ = std::move(rec.records);
+  recovered_valid_bytes_ = rec.valid_bytes;
+  recovery_note_ = rec.note;
+
+  std::string note;
+  if (auto payload = read_checkpoint(checkpoint_path_, &note)) {
+    try {
+      Reader r(*payload);
+      complete_ = r.b();
+      state_records_ = r.u64();
+      state_ = payload->substr(payload->size() - r.remaining());
+      has_state_ = true;
+    } catch (const std::exception& e) {
+      // A CRC-valid checkpoint with a short body is a version skew or a
+      // writer bug; treat like a missing checkpoint and replay in full.
+      complete_ = false;
+      has_state_ = false;
+      state_.clear();
+      state_records_ = 0;
+      note = "checkpoint " + checkpoint_path_ + ": undecodable (" + e.what() +
+             "), ignoring";
+    }
+  }
+  checkpoint_note_ = note;
+  // Records 0..K-1 are folded into the checkpointed state; the cursor
+  // starts at K and re-executes only the tail.
+  next_index_ = state_records_;
+  last_checkpoint_records_ = state_records_;
+}
+
+RunSession::~RunSession() = default;
+
+std::uint64_t RunSession::record_offset(std::uint64_t record_index) const {
+  std::uint64_t off = kJournalHeaderBytes;
+  for (std::uint64_t i = 0; i < record_index; ++i)
+    off += 8 + records_[i].size();
+  return off;
+}
+
+void RunSession::open_writer_at(std::uint64_t record_index) {
+  // Appending at the recovered end reuses recovery's byte count (which is
+  // 0 for a garbage-header file, forcing a fresh header); truncating at a
+  // diverged record needs the computed frame offset.
+  const std::uint64_t start = record_index >= records_.size()
+                                  ? recovered_valid_bytes_
+                                  : record_offset(record_index);
+  writer_ = std::make_unique<JournalWriter>(
+      journal_path_, JournalConfig{config_.fsync_every}, start);
+}
+
+void RunSession::push(const std::string& payload) {
+  if (!diverged_ && next_index_ < records_.size()) {
+    if (payload != records_[next_index_]) {
+      std::fprintf(stderr,
+                   "persist: %s: replay diverged at record %llu — keeping the "
+                   "recomputed result and truncating the stale journal tail "
+                   "(%llu records dropped)\n",
+                   run_name_.c_str(),
+                   static_cast<unsigned long long>(next_index_),
+                   static_cast<unsigned long long>(records_.size() -
+                                                   next_index_));
+      diverged_ = true;
+      open_writer_at(next_index_);
+      writer_->append(payload);
+    }
+  } else {
+    if (!writer_) open_writer_at(records_.size());
+    writer_->append(payload);
+  }
+  const std::uint64_t index = next_index_++;
+  if (config_.kill_at >= 0 && run_name_ == config_.kill_run &&
+      static_cast<std::int64_t>(index) == config_.kill_at) {
+    // Test kill-switch: die with the record durable but the checkpoint
+    // stale, like a power cut between a measurement and the next
+    // checkpoint. No destructors run; sibling runs' journals stay torn.
+    flush();
+    std::_Exit(kExitKilled);
+  }
+}
+
+void RunSession::flush() {
+  if (writer_) writer_->flush();
+}
+
+bool RunSession::checkpoint_due() const {
+  return next_index_ - last_checkpoint_records_ >=
+         static_cast<std::uint64_t>(std::max(1, config_.checkpoint_every));
+}
+
+void RunSession::save_checkpoint(const std::string& state_blob,
+                                 bool complete) {
+  flush();  // the checkpoint must never claim records the journal lost
+  Writer w;
+  w.b(complete);
+  w.u64(next_index_);
+  w.bytes(state_blob.data(), state_blob.size());
+  write_checkpoint(checkpoint_path_, w.data());
+  last_checkpoint_records_ = next_index_;
+}
+
+}  // namespace citroen::persist

@@ -7,6 +7,7 @@
 
 #include "ir/printer.hpp"
 #include "ir/verifier.hpp"
+#include "persist/codec.hpp"
 #include "sim/faults.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
@@ -123,6 +124,8 @@ ProgramEvaluator::ProgramEvaluator(ir::Program base, ir::CostModel machine,
   o3_module_cycles_ = o3.module_cycles;
   for (const auto& m : o3_built_.modules)
     o3_module_print_hash_[m.name] = fnv_string(ir::print_module(m));
+  for (const auto& m : base_.modules)
+    module_salt_[m.name] = fnv_string(ir::print_module(m));
 }
 
 void ProgramEvaluator::set_exec_limits(const ir::ExecLimits& limits) {
@@ -142,7 +145,13 @@ void ProgramEvaluator::set_fault_injector(const FaultInjector* injector) {
 
 void ProgramEvaluator::set_prefix_cache_config(
     const PrefixCacheConfig& config) {
-  build_cache_.configure(config);
+  bc().configure(config);
+  measure_memo_.clear();
+}
+
+void ProgramEvaluator::set_shared_prefix_cache(
+    std::shared_ptr<PrefixCache> cache) {
+  shared_cache_ = std::move(cache);
   measure_memo_.clear();
 }
 
@@ -242,7 +251,7 @@ ir::Program ProgramEvaluator::build(
       if (failure_out) *failure_out = FailureKind::Crash;
       return built;
     }
-    const auto mb = build_cache_.build(m, ids);
+    const auto mb = bc().build(m, ids, module_salt(m.name));
     if (!mb->ok) {
       if (mb->crashed) {
         if (err) *err = "pass pipeline failed: " + mb->error;
@@ -407,7 +416,7 @@ EvalOutcome ProgramEvaluator::evaluate(const SequenceAssignment& seqs) {
 
 void ProgramEvaluator::prefetch(std::span<const SequenceAssignment> batch,
                                 bool with_measure) {
-  if (batch.empty() || !build_cache_.enabled()) return;
+  if (batch.empty() || !bc().enabled()) return;
   ThreadPool& pool = pool_ ? *pool_ : ThreadPool::global();
 
   // Stage 1: compile every unique (module, sequence) job concurrently
@@ -418,6 +427,7 @@ void ProgramEvaluator::prefetch(std::span<const SequenceAssignment> batch,
   struct BuildJob {
     const ir::Module* module;
     std::vector<passes::PassId> ids;
+    std::uint64_t salt = 0;
   };
   std::vector<BuildJob> jobs;
   std::unordered_set<std::uint64_t> seen_jobs;
@@ -432,14 +442,14 @@ void ProgramEvaluator::prefetch(std::span<const SequenceAssignment> batch,
         continue;  // serial path reports the identical error itself
       }
       if (!seen_jobs.insert(build_job_key(name, ids)).second) continue;
-      jobs.push_back(BuildJob{m, std::move(ids)});
+      jobs.push_back(BuildJob{m, std::move(ids), module_salt(name)});
     }
   }
   std::mutex acct_mu;
   double build_secs = 0.0;
   pool.parallel_for(jobs.size(), [&](std::size_t i) {
     const Stopwatch sw;
-    build_cache_.build(*jobs[i].module, jobs[i].ids);
+    bc().build(*jobs[i].module, jobs[i].ids, jobs[i].salt);
     const double s = sw.seconds();
     const std::lock_guard<std::mutex> lock(acct_mu);
     build_secs += s;
@@ -481,7 +491,7 @@ void ProgramEvaluator::prefetch(std::span<const SequenceAssignment> batch,
         ok = false;
         break;
       }
-      const auto mb = build_cache_.build(m, ids);
+      const auto mb = bc().build(m, ids, module_salt(m.name));
       if (!mb->ok) {
         ok = false;
         break;
@@ -535,6 +545,90 @@ std::vector<CompileOutcome> Evaluator::compile_batch(
   out.reserve(batch.size());
   for (const auto& seqs : batch) out.push_back(compile(seqs, keep_program));
   return out;
+}
+
+// ---- serialization (persist/codec.hpp) ------------------------------------
+
+void put(persist::Writer& w, const SequenceAssignment& a) {
+  w.u64(a.size());
+  for (const auto& [module, seq] : a) {
+    w.str(module);
+    persist::put(w, seq);
+  }
+}
+
+void get(persist::Reader& r, SequenceAssignment& a) {
+  a.clear();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string module = r.str();
+    persist::get(r, a[module]);
+  }
+}
+
+void put(persist::Writer& w, const EvalOutcome& o) {
+  w.b(o.valid);
+  w.str(o.why_invalid);
+  w.u8(static_cast<std::uint8_t>(o.failure));
+  w.b(o.transient);
+  w.f64(o.cycles);
+  w.f64(o.speedup);
+  w.b(o.cache_hit);
+  w.i32(o.attempts);
+  w.u64(o.binary_hash);
+  persist::put(w, o.stats.counters());
+  w.u64(o.code_size);
+}
+
+void get(persist::Reader& r, EvalOutcome& o) {
+  o.valid = r.b();
+  o.why_invalid = r.str();
+  o.failure = static_cast<FailureKind>(r.u8());
+  o.transient = r.b();
+  o.cycles = r.f64();
+  o.speedup = r.f64();
+  o.cache_hit = r.b();
+  o.attempts = r.i32();
+  o.binary_hash = r.u64();
+  std::map<std::string, std::int64_t> counters;
+  persist::get(r, counters);
+  o.stats.clear();
+  // set(), not add(): merge() can legitimately leave zero-valued counters
+  // and the restored registry must reproduce the original byte-for-byte.
+  for (const auto& [k, v] : counters) o.stats.set(k, v);
+  o.code_size = static_cast<std::size_t>(r.u64());
+}
+
+void ProgramEvaluator::save_runtime_state(persist::Writer& w) const {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(cache_.size());
+  for (const auto& [h, _] : cache_) keys.push_back(h);
+  std::sort(keys.begin(), keys.end());
+  w.u64(keys.size());
+  for (const std::uint64_t h : keys) {
+    w.u64(h);
+    put(w, cache_.at(h));
+  }
+  w.f64(compile_seconds_);
+  w.f64(measure_seconds_);
+  w.i32(num_compiles_);
+  w.i32(num_measurements_);
+  w.i32(num_cache_hits_);
+}
+
+void ProgramEvaluator::load_runtime_state(persist::Reader& r) {
+  cache_.clear();
+  measure_memo_.clear();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t h = r.u64();
+    get(r, cache_[h]);
+  }
+  compile_seconds_ = r.f64();
+  measure_seconds_ = r.f64();
+  num_compiles_ = r.i32();
+  num_measurements_ = r.i32();
+  num_cache_hits_ = r.i32();
 }
 
 }  // namespace citroen::sim

@@ -44,6 +44,11 @@ namespace citroen {
 class ThreadPool;  // support/thread_pool.hpp
 }
 
+namespace citroen::persist {
+class Writer;  // persist/codec.hpp
+class Reader;
+}
+
 namespace citroen::sim {
 
 class FaultInjector;  // sim/faults.hpp
@@ -197,9 +202,18 @@ class ProgramEvaluator : public Evaluator {
 
   /// Reconfigure the pipeline-prefix cache (byte budget 0 disables it).
   /// Drops cached intermediate builds and measurement memos; evaluation
-  /// results are unaffected.
+  /// results are unaffected. Applies to the shared cache when one is
+  /// attached.
   void set_prefix_cache_config(const PrefixCacheConfig& config);
-  PrefixCacheStats prefix_cache_stats() const { return build_cache_.stats(); }
+  PrefixCacheStats prefix_cache_stats() const { return bc().stats(); }
+
+  /// Route module builds through a cache shared with other evaluators
+  /// (nullptr detaches, reverting to the private cache). Safe for
+  /// results at any thread count — the cache is pure memoization of pure
+  /// pass pipelines, and keys carry a per-module content hash so
+  /// same-named modules from different programs never alias. Drops this
+  /// evaluator's measurement memos.
+  void set_shared_prefix_cache(std::shared_ptr<PrefixCache> cache);
 
   /// Fraction of -O3 runtime attributed to each module, descending.
   /// This is the `perf`-based hot-module profile of Sec. 5.3.1.
@@ -236,6 +250,14 @@ class ProgramEvaluator : public Evaluator {
   int num_compiles() const override { return num_compiles_; }
   int num_measurements() const override { return num_measurements_; }
   int num_cache_hits() const override { return num_cache_hits_; }
+
+  // ---- checkpointing (persist/) -----------------------------------------
+  /// Serialize the order-sensitive runtime state: the identical-binary
+  /// cache (whose hits decide what counts against a tuner's budget) and
+  /// the accounting counters. Pure memos (prefix cache, measurement
+  /// memos) are deliberately excluded — results do not depend on them.
+  void save_runtime_state(persist::Writer& w) const;
+  void load_runtime_state(persist::Reader& r);
 
  private:
   ir::Program build(const SequenceAssignment& seqs,
@@ -277,7 +299,20 @@ class ProgramEvaluator : public Evaluator {
   /// binary hash when an untuned module is reused.
   std::unordered_map<std::string, std::uint64_t> o3_module_print_hash_;
 
+  /// The active build cache: the shared one when attached, else private.
+  PrefixCache& bc() const {
+    return shared_cache_ ? *shared_cache_ : build_cache_;
+  }
+  /// Content-hash salt for a module's prefix-cache keys.
+  std::uint64_t module_salt(const std::string& name) const {
+    const auto it = module_salt_.find(name);
+    return it == module_salt_.end() ? 0 : it->second;
+  }
+
   mutable PrefixCache build_cache_;
+  std::shared_ptr<PrefixCache> shared_cache_;
+  /// Print-hash of each base (-O0) module, mixed into prefix-cache keys.
+  std::unordered_map<std::string, std::uint64_t> module_salt_;
   std::unordered_map<std::uint64_t, MeasureMemo> measure_memo_;
   ThreadPool* pool_ = nullptr;
 
@@ -294,5 +329,14 @@ std::uint64_t program_hash(const ir::Program& p);
 
 /// Stable signature of a sequence assignment (quarantine keying).
 std::uint64_t assignment_signature(const SequenceAssignment& seqs);
+
+// ---- serialization (persist/codec.hpp) ------------------------------------
+// The journal stores every evaluation as (assignment, outcome); these
+// encoders are bit-exact (doubles as IEEE-754 bit patterns) so a record
+// replayed after a crash byte-compares against the original.
+void put(persist::Writer& w, const SequenceAssignment& a);
+void get(persist::Reader& r, SequenceAssignment& a);
+void put(persist::Writer& w, const EvalOutcome& o);
+void get(persist::Reader& r, EvalOutcome& o);
 
 }  // namespace citroen::sim

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "persist/codec.hpp"
+
 namespace citroen::sim {
 
 namespace {
@@ -128,6 +130,27 @@ double FaultInjector::perturb(double cycles, std::uint64_t binary_hash,
     factor *= 2.0 + span * unit(mix64(key ^ 0xabcdULL), kSaltOutlier);
   }
   return cycles * factor;
+}
+
+void FaultInjector::save_attempts(persist::Writer& w) const {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(attempts_.size());
+  for (const auto& [k, _] : attempts_) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  w.u64(keys.size());
+  for (const std::uint64_t k : keys) {
+    w.u64(k);
+    w.u32(attempts_.at(k));
+  }
+}
+
+void FaultInjector::load_attempts(persist::Reader& r) {
+  attempts_.clear();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t k = r.u64();
+    attempts_[k] = r.u32();
+  }
 }
 
 }  // namespace citroen::sim

@@ -22,6 +22,11 @@
 #include <unordered_map>
 #include <vector>
 
+namespace citroen::persist {
+class Writer;  // persist/codec.hpp
+class Reader;
+}
+
 namespace citroen::sim {
 
 /// What a single injected fault looks like to the evaluator.
@@ -104,6 +109,13 @@ class FaultInjector {
 
   /// Forget attempt counters (transient faults replay identically after).
   void reset_attempts() { attempts_.clear(); }
+
+  /// Checkpoint/restore the attempt counters. They are order-sensitive
+  /// state (a transient fault's outcome depends on how many times the
+  /// same compilation was tried before), so crash-safe resume must carry
+  /// them across processes.
+  void save_attempts(persist::Writer& w) const;
+  void load_attempts(persist::Reader& r);
 
  private:
   double unit(std::uint64_t key, std::uint64_t salt) const;

@@ -22,13 +22,17 @@ std::uint64_t fnv_bytes(std::uint64_t h, const void* data, std::size_t n) {
   return h;
 }
 
-/// Rolling prefix keys: keys[i] covers (module name, first i pass ids).
+/// Rolling prefix keys: keys[i] covers (salt, module name, first i pass
+/// ids). The salt disambiguates same-named modules when the cache is
+/// shared across evaluators.
 std::vector<std::uint64_t> prefix_keys(const std::string& name,
-                                       const std::vector<passes::PassId>& ids) {
+                                       const std::vector<passes::PassId>& ids,
+                                       std::uint64_t salt) {
   std::vector<std::uint64_t> keys(ids.size() + 1);
   std::uint64_t h = fnv_bytes(kFnvOffset, name.data(), name.size());
   h ^= 0xff;
   h *= kFnvPrime;
+  if (salt != 0) h = fnv_bytes(h, &salt, sizeof(salt));
   keys[0] = h;
   for (std::size_t i = 0; i < ids.size(); ++i) {
     const std::uint16_t id = ids[i];
@@ -164,10 +168,11 @@ void PrefixCache::insert(std::uint64_t key,
 }
 
 std::shared_ptr<const ModuleBuild> PrefixCache::build(
-    const ir::Module& base, const std::vector<passes::PassId>& ids) const {
+    const ir::Module& base, const std::vector<passes::PassId>& ids,
+    std::uint64_t salt) const {
   const std::size_t n = ids.size();
   bump(1, &PrefixCacheStats::builds);
-  const auto keys = enabled() ? prefix_keys(base.name, ids)
+  const auto keys = enabled() ? prefix_keys(base.name, ids, salt)
                               : std::vector<std::uint64_t>{};
 
   if (enabled()) {

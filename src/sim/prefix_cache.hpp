@@ -70,8 +70,12 @@ class PrefixCache {
 
   /// Build `base` under `ids`, resuming from the longest cached prefix.
   /// Thread-safe; never throws (pass exceptions become failed results).
-  std::shared_ptr<const ModuleBuild> build(
-      const ir::Module& base, const std::vector<passes::PassId>& ids) const;
+  /// `salt` is mixed into every cache key; a cache shared across
+  /// evaluators passes a content hash of the module here so two modules
+  /// that merely share a name can never alias.
+  std::shared_ptr<const ModuleBuild> build(const ir::Module& base,
+                                           const std::vector<passes::PassId>& ids,
+                                           std::uint64_t salt = 0) const;
 
   bool enabled() const { return config_.byte_budget > 0; }
 

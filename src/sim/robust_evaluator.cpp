@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "persist/codec.hpp"
 #include "support/statistics.hpp"
 
 namespace citroen::sim {
@@ -160,6 +161,60 @@ EvalOutcome RobustEvaluator::evaluate(const SequenceAssignment& seqs) {
   ++stats_.valid;
   best_speedup_seen_ = std::max(best_speedup_seen_, out.speedup);
   return out;
+}
+
+void RobustEvaluator::save_state(persist::Writer& w) const {
+  auto sorted_keys = [](const auto& m) {
+    std::vector<std::uint64_t> keys;
+    keys.reserve(m.size());
+    for (const auto& [k, _] : m) keys.push_back(k);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  };
+  const auto qkeys = sorted_keys(quarantine_);
+  w.u64(qkeys.size());
+  for (const std::uint64_t k : qkeys) {
+    w.u64(k);
+    w.u8(static_cast<std::uint8_t>(quarantine_.at(k)));
+  }
+  const auto rkeys = sorted_keys(replicate_counter_);
+  w.u64(rkeys.size());
+  for (const std::uint64_t k : rkeys) {
+    w.u64(k);
+    w.u64(replicate_counter_.at(k));
+  }
+  w.i32(stats_.evaluations);
+  w.i32(stats_.attempts);
+  w.i32(stats_.retries);
+  w.i32(stats_.quarantine_hits);
+  w.i32(stats_.remeasurements);
+  w.i32(stats_.valid);
+  persist::put(w, stats_.failures);
+  w.f64(best_speedup_seen_);
+}
+
+void RobustEvaluator::load_state(persist::Reader& r) {
+  quarantine_.clear();
+  replicate_counter_.clear();
+  const std::uint64_t nq = r.u64();
+  for (std::uint64_t i = 0; i < nq; ++i) {
+    const std::uint64_t k = r.u64();
+    quarantine_[k] = static_cast<FailureKind>(r.u8());
+  }
+  const std::uint64_t nr = r.u64();
+  for (std::uint64_t i = 0; i < nr; ++i) {
+    const std::uint64_t k = r.u64();
+    replicate_counter_[k] = r.u64();
+  }
+  stats_ = RobustStats{};
+  stats_.evaluations = r.i32();
+  stats_.attempts = r.i32();
+  stats_.retries = r.i32();
+  stats_.quarantine_hits = r.i32();
+  stats_.remeasurements = r.i32();
+  stats_.valid = r.i32();
+  persist::get(r, stats_.failures);
+  best_speedup_seen_ = r.f64();
 }
 
 }  // namespace citroen::sim

@@ -97,6 +97,13 @@ class RobustEvaluator : public Evaluator {
   const RobustStats& robust_stats() const { return stats_; }
   std::size_t quarantine_size() const { return quarantine_.size(); }
 
+  /// Checkpoint/restore this wrapper's own order-sensitive state: the
+  /// quarantine set, per-binary replicate counters, robustness counters
+  /// and the incumbent speedup. The wrapped base evaluator and the fault
+  /// injector checkpoint themselves separately.
+  void save_state(persist::Writer& w) const;
+  void load_state(persist::Reader& r);
+
   double total_compile_seconds() const override {
     return base_.total_compile_seconds();
   }

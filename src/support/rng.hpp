@@ -58,6 +58,22 @@ class Rng {
   /// Falls back to uniform if all weights are zero.
   std::size_t categorical(const std::vector<double>& weights);
 
+  /// Raw engine state for checkpointing. Restoring it resumes the stream
+  /// exactly, including the cached Marsaglia spare deviate.
+  struct State {
+    std::uint64_t s[4];
+    double spare;
+    bool has_spare;
+  };
+  State state() const {
+    return State{{s_[0], s_[1], s_[2], s_[3]}, spare_, has_spare_};
+  }
+  void set_state(const State& st) {
+    for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+    spare_ = st.spare;
+    has_spare_ = st.has_spare;
+  }
+
  private:
   std::uint64_t s_[4];
   double spare_ = 0.0;

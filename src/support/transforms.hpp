@@ -35,6 +35,13 @@ class YeoJohnson {
   double mean() const { return mean_; }
   double stddev() const { return std_; }
 
+  /// Restore fitted parameters exactly (crash-safe resume).
+  void set_params(double lambda, double mean, double stddev) {
+    lambda_ = lambda;
+    mean_ = mean;
+    std_ = stddev;
+  }
+
   /// Raw (unstandardised) Yeo-Johnson transform with parameter lambda.
   static double raw(double y, double lambda);
   /// Inverse of `raw`.
