@@ -10,6 +10,7 @@
 
 #include "baselines/tuners.hpp"
 #include "bench/bench_common.hpp"
+#include "bench/sandbox_runner.hpp"
 #include "bench/tuner_runner.hpp"
 #include "bench_suite/suite.hpp"
 #include "citroen/tuner.hpp"
@@ -67,8 +68,14 @@ void batch_section(const std::string& program, const std::string& module) {
   sim::ProgramEvaluator eval(bench_suite::make_program(program),
                              sim::arm_a57_model());
   eval.set_thread_pool(&ThreadPool::global());
+  // CITROEN_SANDBOX=1 routes the batch through the vetting sandbox; CI
+  // byte-diffs this output against the sandbox-off run.
+  auto sandboxed = bench::make_sandbox_if_enabled(eval);
+  sim::Evaluator& stack =
+      sandboxed ? static_cast<sim::Evaluator&>(*sandboxed)
+                : static_cast<sim::Evaluator&>(eval);
   const auto batch = make_batch(module, 20);
-  const auto outcomes = eval.evaluate_batch(batch);
+  const auto outcomes = stack.evaluate_batch(batch);
   for (std::size_t i = 0; i < outcomes.size(); ++i)
     print_outcome(i, outcomes[i]);
   std::printf("  compiles=%d measurements=%d cache_hits=%d\n",
@@ -89,7 +96,11 @@ void fault_section() {
   sim::ProgramEvaluator base(bench_suite::make_program("security_sha"),
                              sim::arm_a57_model());
   base.set_thread_pool(&ThreadPool::global());
-  sim::RobustEvaluator eval(base, {}, &injector);
+  auto sandboxed = bench::make_sandbox_if_enabled(base);
+  sim::Evaluator& stack_base =
+      sandboxed ? static_cast<sim::Evaluator&>(*sandboxed)
+                : static_cast<sim::Evaluator&>(base);
+  sim::RobustEvaluator eval(stack_base, {}, &injector);
   const auto outcomes = eval.evaluate_batch(make_batch("sha", 20));
   for (std::size_t i = 0; i < outcomes.size(); ++i)
     print_outcome(i, outcomes[i]);

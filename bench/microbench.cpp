@@ -15,6 +15,8 @@
 #include "persist/journal.hpp"
 #include "persist/journaled_evaluator.hpp"
 #include "persist/run_session.hpp"
+#include "sandbox/ipc.hpp"
+#include "sandbox/supervisor.hpp"
 #include "sim/evaluator.hpp"
 #include "sim/machine.hpp"
 #include "sim/prefix_cache.hpp"
@@ -223,6 +225,51 @@ static void BM_JournalRawAppend(benchmark::State& state) {
       static_cast<std::int64_t>(state.iterations() * payload.size()));
 }
 BENCHMARK(BM_JournalRawAppend);
+
+/// Cost of routing an evaluation through the out-of-process sandbox
+/// (sandbox=1) vs. calling the evaluator directly (sandbox=0): fork-pool
+/// dispatch, job/result IPC, and the supervisor's verdict bookkeeping.
+/// Fresh random sequences every iteration defeat the verdict memo, so
+/// every iteration pays one full worker round trip.
+static void BM_SandboxDispatchOverhead(benchmark::State& state) {
+  const bool sandboxed = state.range(0) != 0;
+  sim::ProgramEvaluator ev(bench_suite::make_program("security_sha"),
+                           sim::arm_a57_model());
+  sandbox::SandboxConfig cfg;
+  cfg.workers = 1;
+  sandbox::SandboxedEvaluator sb(ev, cfg);
+  sim::Evaluator& target = sandboxed ? static_cast<sim::Evaluator&>(sb)
+                                     : static_cast<sim::Evaluator&>(ev);
+
+  Rng rng(1);
+  const auto& space = passes::PassRegistry::instance().pass_names();
+  for (auto _ : state) {
+    std::vector<std::string> seq;
+    for (int i = 0; i < 20; ++i)
+      seq.push_back(space[rng.uniform_index(space.size())]);
+    const auto out = target.evaluate({{"sha", seq}});
+    benchmark::DoNotOptimize(out.speedup);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SandboxDispatchOverhead)->ArgName("sandbox")->Arg(0)->Arg(1);
+
+/// The IPC transport alone: frame a typical result payload (CRC32 +
+/// length prefix) and decode it back, no processes involved.
+static void BM_IpcFrameRoundTrip(benchmark::State& state) {
+  const std::string payload(state.range(0), '\x5a');
+  for (auto _ : state) {
+    const std::string frame = sandbox::encode_frame(payload);
+    sandbox::FrameDecoder dec;
+    dec.feed(frame.data(), frame.size());
+    std::string out, err;
+    if (dec.next(&out, &err) != sandbox::DecodeStatus::Ok) std::abort();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_IpcFrameRoundTrip)->ArgName("bytes")->Arg(160)->Arg(1 << 16);
 
 static void BM_StatsFeatureExtraction(benchmark::State& state) {
   sim::ProgramEvaluator ev(bench_suite::make_program("telecom_gsm"),

@@ -1,0 +1,28 @@
+#pragma once
+// Opt-in sandbox wiring for the bench runners.
+//
+// CITROEN_SANDBOX=1 inserts a sandbox::SandboxedEvaluator between the
+// ProgramEvaluator and the rest of the stack (Robust/Journaled layers),
+// so every candidate is vetted in a forked worker before it can touch
+// the in-process pipeline. Results are byte-identical either way (see
+// src/sandbox/supervisor.hpp); the toggle only changes *containment*.
+// CITROEN_SANDBOX_WORKERS sets the per-run worker-pool size.
+
+#include <memory>
+
+#include "sandbox/supervisor.hpp"
+#include "sim/evaluator.hpp"
+#include "support/env.hpp"
+
+namespace citroen::bench {
+
+inline bool sandbox_enabled() { return support::env_flag("CITROEN_SANDBOX"); }
+
+/// Null when the sandbox is disabled; callers fall back to `base` itself.
+inline std::unique_ptr<sandbox::SandboxedEvaluator> make_sandbox_if_enabled(
+    sim::ProgramEvaluator& base, sandbox::SandboxConfig config = {}) {
+  if (!sandbox_enabled()) return nullptr;
+  return std::make_unique<sandbox::SandboxedEvaluator>(base, config);
+}
+
+}  // namespace citroen::bench

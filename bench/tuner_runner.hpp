@@ -20,6 +20,7 @@
 
 #include "baselines/tuners.hpp"
 #include "bench/bench_persist.hpp"
+#include "bench/sandbox_runner.hpp"
 #include "bench_suite/suite.hpp"
 #include "citroen/tuner.hpp"
 #include "persist/journaled_evaluator.hpp"
@@ -82,16 +83,22 @@ inline Vec run_tuner_job(const std::string& method, const std::string& program,
   sim::ProgramEvaluator base(bench_suite::make_program(program),
                              sim::machine_by_name(machine));
   if (cache) base.set_shared_prefix_cache(cache);
+  // With CITROEN_SANDBOX=1 every candidate is vetted out-of-process
+  // before the (byte-identical) in-process replay; the robust layer then
+  // quarantines Worker* verdicts like any deterministic failure.
+  auto sandboxed = make_sandbox_if_enabled(base);
+  sim::Evaluator& stack_base =
+      sandboxed ? static_cast<sim::Evaluator&>(*sandboxed)
+                : static_cast<sim::Evaluator&>(base);
   std::unique_ptr<sim::FaultInjector> injector;
   std::unique_ptr<sim::RobustEvaluator> robust;
   if (faults) {
     injector = std::make_unique<sim::FaultInjector>(*faults);
-    robust = std::make_unique<sim::RobustEvaluator>(base, sim::RobustConfig{},
-                                                    injector.get());
+    robust = std::make_unique<sim::RobustEvaluator>(
+        stack_base, sim::RobustConfig{}, injector.get());
   }
   sim::Evaluator& eval =
-      robust ? static_cast<sim::Evaluator&>(*robust)
-             : static_cast<sim::Evaluator&>(base);
+      robust ? static_cast<sim::Evaluator&>(*robust) : stack_base;
 
   const bool is_citroen = method == "citroen";
   if (!popt) {

@@ -130,6 +130,9 @@ class JournaledEvaluator final : public sim::Evaluator {
   bool is_quarantined(const sim::SequenceAssignment& seqs) const override {
     return inner_.is_quarantined(seqs);
   }
+  void set_fault_injector(const sim::FaultInjector* injector) override {
+    inner_.set_fault_injector(injector);
+  }
   double total_compile_seconds() const override {
     return inner_.total_compile_seconds();
   }

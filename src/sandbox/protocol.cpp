@@ -1,0 +1,119 @@
+#include "sandbox/protocol.hpp"
+
+#include <sys/mman.h>
+
+#include <new>
+#include <stdexcept>
+
+#include "persist/codec.hpp"
+
+namespace citroen::sandbox {
+
+namespace {
+
+void put_exec_result(persist::Writer& w, const ir::ExecResult& r) {
+  w.b(r.ok);
+  w.str(r.trap);
+  w.b(r.hung);
+  w.i64(r.ret);
+  w.f64(r.cycles);
+  w.u64(r.instructions);
+}
+
+ir::ExecResult get_exec_result(persist::Reader& r) {
+  ir::ExecResult out;
+  out.ok = r.b();
+  out.trap = r.str();
+  out.hung = r.b();
+  out.ret = r.i64();
+  out.cycles = r.f64();
+  out.instructions = r.u64();
+  return out;
+}
+
+}  // namespace
+
+std::string encode_job(const SandboxJob& job) {
+  persist::Writer w;
+  w.u8(static_cast<std::uint8_t>(job.kind));
+  w.u64(job.id);
+  w.b(job.has_plan);
+  if (job.has_plan) sim::put(w, job.plan);
+  sim::put(w, job.assignment);
+  return w.take();
+}
+
+bool decode_job(const std::string& payload, SandboxJob* job,
+                std::string* error) {
+  try {
+    persist::Reader r(payload);
+    job->kind = static_cast<JobKind>(r.u8());
+    if (job->kind != JobKind::Evaluate && job->kind != JobKind::Compile)
+      throw std::runtime_error("unknown job kind");
+    job->id = r.u64();
+    job->has_plan = r.b();
+    if (job->has_plan) sim::get(r, job->plan);
+    sim::get(r, job->assignment);
+    if (!r.at_end()) throw std::runtime_error("trailing bytes in job");
+    return true;
+  } catch (const std::exception& e) {
+    if (error) *error = e.what();
+    return false;
+  }
+}
+
+std::string encode_result(const SandboxResult& res) {
+  persist::Writer w;
+  w.u8(static_cast<std::uint8_t>(res.status));
+  w.u64(res.id);
+  w.b(res.pure.built);
+  w.u64(res.pure.binary_hash);
+  w.u64(res.pure.runs.size());
+  for (const auto& run : res.pure.runs) put_exec_result(w, run);
+  return w.take();
+}
+
+bool decode_result(const std::string& payload, SandboxResult* res,
+                   std::string* error) {
+  try {
+    persist::Reader r(payload);
+    res->status = static_cast<ResultStatus>(r.u8());
+    if (res->status != ResultStatus::Ok && res->status != ResultStatus::Oom)
+      throw std::runtime_error("unknown result status");
+    res->id = r.u64();
+    res->pure.built = r.b();
+    res->pure.binary_hash = r.u64();
+    const std::uint64_t n = r.u64();
+    res->pure.runs.clear();
+    for (std::uint64_t i = 0; i < n; ++i)
+      res->pure.runs.push_back(get_exec_result(r));
+    if (!r.at_end()) throw std::runtime_error("trailing bytes in result");
+    return true;
+  } catch (const std::exception& e) {
+    if (error) *error = e.what();
+    return false;
+  }
+}
+
+const char* worker_stage_name(WorkerStage s) {
+  switch (s) {
+    case WorkerStage::Idle: return "idle";
+    case WorkerStage::Build: return "build";
+    case WorkerStage::Measure: return "measure";
+    case WorkerStage::Reply: return "reply";
+  }
+  return "unknown";
+}
+
+ProgressCell* map_progress_cell() {
+  void* mem = ::mmap(nullptr, sizeof(ProgressCell), PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) return nullptr;
+  return new (mem) ProgressCell();
+}
+
+void unmap_progress_cell(ProgressCell* cell) {
+  if (cell) ::munmap(cell, sizeof(ProgressCell));
+}
+
+}  // namespace citroen::sandbox

@@ -1,0 +1,119 @@
+#pragma once
+// Wire protocol between the sandbox supervisor and its workers, layered
+// on the ipc.hpp frame transport. Payloads use the persist codec, so the
+// doubles inside interpreter runs cross the process boundary bit-exactly
+// — a prerequisite for the sandbox's byte-identity guarantee.
+//
+// Job frame (supervisor -> worker):
+//   u8  kind          (JobKind)
+//   u64 id            (monotonic per supervisor; echoed in the result)
+//   u8  has_plan      (fault plan attached?)
+//   [FaultPlan]       (when has_plan)
+//   SequenceAssignment
+//
+// Result frame (worker -> supervisor):
+//   u8  status        (ResultStatus)
+//   u64 id
+//   u8  built
+//   u64 binary_hash
+//   u64 run_count     ( ExecResult x run_count )
+//
+// ExecResult ships only the fields the serial evaluation path consumes
+// (ok, trap, hung, ret, cycles, instructions). The per-module/function
+// cycle maps are deliberately dropped: only the evaluator constructor's
+// baseline run reads them, and that run never crosses the IPC boundary.
+//
+// The progress cell is the crash-signature side channel: one shared
+// (MAP_SHARED | MAP_ANONYMOUS) cache line per worker holding an atomic
+// u64 that packs (job id, stage, pass id). The worker updates it before
+// every pass execution; when the worker dies, the supervisor reads the
+// cell to report which pass of which job was active at death.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "ir/interpreter.hpp"
+#include "sim/evaluator.hpp"
+#include "sim/faults.hpp"
+
+namespace citroen::sandbox {
+
+enum class JobKind : std::uint8_t {
+  Evaluate = 1,  ///< build + measure (full pure evaluation)
+  Compile = 2,   ///< build only (vetting for compile()/compile_batch())
+};
+
+struct SandboxJob {
+  std::uint64_t id = 0;
+  JobKind kind = JobKind::Evaluate;
+  bool has_plan = false;
+  sim::FaultPlan plan;  ///< meaningful only when has_plan
+  sim::SequenceAssignment assignment;
+};
+
+enum class ResultStatus : std::uint8_t {
+  Ok = 1,   ///< pure evaluation completed (result may still be "unbuilt")
+  Oom = 2,  ///< allocation failure contained in-worker (std::bad_alloc)
+};
+
+struct SandboxResult {
+  std::uint64_t id = 0;
+  ResultStatus status = ResultStatus::Ok;
+  sim::PureEvalResult pure;
+};
+
+std::string encode_job(const SandboxJob& job);
+/// False (with `error` set) on a malformed payload — the peer is confused
+/// and gets torn down, never trusted further.
+bool decode_job(const std::string& payload, SandboxJob* job,
+                std::string* error);
+
+std::string encode_result(const SandboxResult& res);
+bool decode_result(const std::string& payload, SandboxResult* res,
+                   std::string* error);
+
+// ---- progress cell --------------------------------------------------------
+
+enum class WorkerStage : std::uint8_t {
+  Idle = 0,     ///< between jobs
+  Build = 1,    ///< running pass pipelines (pass id meaningful)
+  Measure = 2,  ///< interpreting the built binary
+  Reply = 3,    ///< serializing/writing the result frame
+};
+
+const char* worker_stage_name(WorkerStage s);
+
+/// Packs (job_id low 32 bits, stage, pass id) into one atomic word so a
+/// torn read is impossible by construction.
+struct ProgressCell {
+  std::atomic<std::uint64_t> word{0};
+};
+
+inline std::uint64_t pack_progress(std::uint64_t job_id, WorkerStage stage,
+                                   std::uint16_t pass_id) {
+  return (job_id << 32) |
+         (std::uint64_t{static_cast<std::uint8_t>(stage)} << 16) |
+         std::uint64_t{pass_id};
+}
+
+struct Progress {
+  std::uint32_t job_id_lo = 0;  ///< low 32 bits of the job id
+  WorkerStage stage = WorkerStage::Idle;
+  std::uint16_t pass_id = 0;
+};
+
+inline Progress unpack_progress(std::uint64_t word) {
+  Progress p;
+  p.job_id_lo = static_cast<std::uint32_t>(word >> 32);
+  p.stage = static_cast<WorkerStage>((word >> 16) & 0xff);
+  p.pass_id = static_cast<std::uint16_t>(word & 0xffff);
+  return p;
+}
+
+/// mmap one shared anonymous ProgressCell (survives fork, shared between
+/// supervisor and worker). nullptr when the platform refuses.
+ProgressCell* map_progress_cell();
+void unmap_progress_cell(ProgressCell* cell);
+
+}  // namespace citroen::sandbox

@@ -1,0 +1,190 @@
+#pragma once
+// Supervisor side of the out-of-process evaluation sandbox.
+//
+// `SandboxedEvaluator` decorates a `sim::ProgramEvaluator` with a pool
+// of forked workers. Every candidate is first *vetted*: a worker
+// executes the pure part of the evaluation (build + interpret,
+// `ProgramEvaluator::pure_evaluate`) in its own address space, behind
+// CRC-framed pipe IPC, rlimit caps and a wall-clock deadline. Then:
+//
+//   - If the worker survives, the supervisor replays the normal
+//     in-process path (`base.evaluate`/`base.compile`), with the
+//     worker's interpreter runs pre-installed as a measurement memo —
+//     exactly the mechanism batch prefetch already uses. All
+//     order-sensitive state (fault-injector counters, the
+//     identical-binary cache, accounting) therefore advances precisely
+//     as it would without the sandbox, which is why sandboxed results
+//     are byte-identical to in-process ones at any thread count.
+//   - If the worker dies (signal, exit, corrupted frame) or blows its
+//     deadline, the supervisor reaps it, captures a crash signature
+//     (signal number + the pass active at death, via the shared
+//     progress cell), synthesizes a WorkerCrash/WorkerTimeout/WorkerOOM
+//     outcome, and never lets the lethal candidate touch the in-process
+//     path. The RobustEvaluator layered on top quarantines it like any
+//     other deterministic failure.
+//
+// Workers are respawned with exponential backoff; a run of
+// `breaker_threshold` consecutive deaths trips a circuit breaker that
+// permanently degrades this evaluator to the plain in-process path
+// (correct, merely uncontained — the bottom rung of the degradation
+// ladder documented in DESIGN.md).
+//
+// Not thread-safe: one SandboxedEvaluator belongs to one run thread,
+// like the ProgramEvaluator it wraps.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sandbox/ipc.hpp"
+#include "sandbox/protocol.hpp"
+#include "sandbox/worker.hpp"
+#include "sim/evaluator.hpp"
+
+namespace citroen::sandbox {
+
+struct SandboxConfig {
+  /// Worker-pool size. <= 0 reads CITROEN_SANDBOX_WORKERS (default 2),
+  /// clamped to [1, 16]: workers overlap with CITROEN_THREADS tuner
+  /// threads, each of which owns its own pool.
+  int workers = 0;
+  /// Wall-clock deadline per job; past it the worker is SIGKILLed and
+  /// the job classified WorkerTimeout. <= 0 disables.
+  double job_wall_timeout_seconds = 30.0;
+  WorkerLimits limits;  ///< per-worker rlimit caps (CPU budget, memory)
+  /// Consecutive worker deaths that trip the circuit breaker.
+  int breaker_threshold = 3;
+  double respawn_backoff_seconds = 0.05;     ///< first respawn delay
+  double respawn_backoff_max_seconds = 1.0;  ///< backoff ceiling
+  /// Recycle a worker after this many jobs (0 = never): leak hygiene on
+  /// long soak runs without perturbing results.
+  std::uint64_t max_jobs_per_worker = 0;
+  /// TEST HOOK: SIGKILL the assigned worker right after dispatching the
+  /// job with this id (-1 = never). Exercises the external-kill path the
+  /// ext_sandbox_containment gate asserts on.
+  std::int64_t kill_job_id = -1;
+};
+
+struct SandboxStats {
+  std::uint64_t forks = 0;            ///< workers spawned (incl. respawns)
+  std::uint64_t respawns = 0;         ///< spawns replacing a dead worker
+  std::uint64_t jobs_dispatched = 0;
+  std::uint64_t jobs_ok = 0;          ///< result frames with status Ok
+  std::uint64_t jobs_oom = 0;         ///< contained OOMs (status Oom)
+  std::uint64_t worker_crashes = 0;   ///< deaths classified WorkerCrash
+  std::uint64_t worker_timeouts = 0;  ///< deaths classified WorkerTimeout
+  std::uint64_t verdict_hits = 0;     ///< calls served from the verdict memo
+  std::uint64_t breaker_trips = 0;
+};
+
+class SandboxedEvaluator final : public sim::Evaluator {
+ public:
+  explicit SandboxedEvaluator(sim::ProgramEvaluator& base,
+                              SandboxConfig config = {});
+  ~SandboxedEvaluator() override;
+
+  SandboxedEvaluator(const SandboxedEvaluator&) = delete;
+  SandboxedEvaluator& operator=(const SandboxedEvaluator&) = delete;
+
+  const ir::Program& base_program() const override {
+    return base_.base_program();
+  }
+  const std::string& program_name() const override {
+    return base_.program_name();
+  }
+  double o3_cycles() const override { return base_.o3_cycles(); }
+  double o0_cycles() const override { return base_.o0_cycles(); }
+  std::int64_t reference_output() const override {
+    return base_.reference_output();
+  }
+  std::vector<std::pair<std::string, double>> hot_modules() const override {
+    return base_.hot_modules();
+  }
+  bool is_quarantined(const sim::SequenceAssignment& seqs) const override {
+    return base_.is_quarantined(seqs);
+  }
+
+  /// Records the injector for job frames (workers re-derive real-fault
+  /// decisions from the plan, purely) and forwards it to the base.
+  void set_fault_injector(const sim::FaultInjector* injector) override;
+
+  sim::CompileOutcome compile(const sim::SequenceAssignment& seqs,
+                              bool keep_program = false) const override;
+  sim::EvalOutcome evaluate(const sim::SequenceAssignment& seqs) override;
+
+  /// Vet the whole batch through the worker pool (pipelined across
+  /// workers), then forward the survivors to the base prefetch. Lethal
+  /// candidates are withheld from the base entirely.
+  void prefetch(std::span<const sim::SequenceAssignment> batch,
+                bool with_measure = true) override;
+
+  double total_compile_seconds() const override {
+    return base_.total_compile_seconds();
+  }
+  double total_measure_seconds() const override {
+    return base_.total_measure_seconds();
+  }
+  int num_compiles() const override { return base_.num_compiles(); }
+  int num_measurements() const override { return base_.num_measurements(); }
+  int num_cache_hits() const override { return base_.num_cache_hits(); }
+
+  const SandboxStats& sandbox_stats() const { return stats_; }
+  /// Breaker tripped: everything now runs in-process, uncontained.
+  bool degraded() const { return tripped_; }
+  int worker_count() const { return config_.workers; }
+
+ private:
+  struct Worker {
+    pid_t pid = -1;
+    int job_fd = -1;     ///< supervisor write end
+    int result_fd = -1;  ///< supervisor read end
+    ProgressCell* cell = nullptr;
+    std::unique_ptr<FrameReader> reader;
+    std::uint64_t jobs_done = 0;
+    bool alive = false;
+  };
+
+  /// What the sandbox learned about a candidate signature. Fatal
+  /// verdicts (kind != None) apply to compile and evaluate alike; an Ok
+  /// verdict covers evaluate() only when `measured` (the vetting job
+  /// also exercised the interpreter).
+  struct Verdict {
+    sim::FailureKind kind = sim::FailureKind::None;
+    bool measured = false;
+    std::string why;
+  };
+
+  bool spawn_worker(std::size_t slot) const;
+  void destroy_worker(Worker& w, bool kill) const;
+  /// Reap a dead worker, classify its in-flight candidate (if any) and
+  /// apply the respawn/breaker policy. `timed_out` marks a
+  /// supervisor-initiated deadline kill.
+  void handle_death(std::size_t slot, std::uint64_t sig, bool in_flight,
+                    bool timed_out, const std::string& extra) const;
+  std::string progress_signature(const Worker& w) const;
+  void record_result(const SandboxResult& res, std::uint64_t sig,
+                     bool with_measure) const;
+  const Verdict* find_verdict(std::uint64_t sig, bool need_measured) const;
+  /// Vet every candidate in `batch` that lacks a (sufficient) verdict.
+  void run_jobs(std::span<const sim::SequenceAssignment> batch,
+                bool with_measure) const;
+  void trip_breaker(const char* why) const;
+
+  sim::ProgramEvaluator& base_;
+  SandboxConfig config_;
+  const sim::FaultInjector* injector_ = nullptr;
+
+  // Dispatch state is logically part of a const vetting query
+  // (compile() is const in the Evaluator interface), hence mutable.
+  mutable std::vector<Worker> workers_;
+  mutable std::unordered_map<std::uint64_t, Verdict> verdicts_;
+  mutable SandboxStats stats_;
+  mutable std::uint64_t next_job_id_ = 0;
+  mutable int consecutive_deaths_ = 0;
+  mutable bool tripped_ = false;
+  mutable bool spawned_once_ = false;
+};
+
+}  // namespace citroen::sandbox

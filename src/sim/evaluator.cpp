@@ -62,6 +62,9 @@ const char* failure_kind_name(FailureKind k) {
     case FailureKind::Miscompile: return "miscompile";
     case FailureKind::NoisyRejected: return "noisy-rejected";
     case FailureKind::Verifier: return "verifier";
+    case FailureKind::WorkerCrash: return "worker-crash";
+    case FailureKind::WorkerTimeout: return "worker-timeout";
+    case FailureKind::WorkerOOM: return "worker-oom";
   }
   return "unknown";
 }
@@ -469,37 +472,9 @@ void ProgramEvaluator::prefetch(std::span<const SequenceAssignment> batch,
   std::vector<MeasureJob> mjobs;
   std::unordered_set<std::uint64_t> seen_binaries;
   for (const auto& seqs : batch) {
-    ir::Program built = base_;
-    std::uint64_t h = kFnvOffset;
-    bool ok = true;
-    for (auto& m : built.modules) {
-      const auto it = seqs.find(m.name);
-      if (it == seqs.end()) {
-        const ir::Module* pre = o3_built_.find_module(m.name);
-        if (pre) {
-          mix_module_hash(h, o3_module_print_hash_.at(m.name));
-          m = *pre;
-          continue;
-        }
-      }
-      const auto& seq =
-          it == seqs.end() ? passes::o3_sequence() : it->second;
-      std::vector<passes::PassId> ids;
-      try {
-        ids = passes::intern_sequence(seq);
-      } catch (const std::exception&) {
-        ok = false;
-        break;
-      }
-      const auto mb = bc().build(m, ids, module_salt(m.name));
-      if (!mb->ok) {
-        ok = false;
-        break;
-      }
-      mix_module_hash(h, mb->print_hash);
-      m = mb->module;
-    }
-    if (!ok) continue;
+    ir::Program built;
+    std::uint64_t h = 0;
+    if (!assemble_pure(seqs, &built, &h)) continue;
     if (cache_.count(h) || measure_memo_.count(h)) continue;
     if (!seen_binaries.insert(h).second) continue;
     mjobs.push_back(MeasureJob{h, std::move(built)});
@@ -509,24 +484,80 @@ void ProgramEvaluator::prefetch(std::span<const SequenceAssignment> batch,
   std::vector<double> secs(mjobs.size(), 0.0);
   pool.parallel_for(mjobs.size(), [&](std::size_t i) {
     const Stopwatch sw;
-    MeasureMemo& memo = memos[i];
-    const auto run = ir::interpret(mjobs[i].built, machine_, limits_);
-    memo.runs.push_back(run);
-    if (run.ok && run.ret == reference_output_) {
-      for (const auto& w : workloads_) {
-        ir::Program variant = mjobs[i].built;
-        apply_workload(variant, w);
-        const auto r = ir::interpret(variant, machine_, limits_);
-        memo.runs.push_back(r);
-        if (!r.ok || r.ret != w.reference) break;
-      }
-    }
+    memos[i].runs = measure_pure(mjobs[i].built);
     secs[i] = sw.seconds();
   });
   for (std::size_t i = 0; i < mjobs.size(); ++i) {
     measure_memo_.emplace(mjobs[i].hash, std::move(memos[i]));
     measure_seconds_ += secs[i];
   }
+}
+
+bool ProgramEvaluator::assemble_pure(const SequenceAssignment& seqs,
+                                     ir::Program* built,
+                                     std::uint64_t* hash) const {
+  *built = base_;
+  std::uint64_t h = kFnvOffset;
+  for (auto& m : built->modules) {
+    const auto it = seqs.find(m.name);
+    if (it == seqs.end()) {
+      const ir::Module* pre = o3_built_.find_module(m.name);
+      if (pre) {
+        mix_module_hash(h, o3_module_print_hash_.at(m.name));
+        m = *pre;
+        continue;
+      }
+    }
+    const auto& seq = it == seqs.end() ? passes::o3_sequence() : it->second;
+    std::vector<passes::PassId> ids;
+    try {
+      ids = passes::intern_sequence(seq);
+    } catch (const std::exception&) {
+      return false;  // serial path reports the identical error itself
+    }
+    const auto mb = bc().build(m, ids, module_salt(m.name));
+    if (!mb->ok) return false;
+    mix_module_hash(h, mb->print_hash);
+    m = mb->module;
+  }
+  *hash = h;
+  return true;
+}
+
+std::vector<ir::ExecResult> ProgramEvaluator::measure_pure(
+    const ir::Program& built) const {
+  std::vector<ir::ExecResult> runs;
+  const auto run = ir::interpret(built, machine_, limits_);
+  runs.push_back(run);
+  if (run.ok && run.ret == reference_output_) {
+    for (const auto& w : workloads_) {
+      ir::Program variant = built;
+      apply_workload(variant, w);
+      const auto r = ir::interpret(variant, machine_, limits_);
+      runs.push_back(r);
+      if (!r.ok || r.ret != w.reference) break;
+    }
+  }
+  return runs;
+}
+
+PureEvalResult ProgramEvaluator::pure_evaluate(const SequenceAssignment& seqs,
+                                               bool with_measure) const {
+  PureEvalResult out;
+  ir::Program built;
+  std::uint64_t h = 0;
+  if (!assemble_pure(seqs, &built, &h)) return out;
+  out.built = true;
+  out.binary_hash = h;
+  if (with_measure) out.runs = measure_pure(built);
+  return out;
+}
+
+void ProgramEvaluator::install_measure_memo(std::uint64_t binary_hash,
+                                            std::vector<ir::ExecResult> runs) {
+  if (binary_hash == 0 || runs.empty()) return;
+  if (cache_.count(binary_hash) || measure_memo_.count(binary_hash)) return;
+  measure_memo_.emplace(binary_hash, MeasureMemo{std::move(runs)});
 }
 
 std::vector<EvalOutcome> Evaluator::evaluate_batch(

@@ -69,6 +69,11 @@ enum class FailureKind {
   Miscompile,     ///< differential test failed (any workload)
   NoisyRejected,  ///< measurement spread too large to trust (robust layer)
   Verifier,       ///< IR verifier rejected the optimised module
+  // Sandbox-layer classes (sandbox/supervisor.hpp). Append-only: the
+  // enum is serialized as a u8 in journals and checkpoints.
+  WorkerCrash,    ///< evaluation killed its sandbox worker (signal/exit)
+  WorkerTimeout,  ///< evaluation blew its wall/CPU deadline in the sandbox
+  WorkerOOM,      ///< evaluation exhausted the sandbox memory cap
 };
 
 /// Stable display name ("crash", "hang", ...), for reports and logs.
@@ -104,6 +109,20 @@ struct CompileOutcome {
   /// The optimised program, when requested (feature-extraction baselines
   /// need the IR itself).
   std::shared_ptr<const ir::Program> program;
+};
+
+/// The pure, order-insensitive part of one evaluation: what a sandbox
+/// worker computes out-of-process and ships back over IPC. Contains no
+/// injected-fault or cache state — the supervisor replays the normal
+/// serial path with `runs` pre-installed as a measurement memo, so
+/// sandboxed results stay byte-identical to in-process ones.
+struct PureEvalResult {
+  bool built = false;             ///< all modules compiled and verified
+  std::uint64_t binary_hash = 0;  ///< composed hash (0 when !built)
+  /// Interpreter runs: runs[0] the base workload, runs[1+i] workload i,
+  /// truncated at the serial path's early-stop point (see MeasureMemo).
+  /// Empty when the job was compile-only or the build failed.
+  std::vector<ir::ExecResult> runs;
 };
 
 /// Abstract compile-and-measure service. `ProgramEvaluator` is the plain
@@ -161,6 +180,14 @@ class Evaluator {
     return false;
   }
 
+  /// Attach a fault injector to the layer that consumes it (nullptr
+  /// detaches). Decorators forward towards the ProgramEvaluator at the
+  /// bottom of the stack; the default is a no-op so evaluators without an
+  /// injection site ignore it.
+  virtual void set_fault_injector(const FaultInjector* injector) {
+    (void)injector;
+  }
+
   // ---- accounting (Fig. 5.12 / Table 4.2) -------------------------------
   virtual double total_compile_seconds() const = 0;
   virtual double total_measure_seconds() const = 0;
@@ -193,7 +220,7 @@ class ProgramEvaluator : public Evaluator {
   /// Attach a fault injector (nullptr detaches). Injected faults apply to
   /// subsequent compiles/evaluations; deterministic injected outcomes are
   /// cached like real ones, transient ones are never cached.
-  void set_fault_injector(const FaultInjector* injector);
+  void set_fault_injector(const FaultInjector* injector) override;
   const FaultInjector* fault_injector() const { return injector_; }
 
   /// Pool used by `prefetch` (nullptr -> ThreadPool::global()). The pool
@@ -244,6 +271,23 @@ class ProgramEvaluator : public Evaluator {
   void prefetch(std::span<const SequenceAssignment> batch,
                 bool with_measure = true) override;
 
+  // ---- out-of-process evaluation (sandbox/) -----------------------------
+  /// Perform only the pure part of an evaluation: assemble the binary
+  /// through the prefix cache and (with `with_measure`) interpret it on
+  /// every workload up to the serial early-stop point. Consults no fault
+  /// injector, touches no outcome cache and charges no accounting — safe
+  /// to run in a forked worker whose side effects are discarded.
+  PureEvalResult pure_evaluate(const SequenceAssignment& seqs,
+                               bool with_measure) const;
+
+  /// Pre-install interpreter runs for a binary (from a sandbox worker's
+  /// PureEvalResult), exactly as prefetch stage 2 would have. The serial
+  /// path then consumes them instead of re-interpreting. Installing a
+  /// memo never changes results, only where the interpreter time is
+  /// spent. No-op if the binary already has an outcome or a memo.
+  void install_measure_memo(std::uint64_t binary_hash,
+                            std::vector<ir::ExecResult> runs);
+
   // ---- accounting (Fig. 5.12 / Table 4.2) -------------------------------
   double total_compile_seconds() const override { return compile_seconds_; }
   double total_measure_seconds() const override { return measure_seconds_; }
@@ -273,6 +317,15 @@ class ProgramEvaluator : public Evaluator {
     std::vector<std::vector<std::vector<std::uint8_t>>> images;
     std::int64_t reference = 0;  ///< -O0 output on this input
   };
+
+  /// Pure cache-backed assembly of the candidate's full binary — the
+  /// exact module walk prefetch stage 2 performs (no fault injector, no
+  /// accounting). False when any module fails to build or verify.
+  bool assemble_pure(const SequenceAssignment& seqs, ir::Program* built,
+                     std::uint64_t* hash) const;
+  /// Pure interpreter runs for an assembled binary, with the serial
+  /// path's early-stop rule: extra workloads only while outputs match.
+  std::vector<ir::ExecResult> measure_pure(const ir::Program& built) const;
 
   /// Pure interpreter runs for one binary, precomputed by `prefetch`:
   /// runs[0] is the base workload, runs[1+i] workload i. May be shorter

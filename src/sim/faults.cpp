@@ -36,6 +36,9 @@ constexpr std::uint64_t kSaltMiscompile = 0x55;
 constexpr std::uint64_t kSaltWorkloadMis = 0x66;
 constexpr std::uint64_t kSaltNoise = 0x77;
 constexpr std::uint64_t kSaltOutlier = 0x88;
+constexpr std::uint64_t kSaltSegv = 0x99;
+constexpr std::uint64_t kSaltOom = 0xaa;
+constexpr std::uint64_t kSaltSpin = 0xbb;
 
 }  // namespace
 
@@ -130,6 +133,56 @@ double FaultInjector::perturb(double cycles, std::uint64_t binary_hash,
     factor *= 2.0 + span * unit(mix64(key ^ 0xabcdULL), kSaltOutlier);
   }
   return cycles * factor;
+}
+
+RealFaultDecision FaultInjector::real_fault(
+    const std::string& module, const std::vector<std::string>& seq) const {
+  if (plan_.segv_rate <= 0.0 && plan_.oom_rate <= 0.0 &&
+      plan_.spin_rate <= 0.0)
+    return {};
+  const std::uint64_t key = fault_key(module, seq, seq.size());
+  RealFaultDecision d;
+  if (plan_.segv_rate > 0.0 && unit(key, kSaltSegv) < plan_.segv_rate)
+    d.mode = RealFaultMode::Segv;
+  else if (plan_.oom_rate > 0.0 && unit(key, kSaltOom) < plan_.oom_rate)
+    d.mode = RealFaultMode::Oom;
+  else if (plan_.spin_rate > 0.0 && unit(key, kSaltSpin) < plan_.spin_rate)
+    d.mode = RealFaultMode::Spin;
+  if (d.mode != RealFaultMode::None && !seq.empty())
+    d.pass_index = static_cast<std::size_t>(mix64(key)) % seq.size();
+  return d;
+}
+
+void put(persist::Writer& w, const FaultPlan& p) {
+  w.u64(p.seed);
+  w.f64(p.transient_crash_rate);
+  w.f64(p.deterministic_crash_rate);
+  w.f64(p.hang_rate);
+  w.f64(p.transient_hang_rate);
+  w.f64(p.miscompile_rate);
+  w.f64(p.workload_miscompile_rate);
+  w.f64(p.noise_sigma);
+  w.f64(p.outlier_rate);
+  w.f64(p.outlier_scale);
+  w.f64(p.segv_rate);
+  w.f64(p.oom_rate);
+  w.f64(p.spin_rate);
+}
+
+void get(persist::Reader& r, FaultPlan& p) {
+  p.seed = r.u64();
+  p.transient_crash_rate = r.f64();
+  p.deterministic_crash_rate = r.f64();
+  p.hang_rate = r.f64();
+  p.transient_hang_rate = r.f64();
+  p.miscompile_rate = r.f64();
+  p.workload_miscompile_rate = r.f64();
+  p.noise_sigma = r.f64();
+  p.outlier_rate = r.f64();
+  p.outlier_scale = r.f64();
+  p.segv_rate = r.f64();
+  p.oom_rate = r.f64();
+  p.spin_rate = r.f64();
 }
 
 void FaultInjector::save_attempts(persist::Writer& w) const {

@@ -68,13 +68,46 @@ struct FaultPlan {
   double outlier_rate = 0.0;   ///< probability of an outlier spike
   double outlier_scale = 6.0;  ///< outlier multiplies runtime by up to this
 
+  // REAL process-killing faults, keyed by hash(module, full sequence) and
+  // interpreted only by the sandbox worker harness (sandbox/worker.cpp):
+  // the worker genuinely dereferences null, allocates until OOM, or
+  // busy-spins past its deadline, exercising containment end-to-end
+  // rather than via simulated Outcome flips. Decisions carry no attempt
+  // counters — the same candidate dies the same way on every retry. The
+  // in-process path has no process boundary to kill and ignores these,
+  // which is exactly the circuit breaker's degradation tradeoff.
+  double segv_rate = 0.0;  ///< worker raises SIGSEGV mid-build
+  double oom_rate = 0.0;   ///< worker allocates until the memory cap
+  double spin_rate = 0.0;  ///< worker spins past the wall deadline
+
   bool enabled() const {
     return transient_crash_rate > 0.0 || deterministic_crash_rate > 0.0 ||
            hang_rate > 0.0 || transient_hang_rate > 0.0 ||
            miscompile_rate > 0.0 || workload_miscompile_rate > 0.0 ||
-           noise_sigma > 0.0 || outlier_rate > 0.0;
+           noise_sigma > 0.0 || outlier_rate > 0.0 || segv_rate > 0.0 ||
+           oom_rate > 0.0 || spin_rate > 0.0;
   }
 };
+
+/// How a sandbox worker should really die for a given candidate.
+enum class RealFaultMode {
+  None,
+  Segv,  ///< write through a null pointer (worker dies by SIGSEGV)
+  Oom,   ///< allocate until the rlimit cap (bad_alloc or allocator abort)
+  Spin,  ///< busy-loop until the supervisor's wall deadline fires
+};
+
+struct RealFaultDecision {
+  RealFaultMode mode = RealFaultMode::None;
+  /// Which pass of the victim sequence is "active" when the fault fires,
+  /// so crash-signature capture has a deterministic site to report.
+  std::size_t pass_index = 0;
+};
+
+/// Round-trip a fault plan through the persist codec (sandbox job frames
+/// ship the plan to workers; the encoding is bit-exact in the doubles).
+void put(persist::Writer& w, const FaultPlan& p);
+void get(persist::Reader& r, FaultPlan& p);
 
 /// Stable hash of (module, sequence prefix) — the fault key for compile
 /// crashes. Exposed so tests can verify keying.
@@ -106,6 +139,12 @@ class FaultInjector {
   /// of the binary. Identity when the plan has no noise.
   double perturb(double cycles, std::uint64_t binary_hash,
                  std::uint64_t replicate) const;
+
+  /// Real process-killing fault (if any) for compiling `seq` on `module`
+  /// inside a sandbox worker. Pure in (plan seed, module, sequence): no
+  /// attempt counters, so retries and resumed runs decide identically.
+  RealFaultDecision real_fault(const std::string& module,
+                               const std::vector<std::string>& seq) const;
 
   /// Forget attempt counters (transient faults replay identically after).
   void reset_attempts() { attempts_.clear(); }

@@ -1,12 +1,25 @@
 #include "sim/prefix_cache.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <utility>
 
 #include "ir/printer.hpp"
 #include "ir/verifier.hpp"
 
 namespace citroen::sim {
+
+namespace {
+
+/// See set_pass_progress_hook. Relaxed is enough: the only writer is a
+/// single-threaded worker process installing the hook before any build.
+std::atomic<PassProgressHook> g_pass_progress_hook{nullptr};
+
+}  // namespace
+
+void set_pass_progress_hook(PassProgressHook hook) {
+  g_pass_progress_hook.store(hook, std::memory_order_relaxed);
+}
 
 namespace {
 
@@ -206,8 +219,11 @@ std::shared_ptr<const ModuleBuild> PrefixCache::build(
   const auto& reg = passes::PassRegistry::instance();
   const auto stride = static_cast<std::size_t>(
       std::max(1, config_.snapshot_stride));
+  const PassProgressHook hook =
+      g_pass_progress_hook.load(std::memory_order_relaxed);
   for (std::size_t i = start; i < n; ++i) {
     try {
+      if (hook) hook(ids[i]);
       passes::StatsRegistry pass_stats;
       reg.create(ids[i])->run(out->module, pass_stats);
       out->stats.merge(pass_stats);

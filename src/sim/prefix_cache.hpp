@@ -64,6 +64,16 @@ struct ModuleBuild {
   std::size_t code_size = 0;     ///< live instructions after the sequence
 };
 
+/// Process-global per-pass progress hook, invoked immediately before each
+/// pass execution inside PrefixCache::build. Sandbox worker processes
+/// install one after fork so the supervisor can name the pass that was
+/// active at the moment of a crash (crash-signature capture); everywhere
+/// else it stays null and costs a single relaxed atomic load per pass.
+/// Install only while no builds are in flight — workers do it once at
+/// startup, before serving any job.
+using PassProgressHook = void (*)(passes::PassId);
+void set_pass_progress_hook(PassProgressHook hook);
+
 class PrefixCache {
  public:
   explicit PrefixCache(PrefixCacheConfig config = {});

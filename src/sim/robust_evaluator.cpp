@@ -8,9 +8,71 @@
 
 namespace citroen::sim {
 
-RobustEvaluator::RobustEvaluator(ProgramEvaluator& base, RobustConfig config,
+void QuarantineSet::set_cap(std::size_t cap) {
+  cap_ = cap;
+  while (cap_ > 0 && index_.size() > cap_) {
+    index_.erase(order_.back().first);
+    order_.pop_back();
+    ++evictions_;
+  }
+}
+
+void QuarantineSet::insert(std::uint64_t sig, FailureKind kind) {
+  const auto it = index_.find(sig);
+  if (it != index_.end()) {
+    it->second->second = kind;
+    order_.splice(order_.begin(), order_, it->second);
+    return;
+  }
+  order_.emplace_front(sig, kind);
+  index_[sig] = order_.begin();
+  while (cap_ > 0 && index_.size() > cap_) {
+    index_.erase(order_.back().first);
+    order_.pop_back();
+    ++evictions_;
+  }
+}
+
+const FailureKind* QuarantineSet::peek(std::uint64_t sig) const {
+  const auto it = index_.find(sig);
+  return it == index_.end() ? nullptr : &it->second->second;
+}
+
+const FailureKind* QuarantineSet::touch(std::uint64_t sig) {
+  const auto it = index_.find(sig);
+  if (it == index_.end()) return nullptr;
+  order_.splice(order_.begin(), order_, it->second);
+  return &it->second->second;
+}
+
+void QuarantineSet::save(persist::Writer& w) const {
+  w.u64(index_.size());
+  for (const auto& [sig, kind] : order_) {
+    w.u64(sig);
+    w.u8(static_cast<std::uint8_t>(kind));
+  }
+  w.u64(evictions_);
+}
+
+void QuarantineSet::load(persist::Reader& r) {
+  order_.clear();
+  index_.clear();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t sig = r.u64();
+    const auto kind = static_cast<FailureKind>(r.u8());
+    // Stored MRU-first; appending at the back reproduces the order.
+    order_.emplace_back(sig, kind);
+    index_[sig] = std::prev(order_.end());
+  }
+  evictions_ = r.u64();
+  set_cap(cap_);  // a cap lowered since the save applies on restore
+}
+
+RobustEvaluator::RobustEvaluator(Evaluator& base, RobustConfig config,
                                  const FaultInjector* injector)
-    : base_(base), config_(config), injector_(injector) {
+    : base_(base), config_(config), injector_(injector),
+      quarantine_(config.quarantine_cap) {
   base_.set_fault_injector(injector_);
 }
 
@@ -28,7 +90,7 @@ CompileOutcome RobustEvaluator::compile(const SequenceAssignment& seqs,
 
 bool RobustEvaluator::is_quarantined(const SequenceAssignment& seqs) const {
   return config_.quarantine &&
-         quarantine_.count(assignment_signature(seqs)) > 0;
+         quarantine_.peek(assignment_signature(seqs)) != nullptr;
 }
 
 void RobustEvaluator::prefetch(std::span<const SequenceAssignment> batch,
@@ -71,15 +133,14 @@ double RobustEvaluator::dispersion(std::vector<double> samples) const {
 EvalOutcome RobustEvaluator::evaluate(const SequenceAssignment& seqs) {
   const std::uint64_t sig = assignment_signature(seqs);
   if (config_.quarantine) {
-    const auto q = quarantine_.find(sig);
-    if (q != quarantine_.end()) {
+    if (const FailureKind* q = quarantine_.touch(sig)) {
       // Known deterministic failure: answer from the quarantine set for
       // free. `cache_hit` tells callers no budget was spent.
       ++stats_.quarantine_hits;
       EvalOutcome out;
-      out.failure = q->second;
+      out.failure = *q;
       out.why_invalid = std::string("quarantined: known deterministic ") +
-                        failure_kind_name(q->second);
+                        failure_kind_name(*q);
       out.cache_hit = true;
       out.attempts = 0;
       return out;
@@ -105,7 +166,7 @@ EvalOutcome RobustEvaluator::evaluate(const SequenceAssignment& seqs) {
     ++stats_.failures[failure_kind_name(out.failure)];
     if (config_.quarantine && !out.transient &&
         out.failure != FailureKind::None) {
-      quarantine_.emplace(sig, out.failure);
+      quarantine_.insert(sig, out.failure);
     }
     return out;
   }
@@ -171,12 +232,7 @@ void RobustEvaluator::save_state(persist::Writer& w) const {
     std::sort(keys.begin(), keys.end());
     return keys;
   };
-  const auto qkeys = sorted_keys(quarantine_);
-  w.u64(qkeys.size());
-  for (const std::uint64_t k : qkeys) {
-    w.u64(k);
-    w.u8(static_cast<std::uint8_t>(quarantine_.at(k)));
-  }
+  quarantine_.save(w);
   const auto rkeys = sorted_keys(replicate_counter_);
   w.u64(rkeys.size());
   for (const std::uint64_t k : rkeys) {
@@ -194,13 +250,8 @@ void RobustEvaluator::save_state(persist::Writer& w) const {
 }
 
 void RobustEvaluator::load_state(persist::Reader& r) {
-  quarantine_.clear();
   replicate_counter_.clear();
-  const std::uint64_t nq = r.u64();
-  for (std::uint64_t i = 0; i < nq; ++i) {
-    const std::uint64_t k = r.u64();
-    quarantine_[k] = static_cast<FailureKind>(r.u8());
-  }
+  quarantine_.load(r);
   const std::uint64_t nr = r.u64();
   for (std::uint64_t i = 0; i < nr; ++i) {
     const std::uint64_t k = r.u64();

@@ -3,11 +3,14 @@
 // model of sim/faults.hpp the way a production tuning service must
 // survive a noisy embedded board (the paper's Jetson TX2 target).
 //
-// On top of a plain ProgramEvaluator it adds:
+// On top of an inner Evaluator (a plain ProgramEvaluator, or a
+// sandbox::SandboxedEvaluator that contains real process deaths) it adds:
 //   - bounded retry with (simulated) backoff for transient failures,
 //   - a quarantine set of assignment signatures that failed
 //     deterministically, so the search never re-pays for a known-bad
-//     sequence and candidate generators can skip proposing them,
+//     sequence and candidate generators can skip proposing them; the set
+//     is LRU-bounded (`RobustConfig::quarantine_cap`) so soak runs cannot
+//     grow it without limit,
 //   - replicated measurement under injected noise with median /
 //     trimmed-mean aggregation, plus adaptive re-measurement when a
 //     candidate lands near the incumbent (where a wrong ranking is most
@@ -21,8 +24,10 @@
 // the base evaluator and outputs are bit-for-bit identical to it.
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <unordered_map>
+#include <utility>
 
 #include "sim/evaluator.hpp"
 #include "sim/faults.hpp"
@@ -44,6 +49,46 @@ struct RobustConfig {
   /// of the median even after adaptive re-measurement.
   double noisy_reject_mad = 0.35;
   bool quarantine = true;        ///< remember deterministic failures
+  /// Most signatures the quarantine set remembers before evicting the
+  /// least-recently-used one (0 = unbounded). An evicted signature merely
+  /// pays its deterministic failure again if re-proposed — correctness is
+  /// unaffected, only the budget spent.
+  std::size_t quarantine_cap = 8192;
+};
+
+/// LRU-bounded map of assignment signature -> failure class. Recency
+/// order is deterministic: insertions and evaluate-path hits refresh it,
+/// read-only generator queries (`peek`) do not, so results never depend
+/// on how often candidates were merely *proposed*.
+class QuarantineSet {
+ public:
+  explicit QuarantineSet(std::size_t cap = 0) : cap_(cap) {}
+
+  void set_cap(std::size_t cap);
+
+  /// Record (or refresh) a signature, evicting the LRU entry past the cap.
+  void insert(std::uint64_t sig, FailureKind kind);
+  /// Lookup without touching recency (candidate-generator queries).
+  const FailureKind* peek(std::uint64_t sig) const;
+  /// Lookup and refresh recency (an evaluation answered from quarantine:
+  /// a signature the search keeps proposing should stay resident).
+  const FailureKind* touch(std::uint64_t sig);
+
+  std::size_t size() const { return index_.size(); }
+  std::uint64_t evictions() const { return evictions_; }
+
+  /// Serialized most- to least-recent so a restored set evicts in the
+  /// same order the original would have.
+  void save(persist::Writer& w) const;
+  void load(persist::Reader& r);
+
+ private:
+  using Order = std::list<std::pair<std::uint64_t, FailureKind>>;
+
+  std::size_t cap_;
+  std::uint64_t evictions_ = 0;
+  Order order_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, Order::iterator> index_;
 };
 
 /// Observable robustness counters (reported by the fault benches).
@@ -61,8 +106,9 @@ struct RobustStats {
 class RobustEvaluator : public Evaluator {
  public:
   /// `injector` may be nullptr (no faults); it must outlive this object.
-  /// The injector is attached to `base` for the lifetime of this wrapper.
-  RobustEvaluator(ProgramEvaluator& base, RobustConfig config = {},
+  /// The injector is attached through `base` (decorators forward it to
+  /// the ProgramEvaluator at the bottom) for this wrapper's lifetime.
+  RobustEvaluator(Evaluator& base, RobustConfig config = {},
                   const FaultInjector* injector = nullptr);
   ~RobustEvaluator() override;
 
@@ -96,11 +142,14 @@ class RobustEvaluator : public Evaluator {
 
   const RobustStats& robust_stats() const { return stats_; }
   std::size_t quarantine_size() const { return quarantine_.size(); }
+  std::uint64_t quarantine_evictions() const {
+    return quarantine_.evictions();
+  }
 
   /// Checkpoint/restore this wrapper's own order-sensitive state: the
-  /// quarantine set, per-binary replicate counters, robustness counters
-  /// and the incumbent speedup. The wrapped base evaluator and the fault
-  /// injector checkpoint themselves separately.
+  /// quarantine set (in recency order), per-binary replicate counters,
+  /// robustness counters and the incumbent speedup. The wrapped base
+  /// evaluator and the fault injector checkpoint themselves separately.
   void save_state(persist::Writer& w) const;
   void load_state(persist::Reader& r);
 
@@ -118,11 +167,10 @@ class RobustEvaluator : public Evaluator {
   double aggregate(std::vector<double>& samples) const;
   double dispersion(std::vector<double> samples) const;
 
-  ProgramEvaluator& base_;
+  Evaluator& base_;
   RobustConfig config_;
   const FaultInjector* injector_;
-  /// Signature -> failure class of deterministically-failing assignments.
-  std::unordered_map<std::uint64_t, FailureKind> quarantine_;
+  QuarantineSet quarantine_;
   /// Replicate counter per binary: keeps repeated noisy measurements of
   /// the same binary on fresh deterministic noise draws.
   std::unordered_map<std::uint64_t, std::uint64_t> replicate_counter_;

@@ -1,0 +1,30 @@
+#pragma once
+// Tiny environment-variable helpers. The repo's runtime knobs
+// (CITROEN_THREADS, CITROEN_SANDBOX, CITROEN_SANDBOX_WORKERS, ...) all
+// parse through here so the accepted syntax stays uniform: unset or
+// unparsable values fall back, "0"/"false"/"off" disable flags.
+
+#include <cstdlib>
+#include <cstring>
+
+namespace citroen::support {
+
+/// Integer knob: `fallback` when unset or not a positive integer.
+inline int env_int(const char* name, int fallback) {
+  if (const char* v = std::getenv(name)) {
+    const int n = std::atoi(v);
+    if (n > 0) return n;
+  }
+  return fallback;
+}
+
+/// Boolean knob: false when unset, "0", "false" or "off"; true otherwise
+/// (so `CITROEN_SANDBOX=1 ...` and `CITROEN_SANDBOX=on ...` both work).
+inline bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return false;
+  return std::strcmp(v, "0") != 0 && std::strcmp(v, "false") != 0 &&
+         std::strcmp(v, "off") != 0;
+}
+
+}  // namespace citroen::support

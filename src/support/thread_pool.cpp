@@ -1,9 +1,10 @@
 #include "support/thread_pool.hpp"
 
 #include <atomic>
-#include <cstdlib>
 #include <deque>
 #include <exception>
+
+#include "support/env.hpp"
 
 namespace citroen {
 
@@ -28,12 +29,9 @@ struct ThreadPool::Loop {
 };
 
 int ThreadPool::default_threads() {
-  if (const char* env = std::getenv("CITROEN_THREADS")) {
-    const int n = std::atoi(env);
-    if (n > 0) return n;
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? static_cast<int>(hw) : 1;
+  return support::env_int("CITROEN_THREADS",
+                          hw > 0 ? static_cast<int>(hw) : 1);
 }
 
 ThreadPool& ThreadPool::global() {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "bench_suite/suite.hpp"
+#include "persist/codec.hpp"
 #include "sim/evaluator.hpp"
 #include "sim/faults.hpp"
 #include "sim/machine.hpp"
@@ -290,4 +291,107 @@ TEST(Robust, HopelesslyNoisyMeasurementsAreRejectedNotQuarantined) {
   // assignment stays admissible for a later, luckier attempt.
   EXPECT_FALSE(robust.is_quarantined(a));
   EXPECT_EQ(robust.robust_stats().failures.at("noisy-rejected"), 1);
+}
+
+// ---- quarantine LRU bound (PR 4) ------------------------------------------
+
+TEST(Quarantine, CapEvictsLeastRecentlyUsed) {
+  sim::QuarantineSet q(3);
+  q.insert(1, sim::FailureKind::Crash);
+  q.insert(2, sim::FailureKind::Hang);
+  q.insert(3, sim::FailureKind::Miscompile);
+  EXPECT_EQ(q.size(), 3u);
+  q.insert(4, sim::FailureKind::WorkerCrash);  // evicts 1 (oldest)
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.evictions(), 1u);
+  EXPECT_EQ(q.peek(1), nullptr);
+  ASSERT_NE(q.peek(2), nullptr);
+  ASSERT_NE(q.peek(4), nullptr);
+  EXPECT_EQ(*q.peek(4), sim::FailureKind::WorkerCrash);
+}
+
+TEST(Quarantine, TouchRefreshesRecencyButPeekDoesNot) {
+  sim::QuarantineSet q(2);
+  q.insert(1, sim::FailureKind::Crash);
+  q.insert(2, sim::FailureKind::Crash);
+  // peek(1) must NOT protect 1: candidate generators only peek.
+  EXPECT_NE(q.peek(1), nullptr);
+  q.insert(3, sim::FailureKind::Crash);  // evicts 1 despite the peek
+  EXPECT_EQ(q.peek(1), nullptr);
+  // touch(2) refreshes: 3 becomes the LRU victim.
+  EXPECT_NE(q.touch(2), nullptr);
+  q.insert(4, sim::FailureKind::Crash);
+  EXPECT_EQ(q.peek(3), nullptr);
+  EXPECT_NE(q.peek(2), nullptr);
+}
+
+TEST(Quarantine, ReinsertRefreshesInsteadOfDuplicating) {
+  sim::QuarantineSet q(2);
+  q.insert(1, sim::FailureKind::Crash);
+  q.insert(2, sim::FailureKind::Crash);
+  q.insert(1, sim::FailureKind::Hang);  // refresh + overwrite kind
+  EXPECT_EQ(q.size(), 2u);
+  ASSERT_NE(q.peek(1), nullptr);
+  EXPECT_EQ(*q.peek(1), sim::FailureKind::Hang);
+  q.insert(3, sim::FailureKind::Crash);  // evicts 2 (1 was refreshed)
+  EXPECT_EQ(q.peek(2), nullptr);
+  EXPECT_NE(q.peek(1), nullptr);
+}
+
+TEST(Quarantine, SaveLoadPreservesRecencyOrderAndCounters) {
+  sim::QuarantineSet q(4);
+  for (std::uint64_t s = 1; s <= 4; ++s)
+    q.insert(s, sim::FailureKind::Crash);
+  q.touch(1);  // order (MRU->LRU): 1 4 3 2
+  persist::Writer w;
+  q.save(w);
+  const std::string bytes = w.take();
+
+  sim::QuarantineSet back(4);
+  persist::Reader r(bytes);
+  back.load(r);
+  EXPECT_EQ(back.size(), 4u);
+  back.insert(5, sim::FailureKind::Crash);  // must evict 2, the LRU
+  EXPECT_EQ(back.peek(2), nullptr);
+  EXPECT_NE(back.peek(1), nullptr);
+  EXPECT_NE(back.peek(3), nullptr);
+}
+
+TEST(Quarantine, LoadAppliesTheCurrentSmallerCap) {
+  sim::QuarantineSet q(0);  // unbounded writer
+  for (std::uint64_t s = 1; s <= 6; ++s)
+    q.insert(s, sim::FailureKind::Crash);
+  persist::Writer w;
+  q.save(w);
+  const std::string bytes = w.take();
+
+  sim::QuarantineSet back(3);  // restored under a tighter budget
+  persist::Reader r(bytes);
+  back.load(r);
+  EXPECT_EQ(back.size(), 3u);
+  // The three most recent survive the shrink.
+  EXPECT_NE(back.peek(6), nullptr);
+  EXPECT_NE(back.peek(5), nullptr);
+  EXPECT_NE(back.peek(4), nullptr);
+  EXPECT_EQ(back.peek(3), nullptr);
+}
+
+TEST(Robust, QuarantineCapIsHonouredEndToEnd) {
+  sim::FaultPlan plan;
+  plan.seed = 21;
+  plan.deterministic_crash_rate = 1.0;  // every candidate quarantines
+  const sim::FaultInjector inj(plan);
+  sim::ProgramEvaluator base(bench_suite::make_program("security_sha"),
+                             sim::arm_a57_model());
+  sim::RobustConfig cfg;
+  cfg.quarantine_cap = 4;
+  sim::RobustEvaluator robust(base, cfg, &inj);
+  const auto& space = passes::PassRegistry::instance().pass_names();
+  for (int i = 0; i < 10; ++i) {
+    sim::SequenceAssignment a{
+        {"sha", {"mem2reg", space[static_cast<std::size_t>(i) % space.size()]}}};
+    robust.evaluate(a);
+  }
+  EXPECT_LE(robust.quarantine_size(), 4u);
+  EXPECT_GT(robust.quarantine_evictions(), 0u);
 }

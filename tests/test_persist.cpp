@@ -563,3 +563,54 @@ TEST(PersistState, RobustEvaluatorAndInjectorRoundTrip) {
     ASSERT_EQ(wa.take(), wb.take());
   }
 }
+
+// ---- sandbox failure taxonomy in journal records (PR 4) --------------------
+
+TEST(PersistCodec, WorkerFailureKindsRoundTrip) {
+  // The journal stores FailureKind as a u8; the sandbox classes appended
+  // in PR 4 must survive the trip (and never renumber earlier classes).
+  for (const auto kind :
+       {sim::FailureKind::WorkerCrash, sim::FailureKind::WorkerTimeout,
+        sim::FailureKind::WorkerOOM}) {
+    sim::EvalOutcome o;
+    o.valid = false;
+    o.failure = kind;
+    o.why_invalid = "sandbox: worker killed by signal 11 (stage build)";
+    o.transient = false;
+    o.attempts = 1;
+    persist::Writer w;
+    sim::put(w, o);
+    const std::string bytes = w.take();
+    persist::Reader r(bytes);
+    sim::EvalOutcome back;
+    sim::get(r, back);
+    EXPECT_EQ(back.failure, kind);
+    EXPECT_EQ(back.why_invalid, o.why_invalid);
+    EXPECT_FALSE(back.valid);
+  }
+  // Pre-sandbox classes keep their wire values (append-only enum).
+  EXPECT_EQ(static_cast<int>(sim::FailureKind::Verifier), 5);
+  EXPECT_EQ(static_cast<int>(sim::FailureKind::WorkerCrash), 6);
+  EXPECT_EQ(static_cast<int>(sim::FailureKind::WorkerTimeout), 7);
+  EXPECT_EQ(static_cast<int>(sim::FailureKind::WorkerOOM), 8);
+}
+
+TEST(PersistCodec, FaultPlanRealFaultRatesRoundTrip) {
+  sim::FaultPlan p;
+  p.seed = 77;
+  p.transient_crash_rate = 0.125;
+  p.segv_rate = 0.25;
+  p.oom_rate = 0.0625;
+  p.spin_rate = 0.03125;
+  persist::Writer w;
+  sim::put(w, p);
+  const std::string bytes = w.take();
+  persist::Reader r(bytes);
+  sim::FaultPlan back;
+  sim::get(r, back);
+  EXPECT_EQ(back.seed, p.seed);
+  EXPECT_EQ(back.transient_crash_rate, p.transient_crash_rate);
+  EXPECT_EQ(back.segv_rate, p.segv_rate);
+  EXPECT_EQ(back.oom_rate, p.oom_rate);
+  EXPECT_EQ(back.spin_rate, p.spin_rate);
+}

@@ -1,0 +1,453 @@
+// Tests for the out-of-process evaluation sandbox (src/sandbox/): IPC
+// frame properties under truncation/corruption, the job/result codecs,
+// byte-identity of sandboxed vs. plain evaluation, and one containment
+// test per crash class (SIGSEGV, OOM, spin, external SIGKILL) plus the
+// circuit-breaker degradation path.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_suite/suite.hpp"
+#include "persist/codec.hpp"
+#include "sandbox/ipc.hpp"
+#include "sandbox/protocol.hpp"
+#include "sandbox/supervisor.hpp"
+#include "sim/evaluator.hpp"
+#include "sim/faults.hpp"
+#include "sim/machine.hpp"
+#include "sim/robust_evaluator.hpp"
+#include "support/rng.hpp"
+
+using namespace citroen;
+
+namespace {
+
+std::string decode_one(const std::string& bytes, sandbox::DecodeStatus* st) {
+  sandbox::FrameDecoder dec;
+  dec.feed(bytes.data(), bytes.size());
+  std::string payload, err;
+  *st = dec.next(&payload, &err);
+  return payload;
+}
+
+sim::SequenceAssignment make_assignment(int i) {
+  const std::vector<std::string> base = {"mem2reg", "instcombine",
+                                         "simplifycfg", "gvn", "dce"};
+  const auto& space = passes::PassRegistry::instance().pass_names();
+  auto seq = base;
+  seq[static_cast<std::size_t>(i) % seq.size()] =
+      space[(static_cast<std::size_t>(i) * 7 + 3) % space.size()];
+  sim::SequenceAssignment a;
+  a["sha"] = seq;
+  return a;
+}
+
+std::string outcome_bytes(const sim::EvalOutcome& o) {
+  persist::Writer w;
+  sim::put(w, o);
+  return w.take();
+}
+
+bool is_worker_failure(sim::FailureKind k) {
+  return k == sim::FailureKind::WorkerCrash ||
+         k == sim::FailureKind::WorkerTimeout ||
+         k == sim::FailureKind::WorkerOOM;
+}
+
+}  // namespace
+
+// ---- frame transport ------------------------------------------------------
+
+TEST(SandboxIpc, FrameRoundTripsAtVariousSizes) {
+  for (const std::size_t n :
+       {std::size_t{0}, std::size_t{1}, std::size_t{160}, std::size_t{70000}}) {
+    std::string payload(n, '\x5a');
+    for (std::size_t i = 0; i < n; ++i)
+      payload[i] = static_cast<char>(i * 31 + 7);
+    sandbox::DecodeStatus st;
+    const std::string got = decode_one(sandbox::encode_frame(payload), &st);
+    EXPECT_EQ(st, sandbox::DecodeStatus::Ok);
+    EXPECT_EQ(got, payload);
+  }
+}
+
+TEST(SandboxIpc, ChunkedFeedReassembles) {
+  const std::string payload(1000, '\x42');
+  const std::string frame = sandbox::encode_frame(payload);
+  sandbox::FrameDecoder dec;
+  std::string out, err;
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    // Every prefix must be NeedMore; only the full frame decodes.
+    EXPECT_EQ(dec.next(&out, &err), sandbox::DecodeStatus::NeedMore);
+    dec.feed(frame.data() + i, 1);
+  }
+  EXPECT_EQ(dec.next(&out, &err), sandbox::DecodeStatus::Ok);
+  EXPECT_EQ(out, payload);
+}
+
+TEST(SandboxIpc, EveryTruncationIsNeedMoreNeverOk) {
+  const std::string frame = sandbox::encode_frame(std::string(64, '\x17'));
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    sandbox::DecodeStatus st;
+    decode_one(frame.substr(0, cut), &st);
+    EXPECT_EQ(st, sandbox::DecodeStatus::NeedMore) << "cut at " << cut;
+  }
+}
+
+TEST(SandboxIpc, EveryBitFlipIsDetected) {
+  const std::string payload = "the quick brown fox jumps over compilers";
+  const std::string frame = sandbox::encode_frame(payload);
+  for (std::size_t byte = 0; byte < frame.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string bad = frame;
+      bad[byte] = static_cast<char>(bad[byte] ^ (1 << bit));
+      sandbox::DecodeStatus st;
+      decode_one(bad, &st);
+      // A flip in the length field may leave the decoder waiting for a
+      // longer frame (NeedMore); everything else must be caught by the
+      // length plausibility check or the CRC. Never a clean decode.
+      EXPECT_NE(st, sandbox::DecodeStatus::Ok)
+          << "flip byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(SandboxIpc, RandomMutationsNeverYieldAForgedPayload) {
+  Rng rng(2024);
+  const std::string payload(256, '\x33');
+  const std::string frame = sandbox::encode_frame(payload);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string bad = frame;
+    const int flips = 1 + static_cast<int>(rng.uniform_index(8));
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t pos = rng.uniform_index(bad.size());
+      bad[pos] = static_cast<char>(bad[pos] ^
+                                   (1 << rng.uniform_index(8)));
+    }
+    sandbox::DecodeStatus st;
+    const std::string got = decode_one(bad, &st);
+    if (st == sandbox::DecodeStatus::Ok) {
+      EXPECT_EQ(got, payload);
+    }
+  }
+}
+
+TEST(SandboxIpc, CorruptionPoisonsTheDecoderPermanently) {
+  const std::string frame = sandbox::encode_frame(std::string(32, 'x'));
+  std::string bad = frame;
+  bad[sandbox::kFrameHeaderBytes] ^= 0x01;  // payload flip -> CRC mismatch
+  sandbox::FrameDecoder dec;
+  dec.feed(bad.data(), bad.size());
+  std::string out, err;
+  EXPECT_EQ(dec.next(&out, &err), sandbox::DecodeStatus::Corrupt);
+  // Even a pristine follow-up frame must not be trusted on this stream.
+  dec.feed(frame.data(), frame.size());
+  EXPECT_EQ(dec.next(&out, &err), sandbox::DecodeStatus::Corrupt);
+}
+
+TEST(SandboxIpc, ImplausibleLengthIsCorrupt) {
+  std::string header;
+  const std::uint32_t len = sandbox::kMaxFramePayload + 1;
+  for (int i = 0; i < 4; ++i)
+    header.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+  header.append(4, '\0');  // CRC never inspected
+  sandbox::DecodeStatus st;
+  decode_one(header, &st);
+  EXPECT_EQ(st, sandbox::DecodeStatus::Corrupt);
+}
+
+TEST(SandboxIpc, ReaderReportsEofOnTornWrite) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const std::string frame = sandbox::encode_frame(std::string(128, 'y'));
+  // Half a frame, then the writer "dies".
+  ASSERT_EQ(::write(fds[1], frame.data(), frame.size() / 2),
+            static_cast<ssize_t>(frame.size() / 2));
+  ::close(fds[1]);
+  sandbox::FrameReader reader(fds[0]);
+  std::string payload, err;
+  EXPECT_EQ(reader.read(&payload, /*timeout_seconds=*/5.0, &err),
+            sandbox::IoStatus::Eof);
+  ::close(fds[0]);
+}
+
+// ---- job/result codecs ----------------------------------------------------
+
+TEST(SandboxProtocol, JobRoundTripsWithAndWithoutPlan) {
+  sandbox::SandboxJob job;
+  job.id = 0x1122334455667788ull;
+  job.kind = sandbox::JobKind::Compile;
+  job.assignment = make_assignment(3);
+  for (const bool with_plan : {false, true}) {
+    job.has_plan = with_plan;
+    if (with_plan) {
+      job.plan.seed = 99;
+      job.plan.segv_rate = 0.25;
+      job.plan.noise_sigma = 0.125;
+    }
+    sandbox::SandboxJob back;
+    std::string err;
+    ASSERT_TRUE(sandbox::decode_job(sandbox::encode_job(job), &back, &err))
+        << err;
+    EXPECT_EQ(back.id, job.id);
+    EXPECT_EQ(back.kind, job.kind);
+    EXPECT_EQ(back.has_plan, job.has_plan);
+    if (with_plan) {
+      EXPECT_EQ(back.plan.seed, job.plan.seed);
+      EXPECT_EQ(back.plan.segv_rate, job.plan.segv_rate);
+      EXPECT_EQ(back.plan.noise_sigma, job.plan.noise_sigma);
+    }
+    EXPECT_EQ(back.assignment, job.assignment);
+  }
+}
+
+TEST(SandboxProtocol, ResultRoundTripsBitExactDoubles) {
+  sandbox::SandboxResult res;
+  res.id = 7;
+  res.status = sandbox::ResultStatus::Ok;
+  res.pure.built = true;
+  res.pure.binary_hash = 0xdeadbeefcafef00dull;
+  ir::ExecResult run;
+  run.ok = true;
+  run.ret = -12345;
+  run.cycles = 0.1 + 0.2;  // not representable; must survive bit-exactly
+  run.instructions = 987654321;
+  res.pure.runs = {run, run};
+  sandbox::SandboxResult back;
+  std::string err;
+  ASSERT_TRUE(sandbox::decode_result(sandbox::encode_result(res), &back,
+                                     &err))
+      << err;
+  EXPECT_EQ(back.pure.binary_hash, res.pure.binary_hash);
+  ASSERT_EQ(back.pure.runs.size(), 2u);
+  EXPECT_EQ(back.pure.runs[0].ret, run.ret);
+  EXPECT_EQ(back.pure.runs[0].cycles, run.cycles);
+  EXPECT_EQ(back.pure.runs[0].instructions, run.instructions);
+}
+
+TEST(SandboxProtocol, MalformedPayloadsAreRejectedNotTrusted) {
+  sandbox::SandboxJob job;
+  std::string err;
+  EXPECT_FALSE(sandbox::decode_job("", &job, &err));
+  EXPECT_FALSE(sandbox::decode_job("\x07garbage", &job, &err));
+  // Trailing bytes after a valid job are a framing bug somewhere: reject.
+  sandbox::SandboxJob good;
+  good.assignment = make_assignment(0);
+  std::string bytes = sandbox::encode_job(good);
+  bytes.push_back('\0');
+  EXPECT_FALSE(sandbox::decode_job(bytes, &job, &err));
+  sandbox::SandboxResult res;
+  EXPECT_FALSE(sandbox::decode_result("\xff\xff", &res, &err));
+}
+
+TEST(SandboxProtocol, ProgressWordPacksAndUnpacks) {
+  const std::uint64_t word = sandbox::pack_progress(
+      0x1234567890ull, sandbox::WorkerStage::Build, 513);
+  const auto p = sandbox::unpack_progress(word);
+  EXPECT_EQ(p.job_id_lo, 0x34567890u);
+  EXPECT_EQ(p.stage, sandbox::WorkerStage::Build);
+  EXPECT_EQ(p.pass_id, 513);
+}
+
+// ---- end-to-end: byte identity --------------------------------------------
+
+TEST(Sandbox, MatchesPlainEvaluationBitForBit) {
+  sim::ProgramEvaluator plain(bench_suite::make_program("security_sha"),
+                              sim::arm_a57_model());
+  sim::ProgramEvaluator base(bench_suite::make_program("security_sha"),
+                             sim::arm_a57_model());
+  sandbox::SandboxConfig cfg;
+  cfg.workers = 2;
+  sandbox::SandboxedEvaluator sandboxed(base, cfg);
+
+  std::vector<sim::SequenceAssignment> batch;
+  for (int i = 0; i < 8; ++i) batch.push_back(make_assignment(i));
+
+  // Batch through the sandbox (prefetch + replay), serial on the plain
+  // evaluator: every outcome and the accounting must agree byte-for-byte.
+  const auto sandboxed_out = sandboxed.evaluate_batch(batch);
+  ASSERT_EQ(sandboxed_out.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto expect = plain.evaluate(batch[i]);
+    EXPECT_EQ(outcome_bytes(sandboxed_out[i]), outcome_bytes(expect))
+        << "candidate " << i;
+  }
+  EXPECT_EQ(sandboxed.num_compiles(), plain.num_compiles());
+  EXPECT_EQ(sandboxed.num_measurements(), plain.num_measurements());
+  EXPECT_EQ(sandboxed.num_cache_hits(), plain.num_cache_hits());
+  EXPECT_FALSE(sandboxed.degraded());
+}
+
+TEST(Sandbox, CompileVettingMatchesPlain) {
+  sim::ProgramEvaluator plain(bench_suite::make_program("security_sha"),
+                              sim::arm_a57_model());
+  sim::ProgramEvaluator base(bench_suite::make_program("security_sha"),
+                             sim::arm_a57_model());
+  sandbox::SandboxConfig cfg;
+  cfg.workers = 1;
+  sandbox::SandboxedEvaluator sandboxed(base, cfg);
+  const auto a = make_assignment(1);
+  const auto co_sandbox = sandboxed.compile(a);
+  const auto co_plain = plain.compile(a);
+  EXPECT_EQ(co_sandbox.valid, co_plain.valid);
+  EXPECT_EQ(co_sandbox.binary_hash, co_plain.binary_hash);
+  EXPECT_EQ(co_sandbox.code_size, co_plain.code_size);
+  EXPECT_EQ(co_sandbox.stats.counters(), co_plain.stats.counters());
+}
+
+// ---- end-to-end: containment ----------------------------------------------
+
+namespace {
+
+/// One sandbox stack with a single real-fault class forced on: evaluate
+/// candidate 0 (which must be contained), then verify clean service on
+/// candidate 1.
+struct ContainmentRig {
+  sim::ProgramEvaluator base{bench_suite::make_program("security_sha"),
+                             sim::arm_a57_model()};
+  sim::FaultInjector faulty;
+  sim::FaultInjector clean{sim::FaultPlan{}};
+  sandbox::SandboxedEvaluator sb;
+
+  static sim::FaultPlan plan(double segv, double oom, double spin) {
+    sim::FaultPlan p;
+    p.seed = 5;
+    p.segv_rate = segv;
+    p.oom_rate = oom;
+    p.spin_rate = spin;
+    return p;
+  }
+  static sandbox::SandboxConfig config(double wall_timeout) {
+    sandbox::SandboxConfig cfg;
+    cfg.workers = 1;
+    cfg.breaker_threshold = 1000;
+    cfg.job_wall_timeout_seconds = wall_timeout;
+    return cfg;
+  }
+
+  ContainmentRig(double segv, double oom, double spin, double wall_timeout)
+      : faulty(plan(segv, oom, spin)), sb(base, config(wall_timeout)) {
+    sb.set_fault_injector(&faulty);
+  }
+
+  sim::EvalOutcome crash_outcome() { return sb.evaluate(make_assignment(0)); }
+  bool still_serving() {
+    sb.set_fault_injector(&clean);
+    return sb.evaluate(make_assignment(1)).valid;
+  }
+};
+
+}  // namespace
+
+TEST(Sandbox, ContainsSegvAndNamesThePass) {
+  ContainmentRig rig(1.0, 0, 0, 30.0);
+  const auto out = rig.crash_outcome();
+  EXPECT_FALSE(out.valid);
+  EXPECT_EQ(out.failure, sim::FailureKind::WorkerCrash);
+  // The crash signature carries the signal and the pass active at death.
+  EXPECT_NE(out.why_invalid.find("signal"), std::string::npos)
+      << out.why_invalid;
+  EXPECT_NE(out.why_invalid.find("pass '"), std::string::npos)
+      << out.why_invalid;
+  EXPECT_TRUE(rig.still_serving());
+  EXPECT_FALSE(rig.sb.degraded());
+}
+
+TEST(Sandbox, ContainsOom) {
+  ContainmentRig rig(0, 1.0, 0, 30.0);
+  const auto out = rig.crash_outcome();
+  EXPECT_FALSE(out.valid);
+  // Plain builds contain the OOM in-worker (bad_alloc -> WorkerOOM); ASan
+  // builds abort on allocator exhaustion instead (-> WorkerCrash).
+  EXPECT_TRUE(out.failure == sim::FailureKind::WorkerOOM ||
+              out.failure == sim::FailureKind::WorkerCrash)
+      << sim::failure_kind_name(out.failure);
+  EXPECT_TRUE(rig.still_serving());
+}
+
+TEST(Sandbox, ContainsSpinAsTimeout) {
+  ContainmentRig rig(0, 0, 1.0, 1.0);
+  const auto out = rig.crash_outcome();
+  EXPECT_FALSE(out.valid);
+  EXPECT_EQ(out.failure, sim::FailureKind::WorkerTimeout);
+  EXPECT_NE(out.why_invalid.find("deadline"), std::string::npos)
+      << out.why_invalid;
+  EXPECT_TRUE(rig.still_serving());
+}
+
+TEST(Sandbox, ContainsExternalSigkillMidJob) {
+  sim::ProgramEvaluator base(bench_suite::make_program("security_sha"),
+                             sim::arm_a57_model());
+  sandbox::SandboxConfig cfg;
+  cfg.workers = 1;
+  cfg.kill_job_id = 0;  // murder the worker right after the first dispatch
+  sandbox::SandboxedEvaluator sb(base, cfg);
+  const auto out = sb.evaluate(make_assignment(0));
+  EXPECT_FALSE(out.valid);
+  EXPECT_EQ(out.failure, sim::FailureKind::WorkerCrash);
+  EXPECT_TRUE(out.why_invalid.find("SIGKILL") != std::string::npos ||
+              out.why_invalid.find("signal 9") != std::string::npos ||
+              out.why_invalid.find("Killed") != std::string::npos)
+      << out.why_invalid;
+  EXPECT_GE(sb.sandbox_stats().respawns, 1u);
+  // Same candidate again: the fatal verdict is memoized, no new dispatch.
+  const auto again = sb.evaluate(make_assignment(0));
+  EXPECT_EQ(again.failure, sim::FailureKind::WorkerCrash);
+  // Different candidate: back to normal service on the respawned worker.
+  EXPECT_TRUE(sb.evaluate(make_assignment(1)).valid);
+}
+
+TEST(Sandbox, BreakerDegradesToInProcessWhichIsImmuneToRealFaults) {
+  sim::ProgramEvaluator base(bench_suite::make_program("security_sha"),
+                             sim::arm_a57_model());
+  sandbox::SandboxConfig cfg;
+  cfg.workers = 1;
+  cfg.breaker_threshold = 2;
+  cfg.respawn_backoff_seconds = 0.001;
+  sandbox::SandboxedEvaluator sb(base, cfg);
+  sim::FaultPlan plan;
+  plan.seed = 6;
+  plan.segv_rate = 1.0;
+  const sim::FaultInjector injector(plan);
+  sb.set_fault_injector(&injector);
+
+  const auto first = sb.evaluate(make_assignment(0));
+  EXPECT_EQ(first.failure, sim::FailureKind::WorkerCrash);
+  const auto second = sb.evaluate(make_assignment(1));
+  EXPECT_EQ(second.failure, sim::FailureKind::WorkerCrash);
+  EXPECT_TRUE(sb.degraded());
+  EXPECT_EQ(sb.sandbox_stats().breaker_trips, 1u);
+  // Post-trip: in-process evaluation never fires real-fault modes (the
+  // degradation ladder's bottom rung keeps producing correct results).
+  const auto third = sb.evaluate(make_assignment(2));
+  EXPECT_TRUE(third.valid) << third.why_invalid;
+  // But verdicts already earned stay authoritative.
+  EXPECT_EQ(sb.evaluate(make_assignment(0)).failure,
+            sim::FailureKind::WorkerCrash);
+}
+
+TEST(Sandbox, RobustLayerQuarantinesWorkerFailures) {
+  sim::ProgramEvaluator base(bench_suite::make_program("security_sha"),
+                             sim::arm_a57_model());
+  sandbox::SandboxConfig cfg;
+  cfg.workers = 1;
+  cfg.breaker_threshold = 1000;
+  sandbox::SandboxedEvaluator sb(base, cfg);
+  sim::FaultPlan plan;
+  plan.seed = 8;
+  plan.segv_rate = 1.0;
+  const sim::FaultInjector injector(plan);
+  sim::RobustEvaluator robust(sb, sim::RobustConfig{}, &injector);
+
+  const auto a = make_assignment(0);
+  const auto out = robust.evaluate(a);
+  EXPECT_FALSE(out.valid);
+  EXPECT_TRUE(is_worker_failure(out.failure));
+  EXPECT_TRUE(robust.is_quarantined(a));
+  const auto& rs = robust.robust_stats();
+  EXPECT_EQ(rs.failures.count("worker-crash"), 1u);
+}
