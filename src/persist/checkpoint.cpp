@@ -15,7 +15,12 @@ namespace citroen::persist {
 
 namespace {
 
-constexpr char kMagic[8] = {'C', 'T', 'R', 'N', 'C', 'K', 'P', '1'};
+// The trailing digit is the payload-format version. Bump it whenever any
+// serialized run state changes shape (v2: QuarantineSet gained LRU order
+// + an eviction counter): an old-version checkpoint then fails the magic
+// check and resume falls back to full journal replay, instead of
+// misparsing the blob into garbage state.
+constexpr char kMagic[8] = {'C', 'T', 'R', 'N', 'C', 'K', 'P', '2'};
 constexpr std::size_t kHeaderBytes = sizeof(kMagic) + 8 + 4;
 
 std::uint32_t read_le32(const char* p) {

@@ -5,8 +5,12 @@
 // reported as absent (with a note), never fatal — resume then falls back
 // to replaying the journal from the start.
 //
-// File layout: [8-byte magic "CTRNCKP1"][u64 payload_len]
+// File layout: [8-byte magic "CTRNCKP2"][u64 payload_len]
 //              [u32 crc32(payload)][payload]
+//
+// The magic's trailing digit doubles as the payload-format version; a
+// checkpoint written by a process with a different state layout is
+// rejected as "bad magic" and resume replays the journal instead.
 
 #include <cstdint>
 #include <optional>

@@ -110,6 +110,16 @@ bool SandboxedEvaluator::spawn_worker(std::size_t slot) const {
   // supervisor can ever be replayed from a worker.
   std::fflush(stdout);
   std::fflush(stderr);
+  // fork() here happens while the process is multithreaded (tuner pool
+  // threads, the watchdog), so POSIX only guarantees async-signal-safe
+  // calls in the child. We lean on glibc, whose fork() quiesces the
+  // allocator via internal atfork handlers, making malloc in the child
+  // safe even if a pool thread held an arena lock at fork time. The
+  // child must still never touch any *application* lock it did not fork
+  // quiesced: worker_serve detaches the shared prefix cache and thread
+  // pool first thing, and everything else it uses (its FrameReader, its
+  // private evaluator copy, /proc reads) is process-local. On a libc
+  // without fork-safe malloc, spawn workers before starting the pool.
   const pid_t pid = ::fork();
   if (pid < 0) {
     ::close(job_pipe[0]);
@@ -195,6 +205,12 @@ void SandboxedEvaluator::handle_death(std::size_t slot, std::uint64_t sig,
                                       bool in_flight, bool timed_out,
                                       const std::string& extra) const {
   Worker& w = workers_[slot];
+  // The Corrupt/Error read paths reach here while the worker may still
+  // be alive (a garbled result stream is not proof of death), so kill
+  // before the blocking reap or waitpid hangs forever. Against a worker
+  // that already exited the signal lands on a zombie — a no-op — and the
+  // status below still reports the original cause of death.
+  if (w.pid > 0) ::kill(w.pid, SIGKILL);
   int status = 0;
   pid_t got = ::waitpid(w.pid, &status, 0);
   if (got < 0) status = 0;
@@ -229,7 +245,7 @@ void SandboxedEvaluator::handle_death(std::size_t slot, std::uint64_t sig,
     v.kind = kind;
     v.measured = true;  // a lethal candidate is lethal for both job kinds
     v.why = why;
-    verdicts_[sig] = std::move(v);
+    remember_verdict(sig, std::move(v));
     if (kind == sim::FailureKind::WorkerTimeout)
       ++stats_.worker_timeouts;
     else
@@ -256,6 +272,24 @@ void SandboxedEvaluator::handle_death(std::size_t slot, std::uint64_t sig,
   }
 }
 
+void SandboxedEvaluator::remember_verdict(std::uint64_t sig,
+                                          Verdict v) const {
+  if (verdicts_.size() >= kMaxVerdicts && verdicts_.count(sig) == 0) {
+    // Shed only vetted-Ok entries. Fatal verdicts are the containment
+    // record itself — after a purge plus a breaker trip, a forgotten
+    // lethal candidate would reach the in-process path uncontained.
+    // They are bounded by the number of genuinely lethal candidates,
+    // which is tiny next to kMaxVerdicts.
+    for (auto it = verdicts_.begin(); it != verdicts_.end();) {
+      if (it->second.kind == sim::FailureKind::None)
+        it = verdicts_.erase(it);
+      else
+        ++it;
+    }
+  }
+  verdicts_[sig] = std::move(v);
+}
+
 void SandboxedEvaluator::record_result(const SandboxResult& res,
                                        std::uint64_t sig,
                                        bool with_measure) const {
@@ -272,8 +306,7 @@ void SandboxedEvaluator::record_result(const SandboxResult& res,
       base_.install_measure_memo(res.pure.binary_hash, res.pure.runs);
     ++stats_.jobs_ok;
   }
-  if (verdicts_.size() >= kMaxVerdicts) verdicts_.clear();
-  verdicts_[sig] = std::move(v);
+  remember_verdict(sig, std::move(v));
 }
 
 const SandboxedEvaluator::Verdict* SandboxedEvaluator::find_verdict(
@@ -403,7 +436,8 @@ void SandboxedEvaluator::run_jobs(
             v.why = "sandbox: worker returned a malformed result (" +
                     (err.empty() ? std::string("job id mismatch") : err) +
                     ")";
-            verdicts_[todo[static_cast<std::size_t>(t)].sig] = std::move(v);
+            remember_verdict(todo[static_cast<std::size_t>(t)].sig,
+                             std::move(v));
             ++stats_.worker_crashes;
             running[i] = -1;
             ++done;

@@ -164,6 +164,10 @@ class SandboxedEvaluator final : public sim::Evaluator {
   void handle_death(std::size_t slot, std::uint64_t sig, bool in_flight,
                     bool timed_out, const std::string& extra) const;
   std::string progress_signature(const Worker& w) const;
+  /// Insert into the verdict memo under the size cap: on overflow only
+  /// vetted-Ok entries are shed — fatal verdicts stay authoritative for
+  /// the life of the run (see compile()).
+  void remember_verdict(std::uint64_t sig, Verdict v) const;
   void record_result(const SandboxResult& res, std::uint64_t sig,
                      bool with_measure) const;
   const Verdict* find_verdict(std::uint64_t sig, bool need_measured) const;

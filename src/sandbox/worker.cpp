@@ -78,12 +78,21 @@ void apply_job_cpu_limit(double budget_seconds) {
       static_cast<double>(ru.ru_utime.tv_sec + ru.ru_stime.tv_sec) +
       static_cast<double>(ru.ru_utime.tv_usec + ru.ru_stime.tv_usec) * 1e-6;
   // RLIMIT_CPU counts cumulative process CPU, so each job's budget sits
-  // on top of whatever earlier jobs already consumed. Soft limit delivers
-  // SIGXCPU (classified as a timeout); the hard limit is a backstop.
-  const auto soft =
-      static_cast<rlim_t>(std::ceil(used + budget_seconds)) + 1;
-  rlimit cpu{soft, soft + 5};
-  ::setrlimit(RLIMIT_CPU, &cpu);
+  // on top of whatever earlier jobs already consumed. Only the soft limit
+  // moves (SIGXCPU, classified as a timeout); the hard limit is passed
+  // through untouched — an unprivileged process can never raise a hard
+  // limit again, so lowering it once would wedge a stale cap under every
+  // later job and kill innocent candidates on long-lived workers.
+  rlimit cpu{};
+  if (::getrlimit(RLIMIT_CPU, &cpu) != 0) return;
+  auto soft = static_cast<rlim_t>(std::ceil(used + budget_seconds)) + 1;
+  if (cpu.rlim_max != RLIM_INFINITY && soft > cpu.rlim_max)
+    soft = cpu.rlim_max;
+  cpu.rlim_cur = soft;
+  if (::setrlimit(RLIMIT_CPU, &cpu) != 0) {
+    // Best effort: with no CPU cap the supervisor's wall deadline still
+    // contains a runaway job (as WorkerTimeout, same classification).
+  }
 }
 
 [[noreturn]] void die_segv() {
