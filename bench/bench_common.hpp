@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "support/matrix.hpp"
 #include "support/statistics.hpp"
 
@@ -18,6 +19,11 @@ struct Args {
   bool full = false;
   int seeds = 0;   ///< 0 = harness default
   int budget = 0;  ///< 0 = harness default
+  /// --metrics-out <path>: enable the obs metrics registry and write the
+  /// JSON summary there at exit (plus <path>.prom, Prometheus text).
+  /// Equivalent to CITROEN_METRICS=<path>; metrics go to side files only,
+  /// so the harness's stdout stays byte-identical either way.
+  std::string metrics_out;
 
   static Args parse(int argc, char** argv) {
     Args a;
@@ -26,6 +32,11 @@ struct Args {
       if (s == "--full") a.full = true;
       if (s == "--seeds" && i + 1 < argc) a.seeds = std::atoi(argv[++i]);
       if (s == "--budget" && i + 1 < argc) a.budget = std::atoi(argv[++i]);
+      if (s == "--metrics-out" && i + 1 < argc) a.metrics_out = argv[++i];
+    }
+    if (!a.metrics_out.empty()) {
+      obs::metrics_force_enable(true);
+      obs::set_metrics_path(a.metrics_out);  // registers the atexit writer
     }
     return a;
   }

@@ -1,0 +1,190 @@
+// Extension gate: the observability layer's three contracts.
+//
+//   1. Structure — a traced tuner run yields spans that nest properly
+//      per thread, cover the expected taxonomy (tuner/gp/eval spans),
+//      and serialize to well-formed Chrome trace_event JSON.
+//   2. Determinism — tuner results are byte-identical with tracing and
+//      metrics enabled vs. disabled (the instrumentation writes to side
+//      channels only). Runs under whatever CITROEN_THREADS /
+//      CITROEN_SANDBOX the environment sets, so CI sweeps those.
+//   3. Kill-path flush — a run killed by the test kill-switch
+//      (_Exit(99), skipping atexit) still leaves a parseable trace file
+//      behind, because the kill path calls obs::flush_all() first.
+//
+// stdout is fully deterministic (PASS/FAIL lines and %.17g curve bytes);
+// the exit status is the gate.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "bench/sandbox_runner.hpp"
+#include "bench_suite/suite.hpp"
+#include "citroen/tuner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "persist/run_session.hpp"
+#include "sim/evaluator.hpp"
+#include "sim/machine.hpp"
+
+using namespace citroen;
+
+namespace {
+
+int g_failures = 0;
+
+void check(bool ok, const char* what, const std::string& detail = "") {
+  if (ok) {
+    std::printf("PASS  %s\n", what);
+  } else {
+    std::printf("FAIL  %s%s%s\n", what, detail.empty() ? "" : ": ",
+                detail.c_str());
+    ++g_failures;
+  }
+}
+
+/// One small tuner run; the sandbox layer is inserted when
+/// CITROEN_SANDBOX=1 so worker obs-delta streaming is exercised too.
+std::string run_curve(int budget) {
+  sim::ProgramEvaluator base(bench_suite::make_program("telecom_gsm"),
+                             sim::arm_a57_model());
+  auto sandboxed = bench::make_sandbox_if_enabled(base);
+  sim::Evaluator& eval = sandboxed
+                             ? static_cast<sim::Evaluator&>(*sandboxed)
+                             : static_cast<sim::Evaluator&>(base);
+  core::CitroenConfig cfg;
+  cfg.budget = budget;
+  cfg.initial_random = budget / 4;
+  cfg.gp.fit_steps = 4;
+  cfg.seed = 7;
+  core::CitroenTuner tuner(eval, cfg);
+  const auto r = tuner.run();
+  std::string out;
+  char buf[48];
+  for (const double v : r.speedup_curve) {
+    std::snprintf(buf, sizeof(buf), "%.17g\n", v);
+    out += buf;
+  }
+  return out;
+}
+
+void check_structure(int budget) {
+  obs::trace_force_enable(true);
+  obs::drain_trace();
+  (void)run_curve(budget);
+  const auto events = obs::drain_trace();
+  obs::trace_force_enable(false);
+
+  check(!events.empty(), "traced run produced events");
+  std::string err;
+  check(obs::validate_span_nesting(events, &err), "spans nest per thread",
+        err);
+
+  std::set<std::string> names;
+  for (const auto& ev : events)
+    if (ev.name) names.insert(ev.name);
+  for (const char* want : {"tuner_step", "model_update", "acq_score",
+                           "build", "measure"})
+    check(names.count(want) != 0, "span taxonomy", std::string("missing '") +
+                                                       want + "'");
+  if (bench::sandbox_enabled()) {
+    check(names.count("sandbox_job") != 0, "span taxonomy",
+          "missing 'sandbox_job'");
+    check(names.count("worker_spawn") != 0, "span taxonomy",
+          "missing 'worker_spawn'");
+  }
+
+  const std::string json = obs::trace_json(events);
+  check(obs::json_well_formed(json, &err), "trace JSON well-formed", err);
+}
+
+void check_byte_identity(int budget) {
+  const std::string off = run_curve(budget);
+
+  obs::trace_force_enable(true);
+  obs::metrics_force_enable(true);
+  obs::drain_trace();
+  const std::string on = run_curve(budget);
+  obs::drain_trace();
+  obs::trace_force_enable(false);
+  obs::metrics_force_enable(false);
+
+  check(off == on, "curves byte-identical with obs on vs off");
+  std::printf("curve bytes (%zu):\n%s", off.size(), off.c_str());
+
+  // The exporters themselves must emit valid documents.
+  std::string err;
+  check(obs::json_well_formed(obs::Registry::instance().json_summary(), &err),
+        "metrics JSON summary well-formed", err);
+}
+
+void check_kill_path_flush() {
+  const std::string dir = "obs_gate_session";
+  const std::string trace_path = dir + "/killed_trace.json";
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    // Child: trace to a file, then die through the journal kill-switch —
+    // the same _Exit(kExitKilled) path the crash-resume gate exercises.
+    obs::trace_force_enable(true);
+    obs::set_trace_path(trace_path);
+    persist::SessionConfig cfg;
+    cfg.dir = dir;
+    cfg.kill_run = "obs_kill";
+    cfg.kill_at = 1;
+    persist::RunSession session(cfg, "obs_kill");
+    OBS_SPAN("doomed_work", "gate");
+    session.push("record-0");
+    session.push("record-1");  // kill fires here; not reached past this
+    ::_exit(1);                // kill-switch failed to fire
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  check(WIFEXITED(status) && WEXITSTATUS(status) == persist::kExitKilled,
+        "killed run exited with kExitKilled");
+
+  std::ifstream in(trace_path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string doc = ss.str();
+  check(!doc.empty(), "killed run left a trace file");
+  std::string err;
+  check(obs::json_well_formed(doc, &err), "killed run's trace parses", err);
+  // The open span is still visible as its 'B' event: flush-at-kill dumps
+  // the rings as-is rather than waiting for scopes that will never close.
+  check(doc.find("doomed_work") != std::string::npos,
+        "killed run's trace contains the in-flight span");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  const int budget = args.budget ? args.budget : 16;
+  bench::header("EXT — observability", "trace/metrics layer gate",
+                "side-channel-only instrumentation: structured spans, "
+                "parseable exports, byte-identical results");
+
+  check_structure(budget);
+  check_byte_identity(budget);
+  check_kill_path_flush();
+
+  // With CITROEN_TRACE=<path> set, leave a real trace behind for the CI
+  // artifact: one more traced run whose events stay buffered for the
+  // atexit flush (the checks above drain everything they trace).
+  if (!obs::trace_path().empty()) {
+    obs::trace_force_enable(true);
+    (void)run_curve(budget / 2 + 4);
+  }
+
+  std::printf("%s\n", g_failures == 0 ? "OBSERVABILITY GATE: PASS"
+                                      : "OBSERVABILITY GATE: FAIL");
+  return g_failures == 0 ? 0 : 1;
+}

@@ -10,6 +10,8 @@
 #include "bench_suite/suite.hpp"
 #include "citroen/features.hpp"
 #include "gp/gp.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "ir/interpreter.hpp"
 #include "passes/pass.hpp"
 #include "persist/journal.hpp"
@@ -282,5 +284,30 @@ static void BM_StatsFeatureExtraction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_StatsFeatureExtraction);
+
+/// The disabled-path cost every instrumented site pays when CITROEN_TRACE
+/// is unset: one relaxed atomic load and a branch. This is the number
+/// DESIGN.md quotes for "near-zero when off" — expect single-digit ns.
+static void BM_TraceEmitOverhead(benchmark::State& state) {
+  obs::trace_force_enable(false);
+  for (auto _ : state) {
+    OBS_INSTANT("bm_event", "bench");
+    OBS_COUNTER_INC("citroen_bm_events_total");
+  }
+}
+BENCHMARK(BM_TraceEmitOverhead);
+
+/// The enabled path: clock read + wait-free ring append, with the
+/// amortised ring-to-sink spill included. Drained afterwards so later
+/// benchmarks start from an empty sink.
+static void BM_TraceEmitEnabled(benchmark::State& state) {
+  obs::trace_force_enable(true);
+  for (auto _ : state) {
+    OBS_INSTANT("bm_event", "bench");
+  }
+  obs::trace_force_enable(false);
+  obs::drain_trace();
+}
+BENCHMARK(BM_TraceEmitEnabled);
 
 BENCHMARK_MAIN();

@@ -8,6 +8,8 @@
 
 #include "heuristics/des.hpp"
 #include "heuristics/ga.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "persist/codec.hpp"
 #include "support/timer.hpp"
 #include "support/transforms.hpp"
@@ -400,6 +402,10 @@ struct CitroenTuner::Impl {
     // likelihood); the tuner then discards the model and degrades to
     // random proposals for the round instead of dying mid-run.
     model_clock.reset();
+    // "model_update" brackets exactly the regions model_clock charges to
+    // model_seconds, so fig5_12's span-derived breakdown matches the
+    // tuner's own accounting (gp_fit spans nest inside it).
+    if (obs::trace_enabled()) obs::emit('B', "model_update", "tuner");
     if (data_x.size() != fitted_points || !model) {
       const std::vector<std::size_t> prev_active = active;
       recompute_active();
@@ -473,6 +479,7 @@ struct CitroenTuner::Impl {
       ++result.random_fallback_rounds;
     }
     model_seconds += model_clock.seconds();
+    if (obs::trace_enabled()) obs::emit('E', "model_update", "tuner");
 
     // Module selection: UCB bandit over expected payoff.
     std::size_t chosen = 0;
@@ -501,6 +508,7 @@ struct CitroenTuner::Impl {
     // sequences to escape the collapsed neighbourhood.
     std::vector<Sequence> cands;
     if (config.heuristic_generator && stall < 3) {
+      OBS_SPAN("es_ask", "tuner");
       const int per = std::max(1, config.candidates_per_iter / 3);
       for (auto& c : ms.des.ask(per, rng)) cands.push_back(std::move(c));
       for (auto& c : ms.ga.ask(per, rng)) cands.push_back(std::move(c));
@@ -559,6 +567,7 @@ struct CitroenTuner::Impl {
       }
 
       model_clock.reset();
+      if (obs::trace_enabled()) obs::emit('B', "acq_score", "tuner");
       double score;
       const std::uint64_t fh = feature_hash(features);
       if (observed_features.count(fh)) ++result.feature_collisions;
@@ -587,6 +596,7 @@ struct CitroenTuner::Impl {
         score = rng.uniform();
       }
       model_seconds += model_clock.seconds();
+      if (obs::trace_enabled()) obs::emit('E', "acq_score", "tuner");
       pool.push_back(Scored{std::move(cand), std::move(features),
                             co.binary_hash, score});
     }
@@ -609,6 +619,8 @@ struct CitroenTuner::Impl {
   }
 
   bool step() {
+    OBS_SPAN("tuner_step", "tuner");
+    OBS_COUNTER_INC("citroen_tuner_steps_total");
     if (phase == Phase::InitialRandom) {
       if (step_initial_random()) return true;
       phase = Phase::ModelGuided;

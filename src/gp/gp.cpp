@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "persist/codec.hpp"
 
 namespace citroen::gp {
@@ -101,12 +103,19 @@ void GaussianProcess::fit(const std::vector<Vec>& x, const Vec& y) {
     return;
   }
 
+  // Span name distinguishes the hyper-refit rounds fig5_12 attributes to
+  // model time from the cheap refactor-only rounds between them.
+  OBS_SPAN(config_.fit_hypers ? "gp_fit_hypers" : "gp_fit", "gp");
+  OBS_INSTANT_ARG("gp_fit_points", "gp", "points", x.size());
+
   noise_var_ = std::exp(2.0 * log_noise_);
   if (!config_.fit_hypers && config_.incremental &&
       try_incremental_fit(x, y)) {
     ++num_incremental_;
+    OBS_COUNTER_INC("citroen_gp_incremental_fits_total");
     return;
   }
+  OBS_COUNTER_INC("citroen_gp_full_fits_total");
   // A failed incremental attempt may have appended some points; the full
   // assignment below overwrites any partial state.
   x_ = x;

@@ -1,0 +1,292 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+
+#include "obs/trace.hpp"  // json_escape
+
+namespace citroen::obs {
+
+namespace detail {
+std::atomic<bool> g_metrics_on{false};
+}  // namespace detail
+
+namespace {
+
+/// Same fork-safe spinlock rationale as the trace layer.
+class SpinLock {
+ public:
+  void lock() {
+    while (locked_.exchange(true, std::memory_order_acquire)) {
+    }
+  }
+  void unlock() { locked_.store(false, std::memory_order_release); }
+  void reset() { locked_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+SpinLock g_reg_mu;
+
+// Instruments never move or die once created: unique_ptr values in maps
+// keyed by name, leaked with the registry at process exit.
+std::map<std::string, std::unique_ptr<Counter>>& counters() {
+  static auto* m = new std::map<std::string, std::unique_ptr<Counter>>();
+  return *m;
+}
+std::map<std::string, std::unique_ptr<Gauge>>& gauges() {
+  static auto* m = new std::map<std::string, std::unique_ptr<Gauge>>();
+  return *m;
+}
+std::map<std::string, std::unique_ptr<Histogram>>& histograms() {
+  static auto* m = new std::map<std::string, std::unique_ptr<Histogram>>();
+  return *m;
+}
+
+SpinLock g_mpath_mu;
+std::string& metrics_path_ref() {
+  static auto* p = new std::string();
+  return *p;
+}
+
+std::atomic<std::uint32_t> g_next_shard{0};
+
+int local_shard() {
+  thread_local int shard = static_cast<int>(
+      g_next_shard.fetch_add(1, std::memory_order_relaxed) %
+      Histogram::kShards);
+  return shard;
+}
+
+void atexit_write() { write_metrics_files(metrics_path()); }
+
+void register_atexit_once() {
+  static bool registered = [] {
+    std::atexit(&atexit_write);
+    return true;
+  }();
+  (void)registered;
+}
+
+/// CITROEN_METRICS: unset/""/"0" -> off; "1" -> on, in-memory only;
+/// anything else -> on, value is the JSON summary path (a sibling
+/// <path>.prom gets the Prometheus text).
+const bool g_env_init = [] {
+  const char* env = std::getenv("CITROEN_METRICS");
+  if (!env || !*env || std::strcmp(env, "0") == 0) return true;
+  detail::g_metrics_on.store(true, std::memory_order_relaxed);
+  if (std::strcmp(env, "1") != 0) {
+    metrics_path_ref() = env;
+    register_atexit_once();
+  }
+  return true;
+}();
+
+}  // namespace
+
+void metrics_force_enable(bool on) {
+  detail::g_metrics_on.store(on, std::memory_order_relaxed);
+}
+
+void Histogram::record(std::uint64_t v) {
+  Shard& s = shards_[local_shard()];
+  s.buckets[static_cast<std::size_t>(bucket_of(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(v, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot out;
+  for (const Shard& s : shards_) {
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    for (int b = 0; b < kBuckets; ++b)
+      out.buckets[static_cast<std::size_t>(b)] +=
+          s.buckets[static_cast<std::size_t>(b)].load(
+              std::memory_order_relaxed);
+  }
+  return out;
+}
+
+Registry& Registry::instance() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  g_reg_mu.lock();
+  auto& slot = counters()[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  Counter& c = *slot;
+  g_reg_mu.unlock();
+  return c;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  g_reg_mu.lock();
+  auto& slot = gauges()[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  Gauge& g = *slot;
+  g_reg_mu.unlock();
+  return g;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  g_reg_mu.lock();
+  auto& slot = histograms()[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  Histogram& h = *slot;
+  g_reg_mu.unlock();
+  return h;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+Registry::counters_snapshot() {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  g_reg_mu.lock();
+  out.reserve(counters().size());
+  for (const auto& [name, c] : counters()) out.emplace_back(name, c->value());
+  g_reg_mu.unlock();
+  return out;
+}
+
+std::string Registry::prometheus_text() {
+  std::string out;
+  char buf[192];
+  g_reg_mu.lock();
+  for (const auto& [name, c] : counters()) {
+    std::snprintf(buf, sizeof(buf), "# TYPE %s counter\n%s %llu\n",
+                  name.c_str(), name.c_str(),
+                  static_cast<unsigned long long>(c->value()));
+    out += buf;
+  }
+  for (const auto& [name, g] : gauges()) {
+    std::snprintf(buf, sizeof(buf), "# TYPE %s gauge\n%s %.17g\n",
+                  name.c_str(), name.c_str(), g->value());
+    out += buf;
+  }
+  for (const auto& [name, h] : histograms()) {
+    const auto snap = h->snapshot();
+    std::snprintf(buf, sizeof(buf), "# TYPE %s histogram\n", name.c_str());
+    out += buf;
+    std::uint64_t cumulative = 0;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      const std::uint64_t n = snap.buckets[static_cast<std::size_t>(b)];
+      cumulative += n;
+      if (n == 0 && b != Histogram::kBuckets - 1) continue;
+      std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%llu\"} %llu\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(
+                        Histogram::bucket_upper_edge(b)),
+                    static_cast<unsigned long long>(cumulative));
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "%s_bucket{le=\"+Inf\"} %llu\n%s_sum %llu\n%s_count %llu\n",
+                  name.c_str(), static_cast<unsigned long long>(snap.count),
+                  name.c_str(), static_cast<unsigned long long>(snap.sum),
+                  name.c_str(), static_cast<unsigned long long>(snap.count));
+    out += buf;
+  }
+  g_reg_mu.unlock();
+  return out;
+}
+
+std::string Registry::json_summary() {
+  std::string out = "{\"counters\":{";
+  char buf[96];
+  bool first = true;
+  g_reg_mu.lock();
+  for (const auto& [name, c] : counters()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(name);
+    std::snprintf(buf, sizeof(buf), "\":%llu",
+                  static_cast<unsigned long long>(c->value()));
+    out += buf;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(name);
+    std::snprintf(buf, sizeof(buf), "\":%.17g", g->value());
+    out += buf;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms()) {
+    const auto snap = h->snapshot();
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(name);
+    std::snprintf(buf, sizeof(buf), "\":{\"count\":%llu,\"sum\":%llu,",
+                  static_cast<unsigned long long>(snap.count),
+                  static_cast<unsigned long long>(snap.sum));
+    out += buf;
+    out += "\"buckets\":[";
+    bool bfirst = true;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      const std::uint64_t n = snap.buckets[static_cast<std::size_t>(b)];
+      if (n == 0) continue;
+      if (!bfirst) out += ',';
+      bfirst = false;
+      std::snprintf(buf, sizeof(buf), "{\"le\":%llu,\"count\":%llu}",
+                    static_cast<unsigned long long>(
+                        Histogram::bucket_upper_edge(b)),
+                    static_cast<unsigned long long>(n));
+      out += buf;
+    }
+    out += "]}";
+  }
+  g_reg_mu.unlock();
+  out += "}}\n";
+  return out;
+}
+
+void Registry::reset_locks_after_fork() {
+  g_reg_mu.reset();
+  g_mpath_mu.reset();
+}
+
+void write_metrics_files(const std::string& json_path) {
+  if (json_path.empty()) return;
+  Registry& reg = Registry::instance();
+  const std::string json = reg.json_summary();
+  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+  }
+  const std::string prom = reg.prometheus_text();
+  const std::string prom_path = json_path + ".prom";
+  if (std::FILE* f = std::fopen(prom_path.c_str(), "w")) {
+    std::fwrite(prom.data(), 1, prom.size(), f);
+    std::fclose(f);
+  }
+}
+
+std::string metrics_path() {
+  g_mpath_mu.lock();
+  std::string p = metrics_path_ref();
+  g_mpath_mu.unlock();
+  return p;
+}
+
+void set_metrics_path(std::string path) {
+  g_mpath_mu.lock();
+  metrics_path_ref() = std::move(path);
+  g_mpath_mu.unlock();
+  if (!metrics_path().empty()) register_atexit_once();
+}
+
+}  // namespace citroen::obs

@@ -1,0 +1,162 @@
+#pragma once
+// Metrics registry: named counters, gauges and log2-bucketed histograms
+// with Prometheus text-format and end-of-run JSON summary export.
+//
+// Gating mirrors the trace layer: `metrics_enabled()` is one relaxed
+// atomic-bool load, and every OBS_* macro does its (one-time, per-site)
+// registry lookup inside the enabled branch, so with CITROEN_METRICS
+// unset no instrument allocates or touches shared state. Updates are
+// lock-free: counters/gauges are single atomics, histograms stripe
+// their buckets across per-thread shards merged only at snapshot time.
+//
+// Like traces, metrics never feed back into tuning state — they are
+// written to side files only, preserving byte-identical bench output.
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace citroen::obs {
+
+namespace detail {
+extern std::atomic<bool> g_metrics_on;
+}  // namespace detail
+
+inline bool metrics_enabled() {
+  return detail::g_metrics_on.load(std::memory_order_relaxed);
+}
+
+/// Programmatic enable (benches/tests; env path is CITROEN_METRICS).
+void metrics_force_enable(bool on);
+
+class Counter {
+ public:
+  void add(std::uint64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) {
+    v_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+  }
+  double value() const {
+    return std::bit_cast<double>(v_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Log2-bucketed histogram over unsigned values. Bucket 0 holds exactly
+/// 0; bucket k (1 <= k <= 64) holds [2^(k-1), 2^k). A value v lands in
+/// bucket floor(log2(v)) + 1, so the lower edge of every bucket is
+/// inclusive and the upper edge exclusive.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 65;
+  static constexpr int kShards = 16;
+
+  static int bucket_of(std::uint64_t v) {
+    if (v == 0) return 0;
+    return 64 - std::countl_zero(v);
+  }
+  /// Exclusive upper edge of bucket b (saturated for the last bucket).
+  static std::uint64_t bucket_upper_edge(int b) {
+    if (b <= 0) return 1;
+    if (b >= 64) return ~std::uint64_t{0};
+    return std::uint64_t{1} << b;
+  }
+
+  void record(std::uint64_t v);
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+  };
+  /// Merge all per-thread shards. Relaxed reads: concurrent recorders
+  /// may or may not be included, but nothing tears.
+  Snapshot snapshot() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+  };
+  Shard shards_[kShards];
+};
+
+/// Process-wide registry. Instruments are created on first use and live
+/// for the process lifetime, so references returned here never dangle
+/// (the OBS_* macros cache them in function-local statics).
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Name/value pairs for every counter, sorted by name (stable output).
+  std::vector<std::pair<std::string, std::uint64_t>> counters_snapshot();
+
+  /// Prometheus text exposition format.
+  std::string prometheus_text();
+  /// End-of-run JSON summary ({"counters":…,"gauges":…,"histograms":…}).
+  std::string json_summary();
+
+  /// Fork-safe lock reset for sandbox workers (see obs::reset_after_fork).
+  void reset_locks_after_fork();
+
+ private:
+  Registry() = default;
+};
+
+/// Write `json_summary()` to `json_path` and `prometheus_text()` to
+/// `json_path + ".prom"`. No-op when json_path is empty.
+void write_metrics_files(const std::string& json_path);
+
+/// Path from CITROEN_METRICS=<path> ("" when unset or "1"); files are
+/// written there at exit.
+std::string metrics_path();
+void set_metrics_path(std::string path);
+
+}  // namespace citroen::obs
+
+#define OBS_COUNTER_ADD(name, n)                                          \
+  do {                                                                    \
+    if (::citroen::obs::metrics_enabled()) {                              \
+      static ::citroen::obs::Counter& obs_counter_ =                      \
+          ::citroen::obs::Registry::instance().counter(name);             \
+      obs_counter_.add(static_cast<std::uint64_t>(n));                    \
+    }                                                                     \
+  } while (0)
+
+#define OBS_COUNTER_INC(name) OBS_COUNTER_ADD(name, 1)
+
+#define OBS_GAUGE_SET(name, v)                                            \
+  do {                                                                    \
+    if (::citroen::obs::metrics_enabled()) {                              \
+      static ::citroen::obs::Gauge& obs_gauge_ =                          \
+          ::citroen::obs::Registry::instance().gauge(name);               \
+      obs_gauge_.set(static_cast<double>(v));                             \
+    }                                                                     \
+  } while (0)
+
+#define OBS_HISTO_RECORD(name, v)                                         \
+  do {                                                                    \
+    if (::citroen::obs::metrics_enabled()) {                              \
+      static ::citroen::obs::Histogram& obs_histo_ =                      \
+          ::citroen::obs::Registry::instance().histogram(name);           \
+      obs_histo_.record(static_cast<std::uint64_t>(v));                   \
+    }                                                                     \
+  } while (0)

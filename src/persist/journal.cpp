@@ -9,6 +9,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "persist/codec.hpp"
 
 namespace citroen::persist {
@@ -124,7 +126,10 @@ void JournalWriter::append(const std::string& payload) {
   buf_.append(frame, sizeof(frame));
   buf_ += payload;
   ++appended_;
+  OBS_COUNTER_INC("citroen_journal_appends_total");
+  OBS_COUNTER_ADD("citroen_journal_bytes_total", 8 + payload.size());
   if (++unsynced_ >= std::max(1, config_.fsync_every)) {
+    OBS_SPAN("journal_fdatasync", "persist");
     write_out();
     // fdatasync suffices mid-run: it flushes the data and the file size,
     // which is all recovery needs. flush() pays for the full fsync at
@@ -149,6 +154,8 @@ void JournalWriter::write_out() {
 
 void JournalWriter::flush() {
   if (fd_ >= 0) {
+    OBS_SPAN("journal_flush", "persist");
+    OBS_COUNTER_INC("citroen_journal_flushes_total");
     write_out();
     ::fsync(fd_);
     unsynced_ = 0;

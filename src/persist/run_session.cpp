@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "persist/checkpoint.hpp"
 #include "persist/codec.hpp"
 
@@ -102,6 +104,9 @@ void RunSession::push(const std::string& payload) {
     // stale, like a power cut between a measurement and the next
     // checkpoint. No destructors run; sibling runs' journals stay torn.
     flush();
+    // _Exit skips the atexit trace/metrics flush, so dump both here:
+    // a deadline-killed run must still leave a parseable trace file.
+    obs::flush_all();
     std::_Exit(kExitKilled);
   }
 }
@@ -117,6 +122,8 @@ bool RunSession::checkpoint_due() const {
 
 void RunSession::save_checkpoint(const std::string& state_blob,
                                  bool complete) {
+  OBS_SPAN("checkpoint_save", "persist");
+  OBS_COUNTER_INC("citroen_checkpoints_total");
   flush();  // the checkpoint must never claim records the journal lost
   Writer w;
   w.b(complete);

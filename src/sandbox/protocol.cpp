@@ -31,6 +31,30 @@ ir::ExecResult get_exec_result(persist::Reader& r) {
   return out;
 }
 
+void put_obs_event(persist::Writer& w, const ObsEventWire& e) {
+  w.u8(static_cast<std::uint8_t>(e.phase));
+  w.str(e.name);
+  w.str(e.cat);
+  w.str(e.arg_name);
+  w.str(e.str_arg);
+  w.u64(e.ts_ns);
+  w.u64(e.id);
+  w.u64(e.arg);
+}
+
+ObsEventWire get_obs_event(persist::Reader& r) {
+  ObsEventWire out;
+  out.phase = static_cast<char>(r.u8());
+  out.name = r.str();
+  out.cat = r.str();
+  out.arg_name = r.str();
+  out.str_arg = r.str();
+  out.ts_ns = r.u64();
+  out.id = r.u64();
+  out.arg = r.u64();
+  return out;
+}
+
 }  // namespace
 
 std::string encode_job(const SandboxJob& job) {
@@ -70,6 +94,13 @@ std::string encode_result(const SandboxResult& res) {
   w.u64(res.pure.binary_hash);
   w.u64(res.pure.runs.size());
   for (const auto& run : res.pure.runs) put_exec_result(w, run);
+  w.u64(res.obs_events.size());
+  for (const auto& ev : res.obs_events) put_obs_event(w, ev);
+  w.u64(res.obs_counters.size());
+  for (const auto& [name, delta] : res.obs_counters) {
+    w.str(name);
+    w.u64(delta);
+  }
   return w.take();
 }
 
@@ -87,6 +118,17 @@ bool decode_result(const std::string& payload, SandboxResult* res,
     res->pure.runs.clear();
     for (std::uint64_t i = 0; i < n; ++i)
       res->pure.runs.push_back(get_exec_result(r));
+    const std::uint64_t n_events = r.u64();
+    res->obs_events.clear();
+    for (std::uint64_t i = 0; i < n_events; ++i)
+      res->obs_events.push_back(get_obs_event(r));
+    const std::uint64_t n_counters = r.u64();
+    res->obs_counters.clear();
+    for (std::uint64_t i = 0; i < n_counters; ++i) {
+      std::string name = r.str();
+      const std::uint64_t delta = r.u64();
+      res->obs_counters.emplace_back(std::move(name), delta);
+    }
     if (!r.at_end()) throw std::runtime_error("trailing bytes in result");
     return true;
   } catch (const std::exception& e) {

@@ -17,6 +17,14 @@
 //   u8  built
 //   u64 binary_hash
 //   u64 run_count     ( ExecResult x run_count )
+//   u64 obs_event_count    ( ObsEvent x obs_event_count )
+//   u64 obs_counter_count  ( (str name, u64 delta) x obs_counter_count )
+//
+// The obs tail piggybacks the worker's trace events and metric-counter
+// deltas for this job on the existing result frame — same codec, same
+// CRC framing — so sandboxed runs appear in the supervisor's trace and
+// registry without a second wire format. Both lists are empty when the
+// corresponding obs layer is disabled, costing 16 bytes per result.
 //
 // ExecResult ships only the fields the serial evaluation path consumes
 // (ok, trap, hung, ret, cycles, instructions). The per-module/function
@@ -32,6 +40,8 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "ir/interpreter.hpp"
 #include "sim/evaluator.hpp"
@@ -57,10 +67,30 @@ enum class ResultStatus : std::uint8_t {
   Oom = 2,  ///< allocation failure contained in-worker (std::bad_alloc)
 };
 
+/// One worker-side trace event in wire form. Strings are owned here (the
+/// worker's interned pointers mean nothing across the process boundary);
+/// the supervisor re-interns them on ingest. Empty arg_name/str_arg mean
+/// "absent". No tid: workers are single-threaded, and the supervisor
+/// files ingested events under the worker's pid.
+struct ObsEventWire {
+  std::string name;
+  std::string cat;
+  std::string arg_name;
+  std::string str_arg;
+  std::uint64_t ts_ns = 0;
+  std::uint64_t id = 0;
+  std::uint64_t arg = 0;
+  char phase = 'I';
+};
+
 struct SandboxResult {
   std::uint64_t id = 0;
   ResultStatus status = ResultStatus::Ok;
   sim::PureEvalResult pure;
+  /// Trace events emitted in the worker while running this job.
+  std::vector<ObsEventWire> obs_events;
+  /// Per-counter increments since the worker's previous result frame.
+  std::vector<std::pair<std::string, std::uint64_t>> obs_counters;
 };
 
 std::string encode_job(const SandboxJob& job);

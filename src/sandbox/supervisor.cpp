@@ -13,6 +13,8 @@
 #include <cstring>
 #include <unordered_set>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "passes/pass.hpp"
 #include "support/env.hpp"
 
@@ -46,6 +48,35 @@ std::string describe_signal(int sig) {
   std::snprintf(buf, sizeof(buf), "signal %d (%s)", sig,
                 name ? name : "unknown");
   return buf;
+}
+
+/// Splice a worker's piggybacked obs deltas into the supervisor's own
+/// trace sink and metrics registry. Events are filed under the worker's
+/// pid (tid 0 — workers are single-threaded); name strings arrive owned
+/// and get re-interned here. Counter deltas add straight onto the
+/// supervisor's cumulative counters.
+void ingest_worker_obs(const SandboxResult& res, pid_t pid) {
+  if (obs::trace_enabled()) {
+    for (const auto& ev : res.obs_events) {
+      obs::TraceEvent te;
+      te.phase = ev.phase;
+      te.name = obs::intern(ev.name);
+      te.cat = obs::intern(ev.cat);
+      if (!ev.arg_name.empty()) te.arg_name = obs::intern(ev.arg_name);
+      if (!ev.str_arg.empty()) te.str_arg = obs::intern(ev.str_arg);
+      te.ts_ns = ev.ts_ns;
+      te.id = ev.id;
+      te.arg = ev.arg;
+      te.pid = static_cast<std::uint32_t>(pid);
+      te.tid = 0;
+      obs::ingest_event(te);
+    }
+  }
+  if (obs::metrics_enabled() && !res.obs_counters.empty()) {
+    auto& reg = obs::Registry::instance();
+    for (const auto& [name, delta] : res.obs_counters)
+      reg.counter(name).add(delta);
+  }
 }
 
 }  // namespace
@@ -94,6 +125,11 @@ void SandboxedEvaluator::set_fault_injector(
 }
 
 bool SandboxedEvaluator::spawn_worker(std::size_t slot) const {
+  // The span's 'E' lands in the parent after fork; the child clears its
+  // inherited copy of the 'B' in obs::reset_after_fork, so worker rings
+  // never carry a dangling half-span.
+  OBS_SPAN("worker_spawn", "sandbox");
+  OBS_COUNTER_INC("citroen_sandbox_forks_total");
   Worker& w = workers_[slot];
   int job_pipe[2] = {-1, -1};
   int result_pipe[2] = {-1, -1};
@@ -176,6 +212,9 @@ void SandboxedEvaluator::trip_breaker(const char* why) const {
   if (tripped_) return;
   tripped_ = true;
   ++stats_.breaker_trips;
+  if (obs::trace_enabled())
+    obs::emit('I', "breaker_trip", "sandbox", 0, nullptr, 0, why);
+  OBS_COUNTER_INC("citroen_sandbox_breaker_trips_total");
   std::fprintf(stderr,
                "[sandbox] circuit breaker tripped (%s) on '%s': degrading "
                "to in-process evaluation (uncontained)\n",
@@ -239,6 +278,13 @@ void SandboxedEvaluator::handle_death(std::size_t slot, std::uint64_t sig,
     why = "sandbox: worker vanished mid-job (" + site + ")";
   }
   if (!extra.empty()) why += " [" + extra + "]";
+
+  // Crash signatures are dynamic strings, so intern() them; the set is
+  // bounded by (stage, pass, cause) combinations, not by death count.
+  if (obs::trace_enabled())
+    obs::emit('I', "worker_death", "sandbox", 0, nullptr, 0,
+              obs::intern(why));
+  OBS_COUNTER_INC("citroen_sandbox_worker_deaths_total");
 
   if (in_flight) {
     Verdict v;
@@ -382,6 +428,12 @@ void SandboxedEvaluator::run_jobs(
                      "job dispatch failed");
         continue;
       }
+      // Async span ('b'/'e' paired by job id): a sandbox job's lifetime
+      // spans polls and belongs to no one thread's stack.
+      if (obs::trace_enabled())
+        obs::emit('b', "sandbox_job", "sandbox", job.id, "worker",
+                  static_cast<std::uint64_t>(i));
+      OBS_COUNTER_INC("citroen_sandbox_jobs_dispatched_total");
       running[i] = static_cast<std::ptrdiff_t>(next);
       job_id[i] = job.id;
       deadline[i] = config_.job_wall_timeout_seconds > 0
@@ -421,6 +473,10 @@ void SandboxedEvaluator::run_jobs(
       const IoStatus st = w.reader->read(&payload, /*timeout_seconds=*/0.0,
                                          &err);
       const std::ptrdiff_t t = running[i];
+      const auto end_job_span = [&] {
+        if (obs::trace_enabled())
+          obs::emit('e', "sandbox_job", "sandbox", job_id[i]);
+      };
       switch (st) {
         case IoStatus::Ok: {
           SandboxResult res;
@@ -429,6 +485,7 @@ void SandboxedEvaluator::run_jobs(
             // Confused worker: garbled payload or a stale/foreign job id.
             // Tear it down and blame the in-flight candidate — its
             // evaluation provoked the garbage.
+            end_job_span();
             destroy_worker(w, /*kill=*/true);
             Verdict v;
             v.kind = sim::FailureKind::WorkerCrash;
@@ -450,6 +507,8 @@ void SandboxedEvaluator::run_jobs(
               trip_breaker("worker respawn failed");
             return;
           }
+          ingest_worker_obs(res, w.pid);
+          end_job_span();
           record_result(res, todo[static_cast<std::size_t>(t)].sig,
                         with_measure);
           consecutive_deaths_ = 0;
@@ -473,6 +532,7 @@ void SandboxedEvaluator::run_jobs(
         case IoStatus::Eof:
         case IoStatus::Error:
         case IoStatus::Corrupt: {
+          end_job_span();
           handle_death(i, todo[static_cast<std::size_t>(t)].sig,
                        /*in_flight=*/true, /*timed_out=*/false,
                        st == IoStatus::Corrupt ? "corrupt result stream"
@@ -531,6 +591,8 @@ void SandboxedEvaluator::run_jobs(
     for (std::size_t i = 0; i < n_workers; ++i) {
       if (running[i] < 0 || deadline[i] <= 0 || now < deadline[i]) continue;
       ::kill(workers_[i].pid, SIGKILL);
+      if (obs::trace_enabled())
+        obs::emit('e', "sandbox_job", "sandbox", job_id[i]);
       handle_death(i, todo[static_cast<std::size_t>(running[i])].sig,
                    /*in_flight=*/true, /*timed_out=*/true, "");
       running[i] = -1;

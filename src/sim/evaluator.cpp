@@ -7,6 +7,8 @@
 
 #include "ir/printer.hpp"
 #include "ir/verifier.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "persist/codec.hpp"
 #include "sim/faults.hpp"
 #include "support/thread_pool.hpp"
@@ -219,6 +221,8 @@ ir::Program ProgramEvaluator::build(
     FailureKind* failure_out, bool* transient_out,
     std::uint64_t* hash_out) const {
   const Stopwatch sw;
+  OBS_SPAN("build", "eval");
+  OBS_COUNTER_INC("citroen_builds_total");
   ir::Program built = base_;
   std::uint64_t h = kFnvOffset;
   for (auto& m : built.modules) {
@@ -318,10 +322,14 @@ EvalOutcome ProgramEvaluator::evaluate(const SequenceAssignment& seqs) {
     out.code_size = size;
     out.cache_hit = true;
     ++num_cache_hits_;
+    OBS_INSTANT("binary_cache_hit", "eval");
+    OBS_COUNTER_INC("citroen_binary_cache_hits_total");
     return out;
   }
 
   const Stopwatch sw;
+  OBS_SPAN("measure", "eval");
+  OBS_COUNTER_INC("citroen_measurements_total");
 
   // Injected runtime hang: the binary would blow the instruction budget.
   // No cycles come back from a timed-out run.
@@ -408,6 +416,9 @@ EvalOutcome ProgramEvaluator::evaluate(const SequenceAssignment& seqs) {
     if (out.valid) {
       out.cycles /= static_cast<double>(num_workloads());
       out.speedup = o3_cycles_ / out.cycles;
+      // Deterministic payload (simulated cycles, not wall time), so this
+      // histogram is identical across runs/threads.
+      OBS_HISTO_RECORD("citroen_eval_cycles", out.cycles);
     } else {
       out.cycles = 0.0;
     }
@@ -452,6 +463,7 @@ void ProgramEvaluator::prefetch(std::span<const SequenceAssignment> batch,
   double build_secs = 0.0;
   pool.parallel_for(jobs.size(), [&](std::size_t i) {
     const Stopwatch sw;
+    OBS_SPAN("prefetch_build", "eval");
     bc().build(*jobs[i].module, jobs[i].ids, jobs[i].salt);
     const double s = sw.seconds();
     const std::lock_guard<std::mutex> lock(acct_mu);
@@ -484,6 +496,7 @@ void ProgramEvaluator::prefetch(std::span<const SequenceAssignment> batch,
   std::vector<double> secs(mjobs.size(), 0.0);
   pool.parallel_for(mjobs.size(), [&](std::size_t i) {
     const Stopwatch sw;
+    OBS_SPAN("prefetch_measure", "eval");
     memos[i].runs = measure_pure(mjobs[i].built);
     secs[i] = sw.seconds();
   });
@@ -546,10 +559,18 @@ PureEvalResult ProgramEvaluator::pure_evaluate(const SequenceAssignment& seqs,
   PureEvalResult out;
   ir::Program built;
   std::uint64_t h = 0;
-  if (!assemble_pure(seqs, &built, &h)) return out;
+  {
+    OBS_SPAN("build", "eval");
+    OBS_COUNTER_INC("citroen_builds_total");
+    if (!assemble_pure(seqs, &built, &h)) return out;
+  }
   out.built = true;
   out.binary_hash = h;
-  if (with_measure) out.runs = measure_pure(built);
+  if (with_measure) {
+    OBS_SPAN("measure", "eval");
+    OBS_COUNTER_INC("citroen_measurements_total");
+    out.runs = measure_pure(built);
+  }
   return out;
 }
 

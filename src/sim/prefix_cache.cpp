@@ -6,6 +6,8 @@
 
 #include "ir/printer.hpp"
 #include "ir/verifier.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace citroen::sim {
 
@@ -185,6 +187,7 @@ std::shared_ptr<const ModuleBuild> PrefixCache::build(
     std::uint64_t salt) const {
   const std::size_t n = ids.size();
   bump(1, &PrefixCacheStats::builds);
+  OBS_COUNTER_INC("citroen_prefix_cache_builds_total");
   const auto keys = enabled() ? prefix_keys(base.name, ids, salt)
                               : std::vector<std::uint64_t>{};
 
@@ -192,6 +195,9 @@ std::shared_ptr<const ModuleBuild> PrefixCache::build(
     if (auto hit = lookup(keys[n], /*need_finalized=*/true)) {
       bump(n, &PrefixCacheStats::passes_saved);
       bump(1, &PrefixCacheStats::full_hits);
+      OBS_INSTANT("prefix_full_hit", "cache");
+      OBS_COUNTER_INC("citroen_prefix_cache_full_hits_total");
+      OBS_COUNTER_ADD("citroen_prefix_cache_passes_saved_total", n);
       return hit;
     }
   }
@@ -210,11 +216,18 @@ std::shared_ptr<const ModuleBuild> PrefixCache::build(
         start = p;
         bump(p, &PrefixCacheStats::passes_saved);
         bump(1, &PrefixCacheStats::prefix_hits);
+        OBS_INSTANT_ARG("prefix_snapshot_hit", "cache", "depth", p);
+        OBS_COUNTER_INC("citroen_prefix_cache_prefix_hits_total");
+        OBS_COUNTER_ADD("citroen_prefix_cache_passes_saved_total", p);
         break;
       }
     }
   }
-  if (start == 0) out->module = base;
+  if (start == 0) {
+    out->module = base;
+    OBS_INSTANT("prefix_miss", "cache");
+    OBS_COUNTER_INC("citroen_prefix_cache_misses_total");
+  }
 
   const auto& reg = passes::PassRegistry::instance();
   const auto stride = static_cast<std::size_t>(
@@ -243,6 +256,8 @@ std::shared_ptr<const ModuleBuild> PrefixCache::build(
       snap->module = out->module;
       snap->stats = out->stats;
       insert(keys[done], snap, /*finalized=*/false);
+      OBS_INSTANT_ARG("prefix_snapshot_store", "cache", "depth", done);
+      OBS_COUNTER_INC("citroen_prefix_cache_snapshots_total");
     }
   }
   bump(n - start, &PrefixCacheStats::passes_run);

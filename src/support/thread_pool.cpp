@@ -4,6 +4,8 @@
 #include <deque>
 #include <exception>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/env.hpp"
 
 namespace citroen {
@@ -81,6 +83,8 @@ void ThreadPool::run_loop(Loop& loop, std::size_t self) {
     }
     if (!got) return;
     try {
+      OBS_SPAN("pool_job", "pool");
+      OBS_COUNTER_INC("citroen_pool_jobs_total");
       (*loop.fn)(idx);
     } catch (...) {
       const std::lock_guard<std::mutex> lock(loop.err_mu);
@@ -130,6 +134,10 @@ void ThreadPool::parallel_for(std::size_t n,
     return;
   }
 
+  if (obs::trace_enabled())
+    obs::emit('B', "parallel_for", "pool", 0, "n", n);
+  OBS_COUNTER_INC("citroen_parallel_for_total");
+
   auto loop = std::make_shared<Loop>();
   loop->fn = &fn;
   const std::size_t width =
@@ -160,6 +168,7 @@ void ThreadPool::parallel_for(std::size_t n,
   });
   lock.unlock();
 
+  if (obs::trace_enabled()) obs::emit('E', "parallel_for", "pool");
   if (loop->error) std::rethrow_exception(loop->error);
 }
 

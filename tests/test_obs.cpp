@@ -1,0 +1,259 @@
+// Unit tests for the observability layer (src/obs/): trace ring
+// overflow accounting, concurrent emission (exercised under TSan in CI),
+// histogram bucket edges and shard merging, export format validity, and
+// the span-nesting validator the ext_observability gate relies on.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/thread_pool.hpp"
+
+using namespace citroen;
+
+namespace {
+
+/// Every trace test starts from an empty sink/rings and leaves tracing
+/// disabled, since the trace layer is process-global.
+class Obs : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::trace_force_enable(false);
+    obs::drain_trace();
+  }
+  void TearDown() override {
+    obs::trace_force_enable(false);
+    obs::drain_trace();
+    obs::set_sink_capacity(std::size_t{1} << 20);
+  }
+};
+
+}  // namespace
+
+TEST_F(Obs, DisabledEmitIsBranchOnly) {
+  ASSERT_FALSE(obs::trace_enabled());
+  for (int i = 0; i < 100; ++i) {
+    OBS_INSTANT("never", "test");
+    OBS_SPAN("never_span", "test");
+  }
+  EXPECT_TRUE(obs::drain_trace().empty());
+}
+
+TEST_F(Obs, EmitDrainRoundTrip) {
+  obs::trace_force_enable(true);
+  {
+    OBS_SPAN("outer", "test");
+    OBS_INSTANT_ARG("tick", "test", "n", 41);
+  }
+  const auto events = obs::drain_trace();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].phase, 'B');
+  EXPECT_STREQ(events[0].name, "outer");
+  EXPECT_EQ(events[1].phase, 'I');
+  EXPECT_STREQ(events[1].arg_name, "n");
+  EXPECT_EQ(events[1].arg, 41u);
+  EXPECT_EQ(events[2].phase, 'E');
+  EXPECT_GE(events[2].ts_ns, events[0].ts_ns);
+  // Drained means gone.
+  EXPECT_TRUE(obs::drain_trace().empty());
+}
+
+TEST_F(Obs, RingOverflowSpillsAndCountsDrops) {
+  // Ring capacity is 4096; a tiny sink forces the spill path to drop.
+  obs::set_sink_capacity(64);
+  obs::trace_force_enable(true);
+  const std::uint64_t dropped_before = obs::trace_dropped();
+  constexpr int kEmits = 10000;
+  for (int i = 0; i < kEmits; ++i)
+    obs::emit('I', "flood", "test", 0, "i", static_cast<std::uint64_t>(i));
+  obs::trace_force_enable(false);
+  const auto events = obs::drain_trace();
+  const std::uint64_t dropped =
+      obs::trace_dropped() - dropped_before;
+  // Nothing tears or double-counts: every emit is either drained or
+  // counted as dropped, and the drop counter moved (sink cap << emits).
+  EXPECT_GT(dropped, 0u);
+  EXPECT_EQ(events.size() + dropped, static_cast<std::uint64_t>(kEmits));
+  for (const auto& ev : events) EXPECT_STREQ(ev.name, "flood");
+}
+
+TEST_F(Obs, ConcurrentEmitFromPoolThreads) {
+  obs::trace_force_enable(true);
+  // Pool workers emit spans concurrently with the pool's own
+  // instrumentation; under TSan (CI filter Obs.*) this checks the
+  // wait-free ring publication for races.
+  ThreadPool::global().parallel_for(64, [](std::size_t i) {
+    OBS_SPAN("job_outer", "test");
+    for (int k = 0; k < 200; ++k) {
+      OBS_SPAN("job_inner", "test");
+      OBS_INSTANT_ARG("job_tick", "test", "i", i);
+    }
+  });
+  obs::trace_force_enable(false);
+  const auto events = obs::drain_trace();
+  EXPECT_FALSE(events.empty());
+  std::string err;
+  EXPECT_TRUE(obs::validate_span_nesting(events, &err)) << err;
+}
+
+TEST_F(Obs, InternDeduplicatesAndOutlivesInput) {
+  std::string a = "dynamic-name-1";
+  const char* p1 = obs::intern(a);
+  a = "clobbered";
+  const char* p2 = obs::intern("dynamic-name-1");
+  EXPECT_EQ(p1, p2);
+  EXPECT_STREQ(p1, "dynamic-name-1");
+}
+
+TEST_F(Obs, NestingValidatorAcceptsProperAndRejectsCrossed) {
+  auto ev = [](char ph, const char* name, std::uint64_t ts,
+               std::uint32_t tid, std::uint64_t id = 0) {
+    obs::TraceEvent e;
+    e.phase = ph;
+    e.name = name;
+    e.cat = "test";
+    e.ts_ns = ts;
+    e.pid = 1;
+    e.tid = tid;
+    e.id = id;
+    return e;
+  };
+  std::string err;
+  // Proper: nested same-thread spans + interleaved async pair.
+  EXPECT_TRUE(obs::validate_span_nesting(
+      {ev('B', "a", 1, 1), ev('b', "j", 2, 1, 7), ev('B', "b", 3, 1),
+       ev('E', "b", 4, 1), ev('e', "j", 5, 1, 7), ev('E', "a", 6, 1)},
+      &err))
+      << err;
+  // Crossed sync spans on one thread: close does not match the top.
+  EXPECT_FALSE(obs::validate_span_nesting(
+      {ev('B', "a", 1, 1), ev('B', "b", 2, 1), ev('E', "a", 3, 1),
+       ev('E', "b", 4, 1)},
+      &err));
+  // Unmatched async begin.
+  EXPECT_FALSE(obs::validate_span_nesting({ev('b', "j", 1, 1, 9)}, &err));
+  // Same names on different threads are independent stacks.
+  EXPECT_TRUE(obs::validate_span_nesting(
+      {ev('B', "a", 1, 1), ev('B', "a", 2, 2), ev('E', "a", 3, 2),
+       ev('E', "a", 4, 1)},
+      &err))
+      << err;
+}
+
+TEST_F(Obs, TraceJsonIsWellFormedAndEscaped) {
+  obs::trace_force_enable(true);
+  obs::emit('I', obs::intern("weird \"name\"\n"), "test", 0, nullptr, 0,
+            obs::intern("tab\there"));
+  {
+    OBS_SPAN("plain", "test");
+  }
+  obs::trace_force_enable(false);
+  const std::string json = obs::trace_json(obs::drain_trace());
+  std::string err;
+  EXPECT_TRUE(obs::json_well_formed(json, &err)) << err << "\n" << json;
+  EXPECT_NE(json.find("weird \\\"name\\\"\\n"), std::string::npos);
+  EXPECT_NE(json.find("tab\\there"), std::string::npos);
+}
+
+TEST_F(Obs, JsonValidatorRejectsGarbage) {
+  std::string err;
+  EXPECT_TRUE(obs::json_well_formed("{\"a\":[1,2,{\"b\":null}]}", &err));
+  EXPECT_FALSE(obs::json_well_formed("", &err));
+  EXPECT_FALSE(obs::json_well_formed("{\"a\":}", &err));
+  EXPECT_FALSE(obs::json_well_formed("{} trailing", &err));
+  EXPECT_FALSE(obs::json_well_formed("{\"a\":1", &err));
+  EXPECT_FALSE(obs::json_well_formed("\"unterminated", &err));
+}
+
+// ---- histograms -----------------------------------------------------------
+
+TEST(ObsHistogram, BucketEdgesAtBelowAndAbove) {
+  using H = obs::Histogram;
+  EXPECT_EQ(H::bucket_of(0), 0);
+  EXPECT_EQ(H::bucket_of(1), 1);
+  // For every power of two: the edge value starts a new bucket, edge-1
+  // stays below, edge+1 stays inside.
+  for (int k = 1; k < 63; ++k) {
+    const std::uint64_t edge = std::uint64_t{1} << k;
+    EXPECT_EQ(H::bucket_of(edge), k + 1) << "edge 2^" << k;
+    EXPECT_EQ(H::bucket_of(edge - 1), k) << "below 2^" << k;
+    EXPECT_EQ(H::bucket_of(edge + 1), k + 1) << "above 2^" << k;
+  }
+  EXPECT_EQ(H::bucket_of(~std::uint64_t{0}), 64);
+  // Exclusive upper edges bracket their bucket.
+  EXPECT_EQ(H::bucket_upper_edge(0), 1u);
+  EXPECT_EQ(H::bucket_upper_edge(1), 2u);
+  EXPECT_EQ(H::bucket_upper_edge(10), 1024u);
+  EXPECT_EQ(H::bucket_upper_edge(64), ~std::uint64_t{0});
+}
+
+TEST(ObsHistogram, RecordSnapshotRoundTrip) {
+  obs::Histogram h;
+  h.record(0);
+  h.record(1);
+  h.record(7);    // bucket 3: [4, 8)
+  h.record(8);    // bucket 4: [8, 16)
+  h.record(100);  // bucket 7: [64, 128)
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_EQ(snap.sum, 116u);
+  EXPECT_EQ(snap.buckets[0], 1u);
+  EXPECT_EQ(snap.buckets[1], 1u);
+  EXPECT_EQ(snap.buckets[3], 1u);
+  EXPECT_EQ(snap.buckets[4], 1u);
+  EXPECT_EQ(snap.buckets[7], 1u);
+}
+
+TEST(ObsHistogram, ShardsMergeAcrossThreads) {
+  obs::Histogram h;
+  constexpr std::size_t kThreads = 8;
+  constexpr int kPerThread = 1000;
+  ThreadPool::global().parallel_for(kThreads, [&](std::size_t) {
+    for (int i = 0; i < kPerThread; ++i)
+      h.record(static_cast<std::uint64_t>(3));
+  });
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  EXPECT_EQ(snap.sum, 3u * kThreads * kPerThread);
+  EXPECT_EQ(snap.buckets[2], kThreads * kPerThread);  // 3 -> [2, 4)
+}
+
+// ---- registry / exports ---------------------------------------------------
+
+TEST(ObsMetrics, ExportsAreValidAndStable) {
+  auto& reg = obs::Registry::instance();
+  reg.counter("citroen_test_export_total").add(3);
+  reg.gauge("citroen_test_export_ratio").set(0.5);
+  reg.histogram("citroen_test_export_histo").record(9);
+
+  std::string err;
+  const std::string json = reg.json_summary();
+  EXPECT_TRUE(obs::json_well_formed(json, &err)) << err << "\n" << json;
+  EXPECT_NE(json.find("\"citroen_test_export_total\":"), std::string::npos);
+
+  const std::string prom = reg.prometheus_text();
+  EXPECT_NE(prom.find("# TYPE citroen_test_export_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE citroen_test_export_histo histogram"),
+            std::string::npos);
+  EXPECT_NE(prom.find("citroen_test_export_histo_bucket{le=\"16\"} 1"),
+            std::string::npos);
+
+  // Same-name lookups return the same instrument.
+  EXPECT_EQ(&reg.counter("citroen_test_export_total"),
+            &reg.counter("citroen_test_export_total"));
+}
+
+TEST(ObsMetrics, CountersSnapshotSortedByName) {
+  auto& reg = obs::Registry::instance();
+  reg.counter("citroen_test_zz_total").add(1);
+  reg.counter("citroen_test_aa_total").add(1);
+  const auto snap = reg.counters_snapshot();
+  ASSERT_GE(snap.size(), 2u);
+  for (std::size_t i = 1; i < snap.size(); ++i)
+    EXPECT_LT(snap[i - 1].first, snap[i].first);
+}

@@ -227,6 +227,52 @@ TEST(SandboxProtocol, ResultRoundTripsBitExactDoubles) {
   EXPECT_EQ(back.pure.runs[0].ret, run.ret);
   EXPECT_EQ(back.pure.runs[0].cycles, run.cycles);
   EXPECT_EQ(back.pure.runs[0].instructions, run.instructions);
+  EXPECT_TRUE(back.obs_events.empty());
+  EXPECT_TRUE(back.obs_counters.empty());
+}
+
+TEST(SandboxProtocol, ResultRoundTripsObsDeltas) {
+  sandbox::SandboxResult res;
+  res.id = 9;
+  res.pure.built = true;
+  sandbox::ObsEventWire ev;
+  ev.phase = 'B';
+  ev.name = "build";
+  ev.cat = "eval";
+  ev.ts_ns = 123456789;
+  res.obs_events.push_back(ev);
+  ev.phase = 'I';
+  ev.name = "prefix_snapshot_hit";
+  ev.cat = "cache";
+  ev.arg_name = "depth";
+  ev.arg = 12;
+  ev.str_arg = "detail \"quoted\"";
+  res.obs_events.push_back(ev);
+  res.obs_counters.emplace_back("citroen_builds_total", 3);
+  res.obs_counters.emplace_back("citroen_measurements_total", 1);
+
+  sandbox::SandboxResult back;
+  std::string err;
+  ASSERT_TRUE(sandbox::decode_result(sandbox::encode_result(res), &back,
+                                     &err))
+      << err;
+  ASSERT_EQ(back.obs_events.size(), 2u);
+  EXPECT_EQ(back.obs_events[0].phase, 'B');
+  EXPECT_EQ(back.obs_events[0].name, "build");
+  EXPECT_EQ(back.obs_events[0].cat, "eval");
+  EXPECT_EQ(back.obs_events[0].ts_ns, 123456789u);
+  EXPECT_EQ(back.obs_events[1].arg_name, "depth");
+  EXPECT_EQ(back.obs_events[1].arg, 12u);
+  EXPECT_EQ(back.obs_events[1].str_arg, "detail \"quoted\"");
+  ASSERT_EQ(back.obs_counters.size(), 2u);
+  EXPECT_EQ(back.obs_counters[0].first, "citroen_builds_total");
+  EXPECT_EQ(back.obs_counters[0].second, 3u);
+  EXPECT_EQ(back.obs_counters[1].second, 1u);
+  // A truncated obs tail (the pre-obs frame layout) must be rejected, so
+  // supervisor and worker can never skew silently across this field.
+  const std::string bytes = sandbox::encode_result(res);
+  EXPECT_FALSE(
+      sandbox::decode_result(bytes.substr(0, bytes.size() - 4), &back, &err));
 }
 
 TEST(SandboxProtocol, MalformedPayloadsAreRejectedNotTrusted) {
