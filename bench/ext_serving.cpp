@@ -1,0 +1,298 @@
+// ext_serving — end-to-end gate for the citroend tuning service.
+//
+// Spins up a real citroend daemon (fork+exec of the installed binary) and
+// drives it with four concurrent client threads, one tenant each, mixed
+// tuning methods. Verifies, in order:
+//
+//   1. every concurrently-served job returns a speedup curve that is
+//      BYTE-IDENTICAL to a serial in-process replay of the same spec
+//      (multiplexing, fair scheduling, journaling and the shared prefix
+//      cache must never change results);
+//   2. an over-quota submission is answered with a typed transient
+//      Reject — and succeeds later once capacity frees up (the client's
+//      backoff+jitter retry path);
+//   3. with --kill: SIGKILL mid-run, restart with --resume, clients
+//      reconnect + re-attach by job id, and the recovered results are
+//      still byte-identical to the serial replays;
+//   4. final SIGTERM drain exits 0 once no work is in flight.
+//
+// Runs identically under CITROEN_SANDBOX=1 (the daemon vets every
+// candidate in sandboxed workers; results must not change).
+//
+// Usage: ext_serving [--kill] [--daemon PATH]
+// Exit 0 on pass, 1 on any mismatch or protocol failure.
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/job.hpp"
+#include "serve/wire.hpp"
+
+using citroen::Vec;
+using citroen::serve::Client;
+using citroen::serve::ClientConfig;
+using citroen::serve::JobOutcome;
+using citroen::serve::JobSpec;
+using citroen::serve::ResultStatus;
+
+namespace {
+
+struct DaemonArgs {
+  std::string bin;
+  std::string socket;
+  std::string state_dir;
+  bool resume = false;
+};
+
+/// fork+exec (never fork-without-exec: client threads may hold allocator
+/// locks at fork time, and an exec wipes the child clean).
+pid_t spawn_daemon(const DaemonArgs& d) {
+  std::vector<std::string> args = {d.bin,
+                                   "--socket",
+                                   d.socket,
+                                   "--state-dir",
+                                   d.state_dir,
+                                   "--tenant-jobs",
+                                   "2",
+                                   "--tenant-evals",
+                                   "64",
+                                   "--drain-deadline",
+                                   "20"};
+  if (d.resume) args.push_back("--resume");
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (auto& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execv(argv[0], argv.data());
+    ::_exit(127);
+  }
+  return pid;
+}
+
+bool curves_identical(const Vec& a, const Vec& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+struct ClientJob {
+  std::string tenant;
+  JobSpec spec;
+  std::uint64_t job_id = 0;
+  JobOutcome outcome;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool kill_mode = false;
+  std::string daemon_bin;
+  for (int i = 1; i < argc; ++i) {
+    const std::string s = argv[i];
+    if (s == "--kill") kill_mode = true;
+    if (s == "--daemon" && i + 1 < argc) daemon_bin = argv[++i];
+  }
+  if (daemon_bin.empty()) {
+    // Default: ../src/serve/citroend next to this binary in the build tree.
+    daemon_bin = (std::filesystem::path(argv[0]).parent_path().parent_path() /
+                  "src" / "serve" / "citroend")
+                     .string();
+  }
+  if (!std::filesystem::exists(daemon_bin)) {
+    std::fprintf(stderr, "daemon binary not found: %s (pass --daemon PATH)\n",
+                 daemon_bin.c_str());
+    return 1;
+  }
+
+  char tmpl[] = "/tmp/citroen_serving_XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  if (!dir) {
+    std::perror("mkdtemp");
+    return 1;
+  }
+  DaemonArgs d;
+  d.bin = daemon_bin;
+  d.socket = std::string(dir) + "/citroend.sock";
+  d.state_dir = std::string(dir) + "/state";
+
+  pid_t daemon_pid = spawn_daemon(d);
+  std::printf("ext_serving: daemon pid %d on %s%s\n", daemon_pid,
+              d.socket.c_str(), kill_mode ? " (kill variant)" : "");
+
+  // Four tenants, mixed methods; budgets sized so the kill variant has
+  // work in flight to interrupt.
+  const std::uint32_t bb = kill_mode ? 40 : 14;
+  std::vector<ClientJob> jobs;
+  jobs.push_back({"alpha", {"telecom_gsm", "arm", "citroen", bb, 11}, 0, {}});
+  jobs.push_back({"beta", {"security_sha", "arm", "random", bb + 6, 22}, 0, {}});
+  jobs.push_back({"gamma", {"consumer_jpeg", "x86", "ga", bb + 2, 33}, 0, {}});
+  jobs.push_back({"delta", {"bzip2", "arm", "des", bb + 4, 44}, 0, {}});
+
+  std::atomic<int> accepted{0};
+  std::atomic<std::uint64_t> progress_seen{0};
+  std::atomic<bool> failed{false};
+  std::mutex log_mu;
+
+  std::vector<std::thread> threads;
+  threads.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    threads.emplace_back([&, i] {
+      ClientJob& cj = jobs[i];
+      ClientConfig cc;
+      cc.socket_path = d.socket;
+      cc.tenant = cj.tenant;
+      cc.jitter_seed = 1000 + i;
+      Client client(cc);
+      const auto id = client.submit(cj.spec, /*max_wait_seconds=*/60.0);
+      if (!id) {
+        std::lock_guard<std::mutex> lk(log_mu);
+        std::fprintf(stderr, "FAIL submit %s: %s\n", cj.tenant.c_str(),
+                     client.error().c_str());
+        failed = true;
+        return;
+      }
+      cj.job_id = *id;
+      accepted.fetch_add(1);
+      cj.outcome = client.wait_result(
+          *id, /*max_wait_seconds=*/240.0,
+          [&](std::uint64_t, std::uint64_t) { progress_seen.fetch_add(1); });
+      if (cj.outcome.status != ResultStatus::Ok) {
+        std::lock_guard<std::mutex> lk(log_mu);
+        std::fprintf(stderr, "FAIL result %s job %llu: %s\n", cj.tenant.c_str(),
+                     static_cast<unsigned long long>(*id),
+                     cj.outcome.error.c_str());
+        failed = true;
+      }
+    });
+  }
+
+  // Over-quota probe: a fifth tenant whose second submission exceeds its
+  // in-flight eval budget (2 x 40 > 64) and must draw a typed transient
+  // Reject, then succeed on retry once the first job finishes.
+  std::thread greedy([&] {
+    ClientConfig cc;
+    cc.socket_path = d.socket;
+    cc.tenant = "greedy";
+    cc.jitter_seed = 77;
+    Client client(cc);
+    JobSpec big{"telecom_gsm", "arm", "random", 40, 5};
+    const auto first = client.submit(big, 60.0);
+    if (!first) {
+      std::fprintf(stderr, "FAIL greedy first submit: %s\n",
+                   client.error().c_str());
+      failed = true;
+      return;
+    }
+    JobSpec second = big;
+    second.seed = 6;
+    // Zero retry budget: the transient reject must surface immediately.
+    const auto rejected = client.submit(second, 0.0);
+    if (rejected) {
+      std::fprintf(stderr, "FAIL greedy over-budget submit was accepted\n");
+      failed = true;
+      return;
+    }
+    std::printf("ext_serving: over-quota reject observed (%s)\n",
+                client.error().c_str());
+    // Generous budget: retries until the first job releases its charge.
+    const auto retried = client.submit(second, 240.0);
+    if (!retried) {
+      std::fprintf(stderr, "FAIL greedy retry never admitted: %s\n",
+                   client.error().c_str());
+      failed = true;
+      return;
+    }
+    const auto o1 = client.wait_result(*first, 240.0);
+    const auto o2 = client.wait_result(*retried, 240.0);
+    if (o1.status != ResultStatus::Ok || o2.status != ResultStatus::Ok) {
+      std::fprintf(stderr, "FAIL greedy result: %s%s\n", o1.error.c_str(),
+                   o2.error.c_str());
+      failed = true;
+      return;
+    }
+    if (!curves_identical(o1.curve, citroen::serve::serial_replay(big)) ||
+        !curves_identical(o2.curve, citroen::serve::serial_replay(second))) {
+      std::fprintf(stderr, "FAIL greedy curve mismatch vs serial replay\n");
+      failed = true;
+      return;
+    }
+    std::printf("ext_serving: greedy tenant served after backoff, curves OK\n");
+  });
+
+  if (kill_mode) {
+    // Wait until every job is admitted and the daemon has made progress,
+    // then SIGKILL it mid-run and restart with --resume.
+    while (accepted.load() < static_cast<int>(jobs.size()) ||
+           progress_seen.load() < 8) {
+      if (failed.load()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    if (!failed.load()) {
+      std::printf("ext_serving: SIGKILL daemon pid %d mid-run\n", daemon_pid);
+      ::kill(daemon_pid, SIGKILL);
+      int st = 0;
+      ::waitpid(daemon_pid, &st, 0);
+      d.resume = true;
+      daemon_pid = spawn_daemon(d);
+      std::printf("ext_serving: restarted daemon pid %d with --resume\n",
+                  daemon_pid);
+    }
+  }
+
+  for (auto& t : threads) t.join();
+  greedy.join();
+
+  // Byte-verify every concurrent result against a serial replay.
+  for (const auto& cj : jobs) {
+    if (failed.load()) break;
+    const Vec replay = citroen::serve::serial_replay(cj.spec);
+    const bool ok = curves_identical(cj.outcome.curve, replay);
+    std::printf("ext_serving: %s %s/%s budget %u -> %zu evals, replay %s\n",
+                cj.tenant.c_str(), cj.spec.program.c_str(),
+                cj.spec.method.c_str(), cj.spec.budget,
+                cj.outcome.curve.size(), ok ? "IDENTICAL" : "MISMATCH");
+    if (!ok) {
+      for (std::size_t k = 0;
+           k < std::min(cj.outcome.curve.size(), replay.size()); ++k)
+        if (cj.outcome.curve[k] != replay[k]) {
+          std::fprintf(stderr,
+                       "  first divergence at eval %zu: %.17g vs %.17g\n", k,
+                       cj.outcome.curve[k], replay[k]);
+          break;
+        }
+      failed = true;
+    }
+  }
+
+  // Graceful drain: nothing in flight, so SIGTERM must exit 0 promptly.
+  ::kill(daemon_pid, SIGTERM);
+  int status = 0;
+  ::waitpid(daemon_pid, &status, 0);
+  const int code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  std::printf("ext_serving: drain exit status %d\n", code);
+  if (code != 0) failed = true;
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+
+  if (failed.load()) {
+    std::printf("SERVING GATE FAIL\n");
+    return 1;
+  }
+  std::printf("SERVING GATE PASS\n");
+  return 0;
+}

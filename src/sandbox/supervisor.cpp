@@ -42,6 +42,13 @@ void sleep_seconds(double s) {
   }
 }
 
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
 std::string describe_signal(int sig) {
   const char* name = ::strsignal(sig);
   char buf[64];
@@ -81,10 +88,23 @@ void ingest_worker_obs(const SandboxResult& res, pid_t pid) {
 
 }  // namespace
 
+double jittered_backoff(double base_seconds, double jitter,
+                        std::uint64_t* state) {
+  const double j = std::clamp(jitter, 0.0, 1.0);
+  if (j <= 0) return base_seconds;
+  const double unit =
+      static_cast<double>(splitmix64(*state) >> 11) * 0x1.0p-53;
+  return base_seconds * (1.0 - j + 2.0 * j * unit);
+}
+
 SandboxedEvaluator::SandboxedEvaluator(sim::ProgramEvaluator& base,
                                        SandboxConfig config)
     : base_(base), config_(config) {
   config_.workers = resolve_worker_count(config_.workers);
+  jitter_state_ = config_.respawn_jitter_seed != 0
+                      ? config_.respawn_jitter_seed
+                      : (static_cast<std::uint64_t>(::getpid()) << 32) ^
+                            reinterpret_cast<std::uintptr_t>(this);
   // A dead supervisor must surface to us as EPIPE/poll events, never as a
   // process-killing SIGPIPE while writing a job frame.
   ::signal(SIGPIPE, SIG_IGN);
@@ -310,7 +330,11 @@ void SandboxedEvaluator::handle_death(std::size_t slot, std::uint64_t sig,
                config_.respawn_backoff_seconds *
                    static_cast<double>(1u << std::min(consecutive_deaths_ - 1,
                                                       16)));
-  sleep_seconds(backoff);
+  // Seeded jitter decorrelates sibling supervisors after a correlated
+  // crash (one bad candidate fanned out to every job's pool): without it
+  // they all sleep the same exponential schedule and refork in lockstep.
+  sleep_seconds(
+      jittered_backoff(backoff, config_.respawn_jitter, &jitter_state_));
   if (spawn_worker(slot)) {
     ++stats_.respawns;
   } else {

@@ -58,6 +58,16 @@ struct SandboxConfig {
   int breaker_threshold = 3;
   double respawn_backoff_seconds = 0.05;     ///< first respawn delay
   double respawn_backoff_max_seconds = 1.0;  ///< backoff ceiling
+  /// Each respawn delay is scaled by a uniform factor in
+  /// [1 - jitter, 1 + jitter] so N supervisors (e.g. the serving
+  /// daemon's concurrent jobs) don't respawn workers in lockstep after a
+  /// correlated crash — a thundering herd on a one-core box. 0 disables.
+  double respawn_jitter = 0.5;
+  /// Seed for the jitter stream; 0 derives one from the supervisor pid
+  /// and the evaluator's address, so sibling supervisors decorrelate
+  /// even inside one process. Results never depend on this (jitter only
+  /// stretches sleeps).
+  std::uint64_t respawn_jitter_seed = 0;
   /// Recycle a worker after this many jobs (0 = never): leak hygiene on
   /// long soak runs without perturbing results.
   std::uint64_t max_jobs_per_worker = 0;
@@ -66,6 +76,13 @@ struct SandboxConfig {
   /// ext_sandbox_containment gate asserts on.
   std::int64_t kill_job_id = -1;
 };
+
+/// `base_seconds` scaled by a uniform factor in [1 - jitter, 1 + jitter]
+/// drawn from the splitmix64 stream `state` (jitter clamped to [0, 1]).
+/// The respawn path uses this; exposed as a free function so the
+/// anti-thundering-herd property is unit-testable without sleeping.
+double jittered_backoff(double base_seconds, double jitter,
+                        std::uint64_t* state);
 
 struct SandboxStats {
   std::uint64_t forks = 0;            ///< workers spawned (incl. respawns)
@@ -186,6 +203,7 @@ class SandboxedEvaluator final : public sim::Evaluator {
   mutable std::unordered_map<std::uint64_t, Verdict> verdicts_;
   mutable SandboxStats stats_;
   mutable std::uint64_t next_job_id_ = 0;
+  mutable std::uint64_t jitter_state_ = 0;  ///< splitmix64 jitter stream
   mutable int consecutive_deaths_ = 0;
   mutable bool tripped_ = false;
   mutable bool spawned_once_ = false;

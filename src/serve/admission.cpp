@@ -1,0 +1,80 @@
+#include "serve/admission.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace citroen::serve {
+
+const TenantQuota& AdmissionController::quota_for(
+    const std::string& tenant) const {
+  const auto it = config_.overrides.find(tenant);
+  return it != config_.overrides.end() ? it->second : config_.default_quota;
+}
+
+std::optional<RejectMsg> AdmissionController::try_admit(
+    const std::string& tenant, const JobSpec& spec) {
+  const TenantQuota& q = quota_for(tenant);
+  const Usage& u = usage_[tenant];
+
+  RejectMsg rej;
+  rej.retry_after_seconds = config_.retry_after_seconds;
+  if (total_jobs_ >= config_.max_jobs_total) {
+    rej.reason = RejectReason::OverCapacity;
+    rej.message = "daemon at its global cap of " +
+                  std::to_string(config_.max_jobs_total) + " jobs";
+  } else if (u.jobs >= q.max_jobs) {
+    rej.reason = RejectReason::OverTenantJobs;
+    rej.message = "tenant '" + tenant + "' already has " +
+                  std::to_string(u.jobs) + "/" + std::to_string(q.max_jobs) +
+                  " concurrent jobs";
+  } else if (u.evals + spec.budget > q.max_evals) {
+    rej.reason = RejectReason::OverTenantBudget;
+    rej.message = "tenant '" + tenant + "' in-flight eval budget " +
+                  std::to_string(u.evals) + " + " +
+                  std::to_string(spec.budget) + " exceeds quota " +
+                  std::to_string(q.max_evals);
+  } else {
+    recharge(tenant, spec);
+    return std::nullopt;
+  }
+  OBS_COUNTER_INC("citroend_admission_rejects_total");
+  // Dynamic name, so bypass the macro (whose per-site static would pin
+  // whichever reason fired first).
+  if (obs::metrics_enabled())
+    obs::Registry::instance()
+        .counter(std::string("citroend_admission_rejects_total_") +
+                 reject_reason_name(rej.reason))
+        .add(1);
+  return rej;
+}
+
+void AdmissionController::release(const std::string& tenant,
+                                  const JobSpec& spec) {
+  auto it = usage_.find(tenant);
+  if (it == usage_.end()) return;
+  Usage& u = it->second;
+  if (u.jobs > 0) --u.jobs;
+  u.evals -= std::min<std::uint64_t>(u.evals, spec.budget);
+  if (total_jobs_ > 0) --total_jobs_;
+  if (u.jobs == 0 && u.evals == 0) usage_.erase(it);
+}
+
+void AdmissionController::recharge(const std::string& tenant,
+                                   const JobSpec& spec) {
+  Usage& u = usage_[tenant];
+  ++u.jobs;
+  u.evals += spec.budget;
+  ++total_jobs_;
+}
+
+int AdmissionController::tenant_jobs(const std::string& tenant) const {
+  const auto it = usage_.find(tenant);
+  return it == usage_.end() ? 0 : it->second.jobs;
+}
+
+std::uint64_t AdmissionController::tenant_evals(
+    const std::string& tenant) const {
+  const auto it = usage_.find(tenant);
+  return it == usage_.end() ? 0 : it->second.evals;
+}
+
+}  // namespace citroen::serve

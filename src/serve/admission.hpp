@@ -1,0 +1,79 @@
+#pragma once
+// Admission control + per-tenant budget quotas for citroend.
+//
+// A submission is admitted only while the tenant is inside BOTH of its
+// quotas — concurrent jobs and in-flight evaluation budget — and the
+// daemon is inside its global job cap. Everything else is refused with a
+// typed RejectMsg so clients can distinguish "back off and retry" from
+// "this request is wrong", instead of the daemon queueing unboundedly
+// and falling over under overload.
+//
+// Charges are taken at admission (the full budget of the job) and
+// released when the job reaches a terminal state. Counting the budget of
+// queued-but-not-yet-running jobs is deliberate: quota is a promise of
+// future work, and admission is the only place the daemon can say no.
+//
+// Single-threaded (the daemon's event loop owns it); trivially
+// unit-testable without a socket in sight.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "serve/wire.hpp"
+
+namespace citroen::serve {
+
+struct TenantQuota {
+  int max_jobs = 2;                 ///< concurrent accepted-but-unfinished jobs
+  std::uint64_t max_evals = 4096;   ///< sum of budgets of those jobs
+};
+
+struct QuotaConfig {
+  TenantQuota default_quota;
+  /// Per-tenant overrides (key: tenant id).
+  std::map<std::string, TenantQuota> overrides;
+  int max_jobs_total = 32;  ///< daemon-wide concurrent-job cap
+  /// Retry hint attached to transient rejects.
+  double retry_after_seconds = 0.5;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(QuotaConfig config = {})
+      : config_(std::move(config)) {}
+
+  const TenantQuota& quota_for(const std::string& tenant) const;
+
+  /// Admit or refuse `spec` for `tenant`. On admission the tenant's
+  /// usage is charged immediately; on refusal a fully-populated typed
+  /// reject frame is returned.
+  std::optional<RejectMsg> try_admit(const std::string& tenant,
+                                     const JobSpec& spec);
+
+  /// Release the charge taken by try_admit (job finished, cancelled or
+  /// failed). Must be called exactly once per admitted job.
+  void release(const std::string& tenant, const JobSpec& spec);
+
+  /// Re-apply the charge for a job recovered from disk during daemon
+  /// resume (no quota check: it was admitted by a previous incarnation,
+  /// and refusing it now would drop durable work).
+  void recharge(const std::string& tenant, const JobSpec& spec);
+
+  int total_jobs() const { return total_jobs_; }
+  int tenant_jobs(const std::string& tenant) const;
+  std::uint64_t tenant_evals(const std::string& tenant) const;
+
+ private:
+  struct Usage {
+    int jobs = 0;
+    std::uint64_t evals = 0;
+  };
+
+  QuotaConfig config_;
+  std::map<std::string, Usage> usage_;
+  int total_jobs_ = 0;
+};
+
+}  // namespace citroen::serve

@@ -1,0 +1,154 @@
+// citroen-cli — command-line client for citroend.
+//
+//   citroen-cli submit --socket PATH --tenant NAME --program NAME \
+//               [--machine M] [--method M] [--budget N] [--seed N] [--wait]
+//   citroen-cli attach --socket PATH --tenant NAME --job ID
+//   citroen-cli cancel --socket PATH --tenant NAME --job ID
+//   citroen-cli ping   --socket PATH [--tenant NAME]
+//
+// submit prints "job <id>" on admission (and with --wait, the final
+// speedup curve, one %.17g per line — bit-exact for byte-comparison
+// against a serial replay). attach re-joins an accepted job by id, which
+// works across daemon restarts. Transient failures (daemon restarting,
+// over-quota rejects) are retried with exponential backoff + jitter.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "serve/client.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s {submit|attach|cancel|ping} --socket PATH\n"
+               "  common:  --tenant NAME (default 'default')\n"
+               "  submit:  --program NAME [--machine M] [--method M]\n"
+               "           [--budget N] [--seed N] [--wait] [--timeout S]\n"
+               "  attach:  --job ID [--timeout S]\n"
+               "  cancel:  --job ID\n",
+               argv0);
+}
+
+int print_outcome(const citroen::serve::JobOutcome& out) {
+  using citroen::serve::ResultStatus;
+  switch (out.status) {
+    case ResultStatus::Ok:
+      for (const double v : out.curve) std::printf("%.17g\n", v);
+      return 0;
+    case ResultStatus::Cancelled:
+      std::fprintf(stderr, "job %" PRIu64 " cancelled (%zu evals kept)\n",
+                   out.job_id, out.curve.size());
+      return 0;
+    case ResultStatus::Failed:
+      std::fprintf(stderr, "job %" PRIu64 " failed: %s\n", out.job_id,
+                   out.error.c_str());
+      return 1;
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage(argv[0]);
+    return 1;
+  }
+  const std::string verb = argv[1];
+  citroen::serve::ClientConfig cfg;
+  citroen::serve::JobSpec spec;
+  std::uint64_t job_id = 0;
+  bool wait = false;
+  double timeout = 300.0;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string s = argv[i];
+    if (s == "--socket" && i + 1 < argc) {
+      cfg.socket_path = argv[++i];
+    } else if (s == "--tenant" && i + 1 < argc) {
+      cfg.tenant = argv[++i];
+    } else if (s == "--program" && i + 1 < argc) {
+      spec.program = argv[++i];
+    } else if (s == "--machine" && i + 1 < argc) {
+      spec.machine = argv[++i];
+    } else if (s == "--method" && i + 1 < argc) {
+      spec.method = argv[++i];
+    } else if (s == "--budget" && i + 1 < argc) {
+      spec.budget = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (s == "--seed" && i + 1 < argc) {
+      spec.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (s == "--job" && i + 1 < argc) {
+      job_id = std::strtoull(argv[++i], nullptr, 0);
+    } else if (s == "--wait") {
+      wait = true;
+    } else if (s == "--timeout" && i + 1 < argc) {
+      timeout = std::atof(argv[++i]);
+    } else if (s == "--help" || s == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", s.c_str());
+      usage(argv[0]);
+      return 1;
+    }
+  }
+  if (cfg.socket_path.empty()) {
+    usage(argv[0]);
+    return 1;
+  }
+
+  citroen::serve::Client client(cfg);
+
+  if (verb == "ping") {
+    if (!client.connect()) {
+      std::fprintf(stderr, "ping failed: %s\n", client.error().c_str());
+      return 1;
+    }
+    std::printf("ok epoch=%" PRIu64 "%s\n", client.epoch(),
+                client.draining() ? " (draining)" : "");
+    return 0;
+  }
+
+  if (verb == "submit") {
+    if (spec.program.empty()) {
+      usage(argv[0]);
+      return 1;
+    }
+    const auto id = client.submit(spec, timeout);
+    if (!id) {
+      std::fprintf(stderr, "submit failed: %s\n", client.error().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "job %" PRIu64 "\n", *id);
+    if (!wait) return 0;
+    return print_outcome(client.wait_result(*id, timeout));
+  }
+
+  if (verb == "attach") {
+    if (job_id == 0) {
+      usage(argv[0]);
+      return 1;
+    }
+    return print_outcome(client.wait_result(job_id, timeout));
+  }
+
+  if (verb == "cancel") {
+    if (job_id == 0) {
+      usage(argv[0]);
+      return 1;
+    }
+    if (!client.cancel(job_id)) {
+      std::fprintf(stderr, "cancel failed: %s\n", client.error().c_str());
+      return 1;
+    }
+    const auto out = client.wait_result(job_id, timeout);
+    return print_outcome(out);
+  }
+
+  usage(argv[0]);
+  return 1;
+}

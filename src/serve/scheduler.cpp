@@ -1,0 +1,88 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+
+namespace citroen::serve {
+
+DrrScheduler::Tenant* DrrScheduler::find_tenant(const std::string& name) {
+  for (auto& t : ring_)
+    if (t.name == name) return &t;
+  return nullptr;
+}
+
+void DrrScheduler::add(const std::string& tenant, std::uint64_t job) {
+  Tenant* t = find_tenant(tenant);
+  if (!t) {
+    ring_.push_back(Tenant{tenant, {}, 0});
+    t = &ring_.back();
+  }
+  t->queue.push_back(job);
+  ++jobs_;
+}
+
+void DrrScheduler::remove(std::uint64_t job) {
+  for (auto& t : ring_) {
+    const auto it = std::find(t.queue.begin(), t.queue.end(), job);
+    if (it == t.queue.end()) continue;
+    t.queue.erase(it);
+    --jobs_;
+    if (t.queue.empty()) t.deficit = 0;  // classic DRR: idle resets deficit
+    return;
+  }
+}
+
+bool DrrScheduler::advance() {
+  if (ring_.empty()) return false;
+  bool any = false;
+  for (const auto& t : ring_) any |= !t.queue.empty();
+  if (!any) return false;
+  // Bounded: every full rotation adds one quantum to each active tenant,
+  // so some deficit eventually goes positive.
+  std::size_t i = current_;
+  bool start_here = !current_valid_;  // fresh ring starts AT slot 0
+  for (;;) {
+    if (!start_here) i = (i + 1) % ring_.size();
+    start_here = false;
+    Tenant& t = ring_[i];
+    if (t.queue.empty()) {
+      t.deficit = 0;
+      continue;
+    }
+    t.deficit += static_cast<std::int64_t>(quantum_);
+    if (t.deficit > 0) {
+      current_ = i;
+      current_valid_ = true;
+      return true;
+    }
+  }
+}
+
+std::optional<std::uint64_t> DrrScheduler::pick() {
+  if (jobs_ == 0) return std::nullopt;
+  if (current_valid_) {
+    Tenant& t = ring_[current_];
+    if (!t.queue.empty() && t.deficit > 0) return t.queue.front();
+  }
+  if (!advance()) return std::nullopt;
+  return ring_[current_].queue.front();
+}
+
+void DrrScheduler::charge(std::uint64_t job, std::uint64_t cost) {
+  for (auto& t : ring_) {
+    const auto it = std::find(t.queue.begin(), t.queue.end(), job);
+    if (it == t.queue.end()) continue;
+    t.deficit -= static_cast<std::int64_t>(std::max<std::uint64_t>(cost, 1));
+    // Rotate behind tenant-mates so same-tenant jobs interleave.
+    t.queue.erase(it);
+    t.queue.push_back(job);
+    return;
+  }
+}
+
+std::size_t DrrScheduler::active_tenants() const {
+  std::size_t n = 0;
+  for (const auto& t : ring_) n += t.queue.empty() ? 0 : 1;
+  return n;
+}
+
+}  // namespace citroen::serve

@@ -1,0 +1,74 @@
+#pragma once
+// Deficit-round-robin scheduling of tuning jobs across tenants.
+//
+// The daemon's unit of work is one tuner step (a handful of journaled
+// evaluations); the scheduler decides WHOSE step runs next. Classic DRR:
+// active tenants sit in a ring, a visit tops the tenant's deficit up by
+// one quantum (in eval-credits), and the tenant keeps running jobs —
+// round-robin among its own — until its deficit is spent. Costs are
+// charged AFTER a step with the number of evaluations it actually
+// consumed, so tenants whose jobs take big steps drain their deficit
+// faster and a greedy tenant with many jobs still gets exactly one
+// quantum per ring rotation: long-run throughput is equalized per
+// tenant, not per job, and nobody starves.
+//
+// Deterministic by construction (ring order = admission order, no clocks,
+// no randomness) and free of I/O, so fairness properties are plain unit
+// tests. Single-threaded like the rest of the daemon core.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace citroen::serve {
+
+class DrrScheduler {
+ public:
+  /// `quantum`: eval-credits granted per tenant visit. Must cover at
+  /// least one step or a tenant could stall with work queued; pick() thus
+  /// always tops up until the current tenant can run.
+  explicit DrrScheduler(std::uint64_t quantum = 32) : quantum_(quantum) {}
+
+  /// Enqueue a runnable job for `tenant` (admission order defines ring
+  /// order for new tenants).
+  void add(const std::string& tenant, std::uint64_t job);
+
+  /// Remove a job wherever it is (finished, cancelled, failed).
+  void remove(std::uint64_t job);
+
+  /// Pick the next job to step, or nullopt when idle. The job stays
+  /// scheduled; report what its step consumed via charge().
+  std::optional<std::uint64_t> pick();
+
+  /// Charge `cost` eval-credits for the picked job's step and rotate it
+  /// behind its tenant-mates. A zero cost is charged as one credit so a
+  /// stalled job cannot monopolize the ring.
+  void charge(std::uint64_t job, std::uint64_t cost);
+
+  bool empty() const { return jobs_ == 0; }
+  std::size_t size() const { return jobs_; }
+  /// Number of tenants currently holding runnable jobs.
+  std::size_t active_tenants() const;
+
+ private:
+  struct Tenant {
+    std::string name;
+    std::deque<std::uint64_t> queue;
+    std::int64_t deficit = 0;
+  };
+
+  Tenant* find_tenant(const std::string& name);
+  /// Advance current_ to the next tenant with queued work, topping up
+  /// its deficit; false when every queue is empty.
+  bool advance();
+
+  std::uint64_t quantum_;
+  std::vector<Tenant> ring_;  ///< admission order; empty tenants pruned
+  std::size_t current_ = 0;
+  bool current_valid_ = false;
+  std::size_t jobs_ = 0;
+};
+
+}  // namespace citroen::serve

@@ -1,0 +1,278 @@
+#include "serve/wire.hpp"
+
+#include <stdexcept>
+
+#include "persist/codec.hpp"
+
+namespace citroen::serve {
+
+namespace {
+
+void expect_tag(persist::Reader& r, MsgType t) {
+  const auto got = static_cast<MsgType>(r.u8());
+  if (got != t)
+    throw std::runtime_error("unexpected message tag " +
+                             std::to_string(static_cast<int>(got)));
+}
+
+void put_spec(persist::Writer& w, const JobSpec& s) {
+  w.str(s.program);
+  w.str(s.machine);
+  w.str(s.method);
+  w.u32(s.budget);
+  w.u64(s.seed);
+}
+
+JobSpec get_spec(persist::Reader& r) {
+  JobSpec s;
+  s.program = r.str();
+  s.machine = r.str();
+  s.method = r.str();
+  s.budget = r.u32();
+  s.seed = r.u64();
+  return s;
+}
+
+/// Shared decode scaffolding: tag check, body, trailing-bytes check,
+/// exception -> (false, error).
+template <class Body>
+bool decode_with(const std::string& payload, MsgType t, std::string* error,
+                 Body body) {
+  try {
+    persist::Reader r(payload);
+    expect_tag(r, t);
+    body(r);
+    if (!r.at_end()) throw std::runtime_error("trailing bytes");
+    return true;
+  } catch (const std::exception& e) {
+    if (error) *error = e.what();
+    return false;
+  }
+}
+
+}  // namespace
+
+const char* msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::Hello: return "hello";
+    case MsgType::Submit: return "submit";
+    case MsgType::Attach: return "attach";
+    case MsgType::Cancel: return "cancel";
+    case MsgType::HelloOk: return "hello_ok";
+    case MsgType::Accept: return "accept";
+    case MsgType::Reject: return "reject";
+    case MsgType::Status: return "status";
+    case MsgType::Progress: return "progress";
+    case MsgType::Result: return "result";
+  }
+  return "unknown";
+}
+
+const char* reject_reason_name(RejectReason r) {
+  switch (r) {
+    case RejectReason::OverTenantJobs: return "over-tenant-jobs";
+    case RejectReason::OverTenantBudget: return "over-tenant-budget";
+    case RejectReason::OverCapacity: return "over-capacity";
+    case RejectReason::Draining: return "draining";
+    case RejectReason::BadRequest: return "bad-request";
+    case RejectReason::UnknownJob: return "unknown-job";
+  }
+  return "unknown";
+}
+
+bool reject_is_transient(RejectReason r) {
+  switch (r) {
+    case RejectReason::OverTenantJobs:
+    case RejectReason::OverTenantBudget:
+    case RejectReason::OverCapacity:
+      return true;
+    case RejectReason::Draining:
+    case RejectReason::BadRequest:
+    case RejectReason::UnknownJob:
+      return false;
+  }
+  return false;
+}
+
+const char* job_state_name(JobState s) {
+  switch (s) {
+    case JobState::Queued: return "queued";
+    case JobState::Running: return "running";
+    case JobState::Done: return "done";
+    case JobState::Cancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+std::uint8_t peek_type(const std::string& payload) {
+  return payload.empty() ? 0 : static_cast<std::uint8_t>(payload[0]);
+}
+
+std::string encode(const HelloMsg& m) {
+  persist::Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::Hello));
+  w.str(m.tenant);
+  w.u32(m.version);
+  return w.take();
+}
+
+std::string encode(const SubmitMsg& m) {
+  persist::Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::Submit));
+  put_spec(w, m.spec);
+  return w.take();
+}
+
+std::string encode(const AttachMsg& m) {
+  persist::Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::Attach));
+  w.u64(m.job_id);
+  return w.take();
+}
+
+std::string encode(const CancelMsg& m) {
+  persist::Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::Cancel));
+  w.u64(m.job_id);
+  return w.take();
+}
+
+std::string encode(const HelloOkMsg& m) {
+  persist::Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::HelloOk));
+  w.b(m.draining);
+  w.u64(m.epoch);
+  return w.take();
+}
+
+std::string encode(const AcceptMsg& m) {
+  persist::Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::Accept));
+  w.u64(m.job_id);
+  return w.take();
+}
+
+std::string encode(const RejectMsg& m) {
+  persist::Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::Reject));
+  w.u8(static_cast<std::uint8_t>(m.reason));
+  w.str(m.message);
+  w.f64(m.retry_after_seconds);
+  return w.take();
+}
+
+std::string encode(const StatusMsg& m) {
+  persist::Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::Status));
+  w.u64(m.job_id);
+  w.u8(static_cast<std::uint8_t>(m.state));
+  w.u64(m.evals_done);
+  w.u64(m.budget);
+  return w.take();
+}
+
+std::string encode(const ProgressMsg& m) {
+  persist::Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::Progress));
+  w.u64(m.job_id);
+  w.u64(m.evals_done);
+  w.u64(m.budget);
+  return w.take();
+}
+
+std::string encode(const ResultMsg& m) {
+  persist::Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::Result));
+  w.u64(m.job_id);
+  w.u8(static_cast<std::uint8_t>(m.status));
+  persist::put(w, m.curve);
+  w.str(m.error);
+  return w.take();
+}
+
+bool decode(const std::string& payload, HelloMsg* m, std::string* error) {
+  return decode_with(payload, MsgType::Hello, error, [&](persist::Reader& r) {
+    m->tenant = r.str();
+    m->version = r.u32();
+    if (m->tenant.empty()) throw std::runtime_error("empty tenant");
+  });
+}
+
+bool decode(const std::string& payload, SubmitMsg* m, std::string* error) {
+  return decode_with(payload, MsgType::Submit, error, [&](persist::Reader& r) {
+    m->spec = get_spec(r);
+    if (m->spec.program.empty() || m->spec.method.empty() ||
+        m->spec.budget == 0)
+      throw std::runtime_error("incomplete job spec");
+  });
+}
+
+bool decode(const std::string& payload, AttachMsg* m, std::string* error) {
+  return decode_with(payload, MsgType::Attach,
+                     error, [&](persist::Reader& r) { m->job_id = r.u64(); });
+}
+
+bool decode(const std::string& payload, CancelMsg* m, std::string* error) {
+  return decode_with(payload, MsgType::Cancel,
+                     error, [&](persist::Reader& r) { m->job_id = r.u64(); });
+}
+
+bool decode(const std::string& payload, HelloOkMsg* m, std::string* error) {
+  return decode_with(payload, MsgType::HelloOk, error,
+                     [&](persist::Reader& r) {
+                       m->draining = r.b();
+                       m->epoch = r.u64();
+                     });
+}
+
+bool decode(const std::string& payload, AcceptMsg* m, std::string* error) {
+  return decode_with(payload, MsgType::Accept,
+                     error, [&](persist::Reader& r) { m->job_id = r.u64(); });
+}
+
+bool decode(const std::string& payload, RejectMsg* m, std::string* error) {
+  return decode_with(payload, MsgType::Reject, error, [&](persist::Reader& r) {
+    const auto reason = static_cast<RejectReason>(r.u8());
+    if (reason < RejectReason::OverTenantJobs ||
+        reason > RejectReason::UnknownJob)
+      throw std::runtime_error("unknown reject reason");
+    m->reason = reason;
+    m->message = r.str();
+    m->retry_after_seconds = r.f64();
+  });
+}
+
+bool decode(const std::string& payload, StatusMsg* m, std::string* error) {
+  return decode_with(payload, MsgType::Status, error, [&](persist::Reader& r) {
+    m->job_id = r.u64();
+    const auto state = static_cast<JobState>(r.u8());
+    if (state < JobState::Queued || state > JobState::Cancelled)
+      throw std::runtime_error("unknown job state");
+    m->state = state;
+    m->evals_done = r.u64();
+    m->budget = r.u64();
+  });
+}
+
+bool decode(const std::string& payload, ProgressMsg* m, std::string* error) {
+  return decode_with(payload, MsgType::Progress, error,
+                     [&](persist::Reader& r) {
+                       m->job_id = r.u64();
+                       m->evals_done = r.u64();
+                       m->budget = r.u64();
+                     });
+}
+
+bool decode(const std::string& payload, ResultMsg* m, std::string* error) {
+  return decode_with(payload, MsgType::Result, error, [&](persist::Reader& r) {
+    m->job_id = r.u64();
+    const auto status = static_cast<ResultStatus>(r.u8());
+    if (status < ResultStatus::Ok || status > ResultStatus::Failed)
+      throw std::runtime_error("unknown result status");
+    m->status = status;
+    persist::get(r, m->curve);
+    m->error = r.str();
+  });
+}
+
+}  // namespace citroen::serve

@@ -1,0 +1,168 @@
+#pragma once
+// Client <-> citroend wire protocol.
+//
+// There is deliberately NO second codec or framing here: every message
+// is a persist-codec payload (the same bit-exact little-endian Writer/
+// Reader the journal, checkpoints and sandbox job/result frames use)
+// wrapped in the sandbox/ipc CRC32 length-prefixed frame — so the serving
+// socket inherits the pipe transport's torn-read, bit-flip and oversized-
+// frame handling (including the CITROEN_IPC_MAX_FRAME cap override) for
+// free, and property tests written against FrameDecoder cover the daemon
+// too.
+//
+// Every message starts with a u8 MsgType tag. A malformed payload decodes
+// to false and the peer is dropped, mirroring the sandbox supervisor's
+// "never trust a confused peer" rule.
+//
+// Backpressure is typed: an over-quota or mid-drain submission is
+// answered with a Reject frame carrying a machine-readable RejectReason
+// and a retry-after hint, never by unbounded queueing or a silent close.
+
+#include <cstdint>
+#include <string>
+
+#include "support/matrix.hpp"
+
+namespace citroen::serve {
+
+/// Bumped when any message layout changes; Hello carries it and the
+/// daemon rejects mismatches (BadRequest) instead of misparsing.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+enum class MsgType : std::uint8_t {
+  // client -> daemon
+  Hello = 1,    ///< first frame on every connection: tenant + version
+  Submit = 2,   ///< new tuning job
+  Attach = 3,   ///< (re-)subscribe to an accepted job by id
+  Cancel = 4,   ///< cancel an accepted job
+  // daemon -> client
+  HelloOk = 10,  ///< handshake accepted
+  Accept = 11,   ///< job admitted (durable: it survives a daemon crash)
+  Reject = 12,   ///< typed backpressure / error frame
+  Status = 13,   ///< attach answer: where the job currently stands
+  Progress = 14, ///< periodic per-job progress while attached
+  Result = 15,   ///< terminal frame for a job
+};
+
+const char* msg_type_name(MsgType t);
+
+/// Why a request was refused. Transient reasons carry a retry-after hint;
+/// permanent ones mean the request itself is wrong.
+enum class RejectReason : std::uint8_t {
+  OverTenantJobs = 1,    ///< tenant's concurrent-job quota exhausted
+  OverTenantBudget = 2,  ///< tenant's in-flight eval-budget quota exhausted
+  OverCapacity = 3,      ///< daemon-wide concurrent-job cap reached
+  Draining = 4,          ///< daemon is draining; resubmit after restart
+  BadRequest = 5,        ///< malformed/unsupported request (permanent)
+  UnknownJob = 6,        ///< attach/cancel for an id this daemon never had
+};
+
+const char* reject_reason_name(RejectReason r);
+/// Transient rejects are worth retrying against the same daemon.
+bool reject_is_transient(RejectReason r);
+
+/// What a client asks the daemon to tune. `method` is any name the
+/// bench runners accept ("citroen" or a baseline); `budget` is the
+/// evaluation budget the tuner is configured with — the unit the
+/// per-tenant budget quota is charged in.
+struct JobSpec {
+  std::string program;        ///< bench_suite program name
+  std::string machine = "arm";
+  std::string method = "citroen";
+  std::uint32_t budget = 30;
+  std::uint64_t seed = 1;
+};
+
+enum class JobState : std::uint8_t {
+  Queued = 1,
+  Running = 2,
+  Done = 3,
+  Cancelled = 4,
+};
+
+const char* job_state_name(JobState s);
+
+struct HelloMsg {
+  std::string tenant;
+  std::uint32_t version = kProtocolVersion;
+};
+
+struct SubmitMsg {
+  JobSpec spec;
+};
+
+struct AttachMsg {
+  std::uint64_t job_id = 0;
+};
+
+struct CancelMsg {
+  std::uint64_t job_id = 0;
+};
+
+struct HelloOkMsg {
+  bool draining = false;
+  std::uint64_t epoch = 0;  ///< daemon start counter (bumps across restarts)
+};
+
+struct AcceptMsg {
+  std::uint64_t job_id = 0;
+};
+
+struct RejectMsg {
+  RejectReason reason = RejectReason::BadRequest;
+  std::string message;
+  double retry_after_seconds = 0.0;  ///< 0 = not worth retrying here
+};
+
+struct StatusMsg {
+  std::uint64_t job_id = 0;
+  JobState state = JobState::Queued;
+  std::uint64_t evals_done = 0;
+  std::uint64_t budget = 0;
+};
+
+struct ProgressMsg {
+  std::uint64_t job_id = 0;
+  std::uint64_t evals_done = 0;
+  std::uint64_t budget = 0;
+};
+
+enum class ResultStatus : std::uint8_t {
+  Ok = 1,
+  Cancelled = 2,
+  Failed = 3,
+};
+
+struct ResultMsg {
+  std::uint64_t job_id = 0;
+  ResultStatus status = ResultStatus::Ok;
+  Vec curve;          ///< best-so-far speedup curve (bit-exact doubles)
+  std::string error;  ///< set when status == Failed
+};
+
+/// Peek the tag of an encoded message (Unknown/garbage -> 0).
+std::uint8_t peek_type(const std::string& payload);
+
+std::string encode(const HelloMsg& m);
+std::string encode(const SubmitMsg& m);
+std::string encode(const AttachMsg& m);
+std::string encode(const CancelMsg& m);
+std::string encode(const HelloOkMsg& m);
+std::string encode(const AcceptMsg& m);
+std::string encode(const RejectMsg& m);
+std::string encode(const StatusMsg& m);
+std::string encode(const ProgressMsg& m);
+std::string encode(const ResultMsg& m);
+
+bool decode(const std::string& payload, HelloMsg* m, std::string* error);
+bool decode(const std::string& payload, SubmitMsg* m, std::string* error);
+bool decode(const std::string& payload, AttachMsg* m, std::string* error);
+bool decode(const std::string& payload, CancelMsg* m, std::string* error);
+bool decode(const std::string& payload, HelloOkMsg* m, std::string* error);
+bool decode(const std::string& payload, AcceptMsg* m, std::string* error);
+bool decode(const std::string& payload, RejectMsg* m, std::string* error);
+bool decode(const std::string& payload, StatusMsg* m, std::string* error);
+bool decode(const std::string& payload, ProgressMsg* m, std::string* error);
+bool decode(const std::string& payload, ResultMsg* m, std::string* error);
+
+}  // namespace citroen::serve

@@ -6,8 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <stdlib.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -158,6 +160,150 @@ TEST(SandboxIpc, ImplausibleLengthIsCorrupt) {
   sandbox::DecodeStatus st;
   decode_one(header, &st);
   EXPECT_EQ(st, sandbox::DecodeStatus::Corrupt);
+}
+
+TEST(SandboxIpc, SocketRealisticShortReadChunkings) {
+  // A stream socket delivers frames in arbitrary chunks. Reassembly must
+  // work for every chunking, including pathological 1-byte reads and
+  // chunk sizes that straddle the header/payload boundary.
+  std::vector<std::string> frames;
+  std::string stream;
+  for (int i = 0; i < 5; ++i) {
+    std::string payload(static_cast<std::size_t>(37 * i + 3), '\0');
+    for (std::size_t k = 0; k < payload.size(); ++k)
+      payload[k] = static_cast<char>(k * 13 + i);
+    frames.push_back(payload);
+    stream += sandbox::encode_frame(payload);
+  }
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{7}, std::size_t{11},
+                                  std::size_t{64}}) {
+    sandbox::FrameDecoder dec;
+    std::vector<std::string> got;
+    std::string out, err;
+    for (std::size_t off = 0; off < stream.size(); off += chunk) {
+      dec.feed(stream.data() + off, std::min(chunk, stream.size() - off));
+      while (dec.next(&out, &err) == sandbox::DecodeStatus::Ok)
+        got.push_back(out);
+    }
+    ASSERT_EQ(got.size(), frames.size()) << "chunk " << chunk;
+    for (std::size_t i = 0; i < frames.size(); ++i)
+      EXPECT_EQ(got[i], frames[i]) << "chunk " << chunk << " frame " << i;
+  }
+}
+
+TEST(SandboxIpc, TwoSessionsInterleaveWithoutCrossTalk) {
+  // The daemon runs one FrameDecoder per client connection; bytes from
+  // two sessions interleaved at arbitrary cut points must never bleed
+  // into each other's decoder.
+  const std::string a1 = sandbox::encode_frame("session-a first");
+  const std::string a2 = sandbox::encode_frame(std::string(513, 'A'));
+  const std::string b1 = sandbox::encode_frame(std::string(129, 'B'));
+  const std::string b2 = sandbox::encode_frame("session-b second");
+  const std::string sa = a1 + a2, sb = b1 + b2;
+
+  sandbox::FrameDecoder da, db;
+  std::string out, err;
+  std::vector<std::string> got_a, got_b;
+  std::size_t pa = 0, pb = 0;
+  int turn = 0;
+  // Alternate tiny slices between the sessions (5 bytes to A, 3 to B).
+  while (pa < sa.size() || pb < sb.size()) {
+    if (turn++ % 2 == 0 && pa < sa.size()) {
+      const std::size_t n = std::min<std::size_t>(5, sa.size() - pa);
+      da.feed(sa.data() + pa, n);
+      pa += n;
+    } else if (pb < sb.size()) {
+      const std::size_t n = std::min<std::size_t>(3, sb.size() - pb);
+      db.feed(sb.data() + pb, n);
+      pb += n;
+    }
+    while (da.next(&out, &err) == sandbox::DecodeStatus::Ok)
+      got_a.push_back(out);
+    while (db.next(&out, &err) == sandbox::DecodeStatus::Ok)
+      got_b.push_back(out);
+  }
+  ASSERT_EQ(got_a.size(), 2u);
+  ASSERT_EQ(got_b.size(), 2u);
+  EXPECT_EQ(got_a[0], "session-a first");
+  EXPECT_EQ(got_a[1], std::string(513, 'A'));
+  EXPECT_EQ(got_b[0], std::string(129, 'B'));
+  EXPECT_EQ(got_b[1], "session-b second");
+}
+
+TEST(SandboxIpc, OversizedFrameErrorNamesLengthAndCap) {
+  std::string header;
+  const std::uint32_t len = sandbox::kMaxFramePayload + 123;
+  for (int i = 0; i < 4; ++i)
+    header.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+  header.append(4, '\0');
+  sandbox::FrameDecoder dec;
+  dec.feed(header.data(), header.size());
+  std::string out, err;
+  EXPECT_EQ(dec.next(&out, &err), sandbox::DecodeStatus::Corrupt);
+  // The message must report both the observed length and the active cap,
+  // so an operator can tell a torn header from a legitimately huge frame.
+  EXPECT_NE(err.find(std::to_string(len)), std::string::npos) << err;
+  EXPECT_NE(err.find(std::to_string(sandbox::kMaxFramePayload)),
+            std::string::npos)
+      << err;
+  EXPECT_NE(err.find("CITROEN_IPC_MAX_FRAME"), std::string::npos) << err;
+}
+
+TEST(SandboxIpc, MaxFrameEnvOverrideRaisesAndLowersTheCap) {
+  ASSERT_EQ(sandbox::max_frame_payload(), sandbox::kMaxFramePayload);
+
+  // Lower the cap to the clamp floor: a frame length just above it is
+  // now corrupt even though it would pass the compiled-in default.
+  ::setenv("CITROEN_IPC_MAX_FRAME", "65536", 1);
+  EXPECT_EQ(sandbox::max_frame_payload(), 65536u);
+  std::string header;
+  const std::uint32_t len = 65536 + 1;
+  for (int i = 0; i < 4; ++i)
+    header.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+  header.append(4, '\0');
+  sandbox::FrameDecoder dec;
+  dec.feed(header.data(), header.size());
+  std::string out, err;
+  EXPECT_EQ(dec.next(&out, &err), sandbox::DecodeStatus::Corrupt);
+  EXPECT_NE(err.find("65536"), std::string::npos) << err;
+
+  // Raise it: the same length is a plausible frame again (NeedMore since
+  // only the header was fed).
+  ::setenv("CITROEN_IPC_MAX_FRAME", "1048576", 1);
+  EXPECT_EQ(sandbox::max_frame_payload(), 1048576u);
+  sandbox::FrameDecoder dec2;
+  dec2.feed(header.data(), header.size());
+  EXPECT_EQ(dec2.next(&out, &err), sandbox::DecodeStatus::NeedMore);
+
+  // Unparsable and out-of-range values fall back to the default.
+  ::setenv("CITROEN_IPC_MAX_FRAME", "not-a-number", 1);
+  EXPECT_EQ(sandbox::max_frame_payload(), sandbox::kMaxFramePayload);
+  ::setenv("CITROEN_IPC_MAX_FRAME", "1024", 1);  // below the 64 KB floor
+  EXPECT_EQ(sandbox::max_frame_payload(), sandbox::kMaxFramePayload);
+  ::unsetenv("CITROEN_IPC_MAX_FRAME");
+  EXPECT_EQ(sandbox::max_frame_payload(), sandbox::kMaxFramePayload);
+}
+
+TEST(Sandbox, RespawnBackoffJitterIsSeededAndBounded) {
+  std::uint64_t s1 = 42, s2 = 42, s3 = 99;
+  std::vector<double> a, b, c;
+  for (int i = 0; i < 64; ++i) {
+    a.push_back(sandbox::jittered_backoff(0.05, 0.5, &s1));
+    b.push_back(sandbox::jittered_backoff(0.05, 0.5, &s2));
+    c.push_back(sandbox::jittered_backoff(0.05, 0.5, &s3));
+  }
+  EXPECT_EQ(a, b) << "same seed must give the same schedule";
+  EXPECT_NE(a, c) << "different seeds must decorrelate";
+  for (const double v : a) {
+    EXPECT_GE(v, 0.05 * 0.5 - 1e-12);  // [1 - jitter, 1 + jitter] bounds
+    EXPECT_LE(v, 0.05 * 1.5 + 1e-12);
+  }
+  std::uint64_t s = 7;
+  EXPECT_EQ(sandbox::jittered_backoff(0.2, 0.0, &s), 0.2);
+  const double clamped = sandbox::jittered_backoff(1.0, 5.0, &s);
+  EXPECT_GE(clamped, 0.0);  // jitter clamps to 1: factor within [0, 2]
+  EXPECT_LE(clamped, 2.0);
 }
 
 TEST(SandboxIpc, ReaderReportsEofOnTornWrite) {

@@ -1,0 +1,555 @@
+// Tests for the citroend serving layer (src/serve/): wire codec
+// round-trips and rejection of malformed frames, admission/quota
+// enforcement, deficit-round-robin fairness, job resume byte-identity,
+// and a live in-process daemon exercised over a real Unix socket —
+// admission rejects, graceful drain with the 0/75 exit taxonomy, and
+// kill/restart/re-attach recovery. The in-process server runs in a
+// std::thread, so the accept/scheduler loop is part of the TSan CI job.
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "persist/run_session.hpp"
+#include "serve/admission.hpp"
+#include "serve/client.hpp"
+#include "serve/job.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/server.hpp"
+#include "serve/wire.hpp"
+
+using namespace citroen;
+
+namespace {
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "citroen_serve_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+bool curves_identical(const Vec& a, const Vec& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+serve::JobSpec small_spec(const std::string& method = "random",
+                          std::uint32_t budget = 10, std::uint64_t seed = 3) {
+  serve::JobSpec s;
+  s.program = "telecom_gsm";
+  s.machine = "arm";
+  s.method = method;
+  s.budget = budget;
+  s.seed = seed;
+  return s;
+}
+
+}  // namespace
+
+// ---- wire codec -----------------------------------------------------------
+
+TEST(ServeWire, AllMessagesRoundTrip) {
+  std::string err;
+
+  serve::HelloMsg hello;
+  hello.tenant = "tenant-a";
+  serve::HelloMsg hello2;
+  ASSERT_TRUE(serve::decode(serve::encode(hello), &hello2, &err)) << err;
+  EXPECT_EQ(hello2.tenant, "tenant-a");
+  EXPECT_EQ(hello2.version, serve::kProtocolVersion);
+
+  serve::SubmitMsg sub;
+  sub.spec = small_spec("citroen", 77, 123456789ull);
+  serve::SubmitMsg sub2;
+  ASSERT_TRUE(serve::decode(serve::encode(sub), &sub2, &err)) << err;
+  EXPECT_EQ(sub2.spec.program, "telecom_gsm");
+  EXPECT_EQ(sub2.spec.method, "citroen");
+  EXPECT_EQ(sub2.spec.budget, 77u);
+  EXPECT_EQ(sub2.spec.seed, 123456789ull);
+
+  serve::RejectMsg rej;
+  rej.reason = serve::RejectReason::OverTenantBudget;
+  rej.message = "quota";
+  rej.retry_after_seconds = 0.25;
+  serve::RejectMsg rej2;
+  ASSERT_TRUE(serve::decode(serve::encode(rej), &rej2, &err)) << err;
+  EXPECT_EQ(rej2.reason, serve::RejectReason::OverTenantBudget);
+  EXPECT_EQ(rej2.retry_after_seconds, 0.25);
+
+  serve::ResultMsg res;
+  res.job_id = 42;
+  res.status = serve::ResultStatus::Ok;
+  res.curve = {1.0, 0.1 + 0.2, 1.4758525773932889, -0.0};
+  serve::ResultMsg res2;
+  ASSERT_TRUE(serve::decode(serve::encode(res), &res2, &err)) << err;
+  ASSERT_TRUE(curves_identical(res.curve, res2.curve))
+      << "doubles must survive the wire bit-exactly";
+
+  serve::StatusMsg st;
+  st.job_id = 7;
+  st.state = serve::JobState::Running;
+  st.evals_done = 5;
+  st.budget = 30;
+  serve::StatusMsg st2;
+  ASSERT_TRUE(serve::decode(serve::encode(st), &st2, &err)) << err;
+  EXPECT_EQ(st2.state, serve::JobState::Running);
+  EXPECT_EQ(st2.evals_done, 5u);
+}
+
+TEST(ServeWire, MalformedPayloadsAreRejectedNotTrusted) {
+  std::string err;
+  serve::HelloMsg hello;
+
+  EXPECT_FALSE(serve::decode(std::string(), &hello, &err));
+  EXPECT_FALSE(serve::decode(std::string("\xff garbage"), &hello, &err));
+
+  // Truncations of a valid message must never decode.
+  serve::SubmitMsg sub;
+  sub.spec = small_spec();
+  const std::string good = serve::encode(sub);
+  for (std::size_t cut = 0; cut < good.size(); ++cut) {
+    serve::SubmitMsg out;
+    EXPECT_FALSE(serve::decode(good.substr(0, cut), &out, &err))
+        << "cut at " << cut;
+  }
+  // Trailing bytes are a framing error, not ignorable padding.
+  serve::SubmitMsg out;
+  EXPECT_FALSE(serve::decode(good + "x", &out, &err));
+
+  // A Submit payload must not decode as a Hello (tag mismatch).
+  EXPECT_FALSE(serve::decode(good, &hello, &err));
+
+  // Empty tenant and incomplete specs are rejected at decode time.
+  serve::HelloMsg anon;
+  anon.tenant = "";
+  EXPECT_FALSE(serve::decode(serve::encode(anon), &hello, &err));
+  serve::SubmitMsg noprog;
+  noprog.spec = small_spec();
+  noprog.spec.program = "";
+  EXPECT_FALSE(serve::decode(serve::encode(noprog), &out, &err));
+}
+
+TEST(ServeWire, RejectReasonTransience) {
+  using serve::RejectReason;
+  EXPECT_TRUE(serve::reject_is_transient(RejectReason::OverTenantJobs));
+  EXPECT_TRUE(serve::reject_is_transient(RejectReason::OverTenantBudget));
+  EXPECT_TRUE(serve::reject_is_transient(RejectReason::OverCapacity));
+  EXPECT_FALSE(serve::reject_is_transient(RejectReason::Draining));
+  EXPECT_FALSE(serve::reject_is_transient(RejectReason::BadRequest));
+  EXPECT_FALSE(serve::reject_is_transient(RejectReason::UnknownJob));
+}
+
+// ---- admission control ----------------------------------------------------
+
+TEST(ServeAdmission, EnforcesPerTenantJobQuota) {
+  serve::QuotaConfig qc;
+  qc.default_quota.max_jobs = 2;
+  qc.default_quota.max_evals = 1000;
+  serve::AdmissionController adm(qc);
+
+  EXPECT_FALSE(adm.try_admit("t", small_spec("random", 10)));
+  EXPECT_FALSE(adm.try_admit("t", small_spec("random", 10)));
+  const auto rej = adm.try_admit("t", small_spec("random", 10));
+  ASSERT_TRUE(rej.has_value());
+  EXPECT_EQ(rej->reason, serve::RejectReason::OverTenantJobs);
+  EXPECT_GT(rej->retry_after_seconds, 0.0) << "transient: carries a hint";
+
+  // Another tenant is unaffected; release opens the slot again.
+  EXPECT_FALSE(adm.try_admit("u", small_spec("random", 10)));
+  adm.release("t", small_spec("random", 10));
+  EXPECT_FALSE(adm.try_admit("t", small_spec("random", 10)));
+  EXPECT_EQ(adm.tenant_jobs("t"), 2);
+}
+
+TEST(ServeAdmission, EnforcesEvalBudgetQuotaAndGlobalCap) {
+  serve::QuotaConfig qc;
+  qc.default_quota.max_jobs = 10;
+  qc.default_quota.max_evals = 64;
+  qc.max_jobs_total = 3;
+  serve::AdmissionController adm(qc);
+
+  EXPECT_FALSE(adm.try_admit("t", small_spec("random", 40)));
+  const auto rej = adm.try_admit("t", small_spec("random", 40));
+  ASSERT_TRUE(rej.has_value());
+  EXPECT_EQ(rej->reason, serve::RejectReason::OverTenantBudget);
+  EXPECT_EQ(adm.tenant_evals("t"), 40u);
+
+  EXPECT_FALSE(adm.try_admit("u", small_spec("random", 10)));
+  EXPECT_FALSE(adm.try_admit("v", small_spec("random", 10)));
+  const auto cap = adm.try_admit("w", small_spec("random", 10));
+  ASSERT_TRUE(cap.has_value());
+  EXPECT_EQ(cap->reason, serve::RejectReason::OverCapacity);
+  EXPECT_EQ(adm.total_jobs(), 3);
+}
+
+TEST(ServeAdmission, OverridesAndRecharge) {
+  serve::QuotaConfig qc;
+  qc.default_quota.max_jobs = 1;
+  qc.overrides["vip"] = {5, 100000};
+  serve::AdmissionController adm(qc);
+
+  for (int i = 0; i < 5; ++i)
+    EXPECT_FALSE(adm.try_admit("vip", small_spec("random", 10))) << i;
+  EXPECT_TRUE(adm.try_admit("vip", small_spec("random", 10)));
+
+  // recharge (resume path) bypasses the check entirely.
+  serve::AdmissionController adm2(qc);
+  for (int i = 0; i < 7; ++i) adm2.recharge("x", small_spec("random", 10));
+  EXPECT_EQ(adm2.tenant_jobs("x"), 7);
+}
+
+// ---- DRR scheduler --------------------------------------------------------
+
+TEST(ServeScheduler, GreedyTenantCannotStarveOthers) {
+  serve::DrrScheduler sched(/*quantum=*/4);
+  // Tenant "hog" has 8 jobs (ids 1..8); "meek" has one (id 100).
+  for (std::uint64_t j = 1; j <= 8; ++j) sched.add("hog", j);
+  sched.add("meek", 100);
+
+  std::uint64_t hog_credits = 0, meek_credits = 0;
+  for (int i = 0; i < 400; ++i) {
+    const auto pick = sched.pick();
+    ASSERT_TRUE(pick.has_value());
+    const std::uint64_t cost = 2;  // every step costs 2 eval-credits
+    if (*pick == 100)
+      meek_credits += cost;
+    else
+      hog_credits += cost;
+    sched.charge(*pick, cost);
+  }
+  // Long-run throughput is per-tenant, not per-job: the lone meek job
+  // gets the same credit share as the hog's whole fleet.
+  EXPECT_NEAR(static_cast<double>(meek_credits),
+              static_cast<double>(hog_credits),
+              static_cast<double>(hog_credits) * 0.1);
+}
+
+TEST(ServeScheduler, RoundRobinsWithinATenantAndAcrossTenants) {
+  serve::DrrScheduler sched(/*quantum=*/1);
+  sched.add("a", 1);
+  sched.add("a", 2);
+  sched.add("b", 3);
+
+  std::map<std::uint64_t, int> picks;
+  for (int i = 0; i < 300; ++i) {
+    const auto pick = sched.pick();
+    ASSERT_TRUE(pick.has_value());
+    picks[*pick]++;
+    sched.charge(*pick, 1);
+  }
+  // b's single job gets ~150; a's two jobs split ~150 between them.
+  EXPECT_NEAR(picks[3], 150, 15);
+  EXPECT_NEAR(picks[1], 75, 15);
+  EXPECT_NEAR(picks[2], 75, 15);
+}
+
+TEST(ServeScheduler, RemoveAndEmptyBehave) {
+  serve::DrrScheduler sched;
+  EXPECT_FALSE(sched.pick().has_value());
+  sched.add("t", 1);
+  sched.add("t", 2);
+  EXPECT_EQ(sched.size(), 2u);
+  sched.remove(1);
+  ASSERT_TRUE(sched.pick().has_value());
+  EXPECT_EQ(*sched.pick(), 2u);
+  sched.remove(2);
+  EXPECT_TRUE(sched.empty());
+  EXPECT_FALSE(sched.pick().has_value());
+  EXPECT_EQ(sched.active_tenants(), 0u);
+}
+
+// ---- job stepping + resume ------------------------------------------------
+
+TEST(ServeJob, SteppedJobMatchesSerialReplayByteForByte) {
+  const std::string dir = fresh_dir("job_plain");
+  const auto spec = small_spec("random", 12, 5);
+  serve::JobRecord rec;
+  rec.id = 1;
+  rec.tenant = "t";
+  rec.spec = spec;
+  serve::TuningJob job(rec, dir, /*resume=*/false, nullptr);
+  while (!job.terminal()) job.step();
+  EXPECT_EQ(job.state(), serve::JobState::Done);
+  EXPECT_EQ(job.evals_done(), 12u);
+  EXPECT_TRUE(curves_identical(job.curve(), serve::serial_replay(spec)));
+}
+
+TEST(ServeJob, InterruptedJobResumesByteIdentically) {
+  for (const std::string method : {"random", "citroen"}) {
+    const std::string dir = fresh_dir("job_resume_" + method);
+    const auto spec = small_spec(method, 14, 9);
+    serve::JobRecord rec;
+    rec.id = 2;
+    rec.tenant = "t";
+    rec.spec = spec;
+    {
+      serve::TuningJob job(rec, dir, /*resume=*/false, nullptr,
+                           /*fsync_every=*/4, /*checkpoint_every=*/3);
+      for (int i = 0; i < 3 && !job.terminal(); ++i) job.step();
+      job.checkpoint_for_drain();
+      // Job object destroyed mid-run: simulates the daemon dying.
+    }
+    serve::TuningJob job(rec, dir, /*resume=*/true, nullptr);
+    while (!job.terminal()) job.step();
+    EXPECT_TRUE(curves_identical(job.curve(), serve::serial_replay(spec)))
+        << method << " resume diverged from serial replay";
+  }
+}
+
+TEST(ServeJob, RecordRoundTripsAndCancelPersists) {
+  const std::string dir = fresh_dir("job_record");
+  serve::JobRecord rec;
+  rec.id = 0xdeadbeefull;
+  rec.tenant = "acme";
+  rec.spec = small_spec("ga", 25, 7);
+  serve::save_job_record(dir, rec);
+
+  serve::JobRecord got;
+  std::string note;
+  ASSERT_TRUE(serve::load_job_record(serve::job_meta_path(dir, rec.id), &got,
+                                     &note))
+      << note;
+  EXPECT_EQ(got.id, rec.id);
+  EXPECT_EQ(got.tenant, "acme");
+  EXPECT_EQ(got.spec.method, "ga");
+  EXPECT_FALSE(got.cancelled);
+
+  // Cancel persists: a fresh (resume) construction sees the flag and
+  // refuses to run.
+  serve::TuningJob job(got, dir, /*resume=*/false, nullptr);
+  job.step();
+  job.cancel(dir);
+  EXPECT_EQ(job.state(), serve::JobState::Cancelled);
+  serve::JobRecord after;
+  ASSERT_TRUE(serve::load_job_record(serve::job_meta_path(dir, rec.id), &after,
+                                     &note));
+  EXPECT_TRUE(after.cancelled);
+  serve::TuningJob revived(after, dir, /*resume=*/true, nullptr);
+  EXPECT_EQ(revived.state(), serve::JobState::Cancelled);
+  EXPECT_EQ(revived.step(), 0u);
+}
+
+TEST(ServeJob, InvalidSpecThrows) {
+  const std::string dir = fresh_dir("job_bad");
+  serve::JobRecord rec;
+  rec.id = 3;
+  rec.tenant = "t";
+  rec.spec = small_spec();
+  rec.spec.program = "no_such_program";
+  EXPECT_THROW(serve::TuningJob(rec, dir, false, nullptr), std::exception);
+  rec.spec = small_spec();
+  rec.spec.method = "no_such_method";
+  EXPECT_THROW(serve::TuningJob(rec, dir, false, nullptr), std::exception);
+}
+
+// ---- live daemon over a real socket --------------------------------------
+
+namespace {
+
+struct LiveServer {
+  explicit LiveServer(const serve::ServerConfig& cfg)
+      : socket_path(cfg.socket_path), server(cfg) {
+    thread = std::thread([this] { exit_code = server.run(); });
+    // The listener binds before the loop; give it a moment.
+    for (int i = 0; i < 200; ++i) {
+      if (std::filesystem::exists(socket_path)) break;
+      ::usleep(10 * 1000);
+    }
+  }
+  int stop_and_join() {
+    if (thread.joinable()) {
+      server.request_stop();
+      thread.join();
+    }
+    return exit_code;
+  }
+  ~LiveServer() { stop_and_join(); }
+
+  std::string socket_path;
+  serve::Server server;
+  std::thread thread;
+  int exit_code = -1;
+};
+
+serve::ServerConfig live_config(const std::string& dir) {
+  serve::ServerConfig cfg;
+  cfg.socket_path = dir + "/d.sock";
+  cfg.state_dir = dir + "/state";
+  cfg.install_signal_handlers = false;  // tests drive request_stop()
+  cfg.idle_poll_ms = 5;
+  cfg.drain_deadline_seconds = 5.0;
+  return cfg;
+}
+
+std::unique_ptr<LiveServer> start_server(serve::ServerConfig cfg) {
+  auto ls = std::make_unique<LiveServer>(cfg);
+  ls->socket_path = cfg.socket_path;
+  return ls;
+}
+
+serve::ClientConfig client_config(const std::string& socket,
+                                  const std::string& tenant) {
+  serve::ClientConfig cc;
+  cc.socket_path = socket;
+  cc.tenant = tenant;
+  cc.jitter_seed = 4242;
+  return cc;
+}
+
+}  // namespace
+
+TEST(ServeDaemon, SubmitRunsToByteIdenticalResult) {
+  const std::string dir = fresh_dir("daemon_basic");
+  auto cfg = live_config(dir);
+  auto ls = start_server(cfg);
+
+  serve::Client client(client_config(cfg.socket_path, "tenant1"));
+  const auto spec = small_spec("random", 10, 21);
+  const auto id = client.submit(spec, 20.0);
+  ASSERT_TRUE(id.has_value()) << client.error();
+  const auto out = client.wait_result(*id, 60.0);
+  EXPECT_EQ(out.status, serve::ResultStatus::Ok) << out.error;
+  EXPECT_TRUE(curves_identical(out.curve, serve::serial_replay(spec)));
+
+  // Re-attach after completion still serves the terminal result.
+  const auto again = client.wait_result(*id, 20.0);
+  EXPECT_EQ(again.status, serve::ResultStatus::Ok);
+  EXPECT_TRUE(curves_identical(again.curve, out.curve));
+
+  EXPECT_EQ(ls->stop_and_join(), 0) << "drained empty -> exit 0";
+}
+
+TEST(ServeDaemon, OverQuotaSubmissionGetsTypedTransientReject) {
+  const std::string dir = fresh_dir("daemon_quota");
+  auto cfg = live_config(dir);
+  cfg.quotas.default_quota.max_jobs = 1;
+  cfg.quotas.default_quota.max_evals = 1000;
+  auto ls = start_server(cfg);
+
+  serve::Client client(client_config(cfg.socket_path, "busy"));
+  const auto first = client.submit(small_spec("random", 60, 1), 20.0);
+  ASSERT_TRUE(first.has_value()) << client.error();
+  // Zero retry budget: the transient reject surfaces as failure, with
+  // the daemon's reason in error().
+  const auto second = client.submit(small_spec("random", 10, 2), 0.0);
+  EXPECT_FALSE(second.has_value());
+  EXPECT_NE(client.error().find("job"), std::string::npos) << client.error();
+
+  // An unknown job id draws the permanent UnknownJob reject.
+  const auto ghost = client.wait_result(999999, 10.0);
+  EXPECT_EQ(ghost.status, serve::ResultStatus::Failed);
+  EXPECT_NE(ghost.error.find("unknown-job"), std::string::npos) << ghost.error;
+}
+
+TEST(ServeDaemon, CancelStopsAJobAndPersists) {
+  const std::string dir = fresh_dir("daemon_cancel");
+  auto cfg = live_config(dir);
+  auto ls = start_server(cfg);
+
+  serve::Client client(client_config(cfg.socket_path, "t"));
+  // Big budget: the cancel lands while the job is still running.
+  const auto id = client.submit(small_spec("ga", 600, 5), 20.0);
+  ASSERT_TRUE(id.has_value()) << client.error();
+  ASSERT_TRUE(client.cancel(*id));
+  const auto out = client.wait_result(*id, 60.0);
+  EXPECT_EQ(out.status, serve::ResultStatus::Cancelled);
+  EXPECT_EQ(ls->stop_and_join(), 0)
+      << "cancelled job is terminal: drain has nothing to checkpoint";
+}
+
+TEST(ServeDaemon, DrainCheckpointsInFlightJobsAndExits75) {
+  const std::string dir = fresh_dir("daemon_drain");
+  auto cfg = live_config(dir);
+  cfg.drain_deadline_seconds = 0.2;  // force the checkpoint path
+  auto ls = start_server(cfg);
+
+  serve::Client client(client_config(cfg.socket_path, "t"));
+  const auto spec = small_spec("ga", 400, 8);
+  const auto id = client.submit(spec, 20.0);
+  ASSERT_TRUE(id.has_value()) << client.error();
+
+  // Pump until the first progress frame, then stop immediately: the job
+  // is provably mid-run (a few evals out of 400) and cannot finish
+  // inside the 0.2 s drain deadline. Pumping in short slices instead of
+  // one fixed window keeps this true under sanitizer slowdowns too.
+  std::atomic<bool> progressed{false};
+  const double pump_deadline = sandbox::monotonic_seconds() + 60.0;
+  while (!progressed.load() && sandbox::monotonic_seconds() < pump_deadline) {
+    client.wait_result(*id, 0.5, [&](std::uint64_t done, std::uint64_t) {
+      if (done > 0) progressed = true;
+    });
+  }
+  EXPECT_TRUE(progressed.load());
+  EXPECT_EQ(ls->stop_and_join(), persist::kExitInterrupted)
+      << "in-flight work checkpointed -> exit 75";
+
+  // A restarted daemon resumes the journal and finishes byte-identically;
+  // the client re-attaches by job id.
+  auto cfg2 = live_config(dir);
+  cfg2.resume = true;
+  auto ls2 = start_server(cfg2);
+  serve::Client client2(client_config(cfg2.socket_path, "t"));
+  const auto out = client2.wait_result(*id, 240.0);
+  EXPECT_EQ(out.status, serve::ResultStatus::Ok) << out.error;
+  EXPECT_TRUE(curves_identical(out.curve, serve::serial_replay(spec)))
+      << "drain/resume must not change the result";
+  EXPECT_EQ(ls2->stop_and_join(), 0);
+}
+
+TEST(ServeDaemon, DrainingDaemonRejectsNewSubmissions) {
+  const std::string dir = fresh_dir("daemon_draining");
+  auto cfg = live_config(dir);
+  cfg.drain_deadline_seconds = 0.5;
+  auto ls = start_server(cfg);
+
+  serve::Client client(client_config(cfg.socket_path, "t"));
+  const auto id = client.submit(small_spec("ga", 600, 4), 20.0);
+  ASSERT_TRUE(id.has_value()) << client.error();
+
+  ls->server.request_stop();
+  ::usleep(100 * 1000);  // let the loop notice and flip to draining
+
+  serve::Client late(client_config(cfg.socket_path, "late"));
+  const auto refused = late.submit(small_spec("random", 5, 1), 0.0);
+  EXPECT_FALSE(refused.has_value());
+  EXPECT_NE(late.error().find("drain"), std::string::npos) << late.error();
+}
+
+TEST(ServeDaemon, SharedPrefixCacheAcrossTenantsPreservesResults) {
+  const std::string dir = fresh_dir("daemon_shared");
+  auto cfg = live_config(dir);
+  auto ls = start_server(cfg);
+
+  // Two tenants tune the SAME spec concurrently: the daemon-wide prefix
+  // cache is shared between their evaluator stacks, and both must still
+  // byte-match the serial replay.
+  const auto spec = small_spec("ga", 12, 13);
+  std::vector<serve::JobOutcome> outs(2);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 2; ++i) {
+    threads.emplace_back([&, i] {
+      serve::Client c(
+          client_config(cfg.socket_path, i == 0 ? "alpha" : "beta"));
+      const auto id = c.submit(spec, 20.0);
+      if (id) outs[i] = c.wait_result(*id, 60.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const Vec replay = serve::serial_replay(spec);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(outs[i].status, serve::ResultStatus::Ok) << outs[i].error;
+    EXPECT_TRUE(curves_identical(outs[i].curve, replay)) << "tenant " << i;
+  }
+  EXPECT_EQ(ls->stop_and_join(), 0);
+}
