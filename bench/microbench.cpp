@@ -14,6 +14,7 @@
 #include "obs/trace.hpp"
 #include "ir/interpreter.hpp"
 #include "passes/pass.hpp"
+#include "passes/passman.hpp"
 #include "persist/journal.hpp"
 #include "persist/journaled_evaluator.hpp"
 #include "persist/run_session.hpp"
@@ -49,6 +50,56 @@ static void BM_O3Pipeline(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_O3Pipeline);
+
+/// The analysis-caching pass manager on the full -O3 pipeline, cache on
+/// vs. off (`CITROEN_ANALYSIS_CACHE=0` path). Reports analyses computed
+/// from scratch vs. served from cache; the tentpole's acceptance bar is
+/// >= 50% reuse with the cache on.
+static void BM_PassPipeline(benchmark::State& state) {
+  const bool cache = state.range(0) != 0;
+  const auto& ids = passes::o3_sequence_ids();
+  double computed = 0.0, reused = 0.0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto p = bench_suite::make_program("telecom_gsm");
+    state.ResumeTiming();
+    computed = reused = 0.0;
+    for (auto& m : p.modules) {
+      passes::PassManagerOptions opts;
+      opts.cache_enabled = cache;
+      passes::PassManager pm(opts);
+      const auto stats = pm.run(m, ids.data(), ids.size());
+      benchmark::DoNotOptimize(stats.counters().size());
+      computed += static_cast<double>(pm.cache_stats().computed);
+      reused += static_cast<double>(pm.cache_stats().reused);
+    }
+  }
+  state.counters["analyses_computed"] = computed;
+  state.counters["analyses_reused"] = reused;
+  state.counters["reuse_pct"] =
+      computed + reused > 0.0 ? 100.0 * reused / (computed + reused) : 0.0;
+}
+BENCHMARK(BM_PassPipeline)->ArgName("cache")->Arg(0)->Arg(1);
+
+/// The expanded loop family on its own, after canonicalisation: what one
+/// tuner probe of the new vocabulary (fusion / indvar-simplify / peel)
+/// costs on top of the loop-simplify prerequisite.
+static void BM_NewLoopPasses(benchmark::State& state) {
+  const auto ids = passes::intern_sequence(
+      {"mem2reg", "instcombine", "loop-simplify", "indvars",
+       "indvar-simplify", "loop-fusion", "loop-peel"});
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto p = bench_suite::make_program("telecom_gsm");
+    state.ResumeTiming();
+    for (auto& m : p.modules) {
+      passes::PassManager pm;
+      const auto stats = pm.run(m, ids.data(), ids.size());
+      benchmark::DoNotOptimize(stats.counters().size());
+    }
+  }
+}
+BENCHMARK(BM_NewLoopPasses);
 
 static void BM_EvaluatorRoundTrip(benchmark::State& state) {
   sim::ProgramEvaluator ev(bench_suite::make_program("security_sha"),

@@ -9,6 +9,7 @@
 
 #include "passes/common.hpp"
 #include "passes/factories.hpp"
+#include "passes/passman.hpp"
 
 namespace citroen::passes {
 
@@ -23,14 +24,15 @@ class SimplifyCfgPass final : public Pass {
     return {"NumSimpl", "NumFoldedBranch", "NumBlocksMerged",
             "NumUnreachable"};
   }
-  bool run(Module& m, StatsRegistry& stats) override {
+  AnalysisSet invalidates() const override { return kAllAnalyses; }
+  bool run(Module& m, StatsRegistry& stats, AnalysisManager& am) override {
     bool changed = false;
-    for (auto& f : m.functions) changed |= run_fn(f, stats);
+    for (auto& f : m.functions) changed |= run_fn(f, stats, am);
     return changed;
   }
 
  private:
-  bool run_fn(Function& f, StatsRegistry& stats) {
+  bool run_fn(Function& f, StatsRegistry& stats, AnalysisManager& am) {
     bool changed = false;
     bool local = true;
     int rounds = 0;
@@ -39,7 +41,10 @@ class SimplifyCfgPass final : public Pass {
       local |= fold_constant_branches(f, stats);
       local |= merge_chains(f, stats);
       local |= thread_forwarders(f, stats);
-      const int dead = delete_unreachable_blocks(f);
+      // The three rewrites above change the CFG; drop the cached view
+      // before delete_unreachable_blocks queries reachability.
+      if (local) am.invalidate(f, kAllAnalyses);
+      const int dead = delete_unreachable_blocks(f, &am);
       if (dead > 0) {
         stats.add(name(), "NumUnreachable", dead);
         local = true;
@@ -217,7 +222,8 @@ class JumpThreadingPass final : public Pass {
   std::vector<std::string> stat_names() const override {
     return {"NumThreads"};
   }
-  bool run(Module& m, StatsRegistry& stats) override {
+  AnalysisSet invalidates() const override { return kAllAnalyses; }
+  bool run(Module& m, StatsRegistry& stats, AnalysisManager&) override {
     bool changed = false;
     for (auto& f : m.functions) changed |= run_fn(f, stats);
     return changed;
@@ -294,17 +300,22 @@ class SinkPass final : public Pass {
  public:
   std::string name() const override { return "sink"; }
   std::vector<std::string> stat_names() const override { return {"NumSunk"}; }
-  bool run(Module& m, StatsRegistry& stats) override {
+  /// Moves pure instructions between existing blocks: only def blocks
+  /// change (no CFG edit, no use-count change, nothing memory-relevant).
+  AnalysisSet invalidates() const override { return kAnalysisDefBlocks; }
+  bool run(Module& m, StatsRegistry& stats, AnalysisManager& am) override {
     bool changed = false;
-    for (auto& f : m.functions) changed |= run_fn(f, stats);
+    for (auto& f : m.functions) changed |= run_fn(f, stats, am);
     return changed;
   }
 
  private:
-  bool run_fn(Function& f, StatsRegistry& stats) {
+  bool run_fn(Function& f, StatsRegistry& stats, AnalysisManager& am) {
     bool changed = false;
     const auto preds = f.predecessors();
-    const auto defs = def_blocks(f);
+    // Queried once before any motion; kept deliberately stale during the
+    // scan exactly like the historical single-snapshot behaviour.
+    const auto& defs = am.def_blocks(f);
     for (BlockId b = 0; b < static_cast<BlockId>(f.blocks.size()); ++b) {
       const auto succs = f.successors(b);
       if (succs.size() < 2) continue;  // sinking pays on branchy blocks

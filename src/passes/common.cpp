@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "passes/passman.hpp"
+
 namespace citroen::passes {
 
 using namespace ir;
@@ -207,9 +209,13 @@ void retarget_phi_edges(Function& f, BlockId block, BlockId old_pred,
   }
 }
 
-int delete_unreachable_blocks(Function& f) {
-  const DomTree dt = compute_dominators(f);
+int delete_unreachable_blocks(Function& f, AnalysisManager* am) {
+  // The reachability snapshot stays valid throughout: phi-entry cleanup and
+  // emptying unreachable blocks never change what entry can reach.
+  const DomTree local_dt = am ? DomTree{} : compute_dominators(f);
+  const DomTree& dt = am ? am->dominators(f) : local_dt;
   int removed = 0;
+  bool mutated = false;
   // First drop phi entries coming from unreachable predecessors.
   for (BlockId b = 0; b < static_cast<BlockId>(f.blocks.size()); ++b) {
     if (!dt.reachable[static_cast<std::size_t>(b)]) continue;
@@ -222,11 +228,13 @@ int delete_unreachable_blocks(Function& f) {
           in.ops.erase(in.ops.begin() + static_cast<std::ptrdiff_t>(k));
           in.phi_blocks.erase(in.phi_blocks.begin() +
                               static_cast<std::ptrdiff_t>(k));
+          mutated = true;
         }
       }
       if (in.ops.size() == 1) {
         f.replace_all_uses(id, in.ops[0]);
         f.kill(id);
+        mutated = true;
       }
     }
   }
@@ -237,9 +245,75 @@ int delete_unreachable_blocks(Function& f) {
     for (ValueId id : bb.insts) f.kill(id);
     bb.insts.clear();
     ++removed;
+    mutated = true;
   }
   f.purge_dead_from_blocks();
+  if (am && mutated) am->invalidate(f, kAllAnalyses);
   return removed;
+}
+
+BlockId insert_loop_preheader(
+    Function& f, const Loop& loop,
+    const std::vector<std::vector<BlockId>>& preds) {
+  std::vector<bool> in(f.blocks.size(), false);
+  for (BlockId b : loop.blocks) in[static_cast<std::size_t>(b)] = true;
+  std::vector<BlockId> outside;
+  for (BlockId p : preds[static_cast<std::size_t>(loop.header)]) {
+    if (!in[static_cast<std::size_t>(p)]) outside.push_back(p);
+  }
+  if (outside.empty()) return -1;  // unreachable loop
+
+  // New preheader block.
+  f.blocks.push_back(BasicBlock{"preheader", {}});
+  const BlockId ph = static_cast<BlockId>(f.blocks.size() - 1);
+
+  // Header phis: merge the outside entries in the preheader.
+  for (ValueId id : std::vector<ValueId>(f.block(loop.header).insts)) {
+    Instr& phi = f.instr(id);
+    if (phi.dead()) continue;
+    if (phi.op != Opcode::Phi) break;
+    std::vector<std::pair<ValueId, BlockId>> outside_in;
+    for (std::size_t k = phi.phi_blocks.size(); k-- > 0;) {
+      if (!in[static_cast<std::size_t>(phi.phi_blocks[k])]) {
+        outside_in.emplace_back(phi.ops[k], phi.phi_blocks[k]);
+        phi.ops.erase(phi.ops.begin() + static_cast<std::ptrdiff_t>(k));
+        phi.phi_blocks.erase(phi.phi_blocks.begin() +
+                             static_cast<std::ptrdiff_t>(k));
+      }
+    }
+    ValueId merged;
+    if (outside_in.size() == 1) {
+      merged = outside_in[0].first;
+    } else {
+      Instr np;
+      np.op = Opcode::Phi;
+      np.type = f.instr(id).type;
+      for (auto& [v, b] : outside_in) {
+        np.ops.push_back(v);
+        np.phi_blocks.push_back(b);
+      }
+      merged = f.add_instr(std::move(np));
+      f.block(ph).insts.push_back(merged);
+    }
+    Instr& phi2 = f.instr(id);  // re-fetch (arena may realloc)
+    phi2.ops.push_back(merged);
+    phi2.phi_blocks.push_back(ph);
+  }
+
+  // Preheader terminator + redirect outside predecessors.
+  Instr br;
+  br.op = Opcode::Br;
+  br.succs = {loop.header};
+  const ValueId brid = f.add_instr(std::move(br));
+  f.block(ph).insts.push_back(brid);
+  for (BlockId p : outside) {
+    const ValueId pt = f.terminator(p);
+    if (pt == kNoValue) continue;
+    for (auto& s : f.instr(pt).succs) {
+      if (s == loop.header) s = ph;
+    }
+  }
+  return ph;
 }
 
 void clone_block_body(Function& f, BlockId src, BlockId dst,

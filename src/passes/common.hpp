@@ -47,7 +47,20 @@ void retarget_phi_edges(ir::Function& f, ir::BlockId block,
 
 /// Kill all instructions in blocks unreachable from entry and empty those
 /// blocks; fixes phi lists in reachable blocks. Returns #blocks removed.
-int delete_unreachable_blocks(ir::Function& f);
+/// With `am` given, the reachability query comes from the analysis cache
+/// (the caller must have invalidated after any prior CFG mutation) and the
+/// function invalidates `f`'s cached analyses itself when it mutates.
+int delete_unreachable_blocks(ir::Function& f, AnalysisManager* am = nullptr);
+
+/// Preheader creation (the normalization step every counted-loop transform
+/// depends on): insert a dedicated block between `loop`'s outside
+/// predecessors and its header, merging multi-entry phi edges into the new
+/// block. `preds` is `f.predecessors()`. Returns the new block id, or -1
+/// when the loop has no outside entry (unreachable loop). The caller owns
+/// analysis invalidation: this edits the CFG.
+ir::BlockId insert_loop_preheader(
+    ir::Function& f, const ir::Loop& loop,
+    const std::vector<std::vector<ir::BlockId>>& preds);
 
 /// Clone the live, non-phi instructions of `src` into `dst` (appending),
 /// remapping operands through `value_map` (ids absent from the map are

@@ -11,6 +11,7 @@
 
 #include "passes/common.hpp"
 #include "passes/factories.hpp"
+#include "passes/passman.hpp"
 
 namespace citroen::passes {
 
@@ -58,9 +59,15 @@ class EarlyCsePass final : public Pass {
   std::vector<std::string> stat_names() const override {
     return {"NumCSE", "NumCSELoad"};
   }
-  bool run(Module& m, StatsRegistry& stats) override {
+  /// Kills pure instructions and loads: no CFG change (dominators and
+  /// loops survive), no store or side-call removed (memory summary
+  /// survives).
+  AnalysisSet invalidates() const override {
+    return kAnalysisUseCounts | kAnalysisDefBlocks;
+  }
+  bool run(Module& m, StatsRegistry& stats, AnalysisManager& am) override {
     bool changed = false;
-    for (auto& f : m.functions) changed |= run_fn(f, m, stats);
+    for (auto& f : m.functions) changed |= run_fn(f, m, stats, am);
     return changed;
   }
 
@@ -72,9 +79,10 @@ class EarlyCsePass final : public Pass {
     std::vector<ExprKey> load_keys;    // load keys added in this scope
   };
 
-  bool run_fn(Function& f, Module& m, StatsRegistry& stats) {
+  bool run_fn(Function& f, Module& m, StatsRegistry& stats,
+              AnalysisManager& am) {
     changed_ = false;
-    const DomTree dt = compute_dominators(f);
+    const DomTree& dt = am.dominators(f);
     std::map<ExprKey, ValueId> table;
     walk(f, m, dt, 0, table, stats);
     if (changed_) f.purge_dead_from_blocks();
@@ -140,17 +148,23 @@ class GvnPass final : public Pass {
   std::vector<std::string> stat_names() const override {
     return {"NumGVNInstr", "NumGVNCall"};
   }
-  bool run(Module& m, StatsRegistry& stats) override {
+  /// Kills pure instructions and readnone calls (which the memory summary
+  /// never counts as side calls): only use counts and def blocks change.
+  AnalysisSet invalidates() const override {
+    return kAnalysisUseCounts | kAnalysisDefBlocks;
+  }
+  bool run(Module& m, StatsRegistry& stats, AnalysisManager& am) override {
     bool changed = false;
-    for (auto& f : m.functions) changed |= run_fn(f, m, stats);
+    for (auto& f : m.functions) changed |= run_fn(f, m, stats, am);
     return changed;
   }
 
  private:
-  bool run_fn(Function& f, Module& m, StatsRegistry& stats) {
+  bool run_fn(Function& f, Module& m, StatsRegistry& stats,
+              AnalysisManager& am) {
     bool changed = false;
-    const DomTree dt = compute_dominators(f);
-    const auto defs = def_blocks(f);
+    const DomTree& dt = am.dominators(f);
+    const auto& defs = am.def_blocks(f);
     std::map<ExprKey, ValueId> leader;
 
     // RPO walk: the first occurrence becomes the leader; later occurrences

@@ -5,6 +5,7 @@
 
 #include "passes/common.hpp"
 #include "passes/factories.hpp"
+#include "passes/passman.hpp"
 
 namespace citroen::passes {
 
@@ -20,13 +21,17 @@ class DcePass final : public Pass {
   std::vector<std::string> stat_names() const override {
     return {"NumDeleted"};
   }
-  bool run(Module& m, StatsRegistry& stats) override {
+  /// Kills pure instructions and loads: no CFG change, no store removed.
+  AnalysisSet invalidates() const override {
+    return kAnalysisUseCounts | kAnalysisDefBlocks;
+  }
+  bool run(Module& m, StatsRegistry& stats, AnalysisManager& am) override {
     bool changed = false;
     for (auto& f : m.functions) {
       bool local = true;
       while (local) {
         local = false;
-        const auto uses = count_uses(f);
+        const auto& uses = am.use_counts(f);
         for (auto& bb : f.blocks) {
           for (ValueId id : bb.insts) {
             Instr& in = f.instr(id);
@@ -39,7 +44,11 @@ class DcePass final : public Pass {
             }
           }
         }
-        if (local) f.purge_dead_from_blocks();
+        if (local) {
+          f.purge_dead_from_blocks();
+          // The next round re-queries use counts against the mutated IR.
+          am.invalidate(f, kAnalysisUseCounts | kAnalysisDefBlocks);
+        }
       }
     }
     return changed;
@@ -52,7 +61,12 @@ class AdcePass final : public Pass {
   std::vector<std::string> stat_names() const override {
     return {"NumRemoved"};
   }
-  bool run(Module& m, StatsRegistry& stats) override {
+  /// Kills pure instructions, loads, and dead phi cycles: no CFG change,
+  /// no store or call removed (roots are always live).
+  AnalysisSet invalidates() const override {
+    return kAnalysisUseCounts | kAnalysisDefBlocks;
+  }
+  bool run(Module& m, StatsRegistry& stats, AnalysisManager&) override {
     bool changed = false;
     for (auto& f : m.functions) changed |= run_fn(f, stats);
     return changed;

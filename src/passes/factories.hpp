@@ -42,5 +42,8 @@ std::unique_ptr<Pass> make_deadargelim();
 std::unique_ptr<Pass> make_dse();
 std::unique_ptr<Pass> make_memcpyopt();
 std::unique_ptr<Pass> make_loop_unswitch();
+std::unique_ptr<Pass> make_loop_fusion();
+std::unique_ptr<Pass> make_indvar_simplify();
+std::unique_ptr<Pass> make_loop_peel();
 
 }  // namespace citroen::passes

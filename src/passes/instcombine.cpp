@@ -8,8 +8,11 @@
 // *between* mem2reg and slp-vectorizer therefore kills vectorisation,
 // while running it after does not.
 
+#include <array>
+
 #include "passes/common.hpp"
 #include "passes/factories.hpp"
+#include "passes/passman.hpp"
 
 namespace citroen::passes {
 
@@ -24,18 +27,42 @@ int log2_i64(std::int64_t v) {
   return k;
 }
 
+/// Counter indices for the peephole engine's interned stat keys.
+enum PeepholeCounter {
+  kConstFold,
+  kCanonicalized,
+  kSimplified,
+  kCombined,
+  kWidenedMul,
+  kExpanded,
+  kNumPeepholeCounters,
+};
+
+/// The "pass.Counter" keys interned once per pass execution so the rewrite
+/// loop increments counters without touching a string.
+struct PeepholeKeys {
+  std::array<StatKey, kNumPeepholeCounters> key;
+  explicit PeepholeKeys(const std::string& pass)
+      : key{intern_stat_key(pass, "NumConstFold"),
+            intern_stat_key(pass, "NumCanonicalized"),
+            intern_stat_key(pass, "NumSimplified"),
+            intern_stat_key(pass, "NumCombined"),
+            intern_stat_key(pass, "NumWidenedMul"),
+            intern_stat_key(pass, "NumExpanded")} {}
+};
+
 /// Shared per-function peephole engine; the three passes enable different
 /// rule sets (mirroring how LLVM's instsimplify is the "no new
 /// instructions" subset of instcombine).
 struct Peephole {
   Function& f;
   StatsRegistry& stats;
-  const std::string pass;
+  const PeepholeKeys& keys;
   bool allow_new_instrs;      ///< instcombine: yes; instsimplify: no
   bool aggressive;            ///< aggressive-instcombine extras
   bool changed = false;
 
-  void count(const char* c) { stats.add(pass, c, 1); }
+  void count(PeepholeCounter c) { stats.add(keys.key[c], 1); }
 
   void replace_with_const(BlockId b, std::size_t pos, ValueId id,
                           const FoldedConst& c) {
@@ -77,7 +104,7 @@ struct Peephole {
     if (is_pure(in.op) && !in.ops.empty() && !in.type.is_vector()) {
       if (auto c = try_const_fold(f, in)) {
         replace_with_const(b, pos, id, *c);
-        count("NumConstFold");
+        count(kConstFold);
         return true;
       }
     }
@@ -86,7 +113,7 @@ struct Peephole {
     if (is_commutative(in.op) && in.ops.size() == 2 &&
         const_int_value(f, in.ops[0]) && !const_int_value(f, in.ops[1])) {
       std::swap(in.ops[0], in.ops[1]);
-      count("NumCanonicalized");
+      count(kCanonicalized);
       return true;
     }
 
@@ -104,7 +131,7 @@ struct Peephole {
           case Opcode::AShr:
             if (*rc == 0) {
               replace_with_value(id, in.ops[0]);
-              count("NumSimplified");
+              count(kSimplified);
               return true;
             }
             break;
@@ -112,19 +139,19 @@ struct Peephole {
           case Opcode::SDiv:
             if (*rc == 1) {
               replace_with_value(id, in.ops[0]);
-              count("NumSimplified");
+              count(kSimplified);
               return true;
             }
             if (in.op == Opcode::Mul && *rc == 0) {
               replace_with_const(b, pos, id, FoldedConst{false, 0, 0.0});
-              count("NumSimplified");
+              count(kSimplified);
               return true;
             }
             break;
           case Opcode::And:
             if (*rc == 0) {
               replace_with_const(b, pos, id, FoldedConst{false, 0, 0.0});
-              count("NumSimplified");
+              count(kSimplified);
               return true;
             }
             break;
@@ -136,7 +163,7 @@ struct Peephole {
       if ((in.op == Opcode::Sub || in.op == Opcode::Xor) &&
           in.ops[0] == in.ops[1]) {
         replace_with_const(b, pos, id, FoldedConst{false, 0, 0.0});
-        count("NumSimplified");
+        count(kSimplified);
         return true;
       }
     }
@@ -144,7 +171,7 @@ struct Peephole {
     // select c, x, x => x
     if (in.op == Opcode::Select && in.ops[1] == in.ops[2]) {
       replace_with_value(id, in.ops[1]);
-      count("NumSimplified");
+      count(kSimplified);
       return true;
     }
 
@@ -153,7 +180,7 @@ struct Peephole {
       const Instr& inner = f.instr(in.ops[0]);
       if (inner.op == Opcode::SExt) {
         in.ops[0] = inner.ops[0];
-        count("NumCombined");
+        count(kCombined);
         return true;
       }
       // trunc-of-sext round trip: sext_T(trunc_S(x)) with T == type(x) and
@@ -163,7 +190,7 @@ struct Peephole {
       const Instr& inner = f.instr(in.ops[0]);
       if (inner.op == Opcode::ZExt) {
         in.ops[0] = inner.ops[0];
-        count("NumCombined");
+        count(kCombined);
         return true;
       }
     }
@@ -173,7 +200,7 @@ struct Peephole {
       if ((inner.op == Opcode::SExt || inner.op == Opcode::ZExt) &&
           f.instr(inner.ops[0]).type == in.type) {
         replace_with_value(id, inner.ops[0]);
-        count("NumCombined");
+        count(kCombined);
         return true;
       }
     }
@@ -191,7 +218,7 @@ struct Peephole {
         Instr& self = f.instr(id);  // arena may have reallocated
         self.op = Opcode::Shl;
         self.ops[1] = k;
-        count("NumCombined");
+        count(kCombined);
         return true;
       }
     }
@@ -231,8 +258,8 @@ struct Peephole {
             Instr& self = f.instr(id);  // insertion may not invalidate; re-ref
             self.op = Opcode::Mul;
             self.ops = {ida, idb};
-            count("NumCombined");
-            count("NumWidenedMul");
+            count(kCombined);
+            count(kWidenedMul);
             return true;
           }
         }
@@ -259,7 +286,7 @@ struct Peephole {
               FoldedConst{false, wrap_to_width(in.type, merged), 0.0});
           Instr& self = f.instr(id);  // arena may have reallocated
           self.ops = {lhs0, mc};
-          count("NumExpanded");
+          count(kExpanded);
           return true;
         }
       }
@@ -277,7 +304,7 @@ struct Peephole {
                                           FoldedConst{false, *c1 + *c2, 0.0});
           Instr& self = f.instr(id);  // arena may have reallocated
           self.ops = {lhs0, mc};
-          count("NumExpanded");
+          count(kExpanded);
           return true;
         }
       }
@@ -293,10 +320,16 @@ class InstCombinePass final : public Pass {
     return {"NumCombined", "NumConstFold", "NumSimplified",
             "NumCanonicalized", "NumWidenedMul"};
   }
-  bool run(Module& m, StatsRegistry& stats) override {
+  /// Block-local rewrites (insert constants, rewrite ops in place, kill
+  /// instructions): no CFG change, no store or call touched.
+  AnalysisSet invalidates() const override {
+    return kAnalysisUseCounts | kAnalysisDefBlocks;
+  }
+  bool run(Module& m, StatsRegistry& stats, AnalysisManager&) override {
     bool changed = false;
+    const PeepholeKeys keys(name());
     for (auto& f : m.functions) {
-      Peephole p{f, stats, name(), /*allow_new_instrs=*/true,
+      Peephole p{f, stats, keys, /*allow_new_instrs=*/true,
                  /*aggressive=*/false};
       p.run();
       changed |= p.changed;
@@ -311,10 +344,14 @@ class InstSimplifyPass final : public Pass {
   std::vector<std::string> stat_names() const override {
     return {"NumConstFold", "NumSimplified", "NumCanonicalized"};
   }
-  bool run(Module& m, StatsRegistry& stats) override {
+  AnalysisSet invalidates() const override {
+    return kAnalysisUseCounts | kAnalysisDefBlocks;
+  }
+  bool run(Module& m, StatsRegistry& stats, AnalysisManager&) override {
     bool changed = false;
+    const PeepholeKeys keys(name());
     for (auto& f : m.functions) {
-      Peephole p{f, stats, name(), /*allow_new_instrs=*/false,
+      Peephole p{f, stats, keys, /*allow_new_instrs=*/false,
                  /*aggressive=*/false};
       p.run();
       changed |= p.changed;
@@ -330,10 +367,14 @@ class AggressiveInstCombinePass final : public Pass {
     return {"NumCombined", "NumConstFold", "NumSimplified",
             "NumCanonicalized", "NumWidenedMul", "NumExpanded"};
   }
-  bool run(Module& m, StatsRegistry& stats) override {
+  AnalysisSet invalidates() const override {
+    return kAnalysisUseCounts | kAnalysisDefBlocks;
+  }
+  bool run(Module& m, StatsRegistry& stats, AnalysisManager&) override {
     bool changed = false;
+    const PeepholeKeys keys(name());
     for (auto& f : m.functions) {
-      Peephole p{f, stats, name(), /*allow_new_instrs=*/true,
+      Peephole p{f, stats, keys, /*allow_new_instrs=*/true,
                  /*aggressive=*/true};
       p.run();
       changed |= p.changed;

@@ -16,6 +16,7 @@
 
 #include "passes/common.hpp"
 #include "passes/factories.hpp"
+#include "passes/passman.hpp"
 
 namespace citroen::passes {
 
@@ -58,7 +59,8 @@ class InlinePass final : public Pass {
     return {"NumInlined"};
   }
 
-  bool run(Module& m, StatsRegistry& stats) override {
+  AnalysisSet invalidates() const override { return kAllAnalyses; }
+  bool run(Module& m, StatsRegistry& stats, AnalysisManager&) override {
     bool changed = false;
     // Iterate: inlining can expose further inlinable sites; bound rounds.
     for (int round = 0; round < 4; ++round) {
@@ -244,7 +246,10 @@ class FunctionAttrsPass final : public Pass {
   std::vector<std::string> stat_names() const override {
     return {"NumReadNone", "NumArgMemOnly"};
   }
-  bool run(Module& m, StatsRegistry& stats) override {
+  /// Attribute-only: no IR changes, but a newly readnone callee stops
+  /// counting as a side call in every caller's cached memory summary.
+  AnalysisSet invalidates() const override { return kAnalysisMemSummary; }
+  bool run(Module& m, StatsRegistry& stats, AnalysisManager&) override {
     bool changed = false;
     // Fixpoint over the module-local call graph.
     bool local = true;
@@ -325,7 +330,12 @@ class IpsccpPass final : public Pass {
   std::vector<std::string> stat_names() const override {
     return {"NumArgsConsted"};
   }
-  bool run(Module& m, StatsRegistry& stats) override {
+  /// Inserts constants and rewrites argument uses: no CFG change, nothing
+  /// memory-relevant.
+  AnalysisSet invalidates() const override {
+    return kAnalysisUseCounts | kAnalysisDefBlocks;
+  }
+  bool run(Module& m, StatsRegistry& stats, AnalysisManager&) override {
     bool changed = false;
     const auto sites = call_sites(m);
     for (auto& f : m.functions) {
@@ -379,7 +389,8 @@ class TailCallElimPass final : public Pass {
   std::vector<std::string> stat_names() const override {
     return {"NumEliminated"};
   }
-  bool run(Module& m, StatsRegistry& stats) override {
+  AnalysisSet invalidates() const override { return kAllAnalyses; }
+  bool run(Module& m, StatsRegistry& stats, AnalysisManager&) override {
     bool changed = false;
     for (auto& f : m.functions) changed |= run_fn(f, stats);
     return changed;
@@ -498,7 +509,10 @@ class GlobalOptPass final : public Pass {
   std::vector<std::string> stat_names() const override {
     return {"NumFnDeleted"};
   }
-  bool run(Module& m, StatsRegistry& stats) override {
+  /// Erasing module functions shifts the survivors: function identity is
+  /// gone, the whole cache must be cleared (kAllAnalyses does that).
+  AnalysisSet invalidates() const override { return kAllAnalyses; }
+  bool run(Module& m, StatsRegistry& stats, AnalysisManager&) override {
     bool changed = false;
     bool local = true;
     while (local) {
@@ -527,7 +541,12 @@ class DeadArgElimPass final : public Pass {
   std::vector<std::string> stat_names() const override {
     return {"NumArgumentsEliminated"};
   }
-  bool run(Module& m, StatsRegistry& stats) override {
+  /// Inserts constants and rewrites call operands: no CFG change, nothing
+  /// memory-relevant.
+  AnalysisSet invalidates() const override {
+    return kAnalysisUseCounts | kAnalysisDefBlocks;
+  }
+  bool run(Module& m, StatsRegistry& stats, AnalysisManager&) override {
     bool changed = false;
     const auto sites = call_sites(m);
     for (auto& f : m.functions) {

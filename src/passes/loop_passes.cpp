@@ -22,6 +22,7 @@
 
 #include "passes/common.hpp"
 #include "passes/factories.hpp"
+#include "passes/passman.hpp"
 
 namespace citroen::passes {
 
@@ -50,81 +51,24 @@ class LoopSimplifyPass final : public Pass {
   std::vector<std::string> stat_names() const override {
     return {"NumPreheaders"};
   }
-  bool run(Module& m, StatsRegistry& stats) override {
+  AnalysisSet invalidates() const override { return kAllAnalyses; }
+  bool run(Module& m, StatsRegistry& stats, AnalysisManager& am) override {
     bool changed = false;
     for (auto& f : m.functions) {
       bool local = true;
       while (local) {
         local = false;
-        const DomTree dt = compute_dominators(f);
-        const auto loops = find_loops(f, dt);
+        const auto& loops = am.loops(f);
         const auto preds = f.predecessors();
         for (const auto& loop : loops) {
           if (loop.preheader >= 0) continue;
-          const auto in = loop_mask(f, loop);
-          std::vector<BlockId> outside;
-          for (BlockId p : preds[static_cast<std::size_t>(loop.header)]) {
-            if (!in[static_cast<std::size_t>(p)]) outside.push_back(p);
-          }
-          if (outside.empty()) continue;  // unreachable loop
-
-          // New preheader block.
-          f.blocks.push_back(BasicBlock{"preheader", {}});
-          const BlockId ph = static_cast<BlockId>(f.blocks.size() - 1);
-
-          // Header phis: merge the outside entries in the preheader.
-          for (ValueId id :
-               std::vector<ValueId>(f.block(loop.header).insts)) {
-            Instr& phi = f.instr(id);
-            if (phi.dead()) continue;
-            if (phi.op != Opcode::Phi) break;
-            std::vector<std::pair<ValueId, BlockId>> outside_in;
-            for (std::size_t k = phi.phi_blocks.size(); k-- > 0;) {
-              if (!in[static_cast<std::size_t>(phi.phi_blocks[k])]) {
-                outside_in.emplace_back(phi.ops[k], phi.phi_blocks[k]);
-                phi.ops.erase(phi.ops.begin() +
-                              static_cast<std::ptrdiff_t>(k));
-                phi.phi_blocks.erase(phi.phi_blocks.begin() +
-                                     static_cast<std::ptrdiff_t>(k));
-              }
-            }
-            ValueId merged;
-            if (outside_in.size() == 1) {
-              merged = outside_in[0].first;
-            } else {
-              Instr np;
-              np.op = Opcode::Phi;
-              np.type = f.instr(id).type;
-              for (auto& [v, b] : outside_in) {
-                np.ops.push_back(v);
-                np.phi_blocks.push_back(b);
-              }
-              merged = f.add_instr(std::move(np));
-              f.block(ph).insts.push_back(merged);
-            }
-            Instr& phi2 = f.instr(id);  // re-fetch (arena may realloc)
-            phi2.ops.push_back(merged);
-            phi2.phi_blocks.push_back(ph);
-          }
-
-          // Preheader terminator + redirect outside predecessors.
-          Instr br;
-          br.op = Opcode::Br;
-          br.succs = {loop.header};
-          const ValueId brid = f.add_instr(std::move(br));
-          f.block(ph).insts.push_back(brid);
-          for (BlockId p : outside) {
-            const ValueId pt = f.terminator(p);
-            if (pt == kNoValue) continue;
-            for (auto& s : f.instr(pt).succs) {
-              if (s == loop.header) s = ph;
-            }
-          }
+          if (insert_loop_preheader(f, loop, preds) < 0) continue;
           stats.add(name(), "NumPreheaders", 1);
           changed = true;
           local = true;
           break;  // CFG changed: recompute loops
         }
+        if (local) am.invalidate(f, kAllAnalyses);
       }
     }
     return changed;
@@ -137,14 +81,14 @@ class LoopRotatePass final : public Pass {
   std::vector<std::string> stat_names() const override {
     return {"NumRotated"};
   }
-  bool run(Module& m, StatsRegistry& stats) override {
+  AnalysisSet invalidates() const override { return kAllAnalyses; }
+  bool run(Module& m, StatsRegistry& stats, AnalysisManager& am) override {
     bool changed = false;
     for (auto& f : m.functions) {
-      const DomTree dt = compute_dominators(f);
-      const auto loops = find_loops(f, dt);
+      const auto& loops = am.loops(f);
       const auto preds = f.predecessors();
       for (const auto& loop : loops) {
-        if (rotate(f, loop, preds)) {
+        if (rotate(f, loop, preds, am)) {
           stats.add(name(), "NumRotated", 1);
           changed = true;
           break;  // CFG changed; one rotation per function per run
@@ -156,7 +100,8 @@ class LoopRotatePass final : public Pass {
 
  private:
   bool rotate(Function& f, const Loop& loop,
-              const std::vector<std::vector<BlockId>>& preds) {
+              const std::vector<std::vector<BlockId>>& preds,
+              AnalysisManager& am) {
     // Shape: preheader -> header {phis, cmp, condbr(body, exit)};
     //        single body block == latch ending `br header`.
     if (loop.preheader < 0 || loop.latches.size() != 1) return false;
@@ -176,7 +121,7 @@ class LoopRotatePass final : public Pass {
     const Instr cmp = f.instr(cmp_id);
     if (cmp.op != Opcode::ICmp) return false;
     // Header must contain only phis + cmp + condbr; cmp single-use.
-    const auto uses = count_uses(f);
+    const auto& uses = am.use_counts(f);
     if (uses[static_cast<std::size_t>(cmp_id)] != 1) return false;
     std::vector<ValueId> phis;
     for (ValueId id : f.block(header).insts) {
@@ -306,42 +251,45 @@ class LicmPass final : public Pass {
   std::vector<std::string> stat_names() const override {
     return {"NumHoisted", "NumHoistedLoad", "NumHoistedCall"};
   }
-  bool run(Module& m, StatsRegistry& stats) override {
+  /// LICM only moves instructions between blocks: the CFG, loop structure
+  /// and use counts are untouched; only the defining block of what moved
+  /// (and it moves no stores or side-calls) changes.
+  AnalysisSet invalidates() const override { return kAnalysisDefBlocks; }
+  bool run(Module& m, StatsRegistry& stats, AnalysisManager& am) override {
     bool changed = false;
-    for (auto& f : m.functions) changed |= run_fn(f, m, stats);
+    for (auto& f : m.functions) changed |= run_fn(f, m, stats, am);
     return changed;
   }
 
  private:
-  bool run_fn(Function& f, Module& m, StatsRegistry& stats) {
+  bool run_fn(Function& f, Module& m, StatsRegistry& stats,
+              AnalysisManager& am) {
     bool changed = false;
-    const DomTree dt = compute_dominators(f);
-    auto loops = find_loops(f, dt);
+    auto loops = am.loops(f);  // copied: sorted below
     // Innermost first so invariants bubble outward across repeated runs.
     std::sort(loops.begin(), loops.end(),
               [](const Loop& a, const Loop& b) { return a.depth > b.depth; });
     for (const auto& loop : loops) {
       if (loop.preheader < 0) continue;
       const auto in = loop_mask(f, loop);
-      const auto defs = def_blocks(f);
+      const auto& defs = am.def_blocks(f);
 
       // Memory safety inside this loop.
       bool has_store = false, has_side_call = false;
-      for (BlockId b : loop.blocks) {
-        for (ValueId id : f.block(b).insts) {
-          const Instr& i2 = f.instr(id);
-          if (i2.dead()) continue;
-          if (writes_memory(i2.op)) has_store = true;
-          if (i2.op == Opcode::Call) {
-            const Function* callee = m.find_function(i2.callee);
-            if (!callee || !callee->attr_readnone) has_side_call = true;
-          }
+      {
+        const auto& mem = am.memory_summary(m, f);
+        for (BlockId b : loop.blocks) {
+          if (mem.block_has_store[static_cast<std::size_t>(b)])
+            has_store = true;
+          if (mem.block_has_side_call[static_cast<std::size_t>(b)])
+            has_side_call = true;
         }
       }
       const bool guaranteed =
           is_rotated(f, loop) || match_counted_loop(f, loop).has_value();
 
       std::vector<bool> hoisted(f.instrs.size(), false);
+      bool moved_any = false;
       bool local = true;
       while (local) {
         local = false;
@@ -367,6 +315,7 @@ class LicmPass final : public Pass {
               auto& dst = f.block(loop.preheader).insts;
               dst.insert(dst.end() - 1, id);
               hoisted[static_cast<std::size_t>(id)] = true;
+              moved_any = true;
               local = true;
               continue;
             }
@@ -398,11 +347,15 @@ class LicmPass final : public Pass {
             dst.insert(dst.end() - 1, id);
             hoisted[static_cast<std::size_t>(id)] = true;
             stats.add(name(), counter, 1);
+            moved_any = true;
             changed = true;
             local = true;
           }
         }
       }
+      // Re-fetch def-blocks for the next loop; this also covers the
+      // const-only case where the pass-level changed flag stays false.
+      if (moved_any) am.invalidate(f, kAnalysisDefBlocks);
     }
     return changed;
   }
@@ -414,13 +367,17 @@ class IndVarsPass final : public Pass {
   std::vector<std::string> stat_names() const override {
     return {"NumLFTR", "NumExitValues"};
   }
-  bool run(Module& m, StatsRegistry& stats) override {
+  /// Inserts constants and rewrites operands; the CFG (and thus dominators
+  /// and loop structure) is untouched, as is the store/call summary.
+  AnalysisSet invalidates() const override {
+    return kAnalysisUseCounts | kAnalysisDefBlocks;
+  }
+  bool run(Module& m, StatsRegistry& stats, AnalysisManager& am) override {
     bool changed = false;
     for (auto& f : m.functions) {
       // (a) sle const -> slt const+1 on loop-exit compares, so that the
       //     counted-loop matcher (and thus unroll/vectorise) can fire.
-      const DomTree dt = compute_dominators(f);
-      const auto loops = find_loops(f, dt);
+      const auto& loops = am.loops(f);
       for (const auto& loop : loops) {
         const ValueId t = f.terminator(loop.header);
         if (t == kNoValue) continue;
@@ -441,9 +398,9 @@ class IndVarsPass final : public Pass {
       }
 
       // (b) exit-value rewriting: outside uses of the induction phi of a
-      //     counted loop become the (constant) final value.
-      const DomTree dt2 = compute_dominators(f);
-      const auto loops2 = find_loops(f, dt2);
+      //     counted loop become the (constant) final value. Part (a) did
+      //     not change the CFG, so the cached loop info is still exact.
+      const auto& loops2 = am.loops(f);
       for (const auto& loop : loops2) {
         const auto cl = match_counted_loop(f, loop);
         if (!cl) continue;
@@ -490,14 +447,14 @@ class LoopUnrollPass final : public Pass {
   std::vector<std::string> stat_names() const override {
     return {"NumUnrolled", "NumFullyUnrolled"};
   }
-  bool run(Module& m, StatsRegistry& stats) override {
+  AnalysisSet invalidates() const override { return kAllAnalyses; }
+  bool run(Module& m, StatsRegistry& stats, AnalysisManager& am) override {
     bool changed = false;
     for (auto& f : m.functions) {
       bool local = true;
       while (local) {
         local = false;
-        const DomTree dt = compute_dominators(f);
-        const auto loops = find_loops(f, dt);
+        const auto& loops = am.loops(f);
         for (const auto& loop : loops) {
           const auto cl = match_counted_loop(f, loop);
           if (!cl) continue;
@@ -527,6 +484,7 @@ class LoopUnrollPass final : public Pass {
             break;
           }
         }
+        if (local) am.invalidate(f, kAllAnalyses);
       }
       already_unrolled_.clear();
     }
@@ -634,23 +592,24 @@ class LoopIdiomPass final : public Pass {
   std::vector<std::string> stat_names() const override {
     return {"NumMemSet", "NumMemCpy"};
   }
-  bool run(Module& m, StatsRegistry& stats) override {
+  AnalysisSet invalidates() const override { return kAllAnalyses; }
+  bool run(Module& m, StatsRegistry& stats, AnalysisManager& am) override {
     bool changed = false;
     for (auto& f : m.functions) {
       bool local = true;
       while (local) {
         local = false;
-        const DomTree dt = compute_dominators(f);
-        const auto loops = find_loops(f, dt);
+        const auto& loops = am.loops(f);
         for (const auto& loop : loops) {
           const auto cl = match_counted_loop(f, loop);
           if (!cl || cl->step != 1 || !cl->reduction_phis.empty()) continue;
-          if (try_memset(f, *cl, stats) || try_memcpy(f, *cl, stats)) {
+          if (try_memset(f, *cl, stats, am) || try_memcpy(f, *cl, stats, am)) {
             changed = true;
             local = true;
             break;
           }
         }
+        if (local) am.invalidate(f, kAllAnalyses);
       }
     }
     return changed;
@@ -701,7 +660,8 @@ class LoopIdiomPass final : public Pass {
     f.purge_dead_from_blocks();
   }
 
-  bool try_memset(Function& f, const CountedLoop& cl, StatsRegistry& stats) {
+  bool try_memset(Function& f, const CountedLoop& cl, StatsRegistry& stats,
+                  AnalysisManager& am) {
     const auto payload = body_payload(f, cl);
     // Expect: gep(base, iv) ; store const0, gep  (plus optional const def)
     ValueId gep = kNoValue, store = kNoValue;
@@ -731,7 +691,7 @@ class LoopIdiomPass final : public Pass {
       v[static_cast<std::size_t>(cl.body)] = true;
       return v;
     }();
-    if (!defined_outside(f, base, in_loop, def_blocks(f))) return false;
+    if (!defined_outside(f, base, in_loop, am.def_blocks(f))) return false;
 
     // memset(base + init*stride, 0, trip*stride), placed in the preheader.
     const std::int64_t stride = g.stride;
@@ -769,7 +729,8 @@ class LoopIdiomPass final : public Pass {
     return true;
   }
 
-  bool try_memcpy(Function& f, const CountedLoop& cl, StatsRegistry& stats) {
+  bool try_memcpy(Function& f, const CountedLoop& cl, StatsRegistry& stats,
+                  AnalysisManager& am) {
     const auto payload = body_payload(f, cl);
     ValueId gsrc = kNoValue, gdst = kNoValue, ld = kNoValue, st = kNoValue;
     for (ValueId id : payload) {
@@ -818,7 +779,7 @@ class LoopIdiomPass final : public Pass {
       v[static_cast<std::size_t>(cl.body)] = true;
       return v;
     }();
-    const auto defs = def_blocks(f);
+    const auto& defs = am.def_blocks(f);
     if (!defined_outside(f, gl.ops[0], in_loop, defs) ||
         !defined_outside(f, gs.ops[0], in_loop, defs))
       return false;
@@ -868,14 +829,14 @@ class LoopDeletionPass final : public Pass {
   std::vector<std::string> stat_names() const override {
     return {"NumDeleted"};
   }
-  bool run(Module& m, StatsRegistry& stats) override {
+  AnalysisSet invalidates() const override { return kAllAnalyses; }
+  bool run(Module& m, StatsRegistry& stats, AnalysisManager& am) override {
     bool changed = false;
     for (auto& f : m.functions) {
       bool local = true;
       while (local) {
         local = false;
-        const DomTree dt = compute_dominators(f);
-        const auto loops = find_loops(f, dt);
+        const auto& loops = am.loops(f);
         for (const auto& loop : loops) {
           const auto cl = match_counted_loop(f, loop);
           if (!cl) continue;
@@ -894,6 +855,7 @@ class LoopDeletionPass final : public Pass {
           // ...and none of its values may be used outside.
           bool used_outside = false;
           const auto in_mask = loop_mask(f, loop);
+          const auto& defs = am.def_blocks(f);
           for (BlockId b = 0; b < static_cast<BlockId>(f.blocks.size());
                ++b) {
             if (in_mask[static_cast<std::size_t>(b)]) continue;
@@ -903,7 +865,6 @@ class LoopDeletionPass final : public Pass {
               for (ValueId op : u.ops) {
                 const Instr& d = f.instr(op);
                 if (d.op == Opcode::Arg) continue;
-                const auto defs = def_blocks(f);
                 const BlockId db = defs[static_cast<std::size_t>(op)];
                 if (db >= 0 && in_mask[static_cast<std::size_t>(db)])
                   used_outside = true;
@@ -927,6 +888,7 @@ class LoopDeletionPass final : public Pass {
           local = true;
           break;
         }
+        if (local) am.invalidate(f, kAllAnalyses);
       }
     }
     return changed;

@@ -1,0 +1,451 @@
+// Extended loop-pass family, built on the analysis-caching pass manager.
+// Like the first family (loop_passes.cpp), every pass here only fires on
+// loops already normalised into counted form — `loop-simplify` must have
+// created the preheader first (via `insert_loop_preheader`), so the tuner
+// keeps having to discover loop-simplify-before-X orderings.
+//
+//   loop-fusion     : merge two adjacent counted loops with identical
+//                     iteration spaces and provably disjoint memory into
+//                     one loop (halves loop overhead, grows the body that
+//                     SLP/unroll then chew on).
+//   indvar-simplify : rewrite secondary affine induction variables as a
+//                     function of the primary one, deleting their phi —
+//                     unlocks loop-idiom/vectorise matchers that require
+//                     a single-phi loop.
+//   loop-peel       : clone the first iteration into the preheader when
+//                     the trip count is odd, so x2/x4 partial unrolling
+//                     (which needs an even count) can fire afterwards.
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "passes/common.hpp"
+#include "passes/factories.hpp"
+#include "passes/passman.hpp"
+
+namespace citroen::passes {
+
+using namespace ir;
+
+namespace {
+
+/// Underlying object of a memory address: the Alloca/GlobalAddr at the
+/// bottom of a (possibly Gep-wrapped) pointer, or kNoValue when unknown.
+ValueId underlying_object(const Function& f, ValueId addr) {
+  ValueId v = addr;
+  while (f.instr(v).op == Opcode::Gep) v = f.instr(v).ops[0];
+  const Opcode op = f.instr(v).op;
+  return (op == Opcode::Alloca || op == Opcode::GlobalAddr) ? v : kNoValue;
+}
+
+/// Conservative must-not-alias for two underlying objects (same test the
+/// loop-idiom memcpy matcher uses).
+bool provably_distinct(const Function& f, ValueId a, ValueId b) {
+  const Instr& ia = f.instr(a);
+  const Instr& ib = f.instr(b);
+  if (ia.op == Opcode::GlobalAddr && ib.op == Opcode::GlobalAddr)
+    return ia.global_index != ib.global_index;
+  if (ia.op == Opcode::Alloca && ib.op == Opcode::Alloca) return a != b;
+  return true;  // alloca vs global never alias
+}
+
+/// Underlying objects read and written by a counted loop. `unknown` is set
+/// when any access cannot be resolved to a distinct object (or a call /
+/// memory intrinsic appears) — fusion then has to assume aliasing.
+struct MemRefs {
+  std::vector<ValueId> reads;
+  std::vector<ValueId> writes;
+  bool unknown = false;
+};
+
+MemRefs loop_mem_refs(const Function& f, const CountedLoop& cl) {
+  MemRefs r;
+  for (BlockId b : {cl.header, cl.body}) {
+    for (ValueId id : f.block(b).insts) {
+      const Instr& in = f.instr(id);
+      if (in.dead()) continue;
+      if (in.op == Opcode::Load) {
+        const ValueId o = underlying_object(f, in.ops[0]);
+        if (o == kNoValue) {
+          r.unknown = true;
+          return r;
+        }
+        r.reads.push_back(o);
+      } else if (in.op == Opcode::Store) {
+        const ValueId o = underlying_object(f, in.ops[1]);
+        if (o == kNoValue) {
+          r.unknown = true;
+          return r;
+        }
+        r.writes.push_back(o);
+      } else if (in.op == Opcode::Call || in.op == Opcode::Memset ||
+                 in.op == Opcode::Memcpy) {
+        r.unknown = true;
+        return r;
+      }
+    }
+  }
+  return r;
+}
+
+bool all_distinct(const Function& f, const std::vector<ValueId>& xs,
+                  const std::vector<ValueId>& ys) {
+  for (ValueId x : xs) {
+    for (ValueId y : ys) {
+      if (!provably_distinct(f, x, y)) return false;
+    }
+  }
+  return true;
+}
+
+/// Any value defined inside the loop used outside it (exit values)?
+bool values_escape(const Function& f, const CountedLoop& cl) {
+  std::vector<bool> inside(f.instrs.size(), false);
+  for (BlockId b : {cl.header, cl.body}) {
+    for (ValueId id : f.block(b).insts)
+      inside[static_cast<std::size_t>(id)] = true;
+  }
+  for (BlockId b = 0; b < static_cast<BlockId>(f.blocks.size()); ++b) {
+    if (b == cl.header || b == cl.body) continue;
+    for (ValueId uid : f.block(b).insts) {
+      const Instr& u = f.instr(uid);
+      if (u.dead()) continue;
+      for (ValueId op : u.ops) {
+        if (inside[static_cast<std::size_t>(op)]) return true;
+      }
+    }
+  }
+  return false;
+}
+
+class LoopFusionPass final : public Pass {
+ public:
+  std::string name() const override { return "loop-fusion"; }
+  std::vector<std::string> stat_names() const override {
+    return {"NumFused"};
+  }
+  AnalysisSet invalidates() const override { return kAllAnalyses; }
+  bool run(Module& m, StatsRegistry& stats, AnalysisManager& am) override {
+    bool changed = false;
+    for (auto& f : m.functions) {
+      bool local = true;
+      while (local) {
+        local = false;
+        const auto& loops = am.loops(f);
+        for (const auto& la : loops) {
+          const auto a = match_counted_loop(f, la);
+          if (!a || !a->reduction_phis.empty()) continue;
+          for (const auto& lb : loops) {
+            if (&la == &lb) continue;
+            const auto b = match_counted_loop(f, lb);
+            if (!b || !b->reduction_phis.empty()) continue;
+            if (fuse(f, *a, *b)) {
+              stats.add(name(), "NumFused", 1);
+              changed = true;
+              local = true;
+              break;
+            }
+          }
+          if (local) break;
+        }
+        if (local) am.invalidate(f, kAllAnalyses);
+      }
+    }
+    return changed;
+  }
+
+ private:
+  bool fuse(Function& f, const CountedLoop& a, const CountedLoop& b) {
+    // B must directly follow A: A's exit is B's preheader, reached only
+    // from A's header, and contains nothing but the branch into B. (The
+    // single-branch requirement also guarantees no value B depends on is
+    // defined in the glue block we delete below.)
+    if (a.exit != b.preheader) return false;
+    const ValueId glue_term = f.terminator(a.exit);
+    if (glue_term == kNoValue || f.instr(glue_term).op != Opcode::Br)
+      return false;
+    for (ValueId id : f.block(a.exit).insts) {
+      if (!f.instr(id).dead() && id != glue_term) return false;
+    }
+    const auto preds = f.predecessors();
+    if (preds[static_cast<std::size_t>(a.exit)].size() != 1) return false;
+
+    // Identical iteration spaces.
+    if (a.init != b.init || a.step != b.step || a.limit != b.limit)
+      return false;
+
+    // No exit values: neither loop's results may be used after it (the
+    // compilers' indvars exit-value rewrite removes iv uses beforehand).
+    if (values_escape(f, a) || values_escape(f, b)) return false;
+
+    // Memory disjointness: after fusion, iteration i of B runs before
+    // iterations i+1.. of A, so every B access must be independent of
+    // every A write (and vice versa).
+    const MemRefs ma = loop_mem_refs(f, a);
+    const MemRefs mb = loop_mem_refs(f, b);
+    if (ma.unknown || mb.unknown) return false;
+    if (!all_distinct(f, ma.writes, mb.reads) ||
+        !all_distinct(f, ma.writes, mb.writes) ||
+        !all_distinct(f, ma.reads, mb.writes))
+      return false;
+
+    // Splice B's body into A's, rewiring B's induction onto A's. B's own
+    // increment is skipped (A already steps the shared iv); any in-body
+    // use of it maps to A's increment, which precedes the splice point.
+    auto& abody = f.block(a.body).insts;
+    const ValueId aterm = f.terminator(a.body);
+    std::erase(abody, aterm);
+    std::unordered_map<ValueId, ValueId> map;
+    map[b.iv_phi] = a.iv_phi;
+    map[b.iv_next] = a.iv_next;
+    std::vector<ValueId> src;
+    for (ValueId id : f.block(b.body).insts) {
+      if (id != b.iv_next) src.push_back(id);
+    }
+    clone_instr_list(f, src, a.body, map);
+    f.block(a.body).insts.push_back(aterm);
+
+    // A's header now exits straight past B.
+    Instr& at = f.instr(f.terminator(a.header));
+    for (auto& s : at.succs) {
+      if (s == a.exit) s = b.exit;
+    }
+    retarget_phi_edges(f, b.exit, b.header, a.header);
+
+    // Drop the glue block and B's loop.
+    for (BlockId blk : {a.exit, b.header, b.body}) {
+      for (ValueId id : f.block(blk).insts) f.kill(id);
+      f.block(blk).insts.clear();
+    }
+    f.purge_dead_from_blocks();
+    return true;
+  }
+};
+
+class IndVarSimplifyPass final : public Pass {
+ public:
+  std::string name() const override { return "indvar-simplify"; }
+  std::vector<std::string> stat_names() const override {
+    return {"NumIVSimplified"};
+  }
+  /// Rewrites instructions and deletes a phi; the CFG is untouched, as is
+  /// the store/call summary.
+  AnalysisSet invalidates() const override {
+    return kAnalysisUseCounts | kAnalysisDefBlocks;
+  }
+  bool run(Module& m, StatsRegistry& stats, AnalysisManager& am) override {
+    bool changed = false;
+    for (auto& f : m.functions) {
+      const auto& loops = am.loops(f);
+      for (const auto& loop : loops) {
+        bool local = true;
+        while (local) {
+          local = false;
+          const auto cl = match_counted_loop(f, loop);
+          if (!cl || cl->step != 1) break;
+          for (ValueId rp : cl->reduction_phis) {
+            if (rewrite_secondary_iv(f, *cl, rp, am)) {
+              stats.add(name(), "NumIVSimplified", 1);
+              // No CFG edit: the loop info referenced above stays valid.
+              am.invalidate(f, kAnalysisUseCounts | kAnalysisDefBlocks);
+              changed = true;
+              local = true;
+              break;
+            }
+          }
+        }
+      }
+    }
+    return changed;
+  }
+
+ private:
+  /// rp = phi [c0, preheader], [rp + c, body] is affine in the primary iv
+  /// (step 1): rp == c0 + (iv - init) * c. Materialise that expression at
+  /// the top of the body, redirect rp's uses to it, and delete the phi.
+  bool rewrite_secondary_iv(Function& f, const CountedLoop& cl, ValueId rp,
+                            AnalysisManager& am) {
+    const Instr& p = f.instr(rp);
+    const Type ty = p.type;
+    if (!(ty == f.instr(cl.iv_phi).type)) return false;
+    ValueId init_v = kNoValue, next_v = kNoValue;
+    for (std::size_t k = 0; k < 2; ++k) {
+      if (p.phi_blocks[k] == cl.preheader) {
+        init_v = p.ops[k];
+      } else if (p.phi_blocks[k] == cl.body) {
+        next_v = p.ops[k];
+      }
+    }
+    if (init_v == kNoValue || next_v == kNoValue || next_v == rp)
+      return false;
+    const auto c0 = const_int_value(f, init_v);
+    if (!c0) return false;
+    const Instr& nx = f.instr(next_v);
+    if (nx.op != Opcode::Add || nx.ops[0] != rp) return false;
+    const auto c = const_int_value(f, nx.ops[1]);
+    if (!c) return false;
+    // The increment must feed only the phi, and the phi must have no uses
+    // outside the body (an exit use would need the final value instead).
+    const auto& uses = am.use_counts(f);
+    if (uses[static_cast<std::size_t>(next_v)] != 1) return false;
+    for (BlockId b = 0; b < static_cast<BlockId>(f.blocks.size()); ++b) {
+      if (b == cl.body) continue;
+      for (ValueId uid : f.block(b).insts) {
+        const Instr& u = f.instr(uid);
+        if (u.dead() || uid == rp) continue;
+        for (ValueId op : u.ops) {
+          if (op == rp) return false;
+        }
+      }
+    }
+
+    // c0 + (iv - init) * c, at the top of the body. Wrapping arithmetic
+    // matches the repeated-addition semantics of the original phi.
+    std::size_t pos = 0;
+    const ValueId c_init = insert_const(f, cl.body, pos++, ty,
+                                        FoldedConst{false, cl.init, 0.0});
+    Instr sub;
+    sub.op = Opcode::Sub;
+    sub.type = ty;
+    sub.ops = {cl.iv_phi, c_init};
+    const ValueId sid = f.add_instr(std::move(sub));
+    auto insert_at = [&](ValueId id) {
+      auto& insts = f.block(cl.body).insts;
+      insts.insert(insts.begin() + static_cast<std::ptrdiff_t>(pos++), id);
+    };
+    insert_at(sid);
+    const ValueId c_scale =
+        insert_const(f, cl.body, pos++, ty, FoldedConst{false, *c, 0.0});
+    Instr mul;
+    mul.op = Opcode::Mul;
+    mul.type = ty;
+    mul.ops = {sid, c_scale};
+    const ValueId mid = f.add_instr(std::move(mul));
+    insert_at(mid);
+    const ValueId c_base =
+        insert_const(f, cl.body, pos++, ty, FoldedConst{false, *c0, 0.0});
+    Instr add;
+    add.op = Opcode::Add;
+    add.type = ty;
+    add.ops = {mid, c_base};
+    const ValueId aid = f.add_instr(std::move(add));
+    insert_at(aid);
+
+    for (ValueId uid : f.block(cl.body).insts) {
+      Instr& u = f.instr(uid);
+      if (u.dead() || uid == next_v || uid == sid || uid == mid ||
+          uid == aid)
+        continue;
+      for (auto& op : u.ops) {
+        if (op == rp) op = aid;
+      }
+    }
+    f.kill(next_v);
+    f.kill(rp);
+    f.purge_dead_from_blocks();
+    return true;
+  }
+};
+
+class LoopPeelPass final : public Pass {
+ public:
+  explicit LoopPeelPass(std::size_t max_body = 64) : max_body_(max_body) {}
+
+  std::string name() const override { return "loop-peel"; }
+  std::vector<std::string> stat_names() const override {
+    return {"NumPeeled"};
+  }
+  /// Peeling clones the first iteration into the preheader: instructions
+  /// are added but no block or edge changes, so dominators and loop
+  /// structure survive. Cloned stores/calls land in the preheader, so the
+  /// memory summary must be refreshed.
+  AnalysisSet invalidates() const override {
+    return kAnalysisUseCounts | kAnalysisDefBlocks | kAnalysisMemSummary;
+  }
+  bool run(Module& m, StatsRegistry& stats, AnalysisManager& am) override {
+    bool changed = false;
+    for (auto& f : m.functions) {
+      const auto& loops = am.loops(f);
+      for (const auto& loop : loops) {
+        const auto cl = match_counted_loop(f, loop);
+        if (!cl) continue;
+        // Peel exactly when it rounds an odd trip count down to an even
+        // one: the case that unblocks x2/x4 partial unrolling. (Also makes
+        // the pass self-limiting — the result never matches again.)
+        if (cl->trip_count < 3 || cl->trip_count % 2 == 0) continue;
+        if (f.block(cl->body).insts.size() > max_body_) continue;
+        peel(f, *cl);
+        stats.add(name(), "NumPeeled", 1);
+        // No CFG edit: the loop info referenced above stays valid.
+        am.invalidate(f, kAnalysisUseCounts | kAnalysisDefBlocks |
+                             kAnalysisMemSummary);
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+ private:
+  void peel(Function& f, const CountedLoop& cl) {
+    auto& ph = f.block(cl.preheader).insts;
+    const ValueId pterm = f.terminator(cl.preheader);
+    std::erase(ph, pterm);
+
+    std::vector<ValueId> all_phis = cl.reduction_phis;
+    all_phis.push_back(cl.iv_phi);
+    std::unordered_map<ValueId, ValueId> init_of, latch_of;
+    for (ValueId p : all_phis) {
+      const Instr& pi = f.instr(p);
+      for (std::size_t k = 0; k < 2; ++k) {
+        if (pi.phi_blocks[k] == cl.preheader) init_of[p] = pi.ops[k];
+        if (pi.phi_blocks[k] == cl.body) latch_of[p] = pi.ops[k];
+      }
+    }
+
+    // First iteration, with every phi at its entry value.
+    std::unordered_map<ValueId, ValueId> map = init_of;
+    clone_instr_list(f, f.block(cl.body).insts, cl.preheader, map);
+
+    // The peeled iv value is known statically; materialise it as a
+    // constant so the loop stays in counted form for unroll/vectorise.
+    Instr c;
+    c.op = Opcode::ConstInt;
+    c.type = f.instr(cl.iv_phi).type;
+    c.imm = wrap_to_width(c.type, cl.init + cl.step);
+    const ValueId cid = f.add_instr(std::move(c));
+    f.block(cl.preheader).insts.push_back(cid);
+    f.block(cl.preheader).insts.push_back(pterm);
+
+    // Each phi's entry value becomes the peeled iteration's output.
+    for (ValueId p : all_phis) {
+      Instr& pi = f.instr(p);
+      for (std::size_t k = 0; k < 2; ++k) {
+        if (pi.phi_blocks[k] != cl.preheader) continue;
+        if (p == cl.iv_phi) {
+          pi.ops[k] = cid;
+        } else {
+          const ValueId lv = latch_of[p];
+          const auto it = map.find(lv);
+          pi.ops[k] = it != map.end() ? it->second : lv;
+        }
+      }
+    }
+  }
+
+  std::size_t max_body_;
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_loop_fusion() {
+  return std::make_unique<LoopFusionPass>();
+}
+std::unique_ptr<Pass> make_indvar_simplify() {
+  return std::make_unique<IndVarSimplifyPass>();
+}
+std::unique_ptr<Pass> make_loop_peel() {
+  return std::make_unique<LoopPeelPass>();
+}
+
+}  // namespace citroen::passes

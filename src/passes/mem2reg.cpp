@@ -8,6 +8,7 @@
 
 #include "passes/common.hpp"
 #include "passes/factories.hpp"
+#include "passes/passman.hpp"
 #include "passes/ssa_util.hpp"
 
 namespace citroen::passes {
@@ -23,10 +24,15 @@ class Mem2RegPass final : public Pass {
     return {"NumPromoted", "NumPHIInsert", "NumDeadStore"};
   }
 
-  bool run(Module& m, StatsRegistry& stats) override {
+  /// Promotion kills loads/stores/allocas and inserts phis without any
+  /// CFG edit: dominators and loop info survive the pass.
+  AnalysisSet invalidates() const override {
+    return kAnalysisUseCounts | kAnalysisDefBlocks | kAnalysisMemSummary;
+  }
+  bool run(Module& m, StatsRegistry& stats, AnalysisManager& am) override {
     bool changed = false;
     for (auto& f : m.functions) {
-      const PromoteResult r = promote_allocas(f);
+      const PromoteResult r = promote_allocas(f, &am);
       stats.add(name(), "NumPromoted", r.promoted);
       stats.add(name(), "NumPHIInsert", r.phis);
       stats.add(name(), "NumDeadStore", r.dead_stores);
@@ -45,14 +51,17 @@ class SroaPass final : public Pass {
     return {"NumReplaced", "NumPromoted", "NumPHIInsert"};
   }
 
-  bool run(Module& m, StatsRegistry& stats) override {
+  AnalysisSet invalidates() const override {
+    return kAnalysisUseCounts | kAnalysisDefBlocks | kAnalysisMemSummary;
+  }
+  bool run(Module& m, StatsRegistry& stats, AnalysisManager& am) override {
     bool changed = false;
-    for (auto& f : m.functions) changed |= run_fn(f, stats);
+    for (auto& f : m.functions) changed |= run_fn(f, stats, am);
     return changed;
   }
 
  private:
-  bool run_fn(Function& f, StatsRegistry& stats) {
+  bool run_fn(Function& f, StatsRegistry& stats, AnalysisManager& am) {
     bool changed = false;
     // Find splittable aggregates.
     std::vector<ValueId> allocas;
@@ -69,7 +78,12 @@ class SroaPass final : public Pass {
       }
     }
     // SROA finishes with promotion (LLVM's SROA subsumes mem2reg).
-    const PromoteResult r = promote_allocas(f);
+    // Splitting rewrote instructions (no CFG edit); refresh everything but
+    // the still-valid dominator tree the promoter is about to query.
+    if (changed)
+      am.invalidate(
+          f, kAnalysisUseCounts | kAnalysisDefBlocks | kAnalysisMemSummary);
+    const PromoteResult r = promote_allocas(f, &am);
     stats.add(name(), "NumPromoted", r.promoted);
     stats.add(name(), "NumPHIInsert", r.phis);
     changed |= r.promoted > 0;

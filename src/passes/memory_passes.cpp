@@ -13,6 +13,7 @@
 
 #include "passes/common.hpp"
 #include "passes/factories.hpp"
+#include "passes/passman.hpp"
 
 namespace citroen::passes {
 
@@ -30,7 +31,12 @@ class DsePass final : public Pass {
   std::vector<std::string> stat_names() const override {
     return {"NumStoresDeleted"};
   }
-  bool run(Module& m, StatsRegistry& stats) override {
+  /// Kills stores: use counts, def blocks, and the memory summary change;
+  /// the CFG does not.
+  AnalysisSet invalidates() const override {
+    return kAnalysisUseCounts | kAnalysisDefBlocks | kAnalysisMemSummary;
+  }
+  bool run(Module& m, StatsRegistry& stats, AnalysisManager&) override {
     bool changed = false;
     for (auto& f : m.functions) {
       for (auto& bb : f.blocks) {
@@ -77,7 +83,11 @@ class MemCpyOptPass final : public Pass {
   std::vector<std::string> stat_names() const override {
     return {"NumLoadsForwarded"};
   }
-  bool run(Module& m, StatsRegistry& stats) override {
+  /// Kills loads only (stores stay): the memory summary survives.
+  AnalysisSet invalidates() const override {
+    return kAnalysisUseCounts | kAnalysisDefBlocks;
+  }
+  bool run(Module& m, StatsRegistry& stats, AnalysisManager&) override {
     bool changed = false;
     for (auto& f : m.functions) {
       for (auto& bb : f.blocks) {
@@ -127,13 +137,13 @@ class LoopUnswitchPass final : public Pass {
   std::vector<std::string> stat_names() const override {
     return {"NumUnswitched"};
   }
-  bool run(Module& m, StatsRegistry& stats) override {
+  AnalysisSet invalidates() const override { return kAllAnalyses; }
+  bool run(Module& m, StatsRegistry& stats, AnalysisManager& am) override {
     bool changed = false;
     for (auto& f : m.functions) {
-      const DomTree dt = compute_dominators(f);
-      const auto loops = find_loops(f, dt);
+      const auto& loops = am.loops(f);
       for (const auto& loop : loops) {
-        if (unswitch(f, loop)) {
+        if (unswitch(f, loop, am)) {
           stats.add(name(), "NumUnswitched", 1);
           changed = true;
           break;  // CFG changed; one unswitch per function per run
@@ -159,11 +169,11 @@ class LoopUnswitchPass final : public Pass {
   /// side-effect-free on one side, in which case the branch becomes a
   /// select and the CFG collapses (if-conversion, LLVM's
   /// SimplifyCFG-speculation; grouped under unswitching here).
-  bool unswitch(Function& f, const Loop& loop) {
+  bool unswitch(Function& f, const Loop& loop, AnalysisManager& am) {
     // Find an in-loop CondBr whose condition is defined outside the loop.
     std::vector<bool> in(f.blocks.size(), false);
     for (BlockId b : loop.blocks) in[static_cast<std::size_t>(b)] = true;
-    const auto defs = def_blocks(f);
+    const auto& defs = am.def_blocks(f);
     for (BlockId b : loop.blocks) {
       const ValueId t = f.terminator(b);
       if (t == kNoValue) continue;

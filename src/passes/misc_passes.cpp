@@ -10,6 +10,7 @@
 
 #include "passes/common.hpp"
 #include "passes/factories.hpp"
+#include "passes/passman.hpp"
 
 namespace citroen::passes {
 
@@ -23,16 +24,23 @@ class ReassociatePass final : public Pass {
   std::vector<std::string> stat_names() const override {
     return {"NumReassoc", "NumFolded"};
   }
-  bool run(Module& m, StatsRegistry& stats) override {
+  /// Rewrites chains in place (new adds/muls + constants, old chain
+  /// killed): no CFG change, nothing memory-relevant.
+  AnalysisSet invalidates() const override {
+    return kAnalysisUseCounts | kAnalysisDefBlocks;
+  }
+  bool run(Module& m, StatsRegistry& stats, AnalysisManager& am) override {
     bool changed = false;
-    for (auto& f : m.functions) changed |= run_fn(f, stats);
+    for (auto& f : m.functions) changed |= run_fn(f, stats, am);
     return changed;
   }
 
  private:
-  bool run_fn(Function& f, StatsRegistry& stats) {
+  bool run_fn(Function& f, StatsRegistry& stats, AnalysisManager& am) {
     bool changed = false;
-    const auto uses = count_uses(f);
+    // Single-use chain detection runs against the entry snapshot, exactly
+    // like the historical once-per-function computation.
+    const auto& uses = am.use_counts(f);
     for (BlockId b = 0; b < static_cast<BlockId>(f.blocks.size()); ++b) {
       for (std::size_t i = 0; i < f.block(b).insts.size(); ++i) {
         const ValueId id = f.block(b).insts[i];
@@ -143,7 +151,8 @@ class SccpPass final : public Pass {
   std::vector<std::string> stat_names() const override {
     return {"NumInstRemoved", "NumDeadBlocks"};
   }
-  bool run(Module& m, StatsRegistry& stats) override {
+  AnalysisSet invalidates() const override { return kAllAnalyses; }
+  bool run(Module& m, StatsRegistry& stats, AnalysisManager& am) override {
     bool changed = false;
     for (auto& f : m.functions) {
       bool local = true;
@@ -209,7 +218,9 @@ class SccpPass final : public Pass {
         }
         if (local) {
           f.purge_dead_from_blocks();
-          const int dead = delete_unreachable_blocks(f);
+          // This round mutated the CFG; refresh before reachability.
+          am.invalidate(f, kAllAnalyses);
+          const int dead = delete_unreachable_blocks(f, &am);
           stats.add(name(), "NumDeadBlocks", dead);
           changed = true;
         }
@@ -225,7 +236,12 @@ class ConstMergePass final : public Pass {
   std::vector<std::string> stat_names() const override {
     return {"NumMerged"};
   }
-  bool run(Module& m, StatsRegistry& stats) override {
+  /// Dedups and moves operand-free constants: no CFG change, nothing
+  /// memory-relevant.
+  AnalysisSet invalidates() const override {
+    return kAnalysisUseCounts | kAnalysisDefBlocks;
+  }
+  bool run(Module& m, StatsRegistry& stats, AnalysisManager& am) override {
     bool changed = false;
     for (auto& f : m.functions) {
       // Hoisting constants to the entry block is always sound (they are
@@ -275,6 +291,10 @@ class ConstMergePass final : public Pass {
         }
         auto& entry = f.block(0).insts;
         entry.insert(entry.begin(), to_hoist.begin(), to_hoist.end());
+        // Hoisting moves definitions between blocks even when no dedup
+        // happened (changed stays false, so the manager won't drop
+        // anything for us).
+        am.invalidate(f, kAnalysisUseCounts | kAnalysisDefBlocks);
       }
       f.purge_dead_from_blocks();
     }
@@ -288,11 +308,16 @@ class DivRemPairsPass final : public Pass {
   std::vector<std::string> stat_names() const override {
     return {"NumDecomposed"};
   }
-  bool run(Module& m, StatsRegistry& stats) override {
+  /// Adds a mul/sub pair and kills the srem: no CFG change, nothing
+  /// memory-relevant.
+  AnalysisSet invalidates() const override {
+    return kAnalysisUseCounts | kAnalysisDefBlocks;
+  }
+  bool run(Module& m, StatsRegistry& stats, AnalysisManager& am) override {
     bool changed = false;
     for (auto& f : m.functions) {
-      const DomTree dt = compute_dominators(f);
-      const auto defs = def_blocks(f);
+      const DomTree& dt = am.dominators(f);
+      const auto& defs = am.def_blocks(f);
       // Collect sdivs keyed by operand pair.
       std::map<std::pair<ValueId, ValueId>, ValueId> divs;
       for (const auto& bb : f.blocks) {
@@ -357,7 +382,11 @@ class VectorCombinePass final : public Pass {
   std::vector<std::string> stat_names() const override {
     return {"NumCombined"};
   }
-  bool run(Module& m, StatsRegistry& stats) override {
+  /// Kills vextract instructions: no CFG change, nothing memory-relevant.
+  AnalysisSet invalidates() const override {
+    return kAnalysisUseCounts | kAnalysisDefBlocks;
+  }
+  bool run(Module& m, StatsRegistry& stats, AnalysisManager&) override {
     bool changed = false;
     for (auto& f : m.functions) {
       for (auto& bb : f.blocks) {

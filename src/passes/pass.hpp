@@ -22,17 +22,88 @@ namespace citroen::passes {
 /// work on interned ids; the string API stays at the edges.
 using PassId = std::uint16_t;
 
+// ---------------------------------------------------------------------------
+// Analyses
+// ---------------------------------------------------------------------------
+
+/// Dense analysis identifier, mirroring PassId interning: index into the
+/// fixed set of function analyses the AnalysisManager can cache.
+enum class AnalysisId : std::uint8_t {
+  kDominators = 0,  ///< ir::DomTree (compute_dominators)
+  kLoops,           ///< std::vector<ir::Loop> (find_loops; needs kDominators)
+  kUseCounts,       ///< std::vector<int> (count_uses)
+  kDefBlocks,       ///< std::vector<ir::BlockId> (def_blocks)
+  kMemSummary,      ///< per-block store/side-call summary (alias surrogate)
+  kNumAnalyses,
+};
+
+/// Display name of an analysis ("dominators", ...), for diagnostics.
+const char* analysis_name(AnalysisId id);
+
+/// Bitset over AnalysisId: what a pass invalidates (or a manager drops).
+using AnalysisSet = std::uint8_t;
+
+constexpr AnalysisSet analysis_bit(AnalysisId id) {
+  return static_cast<AnalysisSet>(1u << static_cast<unsigned>(id));
+}
+
+constexpr AnalysisSet kAnalysisDominators = analysis_bit(AnalysisId::kDominators);
+constexpr AnalysisSet kAnalysisLoops = analysis_bit(AnalysisId::kLoops);
+constexpr AnalysisSet kAnalysisUseCounts = analysis_bit(AnalysisId::kUseCounts);
+constexpr AnalysisSet kAnalysisDefBlocks = analysis_bit(AnalysisId::kDefBlocks);
+constexpr AnalysisSet kAnalysisMemSummary = analysis_bit(AnalysisId::kMemSummary);
+constexpr AnalysisSet kNoAnalyses = 0;
+constexpr AnalysisSet kAllAnalyses =
+    static_cast<AnalysisSet>((1u << static_cast<unsigned>(AnalysisId::kNumAnalyses)) - 1);
+
+class AnalysisManager;  // passes/passman.hpp
+
+// ---------------------------------------------------------------------------
+// Statistics
+// ---------------------------------------------------------------------------
+
+/// Interned "pass.Counter" key. Dense ids are handed out in first-intern
+/// order by a global, append-only, mutex-protected interner; passes resolve
+/// their keys once (at construction) so the per-increment hot path is
+/// string-free.
+using StatKey = std::uint32_t;
+
+/// Intern "pass" + "." + "counter" (builds the combined key once).
+StatKey intern_stat_key(const std::string& pass, const std::string& counter);
+/// Intern an already-combined "pass.Counter" key.
+StatKey intern_stat_key(const std::string& full);
+/// The combined "pass.Counter" name of an interned key. The reference is
+/// stable for the lifetime of the process.
+const std::string& stat_key_name(StatKey key);
+
 /// Aggregated `-stats` counters for one compilation.
+///
+/// Storage is keyed by interned StatKey; the sorted string-keyed view that
+/// serialisation and feature extraction consume is materialised lazily by
+/// `counters()` (and is byte-identical to the historical representation).
+/// Thread-safety contract: a registry is single-owner while being written;
+/// call `counters()` once before sharing it read-only across threads (the
+/// prefix cache does this via its size accounting at insert time).
 class StatsRegistry {
  public:
+  /// String-free hot path. Matches the historical `add` filter: a delta of
+  /// zero creates no entry, but an entry whose deltas later sum to zero
+  /// persists.
+  void add(StatKey key, std::int64_t delta) {
+    if (delta != 0) {
+      by_key_[key] += delta;
+      dirty_ = true;
+    }
+  }
+
   void add(const std::string& pass, const std::string& counter,
            std::int64_t delta) {
-    if (delta != 0) counters_[pass + "." + counter] += delta;
+    if (delta != 0) add(intern_stat_key(pass, counter), delta);
   }
 
   std::int64_t get(const std::string& key) const {
-    const auto it = counters_.find(key);
-    return it == counters_.end() ? 0 : it->second;
+    const auto it = by_key_.find(intern_stat_key(key));
+    return it == by_key_.end() ? 0 : it->second;
   }
 
   /// Store a counter unconditionally, zero included. Deserialisation uses
@@ -40,22 +111,40 @@ class StatsRegistry {
   /// `merge` can legitimately leave zero-valued entries that `add`'s
   /// nonzero filter would drop.
   void set(const std::string& key, std::int64_t value) {
-    counters_[key] = value;
+    by_key_[intern_stat_key(key)] = value;
+    dirty_ = true;
   }
 
+  /// Sorted "pass.Counter" -> value view (the serialised byte format).
   const std::map<std::string, std::int64_t>& counters() const {
-    return counters_;
+    if (dirty_) {
+      by_name_.clear();
+      for (const auto& [k, v] : by_key_) by_name_[stat_key_name(k)] = v;
+      dirty_ = false;
+    }
+    return by_name_;
   }
 
   void merge(const StatsRegistry& other) {
-    for (const auto& [k, v] : other.counters_) counters_[k] += v;
+    for (const auto& [k, v] : other.by_key_) by_key_[k] += v;
+    if (!other.by_key_.empty()) dirty_ = true;
   }
 
-  void clear() { counters_.clear(); }
+  void clear() {
+    by_key_.clear();
+    by_name_.clear();
+    dirty_ = false;
+  }
 
  private:
-  std::map<std::string, std::int64_t> counters_;
+  std::unordered_map<StatKey, std::int64_t> by_key_;
+  mutable std::map<std::string, std::int64_t> by_name_;
+  mutable bool dirty_ = false;
 };
+
+// ---------------------------------------------------------------------------
+// Passes
+// ---------------------------------------------------------------------------
 
 /// A transformation pass over one module (= one translation unit).
 class Pass {
@@ -69,8 +158,24 @@ class Pass {
   /// vocabulary of the CITROEN cost model).
   virtual std::vector<std::string> stat_names() const = 0;
 
-  /// Apply the pass; returns true if the module changed.
-  virtual bool run(ir::Module& m, StatsRegistry& stats) = 0;
+  /// Apply the pass; returns true if the module changed. Cached analyses
+  /// are available through `am`; any reference obtained from it is valid
+  /// until the pass mutates the IR and must be re-fetched after an
+  /// `am.invalidate(...)`. A pass that mutates and then re-queries the
+  /// SAME analysis must invalidate in between — the differential verifier
+  /// (PassManagerOptions::verify_each) enforces this contract.
+  virtual bool run(ir::Module& m, StatsRegistry& stats, AnalysisManager& am) = 0;
+
+  /// Which analyses this pass destroys when it reports a change. The
+  /// manager drops exactly this set after a changed run; everything else
+  /// survives to the next pass. Over-approximating is always safe (it
+  /// costs recomputation, never correctness); the conservative default is
+  /// "everything".
+  virtual AnalysisSet invalidates() const { return kAllAnalyses; }
+
+  /// Convenience entry point for callers without a pipeline: runs the pass
+  /// under a throwaway AnalysisManager. Defined in passman.cpp.
+  bool run(ir::Module& m, StatsRegistry& stats);
 };
 
 /// Global pass registry. Names mirror their LLVM inspirations.
@@ -109,8 +214,9 @@ class PassRegistry {
 
 /// Run `sequence` (pass names) over the module; unknown names are an error.
 /// Returns the aggregated statistics of the compilation. If `verify_each`
-/// is set, the IR verifier runs after every pass and a violation throws
-/// `std::runtime_error` (used by tests and differential-testing mode).
+/// is set, the IR verifier and the analysis-cache differential check run
+/// after every pass and a violation throws `std::runtime_error` (used by
+/// tests and differential-testing mode).
 StatsRegistry run_sequence(ir::Module& m,
                            const std::vector<std::string>& sequence,
                            bool verify_each = false);

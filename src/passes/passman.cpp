@@ -1,0 +1,321 @@
+// Analysis-caching pass manager + the interned stat-key table backing the
+// string-free StatsRegistry hot path. See passman.hpp for the contracts.
+
+#include "passes/passman.hpp"
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <deque>
+#include <stdexcept>
+#include <string_view>
+
+#include "ir/verifier.hpp"
+
+namespace citroen::passes {
+
+// ---------------------------------------------------------------------------
+// Stat-key interner
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::size_t kMaxStatKeys = 4096;
+
+/// Global append-only interner. Guarded by a resettable spinlock (the obs
+/// idiom) so a freshly forked sandbox worker can clear a lock the parent
+/// happened to hold; `by_id` entries are published with release stores so
+/// `stat_key_name` never takes the lock. Leaked deliberately: StatKeys and
+/// the names behind them live for the whole process.
+struct StatInterner {
+  std::atomic_flag lock = ATOMIC_FLAG_INIT;
+  std::unordered_map<std::string, StatKey> index;
+  std::deque<std::string> names;  // stable storage for by_id pointers
+  std::array<std::atomic<const std::string*>, kMaxStatKeys> by_id{};
+};
+
+StatInterner& interner() {
+  static StatInterner* g = new StatInterner();
+  return *g;
+}
+
+struct SpinGuard {
+  std::atomic_flag& flag;
+  explicit SpinGuard(std::atomic_flag& f) : flag(f) {
+    while (flag.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  ~SpinGuard() { flag.clear(std::memory_order_release); }
+};
+
+}  // namespace
+
+StatKey intern_stat_key(const std::string& full) {
+  auto& in = interner();
+  SpinGuard g(in.lock);
+  const auto it = in.index.find(full);
+  if (it != in.index.end()) return it->second;
+  if (in.names.size() >= kMaxStatKeys)
+    throw std::runtime_error("stat-key interner capacity exceeded");
+  const StatKey id = static_cast<StatKey>(in.names.size());
+  in.names.push_back(full);
+  in.by_id[id].store(&in.names.back(), std::memory_order_release);
+  in.index.emplace(full, id);
+  return id;
+}
+
+StatKey intern_stat_key(const std::string& pass, const std::string& counter) {
+  std::string full;
+  full.reserve(pass.size() + 1 + counter.size());
+  full += pass;
+  full += '.';
+  full += counter;
+  return intern_stat_key(full);
+}
+
+const std::string& stat_key_name(StatKey key) {
+  return *interner().by_id[key].load(std::memory_order_acquire);
+}
+
+void reset_stat_interner_after_fork() {
+  interner().lock.clear(std::memory_order_release);
+}
+
+const char* analysis_name(AnalysisId id) {
+  switch (id) {
+    case AnalysisId::kDominators:
+      return "dominators";
+    case AnalysisId::kLoops:
+      return "loops";
+    case AnalysisId::kUseCounts:
+      return "use-counts";
+    case AnalysisId::kDefBlocks:
+      return "def-blocks";
+    case AnalysisId::kMemSummary:
+      return "memory-summary";
+    case AnalysisId::kNumAnalyses:
+      break;
+  }
+  return "unknown-analysis";
+}
+
+// ---------------------------------------------------------------------------
+// AnalysisManager
+// ---------------------------------------------------------------------------
+
+MemorySummary compute_memory_summary(const ir::Module& m,
+                                     const ir::Function& f) {
+  MemorySummary out;
+  out.block_has_store.assign(f.blocks.size(), 0);
+  out.block_has_side_call.assign(f.blocks.size(), 0);
+  for (ir::BlockId b = 0; b < static_cast<ir::BlockId>(f.blocks.size()); ++b) {
+    for (ir::ValueId id : f.block(b).insts) {
+      const ir::Instr& in = f.instr(id);
+      if (in.dead()) continue;
+      if (ir::writes_memory(in.op))
+        out.block_has_store[static_cast<std::size_t>(b)] = 1;
+      if (in.op == ir::Opcode::Call) {
+        const ir::Function* callee = m.find_function(in.callee);
+        if (!callee || !callee->attr_readnone)
+          out.block_has_side_call[static_cast<std::size_t>(b)] = 1;
+      }
+    }
+  }
+  return out;
+}
+
+bool AnalysisManager::cache_enabled_from_env() {
+  const char* v = std::getenv("CITROEN_ANALYSIS_CACHE");
+  return !v || std::string_view(v) != "0";
+}
+
+namespace {
+
+/// Loop info is derived from the dominator tree, so dropping dominators
+/// must drop loops with it.
+AnalysisSet normalize_mask(AnalysisSet s) {
+  if (s & kAnalysisDominators) s |= kAnalysisLoops;
+  return s;
+}
+
+bool dom_equal(const ir::DomTree& a, const ir::DomTree& b) {
+  return a.idom == b.idom && a.children == b.children &&
+         a.rpo_index == b.rpo_index && a.rpo == b.rpo &&
+         a.reachable == b.reachable;
+}
+
+bool loops_equal(const std::vector<ir::Loop>& a,
+                 const std::vector<ir::Loop>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].header != b[i].header || a[i].preheader != b[i].preheader ||
+        a[i].blocks != b[i].blocks || a[i].latches != b[i].latches ||
+        a[i].exits != b[i].exits || a[i].depth != b[i].depth)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const ir::DomTree& AnalysisManager::dominators(const ir::Function& f) {
+  Entry& e = cache_[&f];
+  if (enabled_ && e.dom) {
+    ++stats_.reused;
+    return *e.dom;
+  }
+  e.dom = ir::compute_dominators(f);
+  ++stats_.computed;
+  return *e.dom;
+}
+
+const std::vector<ir::Loop>& AnalysisManager::loops(const ir::Function& f) {
+  Entry& e = cache_[&f];
+  if (enabled_ && e.loops) {
+    ++stats_.reused;
+    return *e.loops;
+  }
+  const ir::DomTree& dt = dominators(f);
+  e.loops = ir::find_loops(f, dt);
+  ++stats_.computed;
+  return *e.loops;
+}
+
+const std::vector<int>& AnalysisManager::use_counts(const ir::Function& f) {
+  Entry& e = cache_[&f];
+  if (enabled_ && e.uses) {
+    ++stats_.reused;
+    return *e.uses;
+  }
+  e.uses = ir::count_uses(f);
+  ++stats_.computed;
+  return *e.uses;
+}
+
+const std::vector<ir::BlockId>& AnalysisManager::def_blocks(
+    const ir::Function& f) {
+  Entry& e = cache_[&f];
+  if (enabled_ && e.defs) {
+    ++stats_.reused;
+    return *e.defs;
+  }
+  e.defs = ir::def_blocks(f);
+  ++stats_.computed;
+  return *e.defs;
+}
+
+const MemorySummary& AnalysisManager::memory_summary(const ir::Module& m,
+                                                     const ir::Function& f) {
+  Entry& e = cache_[&f];
+  if (enabled_ && e.mem) {
+    ++stats_.reused;
+    return *e.mem;
+  }
+  e.mem = compute_memory_summary(m, f);
+  ++stats_.computed;
+  return *e.mem;
+}
+
+void AnalysisManager::invalidate(const ir::Function& f, AnalysisSet what) {
+  what = normalize_mask(what);
+  const auto it = cache_.find(&f);
+  if (it == cache_.end() || what == kNoAnalyses) return;
+  ++stats_.invalidations;
+  Entry& e = it->second;
+  if (what & kAnalysisDominators) e.dom.reset();
+  if (what & kAnalysisLoops) e.loops.reset();
+  if (what & kAnalysisUseCounts) e.uses.reset();
+  if (what & kAnalysisDefBlocks) e.defs.reset();
+  if (what & kAnalysisMemSummary) e.mem.reset();
+}
+
+void AnalysisManager::apply_invalidation(AnalysisSet what) {
+  what = normalize_mask(what);
+  if (cache_.empty() || what == kNoAnalyses) return;
+  ++stats_.invalidations;
+  if (what == kAllAnalyses) {
+    // Function identity itself may be stale (e.g. globalopt erased module
+    // functions, shifting the rest): the pointer keys cannot be trusted.
+    cache_.clear();
+    return;
+  }
+  for (auto& [fp, e] : cache_) {
+    (void)fp;
+    if (what & kAnalysisDominators) e.dom.reset();
+    if (what & kAnalysisLoops) e.loops.reset();
+    if (what & kAnalysisUseCounts) e.uses.reset();
+    if (what & kAnalysisDefBlocks) e.defs.reset();
+    if (what & kAnalysisMemSummary) e.mem.reset();
+  }
+}
+
+std::string AnalysisManager::differential_check(const ir::Module& m) const {
+  // Iterate module functions (not the cache) so entries whose Function was
+  // erased are never dereferenced; such entries are simply unreachable.
+  for (const auto& f : m.functions) {
+    const auto it = cache_.find(&f);
+    if (it == cache_.end()) continue;
+    const Entry& e = it->second;
+    if (e.dom && !dom_equal(*e.dom, ir::compute_dominators(f)))
+      return std::string("stale dominators for function '") + f.name + "'";
+    if (e.loops &&
+        !loops_equal(*e.loops, ir::find_loops(f, ir::compute_dominators(f))))
+      return std::string("stale loops for function '") + f.name + "'";
+    if (e.uses && *e.uses != ir::count_uses(f))
+      return std::string("stale use-counts for function '") + f.name + "'";
+    if (e.defs && *e.defs != ir::def_blocks(f))
+      return std::string("stale def-blocks for function '") + f.name + "'";
+    if (e.mem) {
+      const MemorySummary fresh = compute_memory_summary(m, f);
+      if (e.mem->block_has_store != fresh.block_has_store ||
+          e.mem->block_has_side_call != fresh.block_has_side_call)
+        return std::string("stale memory-summary for function '") + f.name +
+               "'";
+    }
+  }
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// PassManager
+// ---------------------------------------------------------------------------
+
+PassManagerOptions PassManagerOptions::from_env() {
+  PassManagerOptions opts;
+  opts.cache_enabled = AnalysisManager::cache_enabled_from_env();
+  return opts;
+}
+
+bool PassManager::run_pass(Pass& p, ir::Module& m, StatsRegistry& stats) {
+  const bool changed = p.run(m, stats, am_);
+  if (changed) am_.apply_invalidation(p.invalidates());
+  return changed;
+}
+
+StatsRegistry PassManager::run(ir::Module& m, const PassId* ids,
+                               std::size_t n) {
+  StatsRegistry stats;
+  const auto& reg = PassRegistry::instance();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto pass = reg.create(ids[i]);
+    run_pass(*pass, m, stats);
+    if (opts_.verify_each) {
+      const auto errs = ir::verify_module(m);
+      if (!errs.empty())
+        throw std::runtime_error("verifier failed after '" +
+                                 reg.name_of(ids[i]) + "': " + errs.front());
+      const std::string div = am_.differential_check(m);
+      if (!div.empty())
+        throw std::runtime_error("analysis cache divergence after '" +
+                                 reg.name_of(ids[i]) + "': " + div);
+    }
+  }
+  return stats;
+}
+
+bool Pass::run(ir::Module& m, StatsRegistry& stats) {
+  AnalysisManager am;
+  return run(m, stats, am);
+}
+
+}  // namespace citroen::passes

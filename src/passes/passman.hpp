@@ -1,0 +1,144 @@
+#pragma once
+// Analysis-caching pass manager (the MimiC `passman` idiom): passes declare
+// what they invalidate (Pass::invalidates), the manager computes dominator
+// trees / loop info / memory summaries once per function and hands passes
+// cached references, and after each changed pass drops exactly the declared
+// set — everything else survives across the whole pipeline.
+//
+// Correctness contract: a cached value must equal what a fresh computation
+// would return at every pass boundary. Over-invalidating is always safe
+// (it costs recomputation, never correctness); under-invalidating is a bug
+// that `AnalysisManager::differential_check` (run under verify_each) turns
+// into a hard error. The `CITROEN_ANALYSIS_CACHE=0` escape hatch makes the
+// manager recompute on every query, so cache-on vs. cache-off byte-identity
+// is testable and CI-enforced.
+//
+// Fork-safety (`CITROEN_SANDBOX=1`): managers are stack-local to one
+// pipeline execution and never shared across threads or inherited across
+// fork; the only process-global state the stats hot path touches is the
+// stat-key interner, which uses a resettable spinlock
+// (`reset_stat_interner_after_fork`) like the obs layer's interner.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/analysis.hpp"
+#include "ir/module.hpp"
+#include "passes/pass.hpp"
+
+namespace citroen::passes {
+
+/// Per-block memory behaviour summary (the alias-analysis surrogate LICM
+/// consumes): does the block contain a store / a call that may touch
+/// memory? A call is a "side call" unless its callee is known readnone.
+struct MemorySummary {
+  std::vector<char> block_has_store;
+  std::vector<char> block_has_side_call;
+};
+
+MemorySummary compute_memory_summary(const ir::Module& m,
+                                     const ir::Function& f);
+
+/// Counters for the cache's effectiveness (BM_PassPipeline reports these).
+struct AnalysisCacheStats {
+  std::uint64_t computed = 0;       ///< analyses computed from scratch
+  std::uint64_t reused = 0;         ///< queries served from cache
+  std::uint64_t invalidations = 0;  ///< invalidate/apply_invalidation calls
+};
+
+/// Function-analysis cache for one pipeline execution. Stack-local: one
+/// instance per `run_sequence` / prefix-cache build, never shared.
+///
+/// References returned by the getters are stable until the corresponding
+/// analysis is invalidated for that function (unordered_map nodes do not
+/// move on rehash). With caching disabled every getter recomputes in place,
+/// so the reference stays valid but its contents are refreshed — identical
+/// values as long as callers honour the invalidation contract.
+class AnalysisManager {
+ public:
+  AnalysisManager() : AnalysisManager(cache_enabled_from_env()) {}
+  explicit AnalysisManager(bool enabled) : enabled_(enabled) {}
+
+  /// CITROEN_ANALYSIS_CACHE: unset or any value but "0" enables caching.
+  static bool cache_enabled_from_env();
+
+  bool enabled() const { return enabled_; }
+
+  const ir::DomTree& dominators(const ir::Function& f);
+  const std::vector<ir::Loop>& loops(const ir::Function& f);
+  const std::vector<int>& use_counts(const ir::Function& f);
+  const std::vector<ir::BlockId>& def_blocks(const ir::Function& f);
+  const MemorySummary& memory_summary(const ir::Module& m,
+                                      const ir::Function& f);
+
+  /// Drop `what` for one function (in-pass use: a pass that mutates and
+  /// then re-queries must invalidate in between). Invalidating dominators
+  /// implies invalidating loop info, which is derived from it.
+  void invalidate(const ir::Function& f, AnalysisSet what);
+
+  /// Drop `what` for every function; kAllAnalyses clears the whole map
+  /// (required when function *identity* may have changed, e.g. globalopt
+  /// erasing module functions and shifting the rest).
+  void apply_invalidation(AnalysisSet what);
+
+  const AnalysisCacheStats& stats() const { return stats_; }
+
+  /// Recompute every still-cached analysis of every module function and
+  /// compare against the cached value. Returns "" when consistent, else a
+  /// description of the first divergence (which analysis, which function).
+  /// This is how a pass that lies about `invalidates()` is caught.
+  std::string differential_check(const ir::Module& m) const;
+
+ private:
+  struct Entry {
+    std::optional<ir::DomTree> dom;
+    std::optional<std::vector<ir::Loop>> loops;
+    std::optional<std::vector<int>> uses;
+    std::optional<std::vector<ir::BlockId>> defs;
+    std::optional<MemorySummary> mem;
+  };
+
+  bool enabled_;
+  AnalysisCacheStats stats_;
+  std::unordered_map<const ir::Function*, Entry> cache_;
+};
+
+/// Reset the stat-key interner's spinlock in a freshly forked child (the
+/// sandbox worker's post-fork detach calls this, mirroring obs).
+void reset_stat_interner_after_fork();
+
+struct PassManagerOptions {
+  bool cache_enabled = true;
+  bool verify_each = false;
+  /// cache_enabled from CITROEN_ANALYSIS_CACHE, verify_each off.
+  static PassManagerOptions from_env();
+};
+
+/// Drives a pass pipeline over one module with a shared AnalysisManager.
+class PassManager {
+ public:
+  PassManager() : PassManager(PassManagerOptions::from_env()) {}
+  explicit PassManager(PassManagerOptions opts)
+      : opts_(opts), am_(opts.cache_enabled) {}
+
+  /// Run one pass and apply its declared invalidation if it changed the
+  /// module. Returns the pass's changed flag.
+  bool run_pass(Pass& p, ir::Module& m, StatsRegistry& stats);
+
+  /// Run a whole interned sequence; with verify_each set, the IR verifier
+  /// and the analysis differential check run after every pass and throw
+  /// std::runtime_error on violation.
+  StatsRegistry run(ir::Module& m, const PassId* ids, std::size_t n);
+
+  AnalysisManager& analyses() { return am_; }
+  const AnalysisCacheStats& cache_stats() const { return am_.stats(); }
+
+ private:
+  PassManagerOptions opts_;
+  AnalysisManager am_;
+};
+
+}  // namespace citroen::passes

@@ -1,9 +1,9 @@
 #include <functional>
 #include <stdexcept>
 
-#include "ir/verifier.hpp"
 #include "passes/factories.hpp"
 #include "passes/pass.hpp"
+#include "passes/passman.hpp"
 
 namespace citroen::passes {
 
@@ -52,6 +52,11 @@ constexpr Entry kEntries[] = {
     {"dse", make_dse},
     {"memcpyopt", make_memcpyopt},
     {"loop-unswitch", make_loop_unswitch},
+    // Appended (never reordered): PassId order feeds the prefix-cache key
+    // derivation and the tuner's categorical encoding.
+    {"loop-fusion", make_loop_fusion},
+    {"indvar-simplify", make_indvar_simplify},
+    {"loop-peel", make_loop_peel},
 };
 
 }  // namespace
@@ -99,19 +104,10 @@ std::vector<PassId> intern_sequence(const std::vector<std::string>& sequence) {
 
 StatsRegistry run_sequence(ir::Module& m, const PassId* ids, std::size_t n,
                            bool verify_each) {
-  StatsRegistry stats;
-  const auto& reg = PassRegistry::instance();
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto pass = reg.create(ids[i]);
-    pass->run(m, stats);
-    if (verify_each) {
-      const auto errs = ir::verify_module(m);
-      if (!errs.empty())
-        throw std::runtime_error("verifier failed after '" +
-                                 reg.name_of(ids[i]) + "': " + errs.front());
-    }
-  }
-  return stats;
+  auto opts = PassManagerOptions::from_env();
+  opts.verify_each = verify_each;
+  PassManager pm(opts);
+  return pm.run(m, ids, n);
 }
 
 StatsRegistry run_sequence(ir::Module& m,
@@ -156,7 +152,8 @@ const std::vector<std::string>& legacy_pass_names() {
     for (const auto& n : PassRegistry::instance().pass_names()) {
       if (n == "slp-vectorizer" || n == "function-attrs" ||
           n == "div-rem-pairs" || n == "vectorcombine" || n == "dse" ||
-          n == "memcpyopt" || n == "loop-unswitch")
+          n == "memcpyopt" || n == "loop-unswitch" || n == "loop-fusion" ||
+          n == "indvar-simplify" || n == "loop-peel")
         continue;
       out.push_back(n);
     }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "passes/passman.hpp"
+
 namespace citroen::passes {
 
 using namespace ir;
@@ -153,7 +155,7 @@ struct Renamer {
 
 }  // namespace
 
-PromoteResult promote_allocas(Function& f) {
+PromoteResult promote_allocas(Function& f, AnalysisManager* am) {
   PromoteResult result;
   if (f.blocks.empty()) return result;
 
@@ -167,7 +169,10 @@ PromoteResult promote_allocas(Function& f) {
   }
   if (allocas.empty()) return result;
 
-  const DomTree dt = compute_dominators(f);
+  // Promotion rewrites instructions but never the CFG, so the tree stays
+  // valid throughout the renaming walk.
+  const DomTree local_dt = am ? DomTree{} : compute_dominators(f);
+  const DomTree& dt = am ? am->dominators(f) : local_dt;
   const auto df = dominance_frontiers(f, dt);
   const auto preds = f.predecessors();
 

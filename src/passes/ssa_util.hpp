@@ -23,7 +23,9 @@ struct PromoteResult {
 
 /// Promote every scalar alloca whose only uses are same-typed loads and
 /// stores (standard iterated-dominance-frontier phi placement + renaming).
-PromoteResult promote_allocas(ir::Function& f);
+/// With `am` given the dominator tree comes from the analysis cache; the
+/// caller must have invalidated after any earlier mutation of `f`.
+PromoteResult promote_allocas(ir::Function& f, AnalysisManager* am = nullptr);
 
 /// True if the alloca with value id `a` is promotable in `f`.
 bool is_promotable_alloca(const ir::Function& f, ir::ValueId a);

@@ -20,6 +20,7 @@
 
 #include "passes/common.hpp"
 #include "passes/factories.hpp"
+#include "passes/passman.hpp"
 
 namespace citroen::passes {
 
@@ -49,12 +50,22 @@ class SlpPass final : public Pass {
   std::vector<std::string> stat_names() const override {
     return {"NumVectorInstrs", "NumVectorized", "NumNotBeneficial"};
   }
-  bool run(Module& m, StatsRegistry& stats) override {
+  /// Inserts vector instructions and kills packed scalars in place: no
+  /// CFG change, and stores are never part of a tree (region safety), so
+  /// the memory summary survives.
+  AnalysisSet invalidates() const override {
+    return kAnalysisUseCounts | kAnalysisDefBlocks;
+  }
+  bool run(Module& m, StatsRegistry& stats, AnalysisManager& am) override {
     bool changed = false;
     for (auto& f : m.functions) {
       for (BlockId b = 0; b < static_cast<BlockId>(f.blocks.size()); ++b) {
         // Repeat until no more trees form in this block.
-        while (vectorize_block(f, b, stats)) changed = true;
+        while (vectorize_block(f, b, stats, am)) {
+          changed = true;
+          // The next attempt re-queries use counts against the new IR.
+          am.invalidate(f, kAnalysisUseCounts | kAnalysisDefBlocks);
+        }
       }
     }
     return changed;
@@ -66,7 +77,7 @@ class SlpPass final : public Pass {
   struct Ctx {
     Function& f;
     std::map<ValueId, int> pos;   ///< instruction position within block
-    std::vector<int> uses;
+    const std::vector<int>& uses;
     BlockId block;
   };
 
@@ -175,8 +186,9 @@ class SlpPass final : public Pass {
     return false;
   }
 
-  bool vectorize_block(Function& f, BlockId b, StatsRegistry& stats) {
-    Ctx c{f, {}, count_uses(f), b};
+  bool vectorize_block(Function& f, BlockId b, StatsRegistry& stats,
+                       AnalysisManager& am) {
+    Ctx c{f, {}, am.use_counts(f), b};
     const auto& insts = f.block(b).insts;
     for (std::size_t i = 0; i < insts.size(); ++i) {
       if (!f.instr(insts[i]).dead()) c.pos[insts[i]] = static_cast<int>(i);
@@ -571,22 +583,28 @@ class LoopVectorizePass final : public Pass {
   std::vector<std::string> stat_names() const override {
     return {"LoopsVectorized", "NumNotProfitable", "NumNotLegal"};
   }
-  bool run(Module& m, StatsRegistry& stats) override {
+  /// Rewrites loop bodies in place (blocks and edges survive): dominators
+  /// and loop info stay valid, everything value-level changes. Mutated
+  /// functions additionally get a full in-pass invalidation below.
+  AnalysisSet invalidates() const override {
+    return kAnalysisUseCounts | kAnalysisDefBlocks | kAnalysisMemSummary;
+  }
+  bool run(Module& m, StatsRegistry& stats, AnalysisManager& am) override {
     bool changed = false;
     for (auto& f : m.functions) {
       bool local = true;
       while (local) {
         local = false;
-        const DomTree dt = compute_dominators(f);
-        const auto loops = find_loops(f, dt);
+        const auto& loops = am.loops(f);
         for (const auto& loop : loops) {
           const auto cl = match_counted_loop(f, loop);
           if (!cl || cl->step != 1 || cl->trip_count % kLanes != 0 ||
               cl->trip_count < 2 * kLanes)
             continue;
-          if (vectorize(f, *cl, stats)) {
+          if (vectorize(f, *cl, stats, am)) {
             changed = true;
             local = true;
+            am.invalidate(f, kAllAnalyses);
             break;
           }
         }
@@ -596,7 +614,8 @@ class LoopVectorizePass final : public Pass {
   }
 
  private:
-  bool vectorize(Function& f, const CountedLoop& cl, StatsRegistry& stats) {
+  bool vectorize(Function& f, const CountedLoop& cl, StatsRegistry& stats,
+                 AnalysisManager& am) {
     // Constants materialised inside the body are operands, not work: move
     // them to the preheader so classification and splatting stay simple.
     {
@@ -613,12 +632,16 @@ class LoopVectorizePass final : public Pass {
         auto& ph = f.block(cl.preheader).insts;
         ph.insert(ph.end() - 1, id);
       }
+      // This motion happens before the legality checks, so the function
+      // can be mutated even when this returns false: refresh def blocks
+      // before they are queried below.
+      if (!consts.empty()) am.invalidate(f, kAnalysisDefBlocks);
     }
     std::vector<bool> in_loop(f.blocks.size(), false);
     in_loop[static_cast<std::size_t>(cl.header)] = true;
     in_loop[static_cast<std::size_t>(cl.body)] = true;
-    const auto defs = def_blocks(f);
-    const auto uses = count_uses(f);
+    const auto& defs = am.def_blocks(f);
+    const auto& uses = am.use_counts(f);
 
     // Classify body instructions.
     struct StoreRec {

@@ -14,6 +14,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "passes/pass.hpp"
+#include "passes/passman.hpp"
 #include "sandbox/ipc.hpp"
 #include "sim/evaluator.hpp"
 #include "sim/faults.hpp"
@@ -210,6 +211,9 @@ void worker_serve(sim::ProgramEvaluator& eval, int job_fd, int result_fd,
   // enable flags survive — the worker keeps tracing into its own rings
   // and ships per-job deltas home inside each result frame.
   obs::reset_after_fork();
+  // Same treatment for the pass layer's stat-key interner: its spinlock
+  // may have been held by a supervisor pool thread at fork time.
+  passes::reset_stat_interner_after_fork();
   // Counters were inherited at their supervisor-side values; baseline
   // the delta tracking there or the first frame would re-ship them all.
   if (obs::metrics_enabled())

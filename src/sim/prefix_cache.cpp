@@ -6,6 +6,7 @@
 
 #include "ir/printer.hpp"
 #include "ir/verifier.hpp"
+#include "passes/passman.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -234,11 +235,16 @@ std::shared_ptr<const ModuleBuild> PrefixCache::build(
       std::max(1, config_.snapshot_stride));
   const PassProgressHook hook =
       g_pass_progress_hook.load(std::memory_order_relaxed);
+  // One analysis cache for the whole suffix being built: analyses preserved
+  // by one pass are served from cache to the next, exactly as run_sequence
+  // does (snapshot restore above rebuilt out->module, so the cache starts
+  // empty and keys on the final in-place module).
+  passes::PassManager pm{passes::PassManagerOptions::from_env()};
   for (std::size_t i = start; i < n; ++i) {
     try {
       if (hook) hook(ids[i]);
       passes::StatsRegistry pass_stats;
-      reg.create(ids[i])->run(out->module, pass_stats);
+      pm.run_pass(*reg.create(ids[i]), out->module, pass_stats);
       out->stats.merge(pass_stats);
     } catch (const std::exception& e) {
       bump(i - start + 1, &PrefixCacheStats::passes_run);

@@ -1,0 +1,571 @@
+// Pass-manager tests: invalidation correctness (a pass that lies about
+// `invalidates()` is caught by the differential check), analysis-reuse
+// accounting, cache on/off byte-identity for every registered pass and
+// for tuned sequences under injected faults, and unit coverage for the
+// new loop passes (loop-fusion, indvar-simplify, loop-peel) including
+// their loop-simplify ordering dependency.
+//
+// The whole suite is named `PassMan` so the TSan CI job's gtest filter
+// can select it wholesale.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "bench_suite/suite.hpp"
+#include "ir/analysis.hpp"
+#include "ir/builder.hpp"
+#include "ir/interpreter.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "passes/pass.hpp"
+#include "passes/passman.hpp"
+#include "sim/evaluator.hpp"
+#include "sim/faults.hpp"
+#include "sim/machine.hpp"
+#include "support/rng.hpp"
+
+using namespace citroen;
+using namespace citroen::ir;
+
+namespace {
+
+struct Tp {
+  Program p;
+  Module& module() { return p.modules[0]; }
+  Function& fn(std::size_t i = 0) { return p.modules[0].functions[i]; }
+};
+
+Tp single(const std::string& name = "main") {
+  Tp tp;
+  Module m;
+  m.name = "m";
+  create_function(m, name, kI64, {}, false);
+  tp.p.modules.push_back(std::move(m));
+  tp.p.entry = name;
+  return tp;
+}
+
+/// Run `seq`, assert verifier-clean and output-preserving; return stats.
+passes::StatsRegistry check(Tp& tp, const std::vector<std::string>& seq) {
+  const auto before = interpret(tp.p);
+  EXPECT_TRUE(before.ok) << before.trap;
+  passes::StatsRegistry stats;
+  EXPECT_NO_THROW(stats = passes::run_sequence(tp.module(), seq, true));
+  const auto after = interpret(tp.p);
+  EXPECT_TRUE(after.ok) << after.trap;
+  EXPECT_EQ(before.ret, after.ret) << "pass sequence changed the output";
+  return stats;
+}
+
+/// Hoist the first instruction of block 1 into the entry block — a
+/// verifier-clean mutation that moves a definition between blocks, so it
+/// invalidates def-blocks. `declared` is what the pass admits to.
+class BlockHoistPass final : public passes::Pass {
+ public:
+  BlockHoistPass(std::string name, passes::AnalysisSet declared)
+      : name_(std::move(name)), declared_(declared) {}
+
+  std::string name() const override { return name_; }
+  std::vector<std::string> stat_names() const override { return {}; }
+  passes::AnalysisSet invalidates() const override { return declared_; }
+
+  bool run(Module& m, passes::StatsRegistry&,
+           passes::AnalysisManager& am) override {
+    Function& f = m.functions[0];
+    (void)am.def_blocks(f);  // populate the cache before mutating
+    const ValueId moved = f.block(1).insts.front();
+    f.block(1).insts.erase(f.block(1).insts.begin());
+    f.block(0).insts.insert(f.block(0).insts.begin(), moved);
+    return true;
+  }
+
+ private:
+  std::string name_;
+  passes::AnalysisSet declared_;
+};
+
+/// entry: br b2; b2: ret 7 — block 1 leads with a movable constant.
+Tp hoistable_module() {
+  auto tp = single();
+  IRBuilder b(tp.fn());
+  b.set_insert(0);
+  const BlockId b2 = b.new_block("b2");
+  b.br(b2);
+  b.set_insert(b2);
+  b.ret(b.const_i64(7));
+  return tp;
+}
+
+}  // namespace
+
+// ---- stat-key interning ----------------------------------------------------
+
+TEST(PassMan, StatKeyInternRoundTrip) {
+  const auto k1 = passes::intern_stat_key("licm", "NumHoisted");
+  const auto k2 = passes::intern_stat_key("licm.NumHoisted");
+  EXPECT_EQ(k1, k2);
+  EXPECT_EQ(passes::stat_key_name(k1), "licm.NumHoisted");
+
+  passes::StatsRegistry r;
+  r.add(k1, 2);                    // string-free hot path
+  r.add("licm", "NumHoisted", 1);  // legacy convenience path
+  EXPECT_EQ(r.get("licm.NumHoisted"), 3);
+  EXPECT_EQ(r.counters().count("licm.NumHoisted"), 1u);
+}
+
+// ---- registry --------------------------------------------------------------
+
+TEST(PassMan, NewLoopPassesRegisteredWithStatKeys) {
+  const auto& reg = passes::PassRegistry::instance();
+  for (const char* n : {"loop-fusion", "indvar-simplify", "loop-peel"})
+    EXPECT_GE(reg.id_of(n), 0) << n;
+
+  const auto& keys = reg.all_stat_keys();
+  auto has = [&](const std::string& k) {
+    return std::find(keys.begin(), keys.end(), k) != keys.end();
+  };
+  EXPECT_TRUE(has("loop-fusion.NumFused"));
+  EXPECT_TRUE(has("indvar-simplify.NumIVSimplified"));
+  EXPECT_TRUE(has("loop-peel.NumPeeled"));
+
+  // Appended at the end of the registry: earlier PassIds feed prefix-cache
+  // keys and the tuner's categorical encoding, so they must not shift.
+  const int n = static_cast<int>(reg.num_passes());
+  EXPECT_EQ(reg.id_of("loop-fusion"), n - 3);
+  EXPECT_EQ(reg.id_of("indvar-simplify"), n - 2);
+  EXPECT_EQ(reg.id_of("loop-peel"), n - 1);
+
+  // The legacy ("older compiler") pass set excludes the new family.
+  for (const auto& name : passes::legacy_pass_names()) {
+    EXPECT_NE(name, "loop-fusion");
+    EXPECT_NE(name, "indvar-simplify");
+    EXPECT_NE(name, "loop-peel");
+  }
+}
+
+// ---- analysis cache accounting ---------------------------------------------
+
+TEST(PassMan, AnalysisReuseAndInvalidationGranularity) {
+  auto tp = hoistable_module();
+  Function& f = tp.fn();
+
+  passes::AnalysisManager am(/*enabled=*/true);
+  am.dominators(f);
+  am.dominators(f);
+  EXPECT_EQ(am.stats().computed, 1u);
+  EXPECT_EQ(am.stats().reused, 1u);
+
+  // Loop info derives from dominators: invalidating dominators drops it.
+  am.loops(f);
+  const auto computed_before = am.stats().computed;
+  am.invalidate(f, passes::kAnalysisDominators);
+  am.loops(f);
+  EXPECT_GT(am.stats().computed, computed_before);
+
+  // Untouched analyses survive an unrelated invalidation.
+  am.use_counts(f);
+  const auto reused_before = am.stats().reused;
+  am.invalidate(f, passes::kAnalysisDominators);
+  am.use_counts(f);
+  EXPECT_EQ(am.stats().reused, reused_before + 1);
+}
+
+TEST(PassMan, DisabledCacheNeverReuses) {
+  auto tp = hoistable_module();
+  Function& f = tp.fn();
+  passes::AnalysisManager am(/*enabled=*/false);
+  am.dominators(f);
+  am.dominators(f);
+  am.use_counts(f);
+  am.use_counts(f);
+  EXPECT_EQ(am.stats().reused, 0u);
+  EXPECT_EQ(am.stats().computed, 4u);
+}
+
+TEST(PassMan, O3PipelineReusesMajorityOfAnalyses) {
+  auto p = bench_suite::make_program("telecom_gsm");
+  const auto& ids = passes::o3_sequence_ids();
+  std::uint64_t computed = 0, reused = 0;
+  for (auto& m : p.modules) {
+    passes::PassManagerOptions opts;
+    opts.cache_enabled = true;
+    passes::PassManager pm(opts);
+    pm.run(m, ids.data(), ids.size());
+    computed += pm.cache_stats().computed;
+    reused += pm.cache_stats().reused;
+  }
+  EXPECT_GT(reused, 0u);
+  // The acceptance bar: at least half of all analysis queries on the -O3
+  // pipeline are served from cache.
+  EXPECT_GE(reused, computed)
+      << "reuse rate " << (100.0 * reused / (computed + reused)) << "%";
+}
+
+// ---- lying-pass differential check -----------------------------------------
+
+TEST(PassMan, LyingPassCaughtByDifferentialCheck) {
+  auto tp = hoistable_module();
+  passes::PassManagerOptions opts;
+  opts.cache_enabled = true;
+  passes::PassManager pm(opts);
+  passes::StatsRegistry stats;
+
+  BlockHoistPass liar("liar", passes::kNoAnalyses);
+  EXPECT_TRUE(pm.run_pass(liar, tp.module(), stats));
+  const std::string report = pm.analyses().differential_check(tp.module());
+  EXPECT_FALSE(report.empty());
+  EXPECT_NE(report.find("def-blocks"), std::string::npos) << report;
+}
+
+TEST(PassMan, HonestPassPassesDifferentialCheck) {
+  auto tp = hoistable_module();
+  passes::PassManagerOptions opts;
+  opts.cache_enabled = true;
+  passes::PassManager pm(opts);
+  passes::StatsRegistry stats;
+
+  BlockHoistPass honest("honest", passes::kAllAnalyses);
+  EXPECT_TRUE(pm.run_pass(honest, tp.module(), stats));
+  EXPECT_EQ(pm.analyses().differential_check(tp.module()), "");
+}
+
+// ---- cache on/off byte-identity --------------------------------------------
+
+TEST(PassMan, CacheOnOffByteIdentityEveryPass) {
+  const auto& reg = passes::PassRegistry::instance();
+  for (const auto& pass : reg.pass_names()) {
+    auto p_on = bench_suite::make_program("telecom_gsm");
+    auto p_off = bench_suite::make_program("telecom_gsm");
+    // Run each pass twice after canonicalisation so the second run hits
+    // whatever the first run left cached.
+    const auto ids = passes::intern_sequence(
+        {"mem2reg", "loop-simplify", pass, pass});
+    for (std::size_t mi = 0; mi < p_on.modules.size(); ++mi) {
+      passes::PassManagerOptions on, off;
+      on.cache_enabled = true;
+      off.cache_enabled = false;
+      passes::PassManager pm_on(on), pm_off(off);
+      const auto s_on = pm_on.run(p_on.modules[mi], ids.data(), ids.size());
+      const auto s_off = pm_off.run(p_off.modules[mi], ids.data(), ids.size());
+      ASSERT_EQ(print_module(p_on.modules[mi]), print_module(p_off.modules[mi]))
+          << pass << " diverged on module " << p_on.modules[mi].name;
+      EXPECT_EQ(s_on.counters(), s_off.counters()) << pass;
+      EXPECT_EQ(pm_off.cache_stats().reused, 0u);
+    }
+  }
+}
+
+TEST(PassMan, CacheOnOffByteIdentityTunedSequencesWithFaults) {
+  sim::FaultPlan plan;
+  plan.seed = 7;
+  plan.transient_crash_rate = 0.1;
+  plan.deterministic_crash_rate = 0.1;
+  plan.hang_rate = 0.05;
+  plan.noise_sigma = 0.05;
+
+  using Probe = std::tuple<bool, std::string, double, std::uint64_t>;
+  const auto run_all = [&](bool cache_on) {
+    ::setenv("CITROEN_ANALYSIS_CACHE", cache_on ? "1" : "0", 1);
+    sim::ProgramEvaluator ev(bench_suite::make_program("security_sha"),
+                             sim::arm_a57_model());
+    const sim::FaultInjector inj(plan);
+    ev.set_fault_injector(&inj);
+    const auto& space = passes::PassRegistry::instance().pass_names();
+    Rng rng(11);
+    std::vector<Probe> out;
+    for (int t = 0; t < 12; ++t) {
+      std::vector<std::string> seq;
+      for (int i = 0; i < 14; ++i)
+        seq.push_back(space[rng.uniform_index(space.size())]);
+      const auto o = ev.evaluate(sim::SequenceAssignment{{"sha", seq}});
+      out.emplace_back(o.valid, o.why_invalid, o.cycles, o.binary_hash);
+    }
+    ::unsetenv("CITROEN_ANALYSIS_CACHE");
+    return out;
+  };
+
+  const auto with_cache = run_all(true);
+  const auto without_cache = run_all(false);
+  EXPECT_EQ(with_cache, without_cache);
+}
+
+// ---- new loop passes -------------------------------------------------------
+
+TEST(PassMan, LoopFusionFusesAdjacentDisjointLoops) {
+  auto tp = single();
+  Function& f = tp.fn();
+  tp.module().globals.push_back(
+      GlobalVar{"a", std::vector<std::uint8_t>(64, 0)});
+  tp.module().globals.push_back(
+      GlobalVar{"b", std::vector<std::uint8_t>(64, 0)});
+
+  // Two adjacent counted loops over [0, 8) writing to disjoint globals,
+  // joined by a glue block that is loop A's exit and loop B's preheader.
+  IRBuilder b(f);
+  b.set_insert(0);
+  const ValueId c0 = b.const_i64(0);
+  const ValueId c1 = b.const_i64(1);
+  const ValueId c2 = b.const_i64(2);
+  const ValueId c8 = b.const_i64(8);
+  const ValueId ga = b.global_addr(0);
+  const ValueId gb = b.global_addr(1);
+  const BlockId h1 = b.new_block("h1");
+  const BlockId b1 = b.new_block("b1");
+  const BlockId glue = b.new_block("glue");
+  const BlockId h2 = b.new_block("h2");
+  const BlockId b2 = b.new_block("b2");
+  const BlockId exitb = b.new_block("exit");
+  b.br(h1);
+
+  b.set_insert(h1);
+  const ValueId i = b.phi(kI64, {{c0, 0}});
+  const ValueId cmp1 = b.icmp(CmpPred::SLT, i, c8);
+  b.cond_br(cmp1, b1, glue);
+  b.set_insert(b1);
+  b.store(b.binop(Opcode::Mul, i, c2), b.gep(ga, i, kI64));
+  const ValueId i_n = b.binop(Opcode::Add, i, c1);
+  b.br(h1);
+  f.instr(i).ops.push_back(i_n);
+  f.instr(i).phi_blocks.push_back(b1);
+
+  b.set_insert(glue);
+  b.br(h2);
+
+  b.set_insert(h2);
+  const ValueId j = b.phi(kI64, {{c0, glue}});
+  const ValueId cmp2 = b.icmp(CmpPred::SLT, j, c8);
+  b.cond_br(cmp2, b2, exitb);
+  b.set_insert(b2);
+  b.store(b.binop(Opcode::Add, j, c8), b.gep(gb, j, kI64));
+  const ValueId j_n = b.binop(Opcode::Add, j, c1);
+  b.br(h2);
+  f.instr(j).ops.push_back(j_n);
+  f.instr(j).phi_blocks.push_back(b2);
+
+  b.set_insert(exitb);
+  const ValueId ra = b.load(kI64, b.gep(ga, b.const_i64(3), kI64));
+  const ValueId rb = b.load(kI64, b.gep(gb, b.const_i64(5), kI64));
+  b.ret(b.binop(Opcode::Add, ra, rb));
+  ASSERT_TRUE(verify_module(tp.module()).empty())
+      << verify_module(tp.module()).front();
+
+  const auto stats = check(tp, {"loop-fusion"});
+  EXPECT_EQ(stats.get("loop-fusion.NumFused"), 1);
+  EXPECT_EQ(find_loops(f, compute_dominators(f)).size(), 1u)
+      << "both loops should share one header";
+}
+
+TEST(PassMan, LoopFusionRefusesAliasedMemory) {
+  auto tp = single();
+  Function& f = tp.fn();
+  tp.module().globals.push_back(
+      GlobalVar{"a", std::vector<std::uint8_t>(64, 0)});
+
+  // Same shape as above, but both loops write the SAME global: iteration
+  // interleaving would reorder the stores, so fusion must refuse.
+  IRBuilder b(f);
+  b.set_insert(0);
+  const ValueId c0 = b.const_i64(0);
+  const ValueId c1 = b.const_i64(1);
+  const ValueId c8 = b.const_i64(8);
+  const ValueId ga = b.global_addr(0);
+  const BlockId h1 = b.new_block("h1");
+  const BlockId b1 = b.new_block("b1");
+  const BlockId glue = b.new_block("glue");
+  const BlockId h2 = b.new_block("h2");
+  const BlockId b2 = b.new_block("b2");
+  const BlockId exitb = b.new_block("exit");
+  b.br(h1);
+
+  b.set_insert(h1);
+  const ValueId i = b.phi(kI64, {{c0, 0}});
+  b.cond_br(b.icmp(CmpPred::SLT, i, c8), b1, glue);
+  b.set_insert(b1);
+  b.store(i, b.gep(ga, i, kI64));
+  const ValueId i_n = b.binop(Opcode::Add, i, c1);
+  b.br(h1);
+  f.instr(i).ops.push_back(i_n);
+  f.instr(i).phi_blocks.push_back(b1);
+
+  b.set_insert(glue);
+  b.br(h2);
+
+  b.set_insert(h2);
+  const ValueId j = b.phi(kI64, {{c0, glue}});
+  b.cond_br(b.icmp(CmpPred::SLT, j, c8), b2, exitb);
+  b.set_insert(b2);
+  b.store(b.binop(Opcode::Add, b.load(kI64, b.gep(ga, j, kI64)), c1),
+          b.gep(ga, j, kI64));
+  const ValueId j_n = b.binop(Opcode::Add, j, c1);
+  b.br(h2);
+  f.instr(j).ops.push_back(j_n);
+  f.instr(j).phi_blocks.push_back(b2);
+
+  b.set_insert(exitb);
+  b.ret(b.load(kI64, b.gep(ga, b.const_i64(4), kI64)));
+  ASSERT_TRUE(verify_module(tp.module()).empty())
+      << verify_module(tp.module()).front();
+
+  const auto stats = check(tp, {"loop-fusion"});
+  EXPECT_EQ(stats.get("loop-fusion.NumFused"), 0);
+}
+
+TEST(PassMan, IndVarSimplifyRewritesSecondaryIV) {
+  auto tp = single();
+  Function& f = tp.fn();
+  tp.module().globals.push_back(
+      GlobalVar{"a", std::vector<std::uint8_t>(128, 0)});
+
+  // for (i = 0; i < 16; ++i) { a[i] = j; j += 3; }  with j starting at 5:
+  // j is a secondary affine IV, rewritable as 5 + i*3.
+  IRBuilder b(f);
+  b.set_insert(0);
+  const ValueId c0 = b.const_i64(0);
+  const ValueId c1 = b.const_i64(1);
+  const ValueId c3 = b.const_i64(3);
+  const ValueId c5 = b.const_i64(5);
+  const ValueId c16 = b.const_i64(16);
+  const ValueId ga = b.global_addr(0);
+  const BlockId header = b.new_block("header");
+  const BlockId body = b.new_block("body");
+  const BlockId exitb = b.new_block("exit");
+  b.br(header);
+
+  b.set_insert(header);
+  const ValueId i = b.phi(kI64, {{c0, 0}});
+  const ValueId j = b.phi(kI64, {{c5, 0}});
+  b.cond_br(b.icmp(CmpPred::SLT, i, c16), body, exitb);
+  b.set_insert(body);
+  b.store(j, b.gep(ga, i, kI64));
+  const ValueId j_n = b.binop(Opcode::Add, j, c3);
+  const ValueId i_n = b.binop(Opcode::Add, i, c1);
+  b.br(header);
+  f.instr(i).ops.push_back(i_n);
+  f.instr(i).phi_blocks.push_back(body);
+  f.instr(j).ops.push_back(j_n);
+  f.instr(j).phi_blocks.push_back(body);
+
+  b.set_insert(exitb);
+  b.ret(b.load(kI64, b.gep(ga, b.const_i64(7), kI64)));
+  ASSERT_TRUE(verify_module(tp.module()).empty())
+      << verify_module(tp.module()).front();
+
+  const auto stats = check(tp, {"indvar-simplify", "dce"});
+  EXPECT_EQ(stats.get("indvar-simplify.NumIVSimplified"), 1);
+  // Only the primary induction phi should remain in the header.
+  int phis = 0;
+  for (const ValueId id : f.block(header).insts)
+    if (f.instr(id).op == Opcode::Phi) ++phis;
+  EXPECT_EQ(phis, 1);
+}
+
+TEST(PassMan, LoopPeelEnablesPartialUnroll) {
+  // Trip count 65: too long for full unroll (> full_limit 64) and odd, so
+  // partial unroll can't fire either. Peeling one iteration leaves 64,
+  // which partial unroll takes at factor 4.
+  const auto build = [](Tp& tp) {
+    tp.module().globals.push_back(
+        GlobalVar{"k", std::vector<std::uint8_t>(8, 3)});
+    IRBuilder b(tp.fn());
+    b.set_insert(0);
+    const ValueId acc = b.stack_alloc(kI64);
+    b.store(b.const_i64(0), acc);
+    const ValueId k = b.load(kI64, b.global_addr(0));
+    auto loop = b.begin_loop(b.const_i64(0), b.const_i64(65));
+    {
+      // Enough body work that 64 iterations exceed the full-unroll size
+      // budget, keeping partial unroll the only option after the peel.
+      ValueId v = b.binop(Opcode::Mul, loop.iv, k);
+      for (int step = 0; step < 8; ++step)
+        v = b.binop(Opcode::Add, b.binop(Opcode::Mul, v, k), loop.iv);
+      b.store(b.binop(Opcode::Add, b.load(kI64, acc), v), acc);
+    }
+    b.end_loop(loop);
+    b.ret(b.load(kI64, acc));
+  };
+
+  Tp no_peel = single();
+  build(no_peel);
+  const auto before = check(no_peel, {"mem2reg", "loop-unroll"});
+  EXPECT_EQ(before.get("loop-unroll.NumUnrolled"), 0);
+  EXPECT_EQ(before.get("loop-unroll.NumFullyUnrolled"), 0);
+
+  Tp peeled = single();
+  build(peeled);
+  const auto after = check(peeled, {"mem2reg", "loop-peel", "loop-unroll"});
+  EXPECT_EQ(after.get("loop-peel.NumPeeled"), 1);
+  EXPECT_EQ(after.get("loop-unroll.NumUnrolled"), 1);
+}
+
+TEST(PassMan, LoopPeelSkipsEvenTripCounts) {
+  // An even trip count is already partial-unrollable; peeling would only
+  // break that, so the pass must leave it alone.
+  auto tp = single();
+  IRBuilder b(tp.fn());
+  b.set_insert(0);
+  const ValueId acc = b.stack_alloc(kI64);
+  b.store(b.const_i64(0), acc);
+  auto loop = b.begin_loop(b.const_i64(0), b.const_i64(16));
+  b.store(b.binop(Opcode::Add, b.load(kI64, acc), loop.iv), acc);
+  b.end_loop(loop);
+  b.ret(b.load(kI64, acc));
+  const auto stats = check(tp, {"mem2reg", "loop-peel"});
+  EXPECT_EQ(stats.get("loop-peel.NumPeeled"), 0);
+}
+
+TEST(PassMan, LoopSimplifyOrderingDependency) {
+  // A loop whose single outside predecessor has two successors has no
+  // dedicated preheader, so the counted-loop matcher refuses it: loop-peel
+  // alone does nothing, loop-simplify first unlocks it. This is the
+  // ordering dependency the tuner has to discover.
+  const auto build = [](Tp& tp) {
+    Function& f = tp.fn();
+    tp.module().globals.push_back(
+        GlobalVar{"a", std::vector<std::uint8_t>(64, 0)});
+    IRBuilder b(f);
+    b.set_insert(0);
+    const ValueId c0 = b.const_i64(0);
+    const ValueId c1 = b.const_i64(1);
+    const ValueId c7 = b.const_i64(7);
+    const ValueId ga = b.global_addr(0);
+    const ValueId cond = b.icmp(CmpPred::SGT, b.const_i64(2), c1);
+    const BlockId header = b.new_block("header");
+    const BlockId body = b.new_block("body");
+    const BlockId alt = b.new_block("alt");
+    const BlockId exitb = b.new_block("exit");
+    b.cond_br(cond, header, alt);
+
+    b.set_insert(header);
+    const ValueId i = b.phi(kI64, {{c0, 0}});
+    b.cond_br(b.icmp(CmpPred::SLT, i, c7), body, exitb);
+    b.set_insert(body);
+    b.store(i, b.gep(ga, i, kI64));
+    const ValueId i_n = b.binop(Opcode::Add, i, c1);
+    b.br(header);
+    f.instr(i).ops.push_back(i_n);
+    f.instr(i).phi_blocks.push_back(body);
+
+    b.set_insert(alt);
+    b.ret(c0);
+    b.set_insert(exitb);
+    b.ret(b.load(kI64, b.gep(ga, b.const_i64(3), kI64)));
+    ASSERT_TRUE(verify_module(tp.module()).empty())
+        << verify_module(tp.module()).front();
+  };
+
+  Tp bare = single();
+  build(bare);
+  const auto without = check(bare, {"loop-peel"});
+  EXPECT_EQ(without.get("loop-peel.NumPeeled"), 0);
+
+  Tp simplified = single();
+  build(simplified);
+  const auto with = check(simplified, {"loop-simplify", "loop-peel"});
+  EXPECT_GE(with.get("loop-simplify.NumPreheaders"), 1);
+  EXPECT_EQ(with.get("loop-peel.NumPeeled"), 1);
+}
