@@ -1,0 +1,113 @@
+#pragma once
+// Opt-in distributed-pool wiring for the bench runners.
+//
+// CITROEN_DIST=1 decorates the evaluator stack with a dist::DistEvaluator
+// (src/dist/pool.hpp) that farms pure measurements to socket-connected
+// peers. Peer endpoints come from CITROEN_PEERS; when that is unset the
+// gates fork a small localhost fleet themselves (LocalPeerFleet below)
+// and export its endpoints, so `CITROEN_DIST=1 ./ext_determinism` is
+// self-contained. Results are byte-identical with the pool on, off,
+// dying mid-job, or fully browned out — the toggle changes only where
+// the pure work runs.
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/peer.hpp"
+#include "dist/pool.hpp"
+#include "sim/evaluator.hpp"
+#include "support/env.hpp"
+
+namespace citroen::bench {
+
+inline bool dist_enabled() { return support::env_flag("CITROEN_DIST"); }
+
+/// A fleet of forked localhost peers on Unix sockets under /tmp. The
+/// destructor SIGKILLs, reaps and unlinks — peers hold no state worth a
+/// graceful goodbye (that is the whole point of the design).
+class LocalPeerFleet {
+ public:
+  explicit LocalPeerFleet(int n, dist::PeerOptions options = {}) {
+    for (int i = 0; i < n; ++i) {
+      char path[128];
+      std::snprintf(path, sizeof(path), "/tmp/citroen_peer_%d_%d_%d.sock",
+                    static_cast<int>(::getpid()), next_fleet_id(), i);
+      std::string error;
+      const pid_t pid = dist::spawn_peer(path, options, &error);
+      if (pid < 0) {
+        std::fprintf(stderr, "dist fleet: %s\n", error.c_str());
+        continue;
+      }
+      pids_.push_back(pid);
+      paths_.push_back(path);
+      endpoints_.push_back(std::string("unix:") + path);
+    }
+  }
+
+  ~LocalPeerFleet() {
+    for (const pid_t pid : pids_) ::kill(pid, SIGKILL);
+    for (const pid_t pid : pids_) {
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+    }
+    for (const auto& p : paths_) ::unlink(p.c_str());
+  }
+
+  LocalPeerFleet(const LocalPeerFleet&) = delete;
+  LocalPeerFleet& operator=(const LocalPeerFleet&) = delete;
+
+  const std::vector<std::string>& endpoints() const { return endpoints_; }
+  const std::vector<pid_t>& pids() const { return pids_; }
+
+  std::string endpoints_csv() const {
+    std::string out;
+    for (const auto& e : endpoints_) {
+      if (!out.empty()) out += ',';
+      out += e;
+    }
+    return out;
+  }
+
+ private:
+  static int next_fleet_id() {
+    static int counter = 0;
+    return counter++;
+  }
+
+  std::vector<pid_t> pids_;
+  std::vector<std::string> paths_;
+  std::vector<std::string> endpoints_;
+};
+
+/// When CITROEN_DIST=1 and CITROEN_PEERS is unset, fork a local fleet
+/// and export its endpoints through CITROEN_PEERS so every DistEvaluator
+/// built later in the process finds it. Call once near the top of main;
+/// keep the returned fleet alive for the whole run.
+inline std::unique_ptr<LocalPeerFleet> make_local_fleet_if_needed(int n = 2) {
+  if (!dist_enabled() || std::getenv("CITROEN_PEERS") != nullptr)
+    return nullptr;
+  auto fleet = std::make_unique<LocalPeerFleet>(n);
+  if (fleet->endpoints().empty()) return nullptr;
+  ::setenv("CITROEN_PEERS", fleet->endpoints_csv().c_str(), 1);
+  return fleet;
+}
+
+/// Null when dist is disabled; callers fall back to `stack` itself.
+/// `stack` is the local rung the pool degrades to (sandboxed or plain),
+/// `bottom` the ProgramEvaluator where remote memos are installed.
+inline std::unique_ptr<dist::DistEvaluator> make_dist_if_enabled(
+    sim::Evaluator& stack, sim::ProgramEvaluator& bottom,
+    const std::string& machine, dist::DistConfig config = {}) {
+  if (!dist_enabled()) return nullptr;
+  config.spec = dist::make_program_spec(bottom, machine);
+  return std::make_unique<dist::DistEvaluator>(stack, bottom, config);
+}
+
+}  // namespace citroen::bench

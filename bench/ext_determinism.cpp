@@ -10,6 +10,7 @@
 
 #include "baselines/tuners.hpp"
 #include "bench/bench_common.hpp"
+#include "bench/dist_runner.hpp"
 #include "bench/sandbox_runner.hpp"
 #include "bench/tuner_runner.hpp"
 #include "bench_suite/suite.hpp"
@@ -71,9 +72,14 @@ void batch_section(const std::string& program, const std::string& module) {
   // CITROEN_SANDBOX=1 routes the batch through the vetting sandbox; CI
   // byte-diffs this output against the sandbox-off run.
   auto sandboxed = bench::make_sandbox_if_enabled(eval);
-  sim::Evaluator& stack =
+  sim::Evaluator& local =
       sandboxed ? static_cast<sim::Evaluator&>(*sandboxed)
                 : static_cast<sim::Evaluator&>(eval);
+  // CITROEN_DIST=1 farms the pure measurements to peers first; CI
+  // byte-diffs this output against the dist-off run too.
+  auto dist = bench::make_dist_if_enabled(local, eval, "arm");
+  sim::Evaluator& stack =
+      dist ? static_cast<sim::Evaluator&>(*dist) : local;
   const auto batch = make_batch(module, 20);
   const auto outcomes = stack.evaluate_batch(batch);
   for (std::size_t i = 0; i < outcomes.size(); ++i)
@@ -97,9 +103,14 @@ void fault_section() {
                              sim::arm_a57_model());
   base.set_thread_pool(&ThreadPool::global());
   auto sandboxed = bench::make_sandbox_if_enabled(base);
-  sim::Evaluator& stack_base =
+  sim::Evaluator& local =
       sandboxed ? static_cast<sim::Evaluator&>(*sandboxed)
                 : static_cast<sim::Evaluator&>(base);
+  // Under a fault injector the dist pool pauses itself (peers ignore
+  // fault plans); keeping the layer here proves that safety valve.
+  auto dist = bench::make_dist_if_enabled(local, base, "arm");
+  sim::Evaluator& stack_base =
+      dist ? static_cast<sim::Evaluator&>(*dist) : local;
   sim::RobustEvaluator eval(stack_base, {}, &injector);
   const auto outcomes = eval.evaluate_batch(make_batch("sha", 20));
   for (std::size_t i = 0; i < outcomes.size(); ++i)
@@ -131,6 +142,9 @@ int main(int argc, char** argv) {
   const int seeds = args.seeds ? args.seeds : args.pick(2, 5);
   // Note: the pool size is deliberately NOT printed — the whole point is
   // that nothing else in the output may depend on it.
+  // With CITROEN_DIST=1 and no CITROEN_PEERS, fork a local peer fleet
+  // for the whole run (its size must not affect output either).
+  const auto fleet = bench::make_local_fleet_if_needed();
   std::printf("determinism gate\n");
 
   batch_section("security_sha", "sha");

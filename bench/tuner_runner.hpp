@@ -20,6 +20,7 @@
 
 #include "baselines/tuners.hpp"
 #include "bench/bench_persist.hpp"
+#include "bench/dist_runner.hpp"
 #include "bench/sandbox_runner.hpp"
 #include "bench_suite/suite.hpp"
 #include "citroen/tuner.hpp"
@@ -87,9 +88,15 @@ inline Vec run_tuner_job(const std::string& method, const std::string& program,
   // before the (byte-identical) in-process replay; the robust layer then
   // quarantines Worker* verdicts like any deterministic failure.
   auto sandboxed = make_sandbox_if_enabled(base);
-  sim::Evaluator& stack_base =
+  sim::Evaluator& local_stack =
       sandboxed ? static_cast<sim::Evaluator&>(*sandboxed)
                 : static_cast<sim::Evaluator&>(base);
+  // CITROEN_DIST=1 farms pure measurements to the peer pool first; the
+  // pool pauses itself while a fault injector is installed and degrades
+  // to `local_stack` on brownout, byte-identically either way.
+  auto dist = make_dist_if_enabled(local_stack, base, machine);
+  sim::Evaluator& stack_base =
+      dist ? static_cast<sim::Evaluator&>(*dist) : local_stack;
   std::unique_ptr<sim::FaultInjector> injector;
   std::unique_ptr<sim::RobustEvaluator> robust;
   if (faults) {

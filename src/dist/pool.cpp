@@ -1,0 +1,565 @@
+#include "dist/pool.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <unordered_set>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sandbox/protocol.hpp"
+#include "support/backoff.hpp"
+
+namespace citroen::dist {
+
+namespace {
+
+using sandbox::IoStatus;
+
+void sleep_seconds(double s) {
+  if (s <= 0) return;
+  timespec ts;
+  ts.tv_sec = static_cast<time_t>(s);
+  ts.tv_nsec = static_cast<long>((s - static_cast<double>(ts.tv_sec)) * 1e9);
+  while (::nanosleep(&ts, &ts) != 0 && errno == EINTR) {
+  }
+}
+
+/// Connect one endpoint: "unix:<path>" / bare path (contains '/') for
+/// Unix sockets, "tcp:<ip>:<port>" / "<ip>:<port>" for IPv4 TCP.
+int connect_endpoint(const std::string& endpoint) {
+  std::string rest = endpoint;
+  bool is_unix;
+  if (rest.rfind("unix:", 0) == 0) {
+    rest = rest.substr(5);
+    is_unix = true;
+  } else if (rest.rfind("tcp:", 0) == 0) {
+    rest = rest.substr(4);
+    is_unix = false;
+  } else {
+    is_unix = rest.find('/') != std::string::npos;
+  }
+
+  if (is_unix) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (rest.empty() || rest.size() >= sizeof(addr.sun_path)) return -1;
+    std::strncpy(addr.sun_path, rest.c_str(), sizeof(addr.sun_path) - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+
+  const auto colon = rest.rfind(':');
+  if (colon == std::string::npos) return -1;
+  const std::string host = rest.substr(0, colon);
+  const int port = std::atoi(rest.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.empty() ? "127.0.0.1" : host.c_str(),
+                  &addr.sin_addr) != 1)
+    return -1;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+const char* kind_label(sim::FailureKind k) {
+  return sim::failure_kind_name(k);
+}
+
+}  // namespace
+
+std::vector<std::string> parse_peer_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    std::size_t end = csv.find(',', start);
+    if (end == std::string::npos) end = csv.size();
+    std::string item = csv.substr(start, end - start);
+    // Trim surrounding whitespace.
+    while (!item.empty() && (item.front() == ' ' || item.front() == '\t'))
+      item.erase(item.begin());
+    while (!item.empty() && (item.back() == ' ' || item.back() == '\t'))
+      item.pop_back();
+    if (!item.empty()) out.push_back(std::move(item));
+    start = end + 1;
+  }
+  return out;
+}
+
+ProgramSpec make_program_spec(const sim::ProgramEvaluator& bottom,
+                              const std::string& machine,
+                              std::uint64_t workload_seed) {
+  ProgramSpec spec;
+  spec.program = bottom.program_name();
+  spec.machine = machine;
+  spec.workload_seed = workload_seed;
+  spec.max_instructions = bottom.exec_limits().max_instructions;
+  spec.max_memory_bytes = bottom.exec_limits().max_memory_bytes;
+  spec.max_call_depth = bottom.exec_limits().max_call_depth;
+  return spec;
+}
+
+DistEvaluator::DistEvaluator(sim::Evaluator& stack,
+                             sim::ProgramEvaluator& bottom, DistConfig config)
+    : stack_(stack), bottom_(bottom), config_(std::move(config)) {
+  ::signal(SIGPIPE, SIG_IGN);  // a dead peer surfaces as EPIPE, not a kill
+  if (config_.peers.empty()) {
+    if (const char* env = std::getenv("CITROEN_PEERS"))
+      config_.peers = parse_peer_list(env);
+  }
+  peers_.reserve(config_.peers.size());
+  for (const auto& endpoint : config_.peers) {
+    Peer p;
+    p.endpoint = endpoint;
+    peers_.push_back(std::move(p));
+  }
+  jitter_state_ = config_.jitter_seed != 0
+                      ? config_.jitter_seed
+                      : (static_cast<std::uint64_t>(::getpid()) << 32) ^
+                            reinterpret_cast<std::uintptr_t>(this);
+}
+
+DistEvaluator::~DistEvaluator() {
+  for (Peer& p : peers_) disconnect(p);
+}
+
+bool DistEvaluator::pool_usable() const {
+  return !degraded_ && !injector_set_ && !peers_.empty();
+}
+
+void DistEvaluator::disconnect(Peer& p) const {
+  if (p.fd >= 0) ::close(p.fd);
+  p.fd = -1;
+  p.reader.reset();
+  p.connected = false;
+  p.busy = false;
+  p.awaiting_pong = false;
+}
+
+bool DistEvaluator::try_connect(Peer& p) const {
+  const double deadline =
+      sandbox::monotonic_seconds() + config_.connect_timeout_seconds;
+  p.fd = connect_endpoint(p.endpoint);
+  if (p.fd < 0) return false;
+  p.reader = std::make_unique<sandbox::FrameReader>(p.fd);
+
+  if (sandbox::write_frame(
+          p.fd, tag_message(PeerMsg::Hello, encode_hello(config_.spec))) !=
+      IoStatus::Ok) {
+    disconnect(p);
+    return false;
+  }
+  std::string payload;
+  const double remaining =
+      std::max(0.0, deadline - sandbox::monotonic_seconds());
+  if (p.reader->read(&payload, remaining) != IoStatus::Ok) {
+    disconnect(p);
+    return false;
+  }
+  PeerMsg tag;
+  std::string_view body;
+  std::uint64_t pid = 0, fingerprint = 0;
+  if (!untag_message(payload, &tag, &body) || tag != PeerMsg::HelloOk ||
+      !decode_hello_ok(body, &pid, &fingerprint) ||
+      fingerprint != evaluator_fingerprint(bottom_)) {
+    // HelloErr, fingerprint divergence, or plain confusion: this peer
+    // would not produce bit-identical results — never use it.
+    disconnect(p);
+    return false;
+  }
+  p.pid = pid;
+  p.connected = true;
+  p.consecutive_failures = 0;
+  p.last_activity = sandbox::monotonic_seconds();
+  ++stats_.connects;
+  OBS_COUNTER_INC("citroen_dist_connects_total");
+  return true;
+}
+
+void DistEvaluator::handle_peer_failure(Peer& p, sim::FailureKind kind,
+                                        std::vector<BatchJob>& jobs,
+                                        std::vector<std::size_t>& queue) const {
+  switch (kind) {
+    case sim::FailureKind::PeerTimeout: ++stats_.peer_timeout; break;
+    case sim::FailureKind::PeerProtocol: ++stats_.peer_protocol; break;
+    default: ++stats_.peer_lost; break;
+  }
+  OBS_COUNTER_INC("citroen_dist_peer_deaths_total");
+  if (obs::trace_enabled())
+    obs::emit('I', "dist_peer_death", "dist", 0, "kind",
+              static_cast<std::uint64_t>(kind), kind_label(kind));
+
+  if (p.busy) {
+    if (obs::trace_enabled()) obs::emit('e', "dist_job", "dist", p.job_id);
+    BatchJob& job = jobs[p.job];
+    ++job.attempts;
+    if (job.attempts < config_.max_attempts_per_job) {
+      queue.push_back(p.job);
+      ++stats_.reassigned;
+      OBS_INSTANT_ARG("dist_reassign", "dist", "attempt", job.attempts);
+      OBS_COUNTER_INC("citroen_dist_reassigns_total");
+    } else {
+      // Out of remote attempts: the job falls through to the local
+      // stack (sandboxed or in-process), which owns correctness anyway.
+      job.done = true;
+      ++stats_.local_fallback;
+      OBS_COUNTER_INC("citroen_dist_local_fallback_total");
+    }
+  }
+
+  disconnect(p);
+  ++p.consecutive_failures;
+  if (p.consecutive_failures >= config_.breaker_threshold) {
+    if (!p.banned) {
+      p.banned = true;
+      ++stats_.bans;
+      OBS_INSTANT("dist_peer_banned", "dist");
+    }
+    return;
+  }
+  p.next_attempt =
+      sandbox::monotonic_seconds() +
+      support::respawn_backoff(p.consecutive_failures,
+                               config_.reconnect_backoff_seconds,
+                               config_.reconnect_backoff_max_seconds,
+                               config_.reconnect_jitter, &jitter_state_);
+}
+
+bool DistEvaluator::dispatch(Peer& p, std::size_t job_index,
+                             std::vector<BatchJob>& jobs,
+                             std::vector<std::size_t>& queue,
+                             bool with_measure) const {
+  sandbox::SandboxJob job;
+  job.id = next_job_id_++;
+  job.kind =
+      with_measure ? sandbox::JobKind::Evaluate : sandbox::JobKind::Compile;
+  job.assignment = *jobs[job_index].seqs;
+
+  ++stats_.jobs_dispatched;
+  OBS_COUNTER_INC("citroen_dist_jobs_total");
+  // Mark the peer busy *before* writing: a failed write then flows
+  // through handle_peer_failure, which requeues (or retires) the job —
+  // a job must never silently vanish from the batch.
+  p.busy = true;
+  p.job = job_index;
+  p.job_id = job.id;
+  p.last_activity = sandbox::monotonic_seconds();
+  p.deadline = config_.job_wall_timeout_seconds > 0
+                   ? p.last_activity + config_.job_wall_timeout_seconds
+                   : 0;
+  if (obs::trace_enabled())
+    obs::emit('b', "dist_job", "dist", job.id, "peer",
+              static_cast<std::uint64_t>(&p - peers_.data()));
+  if (sandbox::write_frame(
+          p.fd, tag_message(PeerMsg::Job, sandbox::encode_job(job))) !=
+      IoStatus::Ok) {
+    handle_peer_failure(p, sim::FailureKind::PeerLost, jobs, queue);
+    return false;
+  }
+
+  if (config_.kill_peer_job_id >= 0 &&
+      job.id == static_cast<std::uint64_t>(config_.kill_peer_job_id) &&
+      p.pid != 0) {
+    // TEST HOOK: external SIGKILL mid-job, exactly what the containment
+    // gate does to prove reassignment keeps output identical.
+    ::kill(static_cast<pid_t>(p.pid), SIGKILL);
+  }
+  return true;
+}
+
+bool DistEvaluator::service_frame(Peer& p, const std::string& payload,
+                                  std::vector<BatchJob>& jobs,
+                                  std::vector<std::size_t>& queue,
+                                  std::size_t* completed) const {
+  (void)queue;
+  PeerMsg tag;
+  std::string_view body;
+  if (!untag_message(payload, &tag, &body)) return false;
+
+  if (tag == PeerMsg::Pong) {
+    std::uint64_t nonce = 0;
+    if (!decode_nonce(body, &nonce)) return false;
+    p.awaiting_pong = false;
+    p.last_activity = sandbox::monotonic_seconds();
+    return true;
+  }
+  if (tag != PeerMsg::Result || !p.busy) return false;
+
+  sandbox::SandboxResult res;
+  std::string err;
+  if (!sandbox::decode_result(std::string(body), &res, &err)) return false;
+  if (res.id != p.job_id) return false;  // stream out of sync
+
+  if (res.status == sandbox::ResultStatus::Ok && res.pure.built &&
+      !res.pure.runs.empty())
+    bottom_.install_measure_memo(res.pure.binary_hash,
+                                 std::move(res.pure.runs));
+  // Oom / failed-build results still count as vetted: the remote side
+  // did the pure work and learned there is nothing to memoize; the
+  // local serial path recomputes that verdict from its own (cached)
+  // build, bit-identically.
+  BatchJob& job = jobs[p.job];
+  job.done = true;
+  vetted_.insert(job.sig);
+  ++stats_.jobs_ok;
+  if (completed) ++*completed;
+  if (obs::trace_enabled()) obs::emit('e', "dist_job", "dist", p.job_id);
+  p.busy = false;
+  p.consecutive_failures = 0;
+  p.last_activity = sandbox::monotonic_seconds();
+  return true;
+}
+
+void DistEvaluator::probe_peers() const {
+  std::vector<BatchJob> no_jobs;
+  std::vector<std::size_t> no_queue;
+  for (Peer& p : peers_) {
+    if (!p.connected || p.busy) continue;
+    const std::uint64_t nonce = ++ping_nonce_;
+    ++stats_.heartbeats;
+    OBS_COUNTER_INC("citroen_dist_heartbeats_total");
+    if (sandbox::write_frame(
+            p.fd, tag_message(PeerMsg::Ping, encode_nonce(nonce))) !=
+        IoStatus::Ok) {
+      handle_peer_failure(p, sim::FailureKind::PeerLost, no_jobs, no_queue);
+      continue;
+    }
+    std::string payload;
+    const IoStatus st =
+        p.reader->read(&payload, config_.heartbeat_timeout_seconds);
+    if (st == IoStatus::Timeout) {
+      handle_peer_failure(p, sim::FailureKind::PeerTimeout, no_jobs, no_queue);
+      continue;
+    }
+    if (st != IoStatus::Ok ||
+        !service_frame(p, payload, no_jobs, no_queue, nullptr)) {
+      handle_peer_failure(p,
+                          st == IoStatus::Corrupt || st == IoStatus::Ok
+                              ? sim::FailureKind::PeerProtocol
+                              : sim::FailureKind::PeerLost,
+                          no_jobs, no_queue);
+      continue;
+    }
+    p.awaiting_pong = false;
+  }
+}
+
+void DistEvaluator::brownout(const char* why) const {
+  if (degraded_) return;
+  degraded_ = true;
+  ++stats_.brownouts;
+  OBS_INSTANT("dist_brownout", "dist");
+  OBS_COUNTER_INC("citroen_dist_brownouts_total");
+  std::fprintf(stderr,
+               "citroen-dist: pool brownout (%s); degrading to the local "
+               "evaluation stack\n",
+               why);
+}
+
+void DistEvaluator::run_batch(std::span<const sim::SequenceAssignment> batch,
+                              bool with_measure) const {
+  if (!with_measure) return;  // compile-only vetting stays local (cheap)
+
+  std::vector<BatchJob> jobs;
+  std::vector<std::size_t> queue;
+  std::unordered_set<std::uint64_t> in_batch;
+  for (const auto& seqs : batch) {
+    const std::uint64_t sig = sim::assignment_signature(seqs);
+    if (vetted_.count(sig) || !in_batch.insert(sig).second) continue;
+    BatchJob job;
+    job.seqs = &seqs;
+    job.sig = sig;
+    jobs.push_back(job);
+    queue.push_back(jobs.size() - 1);
+  }
+  if (jobs.empty()) return;
+  OBS_SPAN("dist_batch", "dist");
+
+  auto any_busy = [&] {
+    for (const Peer& p : peers_)
+      if (p.busy) return true;
+    return false;
+  };
+
+  while (!degraded_ && (!queue.empty() || any_busy())) {
+    const double now = sandbox::monotonic_seconds();
+
+    // 1) (Re)connect peers that are due, while work remains.
+    if (!queue.empty()) {
+      for (Peer& p : peers_) {
+        if (p.connected || p.banned || now < p.next_attempt) continue;
+        if (!try_connect(p))
+          handle_peer_failure(p, sim::FailureKind::PeerLost, jobs, queue);
+      }
+    }
+
+    // 2) Dispatch queued jobs onto free peers (pipelined: every free
+    //    peer gets one in-flight job).
+    for (Peer& p : peers_) {
+      if (queue.empty()) break;
+      if (!p.connected || p.busy || p.awaiting_pong) continue;
+      const std::size_t job_index = queue.back();
+      queue.pop_back();
+      if (!dispatch(p, job_index, jobs, queue, with_measure)) continue;
+    }
+
+    // 3) Heartbeat-probe idle connected peers while we wait on others
+    //    (queue empty but jobs still in flight elsewhere).
+    for (Peer& p : peers_) {
+      if (!p.connected || p.busy || p.awaiting_pong) continue;
+      if (config_.heartbeat_interval_seconds > 0 &&
+          now - p.last_activity >= config_.heartbeat_interval_seconds) {
+        const std::uint64_t nonce = ++ping_nonce_;
+        ++stats_.heartbeats;
+        OBS_COUNTER_INC("citroen_dist_heartbeats_total");
+        if (sandbox::write_frame(
+                p.fd, tag_message(PeerMsg::Ping, encode_nonce(nonce))) !=
+            IoStatus::Ok) {
+          handle_peer_failure(p, sim::FailureKind::PeerLost, jobs, queue);
+          continue;
+        }
+        p.awaiting_pong = true;
+        p.pong_deadline = now + config_.heartbeat_timeout_seconds;
+      }
+    }
+
+    // 4) Total-brownout check: nothing in flight, work queued, and no
+    //    peer can ever take it.
+    if (!queue.empty() && !any_busy()) {
+      bool any_candidate = false;
+      double earliest = 0;
+      for (const Peer& p : peers_) {
+        if (p.banned) continue;
+        any_candidate = true;
+        if (!p.connected)
+          earliest = earliest == 0 ? p.next_attempt
+                                   : std::min(earliest, p.next_attempt);
+      }
+      if (!any_candidate) {
+        stats_.local_fallback += queue.size();
+        for (const std::size_t j : queue) jobs[j].done = true;
+        queue.clear();
+        brownout("every peer banned");
+        break;
+      }
+      bool any_connected_free = false;
+      for (const Peer& p : peers_)
+        if (p.connected && !p.busy) any_connected_free = true;
+      if (!any_connected_free) {
+        // All candidates are backing off; sleep to the earliest gate.
+        sleep_seconds(std::clamp(earliest - now, 0.001, 0.1));
+        continue;
+      }
+      continue;  // a free connected peer exists: loop back to dispatch
+    }
+
+    // 5) Wait for results/pongs with a deadline-aware poll.
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> owners;
+    double wake = now + 0.25;
+    for (std::size_t i = 0; i < peers_.size(); ++i) {
+      Peer& p = peers_[i];
+      if (!p.connected) continue;
+      if (p.busy || p.awaiting_pong) {
+        fds.push_back(pollfd{p.fd, POLLIN, 0});
+        owners.push_back(i);
+        if (p.busy && p.deadline > 0) wake = std::min(wake, p.deadline);
+        if (p.awaiting_pong) wake = std::min(wake, p.pong_deadline);
+      }
+    }
+    if (!fds.empty()) {
+      const int timeout_ms = std::max(
+          1, static_cast<int>((wake - sandbox::monotonic_seconds()) * 1e3));
+      const int rc = ::poll(fds.data(), fds.size(), timeout_ms);
+      if (rc > 0) {
+        for (std::size_t k = 0; k < fds.size(); ++k) {
+          if ((fds[k].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+          Peer& p = peers_[owners[k]];
+          if (!p.connected) continue;  // torn down by an earlier iteration
+          bool failed = false;
+          sim::FailureKind kind = sim::FailureKind::PeerLost;
+          do {
+            std::string payload;
+            std::string err;
+            const IoStatus st = p.reader->read(&payload, 0.0, &err);
+            if (st == IoStatus::Timeout) break;  // drained
+            if (st == IoStatus::Ok) {
+              std::size_t completed = 0;
+              if (!service_frame(p, payload, jobs, queue, &completed)) {
+                failed = true;
+                kind = sim::FailureKind::PeerProtocol;
+                break;
+              }
+              continue;
+            }
+            failed = true;
+            kind = st == IoStatus::Corrupt ? sim::FailureKind::PeerProtocol
+                                           : sim::FailureKind::PeerLost;
+            break;
+          } while (p.reader && p.reader->pending());
+          if (failed) handle_peer_failure(p, kind, jobs, queue);
+        }
+      }
+    }
+
+    // 6) Enforce wall deadlines (job and pong).
+    const double after = sandbox::monotonic_seconds();
+    for (Peer& p : peers_) {
+      if (!p.connected) continue;
+      if (p.busy && p.deadline > 0 && after >= p.deadline)
+        handle_peer_failure(p, sim::FailureKind::PeerTimeout, jobs, queue);
+      else if (p.awaiting_pong && after >= p.pong_deadline)
+        handle_peer_failure(p, sim::FailureKind::PeerTimeout, jobs, queue);
+    }
+  }
+
+  if (degraded_) {
+    // Anything still queued or in flight at brownout falls back locally.
+    stats_.local_fallback += queue.size();
+    queue.clear();
+    for (Peer& p : peers_) disconnect(p);
+  }
+}
+
+sim::EvalOutcome DistEvaluator::evaluate(const sim::SequenceAssignment& seqs) {
+  if (pool_usable()) {
+    const std::uint64_t sig = sim::assignment_signature(seqs);
+    if (!vetted_.count(sig))
+      run_batch(std::span<const sim::SequenceAssignment>(&seqs, 1),
+                /*with_measure=*/true);
+  }
+  return stack_.evaluate(seqs);
+}
+
+void DistEvaluator::prefetch(std::span<const sim::SequenceAssignment> batch,
+                             bool with_measure) {
+  if (pool_usable()) run_batch(batch, with_measure);
+  stack_.prefetch(batch, with_measure);
+}
+
+}  // namespace citroen::dist

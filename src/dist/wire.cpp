@@ -1,0 +1,143 @@
+#include "dist/wire.hpp"
+
+#include "persist/codec.hpp"
+#include "sim/evaluator.hpp"
+
+namespace citroen::dist {
+
+const char* peer_msg_name(PeerMsg m) {
+  switch (m) {
+    case PeerMsg::Hello: return "hello";
+    case PeerMsg::HelloOk: return "hello-ok";
+    case PeerMsg::HelloErr: return "hello-err";
+    case PeerMsg::Job: return "job";
+    case PeerMsg::Result: return "result";
+    case PeerMsg::Ping: return "ping";
+    case PeerMsg::Pong: return "pong";
+  }
+  return "unknown";
+}
+
+std::string tag_message(PeerMsg tag, std::string_view body) {
+  std::string out;
+  out.reserve(1 + body.size());
+  out.push_back(static_cast<char>(tag));
+  out.append(body.data(), body.size());
+  return out;
+}
+
+bool untag_message(std::string_view payload, PeerMsg* tag,
+                   std::string_view* body) {
+  if (payload.empty()) return false;
+  const auto t = static_cast<std::uint8_t>(payload[0]);
+  if (t < static_cast<std::uint8_t>(PeerMsg::Hello) ||
+      t > static_cast<std::uint8_t>(PeerMsg::Pong))
+    return false;
+  *tag = static_cast<PeerMsg>(t);
+  *body = payload.substr(1);
+  return true;
+}
+
+std::string encode_hello(const ProgramSpec& spec) {
+  persist::Writer w;
+  w.u32(kProtocolVersion);
+  w.str(spec.program);
+  w.str(spec.machine);
+  w.u64(spec.workload_seed);
+  persist::put(w, spec.extra_workload_seeds);
+  w.u64(spec.max_instructions);
+  w.u64(spec.max_memory_bytes);
+  w.i32(spec.max_call_depth);
+  return w.take();
+}
+
+bool decode_hello(std::string_view body, ProgramSpec* spec,
+                  std::string* error) {
+  try {
+    persist::Reader r(body.data(), body.size());
+    const std::uint32_t version = r.u32();
+    if (version != kProtocolVersion) {
+      *error = "protocol version mismatch";
+      return false;
+    }
+    spec->program = r.str();
+    spec->machine = r.str();
+    spec->workload_seed = r.u64();
+    persist::get(r, spec->extra_workload_seeds);
+    spec->max_instructions = r.u64();
+    spec->max_memory_bytes = r.u64();
+    spec->max_call_depth = r.i32();
+    if (!r.at_end()) {
+      *error = "trailing bytes in hello";
+      return false;
+    }
+    return true;
+  } catch (const std::exception& e) {
+    *error = e.what();
+    return false;
+  }
+}
+
+std::string encode_hello_ok(std::uint64_t pid, std::uint64_t fingerprint) {
+  persist::Writer w;
+  w.u64(pid);
+  w.u64(fingerprint);
+  return w.take();
+}
+
+bool decode_hello_ok(std::string_view body, std::uint64_t* pid,
+                     std::uint64_t* fingerprint) {
+  try {
+    persist::Reader r(body.data(), body.size());
+    *pid = r.u64();
+    *fingerprint = r.u64();
+    return r.at_end();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+std::string encode_hello_err(const std::string& reason) {
+  persist::Writer w;
+  w.str(reason);
+  return w.take();
+}
+
+bool decode_hello_err(std::string_view body, std::string* reason) {
+  try {
+    persist::Reader r(body.data(), body.size());
+    *reason = r.str();
+    return r.at_end();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+std::string encode_nonce(std::uint64_t nonce) {
+  persist::Writer w;
+  w.u64(nonce);
+  return w.take();
+}
+
+bool decode_nonce(std::string_view body, std::uint64_t* nonce) {
+  try {
+    persist::Reader r(body.data(), body.size());
+    *nonce = r.u64();
+    return r.at_end();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+std::uint64_t evaluator_fingerprint(const sim::ProgramEvaluator& eval) {
+  // FNV-fold the structural program hash with the two scalars a peer
+  // could silently diverge on (different workload seeds change the
+  // reference checksum; a missing add_workload changes the run count).
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t h = sim::program_hash(eval.base_program());
+  h = (h ^ static_cast<std::uint64_t>(eval.reference_output())) * kPrime;
+  h = (h ^ static_cast<std::uint64_t>(eval.num_workloads())) * kPrime;
+  return h;
+}
+
+}  // namespace citroen::dist

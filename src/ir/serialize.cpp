@@ -1,0 +1,182 @@
+#include "ir/serialize.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace citroen::ir {
+
+namespace {
+
+constexpr std::uint8_t kLastOpcode = static_cast<std::uint8_t>(Opcode::Phi);
+constexpr std::uint8_t kLastScalar = static_cast<std::uint8_t>(Scalar::Ptr);
+constexpr std::uint8_t kLastPred = static_cast<std::uint8_t>(CmpPred::OGE);
+
+/// Read an element count that is about to drive a container reserve.
+/// Every encoded element occupies at least one byte, so any count beyond
+/// the bytes actually remaining is corruption — reject it here instead of
+/// letting a garbage 2^60 count trigger a bad_alloc before the Reader's
+/// own bounds check fires.
+std::size_t read_count(persist::Reader& r) {
+  const std::uint64_t n = r.u64();
+  if (n > r.remaining())
+    throw std::runtime_error("ir-codec: element count exceeds payload");
+  return static_cast<std::size_t>(n);
+}
+
+void put_ids(persist::Writer& w, const std::vector<std::int32_t>& v) {
+  w.u64(v.size());
+  for (const std::int32_t x : v) w.i32(x);
+}
+
+void get_ids(persist::Reader& r, std::vector<std::int32_t>& v) {
+  const std::size_t n = read_count(r);
+  v.clear();
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) v.push_back(r.i32());
+}
+
+std::uint8_t checked_u8(persist::Reader& r, std::uint8_t last,
+                        const char* what) {
+  const std::uint8_t v = r.u8();
+  if (v > last)
+    throw std::runtime_error(std::string("ir-codec: bad ") + what);
+  return v;
+}
+
+}  // namespace
+
+void put(persist::Writer& w, const Type& t) {
+  w.u8(static_cast<std::uint8_t>(t.scalar));
+  w.u8(t.lanes);
+}
+
+void get(persist::Reader& r, Type& t) {
+  t.scalar = static_cast<Scalar>(checked_u8(r, kLastScalar, "scalar"));
+  t.lanes = r.u8();
+}
+
+void put(persist::Writer& w, const Instr& in) {
+  w.u8(static_cast<std::uint8_t>(in.op));
+  put(w, in.type);
+  put_ids(w, in.ops);
+  w.i64(in.imm);
+  w.f64(in.fimm);
+  w.u8(static_cast<std::uint8_t>(in.pred));
+  w.i32(in.alloca_bytes);
+  w.i32(in.global_index);
+  w.i32(in.stride);
+  w.str(in.callee);
+  put_ids(w, in.phi_blocks);
+  put_ids(w, in.succs);
+  w.i32(in.arg_index);
+}
+
+void get(persist::Reader& r, Instr& in) {
+  in.op = static_cast<Opcode>(checked_u8(r, kLastOpcode, "opcode"));
+  get(r, in.type);
+  get_ids(r, in.ops);
+  in.imm = r.i64();
+  in.fimm = r.f64();
+  in.pred = static_cast<CmpPred>(checked_u8(r, kLastPred, "predicate"));
+  in.alloca_bytes = r.i32();
+  in.global_index = r.i32();
+  in.stride = r.i32();
+  in.callee = r.str();
+  get_ids(r, in.phi_blocks);
+  get_ids(r, in.succs);
+  in.arg_index = r.i32();
+}
+
+void put(persist::Writer& w, const BasicBlock& bb) {
+  w.str(bb.name);
+  put_ids(w, bb.insts);
+}
+
+void get(persist::Reader& r, BasicBlock& bb) {
+  bb.name = r.str();
+  get_ids(r, bb.insts);
+}
+
+void put(persist::Writer& w, const Function& f) {
+  w.str(f.name);
+  put(w, f.ret_type);
+  w.u64(f.arg_types.size());
+  for (const Type& t : f.arg_types) put(w, t);
+  w.u64(f.instrs.size());
+  for (const Instr& in : f.instrs) put(w, in);
+  w.u64(f.blocks.size());
+  for (const BasicBlock& bb : f.blocks) put(w, bb);
+  w.b(f.internal);
+  w.b(f.attr_readnone);
+  w.b(f.attr_argmemonly);
+}
+
+void get(persist::Reader& r, Function& f) {
+  f.name = r.str();
+  get(r, f.ret_type);
+  std::size_t n = read_count(r);
+  f.arg_types.clear();
+  f.arg_types.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) get(r, f.arg_types.emplace_back());
+  n = read_count(r);
+  f.instrs.clear();
+  f.instrs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) get(r, f.instrs.emplace_back());
+  n = read_count(r);
+  f.blocks.clear();
+  f.blocks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) get(r, f.blocks.emplace_back());
+  f.internal = r.b();
+  f.attr_readnone = r.b();
+  f.attr_argmemonly = r.b();
+}
+
+void put(persist::Writer& w, const GlobalVar& g) {
+  w.str(g.name);
+  w.u64(g.init.size());
+  w.bytes(g.init.data(), g.init.size());
+}
+
+void get(persist::Reader& r, GlobalVar& g) {
+  g.name = r.str();
+  const std::size_t n = read_count(r);
+  g.init.resize(n);
+  for (std::size_t i = 0; i < n; ++i) g.init[i] = r.u8();
+}
+
+void put(persist::Writer& w, const Module& m) {
+  w.str(m.name);
+  w.u64(m.functions.size());
+  for (const Function& f : m.functions) put(w, f);
+  w.u64(m.globals.size());
+  for (const GlobalVar& g : m.globals) put(w, g);
+}
+
+void get(persist::Reader& r, Module& m) {
+  m.name = r.str();
+  std::size_t n = read_count(r);
+  m.functions.clear();
+  m.functions.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) get(r, m.functions.emplace_back());
+  n = read_count(r);
+  m.globals.clear();
+  m.globals.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) get(r, m.globals.emplace_back());
+}
+
+std::string encode_module(const Module& m) {
+  persist::Writer w;
+  put(w, m);
+  return w.take();
+}
+
+Module decode_module(const std::string& bytes) {
+  persist::Reader r(bytes);
+  Module m;
+  get(r, m);
+  if (!r.at_end())
+    throw std::runtime_error("ir-codec: trailing bytes after module");
+  return m;
+}
+
+}  // namespace citroen::ir

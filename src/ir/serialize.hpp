@@ -1,0 +1,42 @@
+#pragma once
+// Bit-exact binary serialization of MiniIR modules via the persist codec.
+//
+// The prefix cache's disk tier spills finalized `ModuleBuild`s, which
+// embed a full `ir::Module`; this codec is the module half of that entry
+// format. Encoding is canonical — structs are written field-for-field in
+// declaration order through the little-endian persist Writer — so the
+// same module always produces the same bytes and a round trip restores
+// every field bit-for-bit (doubles travel as IEEE-754 bit patterns).
+// Decoding runs against a bounds-checked Reader and throws
+// `std::runtime_error` on any truncation, oversized count, or
+// out-of-range enum value: a torn or corrupt payload surfaces as a
+// recoverable error the cache turns into a miss, never as UB.
+
+#include "ir/module.hpp"
+#include "persist/codec.hpp"
+
+namespace citroen::ir {
+
+void put(persist::Writer& w, const Type& t);
+void get(persist::Reader& r, Type& t);
+
+void put(persist::Writer& w, const Instr& in);
+void get(persist::Reader& r, Instr& in);
+
+void put(persist::Writer& w, const BasicBlock& bb);
+void get(persist::Reader& r, BasicBlock& bb);
+
+void put(persist::Writer& w, const Function& f);
+void get(persist::Reader& r, Function& f);
+
+void put(persist::Writer& w, const GlobalVar& g);
+void get(persist::Reader& r, GlobalVar& g);
+
+void put(persist::Writer& w, const Module& m);
+void get(persist::Reader& r, Module& m);
+
+/// Convenience wrappers over put/get(Module).
+std::string encode_module(const Module& m);
+Module decode_module(const std::string& bytes);  ///< throws on corruption
+
+}  // namespace citroen::ir

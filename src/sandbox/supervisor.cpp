@@ -16,6 +16,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "passes/pass.hpp"
+#include "support/backoff.hpp"
 #include "support/env.hpp"
 
 namespace citroen::sandbox {
@@ -40,13 +41,6 @@ void sleep_seconds(double s) {
   ts.tv_nsec = static_cast<long>((s - static_cast<double>(ts.tv_sec)) * 1e9);
   while (::nanosleep(&ts, &ts) != 0 && errno == EINTR) {
   }
-}
-
-std::uint64_t splitmix64(std::uint64_t& state) {
-  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-  return z ^ (z >> 31);
 }
 
 std::string describe_signal(int sig) {
@@ -90,11 +84,7 @@ void ingest_worker_obs(const SandboxResult& res, pid_t pid) {
 
 double jittered_backoff(double base_seconds, double jitter,
                         std::uint64_t* state) {
-  const double j = std::clamp(jitter, 0.0, 1.0);
-  if (j <= 0) return base_seconds;
-  const double unit =
-      static_cast<double>(splitmix64(*state) >> 11) * 0x1.0p-53;
-  return base_seconds * (1.0 - j + 2.0 * j * unit);
+  return support::jittered_backoff(base_seconds, jitter, state);
 }
 
 SandboxedEvaluator::SandboxedEvaluator(sim::ProgramEvaluator& base,
@@ -325,16 +315,13 @@ void SandboxedEvaluator::handle_death(std::size_t slot, std::uint64_t sig,
     trip_breaker("consecutive worker deaths");
     return;
   }
-  const double backoff =
-      std::min(config_.respawn_backoff_max_seconds,
-               config_.respawn_backoff_seconds *
-                   static_cast<double>(1u << std::min(consecutive_deaths_ - 1,
-                                                      16)));
   // Seeded jitter decorrelates sibling supervisors after a correlated
   // crash (one bad candidate fanned out to every job's pool): without it
   // they all sleep the same exponential schedule and refork in lockstep.
-  sleep_seconds(
-      jittered_backoff(backoff, config_.respawn_jitter, &jitter_state_));
+  sleep_seconds(support::respawn_backoff(
+      consecutive_deaths_, config_.respawn_backoff_seconds,
+      config_.respawn_backoff_max_seconds, config_.respawn_jitter,
+      &jitter_state_));
   if (spawn_worker(slot)) {
     ++stats_.respawns;
   } else {

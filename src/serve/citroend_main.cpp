@@ -3,7 +3,13 @@
 //   citroend --socket /tmp/citroend.sock --state-dir /var/lib/citroend \
 //            [--resume] [--tcp-port N] [--max-jobs N] \
 //            [--tenant-jobs N] [--tenant-evals N] [--quantum N] \
-//            [--drain-deadline SECONDS]
+//            [--drain-deadline SECONDS] \
+//            [--peers LIST] [--cache-dir DIR]
+//
+// --peers takes a comma-separated endpoint list (unix:/path or ip:port)
+// of citroen-peer processes to farm measurements to; a peer pool that
+// browns out degrades to local evaluation with byte-identical results.
+// --cache-dir enables the prefix cache's persistent disk tier there.
 //
 // Exit status follows the persist taxonomy: 0 when every job completed,
 // 75 when a drain checkpointed resumable work (restart with --resume to
@@ -13,6 +19,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "dist/pool.hpp"
 #include "serve/server.hpp"
 
 namespace {
@@ -22,7 +29,8 @@ void usage(const char* argv0) {
       stderr,
       "usage: %s --socket PATH --state-dir DIR [--resume] [--tcp-port N]\n"
       "          [--max-jobs N] [--tenant-jobs N] [--tenant-evals N]\n"
-      "          [--quantum N] [--drain-deadline SECONDS]\n",
+      "          [--quantum N] [--drain-deadline SECONDS]\n"
+      "          [--peers ENDPOINT[,ENDPOINT...]] [--cache-dir DIR]\n",
       argv0);
 }
 
@@ -51,6 +59,10 @@ int main(int argc, char** argv) {
       cfg.drr_quantum = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (s == "--drain-deadline" && i + 1 < argc) {
       cfg.drain_deadline_seconds = std::atof(argv[++i]);
+    } else if (s == "--peers" && i + 1 < argc) {
+      cfg.peers = citroen::dist::parse_peer_list(argv[++i]);
+    } else if (s == "--cache-dir" && i + 1 < argc) {
+      cfg.cache_dir = argv[++i];
     } else if (s == "--help" || s == "-h") {
       usage(argv[0]);
       return 0;

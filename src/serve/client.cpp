@@ -11,18 +11,9 @@
 #include <csignal>
 #include <cstring>
 
+#include "support/backoff.hpp"
+
 namespace citroen::serve {
-
-namespace {
-
-std::uint64_t splitmix64(std::uint64_t& state) {
-  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-  return z ^ (z >> 31);
-}
-
-}  // namespace
 
 Client::Client(ClientConfig config) : config_(std::move(config)) {
   jitter_state_ = config_.jitter_seed != 0
@@ -41,14 +32,11 @@ void Client::disconnect() {
 }
 
 double Client::backoff_delay(int attempt) {
-  const double cap = std::min(
-      config_.backoff_max_seconds,
-      config_.backoff_initial_seconds * std::ldexp(1.0, std::min(attempt, 20)));
-  // Full jitter: uniform in (0, cap]. Decorrelates the reconnect stampede
-  // when a daemon restart drops every client at once.
-  const double unit =
-      static_cast<double>(splitmix64(jitter_state_) >> 11) * 0x1.0p-53;
-  return cap * (0.1 + 0.9 * unit);
+  // Full jitter decorrelates the reconnect stampede when a daemon restart
+  // drops every client at once.
+  return support::full_jitter_backoff(attempt, config_.backoff_initial_seconds,
+                                      config_.backoff_max_seconds,
+                                      &jitter_state_);
 }
 
 void Client::sleep_seconds(double s) {

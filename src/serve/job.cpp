@@ -6,6 +6,7 @@
 #include "baselines/tuners.hpp"
 #include "bench_suite/suite.hpp"
 #include "citroen/tuner.hpp"
+#include "dist/pool.hpp"
 #include "obs/trace.hpp"
 #include "persist/checkpoint.hpp"
 #include "persist/codec.hpp"
@@ -48,11 +49,12 @@ namespace detail {
 
 /// The evaluator/tuner stack behind one job. Member order is the
 /// destruction contract: tuners die before the journaled evaluator,
-/// which dies before the session, which dies before the sandbox and the
-/// base evaluator.
+/// which dies before the session, which dies before the dist pool, the
+/// sandbox and the base evaluator.
 struct JobStack {
   std::unique_ptr<sim::ProgramEvaluator> base;
   std::unique_ptr<sandbox::SandboxedEvaluator> sandboxed;
+  std::unique_ptr<dist::DistEvaluator> dist;
   std::unique_ptr<persist::RunSession> session;
   std::unique_ptr<persist::JournaledEvaluator> jeval;
   std::unique_ptr<core::CitroenTuner> citroen;
@@ -122,7 +124,8 @@ bool load_job_record(const std::string& path, JobRecord* rec,
 TuningJob::TuningJob(JobRecord record, const std::string& state_dir,
                      bool resume,
                      const std::shared_ptr<sim::PrefixCache>& shared_cache,
-                     int fsync_every, int checkpoint_every)
+                     int fsync_every, int checkpoint_every,
+                     const std::vector<std::string>& dist_peers)
     : record_(std::move(record)), stack_(std::make_unique<detail::JobStack>()) {
   if (record_.cancelled) {
     state_ = JobState::Cancelled;
@@ -139,9 +142,19 @@ TuningJob::TuningJob(JobRecord record, const std::string& state_dir,
   // candidate out-of-process first; results stay byte-identical.
   if (support::env_flag("CITROEN_SANDBOX"))
     s.sandboxed = std::make_unique<sandbox::SandboxedEvaluator>(*s.base);
-  sim::Evaluator& inner =
+  sim::Evaluator& local =
       s.sandboxed ? static_cast<sim::Evaluator&>(*s.sandboxed)
                   : static_cast<sim::Evaluator&>(*s.base);
+  // The dist pool decorates the local stack; an empty / browned-out pool
+  // is inert, so results are byte-identical either way.
+  if (!dist_peers.empty() || support::env_flag("CITROEN_DIST")) {
+    dist::DistConfig dcfg;
+    dcfg.peers = dist_peers;  // empty consults CITROEN_PEERS
+    dcfg.spec = dist::make_program_spec(*s.base, record_.spec.machine);
+    s.dist = std::make_unique<dist::DistEvaluator>(local, *s.base, dcfg);
+  }
+  sim::Evaluator& inner =
+      s.dist ? static_cast<sim::Evaluator&>(*s.dist) : local;
 
   persist::SessionConfig scfg;
   scfg.dir = state_dir;

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "serve/wire.hpp"
 #include "support/matrix.hpp"
@@ -58,9 +59,14 @@ class TuningJob {
   /// reject at submit time and a Failed result at resume time.
   /// `shared_cache` is the daemon-wide prefix cache (pure memoization:
   /// sharing it across jobs changes wall clock only, never results).
+  /// `dist_peers` names remote evaluation peers (dist/pool.hpp) the stack
+  /// farms pure measurements to; empty consults CITROEN_DIST /
+  /// CITROEN_PEERS, and a pool that browns out degrades to the local
+  /// stack with byte-identical results.
   TuningJob(JobRecord record, const std::string& state_dir, bool resume,
             const std::shared_ptr<sim::PrefixCache>& shared_cache,
-            int fsync_every = 64, int checkpoint_every = 10);
+            int fsync_every = 64, int checkpoint_every = 10,
+            const std::vector<std::string>& dist_peers = {});
   ~TuningJob();
 
   TuningJob(const TuningJob&) = delete;

@@ -62,11 +62,19 @@ struct Server::Conn {
   std::set<std::uint64_t> attached;  ///< job ids this client watches
 };
 
+namespace {
+sim::PrefixCacheConfig cache_config_for(const ServerConfig& cfg) {
+  sim::PrefixCacheConfig c;
+  c.disk_dir = cfg.cache_dir;  // empty falls back to $CITROEN_CACHE_DIR
+  return c;
+}
+}  // namespace
+
 Server::Server(ServerConfig config)
     : config_(std::move(config)),
       admission_(config_.quotas),
       scheduler_(config_.drr_quantum),
-      cache_(std::make_shared<sim::PrefixCache>()) {}
+      cache_(std::make_shared<sim::PrefixCache>(cache_config_for(config_))) {}
 
 Server::~Server() { close_listeners(); }
 
@@ -167,7 +175,8 @@ void Server::resume_jobs() {
       job = std::make_unique<TuningJob>(std::move(rec), config_.state_dir,
                                         /*resume=*/true, cache_,
                                         config_.fsync_every,
-                                        config_.checkpoint_every);
+                                        config_.checkpoint_every,
+                                        config_.peers);
     } catch (const std::exception& e) {
       // Spec no longer constructible (e.g. version skew): keep the error
       // so a re-attaching client gets a Failed result, not UnknownJob.
@@ -298,7 +307,8 @@ bool Server::handle_frame(Conn& c, const std::string& payload) {
         job = std::make_unique<TuningJob>(rec, config_.state_dir,
                                           /*resume=*/false, cache_,
                                           config_.fsync_every,
-                                          config_.checkpoint_every);
+                                          config_.checkpoint_every,
+                                          config_.peers);
         // Durable BEFORE the Accept frame: once the client sees Accept,
         // the job survives any daemon crash.
         save_job_record(config_.state_dir, rec);

@@ -30,6 +30,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "serve/admission.hpp"
 #include "serve/job.hpp"
@@ -55,6 +56,13 @@ struct ServerConfig {
   double client_write_timeout_seconds = 5.0;
   /// Poll timeout while idle (no runnable job), milliseconds.
   int idle_poll_ms = 100;
+  /// Directory for the prefix cache's persistent disk tier. Empty falls
+  /// back to $CITROEN_CACHE_DIR; still empty keeps the cache RAM-only.
+  std::string cache_dir;
+  /// Remote evaluation peers (dist/pool.hpp endpoint syntax) every job's
+  /// evaluator stack farms measurements to. Empty falls back to
+  /// $CITROEN_PEERS when CITROEN_DIST=1; still empty stays local.
+  std::vector<std::string> peers;
 };
 
 class Server {

@@ -1,0 +1,84 @@
+#pragma once
+// Disk tier for the prefix cache: content-addressed, CRC-guarded spill
+// of finalized ModuleBuilds so warm caches survive daemon restarts and
+// are shareable across machines.
+//
+// Entry format (one file per finalized sequence, named by the 64-bit
+// prefix-cache key the RAM tier already computes — the key folds the
+// module content hash, so the file name is content-addressed):
+//
+//   [8B magic "CTRNPFX1"][u64 key echo][u64 payload len][u32 crc32(payload)]
+//   [payload]
+//
+// where the payload is the persist-codec encoding of the ModuleBuild
+// (flags, error text, ir::Module via ir/serialize, stats counters by
+// name, print hash, code size). Writes go through the atomic
+// tmp + fsync + rename idiom the checkpoint layer uses, so readers only
+// ever observe complete files — concurrent writers of the same key race
+// benignly (deterministic builds produce identical bytes).
+//
+// The load path trusts nothing: a missing file is a miss; a short file,
+// bad magic, key mismatch, CRC mismatch, codec overrun, or any decode
+// exception quarantines the file (rename to "<name>.bad") and reports a
+// miss. The tier never throws and never returns a value that failed its
+// checksum, so a torn write or bit rot costs one rebuild, not a crash
+// and not a wrong answer.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "sim/prefix_cache.hpp"
+
+namespace citroen::sim {
+
+struct DiskTierStats {
+  std::uint64_t hits = 0;         ///< loads that passed every check
+  std::uint64_t misses = 0;       ///< absent entries (clean miss)
+  std::uint64_t stores = 0;       ///< entries durably written
+  std::uint64_t store_errors = 0; ///< failed writes (disk full, perms, ...)
+  std::uint64_t quarantined = 0;  ///< corrupt entries renamed aside
+};
+
+class DiskCacheTier {
+ public:
+  /// Creates `dir` (and parents) if needed. A directory that cannot be
+  /// created disables the tier (enabled() == false) rather than failing
+  /// the run: the cache above degrades to RAM-only.
+  explicit DiskCacheTier(std::string dir);
+
+  bool enabled() const { return enabled_; }
+  const std::string& dir() const { return dir_; }
+
+  /// Durably store a finalized build under `key`. Best-effort: failures
+  /// bump a counter and are otherwise silent. Existing entries are left
+  /// untouched (same key => same bytes).
+  void store(std::uint64_t key, const ModuleBuild& build) const;
+
+  /// Load the entry for `key`. nullptr means miss — whether the file was
+  /// absent, torn, corrupt, or truncated (the latter three quarantine the
+  /// file first). Never throws.
+  std::shared_ptr<const ModuleBuild> load(std::uint64_t key) const;
+
+  DiskTierStats stats() const;
+
+  /// Path an entry for `key` lives at (exposed for tests that corrupt
+  /// entries on purpose).
+  std::string entry_path(std::uint64_t key) const;
+
+ private:
+  void bump(std::uint64_t DiskTierStats::* field) const;
+  void quarantine(const std::string& path) const;
+
+  std::string dir_;
+  bool enabled_ = false;
+  mutable std::mutex stats_mu_;
+  mutable DiskTierStats stats_;
+};
+
+/// Payload (en|de)coding, exposed for corruption property tests.
+std::string encode_module_build(const ModuleBuild& build);
+ModuleBuild decode_module_build(const std::string& payload);  ///< throws
+
+}  // namespace citroen::sim

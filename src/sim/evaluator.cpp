@@ -67,6 +67,9 @@ const char* failure_kind_name(FailureKind k) {
     case FailureKind::WorkerCrash: return "worker-crash";
     case FailureKind::WorkerTimeout: return "worker-timeout";
     case FailureKind::WorkerOOM: return "worker-oom";
+    case FailureKind::PeerLost: return "peer-lost";
+    case FailureKind::PeerTimeout: return "peer-timeout";
+    case FailureKind::PeerProtocol: return "peer-protocol";
   }
   return "unknown";
 }
@@ -112,6 +115,13 @@ ProgramEvaluator::ProgramEvaluator(ir::Program base, ir::CostModel machine,
   if (!errs.empty())
     throw std::runtime_error("base program invalid: " + errs.front());
 
+  // Content salts must exist before the first build (the -O3 reference
+  // below), or constructor-time cache keys would alias by module name
+  // alone — harmless in a private RAM cache, wrong the moment a cache is
+  // shared across evaluators or spilled to the disk tier.
+  for (const auto& m : base_.modules)
+    module_salt_[m.name] = fnv_string(ir::print_module(m));
+
   const auto o0 = ir::interpret(base_, machine_, limits_);
   if (!o0.ok)
     throw std::runtime_error("base program traps: " + o0.trap);
@@ -129,8 +139,6 @@ ProgramEvaluator::ProgramEvaluator(ir::Program base, ir::CostModel machine,
   o3_module_cycles_ = o3.module_cycles;
   for (const auto& m : o3_built_.modules)
     o3_module_print_hash_[m.name] = fnv_string(ir::print_module(m));
-  for (const auto& m : base_.modules)
-    module_salt_[m.name] = fnv_string(ir::print_module(m));
 }
 
 void ProgramEvaluator::set_exec_limits(const ir::ExecLimits& limits) {

@@ -74,6 +74,13 @@ enum class FailureKind {
   WorkerCrash,    ///< evaluation killed its sandbox worker (signal/exit)
   WorkerTimeout,  ///< evaluation blew its wall/CPU deadline in the sandbox
   WorkerOOM,      ///< evaluation exhausted the sandbox memory cap
+  // Dist-layer classes (dist/pool.hpp). Unlike the sandbox classes these
+  // describe *infrastructure* failures (a remote peer, not the
+  // candidate): the pool reassigns or falls back locally and never
+  // synthesizes an outcome from them, so they appear in stats/obs only.
+  PeerLost,       ///< peer socket died mid-job (EOF, ECONNRESET, SIGKILL)
+  PeerTimeout,    ///< peer blew the job wall deadline or a liveness probe
+  PeerProtocol,   ///< peer sent an undecodable or out-of-protocol frame
 };
 
 /// Stable display name ("crash", "hang", ...), for reports and logs.

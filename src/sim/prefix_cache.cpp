@@ -4,11 +4,14 @@
 #include <atomic>
 #include <utility>
 
+#include <cstdlib>
+
 #include "ir/printer.hpp"
 #include "ir/verifier.hpp"
 #include "passes/passman.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/cache_disk.hpp"
 
 namespace citroen::sim {
 
@@ -83,18 +86,41 @@ std::size_t estimate_bytes(const ModuleBuild& b) {
   return total;
 }
 
+/// Fixed cost a resident entry pays beyond its payload: the 8-byte key
+/// stored twice (hash-map node and LRU list node), the Entry struct
+/// (shared_ptr control, iterator, size, flag), plus per-node allocator
+/// and bucket bookkeeping. Without this the budget was only counting
+/// snapshot payloads, so many short sequences (tiny payload, full-price
+/// bookkeeping) could overshoot the configured cap several-fold.
+constexpr std::size_t kEntryOverheadBytes =
+    2 * sizeof(std::uint64_t) +                 // key in map node + lru node
+    sizeof(void*) * 6 +                         // list/bucket/node pointers
+    64;                                         // Entry struct + allocator pad
+
+std::string resolve_disk_dir(const std::string& configured) {
+  if (!configured.empty()) return configured;
+  const char* env = std::getenv("CITROEN_CACHE_DIR");
+  return env ? env : "";
+}
+
 }  // namespace
 
 PrefixCache::PrefixCache(PrefixCacheConfig config) : config_(config) {
   const int n = std::max(1, config_.shards);
   shards_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+  const std::string dir = resolve_disk_dir(config_.disk_dir);
+  if (!dir.empty() && enabled()) {
+    auto tier = std::make_shared<DiskCacheTier>(dir);
+    if (tier->enabled()) disk_ = std::move(tier);
+  }
 }
 
 void PrefixCache::configure(const PrefixCacheConfig& config) {
   PrefixCache fresh(config);
   config_ = fresh.config_;
   shards_ = std::move(fresh.shards_);
+  disk_ = std::move(fresh.disk_);
   const std::lock_guard<std::mutex> lock(stats_mu_);
   stats_ = PrefixCacheStats{};
 }
@@ -120,6 +146,13 @@ PrefixCacheStats PrefixCache::stats() const {
   for (const auto& s : shards_) {
     const std::lock_guard<std::mutex> lock(s->mu);
     out.bytes += s->bytes;
+  }
+  if (disk_) {
+    const DiskTierStats d = disk_->stats();
+    out.disk_hits = d.hits;
+    out.disk_misses = d.misses;
+    out.disk_stores = d.stores;
+    out.disk_quarantined = d.quarantined;
   }
   return out;
 }
@@ -149,7 +182,7 @@ void PrefixCache::insert(std::uint64_t key,
                          std::shared_ptr<const ModuleBuild> value,
                          bool finalized) const {
   if (!enabled()) return;
-  const std::size_t bytes = estimate_bytes(*value);
+  const std::size_t bytes = estimate_bytes(*value) + kEntryOverheadBytes;
   const std::size_t budget = config_.byte_budget / shards_.size();
   if (bytes > budget) return;  // would evict the whole shard for one entry
 
@@ -201,6 +234,21 @@ std::shared_ptr<const ModuleBuild> PrefixCache::build(
       OBS_COUNTER_ADD("citroen_prefix_cache_passes_saved_total", n);
       return hit;
     }
+    // RAM miss: probe the persistent tier. A disk hit promotes into RAM
+    // (so subsequent builds are O(1) again) and counts like a full hit —
+    // the stored build is bit-identical to what running the sequence
+    // would produce, so consumers cannot tell which path served them.
+    if (disk_) {
+      if (auto hit = disk_->load(keys[n])) {
+        insert(keys[n], hit, /*finalized=*/true);
+        bump(n, &PrefixCacheStats::passes_saved);
+        bump(1, &PrefixCacheStats::full_hits);
+        OBS_INSTANT("prefix_disk_hit", "cache");
+        OBS_COUNTER_INC("citroen_prefix_cache_full_hits_total");
+        OBS_COUNTER_ADD("citroen_prefix_cache_passes_saved_total", n);
+        return hit;
+      }
+    }
   }
 
   // Resume from the deepest usable snapshot (stride-multiple prefixes).
@@ -251,7 +299,10 @@ std::shared_ptr<const ModuleBuild> PrefixCache::build(
       auto failed = std::make_shared<ModuleBuild>();
       failed->crashed = true;
       failed->error = e.what();
-      if (enabled()) insert(keys[n], failed, /*finalized=*/true);
+      if (enabled()) {
+        insert(keys[n], failed, /*finalized=*/true);
+        if (disk_) disk_->store(keys[n], *failed);
+      }
       return failed;
     }
     // Snapshot completed stride-multiple prefixes for future builds.
@@ -272,7 +323,10 @@ std::shared_ptr<const ModuleBuild> PrefixCache::build(
   if (!verrs.empty()) {
     auto failed = std::make_shared<ModuleBuild>();
     failed->error = verrs.front();
-    if (enabled()) insert(keys[n], failed, /*finalized=*/true);
+    if (enabled()) {
+      insert(keys[n], failed, /*finalized=*/true);
+      if (disk_) disk_->store(keys[n], *failed);
+    }
     return failed;
   }
 
@@ -280,7 +334,10 @@ std::shared_ptr<const ModuleBuild> PrefixCache::build(
   const std::string text = ir::print_module(out->module);
   out->print_hash = fnv_bytes(kFnvOffset, text.data(), text.size());
   out->code_size = out->module.code_size();
-  if (enabled()) insert(keys[n], out, /*finalized=*/true);
+  if (enabled()) {
+    insert(keys[n], out, /*finalized=*/true);
+    if (disk_) disk_->store(keys[n], *out);
+  }
   return out;
 }
 

@@ -38,6 +38,11 @@ struct PrefixCacheConfig {
   int snapshot_stride = 4;
   /// Mutex striping width.
   int shards = 8;
+  /// Directory for the persistent disk tier (sim/cache_disk.hpp). Empty
+  /// falls back to $CITROEN_CACHE_DIR; still empty disables the tier.
+  /// Only finalized entries spill (stride snapshots stay RAM-only); any
+  /// torn/corrupt entry on disk loads as a miss, never an error.
+  std::string disk_dir;
 };
 
 struct PrefixCacheStats {
@@ -49,6 +54,11 @@ struct PrefixCacheStats {
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
   std::size_t bytes = 0;           ///< currently resident
+  // Disk-tier traffic (all zero when the tier is disabled).
+  std::uint64_t disk_hits = 0;         ///< finalized builds served from disk
+  std::uint64_t disk_misses = 0;       ///< absent or quarantined entries
+  std::uint64_t disk_stores = 0;       ///< entries durably written
+  std::uint64_t disk_quarantined = 0;  ///< corrupt entries renamed aside
 };
 
 /// Result of building one module under one pass-id sequence. Failures
@@ -74,6 +84,8 @@ struct ModuleBuild {
 using PassProgressHook = void (*)(passes::PassId);
 void set_pass_progress_hook(PassProgressHook hook);
 
+class DiskCacheTier;
+
 class PrefixCache {
  public:
   explicit PrefixCache(PrefixCacheConfig config = {});
@@ -89,13 +101,20 @@ class PrefixCache {
 
   bool enabled() const { return config_.byte_budget > 0; }
 
-  /// Replace the configuration; drops all cached state.
+  /// Replace the configuration; drops all cached RAM state (the disk
+  /// tier persists — that is its purpose — but is re-resolved from the
+  /// new config's disk_dir).
   void configure(const PrefixCacheConfig& config);
 
+  /// Drops RAM entries only; disk entries survive (restart semantics).
   void clear() const;
 
   /// Aggregated counters (approximate while builders are in flight).
   PrefixCacheStats stats() const;
+
+  /// Persistent tier, or nullptr when disabled. Exposed for tests that
+  /// corrupt entries on purpose.
+  const DiskCacheTier* disk_tier() const { return disk_.get(); }
 
  private:
   struct Entry {
@@ -120,6 +139,7 @@ class PrefixCache {
 
   PrefixCacheConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::shared_ptr<DiskCacheTier> disk_;  ///< null when tier disabled
   mutable std::mutex stats_mu_;
   mutable PrefixCacheStats stats_;
 };

@@ -1,0 +1,240 @@
+// Unit tests for the distributed evaluation tier (src/dist/): the wire
+// codec, endpoint parsing, evaluator fingerprinting, and a DistEvaluator
+// driving one real forked peer — plus the graceful-degradation path when
+// no peer is reachable. The adversarial scenarios (mid-job SIGKILL,
+// hangs, garbage frames) live in bench/ext_dist_containment.cpp.
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "bench_suite/suite.hpp"
+#include "dist/peer.hpp"
+#include "dist/pool.hpp"
+#include "dist/wire.hpp"
+#include "sim/evaluator.hpp"
+#include "sim/machine.hpp"
+
+using namespace citroen;
+
+namespace {
+
+/// A forked Unix-socket peer, killed and reaped on scope exit.
+struct ScopedPeer {
+  std::string path;
+  pid_t pid = -1;
+
+  explicit ScopedPeer(dist::PeerOptions options = {}) {
+    static int counter = 0;
+    path = "/tmp/citroen_test_dist_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter++) + ".sock";
+    std::string error;
+    pid = dist::spawn_peer(path, options, &error);
+    EXPECT_GT(pid, 0) << error;
+  }
+  ~ScopedPeer() {
+    if (pid > 0) {
+      ::kill(pid, SIGKILL);
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+    }
+    ::unlink(path.c_str());
+  }
+};
+
+void expect_same_outcome(const sim::EvalOutcome& a, const sim::EvalOutcome& b,
+                         const char* what) {
+  EXPECT_EQ(a.valid, b.valid) << what;
+  EXPECT_EQ(a.failure, b.failure) << what;
+  EXPECT_EQ(a.cycles, b.cycles) << what;
+  EXPECT_EQ(a.speedup, b.speedup) << what;
+  EXPECT_EQ(a.binary_hash, b.binary_hash) << what;
+  EXPECT_EQ(a.code_size, b.code_size) << what;
+}
+
+sim::SequenceAssignment candidate(int i) {
+  std::vector<std::string> seq = {"mem2reg", "instcombine", "simplifycfg",
+                                  "gvn", "dce"};
+  if (i % 2) seq.push_back("early-cse");
+  if (i % 3) seq.push_back("sroa");
+  sim::SequenceAssignment a;
+  a["sha"] = seq;
+  return a;
+}
+
+}  // namespace
+
+// ---- wire codec ------------------------------------------------------------
+
+TEST(DistWire, TagUntagRoundTrips) {
+  const std::string payload = dist::tag_message(dist::PeerMsg::Job, "body!");
+  dist::PeerMsg tag{};
+  std::string_view body;
+  ASSERT_TRUE(dist::untag_message(payload, &tag, &body));
+  EXPECT_EQ(tag, dist::PeerMsg::Job);
+  EXPECT_EQ(body, "body!");
+}
+
+TEST(DistWire, UntagRejectsEmptyAndOutOfRangeTags) {
+  dist::PeerMsg tag{};
+  std::string_view body;
+  EXPECT_FALSE(dist::untag_message("", &tag, &body));
+  EXPECT_FALSE(dist::untag_message(std::string(1, '\0'), &tag, &body));
+  EXPECT_FALSE(dist::untag_message(std::string(1, '\x7f') + "rest", &tag,
+                                   &body));
+}
+
+TEST(DistWire, HelloRoundTrips) {
+  dist::ProgramSpec spec;
+  spec.program = "security_sha";
+  spec.machine = "x86";
+  spec.workload_seed = 7;
+  spec.extra_workload_seeds = {11, 13};
+  spec.max_instructions = 1234567;
+  spec.max_memory_bytes = 1 << 20;
+  spec.max_call_depth = 99;
+
+  dist::ProgramSpec back;
+  std::string error;
+  ASSERT_TRUE(dist::decode_hello(dist::encode_hello(spec), &back, &error))
+      << error;
+  EXPECT_EQ(back.program, spec.program);
+  EXPECT_EQ(back.machine, spec.machine);
+  EXPECT_EQ(back.workload_seed, spec.workload_seed);
+  EXPECT_EQ(back.extra_workload_seeds, spec.extra_workload_seeds);
+  EXPECT_EQ(back.max_instructions, spec.max_instructions);
+  EXPECT_EQ(back.max_memory_bytes, spec.max_memory_bytes);
+  EXPECT_EQ(back.max_call_depth, spec.max_call_depth);
+}
+
+TEST(DistWire, HelloDecodeRejectsTruncation) {
+  dist::ProgramSpec spec;
+  spec.program = "security_sha";
+  const std::string bytes = dist::encode_hello(spec);
+  dist::ProgramSpec back;
+  std::string error;
+  EXPECT_FALSE(
+      dist::decode_hello(std::string_view(bytes).substr(0, bytes.size() / 2),
+                         &back, &error));
+}
+
+TEST(DistWire, HelloOkHelloErrNonceRoundTrip) {
+  std::uint64_t pid = 0, fp = 0;
+  ASSERT_TRUE(dist::decode_hello_ok(
+      dist::encode_hello_ok(4321, 0xdeadbeefcafef00dull), &pid, &fp));
+  EXPECT_EQ(pid, 4321u);
+  EXPECT_EQ(fp, 0xdeadbeefcafef00dull);
+
+  std::string reason;
+  ASSERT_TRUE(dist::decode_hello_err(dist::encode_hello_err("bad version"),
+                                     &reason));
+  EXPECT_EQ(reason, "bad version");
+
+  std::uint64_t nonce = 0;
+  ASSERT_TRUE(dist::decode_nonce(dist::encode_nonce(777), &nonce));
+  EXPECT_EQ(nonce, 777u);
+}
+
+TEST(DistWire, FingerprintSeparatesProgramsButNotInstances) {
+  sim::ProgramEvaluator a(bench_suite::make_program("security_sha"),
+                          sim::machine_by_name("arm"));
+  sim::ProgramEvaluator b(bench_suite::make_program("security_sha"),
+                          sim::machine_by_name("arm"));
+  sim::ProgramEvaluator c(bench_suite::make_program("office_stringsearch"),
+                          sim::machine_by_name("arm"));
+  EXPECT_EQ(dist::evaluator_fingerprint(a), dist::evaluator_fingerprint(b));
+  EXPECT_NE(dist::evaluator_fingerprint(a), dist::evaluator_fingerprint(c));
+}
+
+// ---- endpoint parsing & spec building --------------------------------------
+
+TEST(DistPool, ParsePeerListSplitsTrimsAndDropsEmpties) {
+  const auto got = dist::parse_peer_list(
+      " unix:/tmp/a.sock ,, 127.0.0.1:9000,\ttcp:10.0.0.1:80 ,");
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], "unix:/tmp/a.sock");
+  EXPECT_EQ(got[1], "127.0.0.1:9000");
+  EXPECT_EQ(got[2], "tcp:10.0.0.1:80");
+  EXPECT_TRUE(dist::parse_peer_list("").empty());
+  EXPECT_TRUE(dist::parse_peer_list(" , ,").empty());
+}
+
+TEST(DistPool, MakeProgramSpecMirrorsEvaluator) {
+  sim::ProgramEvaluator eval(bench_suite::make_program("security_sha"),
+                             sim::machine_by_name("arm"));
+  const auto spec = dist::make_program_spec(eval, "arm");
+  EXPECT_EQ(spec.program, "security_sha");
+  EXPECT_EQ(spec.machine, "arm");
+  EXPECT_EQ(spec.workload_seed, 42u);
+  EXPECT_EQ(spec.max_instructions, eval.exec_limits().max_instructions);
+  EXPECT_EQ(spec.max_memory_bytes, eval.exec_limits().max_memory_bytes);
+  EXPECT_EQ(spec.max_call_depth, eval.exec_limits().max_call_depth);
+}
+
+// ---- DistEvaluator end to end ----------------------------------------------
+
+TEST(DistEvaluator, RemoteEvaluationMatchesLocalByteForByte) {
+  ScopedPeer peer;
+  ASSERT_GT(peer.pid, 0);
+
+  sim::ProgramEvaluator plain(bench_suite::make_program("security_sha"),
+                              sim::machine_by_name("arm"));
+  sim::ProgramEvaluator bottom(bench_suite::make_program("security_sha"),
+                               sim::machine_by_name("arm"));
+  dist::DistConfig cfg;
+  cfg.peers = {peer.path};
+  cfg.spec = dist::make_program_spec(bottom, "arm");
+  dist::DistEvaluator pool(bottom, bottom, cfg);
+
+  for (int i = 0; i < 3; ++i) {
+    const auto want = plain.evaluate(candidate(i));
+    const auto got = pool.evaluate(candidate(i));
+    expect_same_outcome(got, want, "remote vs local");
+  }
+  EXPECT_GE(pool.dist_stats().jobs_ok, 1u);
+  EXPECT_EQ(pool.dist_stats().local_fallback, 0u);
+  EXPECT_FALSE(pool.degraded());
+}
+
+TEST(DistEvaluator, BrownoutFallsBackToLocalStack) {
+  const std::string bogus = "/tmp/citroen_test_dist_nobody_" +
+                            std::to_string(::getpid()) + ".sock";
+  sim::ProgramEvaluator plain(bench_suite::make_program("security_sha"),
+                              sim::machine_by_name("arm"));
+  sim::ProgramEvaluator bottom(bench_suite::make_program("security_sha"),
+                               sim::machine_by_name("arm"));
+  dist::DistConfig cfg;
+  cfg.peers = {bogus};
+  cfg.spec = dist::make_program_spec(bottom, "arm");
+  cfg.connect_timeout_seconds = 0.1;
+  cfg.reconnect_backoff_seconds = 0.001;
+  cfg.breaker_threshold = 1;
+  dist::DistEvaluator pool(bottom, bottom, cfg);
+
+  const auto want = plain.evaluate(candidate(0));
+  const auto got = pool.evaluate(candidate(0));
+  expect_same_outcome(got, want, "brownout fallback");
+  EXPECT_TRUE(pool.degraded());
+  EXPECT_EQ(pool.dist_stats().jobs_ok, 0u);
+  EXPECT_GE(pool.dist_stats().local_fallback, 1u);
+}
+
+TEST(DistEvaluator, EmptyPeerListIsInert) {
+  ::unsetenv("CITROEN_PEERS");
+  sim::ProgramEvaluator plain(bench_suite::make_program("security_sha"),
+                              sim::machine_by_name("arm"));
+  sim::ProgramEvaluator bottom(bench_suite::make_program("security_sha"),
+                               sim::machine_by_name("arm"));
+  dist::DistEvaluator pool(bottom, bottom, {});
+  EXPECT_EQ(pool.peer_count(), 0);
+  expect_same_outcome(pool.evaluate(candidate(1)), plain.evaluate(candidate(1)),
+                      "inert pool");
+  EXPECT_EQ(pool.dist_stats().jobs_dispatched, 0u);
+}

@@ -262,3 +262,60 @@ TEST(Statistics, PearsonPerfectCorrelation) {
   EXPECT_NEAR(pearson({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
   EXPECT_NEAR(pearson({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
 }
+
+// ---- shared jittered backoff (support/backoff.hpp) -------------------------
+// One implementation backs the sandbox supervisor's respawn delays, the
+// dist pool's peer reconnects, and citroen-cli's resubmit retries.
+
+#include "support/backoff.hpp"
+
+TEST(Backoff, JitteredStaysInWindowAndIsDeterministic) {
+  std::uint64_t s1 = 42, s2 = 42;
+  for (int i = 0; i < 200; ++i) {
+    const double a = support::jittered_backoff(0.1, 0.5, &s1);
+    const double b = support::jittered_backoff(0.1, 0.5, &s2);
+    EXPECT_EQ(a, b);  // same state stream => same delays
+    EXPECT_GE(a, 0.1 * 0.5);
+    EXPECT_LE(a, 0.1 * 1.5);
+  }
+}
+
+TEST(Backoff, JitterZeroIsExact) {
+  std::uint64_t s = 7;
+  EXPECT_DOUBLE_EQ(support::jittered_backoff(0.25, 0.0, &s), 0.25);
+}
+
+TEST(Backoff, FullJitterBoundedByCap) {
+  std::uint64_t s = 99;
+  for (int attempt = 0; attempt < 30; ++attempt) {
+    const double d = support::full_jitter_backoff(attempt, 0.05, 2.0, &s);
+    EXPECT_GT(d, 0.0);
+    EXPECT_LE(d, 2.0);
+  }
+}
+
+TEST(Backoff, FullJitterGrowsWithAttempts) {
+  // The cap for attempt k is initial*2^k: the attempt-5 floor (10% of
+  // its cap) must exceed the attempt-0 ceiling (100% of its cap).
+  std::uint64_t s = 3;
+  double early_max = 0, late_min = 1e9;
+  for (int i = 0; i < 100; ++i) {
+    std::uint64_t t = s + static_cast<std::uint64_t>(i);
+    early_max = std::max(early_max,
+                         support::full_jitter_backoff(0, 0.05, 100.0, &t));
+    late_min = std::min(late_min,
+                        support::full_jitter_backoff(5, 0.05, 100.0, &t));
+  }
+  EXPECT_LT(early_max, 0.05 + 1e-12);
+  EXPECT_GT(late_min, 0.05);
+}
+
+TEST(Backoff, RespawnDoublesAndClamps) {
+  std::uint64_t s = 11;
+  // jitter 0 => exact exponential ladder, clamped at the max.
+  EXPECT_DOUBLE_EQ(support::respawn_backoff(1, 0.1, 1.0, 0.0, &s), 0.1);
+  EXPECT_DOUBLE_EQ(support::respawn_backoff(2, 0.1, 1.0, 0.0, &s), 0.2);
+  EXPECT_DOUBLE_EQ(support::respawn_backoff(3, 0.1, 1.0, 0.0, &s), 0.4);
+  EXPECT_DOUBLE_EQ(support::respawn_backoff(10, 0.1, 1.0, 0.0, &s), 1.0);
+  EXPECT_DOUBLE_EQ(support::respawn_backoff(60, 0.1, 1.0, 0.0, &s), 1.0);
+}
