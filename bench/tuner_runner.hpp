@@ -20,6 +20,7 @@
 
 #include "baselines/tuners.hpp"
 #include "bench/bench_persist.hpp"
+#include "bench/corpus_runner.hpp"
 #include "bench/dist_runner.hpp"
 #include "bench/sandbox_runner.hpp"
 #include "bench_suite/suite.hpp"
@@ -110,8 +111,18 @@ inline Vec run_tuner_job(const std::string& method, const std::string& program,
   const bool is_citroen = method == "citroen";
   if (!popt) {
     if (is_citroen) {
-      core::CitroenTuner tuner(eval, default_citroen_config(budget, seed));
-      return tuner.run().speedup_curve;
+      auto cfg = default_citroen_config(budget, seed);
+      // Corpus lookups probe on `base` (below the fault injector): advice
+      // must not depend on injected faults, and empty advice leaves the
+      // config — and the run — byte-identical to the cold path.
+      corpus::apply_advice(&cfg,
+                           corpus_advice_for_run(base, machine, cfg,
+                                                 /*popt=*/nullptr, ""));
+      core::CitroenTuner tuner(eval, cfg);
+      const auto res = tuner.run();
+      corpus_append_result(base, program, machine, budget, res,
+                           tuner.tuned_modules());
+      return res.speedup_curve;
     }
     baselines::PhaseTunerConfig cfg;
     cfg.budget = budget;
@@ -139,8 +150,13 @@ inline Vec run_tuner_job(const std::string& method, const std::string& program,
   std::unique_ptr<core::CitroenTuner> citroen;
   std::unique_ptr<baselines::ResumablePhaseTuner> baseline;
   if (is_citroen) {
-    citroen = std::make_unique<core::CitroenTuner>(
-        jeval, default_citroen_config(budget, seed));
+    auto cfg = default_citroen_config(budget, seed);
+    // Advice is resolved once and frozen in <dir>/<run>.advice: a resumed
+    // run replays it verbatim no matter how the corpus grew in between.
+    corpus::apply_advice(
+        &cfg, corpus_advice_for_run(base, machine, cfg, popt,
+                                    method + "_s" + std::to_string(seed)));
+    citroen = std::make_unique<core::CitroenTuner>(jeval, cfg);
     citroen->set_skip_hyper_refits(
         [&wd] { return wd.deadline_imminent(5.0); });
   } else {
@@ -191,7 +207,18 @@ inline Vec run_tuner_job(const std::string& method, const std::string& program,
     *interrupted = true;
     return curve_so_far();
   }
-  const Vec curve = curve_so_far();
+  Vec curve;
+  if (citroen) {
+    // Learn from the finished run BEFORE the complete checkpoint: a kill
+    // between the two re-appends on resume, and the corpus's content-
+    // keyed dedup makes the second append a no-op.
+    const auto res = citroen->finish();
+    corpus_append_result(base, program, machine, budget, res,
+                         citroen->tuned_modules());
+    curve = res.speedup_curve;
+  } else {
+    curve = curve_so_far();
+  }
   persist::Writer w;
   persist::put(w, curve);
   session.save_checkpoint(w.take(), /*complete=*/true);

@@ -146,6 +146,10 @@ struct CitroenTuner::Impl {
   bool need_program;
   std::vector<std::string> feature_names;
   std::size_t feat_dim;
+  /// Corpus seeds resolved to (index into mods, pass ids). Consumed by
+  /// the first phase-1 attempts; the cursor is p1_attempts itself, so
+  /// resume needs no extra checkpoint state.
+  std::vector<std::pair<std::size_t, Sequence>> seeds;
 
   // Search state (everything below is checkpointed).
   Phase phase = Phase::InitialRandom;
@@ -224,6 +228,27 @@ struct CitroenTuner::Impl {
         data_y.push_back(wy);
         observed_features.insert(feature_hash(wf));
       }
+    }
+
+    // Corpus seed sequences: resolve names against this run's modules and
+    // pass space; entries that no longer resolve are dropped (they would
+    // only have been measured anyway, never trusted unmeasured).
+    for (const auto& [mod_name, pass_names] : config.seed_sequences) {
+      std::size_t mi = mods.size();
+      for (std::size_t i = 0; i < mods.size(); ++i)
+        if (mods[i].name == mod_name) mi = i;
+      if (mi == mods.size()) continue;
+      Sequence s;
+      for (const auto& pn : pass_names)
+        for (int p = 0; p < num_passes; ++p)
+          if (config.pass_space[static_cast<std::size_t>(p)] == pn) {
+            s.push_back(p);
+            break;
+          }
+      if (s.empty()) continue;
+      if (static_cast<int>(s.size()) > config.max_seq_len)
+        s.resize(static_cast<std::size_t>(config.max_seq_len));
+      seeds.emplace_back(mi, std::move(s));
     }
   }
 
@@ -371,11 +396,24 @@ struct CitroenTuner::Impl {
     if (budget_used >= std::min(config.initial_random, config.budget) ||
         p1_attempts >= config.budget * 20)
       return false;
+    // The first attempts measure corpus-transferred seeds instead of
+    // random sequences. Seeded attempts consume no RNG draws and leave
+    // the round-robin cursor alone, so with no seeds this phase is
+    // byte-identical to a corpus-free build, and the seed cursor
+    // (p1_attempts) is already checkpointed.
+    const auto seed_ix = static_cast<std::size_t>(p1_attempts);
     ++p1_attempts;
-    auto& ms = mods[mod_rr % mods.size()];
-    ++mod_rr;
-    Sequence cand =
-        heuristics::random_sequence(num_passes, config.max_seq_len, rng);
+    ModuleState* msp;
+    Sequence cand;
+    if (seed_ix < seeds.size()) {
+      msp = &mods[seeds[seed_ix].first];
+      cand = seeds[seed_ix].second;
+    } else {
+      msp = &mods[mod_rr % mods.size()];
+      ++mod_rr;
+      cand = heuristics::random_sequence(num_passes, config.max_seq_len, rng);
+    }
+    auto& ms = *msp;
     const auto assign = assignment_for(ms.name, cand);
     if (eval.is_quarantined(assign)) {
       ++result.quarantined_skipped;
@@ -796,24 +834,30 @@ struct CitroenTuner::Impl {
 
 // ---- public API -------------------------------------------------------------
 
+std::vector<std::string> select_hot_modules(const sim::Evaluator& evaluator,
+                                            const CitroenConfig& config) {
+  // Hot-module selection (Sec. 5.3.1): cover `hot_threshold` of runtime.
+  std::vector<std::string> modules;
+  double covered = 0.0;
+  for (const auto& [name, frac] : evaluator.hot_modules()) {
+    if (covered >= config.hot_threshold ||
+        static_cast<int>(modules.size()) >= config.max_hot_modules)
+      break;
+    // The driver module is never tuned (it only dispatches).
+    if (name == "driver") continue;
+    modules.push_back(name);
+    covered += frac;
+  }
+  if (modules.empty()) modules.push_back(evaluator.hot_modules()[0].first);
+  std::sort(modules.begin(), modules.end());
+  return modules;
+}
+
 CitroenTuner::CitroenTuner(sim::Evaluator& evaluator, CitroenConfig config)
     : eval_(evaluator), config_(std::move(config)) {
   if (config_.pass_space.empty())
     config_.pass_space = passes::PassRegistry::instance().pass_names();
-
-  // Hot-module selection (Sec. 5.3.1): cover `hot_threshold` of runtime.
-  double covered = 0.0;
-  for (const auto& [name, frac] : eval_.hot_modules()) {
-    if (covered >= config_.hot_threshold ||
-        static_cast<int>(modules_.size()) >= config_.max_hot_modules)
-      break;
-    // The driver module is never tuned (it only dispatches).
-    if (name == "driver") continue;
-    modules_.push_back(name);
-    covered += frac;
-  }
-  if (modules_.empty()) modules_.push_back(eval_.hot_modules()[0].first);
-  std::sort(modules_.begin(), modules_.end());
+  modules_ = select_hot_modules(eval_, config_);
 }
 
 CitroenTuner::~CitroenTuner() = default;

@@ -69,6 +69,18 @@ struct CitroenConfig {
   /// count); mismatching entries are ignored.
   std::vector<std::pair<Vec, double>> warm_start;
 
+  /// Transfer-corpus winners: (module name, pass-name sequence) pairs
+  /// measured by the FIRST phase-1 attempts in place of random
+  /// sequences. Names that no longer resolve (unknown module or pass)
+  /// are dropped. Every seed is validated by an ordinary measurement
+  /// before it can become an incumbent, so a stale or mismatched seed
+  /// can waste budget but never produce a wrong answer. An empty list
+  /// keeps phase 1 byte-identical to a run without a corpus: seeded
+  /// attempts consume no RNG draws and leave the round-robin cursor
+  /// untouched.
+  std::vector<std::pair<std::string, std::vector<std::string>>>
+      seed_sequences;
+
   std::uint64_t seed = 1;
 };
 
@@ -155,6 +167,14 @@ class CitroenTuner {
   std::function<bool()> skip_hyper_refits_;
   std::unique_ptr<Impl> impl_;
 };
+
+/// Hot-module selection (Sec. 5.3.1): the modules a CitroenTuner built
+/// with `config` would tune on `evaluator` — cover `hot_threshold` of
+/// runtime, cap at `max_hot_modules`, never the dispatch-only driver,
+/// sorted by name. Exposed so the transfer corpus can probe exactly the
+/// modules the tuner will tune before the tuner is constructed.
+std::vector<std::string> select_hot_modules(const sim::Evaluator& evaluator,
+                                            const CitroenConfig& config);
 
 /// Serialization of a finished result (the `complete` checkpoint stores
 /// it so a resumed-but-finished run returns without recomputation).

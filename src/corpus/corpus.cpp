@@ -1,0 +1,560 @@
+#include "corpus/corpus.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+
+#include "citroen/features.hpp"
+#include "obs/metrics.hpp"
+#include "passes/pass.hpp"
+#include "persist/quarantine.hpp"
+
+namespace citroen::corpus {
+
+namespace {
+
+// Record types inside the journal frames. Unknown types are skipped, so
+// a future minor revision can add record kinds without breaking readers.
+constexpr std::uint8_t kRecHeader = 0;
+constexpr std::uint8_t kRecIntern = 1;
+constexpr std::uint8_t kRecEntry = 2;
+constexpr std::uint32_t kEntryVersion = 1;
+
+void write_le32(char* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<char>(v >> (8 * i));
+}
+
+/// Journal framing for one payload — only used by the kill-switch test
+/// hook, which writes torn prefixes of real frames; normal appends go
+/// through persist::JournalWriter.
+std::string frame(const std::string& payload) {
+  char hdr[8];
+  write_le32(hdr, static_cast<std::uint32_t>(payload.size()));
+  write_le32(hdr + 4, persist::crc32(payload));
+  return std::string(hdr, sizeof(hdr)) + payload;
+}
+
+std::string header_record() {
+  persist::Writer w;
+  w.u8(kRecHeader);
+  w.u32(kSchemaVersion);
+  return w.take();
+}
+
+/// Content key for exact-duplicate suppression: everything that makes an
+/// entry actionable (observations excluded — they ride along with the
+/// sequence that produced them).
+std::uint64_t content_key(const CorpusEntry& e) {
+  persist::Writer w;
+  w.str(e.program);
+  w.str(e.machine);
+  w.str(e.module);
+  w.u64(e.stats_vocab_fp);
+  w.u32(e.budget);
+  w.f64(e.speedup);
+  persist::put(w, e.signature);
+  persist::put(w, e.sequence);
+  const std::string& s = w.data();
+  return (std::uint64_t{persist::crc32(s)} << 32) |
+         persist::crc32(s, 0x9e3779b9u);
+}
+
+/// RMS per-dimension distance over log1p-compressed stats features.
+double signature_distance(const Vec& a, const Vec& b) {
+  if (a.size() != b.size() || a.empty()) return 1e18;
+  double sq = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sq += d * d;
+  }
+  return std::sqrt(sq / static_cast<double>(a.size()));
+}
+
+}  // namespace
+
+std::string TransferCorpus::file_path(const std::string& dir) {
+  return dir + "/corpus.ctc";
+}
+
+TransferCorpus::TransferCorpus(const std::string& dir, CorpusConfig config)
+    : dir_(dir), path_(file_path(dir)), cfg_(config) {
+  if (cfg_.mode != OpenMode::ReadOnly) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    const std::string lock = dir_ + "/corpus.lock";
+    lock_fd_ = ::open(lock.c_str(), O_RDWR | O_CREAT, 0644);
+    if (lock_fd_ >= 0) {
+      const int flags =
+          LOCK_EX | (cfg_.mode == OpenMode::Append ? LOCK_NB : 0);
+      while (::flock(lock_fd_, flags) != 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      // flock returns 0 only once; re-check by asking for it non-blocking
+      // (a no-op when already held by this fd).
+      lock_held_ = ::flock(lock_fd_, LOCK_EX | LOCK_NB) == 0;
+    }
+    if (!lock_held_) {
+      if (lock_fd_ >= 0) {
+        ::close(lock_fd_);
+        lock_fd_ = -1;
+      }
+      stats_.lock_degraded = true;
+      stats_.note =
+          "corpus " + path_ + ": writer lock busy, degrading to read-only";
+      OBS_COUNTER_INC("citroen_corpus_lock_degraded_total");
+    }
+  }
+  load();
+  if (lock_held_ && !stats_.future_version) open_writer();
+  OBS_GAUGE_SET("citroen_corpus_entries", entries_.size());
+}
+
+TransferCorpus::~TransferCorpus() {
+  writer_.reset();  // flushes via its destructor
+  if (lock_fd_ >= 0) ::close(lock_fd_);  // releases the flock
+}
+
+void TransferCorpus::load() {
+  const auto rec = persist::recover_journal(path_, kCorpusMagic);
+  if (rec.file_bytes > 0 && rec.valid_bytes == 0) {
+    // Not even the magic survived: whole-file corruption. The writer
+    // quarantines the wreck for inspection and restarts cold; a
+    // read-only handle leaves the file alone and just reads empty.
+    stats_.quarantined = true;
+    std::string dest;
+    if (lock_held_) dest = persist::quarantine_file(path_);
+    stats_.note = "corpus " + path_ + ": unrecognized contents, " +
+                  (lock_held_ ? "quarantined to " +
+                                    (dest.empty() ? "(unlinked)" : dest) +
+                                    ", starting cold"
+                              : "reading empty");
+    OBS_COUNTER_INC("citroen_corpus_quarantined_total");
+    valid_bytes_ = 0;
+    return;
+  }
+  valid_bytes_ = rec.valid_bytes;
+  if (rec.truncated) {
+    stats_.recovered_bytes = rec.file_bytes - rec.valid_bytes;
+    stats_.note = rec.note;
+    OBS_COUNTER_INC("citroen_corpus_torn_tails_total");
+    OBS_COUNTER_ADD("citroen_corpus_recovered_bytes_total",
+                    stats_.recovered_bytes);
+  }
+
+  for (const auto& payload : rec.records) {
+    try {
+      persist::Reader r(payload);
+      const std::uint8_t type = r.u8();
+      if (!have_header_) {
+        // The first decodable record must be the header; anything else
+        // means the file is not a corpus at all.
+        if (type != kRecHeader) throw std::runtime_error("no header record");
+        const std::uint32_t version = r.u32();
+        have_header_ = true;
+        if (version > kSchemaVersion) {
+          // Written by a newer build: schema unknown, serve read-only
+          // empty and never touch the file (no truncation, no appends).
+          stats_.future_version = true;
+          stats_.note = "corpus " + path_ + ": schema v" +
+                        std::to_string(version) + " is newer than v" +
+                        std::to_string(kSchemaVersion) +
+                        ", serving read-only";
+          if (lock_held_) {
+            ::close(lock_fd_);
+            lock_fd_ = -1;
+            lock_held_ = false;
+          }
+          entries_.clear();
+          clusters_.clear();
+          return;
+        }
+        continue;
+      }
+      if (type == kRecIntern) {
+        std::vector<std::string> names;
+        persist::get(r, names);
+        for (auto& n : names) {
+          intern_.emplace(n, static_cast<std::uint32_t>(intern_names_.size()));
+          intern_names_.push_back(std::move(n));
+        }
+      } else if (type == kRecEntry) {
+        if (r.u32() > kEntryVersion)
+          throw std::runtime_error("entry version too new");
+        CorpusEntry e;
+        e.program = r.str();
+        e.machine = r.str();
+        e.module = r.str();
+        e.stats_vocab_fp = r.u64();
+        e.budget = r.u32();
+        e.speedup = r.f64();
+        persist::get(r, e.signature);
+        const std::uint64_t nseq = r.u64();
+        e.sequence.reserve(static_cast<std::size_t>(nseq));
+        for (std::uint64_t i = 0; i < nseq; ++i) {
+          const std::uint32_t id = r.u32();
+          if (id >= intern_names_.size())
+            throw std::runtime_error("pass id out of intern range");
+          e.sequence.push_back(intern_names_[id]);
+        }
+        const std::uint64_t nobs = r.u64();
+        for (std::uint64_t i = 0; i < nobs; ++i) {
+          Vec f;
+          persist::get(r, f);
+          const double y = r.f64();
+          e.observations.emplace_back(std::move(f), y);
+        }
+        dedup_.insert(content_key(e));
+        entries_.push_back(std::move(e));
+        add_to_index(entries_.size() - 1);
+      } else {
+        ++stats_.records_skipped;  // unknown record kind: forward compat
+      }
+    } catch (const std::exception&) {
+      // CRC held but the payload does not decode: drop the record, keep
+      // the rest. A bad entry degrades to a smaller corpus, never a
+      // crash or a wrong warm-start.
+      ++stats_.records_skipped;
+      OBS_COUNTER_INC("citroen_corpus_records_skipped_total");
+    }
+  }
+  stats_.entries = entries_.size();
+  stats_.clusters = clusters_.size();
+}
+
+void TransferCorpus::open_writer() {
+  persist::JournalConfig jc;
+  jc.fsync_every = std::max(1, cfg_.fsync_every);
+  writer_ = std::make_unique<persist::JournalWriter>(
+      path_, jc, stats_.quarantined ? 0 : valid_bytes_, kCorpusMagic);
+  if (!have_header_) {
+    writer_->append(header_record());
+    have_header_ = true;
+  }
+  writer_->flush();
+}
+
+bool TransferCorpus::append(const CorpusEntry& entry) {
+  if (!writer_) return false;
+  const std::uint64_t key = content_key(entry);
+  if (dedup_.count(key)) {
+    ++stats_.deduped;
+    OBS_COUNTER_INC("citroen_corpus_dedup_total");
+    return false;
+  }
+
+  // Intern pass names this file has not seen yet; the intern frame must
+  // land before the entry frame that references it.
+  std::vector<std::string> fresh;
+  for (const auto& n : entry.sequence)
+    if (intern_.find(n) == intern_.end() &&
+        std::find(fresh.begin(), fresh.end(), n) == fresh.end())
+      fresh.push_back(n);
+  std::string intern_payload;
+  if (!fresh.empty()) {
+    persist::Writer w;
+    w.u8(kRecIntern);
+    persist::put(w, fresh);
+    intern_payload = w.take();
+    for (const auto& n : fresh) {
+      intern_.emplace(n, static_cast<std::uint32_t>(intern_names_.size()));
+      intern_names_.push_back(n);
+    }
+  }
+
+  persist::Writer w;
+  w.u8(kRecEntry);
+  w.u32(kEntryVersion);
+  w.str(entry.program);
+  w.str(entry.machine);
+  w.str(entry.module);
+  w.u64(entry.stats_vocab_fp);
+  w.u32(entry.budget);
+  w.f64(entry.speedup);
+  persist::put(w, entry.signature);
+  w.u64(entry.sequence.size());
+  for (const auto& n : entry.sequence) w.u32(intern_.at(n));
+  w.u64(entry.observations.size());
+  for (const auto& [f, y] : entry.observations) {
+    persist::put(w, f);
+    w.f64(y);
+  }
+  const std::string entry_payload = w.take();
+
+  if (cfg_.kill_after_tail_bytes >= 0) {
+    // Test hook: crash with a torn prefix of exactly the frames a real
+    // append would have written. Prior records are flushed first, so
+    // recovery must give back everything but this append.
+    writer_->flush();
+    std::string frames;
+    if (!intern_payload.empty()) frames += frame(intern_payload);
+    frames += frame(entry_payload);
+    const auto n = std::min(
+        frames.size(), static_cast<std::size_t>(cfg_.kill_after_tail_bytes));
+    const int fd = ::open(path_.c_str(), O_WRONLY | O_APPEND);
+    if (fd >= 0) {
+      std::size_t off = 0;
+      while (off < n) {
+        const ssize_t k = ::write(fd, frames.data() + off, n - off);
+        if (k < 0) {
+          if (errno == EINTR) continue;
+          break;
+        }
+        off += static_cast<std::size_t>(k);
+      }
+      ::fsync(fd);
+    }
+    ::kill(::getpid(), SIGKILL);
+  }
+
+  if (!intern_payload.empty()) writer_->append(intern_payload);
+  writer_->append(entry_payload);
+  // Flush per append: corpus writes happen once per finished tuning run,
+  // and a lookup from another (read-only) handle must see them.
+  writer_->flush();
+
+  dedup_.insert(key);
+  entries_.push_back(entry);
+  add_to_index(entries_.size() - 1);
+  ++stats_.appended;
+  stats_.entries = entries_.size();
+  stats_.clusters = clusters_.size();
+  OBS_COUNTER_INC("citroen_corpus_appends_total");
+  OBS_GAUGE_SET("citroen_corpus_entries", entries_.size());
+  return true;
+}
+
+void TransferCorpus::add_to_index(std::size_t entry_index) {
+  const CorpusEntry& e = entries_[entry_index];
+  Cluster* best = nullptr;
+  double best_d = 0.0;
+  for (auto& c : clusters_) {
+    if (c.machine != e.machine || c.vocab_fp != e.stats_vocab_fp ||
+        c.centroid.size() != e.signature.size())
+      continue;
+    const double d = signature_distance(c.centroid, e.signature);
+    if (!best || d < best_d) {
+      best = &c;
+      best_d = d;
+    }
+  }
+  if (best && best_d <= cfg_.cluster_radius) {
+    // Leader clustering with a running-mean centroid: O(clusters) per
+    // append, deterministic in append order.
+    best->members.push_back(entry_index);
+    const double n = static_cast<double>(best->members.size());
+    for (std::size_t i = 0; i < best->centroid.size(); ++i)
+      best->centroid[i] += (e.signature[i] - best->centroid[i]) / n;
+    return;
+  }
+  Cluster c;
+  c.machine = e.machine;
+  c.vocab_fp = e.stats_vocab_fp;
+  c.centroid = e.signature;
+  c.members.push_back(entry_index);
+  clusters_.push_back(std::move(c));
+}
+
+CorpusAdvice TransferCorpus::advise_module(const std::string& machine,
+                                           std::uint64_t vocab_fp,
+                                           const Vec& signature) const {
+  ++stats_.lookups;
+  OBS_COUNTER_INC("citroen_corpus_lookups_total");
+  CorpusAdvice a;
+  const Cluster* best = nullptr;
+  double best_d = 0.0;
+  for (const auto& c : clusters_) {
+    if (c.machine != machine || c.vocab_fp != vocab_fp ||
+        c.centroid.size() != signature.size())
+      continue;
+    const double d = signature_distance(c.centroid, signature);
+    if (!best || d < best_d) {
+      best = &c;
+      best_d = d;
+    }
+  }
+  if (!best || best_d > cfg_.match_radius ||
+      best->members.size() < cfg_.min_cluster_entries) {
+    // Degradation ladder, last rung: the cold path untouched. The
+    // nearest distance still goes out for diagnostics/threshold tuning.
+    a.distance = best ? best_d : -1.0;
+    OBS_COUNTER_INC("citroen_corpus_misses_total");
+    return a;
+  }
+  a.hit = true;
+  a.distance = best_d;
+  a.cluster_size = best->members.size();
+  // Winners: members by speedup descending, append order breaking ties
+  // (deterministic for byte-identity gates), duplicates collapsed.
+  auto members = best->members;
+  std::stable_sort(members.begin(), members.end(),
+                   [&](std::size_t x, std::size_t y) {
+                     return entries_[x].speedup > entries_[y].speedup;
+                   });
+  for (const std::size_t i : members) {
+    if (a.sequences.size() >= cfg_.max_winners) break;
+    const CorpusEntry& e = entries_[i];
+    if (std::find(a.sequences.begin(), a.sequences.end(), e.sequence) !=
+        a.sequences.end())
+      continue;
+    a.sequences.push_back(e.sequence);
+    for (const auto& ob : e.observations) {
+      if (a.observations.size() >= cfg_.max_warm_observations) break;
+      a.observations.push_back(ob);
+    }
+  }
+  ++stats_.hits;
+  OBS_COUNTER_INC("citroen_corpus_hits_total");
+  return a;
+}
+
+// ---- tuner-facing plumbing --------------------------------------------------
+
+void put(persist::Writer& w, const TunerAdvice& a) {
+  w.u64(a.seed_sequences.size());
+  for (const auto& [mod, seq] : a.seed_sequences) {
+    w.str(mod);
+    persist::put(w, seq);
+  }
+  w.u64(a.warm_start.size());
+  for (const auto& [f, y] : a.warm_start) {
+    persist::put(w, f);
+    w.f64(y);
+  }
+  w.u64(a.modules_matched);
+}
+
+void get(persist::Reader& r, TunerAdvice& out) {
+  out = TunerAdvice{};
+  const std::uint64_t nseq = r.u64();
+  for (std::uint64_t i = 0; i < nseq; ++i) {
+    std::string mod = r.str();
+    std::vector<std::string> seq;
+    persist::get(r, seq);
+    out.seed_sequences.emplace_back(std::move(mod), std::move(seq));
+  }
+  const std::uint64_t nobs = r.u64();
+  for (std::uint64_t i = 0; i < nobs; ++i) {
+    Vec f;
+    persist::get(r, f);
+    const double y = r.f64();
+    out.warm_start.emplace_back(std::move(f), y);
+  }
+  out.modules_matched = static_cast<std::size_t>(r.u64());
+}
+
+const std::vector<std::string>& probe_sequence() {
+  // A fixed, broadly-normalizing pipeline: the signature must reflect
+  // what the module IS, not which sequence happened to win, so every
+  // probe uses the same one.
+  static const std::vector<std::string> kProbe = {
+      "mem2reg", "sroa",    "early-cse",   "instcombine", "simplifycfg",
+      "gvn",     "licm",    "indvars",     "dce"};
+  return kProbe;
+}
+
+Vec probe_signature(sim::Evaluator& eval, const std::string& module) {
+  sim::SequenceAssignment assign;
+  assign[module] = probe_sequence();
+  const auto co = eval.compile(assign, /*want_program=*/false);
+  const core::StatsFeatures feat;
+  const auto it = co.module_stats.find(module);
+  if (!co.valid || it == co.module_stats.end())
+    return feat.extract(passes::StatsRegistry{});
+  return feat.extract(it->second);
+}
+
+std::uint64_t stats_vocab_fingerprint() {
+  static const std::uint64_t fp = [] {
+    persist::Writer w;
+    persist::put(w, passes::PassRegistry::instance().all_stat_keys());
+    const std::string& s = w.data();
+    return (std::uint64_t{persist::crc32(s)} << 32) |
+           static_cast<std::uint32_t>(s.size());
+  }();
+  return fp;
+}
+
+TunerAdvice advise_for_modules(const TransferCorpus& corpus,
+                               sim::Evaluator& eval,
+                               const std::string& machine,
+                               const std::vector<std::string>& modules) {
+  TunerAdvice out;
+  if (corpus.num_entries() == 0) return out;
+  const std::uint64_t fp = stats_vocab_fingerprint();
+  for (const auto& mod : modules) {
+    const Vec sig = probe_signature(eval, mod);
+    const auto a = corpus.advise_module(machine, fp, sig);
+    if (!a.hit) continue;
+    ++out.modules_matched;
+    for (const auto& seq : a.sequences) out.seed_sequences.emplace_back(mod, seq);
+    if (modules.size() == 1)
+      for (const auto& ob : a.observations) out.warm_start.push_back(ob);
+  }
+  return out;
+}
+
+void apply_advice(core::CitroenConfig* cfg, const TunerAdvice& advice) {
+  for (const auto& s : advice.seed_sequences) cfg->seed_sequences.push_back(s);
+  for (const auto& ob : advice.warm_start) cfg->warm_start.push_back(ob);
+}
+
+std::vector<CorpusEntry> entries_from_result(
+    sim::Evaluator& eval, const std::string& program,
+    const std::string& machine, std::uint32_t budget,
+    const core::TuneResult& result, const std::vector<std::string>& modules) {
+  std::vector<CorpusEntry> out;
+  // A run that never beat -O3 has nothing worth transferring; recording
+  // it would seed other programs with a known-useless sequence.
+  if (result.best_speedup <= 1.0) return out;
+  const std::uint64_t fp = stats_vocab_fingerprint();
+  for (const auto& mod : modules) {
+    const auto it = result.best_assignment.find(mod);
+    if (it == result.best_assignment.end() || it->second.empty()) continue;
+    CorpusEntry e;
+    e.program = program;
+    e.machine = machine;
+    e.module = mod;
+    e.stats_vocab_fp = fp;
+    e.budget = budget;
+    e.speedup = result.best_speedup;
+    e.signature = probe_signature(eval, mod);
+    e.sequence = it->second;
+    if (modules.size() == 1 && !result.observations.empty()) {
+      // Keep the few best (lowest normalised runtime) observations as GP
+      // warm-start rows; the full trace would bloat the file for little
+      // prior value.
+      auto obs = result.observations;
+      std::stable_sort(obs.begin(), obs.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.second < b.second;
+                       });
+      const std::size_t keep = std::min<std::size_t>(4, obs.size());
+      e.observations.assign(obs.begin(),
+                            obs.begin() + static_cast<std::ptrdiff_t>(keep));
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+int append_tune_result(TransferCorpus& corpus, sim::Evaluator& eval,
+                       const std::string& program, const std::string& machine,
+                       std::uint32_t budget, const core::TuneResult& result,
+                       const std::vector<std::string>& modules) {
+  if (!corpus.writable()) return 0;
+  int appended = 0;
+  for (const auto& e :
+       entries_from_result(eval, program, machine, budget, result, modules))
+    if (corpus.append(e)) ++appended;
+  return appended;
+}
+
+}  // namespace citroen::corpus

@@ -1,0 +1,238 @@
+#pragma once
+// Durable cross-program transfer corpus (ROADMAP item 1, the GRACE/ECCO
+// amortization story): a persistent map from stats-signatures to the
+// best-found pass sequences, so most submitted programs warm-start from
+// a prior one instead of tuning cold.
+//
+// File layout (one file, `<dir>/corpus.ctc`):
+//   [8-byte magic "CTRNCOR1"]
+//   repeated journal frames: [u32 payload_len][u32 crc32(payload)][payload]
+// The first record is a header {schema version}; the rest interleave
+// pass-name intern tables with entries {program/machine fingerprint,
+// tuned module, stats signature, best sequence as interned pass ids,
+// observed speedup, budget, GP warm-start observations}.
+//
+// Durability ladder (every rung degrades, none crashes):
+//   torn tail        -> recovery truncates at the first bad frame; the
+//                       writer re-appends over it (journal discipline)
+//   bad record       -> CRC-valid but undecodable frames are skipped
+//   unknown header   -> whole-file corruption: quarantine to `.bad`
+//                       (persist::quarantine_file) and restart cold
+//   future schema    -> newer-format files are served READ-ONLY empty;
+//                       never truncated, never written
+//   lock busy        -> a second writer blocks (AppendWait) or degrades
+//                       to read-only (Append); the daemon's event loop
+//                       is the single writer and holds the flock for its
+//                       lifetime
+//   bad match        -> distance/count thresholds reject the lookup and
+//                       the tuner runs its cold path byte-identically
+//
+// Lookup clusters entries by signature distance over the normalized
+// (log1p) stats features from citroen/features; the nearest cluster's
+// winners seed CITROEN's ES generator (CitroenConfig::seed_sequences —
+// measured before trust, so a wrong match costs budget, never
+// correctness) and warm-start the GP prior (CitroenConfig::warm_start).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "citroen/tuner.hpp"
+#include "persist/codec.hpp"
+#include "persist/journal.hpp"
+#include "sim/evaluator.hpp"
+#include "support/matrix.hpp"
+
+namespace citroen::corpus {
+
+inline constexpr char kCorpusMagic[8] = {'C', 'T', 'R', 'N',
+                                         'C', 'O', 'R', '1'};
+inline constexpr std::uint32_t kSchemaVersion = 1;
+
+/// One learned result: the best sequence found for one module of one
+/// program, keyed for transfer by the module's probe-compile signature.
+struct CorpusEntry {
+  std::string program;  ///< provenance (suite program name)
+  std::string machine;
+  std::string module;  ///< tuned module the sequence applies to
+  /// Fingerprint of the stat-key vocabulary the signature was extracted
+  /// under; signatures from a different vocabulary never match.
+  std::uint64_t stats_vocab_fp = 0;
+  std::uint32_t budget = 0;
+  double speedup = 1.0;
+  Vec signature;  ///< probe-compile stats features of the module
+  std::vector<std::string> sequence;  ///< best pass sequence (names)
+  /// (feature, normalised runtime) rows for GP warm-starting; only
+  /// recorded for single-module runs (multi-module feature vectors do
+  /// not transfer dimension-safely).
+  std::vector<std::pair<Vec, double>> observations;
+};
+
+enum class OpenMode {
+  ReadOnly,    ///< no lock, never writes; missing/corrupt file reads empty
+  Append,      ///< flock-exclusive writer; busy lock degrades to read-only
+  AppendWait,  ///< flock-exclusive writer; busy lock blocks until free
+};
+
+struct CorpusConfig {
+  OpenMode mode = OpenMode::Append;
+  /// A lookup is a hit only when the nearest centroid is at most this far
+  /// (RMS distance per dimension over log1p-compressed stats counts).
+  double match_radius = 0.5;
+  /// Entries within this distance of a centroid join that cluster.
+  double cluster_radius = 1.0;
+  /// A cluster must hold at least this many entries before its winners
+  /// are trusted.
+  std::size_t min_cluster_entries = 1;
+  std::size_t max_winners = 3;  ///< seed sequences returned per lookup
+  std::size_t max_warm_observations = 12;
+  int fsync_every = 8;  ///< journal fsync cadence for bulk imports
+  /// TEST ONLY: when >= 0, the next append() writes just this many bytes
+  /// of its framed record(s) straight to the file, fsyncs, and raises
+  /// SIGKILL — the honest torn-write crash the recovery tests exercise.
+  int kill_after_tail_bytes = -1;
+};
+
+struct CorpusStats {
+  std::size_t entries = 0;
+  std::size_t clusters = 0;
+  std::size_t appended = 0;  ///< entries appended by this handle
+  std::size_t deduped = 0;   ///< appends skipped as exact duplicates
+  std::size_t lookups = 0;
+  std::size_t hits = 0;
+  std::size_t records_skipped = 0;  ///< CRC-valid but undecodable frames
+  std::uint64_t recovered_bytes = 0;  ///< torn-tail bytes dropped at open
+  bool quarantined = false;    ///< whole-file corruption moved to .bad
+  bool lock_degraded = false;  ///< writer wanted, lock busy -> read-only
+  bool future_version = false; ///< newer schema: served read-only empty
+  std::string note;  ///< recovery/degradation log line (empty if clean)
+};
+
+/// Result of one module lookup.
+struct CorpusAdvice {
+  bool hit = false;
+  double distance = 0.0;  ///< signature distance to the matched centroid
+  std::size_t cluster_size = 0;
+  std::vector<std::vector<std::string>> sequences;  ///< winners, best first
+  std::vector<std::pair<Vec, double>> observations;
+};
+
+class TransferCorpus {
+ public:
+  explicit TransferCorpus(const std::string& dir, CorpusConfig config = {});
+  ~TransferCorpus();
+
+  TransferCorpus(const TransferCorpus&) = delete;
+  TransferCorpus& operator=(const TransferCorpus&) = delete;
+
+  static std::string file_path(const std::string& dir);
+
+  /// True when this handle holds the writer lock and the file's schema
+  /// is writable (not a future version).
+  bool writable() const { return writer_ != nullptr; }
+  std::size_t num_entries() const { return entries_.size(); }
+  const std::vector<CorpusEntry>& entries() const { return entries_; }
+  const CorpusStats& stats() const { return stats_; }
+
+  /// Append one entry (intern table + entry frame, flushed durably).
+  /// False when read-only or an exact duplicate of a stored entry.
+  bool append(const CorpusEntry& entry);
+
+  /// Nearest-cluster lookup for one module signature. A miss (no
+  /// cluster, too far, or too small) returns hit=false and the caller
+  /// keeps its cold path untouched.
+  CorpusAdvice advise_module(const std::string& machine,
+                             std::uint64_t vocab_fp, const Vec& signature) const;
+
+ private:
+  struct Cluster {
+    std::string machine;
+    std::uint64_t vocab_fp = 0;
+    Vec centroid;
+    std::vector<std::size_t> members;  ///< indices into entries_
+  };
+
+  void load();
+  void open_writer();
+  void add_to_index(std::size_t entry_index);
+
+  std::string dir_;
+  std::string path_;
+  CorpusConfig cfg_;
+  int lock_fd_ = -1;
+  bool lock_held_ = false;
+  bool have_header_ = false;
+  std::uint64_t valid_bytes_ = 0;
+  std::vector<CorpusEntry> entries_;
+  std::vector<Cluster> clusters_;
+  std::vector<std::string> intern_names_;
+  std::unordered_map<std::string, std::uint32_t> intern_;
+  std::unordered_set<std::uint64_t> dedup_;
+  std::unique_ptr<persist::JournalWriter> writer_;
+  mutable CorpusStats stats_;
+};
+
+// ---- tuner-facing plumbing --------------------------------------------------
+
+/// Resolved advice for one tuning run, in exactly the shape
+/// CitroenConfig consumes. Serializable so a resumed run replays the
+/// advice it started with even if the corpus grew in between.
+struct TunerAdvice {
+  std::vector<std::pair<std::string, std::vector<std::string>>>
+      seed_sequences;
+  std::vector<std::pair<Vec, double>> warm_start;
+  std::size_t modules_matched = 0;
+
+  bool empty() const {
+    return seed_sequences.empty() && warm_start.empty();
+  }
+};
+
+void put(persist::Writer& w, const TunerAdvice& a);
+void get(persist::Reader& r, TunerAdvice& out);
+
+/// The fixed probe pipeline whose per-module stats are the signature.
+const std::vector<std::string>& probe_sequence();
+
+/// Compile `module` under the probe pipeline on `eval` and extract its
+/// stats features. Pure (compile-only, no measurement): affects nothing
+/// but compile accounting and the prefix cache memo.
+Vec probe_signature(sim::Evaluator& eval, const std::string& module);
+
+/// Fingerprint of the pass registry's stat-key vocabulary.
+std::uint64_t stats_vocab_fingerprint();
+
+/// Probe every module and collect the nearest-cluster winners. Returns
+/// empty advice (and performs NO probe compiles) on an empty corpus, so
+/// pointing CITROEN_CORPUS at a fresh directory is byte-identical to
+/// not setting it. Warm-start observations are only taken for
+/// single-module lookups (feature dimensions transfer only then).
+TunerAdvice advise_for_modules(const TransferCorpus& corpus,
+                               sim::Evaluator& eval,
+                               const std::string& machine,
+                               const std::vector<std::string>& modules);
+
+/// Apply advice to a tuner config (appends, never overwrites).
+void apply_advice(core::CitroenConfig* cfg, const TunerAdvice& advice);
+
+/// Build corpus entries from a finished run: one per tuned module that
+/// ended with an incumbent, skipped entirely when the run found no
+/// speedup worth transferring.
+std::vector<CorpusEntry> entries_from_result(
+    sim::Evaluator& eval, const std::string& program,
+    const std::string& machine, std::uint32_t budget,
+    const core::TuneResult& result,
+    const std::vector<std::string>& modules);
+
+/// entries_from_result + append. Returns the number of entries appended
+/// (0 when read-only or nothing transferable).
+int append_tune_result(TransferCorpus& corpus, sim::Evaluator& eval,
+                       const std::string& program, const std::string& machine,
+                       std::uint32_t budget, const core::TuneResult& result,
+                       const std::vector<std::string>& modules);
+
+}  // namespace citroen::corpus

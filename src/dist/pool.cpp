@@ -161,7 +161,26 @@ void DistEvaluator::disconnect(Peer& p) const {
   p.awaiting_pong = false;
 }
 
+void DistEvaluator::publish_peer_metrics(const Peer& p) const {
+  if (!obs::metrics_enabled()) return;
+  auto& reg = obs::Registry::instance();
+  const auto i = static_cast<unsigned long>(&p - peers_.data());
+  char name[64];
+  std::snprintf(name, sizeof(name), "citroen_dist_peer%lu_connected", i);
+  reg.gauge(name).set(p.connected ? 1.0 : 0.0);
+  std::snprintf(name, sizeof(name), "citroen_dist_peer%lu_banned", i);
+  reg.gauge(name).set(p.banned ? 1.0 : 0.0);
+  std::snprintf(name, sizeof(name),
+                "citroen_dist_peer%lu_consecutive_failures", i);
+  reg.gauge(name).set(static_cast<double>(p.consecutive_failures));
+  double banned = 0;
+  for (const Peer& q : peers_) banned += q.banned ? 1.0 : 0.0;
+  reg.gauge("citroen_dist_peers_banned").set(banned);
+}
+
 bool DistEvaluator::try_connect(Peer& p) const {
+  ++stats_.reconnect_attempts;
+  OBS_COUNTER_INC("citroen_dist_reconnect_attempts_total");
   const double deadline =
       sandbox::monotonic_seconds() + config_.connect_timeout_seconds;
   p.fd = connect_endpoint(p.endpoint);
@@ -198,6 +217,7 @@ bool DistEvaluator::try_connect(Peer& p) const {
   p.last_activity = sandbox::monotonic_seconds();
   ++stats_.connects;
   OBS_COUNTER_INC("citroen_dist_connects_total");
+  publish_peer_metrics(p);
   return true;
 }
 
@@ -239,7 +259,9 @@ void DistEvaluator::handle_peer_failure(Peer& p, sim::FailureKind kind,
       p.banned = true;
       ++stats_.bans;
       OBS_INSTANT("dist_peer_banned", "dist");
+      OBS_COUNTER_INC("citroen_dist_bans_total");
     }
+    publish_peer_metrics(p);
     return;
   }
   p.next_attempt =
@@ -248,6 +270,9 @@ void DistEvaluator::handle_peer_failure(Peer& p, sim::FailureKind kind,
                                config_.reconnect_backoff_seconds,
                                config_.reconnect_backoff_max_seconds,
                                config_.reconnect_jitter, &jitter_state_);
+  ++stats_.backoffs;
+  OBS_COUNTER_INC("citroen_dist_backoffs_total");
+  publish_peer_metrics(p);
 }
 
 bool DistEvaluator::dispatch(Peer& p, std::size_t job_index,
@@ -375,6 +400,7 @@ void DistEvaluator::brownout(const char* why) const {
   ++stats_.brownouts;
   OBS_INSTANT("dist_brownout", "dist");
   OBS_COUNTER_INC("citroen_dist_brownouts_total");
+  OBS_GAUGE_SET("citroen_dist_degraded", 1);
   std::fprintf(stderr,
                "citroen-dist: pool brownout (%s); degrading to the local "
                "evaluation stack\n",

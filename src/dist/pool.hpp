@@ -95,6 +95,8 @@ struct DistStats {
   std::uint64_t bans = 0;            ///< peers banned by the breaker
   std::uint64_t heartbeats = 0;      ///< pings sent
   std::uint64_t brownouts = 0;       ///< 1 when the whole pool degraded
+  std::uint64_t reconnect_attempts = 0;  ///< connect tries (incl. retries)
+  std::uint64_t backoffs = 0;        ///< reconnect backoffs scheduled
 };
 
 /// Builds a ProgramSpec matching `bottom` for benches/tests where the
@@ -212,6 +214,11 @@ class DistEvaluator final : public sim::Evaluator {
 
   bool try_connect(Peer& p) const;
   void disconnect(Peer& p) const;
+  /// Export this peer's breaker state (connected / banned /
+  /// consecutive_failures) plus the pool-wide banned count as gauges.
+  /// Names are per-peer-index, so this hits the registry directly
+  /// instead of the static-caching OBS macros.
+  void publish_peer_metrics(const Peer& p) const;
   /// Classify a failure on `p`, requeue/abandon its in-flight job, apply
   /// reconnect backoff and the per-peer breaker.
   void handle_peer_failure(Peer& p, sim::FailureKind kind,

@@ -42,7 +42,8 @@ void write_le32(char* p, std::uint32_t v) {
 
 }  // namespace
 
-JournalRecovery recover_journal(const std::string& path) {
+JournalRecovery recover_journal(const std::string& path, const char* magic8) {
+  const char* magic = magic8 ? magic8 : kMagic;
   JournalRecovery out;
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -57,7 +58,7 @@ JournalRecovery recover_journal(const std::string& path) {
     return out;
   }
   if (bytes.size() < kHeaderBytes ||
-      std::memcmp(bytes.data(), kMagic, kHeaderBytes) != 0) {
+      std::memcmp(bytes.data(), magic, kHeaderBytes) != 0) {
     out.truncated = true;
     out.note = "journal " + path +
                ": unrecognized header, discarding all " +
@@ -89,8 +90,9 @@ JournalRecovery recover_journal(const std::string& path) {
 }
 
 JournalWriter::JournalWriter(const std::string& path, JournalConfig config,
-                             std::uint64_t start_bytes)
+                             std::uint64_t start_bytes, const char* magic8)
     : config_(config) {
+  const char* magic = magic8 ? magic8 : kMagic;
   fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
   if (fd_ < 0) io_fail("open failed", path);
   // Drop any corrupt tail found by recovery; a fresh or reset file gets
@@ -100,7 +102,7 @@ JournalWriter::JournalWriter(const std::string& path, JournalConfig config,
     io_fail("ftruncate failed", path);
   if (::lseek(fd_, 0, SEEK_END) < 0) io_fail("lseek failed", path);
   if (start_bytes == 0) {
-    if (::write(fd_, kMagic, kHeaderBytes) !=
+    if (::write(fd_, magic, kHeaderBytes) !=
         static_cast<ssize_t>(kHeaderBytes))
       io_fail("header write failed", path);
   }

@@ -44,7 +44,11 @@ struct JournalRecovery {
 /// one. Never throws on corruption: a missing file, a zero-length file, a
 /// garbage header and a torn tail all come back as a (possibly empty)
 /// record list plus a note naming the byte offset where trust ended.
-JournalRecovery recover_journal(const std::string& path);
+/// `magic8` selects the 8-byte file magic; nullptr means the evaluation
+/// journal's "CTRNJRN1" (other journal-framed files, e.g. the transfer
+/// corpus, pass their own).
+JournalRecovery recover_journal(const std::string& path,
+                                const char* magic8 = nullptr);
 
 /// Appender. Creating one truncates the file to `start_bytes` (the
 /// recovery's `valid_bytes`, dropping any corrupt tail) — or writes a
@@ -52,7 +56,7 @@ JournalRecovery recover_journal(const std::string& path);
 class JournalWriter {
  public:
   JournalWriter(const std::string& path, JournalConfig config,
-                std::uint64_t start_bytes);
+                std::uint64_t start_bytes, const char* magic8 = nullptr);
   ~JournalWriter();
 
   JournalWriter(const JournalWriter&) = delete;

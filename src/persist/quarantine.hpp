@@ -1,0 +1,34 @@
+#pragma once
+// Shared corruption-quarantine policy: a file that failed validation is
+// moved aside — never silently deleted — so an operator can inspect what
+// went wrong while the writer restarts cold. Used by the prefix cache's
+// disk tier and the transfer corpus loader.
+
+#include <cstdio>
+#include <string>
+
+#include <unistd.h>
+
+namespace citroen::persist {
+
+/// Atomically rename `path` to "<path>.bad" — or "<path>.bad.1",
+/// "<path>.bad.2", … when earlier quarantined copies already occupy the
+/// name. After 16 copies the base name is recycled rather than growing
+/// unboundedly. Returns the chosen destination, or an empty string when
+/// rename was impossible and the file was unlinked instead (cross-device
+/// moves, permissions); either way `path` no longer exists afterwards.
+inline std::string quarantine_file(const std::string& path) {
+  const std::string base = path + ".bad";
+  std::string dest = base;
+  for (int i = 1; ::access(dest.c_str(), F_OK) == 0 && i <= 16; ++i)
+    dest = base + "." + std::to_string(i);
+  if (::access(dest.c_str(), F_OK) == 0) {
+    ::unlink(base.c_str());
+    dest = base;
+  }
+  if (::rename(path.c_str(), dest.c_str()) == 0) return dest;
+  ::unlink(path.c_str());
+  return std::string();
+}
+
+}  // namespace citroen::persist

@@ -4,12 +4,15 @@
 //            [--resume] [--tcp-port N] [--max-jobs N] \
 //            [--tenant-jobs N] [--tenant-evals N] [--quantum N] \
 //            [--drain-deadline SECONDS] \
-//            [--peers LIST] [--cache-dir DIR]
+//            [--peers LIST] [--cache-dir DIR] [--corpus-dir DIR]
 //
 // --peers takes a comma-separated endpoint list (unix:/path or ip:port)
 // of citroen-peer processes to farm measurements to; a peer pool that
 // browns out degrades to local evaluation with byte-identical results.
 // --cache-dir enables the prefix cache's persistent disk tier there.
+// --corpus-dir enables the cross-program transfer corpus there (falls
+// back to $CITROEN_CORPUS): fresh citroen jobs warm-start from it and
+// finished ones append their winners.
 //
 // Exit status follows the persist taxonomy: 0 when every job completed,
 // 75 when a drain checkpointed resumable work (restart with --resume to
@@ -30,7 +33,8 @@ void usage(const char* argv0) {
       "usage: %s --socket PATH --state-dir DIR [--resume] [--tcp-port N]\n"
       "          [--max-jobs N] [--tenant-jobs N] [--tenant-evals N]\n"
       "          [--quantum N] [--drain-deadline SECONDS]\n"
-      "          [--peers ENDPOINT[,ENDPOINT...]] [--cache-dir DIR]\n",
+      "          [--peers ENDPOINT[,ENDPOINT...]] [--cache-dir DIR]\n"
+      "          [--corpus-dir DIR]\n",
       argv0);
 }
 
@@ -63,6 +67,8 @@ int main(int argc, char** argv) {
       cfg.peers = citroen::dist::parse_peer_list(argv[++i]);
     } else if (s == "--cache-dir" && i + 1 < argc) {
       cfg.cache_dir = argv[++i];
+    } else if (s == "--corpus-dir" && i + 1 < argc) {
+      cfg.corpus_dir = argv[++i];
     } else if (s == "--help" || s == "-h") {
       usage(argv[0]);
       return 0;

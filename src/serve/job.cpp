@@ -22,7 +22,9 @@ namespace citroen::serve {
 
 namespace {
 
-constexpr std::uint32_t kJobRecordVersion = 1;
+/// v2 appended the frozen transfer-corpus advice; v1 metas still load
+/// (with empty advice), so a daemon upgrade never strands durable work.
+constexpr std::uint32_t kJobRecordVersion = 2;
 
 /// Mirrors the bench runners' default CITROEN configuration so a daemon
 /// job and its serial replay drive the identical search.
@@ -94,6 +96,7 @@ void save_job_record(const std::string& dir, const JobRecord& rec) {
   w.u32(rec.spec.budget);
   w.u64(rec.spec.seed);
   w.b(rec.cancelled);
+  corpus::put(w, rec.advice);
   persist::write_checkpoint(job_meta_path(dir, rec.id), w.data());
 }
 
@@ -103,7 +106,8 @@ bool load_job_record(const std::string& path, JobRecord* rec,
   if (!payload) return false;
   try {
     persist::Reader r(*payload);
-    if (r.u32() != kJobRecordVersion)
+    const std::uint32_t version = r.u32();
+    if (version < 1 || version > kJobRecordVersion)
       throw std::runtime_error("unsupported job record version");
     rec->id = r.u64();
     rec->tenant = r.str();
@@ -113,6 +117,7 @@ bool load_job_record(const std::string& path, JobRecord* rec,
     rec->spec.budget = r.u32();
     rec->spec.seed = r.u64();
     rec->cancelled = r.b();
+    if (version >= 2) corpus::get(r, rec->advice);
     if (!r.at_end()) throw std::runtime_error("trailing bytes");
     return true;
   } catch (const std::exception& e) {
@@ -125,8 +130,11 @@ TuningJob::TuningJob(JobRecord record, const std::string& state_dir,
                      bool resume,
                      const std::shared_ptr<sim::PrefixCache>& shared_cache,
                      int fsync_every, int checkpoint_every,
-                     const std::vector<std::string>& dist_peers)
-    : record_(std::move(record)), stack_(std::make_unique<detail::JobStack>()) {
+                     const std::vector<std::string>& dist_peers,
+                     const std::shared_ptr<corpus::TransferCorpus>& corpus)
+    : record_(std::move(record)),
+      stack_(std::make_unique<detail::JobStack>()),
+      corpus_(corpus) {
   if (record_.cancelled) {
     state_ = JobState::Cancelled;
     stack_.reset();
@@ -138,6 +146,18 @@ TuningJob::TuningJob(JobRecord record, const std::string& state_dir,
       bench_suite::make_program(record_.spec.program),
       sim::machine_by_name(record_.spec.machine));
   if (shared_cache) s.base->set_shared_prefix_cache(shared_cache);
+  // Fresh citroen jobs consult the corpus ONCE, here, and freeze the
+  // result in the admission record — a resumed job reuses record_.advice
+  // verbatim, so resume stays byte-identical no matter how the corpus
+  // grew in between. Probes are compile-only: they touch compile
+  // accounting and the (pure-memo) prefix cache, nothing a result
+  // depends on.
+  if (!resume && corpus_ && record_.spec.method == "citroen" &&
+      corpus_->num_entries() > 0) {
+    record_.advice = corpus::advise_for_modules(
+        *corpus_, *s.base, record_.spec.machine,
+        core::select_hot_modules(*s.base, citroen_config_for(record_.spec)));
+  }
   // Same opt-in as the bench runners: CITROEN_SANDBOX=1 vets every
   // candidate out-of-process first; results stay byte-identical.
   if (support::env_flag("CITROEN_SANDBOX"))
@@ -178,8 +198,9 @@ TuningJob::TuningJob(JobRecord record, const std::string& state_dir,
 
   s.jeval = std::make_unique<persist::JournaledEvaluator>(inner, *s.session);
   if (record_.spec.method == "citroen") {
-    s.citroen = std::make_unique<core::CitroenTuner>(
-        *s.jeval, citroen_config_for(record_.spec));
+    auto cfg = citroen_config_for(record_.spec);
+    corpus::apply_advice(&cfg, record_.advice);
+    s.citroen = std::make_unique<core::CitroenTuner>(*s.jeval, cfg);
   } else {
     s.baseline = baselines::make_phase_tuner(record_.spec.method, *s.jeval,
                                              baseline_config_for(record_.spec));
@@ -220,6 +241,15 @@ std::uint64_t TuningJob::step() {
   const bool more = s.step_tuner();
   const std::uint64_t consumed = s.session->next_index() - before;
   if (!more) {
+    if (s.citroen && corpus_ && corpus_->writable()) {
+      // Learn from the finished run BEFORE the complete checkpoint: a
+      // crash between the two re-runs this block on resume, and the
+      // content-keyed dedup makes the second append a no-op.
+      corpus::append_tune_result(*corpus_, *s.base, record_.spec.program,
+                                 record_.spec.machine, record_.spec.budget,
+                                 s.citroen->finish(),
+                                 s.citroen->tuned_modules());
+    }
     curve_ = s.curve_so_far();
     save_checkpoint(/*complete=*/true);
     done_ = s.session->next_index();

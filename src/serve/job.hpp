@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "corpus/corpus.hpp"
 #include "serve/wire.hpp"
 #include "support/matrix.hpp"
 
@@ -37,6 +38,10 @@ struct JobRecord {
   std::string tenant;
   JobSpec spec;
   bool cancelled = false;
+  /// Transfer-corpus advice resolved ONCE at admission and frozen here,
+  /// so a resumed job replays the identical search even after the corpus
+  /// has grown (record format v2; v1 metas load with empty advice).
+  corpus::TunerAdvice advice;
 };
 
 std::string job_file_stem(std::uint64_t id);  ///< "job_<16-hex-digits>"
@@ -63,10 +68,15 @@ class TuningJob {
   /// farms pure measurements to; empty consults CITROEN_DIST /
   /// CITROEN_PEERS, and a pool that browns out degrades to the local
   /// stack with byte-identical results.
+  /// `corpus` is the daemon-wide transfer corpus: a fresh citroen job
+  /// looks up its hot modules' signatures at construction (the resolved
+  /// advice lands in record().advice — persist it with save_job_record),
+  /// and a finished one appends its winner. Null disables both.
   TuningJob(JobRecord record, const std::string& state_dir, bool resume,
             const std::shared_ptr<sim::PrefixCache>& shared_cache,
             int fsync_every = 64, int checkpoint_every = 10,
-            const std::vector<std::string>& dist_peers = {});
+            const std::vector<std::string>& dist_peers = {},
+            const std::shared_ptr<corpus::TransferCorpus>& corpus = nullptr);
   ~TuningJob();
 
   TuningJob(const TuningJob&) = delete;
@@ -106,6 +116,7 @@ class TuningJob {
   Vec curve_;
   std::uint64_t done_ = 0;  ///< evals_done snapshot once the stack is gone
   std::unique_ptr<detail::JobStack> stack_;
+  std::shared_ptr<corpus::TransferCorpus> corpus_;
 };
 
 /// Run `spec` to completion in-process, outside any daemon — the

@@ -74,7 +74,30 @@ Server::Server(ServerConfig config)
     : config_(std::move(config)),
       admission_(config_.quotas),
       scheduler_(config_.drr_quantum),
-      cache_(std::make_shared<sim::PrefixCache>(cache_config_for(config_))) {}
+      cache_(std::make_shared<sim::PrefixCache>(cache_config_for(config_))) {
+  std::string corpus_dir = config_.corpus_dir;
+  if (corpus_dir.empty()) {
+    const char* env = std::getenv("CITROEN_CORPUS");
+    if (env) corpus_dir = env;
+  }
+  if (!corpus_dir.empty()) {
+    try {
+      // Non-blocking exclusive append: this event loop is the single
+      // writer for its lifetime. If another writer already holds the
+      // lock the corpus degrades to read-only lookups (stats().note says
+      // so); if the directory is unusable the daemon runs corpus-less
+      // rather than dying.
+      corpus_ = std::make_shared<corpus::TransferCorpus>(
+          corpus_dir, corpus::CorpusConfig{});
+      if (!corpus_->stats().note.empty())
+        std::fprintf(stderr, "[citroend] %s\n",
+                     corpus_->stats().note.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[citroend] corpus %s disabled: %s\n",
+                   corpus_dir.c_str(), e.what());
+    }
+  }
+}
 
 Server::~Server() { close_listeners(); }
 
@@ -176,7 +199,7 @@ void Server::resume_jobs() {
                                         /*resume=*/true, cache_,
                                         config_.fsync_every,
                                         config_.checkpoint_every,
-                                        config_.peers);
+                                        config_.peers, corpus_);
     } catch (const std::exception& e) {
       // Spec no longer constructible (e.g. version skew): keep the error
       // so a re-attaching client gets a Failed result, not UnknownJob.
@@ -308,10 +331,12 @@ bool Server::handle_frame(Conn& c, const std::string& payload) {
                                           /*resume=*/false, cache_,
                                           config_.fsync_every,
                                           config_.checkpoint_every,
-                                          config_.peers);
+                                          config_.peers, corpus_);
         // Durable BEFORE the Accept frame: once the client sees Accept,
-        // the job survives any daemon crash.
-        save_job_record(config_.state_dir, rec);
+        // the job survives any daemon crash. Saved from job->record()
+        // because the constructor resolved the corpus advice into it —
+        // a resumed job must replay the advice it started with.
+        save_job_record(config_.state_dir, job->record());
       } catch (const std::exception& e) {
         admission_.release(c.tenant, m.spec);
         RejectMsg rej;

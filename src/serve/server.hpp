@@ -63,6 +63,13 @@ struct ServerConfig {
   /// evaluator stack farms measurements to. Empty falls back to
   /// $CITROEN_PEERS when CITROEN_DIST=1; still empty stays local.
   std::vector<std::string> peers;
+  /// Directory of the cross-program transfer corpus (corpus/corpus.hpp):
+  /// fresh citroen jobs warm-start from it, finished ones append their
+  /// winners. Empty falls back to $CITROEN_CORPUS; still empty disables
+  /// the corpus. The daemon's event loop is the single writer (it holds
+  /// the corpus flock for its lifetime); a busy lock degrades to
+  /// read-only lookups.
+  std::string corpus_dir;
 };
 
 class Server {
@@ -113,6 +120,7 @@ class Server {
   /// Jobs whose stacks could not be rebuilt at resume (error message).
   std::map<std::uint64_t, std::string> failed_;
   std::shared_ptr<sim::PrefixCache> cache_;
+  std::shared_ptr<corpus::TransferCorpus> corpus_;
 
   std::vector<std::unique_ptr<Conn>> conns_;
   int uds_fd_ = -1;

@@ -12,6 +12,7 @@
 #include "ir/serialize.hpp"
 #include "obs/metrics.hpp"
 #include "persist/codec.hpp"
+#include "persist/quarantine.hpp"
 
 namespace citroen::sim {
 
@@ -212,9 +213,7 @@ std::shared_ptr<const ModuleBuild> DiskCacheTier::load(
 }
 
 void DiskCacheTier::quarantine(const std::string& path) const {
-  const std::string bad = path + ".bad";
-  ::unlink(bad.c_str());  // keep at most one quarantined copy per entry
-  if (::rename(path.c_str(), bad.c_str()) != 0) ::unlink(path.c_str());
+  persist::quarantine_file(path);
   bump(&DiskTierStats::quarantined);
   OBS_COUNTER_INC("citroen_prefix_disk_quarantined_total");
 }

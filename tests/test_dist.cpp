@@ -17,6 +17,7 @@
 
 #include "bench_suite/suite.hpp"
 #include "dist/peer.hpp"
+#include "obs/metrics.hpp"
 #include "dist/pool.hpp"
 #include "dist/wire.hpp"
 #include "sim/evaluator.hpp"
@@ -224,6 +225,45 @@ TEST(DistEvaluator, BrownoutFallsBackToLocalStack) {
   EXPECT_TRUE(pool.degraded());
   EXPECT_EQ(pool.dist_stats().jobs_ok, 0u);
   EXPECT_GE(pool.dist_stats().local_fallback, 1u);
+}
+
+TEST(DistEvaluator, BreakerStateIsVisibleInMetricsExport) {
+  // Satellite of the transfer-corpus PR: per-peer circuit-breaker state
+  // and reconnect/backoff totals must be visible in the Prometheus
+  // export, so a fleet operator can see WHICH peer is flapping.
+  obs::metrics_force_enable(true);
+  const std::string bogus = "/tmp/citroen_test_dist_nobody_m_" +
+                            std::to_string(::getpid()) + ".sock";
+  sim::ProgramEvaluator bottom(bench_suite::make_program("security_sha"),
+                               sim::machine_by_name("arm"));
+  dist::DistConfig cfg;
+  cfg.peers = {bogus};
+  cfg.spec = dist::make_program_spec(bottom, "arm");
+  cfg.connect_timeout_seconds = 0.1;
+  cfg.reconnect_backoff_seconds = 0.001;
+  cfg.breaker_threshold = 2;  // one backoff round, then the ban
+  dist::DistEvaluator pool(bottom, bottom, cfg);
+  pool.evaluate(candidate(0));
+  obs::metrics_force_enable(false);
+
+  EXPECT_TRUE(pool.degraded());
+  EXPECT_GE(pool.dist_stats().reconnect_attempts, 2u);
+  EXPECT_GE(pool.dist_stats().backoffs, 1u);
+  EXPECT_EQ(pool.dist_stats().bans, 1u);
+
+  auto& reg = obs::Registry::instance();
+  const std::string prom = reg.prometheus_text();
+  for (const char* metric :
+       {"citroen_dist_peer0_banned", "citroen_dist_peer0_connected",
+        "citroen_dist_peer0_consecutive_failures",
+        "citroen_dist_peers_banned", "citroen_dist_degraded",
+        "citroen_dist_reconnect_attempts_total",
+        "citroen_dist_backoffs_total", "citroen_dist_bans_total"}) {
+    EXPECT_NE(prom.find(metric), std::string::npos)
+        << "missing from Prometheus export: " << metric;
+  }
+  EXPECT_NE(prom.find("citroen_dist_peer0_banned 1"), std::string::npos)
+      << prom.substr(0, 400);
 }
 
 TEST(DistEvaluator, EmptyPeerListIsInert) {

@@ -18,6 +18,7 @@
 #include "persist/checkpoint.hpp"
 #include "persist/codec.hpp"
 #include "persist/journal.hpp"
+#include "persist/quarantine.hpp"
 #include "persist/journaled_evaluator.hpp"
 #include "persist/run_session.hpp"
 #include "sim/evaluator.hpp"
@@ -270,6 +271,81 @@ TEST(PersistJournal, WriterResumesAfterTruncatedTail) {
   ASSERT_EQ(rec.records.size(), 3u);
   EXPECT_EQ(rec.records[2], "three");
   EXPECT_FALSE(rec.truncated);
+}
+
+TEST(PersistJournal, TruncationBetweenCrcAndNextHeaderRecoversPrefix) {
+  // The torn frame carries its complete [len][crc] header but zero
+  // payload bytes — truncation exactly between the CRC word and where
+  // the payload (and eventually the next header) would begin.
+  const std::string path = temp_path("jrn_hdr_only");
+  journal_with_records(path, {"first", "second", "third"});
+  const std::string bytes = read_file(path);
+  const std::size_t two_records =
+      persist::kJournalHeaderBytes + (8 + 5) + (8 + 6);  // "first","second"
+  write_file(path, bytes.substr(0, two_records + 8));  // + bare header
+  const auto rec = persist::recover_journal(path);
+  ASSERT_EQ(rec.records.size(), 2u);
+  EXPECT_EQ(rec.records[1], "second");
+  EXPECT_TRUE(rec.truncated);
+  EXPECT_EQ(rec.valid_bytes, two_records);
+}
+
+TEST(PersistJournal, TruncationAtExactRecordBoundaryIsClean) {
+  // Chopping precisely after a record's last payload byte leaves a valid
+  // shorter journal: nothing torn, nothing to truncate.
+  const std::string path = temp_path("jrn_boundary");
+  journal_with_records(path, {"first", "second", "third"});
+  const std::string bytes = read_file(path);
+  const std::size_t two_records =
+      persist::kJournalHeaderBytes + (8 + 5) + (8 + 6);
+  write_file(path, bytes.substr(0, two_records));
+  const auto rec = persist::recover_journal(path);
+  ASSERT_EQ(rec.records.size(), 2u);
+  EXPECT_FALSE(rec.truncated);
+  EXPECT_EQ(rec.valid_bytes, rec.file_bytes);
+}
+
+TEST(PersistJournal, MagicOnlyFileIsCleanAndEmpty) {
+  // A writer that crashed before its first append leaves just the magic:
+  // a legitimate zero-record journal, not corruption.
+  const std::string path = temp_path("jrn_magic_only");
+  std::remove(path.c_str());
+  {
+    persist::JournalWriter w(path, persist::JournalConfig{}, 0);
+    w.flush();
+  }
+  const auto rec = persist::recover_journal(path);
+  EXPECT_TRUE(rec.records.empty());
+  EXPECT_FALSE(rec.truncated);
+  EXPECT_EQ(rec.file_bytes, rec.valid_bytes);
+  EXPECT_EQ(rec.file_bytes,
+            static_cast<std::uint64_t>(persist::kJournalHeaderBytes));
+}
+
+// ---- quarantine -----------------------------------------------------------
+
+TEST(PersistQuarantine, RenamesToDotBad) {
+  const std::string path = temp_path("quar_basic");
+  for (int i = 0; i < 20; ++i)
+    std::remove((path + ".bad" + (i ? "." + std::to_string(i) : "")).c_str());
+  write_file(path, "corrupt bytes");
+  const std::string dest = persist::quarantine_file(path);
+  EXPECT_EQ(dest, path + ".bad");
+  EXPECT_EQ(read_file(dest), "corrupt bytes");
+  std::ifstream original(path);
+  EXPECT_FALSE(original.good()) << "original must be gone after quarantine";
+}
+
+TEST(PersistQuarantine, CounterAvoidsClobberingPriorQuarantine) {
+  const std::string path = temp_path("quar_counter");
+  for (int i = 0; i < 20; ++i)
+    std::remove((path + ".bad" + (i ? "." + std::to_string(i) : "")).c_str());
+  write_file(path, "first corruption");
+  ASSERT_EQ(persist::quarantine_file(path), path + ".bad");
+  write_file(path, "second corruption");
+  EXPECT_EQ(persist::quarantine_file(path), path + ".bad.1");
+  EXPECT_EQ(read_file(path + ".bad"), "first corruption");
+  EXPECT_EQ(read_file(path + ".bad.1"), "second corruption");
 }
 
 // ---- checkpoint -----------------------------------------------------------

@@ -19,6 +19,9 @@
 #include <thread>
 #include <vector>
 
+#include "corpus/corpus.hpp"
+#include "persist/checkpoint.hpp"
+#include "persist/codec.hpp"
 #include "persist/run_session.hpp"
 #include "serve/admission.hpp"
 #include "serve/client.hpp"
@@ -351,6 +354,141 @@ TEST(ServeJob, InvalidSpecThrows) {
   rec.spec = small_spec();
   rec.spec.method = "no_such_method";
   EXPECT_THROW(serve::TuningJob(rec, dir, false, nullptr), std::exception);
+}
+
+TEST(ServeJob, CorpusLearnsOnDoneAndAdvisesTheNextJob) {
+  const std::string cdir = fresh_dir("job_corpus_store");
+  auto corp =
+      std::make_shared<corpus::TransferCorpus>(cdir, corpus::CorpusConfig{});
+  ASSERT_TRUE(corp->writable());
+
+  // Job 1 starts against an empty corpus: no advice (cold path), and its
+  // winner lands in the corpus when it finishes.
+  serve::JobRecord rec1;
+  rec1.id = 10;
+  rec1.tenant = "t";
+  rec1.spec = small_spec("citroen", 18, 9);
+  {
+    serve::TuningJob job(rec1, fresh_dir("job_corpus_1"), /*resume=*/false,
+                         nullptr, 64, 10, {}, corp);
+    EXPECT_TRUE(job.record().advice.empty());
+    while (!job.terminal()) job.step();
+    EXPECT_EQ(job.state(), serve::JobState::Done);
+  }
+  ASSERT_GT(corp->num_entries(), 0u) << "finished job must append its winner";
+
+  // Job 2 on the same program resolves advice ONCE at admission: the
+  // probe signatures are identical, so the corpus must match.
+  serve::JobRecord rec2;
+  rec2.id = 11;
+  rec2.tenant = "t";
+  rec2.spec = small_spec("citroen", 18, 10);
+  const std::string dir2 = fresh_dir("job_corpus_2");
+  serve::TuningJob job2(rec2, dir2, /*resume=*/false, nullptr, 64, 10, {},
+                        corp);
+  EXPECT_FALSE(job2.record().advice.empty());
+  EXPECT_GT(job2.record().advice.modules_matched, 0u);
+
+  // The frozen advice round-trips through the v2 meta record, so a
+  // daemon restart resumes with the advice the job started under.
+  serve::save_job_record(dir2, job2.record());
+  serve::JobRecord loaded;
+  std::string note;
+  ASSERT_TRUE(serve::load_job_record(serve::job_meta_path(dir2, rec2.id),
+                                     &loaded, &note))
+      << note;
+  EXPECT_EQ(loaded.advice.seed_sequences,
+            job2.record().advice.seed_sequences);
+  EXPECT_EQ(loaded.advice.modules_matched,
+            job2.record().advice.modules_matched);
+
+  while (!job2.terminal()) job2.step();
+  EXPECT_EQ(job2.state(), serve::JobState::Done);
+  EXPECT_FALSE(job2.curve().empty());
+}
+
+TEST(ServeJob, AdvisedJobResumesByteIdentically) {
+  // The warm path's resume contract: a job that took corpus advice and
+  // was interrupted mid-run finishes byte-identically to the same job
+  // run without interruption, because the advice is frozen in its meta
+  // record at admission. A read-only corpus handle keeps the corpus
+  // contents fixed across both constructions.
+  const std::string cdir = fresh_dir("job_adv_resume_store");
+  {
+    auto writer = std::make_shared<corpus::TransferCorpus>(
+        cdir, corpus::CorpusConfig{});
+    serve::JobRecord seed_rec;
+    seed_rec.id = 20;
+    seed_rec.tenant = "t";
+    seed_rec.spec = small_spec("citroen", 18, 9);
+    serve::TuningJob seeder(seed_rec, fresh_dir("job_adv_resume_seed"),
+                            /*resume=*/false, nullptr, 64, 10, {}, writer);
+    while (!seeder.terminal()) seeder.step();
+  }
+  corpus::CorpusConfig ro;
+  ro.mode = corpus::OpenMode::ReadOnly;
+  auto corp = std::make_shared<corpus::TransferCorpus>(cdir, ro);
+  ASSERT_GT(corp->num_entries(), 0u);
+
+  serve::JobRecord rec;
+  rec.id = 21;
+  rec.tenant = "t";
+  rec.spec = small_spec("citroen", 18, 10);
+
+  serve::TuningJob straight(rec, fresh_dir("job_adv_resume_a"),
+                            /*resume=*/false, nullptr, 64, 10, {}, corp);
+  ASSERT_FALSE(straight.record().advice.empty()) << "lookup must hit";
+  while (!straight.terminal()) straight.step();
+
+  const std::string dir_b = fresh_dir("job_adv_resume_b");
+  {
+    serve::TuningJob first(rec, dir_b, /*resume=*/false, nullptr,
+                           /*fsync_every=*/4, /*checkpoint_every=*/3, {},
+                           corp);
+    serve::save_job_record(dir_b, first.record());  // daemon admission
+    for (int i = 0; i < 3 && !first.terminal(); ++i) first.step();
+    first.checkpoint_for_drain();
+    // Destroyed mid-run: the daemon died.
+  }
+  serve::JobRecord revived;
+  std::string note;
+  ASSERT_TRUE(serve::load_job_record(serve::job_meta_path(dir_b, rec.id),
+                                     &revived, &note))
+      << note;
+  EXPECT_EQ(revived.advice.seed_sequences,
+            straight.record().advice.seed_sequences);
+  serve::TuningJob resumed(revived, dir_b, /*resume=*/true, nullptr, 64, 10,
+                           {}, corp);
+  while (!resumed.terminal()) resumed.step();
+  EXPECT_TRUE(curves_identical(resumed.curve(), straight.curve()))
+      << "advised resume diverged from the uninterrupted advised run";
+}
+
+TEST(ServeJob, V1MetaRecordsStillLoadWithEmptyAdvice) {
+  // A pre-corpus meta (format v1) must keep loading after the upgrade —
+  // hand-craft one through the same checkpoint container the v1 writer
+  // used.
+  const std::string dir = fresh_dir("job_meta_v1");
+  persist::Writer w;
+  w.u32(1);  // version 1: no advice field
+  w.u64(42);
+  w.str("acme");
+  w.str("telecom_gsm");
+  w.str("arm");
+  w.str("random");
+  w.u32(10);
+  w.u64(3);
+  w.b(false);
+  persist::write_checkpoint(serve::job_meta_path(dir, 42), w.data());
+
+  serve::JobRecord rec;
+  std::string note;
+  ASSERT_TRUE(
+      serve::load_job_record(serve::job_meta_path(dir, 42), &rec, &note))
+      << note;
+  EXPECT_EQ(rec.id, 42u);
+  EXPECT_EQ(rec.tenant, "acme");
+  EXPECT_TRUE(rec.advice.empty());
 }
 
 // ---- live daemon over a real socket --------------------------------------
