@@ -4,6 +4,7 @@
 #include <signal.h>
 #include <sys/socket.h>
 #include <sys/un.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -28,6 +29,13 @@ namespace {
 
 void sleep_forever() {
   for (;;) ::pause();
+}
+
+std::uint64_t now_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
 }
 
 /// Evaluators rebuilt from Hello specs, cached across connections (keyed
@@ -100,7 +108,7 @@ void serve_connection(int fd, const PeerOptions& opts,
         }
         const auto reply = encode_hello_ok(
             static_cast<std::uint64_t>(::getpid()),
-            evaluator_fingerprint(*eval));
+            evaluator_fingerprint(*eval), now_ns());
         if (sandbox::write_frame(fd, tag_message(PeerMsg::HelloOk, reply)) !=
             IoStatus::Ok)
           return;
@@ -136,6 +144,16 @@ void serve_connection(int fd, const PeerOptions& opts,
 
         sandbox::SandboxResult res;
         res.id = job.id;
+        // The remote execution span, plus the finish half of the flow
+        // the pool started at dispatch ('s', same id): once this result's
+        // piggybacked events are ingested and re-based pool-side, the
+        // merged trace draws an arrow from the pool's dist_job span to
+        // this peer_job span.
+        if (obs::trace_enabled()) {
+          obs::emit('b', "peer_job", "dist", job.id, "pid",
+                    static_cast<std::uint64_t>(::getpid()));
+          obs::emit('f', "dist_job", "dist", job.id);
+        }
         try {
           // Peers ignore job.plan: real-fault injection is a sandbox
           // concern (the plan still travels in the frame because the
@@ -151,6 +169,10 @@ void serve_connection(int fd, const PeerOptions& opts,
         } catch (...) {
           return;  // unexpected: hang up, the pool reassigns
         }
+        if (obs::trace_enabled()) obs::emit('e', "peer_job", "dist", job.id);
+        // Ship this job's trace events + counter deltas home on the
+        // result frame — same appendix the sandbox worker uses.
+        sandbox::collect_obs_deltas(&res);
         if (sandbox::write_frame(
                 fd, tag_message(PeerMsg::Result,
                                 sandbox::encode_result(res))) != IoStatus::Ok)
@@ -215,6 +237,9 @@ int listen_tcp(int* port, std::string* error) {
 
 int peer_serve(int listen_fd, const PeerOptions& options) {
   ::signal(SIGPIPE, SIG_IGN);  // a vanished pool surfaces as EPIPE
+  // Don't re-ship counters inherited from a forking parent (spawn_peer)
+  // or accumulated before the first connection.
+  sandbox::baseline_obs_counters();
   std::int64_t jobs_started = 0;
   for (;;) {
     const int conn = ::accept(listen_fd, nullptr, nullptr);

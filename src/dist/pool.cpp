@@ -16,6 +16,7 @@
 #include <cstring>
 #include <unordered_set>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sandbox/protocol.hpp"
@@ -26,6 +27,13 @@ namespace citroen::dist {
 namespace {
 
 using sandbox::IoStatus;
+
+std::uint64_t monotonic_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
 
 void sleep_seconds(double s) {
   if (s <= 0) return;
@@ -164,18 +172,33 @@ void DistEvaluator::disconnect(Peer& p) const {
 void DistEvaluator::publish_peer_metrics(const Peer& p) const {
   if (!obs::metrics_enabled()) return;
   auto& reg = obs::Registry::instance();
-  const auto i = static_cast<unsigned long>(&p - peers_.data());
-  char name[64];
-  std::snprintf(name, sizeof(name), "citroen_dist_peer%lu_connected", i);
-  reg.gauge(name).set(p.connected ? 1.0 : 0.0);
-  std::snprintf(name, sizeof(name), "citroen_dist_peer%lu_banned", i);
-  reg.gauge(name).set(p.banned ? 1.0 : 0.0);
-  std::snprintf(name, sizeof(name),
-                "citroen_dist_peer%lu_consecutive_failures", i);
-  reg.gauge(name).set(static_cast<double>(p.consecutive_failures));
+  char idx[24];
+  std::snprintf(idx, sizeof(idx), "%lu",
+                static_cast<unsigned long>(&p - peers_.data()));
+  reg.gauge("citroen_dist_peer_connected", "peer", idx)
+      .set(p.connected ? 1.0 : 0.0);
+  reg.gauge("citroen_dist_peer_banned", "peer", idx)
+      .set(p.banned ? 1.0 : 0.0);
+  reg.gauge("citroen_dist_peer_consecutive_failures", "peer", idx)
+      .set(static_cast<double>(p.consecutive_failures));
   double banned = 0;
   for (const Peer& q : peers_) banned += q.banned ? 1.0 : 0.0;
   reg.gauge("citroen_dist_peers_banned").set(banned);
+}
+
+std::vector<DistEvaluator::PeerHealth> DistEvaluator::peer_health() const {
+  std::vector<PeerHealth> out;
+  out.reserve(peers_.size());
+  for (const Peer& p : peers_) {
+    PeerHealth h;
+    h.endpoint = p.endpoint;
+    h.connected = p.connected;
+    h.banned = p.banned;
+    h.consecutive_failures = p.consecutive_failures;
+    h.clock_offset_ns = p.clock_offset_ns;
+    out.push_back(std::move(h));
+  }
+  return out;
 }
 
 bool DistEvaluator::try_connect(Peer& p) const {
@@ -187,8 +210,10 @@ bool DistEvaluator::try_connect(Peer& p) const {
   if (p.fd < 0) return false;
   p.reader = std::make_unique<sandbox::FrameReader>(p.fd);
 
+  const std::uint64_t t0_ns = monotonic_ns();
   if (sandbox::write_frame(
-          p.fd, tag_message(PeerMsg::Hello, encode_hello(config_.spec))) !=
+          p.fd, tag_message(PeerMsg::Hello,
+                            encode_hello(config_.spec, t0_ns))) !=
       IoStatus::Ok) {
     disconnect(p);
     return false;
@@ -200,11 +225,12 @@ bool DistEvaluator::try_connect(Peer& p) const {
     disconnect(p);
     return false;
   }
+  const std::uint64_t t1_ns = monotonic_ns();
   PeerMsg tag;
   std::string_view body;
-  std::uint64_t pid = 0, fingerprint = 0;
+  std::uint64_t pid = 0, fingerprint = 0, peer_now_ns = 0;
   if (!untag_message(payload, &tag, &body) || tag != PeerMsg::HelloOk ||
-      !decode_hello_ok(body, &pid, &fingerprint) ||
+      !decode_hello_ok(body, &pid, &fingerprint, &peer_now_ns) ||
       fingerprint != evaluator_fingerprint(bottom_)) {
     // HelloErr, fingerprint divergence, or plain confusion: this peer
     // would not produce bit-identical results — never use it.
@@ -212,6 +238,13 @@ bool DistEvaluator::try_connect(Peer& p) const {
     return false;
   }
   p.pid = pid;
+  // Midpoint clock-offset estimate: the peer stamped its HelloOk
+  // somewhere inside our [t0, t1] round trip, so (remote − local) ≈
+  // peer_ts − (t0+t1)/2, off by at most half the RTT. Re-measured on
+  // every reconnect, so peer restarts and clock steps heal themselves.
+  p.clock_offset_ns =
+      static_cast<std::int64_t>(peer_now_ns) -
+      static_cast<std::int64_t>(t0_ns / 2 + t1_ns / 2);
   p.connected = true;
   p.consecutive_failures = 0;
   p.last_activity = sandbox::monotonic_seconds();
@@ -233,6 +266,9 @@ void DistEvaluator::handle_peer_failure(Peer& p, sim::FailureKind kind,
   if (obs::trace_enabled())
     obs::emit('I', "dist_peer_death", "dist", 0, "kind",
               static_cast<std::uint64_t>(kind), kind_label(kind));
+  obs::flight_record("peer_death",
+                     static_cast<std::uint64_t>(&p - peers_.data()),
+                     static_cast<std::uint64_t>(kind), kind_label(kind));
 
   if (p.busy) {
     if (obs::trace_enabled()) obs::emit('e', "dist_job", "dist", p.job_id);
@@ -260,6 +296,9 @@ void DistEvaluator::handle_peer_failure(Peer& p, sim::FailureKind kind,
       ++stats_.bans;
       OBS_INSTANT("dist_peer_banned", "dist");
       OBS_COUNTER_INC("citroen_dist_bans_total");
+      obs::flight_record("peer_banned",
+                         static_cast<std::uint64_t>(&p - peers_.data()),
+                         static_cast<std::uint64_t>(p.consecutive_failures));
     }
     publish_peer_metrics(p);
     return;
@@ -297,9 +336,14 @@ bool DistEvaluator::dispatch(Peer& p, std::size_t job_index,
   p.deadline = config_.job_wall_timeout_seconds > 0
                    ? p.last_activity + config_.job_wall_timeout_seconds
                    : 0;
-  if (obs::trace_enabled())
+  if (obs::trace_enabled()) {
     obs::emit('b', "dist_job", "dist", job.id, "peer",
               static_cast<std::uint64_t>(&p - peers_.data()));
+    // Flow start: the peer emits the matching 'f' inside its peer_job
+    // span (same id), linking dispatch to remote execution in the
+    // merged trace.
+    obs::emit('s', "dist_job", "dist", job.id);
+  }
   if (sandbox::write_frame(
           p.fd, tag_message(PeerMsg::Job, sandbox::encode_job(job))) !=
       IoStatus::Ok) {
@@ -339,6 +383,13 @@ bool DistEvaluator::service_frame(Peer& p, const std::string& payload,
   std::string err;
   if (!sandbox::decode_result(std::string(body), &res, &err)) return false;
   if (res.id != p.job_id) return false;  // stream out of sync
+
+  // Splice the peer's piggybacked trace events + counter deltas into our
+  // sink/registry, re-based by the handshake-measured clock offset so
+  // the remote peer_job span lands inside our timeline.
+  if (!res.obs_events.empty() || !res.obs_counters.empty())
+    sandbox::ingest_result_obs(res, static_cast<std::uint32_t>(p.pid),
+                               p.clock_offset_ns);
 
   if (res.status == sandbox::ResultStatus::Ok && res.pure.built &&
       !res.pure.runs.empty())
@@ -397,6 +448,7 @@ void DistEvaluator::probe_peers() const {
 void DistEvaluator::brownout(const char* why) const {
   if (degraded_) return;
   degraded_ = true;
+  obs::flight_record("pool_brownout", 0, 0, why);
   ++stats_.brownouts;
   OBS_INSTANT("dist_brownout", "dist");
   OBS_COUNTER_INC("citroen_dist_brownouts_total");

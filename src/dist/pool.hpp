@@ -184,6 +184,22 @@ class DistEvaluator final : public sim::Evaluator {
   bool degraded() const { return degraded_; }
   /// Peers configured (after endpoint parsing), not necessarily alive.
   int peer_count() const { return static_cast<int>(peers_.size()); }
+  /// Last handshake-measured clock offset for peer `i` (remote − local
+  /// CLOCK_MONOTONIC, ns; 0 before the first connect). Re-measured every
+  /// reconnect. Exposed for tests and the Inspect snapshot.
+  std::int64_t peer_clock_offset_ns(int i) const {
+    return peers_[static_cast<std::size_t>(i)].clock_offset_ns;
+  }
+
+  /// One row of peer-pool health for the Inspect snapshot.
+  struct PeerHealth {
+    std::string endpoint;
+    bool connected = false;
+    bool banned = false;
+    int consecutive_failures = 0;
+    std::int64_t clock_offset_ns = 0;
+  };
+  std::vector<PeerHealth> peer_health() const;
 
  private:
   struct Peer {
@@ -191,6 +207,9 @@ class DistEvaluator final : public sim::Evaluator {
     int fd = -1;
     std::unique_ptr<sandbox::FrameReader> reader;
     std::uint64_t pid = 0;     ///< from HelloOk (0 = unknown)
+    /// Handshake-measured (remote − local) CLOCK_MONOTONIC offset, used
+    /// to re-base piggybacked peer trace events into our timeline.
+    std::int64_t clock_offset_ns = 0;
     bool connected = false;
     bool banned = false;
     int consecutive_failures = 0;
@@ -216,8 +235,9 @@ class DistEvaluator final : public sim::Evaluator {
   void disconnect(Peer& p) const;
   /// Export this peer's breaker state (connected / banned /
   /// consecutive_failures) plus the pool-wide banned count as gauges.
-  /// Names are per-peer-index, so this hits the registry directly
-  /// instead of the static-caching OBS macros.
+  /// Per-peer values are labeled children (peer="<index>") of one gauge
+  /// family each, so this hits the registry directly instead of the
+  /// static-caching OBS macros.
   void publish_peer_metrics(const Peer& p) const;
   /// Classify a failure on `p`, requeue/abandon its in-flight job, apply
   /// reconnect backoff and the per-peer breaker.

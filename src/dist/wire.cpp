@@ -38,7 +38,7 @@ bool untag_message(std::string_view payload, PeerMsg* tag,
   return true;
 }
 
-std::string encode_hello(const ProgramSpec& spec) {
+std::string encode_hello(const ProgramSpec& spec, std::uint64_t pool_now_ns) {
   persist::Writer w;
   w.u32(kProtocolVersion);
   w.str(spec.program);
@@ -48,11 +48,12 @@ std::string encode_hello(const ProgramSpec& spec) {
   w.u64(spec.max_instructions);
   w.u64(spec.max_memory_bytes);
   w.i32(spec.max_call_depth);
+  w.u64(pool_now_ns);  // v2: pool CLOCK_MONOTONIC at send time
   return w.take();
 }
 
 bool decode_hello(std::string_view body, ProgramSpec* spec,
-                  std::string* error) {
+                  std::string* error, std::uint64_t* pool_now_ns) {
   try {
     persist::Reader r(body.data(), body.size());
     const std::uint32_t version = r.u32();
@@ -67,6 +68,8 @@ bool decode_hello(std::string_view body, ProgramSpec* spec,
     spec->max_instructions = r.u64();
     spec->max_memory_bytes = r.u64();
     spec->max_call_depth = r.i32();
+    const std::uint64_t now = r.u64();
+    if (pool_now_ns) *pool_now_ns = now;
     if (!r.at_end()) {
       *error = "trailing bytes in hello";
       return false;
@@ -78,19 +81,24 @@ bool decode_hello(std::string_view body, ProgramSpec* spec,
   }
 }
 
-std::string encode_hello_ok(std::uint64_t pid, std::uint64_t fingerprint) {
+std::string encode_hello_ok(std::uint64_t pid, std::uint64_t fingerprint,
+                            std::uint64_t peer_now_ns) {
   persist::Writer w;
   w.u64(pid);
   w.u64(fingerprint);
+  w.u64(peer_now_ns);  // v2: peer CLOCK_MONOTONIC at reply time
   return w.take();
 }
 
 bool decode_hello_ok(std::string_view body, std::uint64_t* pid,
-                     std::uint64_t* fingerprint) {
+                     std::uint64_t* fingerprint,
+                     std::uint64_t* peer_now_ns) {
   try {
     persist::Reader r(body.data(), body.size());
     *pid = r.u64();
     *fingerprint = r.u64();
+    const std::uint64_t now = r.u64();
+    if (peer_now_ns) *peer_now_ns = now;
     return r.at_end();
   } catch (const std::exception&) {
     return false;

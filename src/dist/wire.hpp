@@ -12,10 +12,17 @@
 //
 //   Hello    (pool -> peer): u32 proto version, program spec + exec
 //            limits — everything a peer needs to reconstruct the pool's
-//            ProgramEvaluator from scratch (peers share no memory).
-//   HelloOk  (peer -> pool): u64 peer pid, u64 evaluator fingerprint.
-//            The pool compares fingerprints and refuses peers whose
-//            evaluator would not be bit-identical to its own.
+//            ProgramEvaluator from scratch (peers share no memory) —
+//            plus the pool's CLOCK_MONOTONIC send time.
+//   HelloOk  (peer -> pool): u64 peer pid, u64 evaluator fingerprint,
+//            u64 peer CLOCK_MONOTONIC reply time. The pool compares
+//            fingerprints and refuses peers whose evaluator would not
+//            be bit-identical to its own; the timestamps give it a
+//            per-connection clock offset (remote − local, midpoint
+//            estimate) used to re-base the trace events peers piggyback
+//            on Result frames into the pool's timeline. Re-measured on
+//            every reconnect, so a peer restart or clock step heals on
+//            the next handshake.
 //   HelloErr (peer -> pool): str reason (unknown program, bad version).
 //   Job      (pool -> peer): sandbox::encode_job bytes, verbatim.
 //   Result   (peer -> pool): sandbox::encode_result bytes, verbatim.
@@ -36,7 +43,7 @@ class ProgramEvaluator;
 
 namespace citroen::dist {
 
-inline constexpr std::uint32_t kProtocolVersion = 1;
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 enum class PeerMsg : std::uint8_t {
   Hello = 1,
@@ -72,13 +79,16 @@ std::string tag_message(PeerMsg tag, std::string_view body);
 bool untag_message(std::string_view payload, PeerMsg* tag,
                    std::string_view* body);
 
-std::string encode_hello(const ProgramSpec& spec);
+std::string encode_hello(const ProgramSpec& spec,
+                         std::uint64_t pool_now_ns = 0);
 bool decode_hello(std::string_view body, ProgramSpec* spec,
-                  std::string* error);
+                  std::string* error, std::uint64_t* pool_now_ns = nullptr);
 
-std::string encode_hello_ok(std::uint64_t pid, std::uint64_t fingerprint);
+std::string encode_hello_ok(std::uint64_t pid, std::uint64_t fingerprint,
+                            std::uint64_t peer_now_ns = 0);
 bool decode_hello_ok(std::string_view body, std::uint64_t* pid,
-                     std::uint64_t* fingerprint);
+                     std::uint64_t* fingerprint,
+                     std::uint64_t* peer_now_ns = nullptr);
 
 std::string encode_hello_err(const std::string& reason);
 bool decode_hello_err(std::string_view body, std::string* reason);

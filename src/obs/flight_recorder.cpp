@@ -1,0 +1,107 @@
+#include "obs/flight_recorder.hpp"
+
+#include <time.h>
+
+#include <atomic>
+
+#include "obs/trace.hpp"  // intern
+
+namespace citroen::obs {
+
+namespace {
+
+/// Same fork-safe spinlock rationale as the trace layer.
+class SpinLock {
+ public:
+  void lock() {
+    while (locked_.exchange(true, std::memory_order_acquire)) {
+    }
+  }
+  void unlock() { locked_.store(false, std::memory_order_release); }
+  void reset() { locked_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+constexpr std::size_t kFlightCapacity = 256;
+
+SpinLock g_flight_mu;
+FlightEvent g_ring[kFlightCapacity];
+std::uint64_t g_next_seq = 0;  // == total recorded; ring slot is seq % cap
+
+std::uint64_t now_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+}  // namespace
+
+void flight_record(const char* kind, std::uint64_t a, std::uint64_t b,
+                   std::string_view detail) {
+  // Intern outside the ring lock (intern has its own lock).
+  const char* det = detail.empty() ? "" : intern(detail);
+  FlightEvent ev;
+  ev.ts_ns = now_ns();
+  ev.kind = kind ? kind : "";
+  ev.a = a;
+  ev.b = b;
+  ev.detail = det;
+  g_flight_mu.lock();
+  ev.seq = g_next_seq++;
+  g_ring[ev.seq % kFlightCapacity] = ev;
+  g_flight_mu.unlock();
+}
+
+std::vector<FlightEvent> flight_snapshot() {
+  std::vector<FlightEvent> out;
+  g_flight_mu.lock();
+  const std::uint64_t total = g_next_seq;
+  const std::uint64_t n =
+      total < kFlightCapacity ? total : std::uint64_t{kFlightCapacity};
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t seq = total - n + i;
+    out.push_back(g_ring[seq % kFlightCapacity]);
+  }
+  g_flight_mu.unlock();
+  return out;
+}
+
+std::uint64_t flight_recorded_total() {
+  g_flight_mu.lock();
+  const std::uint64_t total = g_next_seq;
+  g_flight_mu.unlock();
+  return total;
+}
+
+std::size_t flight_capacity() { return kFlightCapacity; }
+
+void flight_dump(std::FILE* out) {
+  const std::vector<FlightEvent> events = flight_snapshot();
+  if (events.empty()) return;
+  std::fprintf(out, "citroen flight recorder (%zu of %llu events):\n",
+               events.size(),
+               static_cast<unsigned long long>(flight_recorded_total()));
+  for (const FlightEvent& ev : events) {
+    std::fprintf(out, "  #%llu %.6fs %s a=%llu b=%llu%s%s\n",
+                 static_cast<unsigned long long>(ev.seq),
+                 static_cast<double>(ev.ts_ns) / 1e9, ev.kind,
+                 static_cast<unsigned long long>(ev.a),
+                 static_cast<unsigned long long>(ev.b),
+                 *ev.detail ? " " : "", ev.detail);
+  }
+  std::fflush(out);
+}
+
+void flight_reset_after_fork() {
+  g_flight_mu.reset();
+  g_flight_mu.lock();
+  g_next_seq = 0;
+  for (FlightEvent& ev : g_ring) ev = FlightEvent{};
+  g_flight_mu.unlock();
+}
+
+}  // namespace citroen::obs

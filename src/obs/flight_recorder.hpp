@@ -1,0 +1,58 @@
+#pragma once
+// Flight recorder: an always-on bounded ring of recent coarse events
+// (job transitions, peer deaths, breaker trips, admission rejects).
+//
+// Unlike the trace layer this is NOT gated behind CITROEN_TRACE — the
+// whole point is that post-incident triage never depends on tracing
+// having been enabled. The cost budget makes that safe: flight events
+// are emitted at most a handful of times per job or per peer failure,
+// never per evaluation, so one clock read plus a short spinlocked ring
+// write is noise.
+//
+// Determinism contract: the ring lives in memory, is read back only via
+// flight_snapshot() (Inspect) and flight_dump() (stderr on the 75/99
+// exit paths), and never feeds tuning state. Bench stdout stays
+// byte-identical with the recorder present, which is why it can be
+// always-on.
+//
+// String discipline mirrors the trace layer: `kind` is a literal;
+// `detail` is copied through obs::intern() so entries never dangle.
+
+#include <cstdint>
+#include <cstdio>
+#include <string_view>
+#include <vector>
+
+namespace citroen::obs {
+
+struct FlightEvent {
+  std::uint64_t seq = 0;    ///< monotone per process; gaps = overwritten
+  std::uint64_t ts_ns = 0;  ///< CLOCK_MONOTONIC
+  const char* kind = "";    ///< e.g. "job_done", "peer_lost", "reject"
+  std::uint64_t a = 0;      ///< kind-specific (job id, peer index, ...)
+  std::uint64_t b = 0;
+  const char* detail = "";  ///< interned free-form context ("" = none)
+};
+
+/// Append one event, overwriting the oldest once the ring is full.
+void flight_record(const char* kind, std::uint64_t a = 0, std::uint64_t b = 0,
+                   std::string_view detail = {});
+
+/// Copy the ring out, oldest first. Safe to call from any thread.
+std::vector<FlightEvent> flight_snapshot();
+
+/// Total events ever recorded (>= snapshot size once the ring wraps).
+std::uint64_t flight_recorded_total();
+
+/// Ring capacity (fixed; exposed for tests and the Inspect snapshot).
+std::size_t flight_capacity();
+
+/// Human-readable dump, one line per event; no-op when the ring is
+/// empty. Called on the 75/99 exit paths with stderr.
+void flight_dump(std::FILE* out);
+
+/// Drop everything (tests, and via obs::reset_after_fork so a worker or
+/// peer child starts with an empty ring instead of the parent's tail).
+void flight_reset_after_fork();
+
+}  // namespace citroen::obs

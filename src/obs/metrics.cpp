@@ -7,7 +7,7 @@
 #include <map>
 #include <memory>
 
-#include "obs/trace.hpp"  // json_escape
+#include "obs/trace.hpp"  // json_escape, trace_dropped
 
 namespace citroen::obs {
 
@@ -46,6 +46,37 @@ std::map<std::string, std::unique_ptr<Gauge>>& gauges() {
 std::map<std::string, std::unique_ptr<Histogram>>& histograms() {
   static auto* m = new std::map<std::string, std::unique_ptr<Histogram>>();
   return *m;
+}
+
+// Labeled families: one label key per family name, one child per label
+// value. Children are leaked like plain instruments, so references
+// returned by the labeled accessors stay valid for the process.
+template <typename T>
+struct Family {
+  std::string label_key;
+  std::map<std::string, std::unique_ptr<T>> children;  // by label value
+};
+std::map<std::string, Family<Counter>>& counter_families() {
+  static auto* m = new std::map<std::string, Family<Counter>>();
+  return *m;
+}
+std::map<std::string, Family<Gauge>>& gauge_families() {
+  static auto* m = new std::map<std::string, Family<Gauge>>();
+  return *m;
+}
+
+template <typename T>
+T& labeled_child(std::map<std::string, Family<T>>& families,
+                 const std::string& family, const std::string& label_key,
+                 const std::string& label_value) {
+  g_reg_mu.lock();
+  Family<T>& fam = families[family];
+  if (fam.label_key.empty()) fam.label_key = label_key;
+  auto& slot = fam.children[label_value];
+  if (!slot) slot = std::make_unique<T>();
+  T& child = *slot;
+  g_reg_mu.unlock();
+  return child;
 }
 
 SpinLock g_mpath_mu;
@@ -146,38 +177,145 @@ Histogram& Registry::histogram(const std::string& name) {
   return h;
 }
 
+Counter& Registry::counter(const std::string& family,
+                           const std::string& label_key,
+                           const std::string& label_value) {
+  return labeled_child(counter_families(), family, label_key, label_value);
+}
+
+Gauge& Registry::gauge(const std::string& family, const std::string& label_key,
+                       const std::string& label_value) {
+  return labeled_child(gauge_families(), family, label_key, label_value);
+}
+
+std::string Registry::wire_name(const std::string& family,
+                                const std::string& label_key,
+                                const std::string& label_value) {
+  std::string out = family;
+  out += '{';
+  out += label_key;
+  out += "=\"";
+  out += label_value;
+  out += "\"}";
+  return out;
+}
+
+Counter& Registry::counter_from_wire(const std::string& wire_name) {
+  const std::size_t brace = wire_name.find('{');
+  if (brace == std::string::npos) return counter(wire_name);
+  const std::size_t eq = wire_name.find("=\"", brace);
+  // Malformed labeled names fall back to a plain counter under the full
+  // string rather than silently dropping the delta.
+  if (eq == std::string::npos || wire_name.size() < 2 ||
+      wire_name.compare(wire_name.size() - 2, 2, "\"}") != 0) {
+    return counter(wire_name);
+  }
+  const std::string family = wire_name.substr(0, brace);
+  const std::string key = wire_name.substr(brace + 1, eq - brace - 1);
+  const std::string value =
+      wire_name.substr(eq + 2, wire_name.size() - 2 - (eq + 2));
+  return counter(family, key, value);
+}
+
 std::vector<std::pair<std::string, std::uint64_t>>
 Registry::counters_snapshot() {
   std::vector<std::pair<std::string, std::uint64_t>> out;
   g_reg_mu.lock();
   out.reserve(counters().size());
   for (const auto& [name, c] : counters()) out.emplace_back(name, c->value());
+  for (const auto& [family, fam] : counter_families()) {
+    for (const auto& [value, c] : fam.children)
+      out.emplace_back(wire_name(family, fam.label_key, value), c->value());
+  }
   g_reg_mu.unlock();
+  std::sort(out.begin(), out.end());
   return out;
 }
 
-std::string Registry::prometheus_text() {
+MetricsSnapshot Registry::snapshot() {
+  MetricsSnapshot snap;
+  g_reg_mu.lock();
+  snap.counters.reserve(counters().size() + 1);
+  for (const auto& [name, c] : counters())
+    snap.counters.emplace_back(name, c->value());
+  for (const auto& [family, fam] : counter_families()) {
+    for (const auto& [value, c] : fam.children)
+      snap.labeled_counters.push_back(
+          {family, fam.label_key, value, c->value()});
+  }
+  snap.gauges.reserve(gauges().size());
+  for (const auto& [name, g] : gauges())
+    snap.gauges.emplace_back(name, g->value());
+  for (const auto& [family, fam] : gauge_families()) {
+    for (const auto& [value, g] : fam.children)
+      snap.labeled_gauges.push_back({family, fam.label_key, value, g->value()});
+  }
+  snap.histograms.reserve(histograms().size());
+  for (const auto& [name, h] : histograms())
+    snap.histograms.emplace_back(name, h->snapshot());
+  g_reg_mu.unlock();
+  // Ring-overflow drops are an atomic in the trace layer; surfacing them
+  // here makes silent trace loss visible in every scrape.
+  const std::string drop_name = "citroen_trace_dropped_total";
+  bool have = false;
+  for (auto& [name, v] : snap.counters) {
+    if (name == drop_name) {
+      v = trace_dropped();
+      have = true;
+      break;
+    }
+  }
+  if (!have) {
+    snap.counters.emplace_back(drop_name, trace_dropped());
+    std::sort(snap.counters.begin(), snap.counters.end());
+  }
+  return snap;
+}
+
+std::string Registry::prometheus_text(const MetricsSnapshot& snap) {
   std::string out;
   char buf[192];
-  g_reg_mu.lock();
-  for (const auto& [name, c] : counters()) {
+  for (const auto& [name, v] : snap.counters) {
     std::snprintf(buf, sizeof(buf), "# TYPE %s counter\n%s %llu\n",
                   name.c_str(), name.c_str(),
-                  static_cast<unsigned long long>(c->value()));
+                  static_cast<unsigned long long>(v));
     out += buf;
   }
-  for (const auto& [name, g] : gauges()) {
+  std::string last_family;
+  for (const auto& lc : snap.labeled_counters) {
+    if (lc.family != last_family) {
+      std::snprintf(buf, sizeof(buf), "# TYPE %s counter\n",
+                    lc.family.c_str());
+      out += buf;
+      last_family = lc.family;
+    }
+    std::snprintf(buf, sizeof(buf), "%s{%s=\"%s\"} %llu\n", lc.family.c_str(),
+                  lc.label_key.c_str(), lc.label_value.c_str(),
+                  static_cast<unsigned long long>(lc.value));
+    out += buf;
+  }
+  for (const auto& [name, v] : snap.gauges) {
     std::snprintf(buf, sizeof(buf), "# TYPE %s gauge\n%s %.17g\n",
-                  name.c_str(), name.c_str(), g->value());
+                  name.c_str(), name.c_str(), v);
     out += buf;
   }
-  for (const auto& [name, h] : histograms()) {
-    const auto snap = h->snapshot();
+  last_family.clear();
+  for (const auto& lg : snap.labeled_gauges) {
+    if (lg.family != last_family) {
+      std::snprintf(buf, sizeof(buf), "# TYPE %s gauge\n", lg.family.c_str());
+      out += buf;
+      last_family = lg.family;
+    }
+    std::snprintf(buf, sizeof(buf), "%s{%s=\"%s\"} %.17g\n", lg.family.c_str(),
+                  lg.label_key.c_str(), lg.label_value.c_str(), lg.value);
+    out += buf;
+  }
+  for (const auto& [name, hsnap] : snap.histograms) {
     std::snprintf(buf, sizeof(buf), "# TYPE %s histogram\n", name.c_str());
     out += buf;
     std::uint64_t cumulative = 0;
     for (int b = 0; b < Histogram::kBuckets; ++b) {
-      const std::uint64_t n = snap.buckets[static_cast<std::size_t>(b)];
+      const std::uint64_t n = hsnap.buckets[static_cast<std::size_t>(b)];
       cumulative += n;
       if (n == 0 && b != Histogram::kBuckets - 1) continue;
       std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%llu\"} %llu\n",
@@ -189,55 +327,72 @@ std::string Registry::prometheus_text() {
     }
     std::snprintf(buf, sizeof(buf),
                   "%s_bucket{le=\"+Inf\"} %llu\n%s_sum %llu\n%s_count %llu\n",
-                  name.c_str(), static_cast<unsigned long long>(snap.count),
-                  name.c_str(), static_cast<unsigned long long>(snap.sum),
-                  name.c_str(), static_cast<unsigned long long>(snap.count));
+                  name.c_str(), static_cast<unsigned long long>(hsnap.count),
+                  name.c_str(), static_cast<unsigned long long>(hsnap.sum),
+                  name.c_str(), static_cast<unsigned long long>(hsnap.count));
     out += buf;
   }
-  g_reg_mu.unlock();
   return out;
 }
 
-std::string Registry::json_summary() {
+std::string Registry::json_summary(const MetricsSnapshot& snap) {
   std::string out = "{\"counters\":{";
   char buf[96];
   bool first = true;
-  g_reg_mu.lock();
-  for (const auto& [name, c] : counters()) {
+  for (const auto& [name, v] : snap.counters) {
     if (!first) out += ',';
     first = false;
     out += '"';
     out += json_escape(name);
     std::snprintf(buf, sizeof(buf), "\":%llu",
-                  static_cast<unsigned long long>(c->value()));
+                  static_cast<unsigned long long>(v));
+    out += buf;
+  }
+  // Labeled children appear under their flattened wire names so every
+  // JSON consumer sees one flat counter map, coherent with the plain
+  // counters above (same snapshot).
+  for (const auto& lc : snap.labeled_counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(wire_name(lc.family, lc.label_key, lc.label_value));
+    std::snprintf(buf, sizeof(buf), "\":%llu",
+                  static_cast<unsigned long long>(lc.value));
     out += buf;
   }
   out += "},\"gauges\":{";
   first = true;
-  for (const auto& [name, g] : gauges()) {
+  for (const auto& [name, v] : snap.gauges) {
     if (!first) out += ',';
     first = false;
     out += '"';
     out += json_escape(name);
-    std::snprintf(buf, sizeof(buf), "\":%.17g", g->value());
+    std::snprintf(buf, sizeof(buf), "\":%.17g", v);
+    out += buf;
+  }
+  for (const auto& lg : snap.labeled_gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(wire_name(lg.family, lg.label_key, lg.label_value));
+    std::snprintf(buf, sizeof(buf), "\":%.17g", lg.value);
     out += buf;
   }
   out += "},\"histograms\":{";
   first = true;
-  for (const auto& [name, h] : histograms()) {
-    const auto snap = h->snapshot();
+  for (const auto& [name, hsnap] : snap.histograms) {
     if (!first) out += ',';
     first = false;
     out += '"';
     out += json_escape(name);
     std::snprintf(buf, sizeof(buf), "\":{\"count\":%llu,\"sum\":%llu,",
-                  static_cast<unsigned long long>(snap.count),
-                  static_cast<unsigned long long>(snap.sum));
+                  static_cast<unsigned long long>(hsnap.count),
+                  static_cast<unsigned long long>(hsnap.sum));
     out += buf;
     out += "\"buckets\":[";
     bool bfirst = true;
     for (int b = 0; b < Histogram::kBuckets; ++b) {
-      const std::uint64_t n = snap.buckets[static_cast<std::size_t>(b)];
+      const std::uint64_t n = hsnap.buckets[static_cast<std::size_t>(b)];
       if (n == 0) continue;
       if (!bfirst) out += ',';
       bfirst = false;
@@ -249,10 +404,13 @@ std::string Registry::json_summary() {
     }
     out += "]}";
   }
-  g_reg_mu.unlock();
   out += "}}\n";
   return out;
 }
+
+std::string Registry::prometheus_text() { return prometheus_text(snapshot()); }
+
+std::string Registry::json_summary() { return json_summary(snapshot()); }
 
 void Registry::reset_locks_after_fork() {
   g_reg_mu.reset();
@@ -262,12 +420,15 @@ void Registry::reset_locks_after_fork() {
 void write_metrics_files(const std::string& json_path) {
   if (json_path.empty()) return;
   Registry& reg = Registry::instance();
-  const std::string json = reg.json_summary();
+  // One snapshot feeds both files: the JSON summary and the Prometheus
+  // text can never disagree about a counter or its label children.
+  const MetricsSnapshot snap = reg.snapshot();
+  const std::string json = Registry::json_summary(snap);
   if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
     std::fwrite(json.data(), 1, json.size(), f);
     std::fclose(f);
   }
-  const std::string prom = reg.prometheus_text();
+  const std::string prom = Registry::prometheus_text(snap);
   const std::string prom_path = json_path + ".prom";
   if (std::FILE* f = std::fopen(prom_path.c_str(), "w")) {
     std::fwrite(prom.data(), 1, prom.size(), f);

@@ -9,6 +9,19 @@
 // lock-free: counters/gauges are single atomics, histograms stripe
 // their buckets across per-thread shards merged only at snapshot time.
 //
+// Instruments come in two flavours: plain (`counter("name")`) and
+// labeled (`counter("family", "tenant", "acme")`), where a family holds
+// one child per label value under a single label key. Labeled children
+// render as `family{tenant="acme"} 42` in Prometheus text and travel on
+// the wire (sandbox/dist obs appendices) under the flattened wire name
+// `family{tenant="acme"}` — `counter_from_wire()` re-splits that form,
+// so remote deltas land back in the right label child.
+//
+// Exports are built from one coherent `MetricsSnapshot` taken under the
+// registry lock: `prometheus_text()` and `json_summary()` are pure
+// renderers over the same snapshot, so a plain counter and its label
+// children can never disagree mid-merge across the two formats.
+//
 // Like traces, metrics never feed back into tuning state — they are
 // written to side files only, preserving byte-identical bench output.
 
@@ -95,6 +108,28 @@ class Histogram {
   Shard shards_[kShards];
 };
 
+/// One coherent view of every instrument, read in a single pass under
+/// the registry lock. All exports render from this.
+struct MetricsSnapshot {
+  struct LabeledCounter {
+    std::string family;
+    std::string label_key;
+    std::string label_value;
+    std::uint64_t value = 0;
+  };
+  struct LabeledGauge {
+    std::string family;
+    std::string label_key;
+    std::string label_value;
+    double value = 0.0;
+  };
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<LabeledCounter> labeled_counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<LabeledGauge> labeled_gauges;
+  std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+};
+
 /// Process-wide registry. Instruments are created on first use and live
 /// for the process lifetime, so references returned here never dangle
 /// (the OBS_* macros cache them in function-local statics).
@@ -106,13 +141,37 @@ class Registry {
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
 
-  /// Name/value pairs for every counter, sorted by name (stable output).
+  /// Labeled child of a counter/gauge family: one label key per family
+  /// (the first key registered wins), one child per label value.
+  Counter& counter(const std::string& family, const std::string& label_key,
+                   const std::string& label_value);
+  Gauge& gauge(const std::string& family, const std::string& label_key,
+               const std::string& label_value);
+
+  /// Flattened single-string form `family{key="value"}` used to ship
+  /// labeled counters over the sandbox/dist obs appendix.
+  static std::string wire_name(const std::string& family,
+                               const std::string& label_key,
+                               const std::string& label_value);
+  /// Resolve a plain or flattened-labeled name back to its instrument.
+  Counter& counter_from_wire(const std::string& wire_name);
+
+  /// Name/value pairs for every counter (labeled children under their
+  /// wire names), sorted by name (stable output).
   std::vector<std::pair<std::string, std::uint64_t>> counters_snapshot();
 
-  /// Prometheus text exposition format.
+  /// One coherent pass over all instruments. `citroen_trace_dropped_total`
+  /// is injected from the trace layer's drop counter so ring overflow is
+  /// always visible in exports.
+  MetricsSnapshot snapshot();
+
+  /// Prometheus text exposition format (renders a fresh snapshot()).
   std::string prometheus_text();
   /// End-of-run JSON summary ({"counters":…,"gauges":…,"histograms":…}).
   std::string json_summary();
+  /// Pure renderers over a caller-held snapshot (one scrape, one view).
+  static std::string prometheus_text(const MetricsSnapshot& snap);
+  static std::string json_summary(const MetricsSnapshot& snap);
 
   /// Fork-safe lock reset for sandbox workers (see obs::reset_after_fork).
   void reset_locks_after_fork();

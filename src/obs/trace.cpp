@@ -11,6 +11,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 
 namespace citroen::obs {
@@ -224,11 +225,15 @@ void append_json_event(std::string& out, const TraceEvent& ev) {
   out += "\",\"cat\":\"";
   out += json_escape(ev.cat ? ev.cat : "");
   out += '"';
-  if (ev.phase == 'b' || ev.phase == 'e') {
+  if (ev.phase == 'b' || ev.phase == 'e' || ev.phase == 's' ||
+      ev.phase == 'f') {
     std::snprintf(buf, sizeof(buf), ",\"id\":\"0x%llx\"",
                   static_cast<unsigned long long>(ev.id));
     out += buf;
   }
+  // Flow finishes bind to the enclosing slice's end, which is what makes
+  // the daemon->peer arrow land on the remote execution span in Perfetto.
+  if (ev.phase == 'f') out += ",\"bp\":\"e\"";
   if (ev.phase == 'I') out += ",\"s\":\"t\"";
   if (ev.arg_name || ev.str_arg) {
     out += ",\"args\":{";
@@ -319,6 +324,16 @@ std::uint64_t trace_dropped() {
   return g_dropped.load(std::memory_order_relaxed);
 }
 
+std::uint64_t apply_clock_offset(std::uint64_t ts_ns, std::int64_t offset_ns) {
+  if (offset_ns >= 0) {
+    const std::uint64_t d = static_cast<std::uint64_t>(offset_ns);
+    return ts_ns > ~std::uint64_t{0} - d ? ~std::uint64_t{0} : ts_ns + d;
+  }
+  // offset_ns may be INT64_MIN, whose negation overflows; negate as u64.
+  const std::uint64_t d = std::uint64_t{0} - static_cast<std::uint64_t>(offset_ns);
+  return ts_ns < d ? 0 : ts_ns - d;
+}
+
 void set_sink_capacity(std::size_t cap) {
   g_sink_cap.store(cap, std::memory_order_relaxed);
 }
@@ -352,11 +367,17 @@ void reset_after_fork() {
   for (TraceRing* r : rings()) r->clear();
   Registry::instance().reset_locks_after_fork();
   set_metrics_path("");  // ditto for the metrics/prom files
+  flight_reset_after_fork();
 }
 
 void flush_all() {
   flush_trace();
   write_metrics_files(metrics_path());
+  // _Exit-style shutdowns reach here (watchdog kill, exit 99): dump the
+  // flight recorder to stderr so post-incident triage never depends on
+  // tracing having been enabled. Stderr-only, so bench stdout stays
+  // byte-identical.
+  flight_dump(stderr);
 }
 
 std::string trace_json(const std::vector<TraceEvent>& events) {
@@ -382,6 +403,13 @@ bool validate_span_nesting(const std::vector<TraceEvent>& events,
   // 'e', no reuse while open.
   std::map<std::uint64_t, std::vector<const TraceEvent*>> stacks;
   std::map<std::pair<std::uint64_t, std::uint64_t>, const char*> open_async;
+  // Flow binding is order-independent: a merged trace interleaves events
+  // from several processes, and a peer's 'f' may be ingested before the
+  // pool's 's' appears in drain order. Collect starts first.
+  std::unordered_set<std::uint64_t> flow_starts;
+  for (const auto& ev : events) {
+    if (ev.phase == 's') flow_starts.insert(ev.id);
+  }
   for (const auto& ev : events) {
     const std::uint64_t key =
         (std::uint64_t{ev.pid} << 32) | std::uint64_t{ev.tid};
@@ -421,6 +449,12 @@ bool validate_span_nesting(const std::vector<TraceEvent>& events,
         break;
       }
       case 'I':
+      case 's':
+        break;
+      case 'f':
+        if (!flow_starts.count(ev.id))
+          return fail(std::string("flow finish without start: ") +
+                      (ev.name ? ev.name : "?"));
         break;
       default:
         return fail(std::string("unknown phase '") + ev.phase + "'");

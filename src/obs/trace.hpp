@@ -33,7 +33,9 @@ namespace citroen::obs {
 /// One trace event. Phases follow the Chrome trace_event format:
 /// 'B'/'E' synchronous span begin/end (strictly nested per thread),
 /// 'b'/'e' asynchronous span begin/end (paired by `id`, may overlap),
-/// 'I' instant.
+/// 'I' instant, 's'/'f' flow start/finish (linked by `id` across
+/// processes — how a dist_job dispatch span points at its remote
+/// execution span in the merged trace).
 struct TraceEvent {
   const char* name = nullptr;
   const char* cat = nullptr;
@@ -108,6 +110,15 @@ std::vector<TraceEvent> drain_trace();
 /// must be intern()ed or literal.
 void ingest_event(const TraceEvent& ev);
 
+/// ts_ns + offset_ns with saturation at 0 and UINT64_MAX instead of
+/// wrapping. Used to re-base remote timestamps into the local
+/// CLOCK_MONOTONIC timeline: with `offset` = (remote clock − local
+/// clock) measured during the Hello/HelloOk handshake, the local time
+/// of a remote event is apply_clock_offset(ts, -offset). Monotone in
+/// `ts_ns`, so re-based spans never end before they begin regardless of
+/// skew sign or magnitude.
+std::uint64_t apply_clock_offset(std::uint64_t ts_ns, std::int64_t offset_ns);
+
 /// Events discarded because the global sink hit its capacity
 /// (CITROEN_TRACE_SINK_CAP, default 1M events). Rings never overwrite:
 /// a full ring spills to the sink, and the sink drops-newest at cap, so
@@ -137,9 +148,11 @@ void flush_all();
 /// Serialize events as a Chrome trace_event JSON document.
 std::string trace_json(const std::vector<TraceEvent>& events);
 
-/// Check that 'B'/'E' events nest as a proper stack per (pid, tid) and
-/// that every 'b' has a matching 'e' per (pid, id). Used by the
-/// ext_observability gate and tests.
+/// Check that 'B'/'E' events nest as a proper stack per (pid, tid),
+/// that every 'b' has a matching 'e' per (pid, id), and that every
+/// flow finish 'f' has a flow start 's' somewhere with the same id
+/// (order-independent: merged multi-process traces interleave). Used by
+/// the ext_observability gate and tests.
 bool validate_span_nesting(const std::vector<TraceEvent>& events,
                            std::string* error);
 

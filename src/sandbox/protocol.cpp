@@ -2,9 +2,13 @@
 
 #include <sys/mman.h>
 
+#include <limits>
+#include <map>
 #include <new>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "persist/codec.hpp"
 
 namespace citroen::sandbox {
@@ -145,6 +149,80 @@ const char* worker_stage_name(WorkerStage s) {
     case WorkerStage::Reply: return "reply";
   }
   return "unknown";
+}
+
+// ---- obs appendix helpers -------------------------------------------------
+
+namespace {
+/// Counters are cumulative; frames ship only the increment since the
+/// previous frame (or since baseline_obs_counters()). Touched only from
+/// the single worker/peer serving thread, so no lock.
+std::map<std::string, std::uint64_t>& counter_base() {
+  static auto* m = new std::map<std::string, std::uint64_t>();
+  return *m;
+}
+}  // namespace
+
+void baseline_obs_counters() {
+  if (!obs::metrics_enabled()) return;
+  for (const auto& [name, v] : obs::Registry::instance().counters_snapshot())
+    counter_base()[name] = v;
+}
+
+void collect_obs_deltas(SandboxResult* res) {
+  if (obs::trace_enabled()) {
+    for (const auto& ev : obs::drain_trace()) {
+      ObsEventWire w;
+      w.phase = ev.phase;
+      if (ev.name) w.name = ev.name;
+      if (ev.cat) w.cat = ev.cat;
+      if (ev.arg_name) w.arg_name = ev.arg_name;
+      if (ev.str_arg) w.str_arg = ev.str_arg;
+      w.ts_ns = ev.ts_ns;
+      w.id = ev.id;
+      w.arg = ev.arg;
+      res->obs_events.push_back(std::move(w));
+    }
+  }
+  if (obs::metrics_enabled()) {
+    for (const auto& [name, v] :
+         obs::Registry::instance().counters_snapshot()) {
+      std::uint64_t& base = counter_base()[name];
+      if (v > base) res->obs_counters.emplace_back(name, v - base);
+      base = v;
+    }
+  }
+}
+
+void ingest_result_obs(const SandboxResult& res, std::uint32_t pid,
+                       std::int64_t clock_offset_ns) {
+  // Local time of a remote event is ts − offset; negate once (clamped:
+  // INT64_MIN has no int64 negation) and let apply_clock_offset saturate.
+  const std::int64_t rebase =
+      clock_offset_ns == std::numeric_limits<std::int64_t>::min()
+          ? std::numeric_limits<std::int64_t>::max()
+          : -clock_offset_ns;
+  if (obs::trace_enabled()) {
+    for (const auto& ev : res.obs_events) {
+      obs::TraceEvent te;
+      te.phase = ev.phase;
+      te.name = obs::intern(ev.name);
+      te.cat = obs::intern(ev.cat);
+      if (!ev.arg_name.empty()) te.arg_name = obs::intern(ev.arg_name);
+      if (!ev.str_arg.empty()) te.str_arg = obs::intern(ev.str_arg);
+      te.ts_ns = obs::apply_clock_offset(ev.ts_ns, rebase);
+      te.id = ev.id;
+      te.arg = ev.arg;
+      te.pid = pid;
+      te.tid = 0;
+      obs::ingest_event(te);
+    }
+  }
+  if (obs::metrics_enabled() && !res.obs_counters.empty()) {
+    auto& reg = obs::Registry::instance();
+    for (const auto& [name, delta] : res.obs_counters)
+      reg.counter_from_wire(name).add(delta);
+  }
 }
 
 ProgressCell* map_progress_cell() {

@@ -103,6 +103,32 @@ std::string encode_result(const SandboxResult& res);
 bool decode_result(const std::string& payload, SandboxResult* res,
                    std::string* error);
 
+// ---- obs appendix helpers -------------------------------------------------
+// Shared by every process pair that ships obs state over a Result frame:
+// sandbox supervisor <- worker, and dist pool <- peer (which reuses the
+// same SandboxResult codec).
+
+/// Record current counter values as the delta baseline. Child processes
+/// call this once after fork/startup so the first result frame ships
+/// only activity since then, not the counters inherited from the parent.
+void baseline_obs_counters();
+
+/// Drain this process's trace ring into `res->obs_events` (caller must
+/// be quiescent — single-threaded worker/peer between jobs) and append
+/// per-counter increments since the last call to `res->obs_counters`.
+/// No-ops per layer when tracing/metrics are disabled.
+void collect_obs_deltas(SandboxResult* res);
+
+/// Splice a remote process's piggybacked obs deltas into the local trace
+/// sink and metrics registry. Events are filed under `pid` (tid 0 —
+/// workers and peers are single-threaded per connection); name strings
+/// arrive owned and get re-interned. `clock_offset_ns` is (remote clock
+/// − local clock) from the handshake: remote timestamps are re-based by
+/// subtracting it (saturating), so spans from another machine land in
+/// the local CLOCK_MONOTONIC timeline. Same-machine forks pass 0.
+void ingest_result_obs(const SandboxResult& res, std::uint32_t pid,
+                       std::int64_t clock_offset_ns = 0);
+
 // ---- progress cell --------------------------------------------------------
 
 enum class WorkerStage : std::uint8_t {

@@ -51,35 +51,6 @@ std::string describe_signal(int sig) {
   return buf;
 }
 
-/// Splice a worker's piggybacked obs deltas into the supervisor's own
-/// trace sink and metrics registry. Events are filed under the worker's
-/// pid (tid 0 — workers are single-threaded); name strings arrive owned
-/// and get re-interned here. Counter deltas add straight onto the
-/// supervisor's cumulative counters.
-void ingest_worker_obs(const SandboxResult& res, pid_t pid) {
-  if (obs::trace_enabled()) {
-    for (const auto& ev : res.obs_events) {
-      obs::TraceEvent te;
-      te.phase = ev.phase;
-      te.name = obs::intern(ev.name);
-      te.cat = obs::intern(ev.cat);
-      if (!ev.arg_name.empty()) te.arg_name = obs::intern(ev.arg_name);
-      if (!ev.str_arg.empty()) te.str_arg = obs::intern(ev.str_arg);
-      te.ts_ns = ev.ts_ns;
-      te.id = ev.id;
-      te.arg = ev.arg;
-      te.pid = static_cast<std::uint32_t>(pid);
-      te.tid = 0;
-      obs::ingest_event(te);
-    }
-  }
-  if (obs::metrics_enabled() && !res.obs_counters.empty()) {
-    auto& reg = obs::Registry::instance();
-    for (const auto& [name, delta] : res.obs_counters)
-      reg.counter(name).add(delta);
-  }
-}
-
 }  // namespace
 
 double jittered_backoff(double base_seconds, double jitter,
@@ -518,7 +489,8 @@ void SandboxedEvaluator::run_jobs(
               trip_breaker("worker respawn failed");
             return;
           }
-          ingest_worker_obs(res, w.pid);
+          // Same-machine fork: no clock skew, offset 0.
+          ingest_result_obs(res, static_cast<std::uint32_t>(w.pid));
           end_job_span();
           record_result(res, todo[static_cast<std::size_t>(t)].sig,
                         with_measure);

@@ -99,39 +99,6 @@ void apply_job_cpu_limit(double budget_seconds) {
   }
 }
 
-/// Move this job's obs activity into the result frame. Trace: the worker
-/// is single-threaded, so drain_trace() between jobs is quiescent by
-/// construction. Metrics: counters are cumulative, so ship only the
-/// increment since the last frame — the supervisor adds deltas straight
-/// into its own registry. (Histograms/gauges stay worker-local; nothing
-/// in the worker records them today.)
-std::map<std::string, std::uint64_t> g_counter_base;
-
-void collect_obs_deltas(SandboxResult& res) {
-  if (obs::trace_enabled()) {
-    for (const auto& ev : obs::drain_trace()) {
-      ObsEventWire w;
-      w.phase = ev.phase;
-      if (ev.name) w.name = ev.name;
-      if (ev.cat) w.cat = ev.cat;
-      if (ev.arg_name) w.arg_name = ev.arg_name;
-      if (ev.str_arg) w.str_arg = ev.str_arg;
-      w.ts_ns = ev.ts_ns;
-      w.id = ev.id;
-      w.arg = ev.arg;
-      res.obs_events.push_back(std::move(w));
-    }
-  }
-  if (obs::metrics_enabled()) {
-    for (const auto& [name, v] :
-         obs::Registry::instance().counters_snapshot()) {
-      std::uint64_t& base = g_counter_base[name];
-      if (v > base) res.obs_counters.emplace_back(name, v - base);
-      base = v;
-    }
-  }
-}
-
 [[noreturn]] void die_segv() {
   volatile int* null = nullptr;
   *null = 42;           // the actual injected crash
@@ -216,9 +183,7 @@ void worker_serve(sim::ProgramEvaluator& eval, int job_fd, int result_fd,
   passes::reset_stat_interner_after_fork();
   // Counters were inherited at their supervisor-side values; baseline
   // the delta tracking there or the first frame would re-ship them all.
-  if (obs::metrics_enabled())
-    for (const auto& [name, v] : obs::Registry::instance().counters_snapshot())
-      g_counter_base[name] = v;
+  baseline_obs_counters();
 
   ::signal(SIGPIPE, SIG_IGN);  // a dead supervisor surfaces as EPIPE
   ::signal(SIGINT, SIG_IGN);   // terminal ^C noise is the supervisor's call
@@ -266,7 +231,7 @@ void worker_serve(sim::ProgramEvaluator& eval, int job_fd, int result_fd,
     }
 
     set_progress(WorkerStage::Reply, 0);
-    collect_obs_deltas(res);
+    collect_obs_deltas(&res);
     if (write_frame(result_fd, encode_result(res)) != IoStatus::Ok)
       ::_exit(kWorkerExitProtocol);
     set_progress(WorkerStage::Idle, 0);

@@ -37,11 +37,12 @@ std::optional<RejectMsg> AdmissionController::try_admit(
     return std::nullopt;
   }
   OBS_COUNTER_INC("citroend_admission_rejects_total");
-  // Dynamic name, so bypass the macro (whose per-site static would pin
+  // Per-reason breakdown as one labeled family instead of a name per
+  // reason (bypasses the macro, whose per-site static would pin
   // whichever reason fired first).
   if (obs::metrics_enabled())
     obs::Registry::instance()
-        .counter(std::string("citroend_admission_rejects_total_") +
+        .counter("citroend_admission_rejects_by_reason_total", "reason",
                  reject_reason_name(rej.reason))
         .add(1);
   return rej;
@@ -75,6 +76,15 @@ std::uint64_t AdmissionController::tenant_evals(
     const std::string& tenant) const {
   const auto it = usage_.find(tenant);
   return it == usage_.end() ? 0 : it->second.evals;
+}
+
+std::vector<AdmissionController::TenantUsage>
+AdmissionController::usage_snapshot() const {
+  std::vector<TenantUsage> out;
+  out.reserve(usage_.size());
+  for (const auto& [tenant, u] : usage_)
+    out.push_back(TenantUsage{tenant, u.jobs, u.evals, quota_for(tenant)});
+  return out;
 }
 
 }  // namespace citroen::serve

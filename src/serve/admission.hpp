@@ -20,6 +20,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "serve/wire.hpp"
 
@@ -64,6 +65,17 @@ class AdmissionController {
   int total_jobs() const { return total_jobs_; }
   int tenant_jobs(const std::string& tenant) const;
   std::uint64_t tenant_evals(const std::string& tenant) const;
+
+  /// One tenant's current charge, paired with its quota — the admission
+  /// half of an Inspect tenant row.
+  struct TenantUsage {
+    std::string tenant;
+    int jobs = 0;
+    std::uint64_t evals = 0;
+    TenantQuota quota;
+  };
+  /// Every tenant currently holding charge, in map (sorted) order.
+  std::vector<TenantUsage> usage_snapshot() const;
 
  private:
   struct Usage {

@@ -285,6 +285,45 @@ JobOutcome Client::wait_result(
   return out;
 }
 
+std::optional<InspectOkMsg> Client::inspect(bool include_flight) {
+  if (!connected() && !connect()) return std::nullopt;
+  InspectMsg m;
+  m.include_flight = include_flight;
+  if (!send_frame(encode(m))) {
+    disconnect();
+    error_ = "inspect write failed";
+    return std::nullopt;
+  }
+  std::string payload, err;
+  for (;;) {
+    const auto st = read_frame(&payload, config_.frame_timeout_seconds);
+    if (st != sandbox::IoStatus::Ok) {
+      disconnect();
+      error_ = std::string("inspect read: ") + sandbox::io_status_name(st);
+      return std::nullopt;
+    }
+    switch (static_cast<MsgType>(peek_type(payload))) {
+      case MsgType::InspectOk: {
+        InspectOkMsg ok;
+        if (!decode(payload, &ok, &err)) {
+          error_ = "bad InspectOk: " + err;
+          return std::nullopt;
+        }
+        return ok;
+      }
+      case MsgType::Reject: {
+        RejectMsg rej;
+        decode(payload, &rej, &err);
+        error_ = std::string("daemon rejected inspect (") +
+                 reject_reason_name(rej.reason) + "): " + rej.message;
+        return std::nullopt;
+      }
+      default:
+        break;  // Progress/Result for attached jobs on a shared connection
+    }
+  }
+}
+
 bool Client::cancel(std::uint64_t job_id) {
   if (!connected() && !connect()) return false;
   CancelMsg m;

@@ -81,6 +81,11 @@ class Client {
   /// wait_result(). False when the daemon rejected the cancel.
   bool cancel(std::uint64_t job_id);
 
+  /// Request a live daemon snapshot (`citroen-cli status`). Nullopt on
+  /// failure — error() distinguishes transport trouble from a typed
+  /// daemon Reject (e.g. a protocol-version mismatch).
+  std::optional<InspectOkMsg> inspect(bool include_flight = true);
+
   const std::string& error() const { return error_; }
 
  private:

@@ -221,6 +221,10 @@ std::uint64_t TuningJob::evals_done() const {
   return stack_ && stack_->session ? stack_->session->next_index() : done_;
 }
 
+const dist::DistEvaluator* TuningJob::dist_pool() const {
+  return stack_ ? stack_->dist.get() : nullptr;
+}
+
 void TuningJob::save_checkpoint(bool complete) {
   auto& s = *stack_;
   persist::Writer w;

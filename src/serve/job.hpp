@@ -30,6 +30,10 @@ namespace citroen::sim {
 class PrefixCache;
 }
 
+namespace citroen::dist {
+class DistEvaluator;
+}
+
 namespace citroen::serve {
 
 /// The durable admission record (contents of job_<id>.meta).
@@ -104,6 +108,10 @@ class TuningJob {
 
   std::uint64_t evals_done() const;
   std::uint64_t budget() const { return record_.spec.budget; }
+
+  /// The job's dist peer pool, or null when the stack is local-only (or
+  /// already torn down). The Inspect snapshot reads peer health from it.
+  const dist::DistEvaluator* dist_pool() const;
 
   /// Valid once terminal (Done: final curve; Cancelled: best-so-far).
   const Vec& curve() const { return curve_; }

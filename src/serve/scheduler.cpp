@@ -85,4 +85,12 @@ std::size_t DrrScheduler::active_tenants() const {
   return n;
 }
 
+std::vector<DrrScheduler::TenantState> DrrScheduler::ring_snapshot() const {
+  std::vector<TenantState> out;
+  out.reserve(ring_.size());
+  for (const auto& t : ring_)
+    out.push_back(TenantState{t.name, t.deficit, t.queue.size()});
+  return out;
+}
+
 }  // namespace citroen::serve

@@ -52,6 +52,15 @@ class DrrScheduler {
   /// Number of tenants currently holding runnable jobs.
   std::size_t active_tenants() const;
 
+  /// One ring slot's live state — the scheduler half of an Inspect
+  /// tenant row. Ring order (= admission order), empty slots included.
+  struct TenantState {
+    std::string tenant;
+    std::int64_t deficit = 0;
+    std::size_t queued_jobs = 0;
+  };
+  std::vector<TenantState> ring_snapshot() const;
+
  private:
   struct Tenant {
     std::string name;

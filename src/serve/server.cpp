@@ -19,6 +19,8 @@
 #include <set>
 #include <vector>
 
+#include "dist/pool.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "persist/checkpoint.hpp"
@@ -58,6 +60,7 @@ struct Server::Conn {
   sandbox::FrameReader reader;
   std::string tenant;
   bool hello_done = false;
+  bool sniffed = false;  ///< first-bytes HTTP check already done
   bool dead = false;
   std::set<std::uint64_t> attached;  ///< job ids this client watches
 };
@@ -67,6 +70,20 @@ sim::PrefixCacheConfig cache_config_for(const ServerConfig& cfg) {
   sim::PrefixCacheConfig c;
   c.disk_dir = cfg.cache_dir;  // empty falls back to $CITROEN_CACHE_DIR
   return c;
+}
+
+std::vector<PeerSnap> snap_peers(const dist::DistEvaluator& pool) {
+  std::vector<PeerSnap> out;
+  for (const auto& h : pool.peer_health()) {
+    PeerSnap p;
+    p.endpoint = h.endpoint;
+    p.connected = h.connected;
+    p.banned = h.banned;
+    p.consecutive_failures = h.consecutive_failures;
+    p.clock_offset_ns = h.clock_offset_ns;
+    out.push_back(std::move(p));
+  }
+  return out;
 }
 }  // namespace
 
@@ -317,8 +334,11 @@ bool Server::handle_frame(Conn& c, const std::string& payload) {
         send(c, encode(rej));
         return true;
       }
-      if (auto rej = admission_.try_admit(c.tenant, m.spec))
+      if (auto rej = admission_.try_admit(c.tenant, m.spec)) {
+        obs::flight_record("reject", 0, static_cast<std::uint64_t>(rej->reason),
+                           reject_reason_name(rej->reason));
         return send(c, encode(*rej));
+      }
 
       const std::uint64_t id = next_job_id_++;
       JobRecord rec;
@@ -348,6 +368,7 @@ bool Server::handle_frame(Conn& c, const std::string& payload) {
       jobs_[id] = std::move(job);
       c.attached.insert(id);  // submitters stream progress automatically
       OBS_COUNTER_INC("citroend_jobs_accepted_total");
+      obs::flight_record("job_accept", id, m.spec.budget, c.tenant);
       AcceptMsg acc;
       acc.job_id = id;
       return send(c, encode(acc));
@@ -402,10 +423,18 @@ bool Server::handle_frame(Conn& c, const std::string& payload) {
         scheduler_.remove(j.id());
         admission_.release(j.record().tenant, j.record().spec);
         OBS_COUNTER_INC("citroend_jobs_cancelled_total");
+        obs::flight_record("job_cancel", j.id(), j.evals_done(),
+                           j.record().tenant);
         broadcast_result(j);
       }
       if (!c.attached.count(m.job_id)) send_result(c, j);
       return !c.dead;
+    }
+
+    case MsgType::Inspect: {
+      InspectMsg m;
+      if (!decode(payload, &m, &err)) break;
+      return send(c, encode(build_inspect(m.include_flight)));
     }
 
     default:
@@ -420,7 +449,36 @@ bool Server::handle_frame(Conn& c, const std::string& payload) {
   return false;  // a confused peer is dropped, like the sandbox supervisor
 }
 
+bool Server::maybe_serve_http(Conn& c) {
+  char peek[4] = {};
+  const ssize_t n = ::recv(c.fd, peek, sizeof(peek), MSG_PEEK);
+  if (n < 4 || std::memcmp(peek, "GET ", 4) != 0) return false;
+  // A Prometheus scraper / curl, not a wire client. Drain the request
+  // (loopback: it arrives in one segment) so the close is graceful,
+  // answer with the metrics text from ONE registry snapshot, hang up.
+  char sink[4096];
+  ssize_t ignored = ::recv(c.fd, sink, sizeof(sink), 0);
+  (void)ignored;
+  const std::string body = obs::Registry::instance().prometheus_text();
+  std::string resp =
+      "HTTP/1.0 200 OK\r\n"
+      "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+      "Content-Length: " + std::to_string(body.size()) + "\r\n"
+      "Connection: close\r\n\r\n" + body;
+  std::size_t off = 0;
+  while (off < resp.size()) {
+    const ssize_t w = ::write(c.fd, resp.data() + off, resp.size() - off);
+    if (w <= 0) break;
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
 bool Server::service_conn(Conn& c) {
+  if (!c.hello_done && !c.sniffed) {
+    c.sniffed = true;
+    if (maybe_serve_http(c)) return false;  // served + close
+  }
   for (;;) {
     std::string payload, err;
     switch (c.reader.read(&payload, /*timeout_seconds=*/0.0, &err)) {
@@ -442,10 +500,114 @@ bool Server::service_conn(Conn& c) {
   }
 }
 
+InspectOkMsg Server::build_inspect(bool include_flight) const {
+  InspectOkMsg out;
+  out.epoch = epoch_;
+  out.draining = draining_;
+  out.clients = conns_.size();
+
+  // Tenant rows: union of admission charge, scheduler ring state and the
+  // lifetime eval tally, keyed by tenant name.
+  std::map<std::string, TenantSnap> tenants;
+  for (const auto& u : admission_.usage_snapshot()) {
+    TenantSnap& t = tenants[u.tenant];
+    t.tenant = u.tenant;
+    t.jobs_in_flight = static_cast<std::uint64_t>(u.jobs);
+    t.evals_in_flight = u.evals;
+    t.max_jobs = static_cast<std::uint64_t>(u.quota.max_jobs);
+    t.max_evals = u.quota.max_evals;
+  }
+  for (const auto& s : scheduler_.ring_snapshot()) {
+    TenantSnap& t = tenants[s.tenant];
+    if (t.tenant.empty()) {
+      t.tenant = s.tenant;
+      const TenantQuota& q = admission_.quota_for(s.tenant);
+      t.max_jobs = static_cast<std::uint64_t>(q.max_jobs);
+      t.max_evals = q.max_evals;
+    }
+    t.drr_deficit = s.deficit;
+    t.queued_jobs = s.queued_jobs;
+  }
+  for (const auto& [tenant, total] : tenant_evals_total_) {
+    TenantSnap& t = tenants[tenant];
+    if (t.tenant.empty()) {
+      t.tenant = tenant;
+      const TenantQuota& q = admission_.quota_for(tenant);
+      t.max_jobs = static_cast<std::uint64_t>(q.max_jobs);
+      t.max_evals = q.max_evals;
+    }
+    t.evals_total = total;
+  }
+  out.tenants.reserve(tenants.size());
+  for (auto& [name, t] : tenants) out.tenants.push_back(std::move(t));
+
+  for (const auto& [id, job] : jobs_) {
+    JobSnap j;
+    j.id = id;
+    j.tenant = job->record().tenant;
+    j.state = job->state();
+    j.evals_done = job->evals_done();
+    j.budget = job->budget();
+    out.jobs.push_back(std::move(j));
+  }
+
+  const sim::PrefixCacheStats cs = cache_->stats();
+  out.cache_builds = cs.builds;
+  out.cache_full_hits = cs.full_hits;
+  out.cache_prefix_hits = cs.prefix_hits;
+  out.cache_disk_hits = cs.disk_hits;
+
+  if (corpus_) {
+    const corpus::CorpusStats st = corpus_->stats();
+    out.corpus_entries = st.entries;
+    out.corpus_lookups = st.lookups;
+    out.corpus_hits = st.hits;
+    out.corpus_writable = corpus_->writable();
+  }
+
+  // Every job stack is configured with the same endpoint list, so the
+  // first live pool speaks for the fleet; with no job in flight the last
+  // captured health (step_one keeps it fresh) still describes the peers.
+  out.peers = last_peer_health_;
+  for (const auto& [id, job] : jobs_) {
+    const dist::DistEvaluator* pool = job->dist_pool();
+    if (!pool) continue;
+    out.peers = snap_peers(*pool);
+    break;
+  }
+
+  if (include_flight) {
+    for (const obs::FlightEvent& ev : obs::flight_snapshot()) {
+      FlightSnap f;
+      f.seq = ev.seq;
+      f.ts_ns = ev.ts_ns;
+      f.kind = ev.kind;
+      f.a = ev.a;
+      f.b = ev.b;
+      f.detail = ev.detail;
+      out.flight.push_back(std::move(f));
+    }
+  }
+
+  // One coherent metrics snapshot; labeled children travel under their
+  // flattened wire names so `status --json` byte-agrees with a Prometheus
+  // scrape of the same instant.
+  const obs::MetricsSnapshot snap = obs::Registry::instance().snapshot();
+  out.counters = snap.counters;
+  for (const auto& lc : snap.labeled_counters)
+    out.counters.emplace_back(
+        obs::Registry::wire_name(lc.family, lc.label_key, lc.label_value),
+        lc.value);
+  std::sort(out.counters.begin(), out.counters.end());
+  return out;
+}
+
 void Server::finish_job(TuningJob& job) {
   scheduler_.remove(job.id());
   admission_.release(job.record().tenant, job.record().spec);
   OBS_COUNTER_INC("citroend_jobs_completed_total");
+  obs::flight_record("job_done", job.id(), job.evals_done(),
+                     job.record().tenant);
   broadcast_result(job);
 }
 
@@ -469,6 +631,8 @@ void Server::step_one() {
     scheduler_.remove(job.id());
     admission_.release(job.record().tenant, job.record().spec);
     OBS_COUNTER_INC("citroend_jobs_failed_total");
+    obs::flight_record("job_fail", job.id(), job.evals_done(),
+                       job.record().tenant);
     ResultMsg r;
     r.job_id = job.id();
     r.status = ResultStatus::Failed;
@@ -482,13 +646,15 @@ void Server::step_one() {
   }
   scheduler_.charge(job.id(), cost);
   OBS_COUNTER_ADD("citroend_evals_total", cost);
-  // Dynamic metric name: the OBS_ macros cache their instrument in a
-  // per-site static, so per-tenant counters must hit the registry
-  // directly.
+  tenant_evals_total_[job.record().tenant] += cost;
+  // Per-tenant breakdown as labeled children of one family (bypasses the
+  // OBS_ macros, which cache their instrument in a per-site static).
   if (obs::metrics_enabled() && cost > 0)
     obs::Registry::instance()
-        .counter("citroend_tenant_evals_total_" + job.record().tenant)
+        .counter("citroend_tenant_evals_total", "tenant", job.record().tenant)
         .add(cost);
+  if (const dist::DistEvaluator* pool = job.dist_pool())
+    last_peer_health_ = snap_peers(*pool);
   if (job.terminal())
     finish_job(job);
   else
@@ -501,6 +667,7 @@ void Server::begin_drain(const char* why) {
       sandbox::monotonic_seconds() + config_.drain_deadline_seconds;
   OBS_COUNTER_INC("citroend_drains_total");
   OBS_INSTANT("serve_drain_begin", "serve");
+  obs::flight_record("drain_begin", scheduler_.size(), 0, why);
   std::fprintf(stderr,
                "[citroend] draining (%s): %zu jobs in flight, deadline %.1fs\n",
                why, scheduler_.size(), config_.drain_deadline_seconds);
@@ -604,6 +771,7 @@ int Server::run() {
   const std::size_t resumable = scheduler_.size();
   std::fprintf(stderr, "[citroend] exit: %zu jobs checkpointed for resume\n",
                resumable);
+  if (resumable > 0) obs::flight_dump(stderr);  // 75: triage what was cut off
   return resumable > 0 ? persist::kExitInterrupted : persist::kExitComplete;
 }
 

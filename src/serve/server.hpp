@@ -104,6 +104,13 @@ class Server {
   /// connection died (caller removes it).
   bool service_conn(Conn& c);
   bool handle_frame(Conn& c, const std::string& payload);
+  /// Sniff the first readable bytes of a pre-Hello connection: a plain
+  /// HTTP GET (a Prometheus scraper / curl) is answered with the metrics
+  /// text from ONE registry snapshot and closed. True when handled.
+  bool maybe_serve_http(Conn& c);
+  /// One coherent daemon snapshot: tenant/job/peer rows and the metrics
+  /// counters all read in the same event-loop iteration.
+  InspectOkMsg build_inspect(bool include_flight) const;
   bool send(Conn& c, const std::string& payload);
   void send_result(Conn& c, const TuningJob& job);
   void broadcast_progress(const TuningJob& job);
@@ -127,6 +134,14 @@ class Server {
   int tcp_fd_ = -1;
   std::uint64_t next_job_id_ = 1;
   std::uint64_t epoch_ = 0;
+  /// Lifetime evals charged per tenant this epoch. Kept by the server
+  /// (not the obs registry) so `citroen-cli status` shows it even when
+  /// metrics are disabled.
+  std::map<std::string, std::uint64_t> tenant_evals_total_;
+  /// Peer-pool health as of the last step of a dist-wired job. Jobs drop
+  /// their evaluator stack (and its pool) on completion, so Inspect would
+  /// otherwise report an empty fleet between jobs.
+  std::vector<PeerSnap> last_peer_health_;
   bool draining_ = false;
   double drain_deadline_ = 0.0;
   std::atomic<bool> stop_{false};

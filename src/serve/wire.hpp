@@ -20,6 +20,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "support/matrix.hpp"
 
@@ -27,7 +29,8 @@ namespace citroen::serve {
 
 /// Bumped when any message layout changes; Hello carries it and the
 /// daemon rejects mismatches (BadRequest) instead of misparsing.
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// v2: Inspect/InspectOk live-introspection messages.
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 enum class MsgType : std::uint8_t {
   // client -> daemon
@@ -35,6 +38,7 @@ enum class MsgType : std::uint8_t {
   Submit = 2,   ///< new tuning job
   Attach = 3,   ///< (re-)subscribe to an accepted job by id
   Cancel = 4,   ///< cancel an accepted job
+  Inspect = 5,  ///< request a live daemon snapshot (InspectOk answer)
   // daemon -> client
   HelloOk = 10,  ///< handshake accepted
   Accept = 11,   ///< job admitted (durable: it survives a daemon crash)
@@ -42,6 +46,7 @@ enum class MsgType : std::uint8_t {
   Status = 13,   ///< attach answer: where the job currently stands
   Progress = 14, ///< periodic per-job progress while attached
   Result = 15,   ///< terminal frame for a job
+  InspectOk = 16,  ///< structured snapshot (the `citroen-cli status` body)
 };
 
 const char* msg_type_name(MsgType t);
@@ -140,6 +145,84 @@ struct ResultMsg {
   std::string error;  ///< set when status == Failed
 };
 
+struct InspectMsg {
+  bool include_flight = true;  ///< false trims the flight-recorder tail
+};
+
+/// One tenant row of the live snapshot: admission usage + quota limits
+/// and the DRR scheduler's view (deficit, runnable-queue depth).
+struct TenantSnap {
+  std::string tenant;
+  std::uint64_t jobs_in_flight = 0;
+  std::uint64_t evals_in_flight = 0;
+  std::uint64_t max_jobs = 0;
+  std::uint64_t max_evals = 0;
+  std::int64_t drr_deficit = 0;   ///< 0 when not in the scheduler ring
+  std::uint64_t queued_jobs = 0;  ///< runnable jobs waiting in the ring
+  std::uint64_t evals_total = 0;  ///< lifetime evals charged (this epoch)
+};
+
+struct JobSnap {
+  std::uint64_t id = 0;
+  std::string tenant;
+  JobState state = JobState::Queued;
+  std::uint64_t evals_done = 0;
+  std::uint64_t budget = 0;
+};
+
+/// Peer-pool health merged across the running jobs' pools (every job
+/// stack is configured with the same endpoint list).
+struct PeerSnap {
+  std::string endpoint;
+  bool connected = false;
+  bool banned = false;
+  std::int64_t consecutive_failures = 0;
+  std::int64_t clock_offset_ns = 0;  ///< remote − local, last handshake
+};
+
+struct FlightSnap {
+  std::uint64_t seq = 0;
+  std::uint64_t ts_ns = 0;
+  std::string kind;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::string detail;
+};
+
+/// The live daemon snapshot. Counter values come from ONE coherent
+/// obs::MetricsSnapshot (labeled children under their flattened wire
+/// names), taken in the same event-loop iteration as the tenant/job
+/// rows — so `citroen-cli status --json` and a Prometheus scrape of the
+/// same instant agree.
+struct InspectOkMsg {
+  std::uint64_t epoch = 0;
+  bool draining = false;
+  std::uint64_t clients = 0;  ///< live client connections
+  std::vector<TenantSnap> tenants;
+  std::vector<JobSnap> jobs;
+  // Prefix-cache health (sim::PrefixCacheStats, the fields an operator
+  // watches for warm-start efficacy).
+  std::uint64_t cache_builds = 0;
+  std::uint64_t cache_full_hits = 0;
+  std::uint64_t cache_prefix_hits = 0;
+  std::uint64_t cache_disk_hits = 0;
+  // Corpus warm-start health.
+  std::uint64_t corpus_entries = 0;
+  std::uint64_t corpus_lookups = 0;
+  std::uint64_t corpus_hits = 0;
+  bool corpus_writable = false;
+  std::vector<PeerSnap> peers;
+  std::vector<FlightSnap> flight;  ///< recent coarse events, oldest first
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+};
+
+/// Render an InspectOk snapshot as a JSON object (the `--json` output;
+/// also what the live gate feeds through python's json.tool). Stable
+/// key order, strict JSON.
+std::string status_json(const InspectOkMsg& m);
+/// Render as the human `citroen-cli status` text.
+std::string status_text(const InspectOkMsg& m);
+
 /// Peek the tag of an encoded message (Unknown/garbage -> 0).
 std::uint8_t peek_type(const std::string& payload);
 
@@ -147,6 +230,8 @@ std::string encode(const HelloMsg& m);
 std::string encode(const SubmitMsg& m);
 std::string encode(const AttachMsg& m);
 std::string encode(const CancelMsg& m);
+std::string encode(const InspectMsg& m);
+std::string encode(const InspectOkMsg& m);
 std::string encode(const HelloOkMsg& m);
 std::string encode(const AcceptMsg& m);
 std::string encode(const RejectMsg& m);
@@ -158,6 +243,8 @@ bool decode(const std::string& payload, HelloMsg* m, std::string* error);
 bool decode(const std::string& payload, SubmitMsg* m, std::string* error);
 bool decode(const std::string& payload, AttachMsg* m, std::string* error);
 bool decode(const std::string& payload, CancelMsg* m, std::string* error);
+bool decode(const std::string& payload, InspectMsg* m, std::string* error);
+bool decode(const std::string& payload, InspectOkMsg* m, std::string* error);
 bool decode(const std::string& payload, HelloOkMsg* m, std::string* error);
 bool decode(const std::string& payload, AcceptMsg* m, std::string* error);
 bool decode(const std::string& payload, RejectMsg* m, std::string* error);

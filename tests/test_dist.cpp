@@ -10,16 +10,21 @@
 #include <cstdint>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include <sys/socket.h>
 #include <sys/wait.h>
+#include <time.h>
 #include <unistd.h>
 
 #include "bench_suite/suite.hpp"
 #include "dist/peer.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "dist/pool.hpp"
 #include "dist/wire.hpp"
+#include "sandbox/ipc.hpp"
 #include "sim/evaluator.hpp"
 #include "sim/machine.hpp"
 
@@ -253,17 +258,171 @@ TEST(DistEvaluator, BreakerStateIsVisibleInMetricsExport) {
 
   auto& reg = obs::Registry::instance();
   const std::string prom = reg.prometheus_text();
+  // Per-peer state is one labeled family per quantity (peer="<index>"),
+  // not a metric name per peer.
   for (const char* metric :
-       {"citroen_dist_peer0_banned", "citroen_dist_peer0_connected",
-        "citroen_dist_peer0_consecutive_failures",
+       {"citroen_dist_peer_banned{peer=\"0\"}",
+        "citroen_dist_peer_connected{peer=\"0\"}",
+        "citroen_dist_peer_consecutive_failures{peer=\"0\"}",
         "citroen_dist_peers_banned", "citroen_dist_degraded",
         "citroen_dist_reconnect_attempts_total",
         "citroen_dist_backoffs_total", "citroen_dist_bans_total"}) {
     EXPECT_NE(prom.find(metric), std::string::npos)
         << "missing from Prometheus export: " << metric;
   }
-  EXPECT_NE(prom.find("citroen_dist_peer0_banned 1"), std::string::npos)
+  EXPECT_NE(prom.find("citroen_dist_peer_banned{peer=\"0\"} 1"),
+            std::string::npos)
       << prom.substr(0, 400);
+
+  // The same health rows the daemon's Inspect snapshot serves.
+  const auto health = pool.peer_health();
+  ASSERT_EQ(health.size(), 1u);
+  EXPECT_EQ(health[0].endpoint, bogus);
+  EXPECT_FALSE(health[0].connected);
+  EXPECT_TRUE(health[0].banned);
+  EXPECT_GE(health[0].consecutive_failures, 2);
+}
+
+// ---- clock-offset handshake ------------------------------------------------
+
+namespace {
+
+std::uint64_t mono_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+/// A scripted peer with an adjustable clock: for each entry in `skews`
+/// it accepts one connection, answers the Hello with a HelloOk stamped
+/// at (real now + skew), swallows the job frame, and hangs up — so the
+/// pool measures the offset, then classifies the peer lost and the job
+/// falls back to the local stack.
+void serve_skewed(int listen_fd, std::uint64_t fingerprint,
+                  std::vector<std::int64_t> skews) {
+  for (const std::int64_t skew : skews) {
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) return;
+    sandbox::FrameReader reader(conn);
+    std::string payload;
+    if (reader.read(&payload, 10.0) == sandbox::IoStatus::Ok) {
+      dist::PeerMsg tag{};
+      std::string_view body;
+      if (dist::untag_message(payload, &tag, &body) &&
+          tag == dist::PeerMsg::Hello) {
+        const std::uint64_t stamped = obs::apply_clock_offset(mono_ns(), skew);
+        sandbox::write_frame(
+            conn,
+            dist::tag_message(dist::PeerMsg::HelloOk,
+                              dist::encode_hello_ok(1, fingerprint, stamped)));
+        reader.read(&payload, 10.0);  // the job frame; never answered
+      }
+    }
+    ::close(conn);
+  }
+  ::close(listen_fd);
+}
+
+std::string skew_socket_path(int i) {
+  return "/tmp/citroen_test_dist_skew_" + std::to_string(::getpid()) + "_" +
+         std::to_string(i) + ".sock";
+}
+
+/// Evaluate one candidate against a skewed scripted peer and return the
+/// handshake-measured offset.
+std::int64_t measure_offset_against(std::int64_t skew_ns, int path_index) {
+  const std::string path = skew_socket_path(path_index);
+  std::string error;
+  const int listen_fd = dist::listen_unix(path, &error);
+  EXPECT_GE(listen_fd, 0) << error;
+
+  sim::ProgramEvaluator bottom(bench_suite::make_program("security_sha"),
+                               sim::machine_by_name("arm"));
+  std::thread peer(serve_skewed, listen_fd, dist::evaluator_fingerprint(bottom),
+                   std::vector<std::int64_t>{skew_ns});
+
+  dist::DistConfig cfg;
+  cfg.peers = {path};
+  cfg.spec = dist::make_program_spec(bottom, "arm");
+  cfg.connect_timeout_seconds = 5.0;
+  cfg.job_wall_timeout_seconds = 1.0;
+  cfg.max_attempts_per_job = 1;  // one handshake, then local fallback
+  dist::DistEvaluator pool(bottom, bottom, cfg);
+  pool.evaluate(candidate(0));
+
+  peer.join();
+  ::unlink(path.c_str());
+  return pool.peer_clock_offset_ns(0);
+}
+
+}  // namespace
+
+TEST(DistClock, HandshakeMeasuresSkewedOffset) {
+  // A peer whose monotonic clock reads 3s ahead must measure as roughly
+  // +3s (error bounded by half the loopback RTT, generously 250ms here).
+  const std::int64_t skew = 3'000'000'000;
+  const std::int64_t got = measure_offset_against(skew, 0);
+  EXPECT_NEAR(static_cast<double>(got), static_cast<double>(skew), 250e6);
+}
+
+TEST(DistClock, HandshakeMeasuresNegativeOffset) {
+  const std::int64_t skew = -3'000'000'000;
+  const std::int64_t got = measure_offset_against(skew, 1);
+  EXPECT_NEAR(static_cast<double>(got), static_cast<double>(skew), 250e6);
+}
+
+TEST(DistClock, OffsetRemeasuredOnReconnect) {
+  // The peer restarts with a different clock (step, reboot, new box
+  // behind the same endpoint): the next handshake must replace the old
+  // offset, not keep serving the stale one.
+  const std::string path = skew_socket_path(2);
+  std::string error;
+  const int listen_fd = dist::listen_unix(path, &error);
+  ASSERT_GE(listen_fd, 0) << error;
+
+  sim::ProgramEvaluator bottom(bench_suite::make_program("security_sha"),
+                               sim::machine_by_name("arm"));
+  std::thread peer(
+      serve_skewed, listen_fd, dist::evaluator_fingerprint(bottom),
+      std::vector<std::int64_t>{2'000'000'000, -2'000'000'000});
+
+  dist::DistConfig cfg;
+  cfg.peers = {path};
+  cfg.spec = dist::make_program_spec(bottom, "arm");
+  cfg.connect_timeout_seconds = 5.0;
+  cfg.job_wall_timeout_seconds = 1.0;
+  cfg.max_attempts_per_job = 1;
+  cfg.breaker_threshold = 10;  // two lost jobs must not ban the peer
+  cfg.reconnect_backoff_seconds = 0.001;
+  cfg.reconnect_backoff_max_seconds = 0.002;
+  dist::DistEvaluator pool(bottom, bottom, cfg);
+
+  pool.evaluate(candidate(0));
+  EXPECT_NEAR(static_cast<double>(pool.peer_clock_offset_ns(0)), 2e9, 250e6);
+
+  ::usleep(50 * 1000);  // clear the reconnect backoff gate
+  pool.evaluate(candidate(1));
+  EXPECT_NEAR(static_cast<double>(pool.peer_clock_offset_ns(0)), -2e9, 250e6);
+  EXPECT_GE(pool.dist_stats().connects, 2u);
+
+  peer.join();
+  ::unlink(path.c_str());
+}
+
+TEST(DistClock, RealPeerOffsetIsNearZero) {
+  // Same machine, same CLOCK_MONOTONIC: the measured offset against a
+  // real forked peer is bounded by the handshake RTT.
+  ScopedPeer peer;
+  sim::ProgramEvaluator bottom(bench_suite::make_program("security_sha"),
+                               sim::machine_by_name("arm"));
+  dist::DistConfig cfg;
+  cfg.peers = {peer.path};
+  cfg.spec = dist::make_program_spec(bottom, "arm");
+  dist::DistEvaluator pool(bottom, bottom, cfg);
+  pool.evaluate(candidate(0));
+  ASSERT_FALSE(pool.degraded());
+  EXPECT_LT(std::llabs(pool.peer_clock_offset_ns(0)), 1'000'000'000ll);
 }
 
 TEST(DistEvaluator, EmptyPeerListIsInert) {

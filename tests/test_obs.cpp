@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/thread_pool.hpp"
@@ -256,4 +257,182 @@ TEST(ObsMetrics, CountersSnapshotSortedByName) {
   ASSERT_GE(snap.size(), 2u);
   for (std::size_t i = 1; i < snap.size(); ++i)
     EXPECT_LT(snap[i - 1].first, snap[i].first);
+}
+
+// ---- labeled metrics -------------------------------------------------------
+
+TEST(ObsMetrics, LabeledCountersAreOneFamilyManyChildren) {
+  auto& reg = obs::Registry::instance();
+  reg.counter("citroen_test_lbl_total", "tenant", "acme").add(2);
+  reg.counter("citroen_test_lbl_total", "tenant", "beta").add(5);
+  // Same child on re-lookup, independent values across label values.
+  EXPECT_EQ(&reg.counter("citroen_test_lbl_total", "tenant", "acme"),
+            &reg.counter("citroen_test_lbl_total", "tenant", "acme"));
+  EXPECT_EQ(reg.counter("citroen_test_lbl_total", "tenant", "acme").value(),
+            2u);
+  EXPECT_EQ(reg.counter("citroen_test_lbl_total", "tenant", "beta").value(),
+            5u);
+
+  const std::string prom = reg.prometheus_text();
+  // One # TYPE line for the family, one sample per child.
+  EXPECT_NE(prom.find("# TYPE citroen_test_lbl_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("citroen_test_lbl_total{tenant=\"acme\"} 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("citroen_test_lbl_total{tenant=\"beta\"} 5"),
+            std::string::npos);
+  EXPECT_EQ(prom.find("# TYPE citroen_test_lbl_total counter",
+                      prom.find("# TYPE citroen_test_lbl_total counter") + 1),
+            std::string::npos)
+      << "family TYPE line duplicated";
+
+  std::string err;
+  const std::string json = reg.json_summary();
+  EXPECT_TRUE(obs::json_well_formed(json, &err)) << err;
+  EXPECT_NE(json.find("citroen_test_lbl_total{tenant=\\\"acme\\\"}"),
+            std::string::npos)
+      << json;
+}
+
+TEST(ObsMetrics, WireNameRoundTripsThroughCounterFromWire) {
+  auto& reg = obs::Registry::instance();
+  const std::string wire =
+      obs::Registry::wire_name("citroen_test_wire_total", "peer", "3");
+  EXPECT_EQ(wire, "citroen_test_wire_total{peer=\"3\"}");
+  // A shipped delta re-splits into the same labeled child.
+  reg.counter_from_wire(wire).add(7);
+  EXPECT_EQ(reg.counter("citroen_test_wire_total", "peer", "3").value(), 7u);
+  // A plain name stays a plain counter.
+  reg.counter_from_wire("citroen_test_wire_plain_total").add(1);
+  EXPECT_EQ(reg.counter("citroen_test_wire_plain_total").value(), 1u);
+  // Malformed label syntax degrades to a plain counter, never a throw.
+  reg.counter_from_wire("citroen_test_wire_bad{").add(1);
+}
+
+TEST(ObsMetrics, SnapshotIsCoherentAndCarriesTraceDrops) {
+  auto& reg = obs::Registry::instance();
+  reg.counter("citroen_test_snap_total").add(1);
+  reg.counter("citroen_test_snap_lbl_total", "k", "v").add(4);
+  const obs::MetricsSnapshot snap = reg.snapshot();
+
+  // Both renderers consume the SAME snapshot, so a scrape's .prom and
+  // .json views agree even while other threads keep counting.
+  const std::string prom = obs::Registry::prometheus_text(snap);
+  const std::string json = obs::Registry::json_summary(snap);
+  EXPECT_NE(prom.find("citroen_test_snap_total 1"), std::string::npos);
+  EXPECT_NE(json.find("\"citroen_test_snap_total\":1"), std::string::npos);
+  EXPECT_NE(prom.find("citroen_test_snap_lbl_total{k=\"v\"} 4"),
+            std::string::npos);
+
+  // Every snapshot surfaces ring-overflow drops, even at zero.
+  bool found = false;
+  for (const auto& [name, v] : snap.counters) {
+    if (name == "citroen_trace_dropped_total") {
+      found = true;
+      EXPECT_EQ(v, obs::trace_dropped());
+    }
+  }
+  EXPECT_TRUE(found) << "citroen_trace_dropped_total missing from snapshot";
+  EXPECT_NE(prom.find("citroen_trace_dropped_total"), std::string::npos);
+}
+
+// ---- flow events & clock re-basing -----------------------------------------
+
+TEST_F(Obs, FlowEventsValidateOrderIndependently) {
+  auto ev = [](char ph, const char* name, std::uint64_t ts, std::uint32_t tid,
+               std::uint64_t id) {
+    obs::TraceEvent e;
+    e.phase = ph;
+    e.name = name;
+    e.cat = "test";
+    e.ts_ns = ts;
+    e.pid = 1;
+    e.tid = tid;
+    e.id = id;
+    return e;
+  };
+  std::string err;
+  // Finish before start in stream order (a merged multi-process trace
+  // has no global order): still valid, the check is by id, two-pass.
+  EXPECT_TRUE(obs::validate_span_nesting(
+      {ev('f', "dist_job", 1, 2, 42), ev('s', "dist_job", 5, 1, 42)}, &err))
+      << err;
+  // A start with no finish is fine (the peer died before its span).
+  EXPECT_TRUE(obs::validate_span_nesting({ev('s', "dist_job", 1, 1, 7)},
+                                         &err))
+      << err;
+  // A finish whose id never started is corruption.
+  EXPECT_FALSE(
+      obs::validate_span_nesting({ev('f', "dist_job", 1, 1, 9)}, &err));
+  // Unknown phases still rejected.
+  EXPECT_FALSE(obs::validate_span_nesting({ev('x', "weird", 1, 1, 0)}, &err));
+}
+
+TEST_F(Obs, FlowEventsRenderAsChromeTraceFlow) {
+  obs::trace_force_enable(true);
+  obs::emit('s', "dist_job", "dist", 42);
+  obs::emit('f', "dist_job", "dist", 42);
+  obs::trace_force_enable(false);
+  const std::string json = obs::trace_json(obs::drain_trace());
+  std::string err;
+  EXPECT_TRUE(obs::json_well_formed(json, &err)) << err << "\n" << json;
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  // Chrome/Perfetto binds a flow finish to the enclosing slice's end
+  // only with bp:e; without it the arrow silently drops.
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":\"0x2a\""), std::string::npos);
+}
+
+TEST(ObsClock, ApplyClockOffsetSaturatesAndStaysMonotone) {
+  using obs::apply_clock_offset;
+  const std::uint64_t kMax = ~std::uint64_t{0};
+  // Exact in the unsaturated interior.
+  EXPECT_EQ(apply_clock_offset(100, 40), 140u);
+  EXPECT_EQ(apply_clock_offset(100, -40), 60u);
+  // Saturation at both rails instead of wraparound.
+  EXPECT_EQ(apply_clock_offset(10, -40), 0u);
+  EXPECT_EQ(apply_clock_offset(kMax - 5, 100), kMax);
+  EXPECT_EQ(apply_clock_offset(5, INT64_MIN), 0u);
+  EXPECT_EQ(apply_clock_offset(kMax, INT64_MAX), kMax);
+
+  // Property: for any offset, re-basing preserves order — a remote span
+  // can never end before it begins after re-basing.
+  std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+  auto next = [&rng]() {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t a = next();
+    const std::uint64_t b = next();
+    const std::uint64_t begin = std::min(a, b), end = std::max(a, b);
+    const auto offset = static_cast<std::int64_t>(next());
+    EXPECT_LE(apply_clock_offset(begin, offset),
+              apply_clock_offset(end, offset))
+        << "begin=" << begin << " end=" << end << " offset=" << offset;
+  }
+}
+
+// ---- flight recorder -------------------------------------------------------
+
+TEST(ObsFlight, RingKeepsNewestAndDumps) {
+  obs::flight_reset_after_fork();
+  const std::size_t cap = obs::flight_capacity();
+  for (std::size_t i = 0; i < cap + 10; ++i)
+    obs::flight_record("flight_test", i, i * 2, "detail");
+  const auto snap = obs::flight_snapshot();
+  ASSERT_EQ(snap.size(), cap);
+  // Oldest entries were overwritten; order is oldest -> newest.
+  EXPECT_EQ(snap.front().a, 10u);
+  EXPECT_EQ(snap.back().a, cap + 9);
+  for (std::size_t i = 1; i < snap.size(); ++i)
+    EXPECT_EQ(snap[i].seq, snap[i - 1].seq + 1);
+  EXPECT_GE(obs::flight_recorded_total(), cap + 10);
+  EXPECT_STREQ(snap.back().kind, "flight_test");
+  EXPECT_STREQ(snap.back().detail, "detail");
+  obs::flight_reset_after_fork();
+  EXPECT_TRUE(obs::flight_snapshot().empty());
 }

@@ -8,7 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
 #include <sys/stat.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -20,6 +22,7 @@
 #include <vector>
 
 #include "corpus/corpus.hpp"
+#include "obs/trace.hpp"
 #include "persist/checkpoint.hpp"
 #include "persist/codec.hpp"
 #include "persist/run_session.hpp"
@@ -690,4 +693,304 @@ TEST(ServeDaemon, SharedPrefixCacheAcrossTenantsPreservesResults) {
     EXPECT_TRUE(curves_identical(outs[i].curve, replay)) << "tenant " << i;
   }
   EXPECT_EQ(ls->stop_and_join(), 0);
+}
+
+// ---- live introspection ----------------------------------------------------
+
+namespace {
+
+serve::InspectOkMsg sample_inspect() {
+  serve::InspectOkMsg m;
+  m.epoch = 3;
+  m.draining = true;
+  m.clients = 2;
+  serve::TenantSnap t;
+  t.tenant = "acme";
+  t.jobs_in_flight = 1;
+  t.evals_in_flight = 30;
+  t.max_jobs = 2;
+  t.max_evals = 4096;
+  t.drr_deficit = -7;
+  t.queued_jobs = 1;
+  t.evals_total = 123;
+  m.tenants.push_back(t);
+  serve::JobSnap j;
+  j.id = 42;
+  j.tenant = "acme";
+  j.state = serve::JobState::Running;
+  j.evals_done = 5;
+  j.budget = 30;
+  m.jobs.push_back(j);
+  m.cache_builds = 10;
+  m.cache_full_hits = 4;
+  m.cache_prefix_hits = 3;
+  m.cache_disk_hits = 1;
+  m.corpus_entries = 9;
+  m.corpus_lookups = 6;
+  m.corpus_hits = 2;
+  m.corpus_writable = true;
+  serve::PeerSnap p;
+  p.endpoint = "unix:/tmp/p0.sock";
+  p.connected = true;
+  p.banned = false;
+  p.consecutive_failures = 0;
+  p.clock_offset_ns = -12345;
+  m.peers.push_back(p);
+  serve::FlightSnap f;
+  f.seq = 1;
+  f.ts_ns = 999;
+  f.kind = "job_accept";
+  f.a = 42;
+  f.b = 30;
+  f.detail = "acme";
+  m.flight.push_back(f);
+  m.counters.emplace_back("citroend_evals_total", 5);
+  m.counters.emplace_back("citroend_tenant_evals_total{tenant=\"acme\"}", 5);
+  return m;
+}
+
+int raw_connect(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+TEST(ServeWire, InspectMessagesRoundTrip) {
+  std::string err;
+  serve::InspectMsg q;
+  q.include_flight = false;
+  serve::InspectMsg q2;
+  ASSERT_TRUE(serve::decode(serve::encode(q), &q2, &err)) << err;
+  EXPECT_FALSE(q2.include_flight);
+
+  const serve::InspectOkMsg m = sample_inspect();
+  serve::InspectOkMsg m2;
+  ASSERT_TRUE(serve::decode(serve::encode(m), &m2, &err)) << err;
+  EXPECT_EQ(m2.epoch, 3u);
+  EXPECT_TRUE(m2.draining);
+  EXPECT_EQ(m2.clients, 2u);
+  ASSERT_EQ(m2.tenants.size(), 1u);
+  EXPECT_EQ(m2.tenants[0].tenant, "acme");
+  EXPECT_EQ(m2.tenants[0].drr_deficit, -7);
+  EXPECT_EQ(m2.tenants[0].evals_total, 123u);
+  ASSERT_EQ(m2.jobs.size(), 1u);
+  EXPECT_EQ(m2.jobs[0].state, serve::JobState::Running);
+  EXPECT_EQ(m2.cache_disk_hits, 1u);
+  EXPECT_EQ(m2.corpus_hits, 2u);
+  EXPECT_TRUE(m2.corpus_writable);
+  ASSERT_EQ(m2.peers.size(), 1u);
+  EXPECT_EQ(m2.peers[0].clock_offset_ns, -12345);
+  ASSERT_EQ(m2.flight.size(), 1u);
+  EXPECT_EQ(m2.flight[0].kind, "job_accept");
+  ASSERT_EQ(m2.counters.size(), 2u);
+  EXPECT_EQ(m2.counters[1].first,
+            "citroend_tenant_evals_total{tenant=\"acme\"}");
+
+  // Truncations never decode.
+  const std::string good = serve::encode(m);
+  for (std::size_t cut = 0; cut < good.size(); cut += 7) {
+    serve::InspectOkMsg out;
+    EXPECT_FALSE(serve::decode(good.substr(0, cut), &out, &err))
+        << "cut at " << cut;
+  }
+}
+
+TEST(ServeWire, StatusRenderersCoverTheSnapshot) {
+  const serve::InspectOkMsg m = sample_inspect();
+  const std::string json = serve::status_json(m);
+  std::string err;
+  EXPECT_TRUE(obs::json_well_formed(json, &err)) << err << "\n" << json;
+  EXPECT_NE(json.find("\"epoch\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"tenant\":\"acme\""), std::string::npos);
+  EXPECT_NE(json.find("\"state\":\"running\""), std::string::npos);
+  EXPECT_NE(json.find("\"clock_offset_ns\":-12345"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"job_accept\""), std::string::npos);
+  EXPECT_NE(
+      json.find("\"citroend_tenant_evals_total{tenant=\\\"acme\\\"}\":5"),
+      std::string::npos)
+      << json;
+
+  const std::string text = serve::status_text(m);
+  EXPECT_NE(text.find("epoch 3"), std::string::npos);
+  EXPECT_NE(text.find("DRAINING"), std::string::npos);
+  EXPECT_NE(text.find("acme"), std::string::npos);
+  EXPECT_NE(text.find("unix:/tmp/p0.sock"), std::string::npos);
+}
+
+TEST(ServeDaemon, VersionMismatchDrawsTypedReject) {
+  const std::string dir = fresh_dir("daemon_version");
+  auto cfg = live_config(dir);
+  auto ls = start_server(cfg);
+
+  const int fd = raw_connect(cfg.socket_path);
+  ASSERT_GE(fd, 0);
+  serve::HelloMsg hello;
+  hello.tenant = "skewed";
+  hello.version = serve::kProtocolVersion + 7;
+  ASSERT_EQ(sandbox::write_frame(fd, serve::encode(hello)),
+            sandbox::IoStatus::Ok);
+  sandbox::FrameReader reader(fd);
+  std::string payload;
+  ASSERT_EQ(reader.read(&payload, 10.0), sandbox::IoStatus::Ok);
+  serve::RejectMsg rej;
+  std::string err;
+  ASSERT_TRUE(serve::decode(payload, &rej, &err)) << err;
+  EXPECT_EQ(rej.reason, serve::RejectReason::BadRequest);
+  EXPECT_NE(rej.message.find("protocol version mismatch"), std::string::npos)
+      << rej.message;
+  EXPECT_NE(rej.message.find("daemon v"), std::string::npos) << rej.message;
+  ::close(fd);
+}
+
+TEST(ServeDaemon, InspectReportsTenantsJobsAndFlight) {
+  const std::string dir = fresh_dir("daemon_inspect");
+  auto cfg = live_config(dir);
+  auto ls = start_server(cfg);
+
+  serve::Client client(client_config(cfg.socket_path, "ten-i"));
+  const auto id = client.submit(small_spec("random", 10, 21), 20.0);
+  ASSERT_TRUE(id.has_value()) << client.error();
+  const auto out = client.wait_result(*id, 60.0);
+  ASSERT_EQ(out.status, serve::ResultStatus::Ok) << out.error;
+
+  const auto snap = client.inspect();
+  ASSERT_TRUE(snap.has_value()) << client.error();
+  EXPECT_EQ(snap->epoch, client.epoch());
+  EXPECT_FALSE(snap->draining);
+  EXPECT_GE(snap->clients, 1u);
+
+  bool tenant_found = false;
+  for (const auto& t : snap->tenants) {
+    if (t.tenant != "ten-i") continue;
+    tenant_found = true;
+    // budget evals plus the baseline measurement the session runs first.
+    EXPECT_GE(t.evals_total, 10u);
+    EXPECT_LE(t.evals_total, 11u);
+    EXPECT_EQ(t.jobs_in_flight, 0u) << "job finished: charge released";
+    EXPECT_GT(t.max_jobs, 0u);
+  }
+  EXPECT_TRUE(tenant_found);
+
+  bool job_found = false;
+  for (const auto& j : snap->jobs) {
+    if (j.id != *id) continue;
+    job_found = true;
+    EXPECT_EQ(j.tenant, "ten-i");
+    EXPECT_EQ(j.state, serve::JobState::Done);
+    EXPECT_GE(j.evals_done, 10u);
+    EXPECT_EQ(j.budget, 10u);
+  }
+  EXPECT_TRUE(job_found);
+
+  // The always-on flight recorder saw the accept and the completion.
+  bool accept_seen = false, done_seen = false;
+  for (const auto& f : snap->flight) {
+    if (f.a != *id) continue;
+    if (f.kind == "job_accept") accept_seen = true;
+    if (f.kind == "job_done") done_seen = true;
+  }
+  EXPECT_TRUE(accept_seen);
+  EXPECT_TRUE(done_seen);
+
+  // Counter values come from one registry snapshot, which always carries
+  // the trace-drop counter.
+  bool drops_found = false;
+  for (const auto& [name, v] : snap->counters)
+    if (name == "citroen_trace_dropped_total") drops_found = true;
+  EXPECT_TRUE(drops_found);
+
+  // The renderers accept a real snapshot.
+  std::string err;
+  EXPECT_TRUE(obs::json_well_formed(serve::status_json(*snap), &err)) << err;
+  EXPECT_FALSE(serve::status_text(*snap).empty());
+}
+
+TEST(ServeDaemon, HttpGetOnWireSocketServesPrometheus) {
+  const std::string dir = fresh_dir("daemon_http");
+  auto cfg = live_config(dir);
+  auto ls = start_server(cfg);
+
+  const int fd = raw_connect(cfg.socket_path);
+  ASSERT_GE(fd, 0);
+  const char req[] = "GET /metrics HTTP/1.0\r\nHost: x\r\n\r\n";
+  ASSERT_EQ(::write(fd, req, sizeof(req) - 1),
+            static_cast<ssize_t>(sizeof(req) - 1));
+  std::string resp;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    resp.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(resp.find("HTTP/1.0 200 OK"), std::string::npos)
+      << resp.substr(0, 200);
+  EXPECT_NE(resp.find("text/plain"), std::string::npos);
+  EXPECT_NE(resp.find("citroen_trace_dropped_total"), std::string::npos)
+      << "every scrape surfaces trace drops";
+}
+
+TEST(ServeClient, HandshakeRejectSurfacesDaemonMessage) {
+  // A daemon that rejects the handshake (the version-skew path) must
+  // surface its message through error() — what `citroen-cli status`
+  // prints before exiting non-zero.
+  const std::string dir = fresh_dir("client_reject");
+  const std::string path = dir + "/fake.sock";
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 4), 0);
+  // Serve EVERY connection: the client retries within its connect window,
+  // and an unanswered retry would overwrite the reject with a timeout.
+  std::atomic<bool> stop{false};
+  std::thread fake([listen_fd, &stop] {
+    for (;;) {
+      const int conn = ::accept(listen_fd, nullptr, nullptr);
+      if (conn < 0) return;
+      if (stop.load()) {
+        ::close(conn);
+        return;
+      }
+      sandbox::FrameReader reader(conn);
+      std::string payload;
+      reader.read(&payload, 5.0);
+      serve::RejectMsg rej;
+      rej.reason = serve::RejectReason::BadRequest;
+      rej.message = "protocol version mismatch: client v2, daemon v99";
+      sandbox::write_frame(conn, serve::encode(rej));
+      ::close(conn);
+    }
+  });
+
+  serve::ClientConfig cc = client_config(path, "t");
+  cc.connect_timeout_seconds = 0.05;  // every attempt draws the reject
+  cc.frame_timeout_seconds = 5.0;
+  serve::Client client(cc);
+  const auto snap = client.inspect();
+  EXPECT_FALSE(snap.has_value());
+  EXPECT_NE(client.error().find("protocol version mismatch"),
+            std::string::npos)
+      << client.error();
+
+  stop.store(true);
+  const int wake = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ::connect(wake, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  ::close(wake);
+  fake.join();
+  ::close(listen_fd);
 }
